@@ -1,0 +1,80 @@
+//! Error type for the manufacturing substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the manufacturing and packaging models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ActError {
+    /// The requested die area is not positive.
+    NonPositiveArea(f64),
+    /// The yield model produced a yield of zero (die too large for the given
+    /// defect density), which would make the per-good-die footprint infinite.
+    ZeroYield {
+        /// Die area in mm² that produced the zero yield.
+        area_mm2: f64,
+        /// Defect density (defects/cm²) used.
+        defect_density: f64,
+    },
+    /// A parameter that must lie in `[0, 1]` was out of range.
+    InvalidFraction {
+        /// Name of the parameter.
+        parameter: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ActError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActError::NonPositiveArea(a) => {
+                write!(f, "die area must be positive, got {a} mm2")
+            }
+            ActError::ZeroYield {
+                area_mm2,
+                defect_density,
+            } => write!(
+                f,
+                "yield model returned zero yield for a {area_mm2} mm2 die at \
+                 {defect_density} defects/cm2"
+            ),
+            ActError::InvalidFraction { parameter, value } => {
+                write!(f, "{parameter} must lie in [0, 1], got {value}")
+            }
+        }
+    }
+}
+
+impl Error for ActError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ActError::NonPositiveArea(-1.0)
+            .to_string()
+            .contains("positive"));
+        assert!(ActError::ZeroYield {
+            area_mm2: 900.0,
+            defect_density: 0.2
+        }
+        .to_string()
+        .contains("zero yield"));
+        assert!(ActError::InvalidFraction {
+            parameter: "rho",
+            value: 2.0
+        }
+        .to_string()
+        .contains("[0, 1]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ActError>();
+    }
+}

@@ -1,0 +1,45 @@
+//! Figure 2: CFP comparison between ASIC- and FPGA-based computing for a
+//! single application and for ten applications (DNN domain).
+//!
+//! Paper result: for one application the ASIC is greener; reused across ten
+//! applications the FPGA ends up with roughly 25% lower total CFP.
+
+use gf_bench::paper_estimator;
+use greenfpga::{render_table, Domain, Workload};
+
+fn main() -> Result<(), greenfpga::GreenFpgaError> {
+    let estimator = paper_estimator();
+    let mut rows = Vec::new();
+    for napps in [1u64, 10] {
+        let workload = Workload::uniform(Domain::Dnn, napps, 2.0, 1_000_000)?;
+        let c = estimator.compare_domain(&workload)?;
+        rows.push(vec![
+            format!("{napps}"),
+            format!("{:.1}", c.fpga.total().as_tons()),
+            format!("{:.1}", c.asic.total().as_tons()),
+            format!("{:.2}", c.fpga_to_asic_ratio()),
+            c.winner().to_string(),
+        ]);
+    }
+    println!("Figure 2 — DNN domain, T_i = 2 years, N_vol = 1e6:");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Applications",
+                "FPGA total (t)",
+                "ASIC total (t)",
+                "FPGA:ASIC",
+                "Winner"
+            ],
+            &rows
+        )
+    );
+
+    let ten = estimator.compare_uniform(Domain::Dnn, 10, 2.0, 1_000_000)?;
+    println!(
+        "At ten applications the FPGA's CFP is {:.0}% lower than the ASIC's (paper: ~25%).",
+        (1.0 - ten.fpga_to_asic_ratio()) * 100.0
+    );
+    Ok(())
+}

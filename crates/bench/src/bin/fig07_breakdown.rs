@@ -1,0 +1,49 @@
+//! Figure 7: embodied-carbon (EC) versus operational-carbon (OC) breakdown
+//! for the DNN domain while varying (a) `N_app`, (b) `T_i` and (c) `N_vol`.
+//!
+//! Paper result: varying `N_app` grows the ASIC's EC (new chips per
+//! application) until it dominates; varying `T_i` grows the FPGA's OC;
+//! at low volumes EC dominates both platforms, at high volumes the FPGA's
+//! growing EC makes it the less sustainable choice.
+
+use gf_bench::{format_ec_oc, paper_estimator};
+use greenfpga::{Domain, Workload};
+
+fn main() -> Result<(), greenfpga::GreenFpgaError> {
+    let estimator = paper_estimator();
+    let domain = Domain::Dnn;
+
+    println!("Figure 7(a) — varying N_app (T_i = 2 y, N_vol = 1e6):");
+    for napps in [1u64, 2, 3, 4, 5, 6, 8] {
+        let c = estimator.compare_domain(&Workload::uniform(domain, napps, 2.0, 1_000_000)?)?;
+        println!("  N_app {napps:>2}: FPGA {}", format_ec_oc(&c.fpga));
+        println!("            ASIC {}", format_ec_oc(&c.asic));
+    }
+
+    println!();
+    println!("Figure 7(b) — varying T_i (N_app = 5, N_vol = 1e6):");
+    for lifetime in [0.5, 1.0, 1.5, 2.0, 2.5] {
+        let c = estimator.compare_domain(&Workload::uniform(domain, 5, lifetime, 1_000_000)?)?;
+        println!("  T_i {lifetime:>3.1} y: FPGA {}", format_ec_oc(&c.fpga));
+        println!("            ASIC {}", format_ec_oc(&c.asic));
+    }
+
+    println!();
+    println!("Figure 7(c) — varying N_vol (N_app = 5, T_i = 2 y):");
+    for volume in [1_000u64, 10_000, 100_000, 300_000, 1_000_000, 3_000_000] {
+        let c = estimator.compare_domain(&Workload::uniform(domain, 5, 2.0, volume)?)?;
+        println!("  N_vol {volume:>9}: FPGA {}", format_ec_oc(&c.fpga));
+        println!("                 ASIC {}", format_ec_oc(&c.asic));
+    }
+
+    println!();
+    println!("Full component detail at the paper's operating point (5 apps, 2 y, 1e6):");
+    let c = estimator.compare_domain(&Workload::uniform(domain, 5, 2.0, 1_000_000)?)?;
+    for (platform, cfp) in [("FPGA", c.fpga), ("ASIC", c.asic)] {
+        println!("  {platform}:");
+        for (name, value) in cfp.components() {
+            println!("    {name:<14} {:>12.1} t", value.as_tons());
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Figure 10: CFP components for IndustryFPGA1 (Agilex-7-class) and
+//! IndustryFPGA2 (Stratix-10-class) over six years, three applications and
+//! one million units.
+//!
+//! Paper result: operational CFP dominates, followed by manufacturing and
+//! design; application development is minimal even after three
+//! reprogrammings; design is roughly 15% of the embodied CFP; EOL is tiny.
+
+use gf_bench::paper_estimator;
+use greenfpga::{industry_fpga1, industry_fpga2, render_table, IndustryScenario};
+
+fn main() -> Result<(), greenfpga::GreenFpgaError> {
+    let estimator = paper_estimator();
+    let scenario = IndustryScenario::paper_defaults();
+
+    let mut rows = Vec::new();
+    for fpga in [industry_fpga1(), industry_fpga2()] {
+        let cfp = scenario.evaluate_fpga(&estimator, &fpga)?;
+        rows.push(vec![
+            fpga.chip().name().to_string(),
+            format!("{:.1}", cfp.design.as_tons()),
+            format!("{:.1}", cfp.manufacturing.as_tons()),
+            format!("{:.1}", cfp.packaging.as_tons()),
+            format!("{:.1}", cfp.eol.as_tons()),
+            format!("{:.1}", cfp.operation.as_tons()),
+            format!("{:.1}", cfp.app_dev.as_tons()),
+            format!("{:.1}", cfp.total().as_tons()),
+            format!(
+                "{:.0}%",
+                cfp.design_share_of_embodied().unwrap_or(0.0) * 100.0
+            ),
+        ]);
+    }
+
+    println!(
+        "Figure 10 — industry FPGAs, 6-year service, 3 applications, 1e6 units (all values tCO2e):"
+    );
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Device",
+                "Design",
+                "Manufacturing",
+                "Packaging",
+                "EOL",
+                "Operation",
+                "App dev",
+                "Total",
+                "Design/EC"
+            ],
+            &rows
+        )
+    );
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Figure 11: CFP components for IndustryASIC1 (Antoum-class) and
+//! IndustryASIC2 (TPU-class) over a six-year application at one million
+//! units (no reprogramming — ASICs serve the application they were built
+//! for).
+//!
+//! Paper result: operational CFP dominates, followed by manufacturing and
+//! design CFP.
+
+use gf_bench::paper_estimator;
+use greenfpga::{industry_asic1, industry_asic2, render_table, IndustryScenario};
+
+fn main() -> Result<(), greenfpga::GreenFpgaError> {
+    let estimator = paper_estimator();
+    let scenario = IndustryScenario::paper_defaults();
+
+    let mut rows = Vec::new();
+    for asic in [industry_asic1(), industry_asic2()] {
+        let cfp = scenario.evaluate_asic(&estimator, &asic)?;
+        rows.push(vec![
+            asic.chip().name().to_string(),
+            format!("{:.1}", cfp.design.as_tons()),
+            format!("{:.1}", cfp.manufacturing.as_tons()),
+            format!("{:.1}", cfp.packaging.as_tons()),
+            format!("{:.1}", cfp.eol.as_tons()),
+            format!("{:.1}", cfp.operation.as_tons()),
+            format!("{:.1}", cfp.app_dev.as_tons()),
+            format!("{:.1}", cfp.total().as_tons()),
+        ]);
+    }
+
+    println!("Figure 11 — industry ASICs, 6-year application, 1e6 units (all values tCO2e):");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Device",
+                "Design",
+                "Manufacturing",
+                "Packaging",
+                "EOL",
+                "Operation",
+                "App dev",
+                "Total"
+            ],
+            &rows
+        )
+    );
+    Ok(())
+}

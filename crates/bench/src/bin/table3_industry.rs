@@ -1,0 +1,43 @@
+//! Table 3: summary of the industry testcases (area, power, technology
+//! node) used by Figures 10 and 11.
+
+use greenfpga::{
+    industry_asic1, industry_asic2, industry_fpga1, industry_fpga2, render_table, ChipSpec,
+};
+
+fn main() {
+    let chips: Vec<ChipSpec> = vec![
+        industry_asic1().chip().clone(),
+        industry_asic2().chip().clone(),
+        industry_fpga1().chip().clone(),
+        industry_fpga2().chip().clone(),
+    ];
+
+    let rows: Vec<Vec<String>> = chips
+        .iter()
+        .map(|chip| {
+            vec![
+                chip.name().to_string(),
+                format!("{}", chip.area()),
+                format!("{}", chip.tdp()),
+                chip.node().to_string(),
+                format!("{:.2e}", chip.gates().get() as f64),
+            ]
+        })
+        .collect();
+
+    println!("Table 3 — summary of industry testcases:");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Testcase",
+                "Area",
+                "Power (TDP)",
+                "Tech. node",
+                "Equivalent gates"
+            ],
+            &rows
+        )
+    );
+}

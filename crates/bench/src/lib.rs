@@ -1,0 +1,62 @@
+//! Shared helpers for the GreenFPGA experiment harness.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md for the index); the Criterion benches in `benches/`
+//! measure the evaluation throughput of the model itself.
+
+use greenfpga::{CfpBreakdown, Estimator, EstimatorParams};
+
+/// Builds the estimator every experiment binary uses: the paper-calibrated
+/// defaults. Override knobs inside individual binaries where an experiment
+/// calls for it.
+pub fn paper_estimator() -> Estimator {
+    Estimator::new(EstimatorParams::paper_defaults())
+}
+
+/// Formats a breakdown as `total (EC embodied / OC deployment)` in tons,
+/// the unit the paper's figures use.
+pub fn format_ec_oc(breakdown: &CfpBreakdown) -> String {
+    format!(
+        "{:>12.1} t (EC {:>12.1} t / OC {:>12.1} t)",
+        breakdown.total().as_tons(),
+        breakdown.embodied().as_tons(),
+        breakdown.deployment().as_tons()
+    )
+}
+
+/// Formats kilograms as tons with one decimal, for table cells.
+pub fn tons(kg: f64) -> String {
+    format!("{:.1}", kg / 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gf_units::Carbon;
+
+    #[test]
+    fn format_ec_oc_reports_tons() {
+        let b = CfpBreakdown {
+            manufacturing: Carbon::from_tons(2.0),
+            operation: Carbon::from_tons(1.0),
+            ..CfpBreakdown::ZERO
+        };
+        let s = format_ec_oc(&b);
+        assert!(s.contains("3.0 t"));
+        assert!(s.contains("EC"));
+        assert!(s.contains("OC"));
+    }
+
+    #[test]
+    fn tons_formats_kilograms() {
+        assert_eq!(tons(2500.0), "2.5");
+    }
+
+    #[test]
+    fn paper_estimator_uses_paper_defaults() {
+        assert_eq!(
+            paper_estimator().params(),
+            &EstimatorParams::paper_defaults()
+        );
+    }
+}

@@ -1,0 +1,402 @@
+//! Hand-rolled argument parsing for the `greenfpga` CLI.
+//!
+//! The binary intentionally avoids an argument-parsing dependency: the
+//! interface is a handful of subcommands with `--key value` options, which a
+//! small parser covers while keeping the dependency set to the offline
+//! whitelist.
+
+use std::fmt;
+
+use greenfpga::{Domain, SweepAxis};
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Compare FPGA vs ASIC at one operating point.
+    Compare(WorkloadArgs),
+    /// Sweep one workload axis and print the series (optionally as CSV).
+    Sweep {
+        /// Common workload arguments (the swept axis value is ignored).
+        workload: WorkloadArgs,
+        /// Axis to sweep.
+        axis: SweepAxis,
+        /// First value of the sweep.
+        from: f64,
+        /// Last value of the sweep.
+        to: f64,
+        /// Number of samples.
+        steps: usize,
+        /// Emit CSV instead of a table.
+        csv: bool,
+    },
+    /// Report all three crossover points for a domain.
+    Crossover(WorkloadArgs),
+    /// Evaluate the Table 3 industry testcases (Figs. 10–11).
+    Industry,
+    /// One-at-a-time sensitivity (tornado) analysis.
+    Tornado(WorkloadArgs),
+    /// Monte-Carlo uncertainty analysis.
+    MonteCarlo {
+        /// Common workload arguments.
+        workload: WorkloadArgs,
+        /// Number of samples to draw.
+        samples: usize,
+    },
+    /// Print usage information.
+    Help,
+}
+
+/// Workload arguments shared by most subcommands.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadArgs {
+    /// Application domain.
+    pub domain: Domain,
+    /// Number of applications.
+    pub apps: u64,
+    /// Per-application lifetime in years.
+    pub lifetime_years: f64,
+    /// Per-application volume in devices.
+    pub volume: u64,
+}
+
+impl Default for WorkloadArgs {
+    fn default() -> Self {
+        WorkloadArgs {
+            domain: Domain::Dnn,
+            apps: 5,
+            lifetime_years: 2.0,
+            volume: 1_000_000,
+        }
+    }
+}
+
+/// Errors produced while parsing the command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Usage text printed by `greenfpga help` and on parse errors.
+pub const USAGE: &str = "\
+greenfpga — lifecycle carbon-footprint model for FPGA vs ASIC acceleration
+
+USAGE:
+  greenfpga <COMMAND> [OPTIONS]
+
+COMMANDS:
+  compare      Compare FPGA and ASIC platforms at one operating point
+  sweep        Sweep apps | lifetime | volume and print the series
+  crossover    Report A2F/F2A crossover points for a domain
+  industry     Evaluate the Table 3 industry testcases
+  tornado      One-at-a-time sensitivity analysis over the Table 1 knobs
+  montecarlo   Monte-Carlo uncertainty analysis over the Table 1 ranges
+  help         Show this message
+
+COMMON OPTIONS:
+  --domain <dnn|imgproc|crypto>   application domain       (default: dnn)
+  --apps <N>                      number of applications   (default: 5)
+  --lifetime <YEARS>              application lifetime     (default: 2.0)
+  --volume <UNITS>                application volume       (default: 1000000)
+
+SWEEP OPTIONS:
+  --axis <apps|lifetime|volume>   axis to sweep            (required)
+  --from <VALUE> --to <VALUE>     sweep bounds             (required)
+  --steps <N>                     number of samples        (default: 10)
+  --csv                           print CSV instead of a table
+
+MONTECARLO OPTIONS:
+  --samples <N>                   number of samples        (default: 512)
+";
+
+fn parse_domain(value: &str) -> Result<Domain, ParseError> {
+    match value.to_ascii_lowercase().as_str() {
+        "dnn" => Ok(Domain::Dnn),
+        "imgproc" | "image" | "imageprocessing" => Ok(Domain::ImageProcessing),
+        "crypto" | "cryptography" => Ok(Domain::Crypto),
+        other => Err(ParseError(format!("unknown domain '{other}'"))),
+    }
+}
+
+fn parse_axis(value: &str) -> Result<SweepAxis, ParseError> {
+    match value.to_ascii_lowercase().as_str() {
+        "apps" | "applications" => Ok(SweepAxis::Applications),
+        "lifetime" => Ok(SweepAxis::LifetimeYears),
+        "volume" => Ok(SweepAxis::VolumeUnits),
+        other => Err(ParseError(format!("unknown sweep axis '{other}'"))),
+    }
+}
+
+fn parse_number<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, ParseError> {
+    value
+        .parse::<T>()
+        .map_err(|_| ParseError(format!("invalid value '{value}' for {key}")))
+}
+
+struct Options {
+    pairs: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Self, ParseError> {
+        let mut pairs = Vec::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            if let Some(key) = arg.strip_prefix("--") {
+                if key == "csv" {
+                    flags.push(key.to_string());
+                    i += 1;
+                } else if i + 1 < args.len() {
+                    pairs.push((key.to_string(), args[i + 1].clone()));
+                    i += 2;
+                } else {
+                    return Err(ParseError(format!("missing value for --{key}")));
+                }
+            } else {
+                return Err(ParseError(format!("unexpected argument '{arg}'")));
+            }
+        }
+        Ok(Options { pairs, flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn has_flag(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
+
+    fn workload(&self) -> Result<WorkloadArgs, ParseError> {
+        let mut workload = WorkloadArgs::default();
+        if let Some(v) = self.get("domain") {
+            workload.domain = parse_domain(v)?;
+        }
+        if let Some(v) = self.get("apps") {
+            workload.apps = parse_number("--apps", v)?;
+        }
+        if let Some(v) = self.get("lifetime") {
+            workload.lifetime_years = parse_number("--lifetime", v)?;
+        }
+        if let Some(v) = self.get("volume") {
+            workload.volume = parse_number("--volume", v)?;
+        }
+        if workload.apps == 0 {
+            return Err(ParseError("--apps must be at least 1".to_string()));
+        }
+        if workload.volume == 0 {
+            return Err(ParseError("--volume must be at least 1".to_string()));
+        }
+        if !(workload.lifetime_years > 0.0) {
+            return Err(ParseError("--lifetime must be positive".to_string()));
+        }
+        Ok(workload)
+    }
+}
+
+/// Parses a full command line (excluding the program name).
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let Some((command, rest)) = args.split_first() else {
+        return Ok(Command::Help);
+    };
+    let options = Options::parse(rest)?;
+    match command.as_str() {
+        "compare" => Ok(Command::Compare(options.workload()?)),
+        "crossover" => Ok(Command::Crossover(options.workload()?)),
+        "tornado" => Ok(Command::Tornado(options.workload()?)),
+        "industry" => Ok(Command::Industry),
+        "montecarlo" | "monte-carlo" => {
+            let samples = match options.get("samples") {
+                Some(v) => parse_number("--samples", v)?,
+                None => 512,
+            };
+            if samples == 0 {
+                return Err(ParseError("--samples must be at least 1".to_string()));
+            }
+            Ok(Command::MonteCarlo {
+                workload: options.workload()?,
+                samples,
+            })
+        }
+        "sweep" => {
+            let axis = parse_axis(
+                options
+                    .get("axis")
+                    .ok_or_else(|| ParseError("--axis is required".into()))?,
+            )?;
+            let from: f64 = parse_number(
+                "--from",
+                options
+                    .get("from")
+                    .ok_or_else(|| ParseError("--from is required".into()))?,
+            )?;
+            let to: f64 = parse_number(
+                "--to",
+                options
+                    .get("to")
+                    .ok_or_else(|| ParseError("--to is required".into()))?,
+            )?;
+            let steps: usize = match options.get("steps") {
+                Some(v) => parse_number("--steps", v)?,
+                None => 10,
+            };
+            if steps < 2 {
+                return Err(ParseError("--steps must be at least 2".to_string()));
+            }
+            if !(to > from) {
+                return Err(ParseError("--to must be greater than --from".to_string()));
+            }
+            Ok(Command::Sweep {
+                workload: options.workload()?,
+                axis,
+                from,
+                to,
+                steps,
+                csv: options.has_flag("csv"),
+            })
+        }
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(ParseError(format!("unknown command '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(line: &str) -> Vec<String> {
+        line.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn empty_command_line_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn compare_with_defaults_and_overrides() {
+        let cmd = parse(&argv("compare")).unwrap();
+        assert_eq!(cmd, Command::Compare(WorkloadArgs::default()));
+        let cmd = parse(&argv(
+            "compare --domain crypto --apps 3 --lifetime 1.5 --volume 250000",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Compare(w) => {
+                assert_eq!(w.domain, Domain::Crypto);
+                assert_eq!(w.apps, 3);
+                assert!((w.lifetime_years - 1.5).abs() < 1e-12);
+                assert_eq!(w.volume, 250_000);
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn domain_aliases_are_accepted() {
+        for (alias, expected) in [
+            ("dnn", Domain::Dnn),
+            ("imgproc", Domain::ImageProcessing),
+            ("ImageProcessing", Domain::ImageProcessing),
+            ("CRYPTO", Domain::Crypto),
+        ] {
+            let cmd = parse(&argv(&format!("compare --domain {alias}"))).unwrap();
+            match cmd {
+                Command::Compare(w) => assert_eq!(w.domain, expected, "{alias}"),
+                other => panic!("unexpected command {other:?}"),
+            }
+        }
+        assert!(parse(&argv("compare --domain gpu")).is_err());
+    }
+
+    #[test]
+    fn sweep_requires_axis_and_bounds() {
+        assert!(parse(&argv("sweep")).is_err());
+        assert!(parse(&argv("sweep --axis apps")).is_err());
+        assert!(parse(&argv("sweep --axis apps --from 1 --to 0.5")).is_err());
+        assert!(parse(&argv("sweep --axis apps --from 1 --to 8 --steps 1")).is_err());
+        let cmd = parse(&argv(
+            "sweep --axis lifetime --from 0.2 --to 2.5 --steps 6 --csv",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Sweep {
+                axis,
+                from,
+                to,
+                steps,
+                csv,
+                ..
+            } => {
+                assert_eq!(axis, SweepAxis::LifetimeYears);
+                assert!((from - 0.2).abs() < 1e-12 && (to - 2.5).abs() < 1e-12);
+                assert_eq!(steps, 6);
+                assert!(csv);
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn montecarlo_sample_parsing() {
+        let cmd = parse(&argv("montecarlo --domain dnn --samples 128")).unwrap();
+        match cmd {
+            Command::MonteCarlo { samples, workload } => {
+                assert_eq!(samples, 128);
+                assert_eq!(workload.domain, Domain::Dnn);
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+        assert!(parse(&argv("montecarlo --samples 0")).is_err());
+        assert!(parse(&argv("montecarlo --samples abc")).is_err());
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected_with_messages() {
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("compare --apps 0")).is_err());
+        assert!(parse(&argv("compare --volume 0")).is_err());
+        assert!(parse(&argv("compare --lifetime -1")).is_err());
+        assert!(parse(&argv("compare --apps")).is_err());
+        assert!(parse(&argv("compare apps 5")).is_err());
+        let err = parse(&argv("compare --apps x")).unwrap_err();
+        assert!(err.to_string().contains("--apps"));
+    }
+
+    #[test]
+    fn last_value_wins_for_repeated_options() {
+        let cmd = parse(&argv("compare --apps 3 --apps 7")).unwrap();
+        match cmd {
+            Command::Compare(w) => assert_eq!(w.apps, 7),
+            other => panic!("unexpected command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn usage_mentions_every_command() {
+        for command in [
+            "compare",
+            "sweep",
+            "crossover",
+            "industry",
+            "tornado",
+            "montecarlo",
+        ] {
+            assert!(USAGE.contains(command), "usage is missing {command}");
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! `greenfpga` — command-line interface to the GreenFPGA carbon model.
+//!
+//! ```text
+//! greenfpga compare --domain dnn --apps 5 --lifetime 2.0 --volume 1000000
+//! greenfpga sweep --domain dnn --axis apps --from 1 --to 12 --steps 12
+//! greenfpga crossover --domain imgproc
+//! greenfpga industry
+//! greenfpga tornado --domain dnn
+//! greenfpga montecarlo --domain crypto --samples 1024
+//! ```
+
+mod args;
+
+use std::process::ExitCode;
+
+use greenfpga::{
+    csv_from_rows, industry_asic1, industry_asic2, industry_fpga1, industry_fpga2, render_table,
+    Estimator, EstimatorParams, GreenFpgaError, IndustryScenario, MonteCarlo, OperatingPoint,
+    SweepAxis, Workload,
+};
+
+use args::{Command, WorkloadArgs, USAGE};
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let command = match args::parse(&raw) {
+        Ok(command) => command,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(command) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(command: Command) -> Result<(), GreenFpgaError> {
+    let estimator = Estimator::new(EstimatorParams::paper_defaults());
+    match command {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Compare(workload) => compare(&estimator, workload),
+        Command::Crossover(workload) => crossover(&estimator, workload),
+        Command::Sweep {
+            workload,
+            axis,
+            from,
+            to,
+            steps,
+            csv,
+        } => sweep(&estimator, workload, axis, from, to, steps, csv),
+        Command::Industry => industry(&estimator),
+        Command::Tornado(workload) => tornado(&estimator, workload),
+        Command::MonteCarlo { workload, samples } => monte_carlo(&estimator, workload, samples),
+    }
+}
+
+fn operating_point(args: WorkloadArgs) -> OperatingPoint {
+    OperatingPoint {
+        applications: args.apps,
+        lifetime_years: args.lifetime_years,
+        volume: args.volume,
+    }
+}
+
+fn compare(estimator: &Estimator, args: WorkloadArgs) -> Result<(), GreenFpgaError> {
+    let workload = Workload::uniform(args.domain, args.apps, args.lifetime_years, args.volume)?;
+    let comparison = estimator.compare_domain(&workload)?;
+    println!(
+        "{} — {} applications, {:.1}-year lifetimes, {} units each:",
+        args.domain, args.apps, args.lifetime_years, args.volume
+    );
+    let mut rows = Vec::new();
+    for (platform, cfp) in [("FPGA", comparison.fpga), ("ASIC", comparison.asic)] {
+        rows.push(vec![
+            platform.to_string(),
+            format!("{:.1}", cfp.design.as_tons()),
+            format!("{:.1}", (cfp.manufacturing + cfp.packaging).as_tons()),
+            format!("{:.1}", cfp.eol.as_tons()),
+            format!("{:.1}", cfp.operation.as_tons()),
+            format!("{:.1}", cfp.app_dev.as_tons()),
+            format!("{:.1}", cfp.total().as_tons()),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Platform",
+                "Design",
+                "Mfg+Pkg",
+                "EOL",
+                "Operation",
+                "App dev",
+                "Total (t)"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "FPGA:ASIC ratio {:.3} — greener platform: {}",
+        comparison.fpga_to_asic_ratio(),
+        comparison.winner()
+    );
+    Ok(())
+}
+
+fn crossover(estimator: &Estimator, args: WorkloadArgs) -> Result<(), GreenFpgaError> {
+    println!(
+        "Crossover points for {} (around {} apps, {:.1} y, {} units):",
+        args.domain, args.apps, args.lifetime_years, args.volume
+    );
+    match estimator.crossover_in_applications(args.domain, 20, args.lifetime_years, args.volume)? {
+        Some(n) => println!("  applications: FPGA becomes greener from {n} applications"),
+        None => println!("  applications: no crossover within 20 applications"),
+    }
+    match estimator.crossover_in_lifetime(args.domain, args.apps, args.volume, 0.05, 5.0)? {
+        Some(c) => println!("  lifetime:     {} at {:.2} years", c.direction, c.at),
+        None => println!("  lifetime:     no crossover in 0.05–5 years"),
+    }
+    match estimator.crossover_in_volume(
+        args.domain,
+        args.apps,
+        args.lifetime_years,
+        1_000,
+        50_000_000,
+    )? {
+        Some(c) => println!("  volume:       {} at {:.0} units", c.direction, c.at),
+        None => println!("  volume:       no crossover in 1K–50M units"),
+    }
+    Ok(())
+}
+
+fn sweep(
+    estimator: &Estimator,
+    args: WorkloadArgs,
+    axis: SweepAxis,
+    from: f64,
+    to: f64,
+    steps: usize,
+    csv: bool,
+) -> Result<(), GreenFpgaError> {
+    let values: Vec<f64> = (0..steps)
+        .map(|i| from + (to - from) * i as f64 / (steps as f64 - 1.0))
+        .collect();
+    let series = estimator.sweep(args.domain, axis, &values, operating_point(args))?;
+    let rows: Vec<Vec<String>> = series
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.4}", p.x),
+                format!("{:.3}", p.fpga.total().as_tons()),
+                format!("{:.3}", p.asic.total().as_tons()),
+                format!("{:.4}", p.ratio()),
+            ]
+        })
+        .collect();
+    let headers = [
+        axis.label(),
+        "FPGA total (t)",
+        "ASIC total (t)",
+        "FPGA:ASIC",
+    ];
+    if csv {
+        print!("{}", csv_from_rows(&headers, &rows));
+    } else {
+        println!("{} sweep for {}:", axis.label(), args.domain);
+        println!("{}", render_table(&headers, &rows));
+        for c in series.crossovers() {
+            println!("{} crossover at {:.3}", c.direction, c.at);
+        }
+    }
+    Ok(())
+}
+
+fn industry(estimator: &Estimator) -> Result<(), GreenFpgaError> {
+    let scenario = IndustryScenario::paper_defaults();
+    let mut rows = Vec::new();
+    for fpga in [industry_fpga1(), industry_fpga2()] {
+        let cfp = scenario.evaluate_fpga(estimator, &fpga)?;
+        rows.push(vec![
+            fpga.chip().name().to_string(),
+            format!("{:.1}", cfp.design.as_tons()),
+            format!("{:.1}", (cfp.manufacturing + cfp.packaging).as_tons()),
+            format!("{:.1}", cfp.eol.as_tons()),
+            format!("{:.1}", cfp.operation.as_tons()),
+            format!("{:.1}", cfp.app_dev.as_tons()),
+            format!("{:.1}", cfp.total().as_tons()),
+        ]);
+    }
+    for asic in [industry_asic1(), industry_asic2()] {
+        let cfp = scenario.evaluate_asic(estimator, &asic)?;
+        rows.push(vec![
+            asic.chip().name().to_string(),
+            format!("{:.1}", cfp.design.as_tons()),
+            format!("{:.1}", (cfp.manufacturing + cfp.packaging).as_tons()),
+            format!("{:.1}", cfp.eol.as_tons()),
+            format!("{:.1}", cfp.operation.as_tons()),
+            format!("{:.1}", cfp.app_dev.as_tons()),
+            format!("{:.1}", cfp.total().as_tons()),
+        ]);
+    }
+    println!("Industry testcases, 6-year service at 1M units (tCO2e):");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Device",
+                "Design",
+                "Mfg+Pkg",
+                "EOL",
+                "Operation",
+                "App dev",
+                "Total"
+            ],
+            &rows
+        )
+    );
+    Ok(())
+}
+
+fn tornado(estimator: &Estimator, args: WorkloadArgs) -> Result<(), GreenFpgaError> {
+    let analysis = estimator.tornado_analysis(args.domain, operating_point(args))?;
+    let rows: Vec<Vec<String>> = analysis
+        .entries
+        .iter()
+        .map(|e| {
+            vec![
+                e.knob.to_string(),
+                format!("{:.3}", e.ratio_at_low),
+                format!("{:.3}", e.ratio_at_high),
+                format!("{:.3}", e.swing()),
+                if e.flips_winner() {
+                    "yes".into()
+                } else {
+                    "no".into()
+                },
+            ]
+        })
+        .collect();
+    println!(
+        "Sensitivity of the FPGA:ASIC ratio for {} (baseline {:.3}):",
+        args.domain,
+        analysis
+            .entries
+            .first()
+            .map(|e| e.ratio_at_baseline)
+            .unwrap_or(f64::NAN)
+    );
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Knob",
+                "Ratio @ low",
+                "Ratio @ high",
+                "Swing",
+                "Flips winner?"
+            ],
+            &rows
+        )
+    );
+    Ok(())
+}
+
+fn monte_carlo(
+    estimator: &Estimator,
+    args: WorkloadArgs,
+    samples: usize,
+) -> Result<(), GreenFpgaError> {
+    let report =
+        MonteCarlo::new(samples).run(estimator.params(), args.domain, operating_point(args))?;
+    println!(
+        "Monte-Carlo study for {} ({samples} samples over the Table 1 ranges):",
+        args.domain
+    );
+    println!("  ratio p5     {:.3}", report.quantile(0.05));
+    println!("  ratio median {:.3}", report.median());
+    println!("  ratio p95    {:.3}", report.quantile(0.95));
+    println!("  ratio mean   {:.3}", report.mean());
+    println!(
+        "  P(FPGA greener) = {:.1}%",
+        report.fpga_win_probability() * 100.0
+    );
+    println!("  majority winner: {}", report.majority_winner());
+    Ok(())
+}

@@ -1,0 +1,103 @@
+//! Datacenter fleet study on the industry testcases.
+//!
+//! Evaluates the Table 3 industry devices (Antoum-class and TPU-class ASICs,
+//! Agilex-7-class and Stratix-10-class FPGAs) over a six-year service life
+//! at one million units, and shows how the picture changes when the fleet
+//! moves to a cleaner grid or the e-waste stream is recycled.
+//!
+//! Run with `cargo run -p greenfpga --example datacenter_fleet`.
+
+use greenfpga::act::GridMix;
+use greenfpga::units::Fraction;
+use greenfpga::{
+    industry_asic1, industry_asic2, industry_fpga1, industry_fpga2, render_table, DeploymentParams,
+    Estimator, EstimatorParams, IndustryScenario,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = IndustryScenario::paper_defaults();
+
+    let world = Estimator::new(EstimatorParams::paper_defaults());
+    let clean_grid = Estimator::new(EstimatorParams::paper_defaults().with_deployment(
+        DeploymentParams::new(Fraction::new(0.2)?, GridMix::Iceland.carbon_intensity()),
+    ));
+    let recycled = Estimator::new(
+        EstimatorParams::paper_defaults()
+            .with_recycled_material_fraction(Fraction::new(0.4)?)
+            .with_eol_recycled_fraction(Fraction::new(0.6)?),
+    );
+
+    let mut rows = Vec::new();
+    let fpgas = [industry_fpga1(), industry_fpga2()];
+    let asics = [industry_asic1(), industry_asic2()];
+
+    for fpga in &fpgas {
+        let base = scenario.evaluate_fpga(&world, fpga)?;
+        let green = scenario.evaluate_fpga(&clean_grid, fpga)?;
+        let circular = scenario.evaluate_fpga(&recycled, fpga)?;
+        rows.push(vec![
+            fpga.chip().name().to_string(),
+            format!("{}", base.total()),
+            format!("{}", green.total()),
+            format!("{}", circular.total()),
+        ]);
+    }
+    for asic in &asics {
+        let base = scenario.evaluate_asic(&world, asic)?;
+        let green = scenario.evaluate_asic(&clean_grid, asic)?;
+        let circular = scenario.evaluate_asic(&recycled, asic)?;
+        rows.push(vec![
+            asic.chip().name().to_string(),
+            format!("{}", base.total()),
+            format!("{}", green.total()),
+            format!("{}", circular.total()),
+        ]);
+    }
+
+    println!("Six-year fleet footprint (1M units), by sustainability lever:");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Device",
+                "Baseline",
+                "Clean deployment grid",
+                "Recycling (rho=0.4, delta=0.6)"
+            ],
+            &rows
+        )
+    );
+
+    println!("Component breakdown on the baseline grid:");
+    let mut breakdown_rows = Vec::new();
+    for fpga in &fpgas {
+        let cfp = scenario.evaluate_fpga(&world, fpga)?;
+        breakdown_rows.push(vec![
+            fpga.chip().name().to_string(),
+            format!("{}", cfp.design),
+            format!("{}", cfp.manufacturing + cfp.packaging),
+            format!("{}", cfp.eol),
+            format!("{}", cfp.operation),
+            format!("{}", cfp.app_dev),
+        ]);
+    }
+    for asic in &asics {
+        let cfp = scenario.evaluate_asic(&world, asic)?;
+        breakdown_rows.push(vec![
+            asic.chip().name().to_string(),
+            format!("{}", cfp.design),
+            format!("{}", cfp.manufacturing + cfp.packaging),
+            format!("{}", cfp.eol),
+            format!("{}", cfp.operation),
+            format!("{}", cfp.app_dev),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["Device", "Design", "Mfg+Pkg", "EOL", "Operation", "App dev"],
+            &breakdown_rows
+        )
+    );
+    Ok(())
+}

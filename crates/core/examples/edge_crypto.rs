@@ -1,0 +1,67 @@
+//! Edge cryptography deployment with evolving standards.
+//!
+//! Post-quantum migration means an edge security accelerator will see its
+//! algorithm suite replaced several times within the hardware's physical
+//! lifetime. Because a crypto FPGA matches its ASIC counterpart in area and
+//! power (Table 2), reconfigurability is almost free carbon-wise — this
+//! example quantifies that, including what happens past the 15-year chip
+//! lifetime.
+//!
+//! Run with `cargo run -p greenfpga --example edge_crypto`.
+
+use greenfpga::units::TimeSpan;
+use greenfpga::{Domain, Estimator, EstimatorParams, LongHorizonScenario, Workload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let estimator = Estimator::new(EstimatorParams::paper_defaults());
+
+    println!("== Crypto standard churn: one new algorithm suite every 18 months ==");
+    for generations in [1u64, 2, 4, 8] {
+        let workload = Workload::uniform(Domain::Crypto, generations, 1.5, 250_000)?;
+        let c = estimator.compare_domain(&workload)?;
+        println!(
+            "  {generations:>2} generations: FPGA {:>14}  ASIC {:>14}  ratio {:.2}  winner {}",
+            c.fpga.total().to_string(),
+            c.asic.total().to_string(),
+            c.fpga_to_asic_ratio(),
+            c.winner()
+        );
+    }
+
+    println!();
+    println!("== Forty-year horizon with yearly algorithm updates (Fig. 9 setup) ==");
+    let scenario = LongHorizonScenario {
+        domain: Domain::Crypto,
+        evaluation_years: 40,
+        application_lifetime_years: 1,
+        volume: 250_000,
+    };
+    let series = scenario.run(&estimator)?;
+    for point in series.iter().filter(|p| p.year % 5 == 0) {
+        println!(
+            "  year {:>2}: FPGA {:>14}  ASIC {:>14}  ratio {:.2}  (fleets built: {})",
+            point.year,
+            point.fpga_cumulative.to_string(),
+            point.asic_cumulative.to_string(),
+            point.ratio(),
+            point.fpga_fleets_built
+        );
+    }
+
+    println!();
+    println!("== Does a shorter FPGA service life change the verdict? ==");
+    for chip_years in [8.0, 12.0, 15.0] {
+        let estimator = Estimator::new(
+            EstimatorParams::paper_defaults()
+                .with_fpga_chip_lifetime(TimeSpan::from_years(chip_years)),
+        );
+        let series = scenario.run(&estimator)?;
+        let last = series.last().expect("non-empty series");
+        println!(
+            "  chip lifetime {chip_years:>4.0} y: 40-year FPGA:ASIC ratio {:.2} ({} fleets)",
+            last.ratio(),
+            last.fpga_fleets_built
+        );
+    }
+    Ok(())
+}

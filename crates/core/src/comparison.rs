@@ -1,0 +1,428 @@
+//! FPGA-vs-ASIC comparison and crossover analysis.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CfpBreakdown, Domain, Estimator, GreenFpgaError, Workload};
+
+/// Which platform a comparison favours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlatformKind {
+    /// The FPGA-based platform.
+    Fpga,
+    /// The ASIC-based platform.
+    Asic,
+}
+
+impl fmt::Display for PlatformKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformKind::Fpga => f.write_str("FPGA"),
+            PlatformKind::Asic => f.write_str("ASIC"),
+        }
+    }
+}
+
+/// Direction of a crossover point along a swept parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CrossoverDirection {
+    /// ASIC-to-FPGA: below the point the ASIC has the lower CFP, above it
+    /// the FPGA does (the paper's "A2F" point).
+    AsicToFpga,
+    /// FPGA-to-ASIC: below the point the FPGA has the lower CFP, above it
+    /// the ASIC does (the paper's "F2A" point).
+    FpgaToAsic,
+}
+
+impl fmt::Display for CrossoverDirection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrossoverDirection::AsicToFpga => f.write_str("A2F"),
+            CrossoverDirection::FpgaToAsic => f.write_str("F2A"),
+        }
+    }
+}
+
+/// A crossover point found along a swept parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Crossover {
+    /// The value of the swept parameter at which the cheaper platform flips.
+    pub at: f64,
+    /// Which way the preference flips as the parameter increases.
+    pub direction: CrossoverDirection,
+}
+
+/// The outcome of comparing the two platforms on the same workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlatformComparison {
+    /// Domain the comparison was made in.
+    pub domain: Domain,
+    /// Total FPGA-platform footprint.
+    pub fpga: CfpBreakdown,
+    /// Total ASIC-platform footprint.
+    pub asic: CfpBreakdown,
+}
+
+impl PlatformComparison {
+    /// Creates a comparison result.
+    pub fn new(domain: Domain, fpga: CfpBreakdown, asic: CfpBreakdown) -> Self {
+        PlatformComparison { domain, fpga, asic }
+    }
+
+    /// FPGA total divided by ASIC total — below 1.0 the FPGA is greener.
+    /// Returns `f64::INFINITY` when the ASIC total is zero.
+    pub fn fpga_to_asic_ratio(&self) -> f64 {
+        self.fpga
+            .total()
+            .ratio_to(self.asic.total())
+            .unwrap_or(f64::INFINITY)
+    }
+
+    /// The platform with the lower total footprint (ties go to the ASIC,
+    /// the paper's incumbent).
+    pub fn winner(&self) -> PlatformKind {
+        if self.fpga.total() < self.asic.total() {
+            PlatformKind::Fpga
+        } else {
+            PlatformKind::Asic
+        }
+    }
+
+    /// Carbon saved by choosing the winner over the loser (non-negative).
+    pub fn savings(&self) -> gf_units::Carbon {
+        (self.fpga.total() - self.asic.total()).abs()
+    }
+
+    /// Relative saving of the winner versus the loser, in `[0, 1]`.
+    pub fn relative_savings(&self) -> f64 {
+        let (winner, loser) = match self.winner() {
+            PlatformKind::Fpga => (self.fpga.total(), self.asic.total()),
+            PlatformKind::Asic => (self.asic.total(), self.fpga.total()),
+        };
+        if loser.as_kg() == 0.0 {
+            0.0
+        } else {
+            1.0 - winner.as_kg() / loser.as_kg()
+        }
+    }
+}
+
+impl fmt::Display for PlatformComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: FPGA {} vs ASIC {} (ratio {:.2}, winner {})",
+            self.domain,
+            self.fpga.total(),
+            self.asic.total(),
+            self.fpga_to_asic_ratio(),
+            self.winner()
+        )
+    }
+}
+
+impl Estimator {
+    /// Finds the smallest application count in `1..=max_applications` for
+    /// which the FPGA platform has the lower total CFP (the paper's A2F
+    /// crossover of Fig. 4), holding the per-application lifetime and volume
+    /// fixed.
+    ///
+    /// Returns `Ok(None)` when the FPGA never wins within the range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GreenFpgaError::InvalidRange`] when `max_applications` is
+    /// zero, and propagates model errors.
+    pub fn crossover_in_applications(
+        &self,
+        domain: Domain,
+        max_applications: u64,
+        lifetime_years: f64,
+        volume: u64,
+    ) -> Result<Option<u64>, GreenFpgaError> {
+        if max_applications == 0 {
+            return Err(GreenFpgaError::InvalidRange {
+                what: "application count",
+            });
+        }
+        for n in 1..=max_applications {
+            let workload = Workload::uniform(domain, n, lifetime_years, volume)?;
+            let comparison = self.compare_domain(&workload)?;
+            if comparison.winner() == PlatformKind::Fpga {
+                return Ok(Some(n));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Finds the application lifetime at which the preferred platform flips
+    /// (the paper's F2A point of Fig. 5), holding the application count and
+    /// volume fixed. The search bisects `[min_years, max_years]`.
+    ///
+    /// Returns `Ok(None)` when the same platform wins across the whole
+    /// range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GreenFpgaError::InvalidRange`] for an inverted or
+    /// non-finite range, and propagates model errors.
+    pub fn crossover_in_lifetime(
+        &self,
+        domain: Domain,
+        applications: u64,
+        volume: u64,
+        min_years: f64,
+        max_years: f64,
+    ) -> Result<Option<Crossover>, GreenFpgaError> {
+        if !(min_years >= 0.0 && max_years > min_years)
+            || !min_years.is_finite()
+            || !max_years.is_finite()
+        {
+            return Err(GreenFpgaError::InvalidRange { what: "lifetime" });
+        }
+        let diff = |years: f64| -> Result<f64, GreenFpgaError> {
+            let workload = Workload::uniform(domain, applications, years, volume)?;
+            let c = self.compare_domain(&workload)?;
+            Ok(c.fpga.total().as_kg() - c.asic.total().as_kg())
+        };
+        let lo_diff = diff(min_years)?;
+        let hi_diff = diff(max_years)?;
+        if lo_diff.signum() == hi_diff.signum() {
+            return Ok(None);
+        }
+        let (mut lo, mut hi) = (min_years, max_years);
+        let mut lo_diff = lo_diff;
+        for _ in 0..64 {
+            let mid = 0.5 * (lo + hi);
+            let mid_diff = diff(mid)?;
+            if mid_diff.signum() == lo_diff.signum() {
+                lo = mid;
+                lo_diff = mid_diff;
+            } else {
+                hi = mid;
+            }
+            if hi - lo < 1e-6 {
+                break;
+            }
+        }
+        let at = 0.5 * (lo + hi);
+        // If the FPGA wins at short lifetimes, growing the lifetime flips
+        // preference to the ASIC (F2A); otherwise the flip is A2F.
+        let direction = if diff(min_years)? < 0.0 {
+            CrossoverDirection::FpgaToAsic
+        } else {
+            CrossoverDirection::AsicToFpga
+        };
+        Ok(Some(Crossover { at, direction }))
+    }
+
+    /// Finds the application volume at which the preferred platform flips
+    /// (the paper's F2A point of Fig. 6), holding the application count and
+    /// lifetime fixed. The search scans a geometric grid between
+    /// `min_volume` and `max_volume` and then bisects the bracketing
+    /// interval.
+    ///
+    /// Returns `Ok(None)` when the same platform wins across the whole
+    /// range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GreenFpgaError::InvalidRange`] for an inverted or zero
+    /// range, and propagates model errors.
+    pub fn crossover_in_volume(
+        &self,
+        domain: Domain,
+        applications: u64,
+        lifetime_years: f64,
+        min_volume: u64,
+        max_volume: u64,
+    ) -> Result<Option<Crossover>, GreenFpgaError> {
+        if min_volume == 0 || max_volume <= min_volume {
+            return Err(GreenFpgaError::InvalidRange { what: "volume" });
+        }
+        let diff = |volume: u64| -> Result<f64, GreenFpgaError> {
+            let workload = Workload::uniform(domain, applications, lifetime_years, volume)?;
+            let c = self.compare_domain(&workload)?;
+            Ok(c.fpga.total().as_kg() - c.asic.total().as_kg())
+        };
+        let lo_diff = diff(min_volume)?;
+        let hi_diff = diff(max_volume)?;
+        if lo_diff.signum() == hi_diff.signum() {
+            return Ok(None);
+        }
+        let (mut lo, mut hi) = (min_volume, max_volume);
+        let mut lo_diff = lo_diff;
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            let mid_diff = diff(mid)?;
+            if mid_diff.signum() == lo_diff.signum() {
+                lo = mid;
+                lo_diff = mid_diff;
+            } else {
+                hi = mid;
+            }
+        }
+        let direction = if lo_diff < 0.0 {
+            CrossoverDirection::FpgaToAsic
+        } else {
+            CrossoverDirection::AsicToFpga
+        };
+        Ok(Some(Crossover {
+            at: hi as f64,
+            direction,
+        }))
+    }
+
+    /// Convenience wrapper returning the full comparison for a uniform
+    /// workload at a single operating point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload construction and model errors.
+    pub fn compare_uniform(
+        &self,
+        domain: Domain,
+        applications: u64,
+        lifetime_years: f64,
+        volume: u64,
+    ) -> Result<PlatformComparison, GreenFpgaError> {
+        let workload = Workload::uniform(domain, applications, lifetime_years, volume)?;
+        self.compare_domain(&workload)
+    }
+}
+
+/// Scans a series of `(x, fpga_total_kg, asic_total_kg)` samples for sign
+/// changes and reports every crossover, interpolating linearly between
+/// samples.
+pub(crate) fn crossovers_from_samples(samples: &[(f64, f64, f64)]) -> Vec<Crossover> {
+    let mut crossovers = Vec::new();
+    for pair in samples.windows(2) {
+        let (x0, f0, a0) = pair[0];
+        let (x1, f1, a1) = pair[1];
+        let d0 = f0 - a0;
+        let d1 = f1 - a1;
+        if d0 == 0.0 || d0.signum() == d1.signum() {
+            continue;
+        }
+        let t = d0 / (d0 - d1);
+        let at = x0 + t * (x1 - x0);
+        let direction = if d0 > 0.0 {
+            CrossoverDirection::AsicToFpga
+        } else {
+            CrossoverDirection::FpgaToAsic
+        };
+        crossovers.push(Crossover { at, direction });
+    }
+    crossovers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gf_units::Carbon;
+
+    fn breakdown(total_kg: f64) -> CfpBreakdown {
+        CfpBreakdown {
+            manufacturing: Carbon::from_kg(total_kg),
+            ..CfpBreakdown::ZERO
+        }
+    }
+
+    #[test]
+    fn winner_and_ratio() {
+        let c = PlatformComparison::new(Domain::Dnn, breakdown(50.0), breakdown(100.0));
+        assert_eq!(c.winner(), PlatformKind::Fpga);
+        assert!((c.fpga_to_asic_ratio() - 0.5).abs() < 1e-12);
+        assert!((c.savings().as_kg() - 50.0).abs() < 1e-12);
+        assert!((c.relative_savings() - 0.5).abs() < 1e-12);
+
+        let c = PlatformComparison::new(Domain::Dnn, breakdown(100.0), breakdown(50.0));
+        assert_eq!(c.winner(), PlatformKind::Asic);
+        assert!((c.fpga_to_asic_ratio() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_go_to_the_asic() {
+        let c = PlatformComparison::new(Domain::Crypto, breakdown(10.0), breakdown(10.0));
+        assert_eq!(c.winner(), PlatformKind::Asic);
+        assert_eq!(c.savings().as_kg(), 0.0);
+    }
+
+    #[test]
+    fn zero_asic_total_gives_infinite_ratio() {
+        let c = PlatformComparison::new(Domain::Crypto, breakdown(10.0), CfpBreakdown::ZERO);
+        assert!(c.fpga_to_asic_ratio().is_infinite());
+    }
+
+    #[test]
+    fn display_mentions_winner() {
+        let c = PlatformComparison::new(Domain::Dnn, breakdown(50.0), breakdown(100.0));
+        let s = c.to_string();
+        assert!(s.contains("FPGA") && s.contains("DNN"));
+        assert_eq!(PlatformKind::Fpga.to_string(), "FPGA");
+        assert_eq!(CrossoverDirection::AsicToFpga.to_string(), "A2F");
+        assert_eq!(CrossoverDirection::FpgaToAsic.to_string(), "F2A");
+    }
+
+    #[test]
+    fn sample_crossover_detection_interpolates() {
+        // FPGA starts higher (d > 0), crosses below between x=2 and x=3.
+        let samples = [(1.0, 10.0, 8.0), (2.0, 9.0, 8.5), (3.0, 8.0, 9.0)];
+        let crossovers = crossovers_from_samples(&samples);
+        assert_eq!(crossovers.len(), 1);
+        assert_eq!(crossovers[0].direction, CrossoverDirection::AsicToFpga);
+        assert!(crossovers[0].at > 2.0 && crossovers[0].at < 3.0);
+    }
+
+    #[test]
+    fn no_crossover_for_monotone_samples() {
+        let samples = [(1.0, 10.0, 8.0), (2.0, 11.0, 8.5), (3.0, 12.0, 9.0)];
+        assert!(crossovers_from_samples(&samples).is_empty());
+    }
+
+    #[test]
+    fn crossover_search_validates_ranges() {
+        let est = Estimator::default();
+        assert!(matches!(
+            est.crossover_in_applications(Domain::Dnn, 0, 2.0, 1000),
+            Err(GreenFpgaError::InvalidRange { .. })
+        ));
+        assert!(matches!(
+            est.crossover_in_lifetime(Domain::Dnn, 5, 1000, 2.0, 1.0),
+            Err(GreenFpgaError::InvalidRange { .. })
+        ));
+        assert!(matches!(
+            est.crossover_in_volume(Domain::Dnn, 5, 2.0, 0, 100),
+            Err(GreenFpgaError::InvalidRange { .. })
+        ));
+    }
+
+    #[test]
+    fn crypto_crosses_over_immediately_after_first_application() {
+        // Paper Fig. 4: for Crypto the A2F crossover is after the first
+        // application because FPGA and ASIC implementations match.
+        let est = Estimator::default();
+        let n = est
+            .crossover_in_applications(Domain::Crypto, 8, 2.0, 1_000_000)
+            .unwrap()
+            .expect("crypto must cross over");
+        assert!(n <= 2, "crypto A2F at {n} applications");
+    }
+
+    #[test]
+    fn dnn_lifetime_crossover_is_f2a_and_near_paper_value() {
+        // Paper Fig. 5: DNN F2A at ~1.6 years for 5 applications, 1M units.
+        let est = Estimator::default();
+        let crossover = est
+            .crossover_in_lifetime(Domain::Dnn, 5, 1_000_000, 0.2, 2.5)
+            .unwrap()
+            .expect("dnn must cross over in lifetime");
+        assert_eq!(crossover.direction, CrossoverDirection::FpgaToAsic);
+        assert!(
+            crossover.at > 0.8 && crossover.at < 2.5,
+            "F2A lifetime {} years is out of the expected band",
+            crossover.at
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Error type for the GreenFPGA model.
+
+use std::error::Error;
+use std::fmt;
+
+use gf_act::ActError;
+use gf_lifecycle::LifecycleError;
+use gf_units::UnitError;
+
+/// Errors raised while constructing model inputs or evaluating estimates.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GreenFpgaError {
+    /// A workload was constructed with no applications.
+    EmptyWorkload,
+    /// An application parameter was invalid (negative lifetime, zero volume
+    /// where one is required, …).
+    InvalidApplication {
+        /// Which field was invalid.
+        field: &'static str,
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A sweep or crossover search was configured with an empty or inverted
+    /// range.
+    InvalidRange {
+        /// Which range was invalid.
+        what: &'static str,
+    },
+    /// Error bubbled up from the manufacturing substrate.
+    Act(ActError),
+    /// Error bubbled up from the lifecycle models.
+    Lifecycle(LifecycleError),
+    /// Error bubbled up from unit construction.
+    Unit(UnitError),
+}
+
+impl fmt::Display for GreenFpgaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GreenFpgaError::EmptyWorkload => {
+                write!(f, "workload must contain at least one application")
+            }
+            GreenFpgaError::InvalidApplication { field, reason } => {
+                write!(f, "invalid application {field}: {reason}")
+            }
+            GreenFpgaError::InvalidRange { what } => {
+                write!(f, "invalid range for {what}")
+            }
+            GreenFpgaError::Act(e) => write!(f, "manufacturing model error: {e}"),
+            GreenFpgaError::Lifecycle(e) => write!(f, "lifecycle model error: {e}"),
+            GreenFpgaError::Unit(e) => write!(f, "unit error: {e}"),
+        }
+    }
+}
+
+impl Error for GreenFpgaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GreenFpgaError::Act(e) => Some(e),
+            GreenFpgaError::Lifecycle(e) => Some(e),
+            GreenFpgaError::Unit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ActError> for GreenFpgaError {
+    fn from(e: ActError) -> Self {
+        GreenFpgaError::Act(e)
+    }
+}
+
+impl From<LifecycleError> for GreenFpgaError {
+    fn from(e: LifecycleError) -> Self {
+        GreenFpgaError::Lifecycle(e)
+    }
+}
+
+impl From<UnitError> for GreenFpgaError {
+    fn from(e: UnitError) -> Self {
+        GreenFpgaError::Unit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        assert!(GreenFpgaError::EmptyWorkload
+            .to_string()
+            .contains("at least one"));
+        assert!(GreenFpgaError::InvalidRange {
+            what: "volume sweep"
+        }
+        .to_string()
+        .contains("volume sweep"));
+        let e: GreenFpgaError = ActError::NonPositiveArea(0.0).into();
+        assert!(e.to_string().contains("manufacturing"));
+        assert!(e.source().is_some());
+        let e: GreenFpgaError = UnitError::FractionOutOfRange(2.0).into();
+        assert!(e.source().is_some());
+        let e: GreenFpgaError = LifecycleError::ZeroCount {
+            quantity: "project engineers",
+        }
+        .into();
+        assert!(e.source().is_some());
+        assert!(GreenFpgaError::EmptyWorkload.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GreenFpgaError>();
+    }
+}

@@ -1,0 +1,273 @@
+//! Long-horizon evaluation beyond the chip lifetime (Fig. 9 of the paper).
+//!
+//! The paper's experiment E extends the evaluation window past the FPGA's
+//! physical lifetime (15 years): when the window exceeds the chip lifetime a
+//! *new* FPGA fleet must be manufactured, so the cumulative FPGA footprint
+//! jumps at the 15- and 30-year marks. The ASIC curve shows no such jump
+//! because a new ASIC is built per application anyway.
+
+use serde::{Deserialize, Serialize};
+
+use gf_units::{Carbon, ChipCount, GateCount, TimeSpan};
+
+use crate::{Application, Domain, Estimator, GreenFpgaError};
+
+/// One yearly sample of the long-horizon scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LongHorizonPoint {
+    /// Years since the start of the evaluation (1-based: the sample covers
+    /// everything up to and including this year).
+    pub year: u64,
+    /// Cumulative FPGA-platform footprint.
+    pub fpga_cumulative: Carbon,
+    /// Cumulative ASIC-platform footprint.
+    pub asic_cumulative: Carbon,
+    /// Number of FPGA fleets manufactured so far (1 + replacements).
+    pub fpga_fleets_built: u64,
+}
+
+impl LongHorizonPoint {
+    /// FPGA cumulative footprint divided by the ASIC's.
+    pub fn ratio(&self) -> f64 {
+        self.fpga_cumulative
+            .ratio_to(self.asic_cumulative)
+            .unwrap_or(f64::INFINITY)
+    }
+}
+
+/// A multi-decade deployment: one new application per application lifetime,
+/// with the FPGA fleet replaced every chip lifetime.
+///
+/// # Examples
+///
+/// ```
+/// use greenfpga::{Domain, Estimator, LongHorizonScenario};
+///
+/// let scenario = LongHorizonScenario::paper_fig9(Domain::Dnn);
+/// let series = scenario.run(&Estimator::default())?;
+/// assert_eq!(series.len(), 40);
+/// // Cumulative footprints never decrease.
+/// assert!(series.windows(2).all(|w| w[1].fpga_cumulative >= w[0].fpga_cumulative));
+/// # Ok::<(), greenfpga::GreenFpgaError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LongHorizonScenario {
+    /// Application domain evaluated.
+    pub domain: Domain,
+    /// Total evaluation window in whole years.
+    pub evaluation_years: u64,
+    /// Lifetime of each application in whole years (the paper uses 1 year).
+    pub application_lifetime_years: u64,
+    /// Deployment volume of every application.
+    pub volume: u64,
+}
+
+impl LongHorizonScenario {
+    /// The paper's Fig. 9 setup: a 40-year window, 1-year applications, one
+    /// million devices, FPGA chip lifetime taken from the estimator
+    /// parameters (15 years by default).
+    pub fn paper_fig9(domain: Domain) -> Self {
+        LongHorizonScenario {
+            domain,
+            evaluation_years: 40,
+            application_lifetime_years: 1,
+            volume: 1_000_000,
+        }
+    }
+
+    /// Runs the scenario, producing one cumulative sample per year.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GreenFpgaError::InvalidRange`] when the evaluation window
+    /// or application lifetime is zero, and propagates model errors.
+    pub fn run(&self, estimator: &Estimator) -> Result<Vec<LongHorizonPoint>, GreenFpgaError> {
+        if self.evaluation_years == 0 {
+            return Err(GreenFpgaError::InvalidRange {
+                what: "evaluation years",
+            });
+        }
+        if self.application_lifetime_years == 0 {
+            return Err(GreenFpgaError::InvalidRange {
+                what: "application lifetime",
+            });
+        }
+        let calibration = self.domain.calibration();
+        let fpga = calibration.fpga_spec()?;
+        let asic = calibration.asic_spec()?;
+        let chip_lifetime_years = estimator
+            .params()
+            .fpga_chip_lifetime()
+            .as_years()
+            .max(1.0)
+            .round() as u64;
+
+        let one_year_app = |index: u64| -> Result<Application, GreenFpgaError> {
+            Application::new(
+                format!("{}-year-{index}", self.domain),
+                calibration.reference_asic_gates(),
+                TimeSpan::from_years(1.0),
+                ChipCount::new(self.volume),
+            )
+        };
+
+        let fleet_chips = self.volume
+            * fpga.fpgas_for_application(GateCount::new(calibration.reference_asic_gates().get()));
+        let fpga_fleet_embodied = estimator
+            .fpga_embodied(&fpga, &calibration.fpga_staffing, fleet_chips)?
+            .total();
+
+        let mut points = Vec::with_capacity(self.evaluation_years as usize);
+        let mut fpga_cumulative = Carbon::ZERO;
+        let mut asic_cumulative = Carbon::ZERO;
+        let mut fleets_built = 0u64;
+
+        for year in 1..=self.evaluation_years {
+            // A new FPGA fleet is needed in year 1 and whenever the previous
+            // fleet has reached the end of its physical lifetime.
+            if (year - 1) % chip_lifetime_years == 0 {
+                fpga_cumulative += fpga_fleet_embodied;
+                fleets_built += 1;
+            }
+
+            // One year of deployment. A new application starts every
+            // `application_lifetime_years`; the ASIC platform then pays a
+            // fresh embodied cost, the FPGA platform only a reconfiguration.
+            let app = one_year_app(year)?;
+            if (year - 1) % self.application_lifetime_years == 0 {
+                asic_cumulative += estimator
+                    .asic_embodied_for(&asic, &calibration.asic_staffing, &app)?
+                    .total();
+                fpga_cumulative += estimator.fpga_deployment_for(&fpga, &app)?.app_dev;
+            }
+            fpga_cumulative += estimator.fpga_deployment_for(&fpga, &app)?.operation;
+            asic_cumulative += estimator.asic_deployment_for(&asic, &app)?.total();
+
+            points.push(LongHorizonPoint {
+                year,
+                fpga_cumulative,
+                asic_cumulative,
+                fpga_fleets_built: fleets_built,
+            });
+        }
+        Ok(points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(domain: Domain) -> Vec<LongHorizonPoint> {
+        LongHorizonScenario::paper_fig9(domain)
+            .run(&Estimator::default())
+            .unwrap()
+    }
+
+    #[test]
+    fn produces_one_point_per_year() {
+        let series = run(Domain::Dnn);
+        assert_eq!(series.len(), 40);
+        assert_eq!(series.first().unwrap().year, 1);
+        assert_eq!(series.last().unwrap().year, 40);
+    }
+
+    #[test]
+    fn cumulative_footprints_are_monotone() {
+        for domain in Domain::ALL {
+            let series = run(domain);
+            for pair in series.windows(2) {
+                assert!(
+                    pair[1].fpga_cumulative >= pair[0].fpga_cumulative,
+                    "{domain}"
+                );
+                assert!(
+                    pair[1].asic_cumulative >= pair[0].asic_cumulative,
+                    "{domain}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fpga_fleet_is_replaced_at_chip_lifetime_boundaries() {
+        let series = run(Domain::Dnn);
+        // Default chip lifetime is 15 years: fleets at years 1, 16, 31.
+        assert_eq!(series[0].fpga_fleets_built, 1);
+        assert_eq!(series[14].fpga_fleets_built, 1);
+        assert_eq!(series[15].fpga_fleets_built, 2);
+        assert_eq!(series[29].fpga_fleets_built, 2);
+        assert_eq!(series[30].fpga_fleets_built, 3);
+        assert_eq!(series[39].fpga_fleets_built, 3);
+    }
+
+    #[test]
+    fn fpga_curve_jumps_at_replacement_years() {
+        let series = run(Domain::Dnn);
+        let yearly_increase: Vec<f64> = series
+            .windows(2)
+            .map(|w| (w[1].fpga_cumulative - w[0].fpga_cumulative).as_kg())
+            .collect();
+        // Increase from year 15→16 (index 14) includes a whole new fleet and
+        // must dwarf the ordinary year-over-year increase before it.
+        assert!(yearly_increase[14] > 3.0 * yearly_increase[13]);
+        assert!(yearly_increase[29] > 3.0 * yearly_increase[28]);
+        // The ASIC curve shows no such jump: its increases stay comparable.
+        let asic_increase: Vec<f64> = series
+            .windows(2)
+            .map(|w| (w[1].asic_cumulative - w[0].asic_cumulative).as_kg())
+            .collect();
+        let max = asic_increase.iter().cloned().fold(0.0, f64::max);
+        let min = asic_increase.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max < 1.5 * min);
+    }
+
+    #[test]
+    fn crypto_stays_fpga_favorable_despite_replacements() {
+        // Paper: for Crypto (and DNN) the jumps do not change the choice of
+        // the more sustainable platform.
+        let series = run(Domain::Crypto);
+        assert!(series.iter().skip(2).all(|p| p.ratio() < 1.0));
+    }
+
+    #[test]
+    fn imgproc_sees_multiple_crossovers_over_the_long_horizon() {
+        // Paper Fig. 9: for ImgProc the fleet-replacement jumps lead to
+        // multiple A2F and F2A crossovers as the number of years grows — the
+        // ratio is above 1 early on, dips below 1 once enough applications
+        // have amortized the fleet, and is pushed back up by replacements.
+        let series = run(Domain::ImageProcessing);
+        assert!(series.first().unwrap().ratio() > 1.0);
+        assert!(series.iter().any(|p| p.ratio() < 1.0));
+        let crossings = series
+            .windows(2)
+            .filter(|w| (w[0].ratio() < 1.0) != (w[1].ratio() < 1.0))
+            .count();
+        assert!(
+            crossings >= 1,
+            "expected at least one crossover, saw {crossings}"
+        );
+    }
+
+    #[test]
+    fn degenerate_scenarios_are_rejected() {
+        let mut s = LongHorizonScenario::paper_fig9(Domain::Dnn);
+        s.evaluation_years = 0;
+        assert!(s.run(&Estimator::default()).is_err());
+        let mut s = LongHorizonScenario::paper_fig9(Domain::Dnn);
+        s.application_lifetime_years = 0;
+        assert!(s.run(&Estimator::default()).is_err());
+    }
+
+    #[test]
+    fn shorter_chip_lifetime_means_more_fleets() {
+        let estimator = Estimator::new(
+            crate::EstimatorParams::paper_defaults()
+                .with_fpga_chip_lifetime(TimeSpan::from_years(10.0)),
+        );
+        let series = LongHorizonScenario::paper_fig9(Domain::Dnn)
+            .run(&estimator)
+            .unwrap();
+        assert_eq!(series.last().unwrap().fpga_fleets_built, 4); // years 1, 11, 21, 31
+    }
+}

@@ -1,0 +1,484 @@
+//! One-dimensional parameter sweeps and two-dimensional ratio grids.
+//!
+//! These drive the paper's Figures 4–8: sweeping the number of applications,
+//! the application lifetime and the application volume, and computing the
+//! FPGA:ASIC ratio over pairwise grids for the heatmaps.
+
+use serde::{Deserialize, Serialize};
+
+use crate::comparison::crossovers_from_samples;
+use crate::{CfpBreakdown, Crossover, Domain, Estimator, GreenFpgaError, Workload};
+
+/// The workload parameter varied by a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum SweepAxis {
+    /// Number of applications `N_app`.
+    Applications,
+    /// Per-application lifetime `T_i` in years.
+    LifetimeYears,
+    /// Per-application volume `N_vol` in devices.
+    VolumeUnits,
+}
+
+impl SweepAxis {
+    /// Human-readable axis label (matches the paper's figure axes).
+    pub fn label(self) -> &'static str {
+        match self {
+            SweepAxis::Applications => "Num Apps",
+            SweepAxis::LifetimeYears => "App Lifetime (years)",
+            SweepAxis::VolumeUnits => "App Volume (units)",
+        }
+    }
+}
+
+/// A fixed operating point; sweeps override one (or two) of its fields.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Number of applications.
+    pub applications: u64,
+    /// Per-application lifetime in years.
+    pub lifetime_years: f64,
+    /// Per-application volume in devices.
+    pub volume: u64,
+}
+
+impl OperatingPoint {
+    /// The paper's default operating point: 5 applications × 2 years × 1M
+    /// devices.
+    pub fn paper_default() -> Self {
+        OperatingPoint {
+            applications: 5,
+            lifetime_years: 2.0,
+            volume: 1_000_000,
+        }
+    }
+
+    fn with_axis(mut self, axis: SweepAxis, value: f64) -> Self {
+        match axis {
+            SweepAxis::Applications => self.applications = value.round().max(1.0) as u64,
+            SweepAxis::LifetimeYears => self.lifetime_years = value,
+            SweepAxis::VolumeUnits => self.volume = value.round().max(1.0) as u64,
+        }
+        self
+    }
+}
+
+impl Default for OperatingPoint {
+    fn default() -> Self {
+        OperatingPoint::paper_default()
+    }
+}
+
+/// One sample of a 1-D sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Value of the swept parameter.
+    pub x: f64,
+    /// FPGA-platform footprint at this point.
+    pub fpga: CfpBreakdown,
+    /// ASIC-platform footprint at this point.
+    pub asic: CfpBreakdown,
+}
+
+impl SweepPoint {
+    /// FPGA total divided by ASIC total at this point.
+    pub fn ratio(&self) -> f64 {
+        self.fpga
+            .total()
+            .ratio_to(self.asic.total())
+            .unwrap_or(f64::INFINITY)
+    }
+}
+
+/// The result of sweeping one workload parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSeries {
+    /// Domain the sweep was evaluated in.
+    pub domain: Domain,
+    /// Which parameter was swept.
+    pub axis: SweepAxis,
+    /// Samples in ascending order of the swept parameter.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepSeries {
+    /// All crossover points found between consecutive samples (linear
+    /// interpolation).
+    pub fn crossovers(&self) -> Vec<Crossover> {
+        let samples: Vec<(f64, f64, f64)> = self
+            .points
+            .iter()
+            .map(|p| (p.x, p.fpga.total().as_kg(), p.asic.total().as_kg()))
+            .collect();
+        crossovers_from_samples(&samples)
+    }
+
+    /// The sample closest to a given x value, if the series is non-empty.
+    pub fn nearest(&self, x: f64) -> Option<&SweepPoint> {
+        self.points.iter().min_by(|a, b| {
+            (a.x - x)
+                .abs()
+                .partial_cmp(&(b.x - x).abs())
+                .expect("sweep x values are finite")
+        })
+    }
+}
+
+/// A 2-D grid of FPGA:ASIC total-CFP ratios (the paper's Fig. 8 heatmaps).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridSweep {
+    /// Domain the grid was evaluated in.
+    pub domain: Domain,
+    /// Axis swept along the columns.
+    pub x_axis: SweepAxis,
+    /// Column coordinate values.
+    pub x_values: Vec<f64>,
+    /// Axis swept along the rows.
+    pub y_axis: SweepAxis,
+    /// Row coordinate values.
+    pub y_values: Vec<f64>,
+    /// `ratios[row][col]` = FPGA total / ASIC total at
+    /// `(x_values[col], y_values[row])`.
+    pub ratios: Vec<Vec<f64>>,
+}
+
+impl GridSweep {
+    /// Number of grid cells.
+    pub fn len(&self) -> usize {
+        self.x_values.len() * self.y_values.len()
+    }
+
+    /// `true` when the grid has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fraction of grid cells where the FPGA has the lower footprint.
+    pub fn fpga_winning_fraction(&self) -> f64 {
+        let total = self.len();
+        if total == 0 {
+            return 0.0;
+        }
+        let wins = self.ratios.iter().flatten().filter(|&&r| r < 1.0).count();
+        wins as f64 / total as f64
+    }
+}
+
+impl Estimator {
+    fn evaluate_point(
+        &self,
+        domain: Domain,
+        point: OperatingPoint,
+    ) -> Result<(CfpBreakdown, CfpBreakdown), GreenFpgaError> {
+        let workload = Workload::uniform(
+            domain,
+            point.applications,
+            point.lifetime_years,
+            point.volume,
+        )?;
+        let comparison = self.compare_domain(&workload)?;
+        Ok((comparison.fpga, comparison.asic))
+    }
+
+    /// Sweeps one workload parameter over the given values, holding the
+    /// other two at `base`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GreenFpgaError::InvalidRange`] for an empty value list and
+    /// propagates model errors.
+    pub fn sweep(
+        &self,
+        domain: Domain,
+        axis: SweepAxis,
+        values: &[f64],
+        base: OperatingPoint,
+    ) -> Result<SweepSeries, GreenFpgaError> {
+        if values.is_empty() {
+            return Err(GreenFpgaError::InvalidRange {
+                what: "sweep values",
+            });
+        }
+        let mut points = Vec::with_capacity(values.len());
+        for &x in values {
+            let (fpga, asic) = self.evaluate_point(domain, base.with_axis(axis, x))?;
+            points.push(SweepPoint { x, fpga, asic });
+        }
+        Ok(SweepSeries {
+            domain,
+            axis,
+            points,
+        })
+    }
+
+    /// Sweeps the number of applications (Fig. 4).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Estimator::sweep`].
+    pub fn sweep_applications(
+        &self,
+        domain: Domain,
+        counts: &[u64],
+        base: OperatingPoint,
+    ) -> Result<SweepSeries, GreenFpgaError> {
+        let values: Vec<f64> = counts.iter().map(|&n| n as f64).collect();
+        self.sweep(domain, SweepAxis::Applications, &values, base)
+    }
+
+    /// Sweeps the per-application lifetime (Fig. 5).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Estimator::sweep`].
+    pub fn sweep_lifetime(
+        &self,
+        domain: Domain,
+        lifetimes_years: &[f64],
+        base: OperatingPoint,
+    ) -> Result<SweepSeries, GreenFpgaError> {
+        self.sweep(domain, SweepAxis::LifetimeYears, lifetimes_years, base)
+    }
+
+    /// Sweeps the per-application volume (Fig. 6).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Estimator::sweep`].
+    pub fn sweep_volume(
+        &self,
+        domain: Domain,
+        volumes: &[u64],
+        base: OperatingPoint,
+    ) -> Result<SweepSeries, GreenFpgaError> {
+        let values: Vec<f64> = volumes.iter().map(|&v| v as f64).collect();
+        self.sweep(domain, SweepAxis::VolumeUnits, &values, base)
+    }
+
+    /// Evaluates the FPGA:ASIC total-CFP ratio over a 2-D grid (Fig. 8).
+    ///
+    /// Rows are evaluated in parallel with scoped threads — each cell is an
+    /// independent model evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GreenFpgaError::InvalidRange`] when either value list is
+    /// empty and propagates the first model error encountered.
+    pub fn ratio_grid(
+        &self,
+        domain: Domain,
+        x_axis: SweepAxis,
+        x_values: &[f64],
+        y_axis: SweepAxis,
+        y_values: &[f64],
+        base: OperatingPoint,
+    ) -> Result<GridSweep, GreenFpgaError> {
+        if x_values.is_empty() || y_values.is_empty() {
+            return Err(GreenFpgaError::InvalidRange {
+                what: "grid values",
+            });
+        }
+        let mut rows: Vec<Result<Vec<f64>, GreenFpgaError>> = Vec::with_capacity(y_values.len());
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(y_values.len());
+            for &y in y_values {
+                let handle = scope.spawn(move |_| -> Result<Vec<f64>, GreenFpgaError> {
+                    let mut row = Vec::with_capacity(x_values.len());
+                    for &x in x_values {
+                        let point = base.with_axis(y_axis, y).with_axis(x_axis, x);
+                        let (fpga, asic) = self.evaluate_point(domain, point)?;
+                        row.push(fpga.total().ratio_to(asic.total()).unwrap_or(f64::INFINITY));
+                    }
+                    Ok(row)
+                });
+                handles.push(handle);
+            }
+            for handle in handles {
+                rows.push(handle.join().expect("grid worker thread panicked"));
+            }
+        })
+        .expect("scoped thread pool failed to join");
+
+        let ratios = rows.into_iter().collect::<Result<Vec<_>, _>>()?;
+        Ok(GridSweep {
+            domain,
+            x_axis,
+            x_values: x_values.to_vec(),
+            y_axis,
+            y_values: y_values.to_vec(),
+            ratios,
+        })
+    }
+}
+
+/// Builds a geometric (log-spaced) list of volumes between `min` and `max`
+/// with `steps` samples, inclusive of both ends. Useful for volume sweeps
+/// spanning decades (1K → 10M).
+pub fn log_spaced_volumes(min: u64, max: u64, steps: usize) -> Vec<u64> {
+    if steps <= 1 || min >= max {
+        return vec![min.max(1)];
+    }
+    let (lo, hi) = ((min.max(1)) as f64, max as f64);
+    let ratio = (hi / lo).powf(1.0 / (steps as f64 - 1.0));
+    let mut values: Vec<u64> = (0..steps)
+        .map(|i| (lo * ratio.powi(i as i32)).round() as u64)
+        .collect();
+    values.dedup();
+    values
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn estimator() -> Estimator {
+        Estimator::default()
+    }
+
+    #[test]
+    fn application_sweep_shows_fpga_amortization() {
+        let counts: Vec<u64> = (1..=8).collect();
+        let series = estimator()
+            .sweep_applications(Domain::Dnn, &counts, OperatingPoint::paper_default())
+            .unwrap();
+        assert_eq!(series.points.len(), 8);
+        // The FPGA:ASIC ratio must fall monotonically as apps are added.
+        for pair in series.points.windows(2) {
+            assert!(pair[1].ratio() < pair[0].ratio());
+        }
+        // Fig. 4: DNN crossover exists within 8 applications.
+        assert_eq!(series.crossovers().len(), 1);
+    }
+
+    #[test]
+    fn lifetime_sweep_matches_fig5_shapes() {
+        let lifetimes: Vec<f64> = (1..=12).map(|i| 0.2 + 0.2 * i as f64).collect();
+        let base = OperatingPoint::paper_default();
+        // Crypto: FPGA always wins.
+        let crypto = estimator()
+            .sweep_lifetime(Domain::Crypto, &lifetimes, base)
+            .unwrap();
+        assert!(crypto.points.iter().all(|p| p.ratio() < 1.0));
+        assert!(crypto.crossovers().is_empty());
+        // ImgProc: ASIC always wins.
+        let img = estimator()
+            .sweep_lifetime(Domain::ImageProcessing, &lifetimes, base)
+            .unwrap();
+        assert!(img.points.iter().all(|p| p.ratio() > 1.0));
+        // DNN: one F2A crossover.
+        let dnn = estimator()
+            .sweep_lifetime(Domain::Dnn, &lifetimes, base)
+            .unwrap();
+        let crossovers = dnn.crossovers();
+        assert_eq!(crossovers.len(), 1);
+        assert_eq!(
+            crossovers[0].direction,
+            crate::CrossoverDirection::FpgaToAsic
+        );
+    }
+
+    #[test]
+    fn volume_sweep_has_f2a_for_dnn_and_none_for_crypto() {
+        let volumes = log_spaced_volumes(1_000, 10_000_000, 16);
+        let base = OperatingPoint::paper_default();
+        let dnn = estimator()
+            .sweep_volume(Domain::Dnn, &volumes, base)
+            .unwrap();
+        let crossovers = dnn.crossovers();
+        assert!(!crossovers.is_empty(), "DNN volume sweep must cross over");
+        assert_eq!(
+            crossovers[0].direction,
+            crate::CrossoverDirection::FpgaToAsic
+        );
+        let crypto = estimator()
+            .sweep_volume(Domain::Crypto, &volumes, base)
+            .unwrap();
+        assert!(crypto.points.iter().all(|p| p.ratio() < 1.0));
+    }
+
+    #[test]
+    fn sweep_rejects_empty_values() {
+        assert!(matches!(
+            estimator().sweep(
+                Domain::Dnn,
+                SweepAxis::Applications,
+                &[],
+                OperatingPoint::default()
+            ),
+            Err(GreenFpgaError::InvalidRange { .. })
+        ));
+    }
+
+    #[test]
+    fn nearest_finds_closest_sample() {
+        let series = estimator()
+            .sweep_applications(Domain::Dnn, &[1, 2, 4, 8], OperatingPoint::paper_default())
+            .unwrap();
+        assert_eq!(series.nearest(3.4).unwrap().x, 4.0);
+        assert_eq!(series.nearest(0.0).unwrap().x, 1.0);
+    }
+
+    #[test]
+    fn ratio_grid_is_rectangular_and_finite() {
+        let grid = estimator()
+            .ratio_grid(
+                Domain::Dnn,
+                SweepAxis::Applications,
+                &[1.0, 4.0, 8.0],
+                SweepAxis::LifetimeYears,
+                &[0.5, 1.0, 2.0, 2.5],
+                OperatingPoint::paper_default(),
+            )
+            .unwrap();
+        assert_eq!(grid.ratios.len(), 4);
+        assert!(grid.ratios.iter().all(|row| row.len() == 3));
+        assert!(grid
+            .ratios
+            .iter()
+            .flatten()
+            .all(|r| r.is_finite() && *r > 0.0));
+        assert_eq!(grid.len(), 12);
+        assert!(!grid.is_empty());
+        let f = grid.fpga_winning_fraction();
+        assert!((0.0..=1.0).contains(&f));
+        // More apps and shorter lifetimes favour the FPGA: the cell with the
+        // most apps and shortest lifetime must have a lower ratio than the
+        // cell with the fewest apps and longest lifetime.
+        assert!(grid.ratios[0][2] < grid.ratios[3][0]);
+    }
+
+    #[test]
+    fn grid_rejects_empty_axes() {
+        assert!(matches!(
+            estimator().ratio_grid(
+                Domain::Dnn,
+                SweepAxis::Applications,
+                &[],
+                SweepAxis::LifetimeYears,
+                &[1.0],
+                OperatingPoint::paper_default(),
+            ),
+            Err(GreenFpgaError::InvalidRange { .. })
+        ));
+    }
+
+    #[test]
+    fn log_spaced_volumes_cover_the_range() {
+        let v = log_spaced_volumes(1_000, 1_000_000, 7);
+        assert_eq!(*v.first().unwrap(), 1_000);
+        assert_eq!(*v.last().unwrap(), 1_000_000);
+        assert!(v.windows(2).all(|w| w[1] > w[0]));
+        // Roughly one sample per half-decade.
+        assert_eq!(v.len(), 7);
+        assert_eq!(log_spaced_volumes(10, 5, 4), vec![10]);
+        assert_eq!(log_spaced_volumes(0, 100, 1), vec![1]);
+    }
+
+    #[test]
+    fn axis_labels_match_paper_terms() {
+        assert_eq!(SweepAxis::Applications.label(), "Num Apps");
+        assert_eq!(SweepAxis::LifetimeYears.label(), "App Lifetime (years)");
+        assert_eq!(SweepAxis::VolumeUnits.label(), "App Volume (units)");
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type for the lifecycle models.
+
+use std::error::Error;
+use std::fmt;
+
+use gf_units::UnitError;
+
+/// Errors raised when constructing or evaluating lifecycle models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LifecycleError {
+    /// A duration that must be non-negative was negative.
+    NegativeDuration {
+        /// Which duration was invalid.
+        quantity: &'static str,
+        /// Offending value in years.
+        years: f64,
+    },
+    /// A count that must be non-zero was zero.
+    ZeroCount {
+        /// Which count was invalid.
+        quantity: &'static str,
+    },
+    /// An underlying unit construction failed (e.g. a fraction out of range).
+    Unit(UnitError),
+}
+
+impl fmt::Display for LifecycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LifecycleError::NegativeDuration { quantity, years } => {
+                write!(f, "{quantity} must be non-negative, got {years} years")
+            }
+            LifecycleError::ZeroCount { quantity } => {
+                write!(f, "{quantity} must be non-zero")
+            }
+            LifecycleError::Unit(e) => write!(f, "invalid unit value: {e}"),
+        }
+    }
+}
+
+impl Error for LifecycleError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LifecycleError::Unit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<UnitError> for LifecycleError {
+    fn from(e: UnitError) -> Self {
+        LifecycleError::Unit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = LifecycleError::NegativeDuration {
+            quantity: "project duration",
+            years: -1.0,
+        };
+        assert!(e.to_string().contains("project duration"));
+        assert!(e.source().is_none());
+
+        let e = LifecycleError::ZeroCount {
+            quantity: "employees",
+        };
+        assert!(e.to_string().contains("employees"));
+
+        let e: LifecycleError = UnitError::FractionOutOfRange(3.0).into();
+        assert!(e.to_string().contains("[0, 1]"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LifecycleError>();
+    }
+}

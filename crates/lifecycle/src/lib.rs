@@ -1,0 +1,50 @@
+//! Lifecycle carbon models surrounding manufacturing: design, end-of-life,
+//! application development and field operation.
+//!
+//! These are the models the GreenFPGA paper adds on top of the ACT-style
+//! manufacturing substrate ([`gf_act`]):
+//!
+//! * [`DesignHouse`] / [`DesignProject`] — the design-phase CFP of Eq. (4),
+//!   built from design-house sustainability-report figures (annual energy,
+//!   headcount) instead of gate counts alone,
+//! * [`EolModel`] — the end-of-life CFP of Eq. (6): discard minus a
+//!   recycling credit,
+//! * [`AppDevModel`] — the application-development CFP of Eq. (7): RTL/HLS
+//!   front-end time, synthesis/place-and-route back-end time and per-device
+//!   configuration time, run on a CPU farm,
+//! * [`OperationProfile`] — the operational CFP: peak power × duty cycle ×
+//!   usage-grid carbon intensity.
+//!
+//! # Examples
+//!
+//! ```
+//! use gf_lifecycle::{DesignHouse, DesignProject};
+//! use gf_units::{GateCount, TimeSpan};
+//!
+//! let house = DesignHouse::default_fabless();
+//! let project = DesignProject::new(
+//!     GateCount::from_millions(4200.0),
+//!     TimeSpan::from_years(2.0),
+//!     400,
+//! )?;
+//! let cfp = house.design_carbon(&project);
+//! assert!(cfp.as_tons() > 1.0);
+//! # Ok::<(), gf_lifecycle::LifecycleError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod appdev;
+mod design;
+mod design_baseline;
+mod eol;
+mod error;
+mod operation;
+
+pub use appdev::{AppDevModel, DevelopmentFlow};
+pub use design::{DesignHouse, DesignProject};
+pub use design_baseline::GateBasedDesignModel;
+pub use eol::EolModel;
+pub use error::LifecycleError;
+pub use operation::OperationProfile;

@@ -1,0 +1,149 @@
+//! Property-based tests for the lifecycle models.
+
+use gf_lifecycle::{
+    AppDevModel, DesignHouse, DesignProject, DevelopmentFlow, EolModel, OperationProfile,
+};
+use gf_units::{
+    CarbonIntensity, CarbonPerMass, Energy, Fraction, GateCount, Mass, Power, TimeSpan,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn design_carbon_is_nonnegative_and_linear_in_duration(
+        gwh in 2.0f64..7.3,
+        grid in 30.0f64..700.0,
+        employees in 20_000u64..160_000,
+        engineers in 1u64..5_000,
+        years in 0.0f64..3.0,
+        mgates in 1.0f64..50_000.0,
+    ) {
+        let house = DesignHouse::new(
+            Energy::from_gigawatt_hours(gwh),
+            CarbonIntensity::from_grams_per_kwh(grid),
+            employees,
+        ).unwrap();
+        let p1 = DesignProject::new(
+            GateCount::from_millions(mgates),
+            TimeSpan::from_years(years),
+            engineers,
+        ).unwrap();
+        let p2 = DesignProject::new(
+            GateCount::from_millions(mgates),
+            TimeSpan::from_years(years * 2.0),
+            engineers,
+        ).unwrap();
+        let c1 = house.design_carbon(&p1).as_kg();
+        let c2 = house.design_carbon(&p2).as_kg();
+        prop_assert!(c1 >= 0.0);
+        prop_assert!((c2 - 2.0 * c1).abs() <= c1.abs() * 1e-9 + 1e-9);
+    }
+
+    #[test]
+    fn more_employees_dilute_per_chip_footprint(
+        employees in 20_000u64..80_000,
+    ) {
+        let project = DesignProject::new(
+            GateCount::from_millions(500.0),
+            TimeSpan::from_years(2.0),
+            100,
+        ).unwrap();
+        let smaller = DesignHouse::new(
+            Energy::from_gigawatt_hours(5.0),
+            CarbonIntensity::from_grams_per_kwh(400.0),
+            employees,
+        ).unwrap();
+        let larger = DesignHouse::new(
+            Energy::from_gigawatt_hours(5.0),
+            CarbonIntensity::from_grams_per_kwh(400.0),
+            employees * 2,
+        ).unwrap();
+        prop_assert!(larger.design_carbon(&project).as_kg() < smaller.design_carbon(&project).as_kg());
+    }
+
+    #[test]
+    fn eol_bounded_by_pure_discard_and_pure_credit(
+        discard in 0.03f64..2.08,
+        credit in 7.65f64..29.83,
+        delta in 0.0f64..=1.0,
+        grams in 1.0f64..500.0,
+    ) {
+        let mass = Mass::from_grams(grams);
+        let model = EolModel::new(
+            CarbonPerMass::from_tons_co2_per_ton(discard),
+            CarbonPerMass::from_tons_co2_per_ton(credit),
+            Fraction::new(delta).unwrap(),
+        );
+        let c = model.carbon_per_chip(mass).as_kg();
+        let full_discard = (CarbonPerMass::from_tons_co2_per_ton(discard) * mass).as_kg();
+        let full_credit = -(CarbonPerMass::from_tons_co2_per_ton(credit) * mass).as_kg();
+        prop_assert!(c <= full_discard + 1e-9);
+        prop_assert!(c >= full_credit - 1e-9);
+    }
+
+    #[test]
+    fn eol_break_even_is_a_root(
+        discard in 0.03f64..2.08,
+        credit in 7.65f64..29.83,
+        grams in 1.0f64..500.0,
+    ) {
+        let model = EolModel::new(
+            CarbonPerMass::from_tons_co2_per_ton(discard),
+            CarbonPerMass::from_tons_co2_per_ton(credit),
+            Fraction::ZERO,
+        );
+        let delta = model.break_even_fraction().unwrap();
+        let c = model.with_recycled_fraction(delta).carbon_per_chip(Mass::from_grams(grams));
+        prop_assert!(c.as_kg().abs() < 1e-6);
+    }
+
+    #[test]
+    fn appdev_fpga_flow_dominates_asic_flow(
+        apps in 0u64..20,
+        volume in 0u64..10_000_000,
+        fe_months in 1.5f64..2.5,
+        be_months in 0.5f64..1.5,
+    ) {
+        let model = AppDevModel::new(
+            Power::from_kilowatts(2.0),
+            CarbonIntensity::from_grams_per_kwh(400.0),
+            TimeSpan::from_months(fe_months),
+            TimeSpan::from_months(be_months),
+            TimeSpan::from_seconds(600.0),
+        ).unwrap();
+        let fpga = model.carbon(DevelopmentFlow::FpgaHardware, apps, volume);
+        let asic = model.carbon(DevelopmentFlow::AsicSoftware, apps, volume);
+        prop_assert!(fpga.as_kg() >= asic.as_kg());
+        prop_assert_eq!(asic.as_kg(), 0.0);
+    }
+
+    #[test]
+    fn appdev_monotone_in_apps_and_volume(
+        apps in 0u64..20,
+        volume in 0u64..1_000_000,
+    ) {
+        let model = AppDevModel::default_paper();
+        let base = model.carbon(DevelopmentFlow::FpgaHardware, apps, volume).as_kg();
+        let more_apps = model.carbon(DevelopmentFlow::FpgaHardware, apps + 1, volume).as_kg();
+        let more_volume = model.carbon(DevelopmentFlow::FpgaHardware, apps, volume + 1000).as_kg();
+        prop_assert!(more_apps >= base);
+        prop_assert!(more_volume >= base);
+    }
+
+    #[test]
+    fn operation_carbon_is_bilinear(
+        watts in 1.0f64..500.0,
+        duty in 0.0f64..=1.0,
+        grid in 10.0f64..900.0,
+        years in 0.0f64..20.0,
+    ) {
+        let p = OperationProfile::new(
+            Power::from_watts(watts),
+            Fraction::new(duty).unwrap(),
+            CarbonIntensity::from_grams_per_kwh(grid),
+        );
+        let c = p.carbon_over(TimeSpan::from_years(years)).as_kg();
+        let expected = watts / 1000.0 * duty * 8766.0 * years * grid / 1000.0;
+        prop_assert!((c - expected).abs() <= expected.abs() * 1e-9 + 1e-9);
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type for unit construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when constructing a quantity from an out-of-range value.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum UnitError {
+    /// A [`crate::Fraction`] was constructed from a value outside `[0, 1]`
+    /// (or NaN). The offending value is carried for diagnostics.
+    FractionOutOfRange(f64),
+    /// A quantity that must be non-negative was given a negative value.
+    NegativeQuantity {
+        /// Human-readable name of the quantity (e.g. "application lifetime").
+        quantity: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A quantity that must be finite was given NaN or an infinity.
+    NotFinite {
+        /// Human-readable name of the quantity.
+        quantity: &'static str,
+    },
+}
+
+impl fmt::Display for UnitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnitError::FractionOutOfRange(v) => {
+                write!(f, "fraction must lie in [0, 1], got {v}")
+            }
+            UnitError::NegativeQuantity { quantity, value } => {
+                write!(f, "{quantity} must be non-negative, got {value}")
+            }
+            UnitError::NotFinite { quantity } => {
+                write!(f, "{quantity} must be finite")
+            }
+        }
+    }
+}
+
+impl Error for UnitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            UnitError::FractionOutOfRange(1.5).to_string(),
+            "fraction must lie in [0, 1], got 1.5"
+        );
+        assert_eq!(
+            UnitError::NegativeQuantity {
+                quantity: "lifetime",
+                value: -1.0
+            }
+            .to_string(),
+            "lifetime must be non-negative, got -1"
+        );
+        assert_eq!(
+            UnitError::NotFinite { quantity: "power" }.to_string(),
+            "power must be finite"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<UnitError>();
+    }
+}

@@ -1,0 +1,77 @@
+//! Strongly-typed quantities for the GreenFPGA carbon-footprint model.
+//!
+//! Carbon accounting mixes many scalar quantities — kilograms of CO₂
+//! equivalent, kilowatt-hours, watts, square millimetres, years, counts of
+//! chips and counts of logic gates. Mixing them up silently is the easiest
+//! way to produce a plausible-looking but wrong carbon model, so this crate
+//! gives each quantity its own newtype and only implements the arithmetic
+//! that is physically meaningful:
+//!
+//! * [`Power`] × [`TimeSpan`] → [`Energy`]
+//! * [`Energy`] × [`CarbonIntensity`] → [`Carbon`]
+//! * [`Area`] × [`CarbonPerArea`] → [`Carbon`]
+//! * [`Mass`] × [`CarbonPerMass`] → [`Carbon`]
+//!
+//! # Examples
+//!
+//! ```
+//! use gf_units::{Power, TimeSpan, CarbonIntensity};
+//!
+//! // A 160 W FPGA running one year on a 400 gCO2/kWh grid:
+//! let energy = Power::from_watts(160.0) * TimeSpan::from_years(1.0);
+//! let carbon = energy * CarbonIntensity::from_grams_per_kwh(400.0);
+//! assert!((carbon.as_kg() - 560.64).abs() < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod area;
+mod carbon;
+mod count;
+mod energy;
+mod error;
+mod fraction;
+mod intensity;
+mod mass;
+mod power;
+mod time;
+
+pub use area::{Area, CarbonPerArea};
+pub use carbon::Carbon;
+pub use count::{ChipCount, GateCount};
+pub use energy::Energy;
+pub use error::UnitError;
+pub use fraction::Fraction;
+pub use intensity::CarbonIntensity;
+pub use mass::{CarbonPerMass, Mass};
+pub use power::Power;
+pub use time::TimeSpan;
+
+/// Hours in a Julian year; used consistently for converting yearly durations
+/// into operating hours (`365.25 * 24`).
+pub const HOURS_PER_YEAR: f64 = 8766.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = Power::from_watts(1000.0) * TimeSpan::from_hours(1.0);
+        assert!((e.as_kwh() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_chain_dimensional_consistency() {
+        // 1 kW for 1000 hours on a 1 kg/kWh grid is exactly 1000 kg CO2e.
+        let e = Power::from_kilowatts(1.0) * TimeSpan::from_hours(1000.0);
+        let c = e * CarbonIntensity::from_kg_per_kwh(1.0);
+        assert!((c.as_kg() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hours_per_year_matches_timespan() {
+        assert!((TimeSpan::from_years(1.0).as_hours() - HOURS_PER_YEAR).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,2 @@
+//! Integration-test-only crate: see the `tests/` directory for the actual
+//! cross-crate tests. The library target is intentionally empty.
