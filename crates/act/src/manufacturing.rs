@@ -181,7 +181,7 @@ impl ManufacturingModel {
 
     fn checked_area_yield(&self, die: Area) -> Result<(f64, f64), ActError> {
         let area_cm2 = die.as_cm2();
-        if !(area_cm2 > 0.0) {
+        if area_cm2 <= 0.0 || area_cm2.is_nan() {
             return Err(ActError::NonPositiveArea(die.as_mm2()));
         }
         let y = self.die_yield(die);

@@ -1,97 +1,135 @@
 //! Property-based tests for the manufacturing substrate.
+//!
+//! Deterministic sampling loops over [`gf_support::SplitMix64`] stand in
+//! for the proptest strategies the offline environment cannot fetch.
 
 use gf_act::{ManufacturingModel, PackagingModel, TechnologyNode, Wafer, YieldModel};
+use gf_support::SplitMix64;
 use gf_units::{Area, Fraction};
-use proptest::prelude::*;
 
-fn any_node() -> impl Strategy<Value = TechnologyNode> {
-    prop::sample::select(TechnologyNode::ALL.to_vec())
+const CASES: usize = 128;
+
+fn rng(test_id: u64) -> SplitMix64 {
+    SplitMix64::new(0xAC7_0000 ^ test_id)
 }
 
-proptest! {
-    #[test]
-    fn yield_is_always_a_probability(
-        mm2 in 0.0f64..3000.0,
-        d0 in 0.0f64..2.0,
-        alpha in 0.5f64..10.0,
-    ) {
+fn any_node(rng: &mut SplitMix64) -> TechnologyNode {
+    TechnologyNode::ALL[rng.gen_index(TechnologyNode::ALL.len())]
+}
+
+#[test]
+fn yield_is_always_a_probability() {
+    let mut rng = rng(1);
+    for _ in 0..CASES {
+        let mm2 = rng.gen_range_f64(0.0, 3000.0);
+        let d0 = rng.gen_range_f64(0.0, 2.0);
+        let alpha = rng.gen_range_f64(0.5, 10.0);
         for model in [
             YieldModel::Poisson,
             YieldModel::Murphy,
             YieldModel::NegativeBinomial { alpha },
         ] {
             let y = model.die_yield(Area::from_mm2(mm2), d0);
-            prop_assert!((0.0..=1.0).contains(&y), "{model:?} gave {y}");
+            assert!((0.0..=1.0).contains(&y), "{model:?} gave {y}");
         }
     }
+}
 
-    #[test]
-    fn yield_monotone_in_area(
-        a in 1.0f64..1500.0,
-        b in 1.0f64..1500.0,
-        d0 in 0.01f64..1.0,
-    ) {
+#[test]
+fn yield_monotone_in_area() {
+    let mut rng = rng(2);
+    for _ in 0..CASES {
+        let a = rng.gen_range_f64(1.0, 1500.0);
+        let b = rng.gen_range_f64(1.0, 1500.0);
+        let d0 = rng.gen_range_f64(0.01, 1.0);
         let (small, large) = if a < b { (a, b) } else { (b, a) };
-        for model in [YieldModel::Poisson, YieldModel::Murphy, YieldModel::NegativeBinomial { alpha: 3.0 }] {
-            prop_assert!(
+        for model in [
+            YieldModel::Poisson,
+            YieldModel::Murphy,
+            YieldModel::NegativeBinomial { alpha: 3.0 },
+        ] {
+            assert!(
                 model.die_yield(Area::from_mm2(large), d0)
                     <= model.die_yield(Area::from_mm2(small), d0) + 1e-12
             );
         }
     }
+}
 
-    #[test]
-    fn manufacturing_carbon_positive_and_monotone_in_area(
-        node in any_node(),
-        a in 1.0f64..900.0,
-        b in 1.0f64..900.0,
-    ) {
+#[test]
+fn manufacturing_carbon_positive_and_monotone_in_area() {
+    let mut rng = rng(3);
+    for _ in 0..CASES {
+        let node = any_node(&mut rng);
+        let a = rng.gen_range_f64(1.0, 900.0);
+        let b = rng.gen_range_f64(1.0, 900.0);
         let m = ManufacturingModel::for_node(node);
         let (small, large) = if a < b { (a, b) } else { (b, a) };
         let cs = m.carbon_per_die(Area::from_mm2(small)).unwrap();
         let cl = m.carbon_per_die(Area::from_mm2(large)).unwrap();
-        prop_assert!(cs.as_kg() > 0.0);
-        prop_assert!(cl.as_kg() + 1e-12 >= cs.as_kg());
+        assert!(cs.as_kg() > 0.0);
+        assert!(cl.as_kg() + 1e-12 >= cs.as_kg());
     }
+}
 
-    #[test]
-    fn recycling_never_increases_manufacturing_carbon(
-        node in any_node(),
-        mm2 in 1.0f64..900.0,
-        rho in 0.0f64..=1.0,
-    ) {
+#[test]
+fn recycling_never_increases_manufacturing_carbon() {
+    let mut rng = rng(4);
+    for _ in 0..CASES {
+        let node = any_node(&mut rng);
+        let mm2 = rng.gen_range_f64(1.0, 900.0);
+        let rho = rng.next_f64();
         let die = Area::from_mm2(mm2);
-        let base = ManufacturingModel::for_node(node).carbon_per_die(die).unwrap();
+        let base = ManufacturingModel::for_node(node)
+            .carbon_per_die(die)
+            .unwrap();
         let recycled = ManufacturingModel::for_node(node)
             .with_recycled_material_fraction(Fraction::new(rho).unwrap())
             .carbon_per_die(die)
             .unwrap();
-        prop_assert!(recycled.as_kg() <= base.as_kg() + 1e-9);
+        assert!(recycled.as_kg() <= base.as_kg() + 1e-9);
     }
+}
 
-    #[test]
-    fn breakdown_components_sum_to_total(node in any_node(), mm2 in 1.0f64..900.0) {
+#[test]
+fn breakdown_components_sum_to_total() {
+    let mut rng = rng(5);
+    for _ in 0..CASES {
+        let node = any_node(&mut rng);
+        let mm2 = rng.gen_range_f64(1.0, 900.0);
         let m = ManufacturingModel::for_node(node);
         let b = m.breakdown_per_die(Area::from_mm2(mm2)).unwrap();
         let total = m.carbon_per_die(Area::from_mm2(mm2)).unwrap();
-        prop_assert!((b.total().as_kg() - total.as_kg()).abs() < 1e-9);
-        prop_assert!(b.energy.as_kg() >= 0.0 && b.gas.as_kg() >= 0.0 && b.materials.as_kg() >= 0.0);
+        assert!((b.total().as_kg() - total.as_kg()).abs() < 1e-9);
+        assert!(b.energy.as_kg() >= 0.0 && b.gas.as_kg() >= 0.0 && b.materials.as_kg() >= 0.0);
     }
+}
 
-    #[test]
-    fn dies_per_wafer_conserves_area(mm2 in 1.0f64..2000.0) {
+#[test]
+fn dies_per_wafer_conserves_area() {
+    let mut rng = rng(6);
+    for _ in 0..CASES {
+        let mm2 = rng.gen_range_f64(1.0, 2000.0);
         let wafer = Wafer::standard_300mm();
         let die = Area::from_mm2(mm2);
         let dies = wafer.dies_per_wafer(die);
         // Whole dies can never exceed the usable area of the wafer.
-        prop_assert!(dies as f64 * mm2 <= wafer.usable_area().as_mm2() + 1e-6);
+        assert!(dies as f64 * mm2 <= wafer.usable_area().as_mm2() + 1e-6);
     }
+}
 
-    #[test]
-    fn packaging_monotone_in_area(a in 0.0f64..2000.0, b in 0.0f64..2000.0) {
+#[test]
+fn packaging_monotone_in_area() {
+    let mut rng = rng(7);
+    for _ in 0..CASES {
+        let a = rng.gen_range_f64(0.0, 2000.0);
+        let b = rng.gen_range_f64(0.0, 2000.0);
         let (small, large) = if a < b { (a, b) } else { (b, a) };
-        for pkg in [PackagingModel::monolithic(), PackagingModel::interposer_2p5d()] {
-            prop_assert!(
+        for pkg in [
+            PackagingModel::monolithic(),
+            PackagingModel::interposer_2p5d(),
+        ] {
+            assert!(
                 pkg.carbon_for_die(Area::from_mm2(large)).as_kg() + 1e-12
                     >= pkg.carbon_for_die(Area::from_mm2(small)).as_kg()
             );

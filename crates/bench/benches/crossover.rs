@@ -1,46 +1,29 @@
-//! Criterion bench: crossover searches (the numbers behind the paper's
-//! headline claims).
+//! Bench: crossover searches (the numbers behind the paper's headline
+//! claims), running on the compiled-scenario path.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use gf_bench::harness::bench;
 use greenfpga::{Domain, Estimator, EstimatorParams};
 
-fn bench_crossover_in_applications(c: &mut Criterion) {
+fn main() {
     let estimator = Estimator::new(EstimatorParams::paper_defaults());
-    c.bench_function("crossover_applications_dnn", |b| {
-        b.iter(|| {
-            estimator
-                .crossover_in_applications(black_box(Domain::Dnn), 16, 2.0, 1_000_000)
-                .expect("search")
-        })
+
+    bench("crossover_applications_dnn", || {
+        estimator
+            .crossover_in_applications(black_box(Domain::Dnn), 16, 2.0, 1_000_000)
+            .expect("search")
+    });
+
+    bench("crossover_lifetime_dnn", || {
+        estimator
+            .crossover_in_lifetime(black_box(Domain::Dnn), 5, 1_000_000, 0.05, 3.0)
+            .expect("search")
+    });
+
+    bench("crossover_volume_dnn", || {
+        estimator
+            .crossover_in_volume(black_box(Domain::Dnn), 5, 2.0, 1_000, 20_000_000)
+            .expect("search")
     });
 }
-
-fn bench_crossover_in_lifetime(c: &mut Criterion) {
-    let estimator = Estimator::new(EstimatorParams::paper_defaults());
-    c.bench_function("crossover_lifetime_dnn", |b| {
-        b.iter(|| {
-            estimator
-                .crossover_in_lifetime(black_box(Domain::Dnn), 5, 1_000_000, 0.05, 3.0)
-                .expect("search")
-        })
-    });
-}
-
-fn bench_crossover_in_volume(c: &mut Criterion) {
-    let estimator = Estimator::new(EstimatorParams::paper_defaults());
-    c.bench_function("crossover_volume_dnn", |b| {
-        b.iter(|| {
-            estimator
-                .crossover_in_volume(black_box(Domain::Dnn), 5, 2.0, 1_000, 20_000_000)
-                .expect("search")
-        })
-    });
-}
-
-criterion_group!(
-    benches,
-    bench_crossover_in_applications,
-    bench_crossover_in_lifetime,
-    bench_crossover_in_volume
-);
-criterion_main!(benches);

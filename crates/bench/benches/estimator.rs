@@ -1,70 +1,59 @@
-//! Criterion bench: single platform-comparison evaluations.
+//! Bench: single platform-comparison evaluations, naive vs compiled.
 //!
 //! A carbon-aware design-space-exploration loop calls the estimator once per
 //! candidate configuration, so single-evaluation latency bounds how large a
-//! DSE sweep can be.
+//! DSE sweep can be. The compiled rows show what the batch engine saves
+//! even before any parallelism.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use greenfpga::{Domain, Estimator, EstimatorParams, IndustryScenario, Workload};
+use std::hint::black_box;
 
-fn bench_domain_comparison(c: &mut Criterion) {
+use gf_bench::harness::bench;
+use greenfpga::{Domain, Estimator, EstimatorParams, IndustryScenario, OperatingPoint, Workload};
+
+fn main() {
     let estimator = Estimator::new(EstimatorParams::paper_defaults());
-    let mut group = c.benchmark_group("compare_domain");
+
     for domain in Domain::ALL {
         let workload = Workload::uniform(domain, 5, 2.0, 1_000_000).expect("valid workload");
-        group.bench_function(format!("{domain}_5apps"), |b| {
-            b.iter(|| {
-                estimator
-                    .compare_domain(black_box(&workload))
-                    .expect("estimate")
-            })
+        bench(&format!("compare_domain/{domain}_5apps"), || {
+            estimator
+                .compare_domain(black_box(&workload))
+                .expect("estimate")
         });
     }
-    group.finish();
-}
 
-fn bench_many_applications(c: &mut Criterion) {
-    let estimator = Estimator::new(EstimatorParams::paper_defaults());
-    let mut group = c.benchmark_group("compare_domain_napps");
+    let point = OperatingPoint::paper_default();
+    for domain in Domain::ALL {
+        let compiled = estimator.compile(domain).expect("compile");
+        bench(&format!("compiled_evaluate/{domain}_5apps"), || {
+            compiled.evaluate(black_box(point)).expect("estimate")
+        });
+    }
+    bench("compile_scenario/dnn", || {
+        estimator.compile(black_box(Domain::Dnn)).expect("compile")
+    });
+
     for napps in [1u64, 8, 64] {
         let workload =
             Workload::uniform(Domain::Dnn, napps, 2.0, 1_000_000).expect("valid workload");
-        group.bench_function(format!("dnn_{napps}_apps"), |b| {
-            b.iter(|| {
-                estimator
-                    .compare_domain(black_box(&workload))
-                    .expect("estimate")
-            })
+        bench(&format!("compare_domain_napps/dnn_{napps}_apps"), || {
+            estimator
+                .compare_domain(black_box(&workload))
+                .expect("estimate")
         });
     }
-    group.finish();
-}
 
-fn bench_industry_testcases(c: &mut Criterion) {
-    let estimator = Estimator::new(EstimatorParams::paper_defaults());
     let scenario = IndustryScenario::paper_defaults();
     let fpga = greenfpga::industry_fpga1();
     let asic = greenfpga::industry_asic2();
-    c.bench_function("industry_fpga1_fig10", |b| {
-        b.iter(|| {
-            scenario
-                .evaluate_fpga(&estimator, black_box(&fpga))
-                .expect("estimate")
-        })
+    bench("industry_fpga1_fig10", || {
+        scenario
+            .evaluate_fpga(&estimator, black_box(&fpga))
+            .expect("estimate")
     });
-    c.bench_function("industry_asic2_fig11", |b| {
-        b.iter(|| {
-            scenario
-                .evaluate_asic(&estimator, black_box(&asic))
-                .expect("estimate")
-        })
+    bench("industry_asic2_fig11", || {
+        scenario
+            .evaluate_asic(&estimator, black_box(&asic))
+            .expect("estimate")
     });
 }
-
-criterion_group!(
-    benches,
-    bench_domain_comparison,
-    bench_many_applications,
-    bench_industry_testcases
-);
-criterion_main!(benches);

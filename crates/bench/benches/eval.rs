@@ -1,0 +1,179 @@
+//! Headline bench: the batch-evaluation engine versus the naive path.
+//!
+//! Measures the two workloads the batch engine was built for:
+//!
+//! * a 64×64 DNN ratio heatmap (Fig. 8 class) — naive per-cell
+//!   `compare_uniform` versus `Estimator::ratio_grid` (compiled scenario +
+//!   work-stealing pool), and
+//! * a 10 000-sample Monte-Carlo study — the pre-PR structure (one
+//!   parameter clone per knob per trial, full model rebuild per trial,
+//!   serial) versus `MonteCarlo::run` (one clone per trial, in-place knob
+//!   application, compile-once-per-trial, parallel).
+//!
+//! Emits `BENCH_eval.json` (override the path with `GF_BENCH_OUT`) so CI
+//! can track the performance trajectory, and asserts the acceptance
+//! speedups (≥10x heatmap, ≥5x Monte-Carlo) unless `GF_BENCH_NO_ASSERT`
+//! is set.
+
+use std::time::Duration;
+
+use gf_bench::harness::{bench_with, metrics_json};
+use gf_support::SplitMix64;
+use greenfpga::{
+    Domain, Estimator, EstimatorParams, Knob, MonteCarlo, OperatingPoint, SweepAxis,
+};
+
+const GRID_SIZE: usize = 64;
+const MC_SAMPLES: usize = 10_000;
+const MC_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+fn grid_axes() -> (Vec<f64>, Vec<f64>) {
+    let apps: Vec<f64> = (1..=GRID_SIZE).map(|n| n as f64).collect();
+    let lifetimes: Vec<f64> = (1..=GRID_SIZE).map(|i| 0.05 * i as f64).collect();
+    (apps, lifetimes)
+}
+
+/// The pre-batch-engine heatmap: every cell rebuilds the calibration and the
+/// workload vector through `compare_uniform`, serially.
+fn naive_grid(estimator: &Estimator) -> Vec<f64> {
+    let (apps, lifetimes) = grid_axes();
+    let mut ratios = Vec::with_capacity(apps.len() * lifetimes.len());
+    for &lifetime in &lifetimes {
+        for &napps in &apps {
+            let comparison = estimator
+                .compare_uniform(Domain::Dnn, napps as u64, lifetime, 1_000_000)
+                .expect("naive cell");
+            ratios.push(comparison.fpga_to_asic_ratio());
+        }
+    }
+    ratios
+}
+
+fn batch_grid(estimator: &Estimator) -> Vec<f64> {
+    let (apps, lifetimes) = grid_axes();
+    let grid = estimator
+        .ratio_grid(
+            Domain::Dnn,
+            SweepAxis::Applications,
+            &apps,
+            SweepAxis::LifetimeYears,
+            &lifetimes,
+            OperatingPoint::paper_default(),
+        )
+        .expect("batch grid");
+    grid.ratios.into_iter().flatten().collect()
+}
+
+/// The pre-batch-engine Monte-Carlo: a single serial RNG stream, one
+/// parameter-set clone per knob per trial (`Knob::apply`), and a full naive
+/// model evaluation per trial.
+fn naive_monte_carlo(base: &EstimatorParams, samples: usize) -> Vec<f64> {
+    let point = OperatingPoint::paper_default();
+    let mut rng = SplitMix64::new(MC_SEED);
+    let mut ratios = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut params = base.clone();
+        for knob in Knob::ALL {
+            let range = knob.range();
+            params = knob.apply(&params, rng.gen_range_f64(range.low, range.high));
+        }
+        let comparison = Estimator::new(params)
+            .compare_uniform(
+                Domain::Dnn,
+                point.applications,
+                point.lifetime_years,
+                point.volume,
+            )
+            .expect("naive trial");
+        ratios.push(comparison.fpga_to_asic_ratio());
+    }
+    ratios.sort_by(f64::total_cmp);
+    ratios
+}
+
+fn main() {
+    let estimator = Estimator::new(EstimatorParams::paper_defaults());
+    let base = EstimatorParams::paper_defaults();
+    let threads = greenfpga::exec::default_threads();
+    println!(
+        "batch-engine bench: {GRID_SIZE}x{GRID_SIZE} heatmap, {MC_SAMPLES}-sample Monte-Carlo, {threads} threads"
+    );
+
+    // Sanity first: the two paths must agree before their speed means
+    // anything.
+    {
+        let naive = naive_grid(&estimator);
+        let batch = batch_grid(&estimator);
+        assert_eq!(naive.len(), batch.len());
+        for (a, b) in naive.iter().zip(&batch) {
+            assert!(
+                (a - b).abs() <= a.abs() * 1e-12,
+                "grid mismatch: naive {a} vs batch {b}"
+            );
+        }
+    }
+
+    let naive_heatmap = bench_with(
+        &format!("heatmap_{GRID_SIZE}x{GRID_SIZE}_naive"),
+        Duration::from_millis(300),
+        5,
+        || naive_grid(&estimator),
+    );
+    println!("{naive_heatmap}");
+    let batch_heatmap = bench_with(
+        &format!("heatmap_{GRID_SIZE}x{GRID_SIZE}_batch"),
+        Duration::from_millis(300),
+        5,
+        || batch_grid(&estimator),
+    );
+    println!("{batch_heatmap}");
+    let heatmap_speedup = naive_heatmap.median_ns / batch_heatmap.median_ns;
+    println!("heatmap speedup: {heatmap_speedup:.1}x");
+
+    let naive_mc = bench_with(
+        &format!("monte_carlo_{MC_SAMPLES}_naive"),
+        Duration::from_millis(300),
+        3,
+        || naive_monte_carlo(&base, MC_SAMPLES),
+    );
+    println!("{naive_mc}");
+    let batch_mc = bench_with(
+        &format!("monte_carlo_{MC_SAMPLES}_batch"),
+        Duration::from_millis(300),
+        3,
+        || {
+            MonteCarlo::new(MC_SAMPLES)
+                .run(&base, Domain::Dnn, OperatingPoint::paper_default())
+                .expect("batch monte carlo")
+        },
+    );
+    println!("{batch_mc}");
+    let mc_speedup = naive_mc.median_ns / batch_mc.median_ns;
+    println!("monte-carlo speedup: {mc_speedup:.1}x");
+
+    let json = metrics_json(&[
+        ("grid_size", GRID_SIZE as f64),
+        ("mc_samples", MC_SAMPLES as f64),
+        ("threads", threads as f64),
+        ("heatmap_naive_ns", naive_heatmap.median_ns),
+        ("heatmap_batch_ns", batch_heatmap.median_ns),
+        ("heatmap_speedup", heatmap_speedup),
+        ("monte_carlo_naive_ns", naive_mc.median_ns),
+        ("monte_carlo_batch_ns", batch_mc.median_ns),
+        ("monte_carlo_speedup", mc_speedup),
+    ]);
+    let out = std::env::var("GF_BENCH_OUT").unwrap_or_else(|_| "BENCH_eval.json".to_string());
+    std::fs::write(&out, &json).expect("write bench json");
+    println!("wrote {out}");
+
+    if std::env::var_os("GF_BENCH_NO_ASSERT").is_none() {
+        assert!(
+            heatmap_speedup >= 10.0,
+            "heatmap speedup {heatmap_speedup:.1}x below the 10x acceptance bar"
+        );
+        assert!(
+            mc_speedup >= 5.0,
+            "monte-carlo speedup {mc_speedup:.1}x below the 5x acceptance bar"
+        );
+    }
+}

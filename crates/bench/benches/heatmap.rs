@@ -1,37 +1,32 @@
-//! Criterion bench: the 2-D ratio grids behind Figure 8 (parallel
-//! evaluation) and their rendering.
+//! Bench: the 2-D ratio grids behind Figure 8 (batch-engine backed) and
+//! their rendering.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use gf_bench::harness::bench;
 use greenfpga::{Domain, Estimator, EstimatorParams, HeatmapRenderer, OperatingPoint, SweepAxis};
 
-fn bench_ratio_grid(c: &mut Criterion) {
+fn main() {
     let estimator = Estimator::new(EstimatorParams::paper_defaults());
     let base = OperatingPoint::paper_default();
-    let mut group = c.benchmark_group("fig8_ratio_grid");
-    for size in [4usize, 8, 16] {
+
+    for size in [4usize, 8, 16, 32] {
         let apps: Vec<f64> = (1..=size).map(|n| n as f64).collect();
         let lifetimes: Vec<f64> = (1..=size).map(|i| 0.25 * i as f64).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(size * size), &size, |b, _| {
-            b.iter(|| {
-                estimator
-                    .ratio_grid(
-                        Domain::Dnn,
-                        SweepAxis::Applications,
-                        black_box(&apps),
-                        SweepAxis::LifetimeYears,
-                        black_box(&lifetimes),
-                        base,
-                    )
-                    .expect("grid")
-            })
+        bench(&format!("fig8_ratio_grid/{}", size * size), || {
+            estimator
+                .ratio_grid(
+                    Domain::Dnn,
+                    SweepAxis::Applications,
+                    black_box(&apps),
+                    SweepAxis::LifetimeYears,
+                    black_box(&lifetimes),
+                    base,
+                )
+                .expect("grid")
         });
     }
-    group.finish();
-}
 
-fn bench_heatmap_render(c: &mut Criterion) {
-    let estimator = Estimator::new(EstimatorParams::paper_defaults());
-    let base = OperatingPoint::paper_default();
     let apps: Vec<f64> = (1..=10).map(|n| n as f64).collect();
     let lifetimes: Vec<f64> = (1..=10).map(|i| 0.25 * i as f64).collect();
     let grid = estimator
@@ -45,10 +40,7 @@ fn bench_heatmap_render(c: &mut Criterion) {
         )
         .expect("grid");
     let renderer = HeatmapRenderer::new();
-    c.bench_function("heatmap_render_10x10", |b| {
-        b.iter(|| renderer.render(black_box(&grid)))
+    bench("heatmap_render_10x10", || {
+        renderer.render(black_box(&grid))
     });
 }
-
-criterion_group!(benches, bench_ratio_grid, bench_heatmap_render);
-criterion_main!(benches);

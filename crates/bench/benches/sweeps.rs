@@ -1,60 +1,45 @@
-//! Criterion bench: the 1-D sweeps behind Figures 4–6.
+//! Bench: the 1-D sweeps behind Figures 4–6 (batch-engine backed).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use gf_bench::harness::bench;
 use greenfpga::{log_spaced_volumes, Domain, Estimator, EstimatorParams, OperatingPoint};
 
-fn bench_application_sweep(c: &mut Criterion) {
+fn main() {
     let estimator = Estimator::new(EstimatorParams::paper_defaults());
     let base = OperatingPoint::paper_default();
+
     let counts: Vec<u64> = (1..=12).collect();
-    c.bench_function("fig4_application_sweep_dnn", |b| {
-        b.iter(|| {
-            estimator
-                .sweep_applications(Domain::Dnn, black_box(&counts), base)
-                .expect("sweep")
-        })
+    bench("fig4_application_sweep_dnn", || {
+        estimator
+            .sweep_applications(Domain::Dnn, black_box(&counts), base)
+            .expect("sweep")
     });
-}
 
-fn bench_lifetime_sweep(c: &mut Criterion) {
-    let estimator = Estimator::new(EstimatorParams::paper_defaults());
-    let base = OperatingPoint::paper_default();
     let lifetimes: Vec<f64> = (1..=24).map(|i| 0.1 * i as f64).collect();
-    c.bench_function("fig5_lifetime_sweep_dnn", |b| {
-        b.iter(|| {
-            estimator
-                .sweep_lifetime(Domain::Dnn, black_box(&lifetimes), base)
-                .expect("sweep")
-        })
+    bench("fig5_lifetime_sweep_dnn", || {
+        estimator
+            .sweep_lifetime(Domain::Dnn, black_box(&lifetimes), base)
+            .expect("sweep")
     });
-}
 
-fn bench_volume_sweep(c: &mut Criterion) {
-    let estimator = Estimator::new(EstimatorParams::paper_defaults());
-    let base = OperatingPoint::paper_default();
     let volumes = log_spaced_volumes(1_000, 10_000_000, 17);
-    c.bench_function("fig6_volume_sweep_dnn", |b| {
-        b.iter(|| {
-            estimator
-                .sweep_volume(Domain::Dnn, black_box(&volumes), base)
-                .expect("sweep")
-        })
+    bench("fig6_volume_sweep_dnn", || {
+        estimator
+            .sweep_volume(Domain::Dnn, black_box(&volumes), base)
+            .expect("sweep")
     });
-}
 
-fn bench_long_horizon(c: &mut Criterion) {
-    let estimator = Estimator::new(EstimatorParams::paper_defaults());
+    // A wide sweep where the parallel fan-out actually matters.
+    let wide: Vec<f64> = (1..=512).map(|i| 0.01 * i as f64).collect();
+    bench("wide_lifetime_sweep_512_dnn", || {
+        estimator
+            .sweep_lifetime(Domain::Dnn, black_box(&wide), base)
+            .expect("sweep")
+    });
+
     let scenario = greenfpga::LongHorizonScenario::paper_fig9(Domain::Dnn);
-    c.bench_function("fig9_long_horizon_dnn", |b| {
-        b.iter(|| scenario.run(black_box(&estimator)).expect("scenario"))
+    bench("fig9_long_horizon_dnn", || {
+        scenario.run(black_box(&estimator)).expect("scenario")
     });
 }
-
-criterion_group!(
-    benches,
-    bench_application_sweep,
-    bench_lifetime_sweep,
-    bench_volume_sweep,
-    bench_long_horizon
-);
-criterion_main!(benches);

@@ -1,0 +1,171 @@
+//! A minimal timing harness for the workspace's `harness = false` benches.
+//!
+//! The offline build environment cannot fetch Criterion, so the benches use
+//! this small stand-in: automatic iteration-count calibration to a target
+//! batch duration, several timed batches, and median-of-batches reporting
+//! (robust to scheduler noise). Results can be serialized to a JSON file so
+//! CI can track the performance trajectory (`BENCH_eval.json`).
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Timing summary of one benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Iterations per timed batch.
+    pub iters_per_batch: u64,
+    /// Number of timed batches.
+    pub batches: usize,
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: f64,
+    /// Minimum per-iteration time in nanoseconds.
+    pub min_ns: f64,
+    /// Mean per-iteration time in nanoseconds.
+    pub mean_ns: f64,
+}
+
+impl BenchResult {
+    /// Median per-iteration time in seconds.
+    pub fn median_secs(&self) -> f64 {
+        self.median_ns / 1e9
+    }
+}
+
+/// Measures `f`, returning per-iteration statistics.
+///
+/// Calibrates the iteration count so one batch takes roughly
+/// `target_batch`, then times `batches` batches and reports per-iteration
+/// medians. The closure's result is passed through [`black_box`] so the
+/// optimizer cannot discard the work.
+pub fn bench_with<R>(
+    name: &str,
+    target_batch: Duration,
+    batches: usize,
+    mut f: impl FnMut() -> R,
+) -> BenchResult {
+    // Warm up and calibrate: double the batch size until it exceeds ~1/4 of
+    // the target, then scale to the target.
+    let mut iters: u64 = 1;
+    let per_iter = loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= target_batch / 4 || iters >= 1 << 30 {
+            break elapsed.as_secs_f64() / iters as f64;
+        }
+        iters *= 2;
+    };
+    let iters_per_batch = ((target_batch.as_secs_f64() / per_iter).ceil() as u64).max(1);
+
+    let mut samples: Vec<f64> = (0..batches.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters_per_batch {
+                black_box(f());
+            }
+            start.elapsed().as_secs_f64() * 1e9 / iters_per_batch as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+
+    BenchResult {
+        name: name.to_string(),
+        iters_per_batch,
+        batches: samples.len(),
+        median_ns: samples[samples.len() / 2],
+        min_ns: samples[0],
+        mean_ns: samples.iter().sum::<f64>() / samples.len() as f64,
+    }
+}
+
+/// [`bench_with`] using the default budget (100 ms batches × 9 batches) and
+/// printing the result in a `cargo bench`-like format.
+pub fn bench<R>(name: &str, f: impl FnMut() -> R) -> BenchResult {
+    let result = bench_with(name, Duration::from_millis(100), 9, f);
+    println!("{result}");
+    result
+}
+
+impl std::fmt::Display for BenchResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "bench {:<44} {:>14} /iter (min {}, {} iters x {} batches)",
+            self.name,
+            format_ns(self.median_ns),
+            format_ns(self.min_ns),
+            self.iters_per_batch,
+            self.batches
+        )
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Renders `(key, value)` metric pairs as a flat JSON object, for the
+/// `BENCH_*.json` artifacts CI tracks. Keys must be plain identifiers (no
+/// escaping is performed); values are emitted with full precision.
+pub fn metrics_json(metrics: &[(&str, f64)]) -> String {
+    let mut out = String::from("{\n");
+    for (i, (key, value)) in metrics.iter().enumerate() {
+        let comma = if i + 1 == metrics.len() { "" } else { "," };
+        let rendered = if value.is_finite() {
+            format!("{value}")
+        } else {
+            "null".to_string()
+        };
+        let _ = writeln!(out, "  \"{key}\": {rendered}{comma}");
+    }
+    out.push('}');
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_something_positive() {
+        let result = bench_with("spin", Duration::from_millis(2), 3, || {
+            (0..100u64).map(black_box).sum::<u64>()
+        });
+        assert!(result.median_ns > 0.0);
+        assert!(result.min_ns <= result.median_ns);
+        assert!(result.iters_per_batch >= 1);
+        assert_eq!(result.batches, 3);
+        assert!(result.to_string().contains("spin"));
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let json = metrics_json(&[("a", 1.5), ("b", f64::NAN), ("c", 3.0)]);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"a\": 1.5,"));
+        assert!(json.contains("\"b\": null,"));
+        assert!(json.contains("\"c\": 3\n"));
+    }
+
+    #[test]
+    fn format_ns_picks_sensible_units() {
+        assert!(format_ns(12.0).contains("ns"));
+        assert!(format_ns(12_000.0).contains("us"));
+        assert!(format_ns(12_000_000.0).contains("ms"));
+        assert!(format_ns(2.5e9).contains(" s"));
+    }
+}

@@ -1,8 +1,11 @@
 //! Shared helpers for the GreenFPGA experiment harness.
 //!
 //! Each binary in `src/bin/` regenerates one table or figure of the paper
-//! (see DESIGN.md for the index); the Criterion benches in `benches/`
-//! measure the evaluation throughput of the model itself.
+//! (see DESIGN.md for the index); the benches in `benches/` measure the
+//! evaluation throughput of the model itself through the [`harness`]
+//! mini-framework (the offline environment has no Criterion).
+
+pub mod harness;
 
 use greenfpga::{CfpBreakdown, Estimator, EstimatorParams};
 

@@ -42,6 +42,26 @@ pub enum Command {
         /// Number of samples to draw.
         samples: usize,
     },
+    /// Evaluate a 2-D ratio grid and print it as a character heatmap
+    /// (Fig. 8), using the parallel batch engine.
+    Grid {
+        /// Common workload arguments (the two swept axes override it).
+        workload: WorkloadArgs,
+        /// Axis swept along the columns.
+        x_axis: SweepAxis,
+        /// Column range.
+        x_from: f64,
+        /// Column range end.
+        x_to: f64,
+        /// Axis swept along the rows.
+        y_axis: SweepAxis,
+        /// Row range.
+        y_from: f64,
+        /// Row range end.
+        y_to: f64,
+        /// Grid resolution per axis.
+        steps: usize,
+    },
     /// Print usage information.
     Help,
 }
@@ -93,6 +113,7 @@ COMMANDS:
   compare      Compare FPGA and ASIC platforms at one operating point
   sweep        Sweep apps | lifetime | volume and print the series
   crossover    Report A2F/F2A crossover points for a domain
+  grid         2-D ratio heatmap over two axes (parallel batch engine)
   industry     Evaluate the Table 3 industry testcases
   tornado      One-at-a-time sensitivity analysis over the Table 1 knobs
   montecarlo   Monte-Carlo uncertainty analysis over the Table 1 ranges
@@ -112,6 +133,13 @@ SWEEP OPTIONS:
 
 MONTECARLO OPTIONS:
   --samples <N>                   number of samples        (default: 512)
+
+GRID OPTIONS:
+  --x-axis <apps|lifetime|volume> column axis              (default: apps)
+  --x-from <VALUE> --x-to <VALUE> column range             (default: 1..12)
+  --y-axis <apps|lifetime|volume> row axis                 (default: lifetime)
+  --y-from <VALUE> --y-to <VALUE> row range                (default: 0.25..3)
+  --steps <N>                     resolution per axis      (default: 24)
 ";
 
 fn parse_domain(value: &str) -> Result<Domain, ParseError> {
@@ -199,7 +227,7 @@ impl Options {
         if workload.volume == 0 {
             return Err(ParseError("--volume must be at least 1".to_string()));
         }
-        if !(workload.lifetime_years > 0.0) {
+        if workload.lifetime_years <= 0.0 || workload.lifetime_years.is_nan() {
             return Err(ParseError("--lifetime must be positive".to_string()));
         }
         Ok(workload)
@@ -255,7 +283,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             if steps < 2 {
                 return Err(ParseError("--steps must be at least 2".to_string()));
             }
-            if !(to > from) {
+            if to <= from || to.is_nan() || from.is_nan() {
                 return Err(ParseError("--to must be greater than --from".to_string()));
             }
             Ok(Command::Sweep {
@@ -265,6 +293,48 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 to,
                 steps,
                 csv: options.has_flag("csv"),
+            })
+        }
+        "grid" | "heatmap" => {
+            let axis_or = |key: &str, fallback: SweepAxis| -> Result<SweepAxis, ParseError> {
+                options.get(key).map_or(Ok(fallback), parse_axis)
+            };
+            let number_or = |key: &str, fallback: f64| -> Result<f64, ParseError> {
+                options
+                    .get(key)
+                    .map_or(Ok(fallback), |v| parse_number(key, v))
+            };
+            let x_axis = axis_or("x-axis", SweepAxis::Applications)?;
+            let y_axis = axis_or("y-axis", SweepAxis::LifetimeYears)?;
+            if x_axis == y_axis {
+                return Err(ParseError("--x-axis and --y-axis must differ".to_string()));
+            }
+            let x_from = number_or("x-from", 1.0)?;
+            let x_to = number_or("x-to", 12.0)?;
+            let y_from = number_or("y-from", 0.25)?;
+            let y_to = number_or("y-to", 3.0)?;
+            let steps: usize = match options.get("steps") {
+                Some(v) => parse_number("--steps", v)?,
+                None => 24,
+            };
+            if steps < 2 {
+                return Err(ParseError("--steps must be at least 2".to_string()));
+            }
+            let range_invalid = |from: f64, to: f64| to <= from || to.is_nan() || from.is_nan();
+            if range_invalid(x_from, x_to) || range_invalid(y_from, y_to) {
+                return Err(ParseError(
+                    "grid ranges must have --*-to greater than --*-from".to_string(),
+                ));
+            }
+            Ok(Command::Grid {
+                workload: options.workload()?,
+                x_axis,
+                x_from,
+                x_to,
+                y_axis,
+                y_from,
+                y_to,
+                steps,
             })
         }
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -387,11 +457,47 @@ mod tests {
     }
 
     #[test]
+    fn grid_defaults_and_validation() {
+        let cmd = parse(&argv("grid --domain imgproc --steps 8")).unwrap();
+        match cmd {
+            Command::Grid {
+                workload,
+                x_axis,
+                y_axis,
+                steps,
+                ..
+            } => {
+                assert_eq!(workload.domain, Domain::ImageProcessing);
+                assert_eq!(x_axis, SweepAxis::Applications);
+                assert_eq!(y_axis, SweepAxis::LifetimeYears);
+                assert_eq!(steps, 8);
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+        assert!(parse(&argv("grid --x-axis apps --y-axis apps")).is_err());
+        assert!(parse(&argv("grid --steps 1")).is_err());
+        assert!(parse(&argv("grid --x-from 5 --x-to 2")).is_err());
+        let cmd = parse(&argv(
+            "heatmap --x-axis volume --x-from 1000 --x-to 1000000 --y-axis apps --y-from 1 --y-to 10",
+        ))
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Grid {
+                x_axis: SweepAxis::VolumeUnits,
+                y_axis: SweepAxis::Applications,
+                ..
+            }
+        ));
+    }
+
+    #[test]
     fn usage_mentions_every_command() {
         for command in [
             "compare",
             "sweep",
             "crossover",
+            "grid",
             "industry",
             "tornado",
             "montecarlo",

@@ -15,8 +15,8 @@ use std::process::ExitCode;
 
 use greenfpga::{
     csv_from_rows, industry_asic1, industry_asic2, industry_fpga1, industry_fpga2, render_table,
-    Estimator, EstimatorParams, GreenFpgaError, IndustryScenario, MonteCarlo, OperatingPoint,
-    SweepAxis, Workload,
+    Estimator, EstimatorParams, GreenFpgaError, HeatmapRenderer, IndustryScenario, MonteCarlo,
+    OperatingPoint, SweepAxis, Workload,
 };
 
 use args::{Command, WorkloadArgs, USAGE};
@@ -59,7 +59,55 @@ fn run(command: Command) -> Result<(), GreenFpgaError> {
         Command::Industry => industry(&estimator),
         Command::Tornado(workload) => tornado(&estimator, workload),
         Command::MonteCarlo { workload, samples } => monte_carlo(&estimator, workload, samples),
+        Command::Grid {
+            workload,
+            x_axis,
+            x_from,
+            x_to,
+            y_axis,
+            y_from,
+            y_to,
+            steps,
+        } => grid(
+            &estimator,
+            workload,
+            (x_axis, x_from, x_to),
+            (y_axis, y_from, y_to),
+            steps,
+        ),
     }
+}
+
+fn linspace(from: f64, to: f64, steps: usize) -> Vec<f64> {
+    (0..steps)
+        .map(|i| from + (to - from) * i as f64 / (steps as f64 - 1.0))
+        .collect()
+}
+
+fn grid(
+    estimator: &Estimator,
+    args: WorkloadArgs,
+    (x_axis, x_from, x_to): (SweepAxis, f64, f64),
+    (y_axis, y_from, y_to): (SweepAxis, f64, f64),
+    steps: usize,
+) -> Result<(), GreenFpgaError> {
+    let grid = estimator.ratio_grid(
+        args.domain,
+        x_axis,
+        &linspace(x_from, x_to, steps),
+        y_axis,
+        &linspace(y_from, y_to, steps),
+        operating_point(args),
+    )?;
+    println!(
+        "{} ratio grid, {}x{} cells (FPGA wins in {:.1}% of them):",
+        args.domain,
+        steps,
+        steps,
+        grid.fpga_winning_fraction() * 100.0
+    );
+    print!("{}", HeatmapRenderer::new().render(&grid));
+    Ok(())
 }
 
 fn operating_point(args: WorkloadArgs) -> OperatingPoint {

@@ -146,9 +146,13 @@ impl Estimator {
                 what: "application count",
             });
         }
+        let compiled = self.compile(domain)?;
         for n in 1..=max_applications {
-            let workload = Workload::uniform(domain, n, lifetime_years, volume)?;
-            let comparison = self.compare_domain(&workload)?;
+            let comparison = compiled.evaluate(crate::OperatingPoint {
+                applications: n,
+                lifetime_years,
+                volume,
+            })?;
             if comparison.winner() == PlatformKind::Fpga {
                 return Ok(Some(n));
             }
@@ -175,15 +179,20 @@ impl Estimator {
         min_years: f64,
         max_years: f64,
     ) -> Result<Option<Crossover>, GreenFpgaError> {
-        if !(min_years >= 0.0 && max_years > min_years)
-            || !min_years.is_finite()
+        if !min_years.is_finite()
             || !max_years.is_finite()
+            || min_years < 0.0
+            || max_years <= min_years
         {
             return Err(GreenFpgaError::InvalidRange { what: "lifetime" });
         }
+        let compiled = self.compile(domain)?;
         let diff = |years: f64| -> Result<f64, GreenFpgaError> {
-            let workload = Workload::uniform(domain, applications, years, volume)?;
-            let c = self.compare_domain(&workload)?;
+            let c = compiled.evaluate(crate::OperatingPoint {
+                applications,
+                lifetime_years: years,
+                volume,
+            })?;
             Ok(c.fpga.total().as_kg() - c.asic.total().as_kg())
         };
         let lo_diff = diff(min_years)?;
@@ -241,9 +250,13 @@ impl Estimator {
         if min_volume == 0 || max_volume <= min_volume {
             return Err(GreenFpgaError::InvalidRange { what: "volume" });
         }
+        let compiled = self.compile(domain)?;
         let diff = |volume: u64| -> Result<f64, GreenFpgaError> {
-            let workload = Workload::uniform(domain, applications, lifetime_years, volume)?;
-            let c = self.compare_domain(&workload)?;
+            let c = compiled.evaluate(crate::OperatingPoint {
+                applications,
+                lifetime_years,
+                volume,
+            })?;
             Ok(c.fpga.total().as_kg() - c.asic.total().as_kg())
         };
         let lo_diff = diff(min_volume)?;

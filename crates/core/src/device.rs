@@ -54,13 +54,13 @@ impl ChipSpec {
         tdp: Power,
         node: TechnologyNode,
     ) -> Result<Self, GreenFpgaError> {
-        if !(area.as_mm2() > 0.0) || !area.is_finite() {
+        if area.as_mm2() <= 0.0 || !area.is_finite() {
             return Err(GreenFpgaError::InvalidApplication {
                 field: "area",
                 reason: format!("die area must be positive and finite, got {area}"),
             });
         }
-        if !(tdp.as_watts() > 0.0) || !tdp.is_finite() {
+        if tdp.as_watts() <= 0.0 || !tdp.is_finite() {
             return Err(GreenFpgaError::InvalidApplication {
                 field: "tdp",
                 reason: format!("TDP must be positive and finite, got {tdp}"),

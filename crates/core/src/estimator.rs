@@ -398,7 +398,7 @@ mod tests {
         )
         .unwrap();
         let small_only = est
-            .fpga_estimate(&fpga, &cal.fpga_staffing, &[small_app.clone()])
+            .fpga_estimate(&fpga, &cal.fpga_staffing, std::slice::from_ref(&small_app))
             .unwrap();
         let both = est
             .fpga_estimate(&fpga, &cal.fpga_staffing, &[small_app, big_app])

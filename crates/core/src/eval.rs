@@ -1,0 +1,523 @@
+//! The batch-evaluation engine: compiled scenarios plus parallel fan-out.
+//!
+//! Every analysis in this crate — the Figs. 4–6 sweeps, the Fig. 8 heatmap
+//! grids, the tornado sensitivity pass and the Monte-Carlo uncertainty study
+//! — evaluates the same Eq. (1)–(3) model at thousands to millions of
+//! operating points. The naive path ([`Estimator::compare_uniform`]) rebuilds
+//! the domain calibration for every point: chip specs (with freshly
+//! formatted name strings), the manufacturing model, the design project and
+//! a `Vec<Application>` per evaluation. None of that depends on the
+//! operating point.
+//!
+//! [`CompiledScenario::compile`] resolves a domain's calibration against one
+//! parameter set **once** — the one-time design carbon, the per-chip
+//! (manufacturing, packaging, end-of-life) triple, the deployment power
+//! profile and the application-development model for both platforms — after
+//! which [`CompiledScenario::evaluate`] costs a handful of multiplies per
+//! point. The arithmetic intentionally mirrors the naive path operation for
+//! operation (including the per-application accumulation loop), so compiled
+//! results are bit-identical to [`Estimator::compare_uniform`] for uniform
+//! workloads; golden tests in `tests/` hold the two paths to ≤1e-12
+//! relative error.
+//!
+//! [`Estimator::evaluate_batch`] adds the parallel fan-out: a
+//! [`BatchRequest`] is compiled once and its points are spread over the
+//! work-stealing pool in [`crate::exec`], deterministically with respect to
+//! thread count.
+
+use gf_act::TechnologyNode;
+use gf_lifecycle::{AppDevModel, DesignProject, DevelopmentFlow, OperationProfile};
+use gf_units::{Area, Carbon, Mass, Power, TimeSpan};
+
+use crate::{
+    exec, CfpBreakdown, Domain, Estimator, EstimatorParams, GreenFpgaError, OperatingPoint,
+    PlatformComparison,
+};
+
+/// One platform of a domain calibration with every point-independent
+/// quantity pre-resolved.
+///
+/// Holds only `Copy` data (precomputed carbons plus the small closed-form
+/// operation and app-dev models), so it is free to share across the worker
+/// threads of a batch evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompiledPlatform {
+    design: Carbon,
+    manufacturing_per_chip: Carbon,
+    packaging_per_chip: Carbon,
+    eol_per_chip: Carbon,
+    chips_per_unit: u64,
+    profile: OperationProfile,
+    appdev: AppDevModel,
+    flow: DevelopmentFlow,
+}
+
+impl CompiledPlatform {
+    /// One-time design carbon (`C_des`, Eq. 4) of this platform's chip.
+    pub fn design(&self) -> Carbon {
+        self.design
+    }
+
+    /// Per-manufactured-chip hardware carbon: manufacturing + packaging +
+    /// end-of-life.
+    pub fn hardware_per_chip(&self) -> Carbon {
+        self.manufacturing_per_chip + self.packaging_per_chip + self.eol_per_chip
+    }
+
+    /// Chips needed per deployed unit (`N_FPGA` for the FPGA platform, 1 for
+    /// the ASIC).
+    pub fn chips_per_unit(&self) -> u64 {
+        self.chips_per_unit
+    }
+
+    /// Embodied breakdown for a fleet of `chips` devices: the one-time
+    /// design carbon plus `chips` × the per-chip triple.
+    pub fn embodied(&self, chips: f64) -> CfpBreakdown {
+        CfpBreakdown {
+            design: self.design,
+            manufacturing: self.manufacturing_per_chip * chips,
+            packaging: self.packaging_per_chip * chips,
+            eol: self.eol_per_chip * chips,
+            ..CfpBreakdown::ZERO
+        }
+    }
+
+    /// Deployment breakdown of one application living `lifetime` on
+    /// `devices` devices: field operation plus application development.
+    pub fn deployment(&self, lifetime: TimeSpan, devices: u64) -> CfpBreakdown {
+        CfpBreakdown {
+            operation: self.profile.carbon_over(lifetime) * devices as f64,
+            app_dev: self.appdev.carbon(self.flow, 1, devices),
+            ..CfpBreakdown::ZERO
+        }
+    }
+}
+
+/// The parameter-independent half of a domain compilation: everything the
+/// calibration determines on its own (chip geometry, design projects, fleet
+/// sizing), with the name-string allocation of spec construction already
+/// paid.
+///
+/// Analyses that re-evaluate the model under *many different parameter
+/// sets* — Monte-Carlo trials, tornado probes — build one template per
+/// domain and call [`ScenarioTemplate::compile`] per parameter set, which
+/// is pure arithmetic: no strings, no vectors, no spec rebuilding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioTemplate {
+    domain: Domain,
+    fpga: PlatformTemplate,
+    asic: PlatformTemplate,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct PlatformTemplate {
+    project: DesignProject,
+    node: TechnologyNode,
+    area: Area,
+    tdp: Power,
+    packaged_mass: Mass,
+    chips_per_unit: u64,
+    /// `Some` for the FPGA flow (per-device reconfiguration applies).
+    config_time: Option<TimeSpan>,
+    flow: DevelopmentFlow,
+}
+
+impl ScenarioTemplate {
+    /// Resolves the parameter-independent half of `domain`'s calibration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates calibration errors (degenerate staffing or geometry); the
+    /// built-in calibrations never trigger them.
+    pub fn new(domain: Domain) -> Result<Self, GreenFpgaError> {
+        let calibration = domain.calibration();
+        let fpga_spec = calibration.fpga_spec()?;
+        let asic_spec = calibration.asic_spec()?;
+        Ok(ScenarioTemplate {
+            domain,
+            fpga: PlatformTemplate {
+                project: calibration.fpga_staffing.project_for(fpga_spec.chip())?,
+                node: fpga_spec.chip().node(),
+                area: fpga_spec.chip().area(),
+                tdp: fpga_spec.chip().tdp(),
+                packaged_mass: fpga_spec.chip().packaged_mass(),
+                chips_per_unit: fpga_spec
+                    .fpgas_for_application(calibration.reference_asic_gates()),
+                config_time: Some(fpga_spec.configuration_time()),
+                flow: DevelopmentFlow::FpgaHardware,
+            },
+            asic: PlatformTemplate {
+                project: calibration.asic_staffing.project_for(asic_spec.chip())?,
+                node: asic_spec.chip().node(),
+                area: asic_spec.chip().area(),
+                tdp: asic_spec.chip().tdp(),
+                packaged_mass: asic_spec.chip().packaged_mass(),
+                chips_per_unit: 1,
+                config_time: None,
+                flow: DevelopmentFlow::AsicSoftware,
+            },
+        })
+    }
+
+    /// The templated domain.
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// Finishes the compilation against one parameter set. Pure arithmetic
+    /// — this is the only per-trial cost a Monte-Carlo run pays besides the
+    /// model evaluation itself.
+    ///
+    /// # Errors
+    ///
+    /// Propagates manufacturing-model errors (degenerate die area); the
+    /// built-in calibrations never trigger them.
+    pub fn compile(&self, params: &EstimatorParams) -> Result<CompiledScenario, GreenFpgaError> {
+        let compile_platform =
+            |t: &PlatformTemplate| -> Result<CompiledPlatform, GreenFpgaError> {
+                let appdev = match t.config_time {
+                    Some(config_time) => params.appdev().with_config_time(config_time),
+                    None => *params.appdev(),
+                };
+                Ok(CompiledPlatform {
+                    design: params.design_house().design_carbon(&t.project),
+                    manufacturing_per_chip: params
+                        .manufacturing_model(t.node)
+                        .carbon_per_die(t.area)?,
+                    packaging_per_chip: params.packaging().carbon_for_die(t.area),
+                    eol_per_chip: params.eol_model().carbon_per_chip(t.packaged_mass),
+                    chips_per_unit: t.chips_per_unit,
+                    profile: OperationProfile::new(
+                        t.tdp,
+                        params.deployment().duty_cycle,
+                        params.deployment().usage_grid,
+                    ),
+                    appdev,
+                    flow: t.flow,
+                })
+            };
+        Ok(CompiledScenario {
+            domain: self.domain,
+            fpga: compile_platform(&self.fpga)?,
+            asic: compile_platform(&self.asic)?,
+        })
+    }
+}
+
+/// A domain calibration compiled against one [`EstimatorParams`], ready for
+/// cheap repeated evaluation at arbitrary operating points.
+///
+/// # Examples
+///
+/// ```
+/// use greenfpga::{CompiledScenario, Domain, Estimator, OperatingPoint};
+///
+/// let estimator = Estimator::default();
+/// let compiled = estimator.compile(Domain::Dnn)?;
+/// let point = OperatingPoint::paper_default();
+/// let fast = compiled.evaluate(point)?;
+/// let slow = estimator.compare_uniform(
+///     Domain::Dnn, point.applications, point.lifetime_years, point.volume)?;
+/// assert_eq!(fast.fpga.total(), slow.fpga.total());
+/// assert_eq!(fast.asic.total(), slow.asic.total());
+/// # Ok::<(), greenfpga::GreenFpgaError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompiledScenario {
+    domain: Domain,
+    fpga: CompiledPlatform,
+    asic: CompiledPlatform,
+}
+
+impl CompiledScenario {
+    /// Resolves `domain`'s calibration against `params`.
+    ///
+    /// This is the only expensive step of the batch engine: it builds the
+    /// chip specs, design projects and manufacturing models exactly once,
+    /// where the naive path rebuilds them for every operating point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates calibration and model errors (degenerate staffing or die
+    /// area); the built-in calibrations never trigger them.
+    pub fn compile(params: &EstimatorParams, domain: Domain) -> Result<Self, GreenFpgaError> {
+        ScenarioTemplate::new(domain)?.compile(params)
+    }
+
+    /// The compiled domain.
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// The compiled FPGA platform.
+    pub fn fpga(&self) -> &CompiledPlatform {
+        &self.fpga
+    }
+
+    /// The compiled ASIC platform.
+    pub fn asic(&self) -> &CompiledPlatform {
+        &self.asic
+    }
+
+    /// Evaluates the uniform-workload comparison at one operating point.
+    ///
+    /// Mirrors [`Estimator::compare_uniform`] operation for operation —
+    /// including the per-application accumulation loop — so the result is
+    /// bit-identical to the naive path.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same validation errors as [`crate::Workload::uniform`]:
+    /// [`GreenFpgaError::EmptyWorkload`] for zero applications and
+    /// [`GreenFpgaError::InvalidApplication`] for a negative / non-finite
+    /// lifetime or zero volume.
+    pub fn evaluate(&self, point: OperatingPoint) -> Result<PlatformComparison, GreenFpgaError> {
+        if point.applications == 0 {
+            return Err(GreenFpgaError::EmptyWorkload);
+        }
+        let lifetime = TimeSpan::from_years(point.lifetime_years);
+        if lifetime.is_negative() || !lifetime.is_finite() {
+            return Err(GreenFpgaError::InvalidApplication {
+                field: "lifetime",
+                reason: format!("lifetime must be non-negative and finite, got {lifetime}"),
+            });
+        }
+        if point.volume == 0 {
+            return Err(GreenFpgaError::InvalidApplication {
+                field: "volume",
+                reason: "application volume must be at least one device".to_string(),
+            });
+        }
+
+        // FPGA (Eq. 2): embodied once for a fleet sized to the (uniform)
+        // applications, then one deployment term per application.
+        let fpga_devices = point.volume * self.fpga.chips_per_unit;
+        let mut fpga = self.fpga.embodied(fpga_devices as f64);
+        let fpga_deployment = self.fpga.deployment(lifetime, fpga_devices);
+        for _ in 0..point.applications {
+            fpga += fpga_deployment;
+        }
+
+        // ASIC (Eq. 1): every application pays a fresh embodied cost plus
+        // its own deployment.
+        let asic_embodied = self.asic.embodied(point.volume as f64);
+        let asic_deployment = self.asic.deployment(lifetime, point.volume);
+        let mut asic = CfpBreakdown::ZERO;
+        for _ in 0..point.applications {
+            asic += asic_embodied;
+            asic += asic_deployment;
+        }
+
+        Ok(PlatformComparison::new(self.domain, fpga, asic))
+    }
+
+    /// FPGA:ASIC total-CFP ratio at one operating point.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CompiledScenario::evaluate`].
+    pub fn ratio(&self, point: OperatingPoint) -> Result<f64, GreenFpgaError> {
+        Ok(self.evaluate(point)?.fpga_to_asic_ratio())
+    }
+}
+
+/// A batch of operating points to evaluate in one domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchRequest {
+    /// Domain every point is evaluated in.
+    pub domain: Domain,
+    /// The operating points.
+    pub points: Vec<OperatingPoint>,
+    /// Worker threads (`0` = auto; see [`exec::default_threads`]).
+    pub threads: usize,
+}
+
+impl BatchRequest {
+    /// Creates a batch request with automatic thread selection.
+    pub fn new(domain: Domain, points: Vec<OperatingPoint>) -> Self {
+        BatchRequest {
+            domain,
+            points,
+            threads: 0,
+        }
+    }
+
+    /// Overrides the worker-thread count (`0` = auto). Results are
+    /// identical for every setting; this only controls resource usage.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+impl Estimator {
+    /// Compiles one domain's calibration against this estimator's
+    /// parameters for cheap repeated evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CompiledScenario::compile`].
+    pub fn compile(&self, domain: Domain) -> Result<CompiledScenario, GreenFpgaError> {
+        CompiledScenario::compile(self.params(), domain)
+    }
+
+    /// Evaluates every point of a [`BatchRequest`] in parallel.
+    ///
+    /// The scenario is compiled once and the points fan out over the
+    /// work-stealing pool; results come back in request order and are
+    /// deterministic for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile errors and the point-validation error with the
+    /// lowest index.
+    pub fn evaluate_batch(
+        &self,
+        request: &BatchRequest,
+    ) -> Result<Vec<PlatformComparison>, GreenFpgaError> {
+        let compiled = self.compile(request.domain)?;
+        exec::try_map_indexed(request.points.len(), request.threads, |i| {
+            compiled.evaluate(request.points[i])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn estimator() -> Estimator {
+        Estimator::default()
+    }
+
+    fn points() -> Vec<OperatingPoint> {
+        let mut out = Vec::new();
+        for applications in [1u64, 3, 8] {
+            for lifetime_years in [0.5, 2.0] {
+                for volume in [10_000u64, 1_000_000] {
+                    out.push(OperatingPoint {
+                        applications,
+                        lifetime_years,
+                        volume,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn compiled_matches_naive_bit_for_bit() {
+        for domain in Domain::ALL {
+            let est = estimator();
+            let compiled = est.compile(domain).unwrap();
+            for point in points() {
+                let fast = compiled.evaluate(point).unwrap();
+                let slow = est
+                    .compare_uniform(
+                        domain,
+                        point.applications,
+                        point.lifetime_years,
+                        point.volume,
+                    )
+                    .unwrap();
+                assert_eq!(fast.fpga, slow.fpga, "{domain} {point:?}");
+                assert_eq!(fast.asic, slow.asic, "{domain} {point:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn evaluate_batch_matches_point_wise_evaluation() {
+        let est = estimator();
+        let request = BatchRequest::new(Domain::ImageProcessing, points());
+        let batch = est.evaluate_batch(&request).unwrap();
+        assert_eq!(batch.len(), request.points.len());
+        let compiled = est.compile(Domain::ImageProcessing).unwrap();
+        for (comparison, point) in batch.iter().zip(&request.points) {
+            assert_eq!(*comparison, compiled.evaluate(*point).unwrap());
+        }
+    }
+
+    #[test]
+    fn batch_is_thread_count_independent() {
+        let est = estimator();
+        let serial = est
+            .evaluate_batch(&BatchRequest::new(Domain::Dnn, points()).with_threads(1))
+            .unwrap();
+        for threads in [2, 4, 13] {
+            let parallel = est
+                .evaluate_batch(&BatchRequest::new(Domain::Dnn, points()).with_threads(threads))
+                .unwrap();
+            assert_eq!(serial, parallel, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn evaluate_validates_points() {
+        let compiled = estimator().compile(Domain::Dnn).unwrap();
+        let base = OperatingPoint::paper_default();
+        assert!(matches!(
+            compiled.evaluate(OperatingPoint {
+                applications: 0,
+                ..base
+            }),
+            Err(GreenFpgaError::EmptyWorkload)
+        ));
+        assert!(matches!(
+            compiled.evaluate(OperatingPoint { volume: 0, ..base }),
+            Err(GreenFpgaError::InvalidApplication { field: "volume", .. })
+        ));
+        assert!(matches!(
+            compiled.evaluate(OperatingPoint {
+                lifetime_years: -1.0,
+                ..base
+            }),
+            Err(GreenFpgaError::InvalidApplication {
+                field: "lifetime",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn batch_surfaces_the_lowest_index_error() {
+        let mut pts = points();
+        pts.insert(2, OperatingPoint {
+            applications: 0,
+            ..OperatingPoint::paper_default()
+        });
+        pts.push(OperatingPoint {
+            volume: 0,
+            ..OperatingPoint::paper_default()
+        });
+        let err = estimator()
+            .evaluate_batch(&BatchRequest::new(Domain::Dnn, pts))
+            .unwrap_err();
+        assert!(matches!(err, GreenFpgaError::EmptyWorkload));
+    }
+
+    #[test]
+    fn compiled_platform_accessors_are_consistent() {
+        let compiled = estimator().compile(Domain::Crypto).unwrap();
+        assert_eq!(compiled.domain(), Domain::Crypto);
+        let fpga = compiled.fpga();
+        assert!(fpga.design().as_kg() > 0.0);
+        assert!(fpga.hardware_per_chip().as_kg() > 0.0);
+        assert_eq!(fpga.chips_per_unit(), 1);
+        assert_eq!(compiled.asic().chips_per_unit(), 1);
+        let embodied = fpga.embodied(100.0);
+        assert_eq!(embodied.design, fpga.design());
+        assert!(embodied.operation.as_kg() == 0.0);
+    }
+
+    #[test]
+    fn ratio_matches_evaluate() {
+        let compiled = estimator().compile(Domain::Dnn).unwrap();
+        let point = OperatingPoint::paper_default();
+        assert_eq!(
+            compiled.ratio(point).unwrap(),
+            compiled.evaluate(point).unwrap().fpga_to_asic_ratio()
+        );
+    }
+}

@@ -55,6 +55,8 @@ mod device;
 mod domain;
 mod error;
 mod estimator;
+mod eval;
+pub mod exec;
 mod knobs;
 mod params;
 mod report;
@@ -71,6 +73,7 @@ pub use device::{AsicSpec, ChipSpec, FpgaSpec};
 pub use domain::{Domain, DomainCalibration, IsoPerformanceRatios};
 pub use error::GreenFpgaError;
 pub use estimator::Estimator;
+pub use eval::{BatchRequest, CompiledPlatform, CompiledScenario, ScenarioTemplate};
 pub use knobs::{Knob, KnobRange};
 pub use params::{DeploymentParams, DesignStaffing, EstimatorParams};
 pub use report::{csv_from_rows, render_table, HeatmapRenderer};

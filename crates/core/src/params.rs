@@ -151,8 +151,15 @@ impl EstimatorParams {
 
     /// Overrides the fab grid carbon intensity.
     pub fn with_fab_grid(mut self, grid: CarbonIntensity) -> Self {
-        self.fab_grid = grid;
+        self.set_fab_grid(grid);
         self
+    }
+
+    /// In-place variant of [`Self::with_fab_grid`]; used by
+    /// [`crate::Knob::apply_mut`] so batch analyses can retune parameters
+    /// without cloning the whole set per knob.
+    pub fn set_fab_grid(&mut self, grid: CarbonIntensity) {
+        self.fab_grid = grid;
     }
 
     /// Overrides the fab renewable-energy share.
@@ -169,8 +176,13 @@ impl EstimatorParams {
 
     /// Overrides the recycled-material fraction `ρ` of Eq. (5).
     pub fn with_recycled_material_fraction(mut self, rho: Fraction) -> Self {
-        self.recycled_material_fraction = rho;
+        self.set_recycled_material_fraction(rho);
         self
+    }
+
+    /// In-place variant of [`Self::with_recycled_material_fraction`].
+    pub fn set_recycled_material_fraction(&mut self, rho: Fraction) {
+        self.recycled_material_fraction = rho;
     }
 
     /// Overrides the packaging model.
@@ -193,32 +205,57 @@ impl EstimatorParams {
 
     /// Overrides the end-of-life recycled fraction `δ`.
     pub fn with_eol_recycled_fraction(mut self, delta: Fraction) -> Self {
-        self.eol_recycled_fraction = delta;
+        self.set_eol_recycled_fraction(delta);
         self
+    }
+
+    /// In-place variant of [`Self::with_eol_recycled_fraction`].
+    pub fn set_eol_recycled_fraction(&mut self, delta: Fraction) {
+        self.eol_recycled_fraction = delta;
     }
 
     /// Overrides the design house.
     pub fn with_design_house(mut self, house: DesignHouse) -> Self {
-        self.design_house = house;
+        self.set_design_house(house);
         self
+    }
+
+    /// In-place variant of [`Self::with_design_house`].
+    pub fn set_design_house(&mut self, house: DesignHouse) {
+        self.design_house = house;
     }
 
     /// Overrides the application-development model.
     pub fn with_appdev(mut self, appdev: AppDevModel) -> Self {
-        self.appdev = appdev;
+        self.set_appdev(appdev);
         self
+    }
+
+    /// In-place variant of [`Self::with_appdev`].
+    pub fn set_appdev(&mut self, appdev: AppDevModel) {
+        self.appdev = appdev;
     }
 
     /// Overrides the deployment parameters.
     pub fn with_deployment(mut self, deployment: DeploymentParams) -> Self {
-        self.deployment = deployment;
+        self.set_deployment(deployment);
         self
+    }
+
+    /// In-place variant of [`Self::with_deployment`].
+    pub fn set_deployment(&mut self, deployment: DeploymentParams) {
+        self.deployment = deployment;
     }
 
     /// Overrides the FPGA chip lifetime (the paper uses 12–15 years).
     pub fn with_fpga_chip_lifetime(mut self, lifetime: TimeSpan) -> Self {
-        self.fpga_chip_lifetime = lifetime;
+        self.set_fpga_chip_lifetime(lifetime);
         self
+    }
+
+    /// In-place variant of [`Self::with_fpga_chip_lifetime`].
+    pub fn set_fpga_chip_lifetime(&mut self, lifetime: TimeSpan) {
+        self.fpga_chip_lifetime = lifetime;
     }
 
     /// Overrides the ASIC chip lifetime (the paper uses 5–8 years).

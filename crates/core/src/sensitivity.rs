@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{Domain, Estimator, EstimatorParams, GreenFpgaError, Knob, OperatingPoint};
+use crate::{exec, Domain, Estimator, GreenFpgaError, Knob, OperatingPoint, ScenarioTemplate};
 
 /// Sensitivity of the FPGA:ASIC ratio to one knob.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -68,6 +68,11 @@ impl Estimator {
     /// Runs a one-at-a-time sensitivity analysis around this estimator's
     /// parameters for a uniform workload.
     ///
+    /// The baseline and the two endpoints of every knob are evaluated
+    /// through the batch engine — each probe retunes one knob in place,
+    /// compiles the scenario once and evaluates the point — with the
+    /// `2 × knobs` probes fanned out over the work-stealing pool.
+    ///
     /// # Errors
     ///
     /// Propagates model errors from the underlying evaluations.
@@ -76,43 +81,34 @@ impl Estimator {
         domain: Domain,
         point: OperatingPoint,
     ) -> Result<TornadoAnalysis, GreenFpgaError> {
-        let baseline_ratio = self
-            .compare_uniform(
-                domain,
-                point.applications,
-                point.lifetime_years,
-                point.volume,
-            )?
-            .fpga_to_asic_ratio();
+        let template = ScenarioTemplate::new(domain)?;
+        let baseline_ratio = template.compile(self.params())?.ratio(point)?;
 
-        let evaluate = |params: EstimatorParams| -> Result<f64, GreenFpgaError> {
-            Ok(Estimator::new(params)
-                .compare_uniform(
-                    domain,
-                    point.applications,
-                    point.lifetime_years,
-                    point.volume,
-                )?
-                .fpga_to_asic_ratio())
-        };
+        let probes: Vec<(Knob, f64)> = Knob::ALL
+            .iter()
+            .flat_map(|&knob| {
+                let range = knob.range();
+                [(knob, range.low), (knob, range.high)]
+            })
+            .collect();
+        let ratios = exec::try_map_indexed(probes.len(), 0, |i| {
+            let (knob, value) = probes[i];
+            let mut params = self.params().clone();
+            knob.apply_mut(&mut params, value);
+            template.compile(&params)?.ratio(point)
+        })?;
 
-        let mut entries = Vec::with_capacity(Knob::ALL.len());
-        for knob in Knob::ALL {
-            let range = knob.range();
-            let ratio_at_low = evaluate(knob.apply(self.params(), range.low))?;
-            let ratio_at_high = evaluate(knob.apply(self.params(), range.high))?;
-            entries.push(SensitivityEntry {
+        let mut entries: Vec<SensitivityEntry> = Knob::ALL
+            .iter()
+            .zip(ratios.chunks_exact(2))
+            .map(|(&knob, pair)| SensitivityEntry {
                 knob,
-                ratio_at_low,
-                ratio_at_high,
+                ratio_at_low: pair[0],
+                ratio_at_high: pair[1],
                 ratio_at_baseline: baseline_ratio,
-            });
-        }
-        entries.sort_by(|a, b| {
-            b.swing()
-                .partial_cmp(&a.swing())
-                .expect("swings are finite")
-        });
+            })
+            .collect();
+        entries.sort_by(|a, b| b.swing().total_cmp(&a.swing()));
         Ok(TornadoAnalysis {
             domain,
             point,

@@ -7,7 +7,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::comparison::crossovers_from_samples;
-use crate::{CfpBreakdown, Crossover, Domain, Estimator, GreenFpgaError, Workload};
+use crate::{exec, CfpBreakdown, Crossover, Domain, Estimator, GreenFpgaError};
 
 /// The workload parameter varied by a sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -116,12 +116,9 @@ impl SweepSeries {
 
     /// The sample closest to a given x value, if the series is non-empty.
     pub fn nearest(&self, x: f64) -> Option<&SweepPoint> {
-        self.points.iter().min_by(|a, b| {
-            (a.x - x)
-                .abs()
-                .partial_cmp(&(b.x - x).abs())
-                .expect("sweep x values are finite")
-        })
+        self.points
+            .iter()
+            .min_by(|a, b| (a.x - x).abs().total_cmp(&(b.x - x).abs()))
     }
 }
 
@@ -166,23 +163,12 @@ impl GridSweep {
 }
 
 impl Estimator {
-    fn evaluate_point(
-        &self,
-        domain: Domain,
-        point: OperatingPoint,
-    ) -> Result<(CfpBreakdown, CfpBreakdown), GreenFpgaError> {
-        let workload = Workload::uniform(
-            domain,
-            point.applications,
-            point.lifetime_years,
-            point.volume,
-        )?;
-        let comparison = self.compare_domain(&workload)?;
-        Ok((comparison.fpga, comparison.asic))
-    }
-
     /// Sweeps one workload parameter over the given values, holding the
     /// other two at `base`.
+    ///
+    /// The domain is compiled once and the values are evaluated through the
+    /// batch engine ([`crate::CompiledScenario`]), in parallel for large
+    /// sweeps.
     ///
     /// # Errors
     ///
@@ -200,11 +186,16 @@ impl Estimator {
                 what: "sweep values",
             });
         }
-        let mut points = Vec::with_capacity(values.len());
-        for &x in values {
-            let (fpga, asic) = self.evaluate_point(domain, base.with_axis(axis, x))?;
-            points.push(SweepPoint { x, fpga, asic });
-        }
+        let compiled = self.compile(domain)?;
+        let points = exec::try_map_indexed(values.len(), 0, |i| -> Result<_, GreenFpgaError> {
+            let x = values[i];
+            let comparison = compiled.evaluate(base.with_axis(axis, x))?;
+            Ok(SweepPoint {
+                x,
+                fpga: comparison.fpga,
+                asic: comparison.asic,
+            })
+        })?;
         Ok(SweepSeries {
             domain,
             axis,
@@ -258,13 +249,16 @@ impl Estimator {
 
     /// Evaluates the FPGA:ASIC total-CFP ratio over a 2-D grid (Fig. 8).
     ///
-    /// Rows are evaluated in parallel with scoped threads — each cell is an
-    /// independent model evaluation.
+    /// The domain is compiled once and the flattened cells are spread over
+    /// the work-stealing pool ([`crate::exec`]): unlike the old
+    /// one-thread-per-row evaluation, a slow row cannot serialize the grid
+    /// and the thread count adapts to the machine instead of to the grid
+    /// height.
     ///
     /// # Errors
     ///
     /// Returns [`GreenFpgaError::InvalidRange`] when either value list is
-    /// empty and propagates the first model error encountered.
+    /// empty and propagates the model error with the lowest cell index.
     pub fn ratio_grid(
         &self,
         domain: Domain,
@@ -279,28 +273,16 @@ impl Estimator {
                 what: "grid values",
             });
         }
-        let mut rows: Vec<Result<Vec<f64>, GreenFpgaError>> = Vec::with_capacity(y_values.len());
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(y_values.len());
-            for &y in y_values {
-                let handle = scope.spawn(move |_| -> Result<Vec<f64>, GreenFpgaError> {
-                    let mut row = Vec::with_capacity(x_values.len());
-                    for &x in x_values {
-                        let point = base.with_axis(y_axis, y).with_axis(x_axis, x);
-                        let (fpga, asic) = self.evaluate_point(domain, point)?;
-                        row.push(fpga.total().ratio_to(asic.total()).unwrap_or(f64::INFINITY));
-                    }
-                    Ok(row)
-                });
-                handles.push(handle);
-            }
-            for handle in handles {
-                rows.push(handle.join().expect("grid worker thread panicked"));
-            }
-        })
-        .expect("scoped thread pool failed to join");
-
-        let ratios = rows.into_iter().collect::<Result<Vec<_>, _>>()?;
+        let compiled = self.compile(domain)?;
+        let columns = x_values.len();
+        let cells = exec::try_map_indexed(columns * y_values.len(), 0, |i| {
+            let (row, col) = (i / columns, i % columns);
+            let point = base
+                .with_axis(y_axis, y_values[row])
+                .with_axis(x_axis, x_values[col]);
+            compiled.ratio(point)
+        })?;
+        let ratios = cells.chunks(columns).map(<[f64]>::to_vec).collect();
         Ok(GridSweep {
             domain,
             x_axis,
@@ -313,18 +295,35 @@ impl Estimator {
 }
 
 /// Builds a geometric (log-spaced) list of volumes between `min` and `max`
-/// with `steps` samples, inclusive of both ends. Useful for volume sweeps
-/// spanning decades (1K → 10M).
+/// with up to `steps` samples, inclusive of both ends. Useful for volume
+/// sweeps spanning decades (1K → 10M).
+///
+/// The result is guaranteed strictly increasing and guaranteed to end
+/// exactly at `max`: rounding collisions are resolved by bumping to the
+/// next integer (dropping samples when the range is too narrow to hold
+/// `steps` distinct values), so callers never see duplicate or
+/// non-monotonic sweep coordinates.
 pub fn log_spaced_volumes(min: u64, max: u64, steps: usize) -> Vec<u64> {
     if steps <= 1 || min >= max {
         return vec![min.max(1)];
     }
-    let (lo, hi) = ((min.max(1)) as f64, max as f64);
-    let ratio = (hi / lo).powf(1.0 / (steps as f64 - 1.0));
-    let mut values: Vec<u64> = (0..steps)
-        .map(|i| (lo * ratio.powi(i as i32)).round() as u64)
-        .collect();
-    values.dedup();
+    let lo = min.max(1);
+    let (lo_f, hi_f) = (lo as f64, max as f64);
+    let ratio = (hi_f / lo_f).powf(1.0 / (steps as f64 - 1.0));
+    let mut values = Vec::with_capacity(steps);
+    let mut previous = 0u64;
+    // The last slot is reserved for `max` itself, so interior samples stop
+    // at `steps - 1` even when rounding keeps them below `max`.
+    for i in 0..steps - 1 {
+        let raw = (lo_f * ratio.powi(i as i32)).round() as u64;
+        let value = raw.max(previous + 1);
+        if value >= max {
+            break;
+        }
+        values.push(value);
+        previous = value;
+    }
+    values.push(max);
     values
 }
 
@@ -473,6 +472,68 @@ mod tests {
         assert_eq!(v.len(), 7);
         assert_eq!(log_spaced_volumes(10, 5, 4), vec![10]);
         assert_eq!(log_spaced_volumes(0, 100, 1), vec![1]);
+    }
+
+    #[test]
+    fn log_spaced_volumes_stay_strictly_increasing_in_tight_ranges() {
+        // Narrow ranges used to produce non-adjacent duplicates that
+        // `dedup` missed; the rebuilt generator bumps collisions instead.
+        for (min, max, steps) in [(1u64, 20u64, 12usize), (10, 12, 8), (1, 3, 9)] {
+            let v = log_spaced_volumes(min, max, steps);
+            assert!(
+                v.windows(2).all(|w| w[1] > w[0]),
+                "not strictly increasing: {v:?}"
+            );
+            assert_eq!(*v.last().unwrap(), max);
+            assert!(v.len() <= steps);
+        }
+    }
+
+    #[test]
+    fn log_spaced_volumes_end_exactly_at_max() {
+        // 9_999_999 is prone to rounding to 10M with the old generator.
+        let v = log_spaced_volumes(1_000, 9_999_999, 13);
+        assert_eq!(*v.first().unwrap(), 1_000);
+        assert_eq!(*v.last().unwrap(), 9_999_999);
+        assert!(v.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn log_spaced_volumes_never_exceed_the_requested_count() {
+        // Huge ranges where rounding keeps every interior sample below max
+        // used to emit steps + 1 values.
+        for steps in 2..40 {
+            let v = log_spaced_volumes(1, 10u64.pow(15) + 1, steps);
+            assert!(v.len() <= steps, "steps {steps} gave {} values", v.len());
+            assert_eq!(*v.last().unwrap(), 10u64.pow(15) + 1);
+            assert!(v.windows(2).all(|w| w[1] > w[0]));
+        }
+    }
+
+    #[test]
+    fn grid_matches_naive_point_wise_evaluation() {
+        let est = estimator();
+        let x_values = [1.0, 3.0, 6.0];
+        let y_values = [0.5, 1.5];
+        let grid = est
+            .ratio_grid(
+                Domain::Dnn,
+                SweepAxis::Applications,
+                &x_values,
+                SweepAxis::LifetimeYears,
+                &y_values,
+                OperatingPoint::paper_default(),
+            )
+            .unwrap();
+        for (row, &y) in y_values.iter().enumerate() {
+            for (col, &x) in x_values.iter().enumerate() {
+                let naive = est
+                    .compare_uniform(Domain::Dnn, x as u64, y, 1_000_000)
+                    .unwrap()
+                    .fpga_to_asic_ratio();
+                assert_eq!(grid.ratios[row][col], naive, "cell ({row},{col})");
+            }
+        }
     }
 
     #[test]

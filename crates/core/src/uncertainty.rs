@@ -7,12 +7,12 @@
 //! a conclusion like "the FPGA is greener" can be qualified with how robust
 //! it is to the input uncertainty.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gf_support::SplitMix64;
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    Domain, Estimator, EstimatorParams, GreenFpgaError, Knob, OperatingPoint, PlatformKind,
+    exec, Domain, EstimatorParams, GreenFpgaError, Knob, OperatingPoint, PlatformKind,
+    ScenarioTemplate,
 };
 
 /// Configuration of a Monte-Carlo run.
@@ -22,6 +22,11 @@ pub struct MonteCarlo {
     pub samples: usize,
     /// RNG seed; fixed so studies are reproducible.
     pub seed: u64,
+    /// Worker threads (`0` = auto). The result is identical for every
+    /// setting: each trial draws from its own RNG stream seeded by
+    /// `seed + trial_index`, so the outcome cannot depend on which thread
+    /// evaluates it.
+    pub threads: usize,
 }
 
 impl MonteCarlo {
@@ -30,6 +35,7 @@ impl MonteCarlo {
         MonteCarlo {
             samples,
             seed: 0x9E37_79B9_7F4A_7C15,
+            threads: 0,
         }
     }
 
@@ -39,9 +45,23 @@ impl MonteCarlo {
         self
     }
 
+    /// Overrides the worker-thread count (`0` = auto). Only affects
+    /// resource usage, never the result.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Runs the study for a uniform workload in the given domain, sampling
     /// every knob of [`Knob::ALL`] independently and uniformly from its
     /// range for each trial.
+    ///
+    /// Trials run in parallel through the batch engine. Each trial clones
+    /// the base parameters **once**, retunes every knob in place
+    /// ([`Knob::apply_mut`]), compiles the scenario
+    /// ([`CompiledScenario::compile`]) and evaluates the operating point —
+    /// where the old implementation cloned the parameter set once per knob
+    /// and rebuilt every spec and workload vector from scratch, serially.
     ///
     /// # Errors
     ///
@@ -58,24 +78,18 @@ impl MonteCarlo {
                 what: "monte carlo sample count",
             });
         }
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut ratios = Vec::with_capacity(self.samples);
-        for _ in 0..self.samples {
+        let seed = self.seed;
+        let template = ScenarioTemplate::new(domain)?;
+        let mut ratios = exec::try_map_indexed(self.samples, self.threads, |trial| {
+            let mut rng = SplitMix64::new(seed.wrapping_add(trial as u64));
             let mut params = base.clone();
             for knob in Knob::ALL {
                 let range = knob.range();
-                let value = rng.gen_range(range.low..=range.high);
-                params = knob.apply(&params, value);
+                knob.apply_mut(&mut params, rng.gen_range_f64(range.low, range.high));
             }
-            let comparison = Estimator::new(params).compare_uniform(
-                domain,
-                point.applications,
-                point.lifetime_years,
-                point.volume,
-            )?;
-            ratios.push(comparison.fpga_to_asic_ratio());
-        }
-        ratios.sort_by(|a, b| a.partial_cmp(b).expect("ratios are finite"));
+            template.compile(&params)?.ratio(point)
+        })?;
+        ratios.sort_by(f64::total_cmp);
         Ok(UncertaintyReport {
             domain,
             point,
@@ -189,6 +203,23 @@ mod tests {
             )
             .unwrap();
         assert_ne!(a.ratios, c.ratios);
+    }
+
+    #[test]
+    fn parallel_runs_are_thread_count_independent() {
+        let base = EstimatorParams::paper_defaults();
+        let point = OperatingPoint::paper_default();
+        let serial = MonteCarlo::new(48)
+            .with_threads(1)
+            .run(&base, Domain::Dnn, point)
+            .unwrap();
+        for threads in [2, 5, 16] {
+            let parallel = MonteCarlo::new(48)
+                .with_threads(threads)
+                .run(&base, Domain::Dnn, point)
+                .unwrap();
+            assert_eq!(serial, parallel, "{threads} threads");
+        }
     }
 
     #[test]

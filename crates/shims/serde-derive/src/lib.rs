@@ -1,0 +1,22 @@
+//! No-op `Serialize` / `Deserialize` derive macros.
+//!
+//! This workspace builds in environments without access to crates.io, so the
+//! real `serde_derive` cannot be fetched. The model crates keep their
+//! `#[derive(Serialize, Deserialize)]` annotations (documenting intent and
+//! easing a later switch to the real crate); these macros simply expand to
+//! nothing. `#[serde(...)]` field attributes are intentionally *not*
+//! registered — code using them should switch to the real serde.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; placeholder for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; placeholder for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,11 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Consumed under the dependency rename `serde = { package = "gf-serde-stub",
+//! ... }` so that `use serde::{Deserialize, Serialize};` resolves without
+//! registry access. The derives are no-ops (see `gf-serde-stub-derive`);
+//! replacing this package with the real `serde` in the workspace manifest is
+//! the only change needed to turn serialization on.
+
+#![forbid(unsafe_code)]
+
+pub use gf_serde_stub_derive::{Deserialize, Serialize};

@@ -1,0 +1,13 @@
+//! Dependency-free support utilities shared across the GreenFPGA workspace.
+//!
+//! The build environment has no registry access, so this crate supplies the
+//! small pieces that would otherwise come from `rand` / `proptest`:
+//! a deterministic, portable pseudo-random generator used by the Monte-Carlo
+//! engine and by the loop-based property tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rng;
+
+pub use rng::SplitMix64;

@@ -1,0 +1,142 @@
+//! SplitMix64: a tiny, fast, high-quality pseudo-random generator.
+//!
+//! SplitMix64 (Steele, Lea & Flood, OOPSLA 2014; Vigna's public-domain
+//! reference implementation) passes BigCrush, is a bijection of its 64-bit
+//! state, and — crucially for parallel Monte-Carlo — produces decorrelated
+//! streams from *sequential* seeds. Seeding trial `i` with `seed + i`
+//! therefore gives every trial an independent stream whose output does not
+//! depend on which thread evaluates it, which is what makes the batch engine
+//! deterministic across thread counts.
+
+/// A deterministic 64-bit pseudo-random generator (SplitMix64).
+///
+/// # Examples
+///
+/// ```
+/// use gf_support::SplitMix64;
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let x = a.next_f64();
+/// assert!((0.0..1.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Equal seeds give equal streams.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[low, high)` (`[low, low]` when the bounds meet).
+    pub fn gen_range_f64(&mut self, low: f64, high: f64) -> f64 {
+        low + (high - low) * self.next_f64()
+    }
+
+    /// Uniform `u64` in `[low, high]` (inclusive). The tiny modulo bias is
+    /// irrelevant for test-data generation, which is this method's purpose.
+    pub fn gen_range_u64(&mut self, low: u64, high: u64) -> u64 {
+        debug_assert!(low <= high);
+        let span = high - low;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        low + self.next_u64() % (span + 1)
+    }
+
+    /// Uniform `usize` in `[0, len)`; handy for indexing test vectors.
+    pub fn gen_index(&mut self, len: usize) -> usize {
+        debug_assert!(len > 0);
+        (self.next_u64() % len as u64) as usize
+    }
+
+    /// A fair coin flip.
+    pub fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn sequential_seeds_decorrelate() {
+        // First outputs of seeds 0..64 should all be distinct.
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..64u64 {
+            assert!(seen.insert(SplitMix64::new(seed).next_u64()));
+        }
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval_and_covers_it() {
+        let mut rng = SplitMix64::new(123);
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            min = min.min(x);
+            max = max.max(x);
+        }
+        assert!(min < 0.01 && max > 0.99);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SplitMix64::new(9);
+        for _ in 0..1000 {
+            let f = rng.gen_range_f64(-2.5, 7.5);
+            assert!((-2.5..7.5).contains(&f));
+            let u = rng.gen_range_u64(10, 20);
+            assert!((10..=20).contains(&u));
+            let i = rng.gen_index(3);
+            assert!(i < 3);
+        }
+        assert_eq!(rng.gen_range_u64(5, 5), 5);
+    }
+
+    #[test]
+    fn mean_is_roughly_half() {
+        let mut rng = SplitMix64::new(2024);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.next_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}
