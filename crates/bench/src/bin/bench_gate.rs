@@ -1,0 +1,250 @@
+//! `bench_gate` — CI guard over the `BENCH_eval.json` performance
+//! trajectory.
+//!
+//! Compares a freshly measured metrics file against the committed baseline
+//! and fails (exit code 1) when anything tracked regresses beyond the
+//! tolerance (default 25%, override with `GF_BENCH_GATE_TOLERANCE`, e.g.
+//! `1.25`):
+//!
+//! * **`*_ns` kernel timings** — absolute nanoseconds, meaningful when
+//!   baseline and candidate ran on comparable machines (the committed
+//!   baseline is single-core; a much slower runner trips these first, so
+//!   raise the tolerance rather than re-baselining blindly);
+//! * **`*_speedup` ratios** — algorithm-vs-algorithm on the *same* machine
+//!   and therefore machine-independent: a candidate speedup may not fall
+//!   below `baseline / tolerance`;
+//! * the adaptive-frontier evaluation budget
+//!   (`frontier_eval_fraction ≤ 0.2`), so the acceptance bar cannot
+//!   silently erode.
+//!
+//! ```text
+//! bench_gate <baseline.json> <candidate.json>
+//! ```
+
+use std::process::ExitCode;
+
+/// Parses the flat `{"key": number|null, ...}` objects `metrics_json`
+/// emits. Returns `(key, value)` pairs in file order; `null` becomes
+/// `None`.
+fn parse_flat_json(text: &str) -> Result<Vec<(String, Option<f64>)>, String> {
+    let body = text.trim();
+    let body = body
+        .strip_prefix('{')
+        .and_then(|b| b.strip_suffix('}'))
+        .ok_or_else(|| "expected a flat JSON object".to_string())?;
+    let mut metrics = Vec::new();
+    for raw in body.split(',') {
+        let entry = raw.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (key, value) = entry
+            .split_once(':')
+            .ok_or_else(|| format!("malformed entry '{entry}'"))?;
+        let key = key
+            .trim()
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| format!("unquoted key in '{entry}'"))?
+            .to_string();
+        let value = value.trim();
+        let value = if value == "null" {
+            None
+        } else {
+            Some(
+                value
+                    .parse::<f64>()
+                    .map_err(|_| format!("non-numeric value '{value}' for {key}"))?,
+            )
+        };
+        metrics.push((key, value));
+    }
+    Ok(metrics)
+}
+
+fn lookup(metrics: &[(String, Option<f64>)], key: &str) -> Option<f64> {
+    metrics
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| *v)
+}
+
+fn run(baseline_path: &str, candidate_path: &str, tolerance: f64) -> Result<bool, String> {
+    let baseline = parse_flat_json(
+        &std::fs::read_to_string(baseline_path)
+            .map_err(|e| format!("read {baseline_path}: {e}"))?,
+    )
+    .map_err(|e| format!("{baseline_path}: {e}"))?;
+    let candidate = parse_flat_json(
+        &std::fs::read_to_string(candidate_path)
+            .map_err(|e| format!("read {candidate_path}: {e}"))?,
+    )
+    .map_err(|e| format!("{candidate_path}: {e}"))?;
+
+    let mut failed = false;
+    println!("bench gate: tolerance {:.0}%", (tolerance - 1.0) * 100.0);
+    for (key, base_value) in &baseline {
+        let timing = key.ends_with("_ns");
+        let speedup = key.ends_with("_speedup");
+        if !timing && !speedup {
+            continue;
+        }
+        let (Some(base), Some(new)) = (*base_value, lookup(&candidate, key)) else {
+            continue;
+        };
+        if base <= 0.0 {
+            continue;
+        }
+        // Timings regress upward, speedup ratios regress downward.
+        let ratio = new / base;
+        let regressed = if timing {
+            ratio > tolerance
+        } else {
+            ratio < 1.0 / tolerance
+        };
+        let verdict = if regressed {
+            failed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        let unit = if timing { "ns" } else { "x " };
+        println!("  {key:<40} {base:>14.1} -> {new:>14.1} {unit}  ({ratio:>5.2}x)  {verdict}");
+    }
+    if let Some(fraction) = lookup(&candidate, "frontier_eval_fraction") {
+        let verdict = if fraction > 0.20 {
+            failed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {:<40} {:>33.1}%  {verdict}",
+            "frontier_eval_fraction",
+            fraction * 100.0
+        );
+    }
+    Ok(failed)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, candidate_path] = args.as_slice() else {
+        eprintln!("usage: bench_gate <baseline.json> <candidate.json>");
+        return ExitCode::from(2);
+    };
+    let tolerance = std::env::var("GF_BENCH_GATE_TOLERANCE")
+        .ok()
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .filter(|t| t.is_finite() && *t >= 1.0)
+        .unwrap_or(1.25);
+    match run(baseline_path, candidate_path, tolerance) {
+        Ok(false) => {
+            println!("bench gate: no tracked kernel regressed");
+            ExitCode::SUCCESS
+        }
+        Ok(true) => {
+            eprintln!("bench gate: tracked kernel timings regressed beyond tolerance");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench gate error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_harness_format() {
+        let json = "{\n  \"a_ns\": 12.5,\n  \"b\": null,\n  \"c_ns\": 3\n}\n";
+        let metrics = parse_flat_json(json).unwrap();
+        assert_eq!(metrics.len(), 3);
+        assert_eq!(lookup(&metrics, "a_ns"), Some(12.5));
+        assert_eq!(lookup(&metrics, "b"), None);
+        assert_eq!(lookup(&metrics, "c_ns"), Some(3.0));
+        assert_eq!(lookup(&metrics, "missing"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_flat_json("not json").is_err());
+        assert!(parse_flat_json("{\"k\" 1}").is_err());
+        assert!(parse_flat_json("{\"k\": x}").is_err());
+        assert!(parse_flat_json("{k: 1}").is_err());
+    }
+
+    #[test]
+    fn gate_flags_regressions_beyond_tolerance() {
+        let dir = std::env::temp_dir().join("gf_bench_gate_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let baseline = dir.join("baseline.json");
+        let candidate = dir.join("candidate.json");
+        std::fs::write(&baseline, "{\n  \"k_ns\": 100,\n  \"speedup\": 10\n}\n").unwrap();
+
+        // Within tolerance (and untracked keys ignored even when worse).
+        std::fs::write(&candidate, "{\n  \"k_ns\": 120,\n  \"speedup\": 1\n}\n").unwrap();
+        assert!(!run(
+            baseline.to_str().unwrap(),
+            candidate.to_str().unwrap(),
+            1.25
+        )
+        .unwrap());
+
+        // Beyond tolerance.
+        std::fs::write(&candidate, "{\n  \"k_ns\": 130\n}\n").unwrap();
+        assert!(run(
+            baseline.to_str().unwrap(),
+            candidate.to_str().unwrap(),
+            1.25
+        )
+        .unwrap());
+
+        // Speedup ratios gate downward: falling below baseline/tolerance
+        // fails even when every timing is fine.
+        std::fs::write(
+            &baseline,
+            "{\n  \"k_ns\": 100,\n  \"heatmap_speedup\": 50\n}\n",
+        )
+        .unwrap();
+        std::fs::write(
+            &candidate,
+            "{\n  \"k_ns\": 100,\n  \"heatmap_speedup\": 45\n}\n",
+        )
+        .unwrap();
+        assert!(!run(
+            baseline.to_str().unwrap(),
+            candidate.to_str().unwrap(),
+            1.25
+        )
+        .unwrap());
+        std::fs::write(
+            &candidate,
+            "{\n  \"k_ns\": 100,\n  \"heatmap_speedup\": 30\n}\n",
+        )
+        .unwrap();
+        assert!(run(
+            baseline.to_str().unwrap(),
+            candidate.to_str().unwrap(),
+            1.25
+        )
+        .unwrap());
+        std::fs::write(&baseline, "{\n  \"k_ns\": 100\n}\n").unwrap();
+
+        // Frontier budget is enforced on the candidate.
+        std::fs::write(
+            &candidate,
+            "{\n  \"k_ns\": 100,\n  \"frontier_eval_fraction\": 0.5\n}\n",
+        )
+        .unwrap();
+        assert!(run(
+            baseline.to_str().unwrap(),
+            candidate.to_str().unwrap(),
+            1.25
+        )
+        .unwrap());
+    }
+}

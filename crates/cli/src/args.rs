@@ -47,23 +47,42 @@ pub enum Command {
     Grid {
         /// Common workload arguments (the two swept axes override it).
         workload: WorkloadArgs,
-        /// Axis swept along the columns.
-        x_axis: SweepAxis,
-        /// Column range.
-        x_from: f64,
-        /// Column range end.
-        x_to: f64,
-        /// Axis swept along the rows.
-        y_axis: SweepAxis,
-        /// Row range.
-        y_from: f64,
-        /// Row range end.
-        y_to: f64,
-        /// Grid resolution per axis.
-        steps: usize,
+        /// Lattice geometry: axes, ranges and resolution.
+        shape: GridShape,
+        /// Classify winners by adaptive frontier refinement instead of
+        /// evaluating every cell.
+        adaptive: bool,
+    },
+    /// Trace the crossover frontier of a 2-D lattice by adaptive quadtree
+    /// refinement and print the winner map.
+    Frontier {
+        /// Common workload arguments (the two swept axes override it).
+        workload: WorkloadArgs,
+        /// Lattice geometry: axes, ranges and resolution.
+        shape: GridShape,
     },
     /// Print usage information.
     Help,
+}
+
+/// Geometry of a 2-D operating-point lattice shared by the `grid` and
+/// `frontier` subcommands.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridShape {
+    /// Axis swept along the columns.
+    pub x_axis: SweepAxis,
+    /// Column range start.
+    pub x_from: f64,
+    /// Column range end.
+    pub x_to: f64,
+    /// Axis swept along the rows.
+    pub y_axis: SweepAxis,
+    /// Row range start.
+    pub y_from: f64,
+    /// Row range end.
+    pub y_to: f64,
+    /// Lattice resolution per axis.
+    pub steps: usize,
 }
 
 /// Workload arguments shared by most subcommands.
@@ -112,8 +131,9 @@ USAGE:
 COMMANDS:
   compare      Compare FPGA and ASIC platforms at one operating point
   sweep        Sweep apps | lifetime | volume and print the series
-  crossover    Report A2F/F2A crossover points for a domain
+  crossover    Report A2F/F2A crossover points (closed-form solver)
   grid         2-D ratio heatmap over two axes (parallel batch engine)
+  frontier     Adaptive crossover-frontier winner map over two axes
   industry     Evaluate the Table 3 industry testcases
   tornado      One-at-a-time sensitivity analysis over the Table 1 knobs
   montecarlo   Monte-Carlo uncertainty analysis over the Table 1 ranges
@@ -134,12 +154,15 @@ SWEEP OPTIONS:
 MONTECARLO OPTIONS:
   --samples <N>                   number of samples        (default: 512)
 
-GRID OPTIONS:
+GRID / FRONTIER OPTIONS:
   --x-axis <apps|lifetime|volume> column axis              (default: apps)
   --x-from <VALUE> --x-to <VALUE> column range             (default: 1..12)
   --y-axis <apps|lifetime|volume> row axis                 (default: lifetime)
   --y-from <VALUE> --y-to <VALUE> row range                (default: 0.25..3)
   --steps <N>                     resolution per axis      (default: 24)
+  --adaptive                      grid only: classify winners by adaptive
+                                  frontier refinement instead of evaluating
+                                  every cell
 ";
 
 fn parse_domain(value: &str) -> Result<Domain, ParseError> {
@@ -179,7 +202,7 @@ impl Options {
         while i < args.len() {
             let arg = &args[i];
             if let Some(key) = arg.strip_prefix("--") {
-                if key == "csv" {
+                if key == "csv" || key == "adaptive" {
                     flags.push(key.to_string());
                     i += 1;
                 } else if i + 1 < args.len() {
@@ -232,6 +255,50 @@ impl Options {
         }
         Ok(workload)
     }
+}
+
+/// Parses the shared 2-D lattice geometry of the `grid` and `frontier`
+/// subcommands.
+fn parse_grid_shape(options: &Options) -> Result<GridShape, ParseError> {
+    let axis_or = |key: &str, fallback: SweepAxis| -> Result<SweepAxis, ParseError> {
+        options.get(key).map_or(Ok(fallback), parse_axis)
+    };
+    let number_or = |key: &str, fallback: f64| -> Result<f64, ParseError> {
+        options
+            .get(key)
+            .map_or(Ok(fallback), |v| parse_number(key, v))
+    };
+    let x_axis = axis_or("x-axis", SweepAxis::Applications)?;
+    let y_axis = axis_or("y-axis", SweepAxis::LifetimeYears)?;
+    if x_axis == y_axis {
+        return Err(ParseError("--x-axis and --y-axis must differ".to_string()));
+    }
+    let x_from = number_or("x-from", 1.0)?;
+    let x_to = number_or("x-to", 12.0)?;
+    let y_from = number_or("y-from", 0.25)?;
+    let y_to = number_or("y-to", 3.0)?;
+    let steps: usize = match options.get("steps") {
+        Some(v) => parse_number("--steps", v)?,
+        None => 24,
+    };
+    if steps < 2 {
+        return Err(ParseError("--steps must be at least 2".to_string()));
+    }
+    let range_invalid = |from: f64, to: f64| to <= from || to.is_nan() || from.is_nan();
+    if range_invalid(x_from, x_to) || range_invalid(y_from, y_to) {
+        return Err(ParseError(
+            "grid ranges must have --*-to greater than --*-from".to_string(),
+        ));
+    }
+    Ok(GridShape {
+        x_axis,
+        x_from,
+        x_to,
+        y_axis,
+        y_from,
+        y_to,
+        steps,
+    })
 }
 
 /// Parses a full command line (excluding the program name).
@@ -295,48 +362,15 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 csv: options.has_flag("csv"),
             })
         }
-        "grid" | "heatmap" => {
-            let axis_or = |key: &str, fallback: SweepAxis| -> Result<SweepAxis, ParseError> {
-                options.get(key).map_or(Ok(fallback), parse_axis)
-            };
-            let number_or = |key: &str, fallback: f64| -> Result<f64, ParseError> {
-                options
-                    .get(key)
-                    .map_or(Ok(fallback), |v| parse_number(key, v))
-            };
-            let x_axis = axis_or("x-axis", SweepAxis::Applications)?;
-            let y_axis = axis_or("y-axis", SweepAxis::LifetimeYears)?;
-            if x_axis == y_axis {
-                return Err(ParseError("--x-axis and --y-axis must differ".to_string()));
-            }
-            let x_from = number_or("x-from", 1.0)?;
-            let x_to = number_or("x-to", 12.0)?;
-            let y_from = number_or("y-from", 0.25)?;
-            let y_to = number_or("y-to", 3.0)?;
-            let steps: usize = match options.get("steps") {
-                Some(v) => parse_number("--steps", v)?,
-                None => 24,
-            };
-            if steps < 2 {
-                return Err(ParseError("--steps must be at least 2".to_string()));
-            }
-            let range_invalid = |from: f64, to: f64| to <= from || to.is_nan() || from.is_nan();
-            if range_invalid(x_from, x_to) || range_invalid(y_from, y_to) {
-                return Err(ParseError(
-                    "grid ranges must have --*-to greater than --*-from".to_string(),
-                ));
-            }
-            Ok(Command::Grid {
-                workload: options.workload()?,
-                x_axis,
-                x_from,
-                x_to,
-                y_axis,
-                y_from,
-                y_to,
-                steps,
-            })
-        }
+        "grid" | "heatmap" => Ok(Command::Grid {
+            workload: options.workload()?,
+            shape: parse_grid_shape(&options)?,
+            adaptive: options.has_flag("adaptive"),
+        }),
+        "frontier" => Ok(Command::Frontier {
+            workload: options.workload()?,
+            shape: parse_grid_shape(&options)?,
+        }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(ParseError(format!("unknown command '{other}'"))),
     }
@@ -462,15 +496,14 @@ mod tests {
         match cmd {
             Command::Grid {
                 workload,
-                x_axis,
-                y_axis,
-                steps,
-                ..
+                shape,
+                adaptive,
             } => {
                 assert_eq!(workload.domain, Domain::ImageProcessing);
-                assert_eq!(x_axis, SweepAxis::Applications);
-                assert_eq!(y_axis, SweepAxis::LifetimeYears);
-                assert_eq!(steps, 8);
+                assert_eq!(shape.x_axis, SweepAxis::Applications);
+                assert_eq!(shape.y_axis, SweepAxis::LifetimeYears);
+                assert_eq!(shape.steps, 8);
+                assert!(!adaptive);
             }
             other => panic!("unexpected command {other:?}"),
         }
@@ -484,11 +517,41 @@ mod tests {
         assert!(matches!(
             cmd,
             Command::Grid {
-                x_axis: SweepAxis::VolumeUnits,
-                y_axis: SweepAxis::Applications,
+                shape: GridShape {
+                    x_axis: SweepAxis::VolumeUnits,
+                    y_axis: SweepAxis::Applications,
+                    ..
+                },
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn grid_adaptive_flag_is_parsed() {
+        let cmd = parse(&argv("grid --domain dnn --steps 16 --adaptive")).unwrap();
+        assert!(matches!(cmd, Command::Grid { adaptive: true, .. }));
+    }
+
+    #[test]
+    fn frontier_shares_grid_geometry() {
+        let cmd = parse(&argv(
+            "frontier --domain dnn --x-axis apps --x-from 1 --x-to 32 --y-axis lifetime --y-from 0.1 --y-to 3 --steps 64",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Frontier { workload, shape } => {
+                assert_eq!(workload.domain, Domain::Dnn);
+                assert_eq!(shape.x_axis, SweepAxis::Applications);
+                assert_eq!(shape.y_axis, SweepAxis::LifetimeYears);
+                assert_eq!(shape.steps, 64);
+                assert!((shape.x_to - 32.0).abs() < 1e-12);
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+        assert!(parse(&argv("frontier --x-axis apps --y-axis apps")).is_err());
+        assert!(parse(&argv("frontier --steps 1")).is_err());
+        assert!(parse(&argv("frontier --y-from 3 --y-to 1")).is_err());
     }
 
     #[test]
@@ -498,6 +561,7 @@ mod tests {
             "sweep",
             "crossover",
             "grid",
+            "frontier",
             "industry",
             "tornado",
             "montecarlo",

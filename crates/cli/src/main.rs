@@ -4,6 +4,8 @@
 //! greenfpga compare --domain dnn --apps 5 --lifetime 2.0 --volume 1000000
 //! greenfpga sweep --domain dnn --axis apps --from 1 --to 12 --steps 12
 //! greenfpga crossover --domain imgproc
+//! greenfpga frontier --domain dnn --steps 64
+//! greenfpga grid --domain dnn --steps 24 --adaptive
 //! greenfpga industry
 //! greenfpga tornado --domain dnn
 //! greenfpga montecarlo --domain crypto --samples 1024
@@ -19,7 +21,7 @@ use greenfpga::{
     OperatingPoint, SweepAxis, Workload,
 };
 
-use args::{Command, WorkloadArgs, USAGE};
+use args::{Command, GridShape, WorkloadArgs, USAGE};
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -61,20 +63,16 @@ fn run(command: Command) -> Result<(), GreenFpgaError> {
         Command::MonteCarlo { workload, samples } => monte_carlo(&estimator, workload, samples),
         Command::Grid {
             workload,
-            x_axis,
-            x_from,
-            x_to,
-            y_axis,
-            y_from,
-            y_to,
-            steps,
-        } => grid(
-            &estimator,
-            workload,
-            (x_axis, x_from, x_to),
-            (y_axis, y_from, y_to),
-            steps,
-        ),
+            shape,
+            adaptive,
+        } => {
+            if adaptive {
+                frontier(&estimator, workload, shape)
+            } else {
+                grid(&estimator, workload, shape)
+            }
+        }
+        Command::Frontier { workload, shape } => frontier(&estimator, workload, shape),
     }
 }
 
@@ -87,26 +85,50 @@ fn linspace(from: f64, to: f64, steps: usize) -> Vec<f64> {
 fn grid(
     estimator: &Estimator,
     args: WorkloadArgs,
-    (x_axis, x_from, x_to): (SweepAxis, f64, f64),
-    (y_axis, y_from, y_to): (SweepAxis, f64, f64),
-    steps: usize,
+    shape: GridShape,
 ) -> Result<(), GreenFpgaError> {
     let grid = estimator.ratio_grid(
         args.domain,
-        x_axis,
-        &linspace(x_from, x_to, steps),
-        y_axis,
-        &linspace(y_from, y_to, steps),
+        shape.x_axis,
+        &linspace(shape.x_from, shape.x_to, shape.steps),
+        shape.y_axis,
+        &linspace(shape.y_from, shape.y_to, shape.steps),
         operating_point(args),
     )?;
     println!(
         "{} ratio grid, {}x{} cells (FPGA wins in {:.1}% of them):",
         args.domain,
-        steps,
-        steps,
+        shape.steps,
+        shape.steps,
         grid.fpga_winning_fraction() * 100.0
     );
     print!("{}", HeatmapRenderer::new().render(&grid));
+    Ok(())
+}
+
+fn frontier(
+    estimator: &Estimator,
+    args: WorkloadArgs,
+    shape: GridShape,
+) -> Result<(), GreenFpgaError> {
+    let frontier = estimator.frontier(
+        args.domain,
+        shape.x_axis,
+        &linspace(shape.x_from, shape.x_to, shape.steps),
+        shape.y_axis,
+        &linspace(shape.y_from, shape.y_to, shape.steps),
+        operating_point(args),
+    )?;
+    println!(
+        "{} crossover frontier, {}x{} cells (FPGA wins in {:.1}%; {} evaluations, {:.1}% of dense):",
+        args.domain,
+        shape.steps,
+        shape.steps,
+        frontier.fpga_winning_fraction() * 100.0,
+        frontier.evaluations(),
+        frontier.evaluated_fraction() * 100.0
+    );
+    print!("{}", HeatmapRenderer::new().render_frontier(&frontier));
     Ok(())
 }
 

@@ -147,17 +147,57 @@ impl Estimator {
             });
         }
         let compiled = self.compile(domain)?;
-        for n in 1..=max_applications {
-            let comparison = compiled.evaluate(crate::OperatingPoint {
-                applications: n,
-                lifetime_years,
-                volume,
-            })?;
-            if comparison.winner() == PlatformKind::Fpga {
-                return Ok(Some(n));
-            }
+        let wins_at = |n: u64| -> Result<bool, GreenFpgaError> {
+            Ok(compiled
+                .evaluate(crate::OperatingPoint {
+                    applications: n,
+                    lifetime_years,
+                    volume,
+                })?
+                .winner()
+                == PlatformKind::Fpga)
+        };
+        // Evaluate n = 1 first: it validates lifetime/volume exactly like
+        // the old scan did, and an immediate FPGA win needs no solving.
+        if wins_at(1)? {
+            return Ok(Some(1));
         }
-        Ok(None)
+        if max_applications == 1 {
+            return Ok(None);
+        }
+        // The totals are affine in the application count, so the first
+        // winning count is the first integer past the closed-form root. The
+        // root is computed from multiplied-out coefficients while the model
+        // accumulates per application, so the two can disagree by a ulp at
+        // the boundary: confirm against the real kernel and let the
+        // (monotone) difference walk the candidate at most a step or two.
+        let Some(crossover) = compiled.crossover_in_applications_analytic(lifetime_years, volume)
+        else {
+            return Ok(None); // Parallel totals: the n = 1 winner never flips.
+        };
+        if crossover.direction != CrossoverDirection::AsicToFpga {
+            // A rising difference with the ASIC already ahead at n = 1
+            // stays ASIC forever.
+            return Ok(None);
+        }
+        let mut candidate = if crossover.at < 1.0 {
+            2 // Root below the scanned range, but n = 1 did not win: take 2.
+        } else if crossover.at >= max_applications as f64 {
+            max_applications
+        } else {
+            crossover.at.floor() as u64 + 1
+        };
+        candidate = candidate.clamp(2, max_applications);
+        while candidate <= max_applications && !wins_at(candidate)? {
+            candidate += 1;
+        }
+        if candidate > max_applications {
+            return Ok(None);
+        }
+        while candidate > 2 && wins_at(candidate - 1)? {
+            candidate -= 1;
+        }
+        Ok(Some(candidate))
     }
 
     /// Finds the application lifetime at which the preferred platform flips
@@ -195,30 +235,24 @@ impl Estimator {
             })?;
             Ok(c.fpga.total().as_kg() - c.asic.total().as_kg())
         };
+        // Two kernel evaluations bracket the range (and validate the held
+        // parameters, like the old bisection's endpoint probes did).
         let lo_diff = diff(min_years)?;
         let hi_diff = diff(max_years)?;
         if lo_diff.signum() == hi_diff.signum() {
             return Ok(None);
         }
-        let (mut lo, mut hi) = (min_years, max_years);
-        let mut lo_diff = lo_diff;
-        for _ in 0..64 {
-            let mid = 0.5 * (lo + hi);
-            let mid_diff = diff(mid)?;
-            if mid_diff.signum() == lo_diff.signum() {
-                lo = mid;
-                lo_diff = mid_diff;
-            } else {
-                hi = mid;
-            }
-            if hi - lo < 1e-6 {
-                break;
-            }
-        }
-        let at = 0.5 * (lo + hi);
+        // The totals are affine in the lifetime, so the crossover is the
+        // closed-form root — no bisection. The endpoint signs above prove a
+        // root exists inside the range; the clamp only guards the last-ulp
+        // case where the multiplied-out coefficients land it a hair outside.
+        let at = compiled
+            .crossover_in_lifetime_analytic(applications, volume)
+            .map_or(0.5 * (min_years + max_years), |c| c.at)
+            .clamp(min_years, max_years);
         // If the FPGA wins at short lifetimes, growing the lifetime flips
         // preference to the ASIC (F2A); otherwise the flip is A2F.
-        let direction = if diff(min_years)? < 0.0 {
+        let direction = if lo_diff < 0.0 {
             CrossoverDirection::FpgaToAsic
         } else {
             CrossoverDirection::AsicToFpga
@@ -264,17 +298,29 @@ impl Estimator {
         if lo_diff.signum() == hi_diff.signum() {
             return Ok(None);
         }
-        let (mut lo, mut hi) = (min_volume, max_volume);
-        let mut lo_diff = lo_diff;
-        while hi - lo > 1 {
-            let mid = lo + (hi - lo) / 2;
-            let mid_diff = diff(mid)?;
-            if mid_diff.signum() == lo_diff.signum() {
-                lo = mid;
-                lo_diff = mid_diff;
-            } else {
-                hi = mid;
-            }
+        // The totals are affine in the volume, so the smallest integer
+        // volume on the far side of the flip sits right above the
+        // closed-form root. The root comes from multiplied-out coefficients
+        // while the kernel accumulates per application, so confirm the
+        // candidate against the kernel and let the (monotone) difference
+        // walk it at most a step or two — replacing the old geometric
+        // scan + integer bisection.
+        let root = compiled
+            .crossover_in_volume_analytic(applications, lifetime_years)
+            .map_or(0.5 * (min_volume as f64 + max_volume as f64), |c| c.at);
+        let mut candidate = if root < min_volume as f64 {
+            min_volume + 1
+        } else if root >= max_volume as f64 {
+            max_volume
+        } else {
+            root.floor() as u64 + 1
+        };
+        candidate = candidate.clamp(min_volume + 1, max_volume);
+        while candidate < max_volume && diff(candidate)?.signum() == lo_diff.signum() {
+            candidate += 1;
+        }
+        while candidate > min_volume + 1 && diff(candidate - 1)?.signum() != lo_diff.signum() {
+            candidate -= 1;
         }
         let direction = if lo_diff < 0.0 {
             CrossoverDirection::FpgaToAsic
@@ -282,7 +328,7 @@ impl Estimator {
             CrossoverDirection::AsicToFpga
         };
         Ok(Some(Crossover {
-            at: hi as f64,
+            at: candidate as f64,
             direction,
         }))
     }
@@ -421,6 +467,109 @@ mod tests {
             .unwrap()
             .expect("crypto must cross over");
         assert!(n <= 2, "crypto A2F at {n} applications");
+    }
+
+    #[test]
+    fn application_crossover_handles_a_range_of_one() {
+        // max_applications == 1 with a losing first application must return
+        // None (the old scan's behavior), not panic in the candidate clamp.
+        let est = Estimator::default();
+        assert_eq!(
+            est.crossover_in_applications(Domain::Dnn, 1, 2.0, 1_000_000)
+                .unwrap(),
+            None
+        );
+        // And across every domain the answer matches evaluating n = 1.
+        for domain in crate::Domain::ALL {
+            let wins = est
+                .compile(domain)
+                .unwrap()
+                .evaluate(crate::OperatingPoint {
+                    applications: 1,
+                    lifetime_years: 2.0,
+                    volume: 1_000_000,
+                })
+                .unwrap()
+                .winner()
+                == PlatformKind::Fpga;
+            assert_eq!(
+                est.crossover_in_applications(domain, 1, 2.0, 1_000_000)
+                    .unwrap(),
+                wins.then_some(1),
+                "{domain}"
+            );
+        }
+    }
+
+    #[test]
+    fn application_crossover_matches_brute_force_scan() {
+        let est = Estimator::default();
+        for domain in crate::Domain::ALL {
+            for (lifetime, volume) in [(0.5, 10_000u64), (2.0, 1_000_000), (4.0, 250_000)] {
+                let fast = est
+                    .crossover_in_applications(domain, 24, lifetime, volume)
+                    .unwrap();
+                let compiled = est.compile(domain).unwrap();
+                let slow = (1..=24u64).find(|&n| {
+                    compiled
+                        .evaluate(crate::OperatingPoint {
+                            applications: n,
+                            lifetime_years: lifetime,
+                            volume,
+                        })
+                        .unwrap()
+                        .winner()
+                        == PlatformKind::Fpga
+                });
+                assert_eq!(fast, slow, "{domain} lifetime {lifetime} volume {volume}");
+            }
+        }
+    }
+
+    #[test]
+    fn volume_crossover_sits_exactly_on_the_sign_flip() {
+        let est = Estimator::default();
+        let compiled = est.compile(Domain::Dnn).unwrap();
+        let diff = |v: u64| {
+            let c = compiled
+                .evaluate(crate::OperatingPoint {
+                    applications: 5,
+                    lifetime_years: 2.0,
+                    volume: v,
+                })
+                .unwrap();
+            c.fpga.total().as_kg() - c.asic.total().as_kg()
+        };
+        let crossover = est
+            .crossover_in_volume(Domain::Dnn, 5, 2.0, 1_000, 50_000_000)
+            .unwrap()
+            .expect("dnn crosses over in volume");
+        let at = crossover.at as u64;
+        let lo_sign = diff(1_000).signum();
+        assert_ne!(diff(at).signum(), lo_sign, "sign must flip at {at}");
+        assert_eq!(diff(at - 1).signum(), lo_sign, "{at} must be the first flip");
+    }
+
+    #[test]
+    fn lifetime_crossover_root_zeroes_the_difference() {
+        let est = Estimator::default();
+        let compiled = est.compile(Domain::Dnn).unwrap();
+        let crossover = est
+            .crossover_in_lifetime(Domain::Dnn, 5, 1_000_000, 0.2, 2.5)
+            .unwrap()
+            .expect("dnn crosses over in lifetime");
+        let c = compiled
+            .evaluate(crate::OperatingPoint {
+                applications: 5,
+                lifetime_years: crossover.at,
+                volume: 1_000_000,
+            })
+            .unwrap();
+        let scale = c.asic.total().as_kg().abs();
+        assert!(
+            (c.fpga.total().as_kg() - c.asic.total().as_kg()).abs() <= 1e-9 * scale,
+            "difference at the analytic root must vanish"
+        );
     }
 
     #[test]

@@ -91,6 +91,29 @@ impl CompiledPlatform {
             ..CfpBreakdown::ZERO
         }
     }
+
+    /// Field-operation carbon of one deployed device per year of lifetime
+    /// (kg CO₂e / device·year). Operation is linear in the lifetime, so this
+    /// single rate determines the whole operational term — the slope the
+    /// closed-form crossover solver ([`CompiledScenario::totals_affine`])
+    /// builds on.
+    pub fn operation_kg_per_device_year(&self) -> f64 {
+        self.profile.carbon_over(TimeSpan::from_years(1.0)).as_kg()
+    }
+
+    /// Per-application application-development carbon excluding the
+    /// per-device configuration term (kg CO₂e): the `N_app × (T_FE + T_BE)`
+    /// share of Eq. (7). Zero for the ASIC's software flow.
+    pub fn appdev_per_application_kg(&self) -> f64 {
+        self.appdev.carbon(self.flow, 1, 0).as_kg()
+    }
+
+    /// Per-device configuration carbon of one application deployment
+    /// (kg CO₂e): the `N_vol × T_config` share of Eq. (7). Zero for the
+    /// ASIC's software flow.
+    pub fn appdev_per_device_kg(&self) -> f64 {
+        self.appdev.carbon(self.flow, 0, 1).as_kg()
+    }
 }
 
 /// The parameter-independent half of a domain compilation: everything the
@@ -272,6 +295,14 @@ impl CompiledScenario {
     /// [`GreenFpgaError::InvalidApplication`] for a negative / non-finite
     /// lifetime or zero volume.
     pub fn evaluate(&self, point: OperatingPoint) -> Result<PlatformComparison, GreenFpgaError> {
+        let lifetime = self.validate(point)?;
+        let (fpga, asic) = self.totals(point, lifetime);
+        Ok(PlatformComparison::new(self.domain, fpga, asic))
+    }
+
+    /// Validates an operating point, returning its lifetime as a
+    /// [`TimeSpan`] on success.
+    fn validate(&self, point: OperatingPoint) -> Result<TimeSpan, GreenFpgaError> {
         if point.applications == 0 {
             return Err(GreenFpgaError::EmptyWorkload);
         }
@@ -288,7 +319,14 @@ impl CompiledScenario {
                 reason: "application volume must be at least one device".to_string(),
             });
         }
+        Ok(lifetime)
+    }
 
+    /// The model arithmetic shared by [`CompiledScenario::evaluate`] and the
+    /// SoA kernel ([`CompiledScenario::evaluate_into`]); `point` must have
+    /// passed [`CompiledScenario::validate`]. One function so every batch
+    /// path is bit-identical to the naive estimator by construction.
+    fn totals(&self, point: OperatingPoint, lifetime: TimeSpan) -> (CfpBreakdown, CfpBreakdown) {
         // FPGA (Eq. 2): embodied once for a fleet sized to the (uniform)
         // applications, then one deployment term per application.
         let fpga_devices = point.volume * self.fpga.chips_per_unit;
@@ -308,7 +346,7 @@ impl CompiledScenario {
             asic += asic_deployment;
         }
 
-        Ok(PlatformComparison::new(self.domain, fpga, asic))
+        (fpga, asic)
     }
 
     /// FPGA:ASIC total-CFP ratio at one operating point.
@@ -318,6 +356,299 @@ impl CompiledScenario {
     /// Same conditions as [`CompiledScenario::evaluate`].
     pub fn ratio(&self, point: OperatingPoint) -> Result<f64, GreenFpgaError> {
         Ok(self.evaluate(point)?.fpga_to_asic_ratio())
+    }
+
+    /// Evaluates a slice of operating points into a reusable
+    /// structure-of-arrays buffer — the zero-allocation batch kernel.
+    ///
+    /// After the buffer's first use at a given size, repeated calls perform
+    /// **no heap allocation at all**: no per-point `Vec`, no
+    /// `PlatformComparison` collection, no index-keyed reassembly. Workers
+    /// write their contiguous chunk of every column in place. Results are
+    /// bit-identical to [`CompiledScenario::evaluate`] point by point and
+    /// independent of the thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the point-validation error with the lowest index (same
+    /// conditions as [`CompiledScenario::evaluate`]); the buffer's contents
+    /// are unspecified in that case.
+    pub fn evaluate_into(
+        &self,
+        points: &[OperatingPoint],
+        out: &mut ResultBuffer,
+    ) -> Result<(), GreenFpgaError> {
+        self.evaluate_indexed_into(points.len(), |i| points[i], out, 0)
+    }
+
+    /// [`CompiledScenario::evaluate_into`] with the points produced by an
+    /// index function instead of a slice, so grid-shaped batches need not
+    /// materialize their lattice, plus an explicit worker-thread count
+    /// (`0` = auto).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CompiledScenario::evaluate_into`].
+    pub fn evaluate_indexed_into(
+        &self,
+        n: usize,
+        point_of: impl Fn(usize) -> OperatingPoint + Sync,
+        out: &mut ResultBuffer,
+        threads: usize,
+    ) -> Result<(), GreenFpgaError> {
+        out.prepare(self.domain, n);
+        let (fpga_cols, asic_cols) = out.columns_mut();
+        exec::try_fill_chunked(
+            n,
+            threads,
+            (fpga_cols, asic_cols),
+            &|start, len, (mut fpga_chunk, mut asic_chunk): (SoaChunksMut<'_>, SoaChunksMut<'_>)| {
+                for j in 0..len {
+                    let point = point_of(start + j);
+                    let lifetime = match self.validate(point) {
+                        Ok(lifetime) => lifetime,
+                        Err(e) => return Some((start + j, e)),
+                    };
+                    let (fpga, asic) = self.totals(point, lifetime);
+                    fpga_chunk.write(j, &fpga);
+                    asic_chunk.write(j, &asic);
+                }
+                None
+            },
+        )
+    }
+}
+
+/// One platform's lifecycle components as structure-of-arrays columns
+/// (kilograms CO₂e), one `Vec<f64>` per [`CfpBreakdown`] field.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct SoaBreakdown {
+    design: Vec<f64>,
+    manufacturing: Vec<f64>,
+    packaging: Vec<f64>,
+    eol: Vec<f64>,
+    operation: Vec<f64>,
+    app_dev: Vec<f64>,
+}
+
+impl SoaBreakdown {
+    fn resize(&mut self, n: usize) {
+        self.design.resize(n, 0.0);
+        self.manufacturing.resize(n, 0.0);
+        self.packaging.resize(n, 0.0);
+        self.eol.resize(n, 0.0);
+        self.operation.resize(n, 0.0);
+        self.app_dev.resize(n, 0.0);
+    }
+
+    fn get(&self, i: usize) -> CfpBreakdown {
+        CfpBreakdown {
+            design: Carbon::from_kg(self.design[i]),
+            manufacturing: Carbon::from_kg(self.manufacturing[i]),
+            packaging: Carbon::from_kg(self.packaging[i]),
+            eol: Carbon::from_kg(self.eol[i]),
+            operation: Carbon::from_kg(self.operation[i]),
+            app_dev: Carbon::from_kg(self.app_dev[i]),
+        }
+    }
+
+    fn chunks_mut(&mut self) -> SoaChunksMut<'_> {
+        SoaChunksMut {
+            design: &mut self.design,
+            manufacturing: &mut self.manufacturing,
+            packaging: &mut self.packaging,
+            eol: &mut self.eol,
+            operation: &mut self.operation,
+            app_dev: &mut self.app_dev,
+        }
+    }
+}
+
+/// Mutable views of one contiguous index range of every column of a
+/// [`SoaBreakdown`]; split recursively to hand each batch worker a disjoint
+/// chunk it can write without synchronization (and without `unsafe`).
+struct SoaChunksMut<'a> {
+    design: &'a mut [f64],
+    manufacturing: &'a mut [f64],
+    packaging: &'a mut [f64],
+    eol: &'a mut [f64],
+    operation: &'a mut [f64],
+    app_dev: &'a mut [f64],
+}
+
+impl<'a> exec::SplitAtMut for (SoaChunksMut<'a>, SoaChunksMut<'a>) {
+    fn split_at_mut(self, mid: usize) -> (Self, Self) {
+        let (fpga_head, fpga_tail) = self.0.split_at_mut(mid);
+        let (asic_head, asic_tail) = self.1.split_at_mut(mid);
+        ((fpga_head, asic_head), (fpga_tail, asic_tail))
+    }
+}
+
+impl<'a> SoaChunksMut<'a> {
+    fn split_at_mut(self, mid: usize) -> (SoaChunksMut<'a>, SoaChunksMut<'a>) {
+        let (design, design_tail) = self.design.split_at_mut(mid);
+        let (manufacturing, manufacturing_tail) = self.manufacturing.split_at_mut(mid);
+        let (packaging, packaging_tail) = self.packaging.split_at_mut(mid);
+        let (eol, eol_tail) = self.eol.split_at_mut(mid);
+        let (operation, operation_tail) = self.operation.split_at_mut(mid);
+        let (app_dev, app_dev_tail) = self.app_dev.split_at_mut(mid);
+        (
+            SoaChunksMut {
+                design,
+                manufacturing,
+                packaging,
+                eol,
+                operation,
+                app_dev,
+            },
+            SoaChunksMut {
+                design: design_tail,
+                manufacturing: manufacturing_tail,
+                packaging: packaging_tail,
+                eol: eol_tail,
+                operation: operation_tail,
+                app_dev: app_dev_tail,
+            },
+        )
+    }
+
+    fn write(&mut self, i: usize, breakdown: &CfpBreakdown) {
+        self.design[i] = breakdown.design.as_kg();
+        self.manufacturing[i] = breakdown.manufacturing.as_kg();
+        self.packaging[i] = breakdown.packaging.as_kg();
+        self.eol[i] = breakdown.eol.as_kg();
+        self.operation[i] = breakdown.operation.as_kg();
+        self.app_dev[i] = breakdown.app_dev.as_kg();
+    }
+}
+
+/// Reusable structure-of-arrays output of the zero-allocation batch kernel
+/// ([`CompiledScenario::evaluate_into`]).
+///
+/// A batch of `n` points is stored as 12 contiguous `f64` columns (six
+/// lifecycle components × two platforms) instead of `n` scattered
+/// [`PlatformComparison`] values: ratio and total reductions stream through
+/// cache-friendly arrays, and refilling the buffer allocates only when a
+/// batch outgrows every previous one.
+///
+/// # Examples
+///
+/// ```
+/// use greenfpga::{Domain, Estimator, OperatingPoint, ResultBuffer};
+///
+/// let compiled = Estimator::default().compile(Domain::Dnn)?;
+/// let points = vec![OperatingPoint::paper_default(); 256];
+/// let mut buffer = ResultBuffer::new();
+/// compiled.evaluate_into(&points, &mut buffer)?;            // allocates once
+/// compiled.evaluate_into(&points, &mut buffer)?;            // zero-alloc refill
+/// assert_eq!(buffer.len(), 256);
+/// assert_eq!(
+///     buffer.comparison(0),
+///     compiled.evaluate(OperatingPoint::paper_default())?,
+/// );
+/// # Ok::<(), greenfpga::GreenFpgaError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ResultBuffer {
+    domain: Option<Domain>,
+    len: usize,
+    fpga: SoaBreakdown,
+    asic: SoaBreakdown,
+}
+
+impl ResultBuffer {
+    /// Creates an empty buffer; the first fill sizes it.
+    pub fn new() -> Self {
+        ResultBuffer::default()
+    }
+
+    /// Number of evaluated points currently held.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the buffer holds no results.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Domain of the last fill, if any.
+    pub fn domain(&self) -> Option<Domain> {
+        self.domain
+    }
+
+    /// FPGA-platform breakdown of point `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len()`.
+    pub fn fpga(&self, i: usize) -> CfpBreakdown {
+        assert!(i < self.len, "result index {i} out of range {}", self.len);
+        self.fpga.get(i)
+    }
+
+    /// ASIC-platform breakdown of point `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len()`.
+    pub fn asic(&self, i: usize) -> CfpBreakdown {
+        assert!(i < self.len, "result index {i} out of range {}", self.len);
+        self.asic.get(i)
+    }
+
+    /// Full comparison of point `i`, reconstructed from the columns —
+    /// bit-identical to what [`CompiledScenario::evaluate`] returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len()` or the buffer was never filled.
+    pub fn comparison(&self, i: usize) -> PlatformComparison {
+        PlatformComparison::new(
+            self.domain.expect("result buffer never filled"),
+            self.fpga(i),
+            self.asic(i),
+        )
+    }
+
+    /// FPGA:ASIC total-CFP ratio of point `i` (`f64::INFINITY` when the
+    /// ASIC total is zero, like [`PlatformComparison::fpga_to_asic_ratio`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len()`.
+    pub fn ratio(&self, i: usize) -> f64 {
+        self.fpga(i)
+            .total()
+            .ratio_to(self.asic(i).total())
+            .unwrap_or(f64::INFINITY)
+    }
+
+    /// Iterates the buffer as reconstructed [`PlatformComparison`] values.
+    pub fn comparisons(&self) -> impl Iterator<Item = PlatformComparison> + '_ {
+        (0..self.len).map(|i| self.comparison(i))
+    }
+
+    /// Empties the buffer, keeping its column capacity for the next fill.
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.domain = None;
+        self.fpga.resize(0);
+        self.asic.resize(0);
+    }
+
+    /// Sizes the columns for a fill of `n` points in `domain`, reusing
+    /// existing capacity.
+    fn prepare(&mut self, domain: Domain, n: usize) {
+        self.domain = Some(domain);
+        self.len = n;
+        self.fpga.resize(n);
+        self.asic.resize(n);
+    }
+
+    /// Full-range mutable column views for the kernel workers.
+    fn columns_mut(&mut self) -> (SoaChunksMut<'_>, SoaChunksMut<'_>) {
+        (self.fpga.chunks_mut(), self.asic.chunks_mut())
     }
 }
 
@@ -363,9 +694,12 @@ impl Estimator {
 
     /// Evaluates every point of a [`BatchRequest`] in parallel.
     ///
-    /// The scenario is compiled once and the points fan out over the
-    /// work-stealing pool; results come back in request order and are
-    /// deterministic for every thread count.
+    /// The scenario is compiled once and the points stream through the SoA
+    /// kernel ([`CompiledScenario::evaluate_into`]); results come back in
+    /// request order and are deterministic for every thread count. Callers
+    /// that evaluate many batches should hold a [`ResultBuffer`] and call
+    /// [`Estimator::evaluate_batch_into`] instead to skip the per-call
+    /// output allocation.
     ///
     /// # Errors
     ///
@@ -375,10 +709,30 @@ impl Estimator {
         &self,
         request: &BatchRequest,
     ) -> Result<Vec<PlatformComparison>, GreenFpgaError> {
+        let mut buffer = ResultBuffer::new();
+        self.evaluate_batch_into(request, &mut buffer)?;
+        Ok(buffer.comparisons().collect())
+    }
+
+    /// [`Estimator::evaluate_batch`] into a caller-provided reusable buffer:
+    /// after the first fill at a given size, repeated batches allocate
+    /// nothing.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Estimator::evaluate_batch`].
+    pub fn evaluate_batch_into(
+        &self,
+        request: &BatchRequest,
+        out: &mut ResultBuffer,
+    ) -> Result<(), GreenFpgaError> {
         let compiled = self.compile(request.domain)?;
-        exec::try_map_indexed(request.points.len(), request.threads, |i| {
-            compiled.evaluate(request.points[i])
-        })
+        compiled.evaluate_indexed_into(
+            request.points.len(),
+            |i| request.points[i],
+            out,
+            request.threads,
+        )
     }
 }
 
@@ -519,5 +873,82 @@ mod tests {
             compiled.ratio(point).unwrap(),
             compiled.evaluate(point).unwrap().fpga_to_asic_ratio()
         );
+    }
+
+    #[test]
+    fn evaluate_into_matches_evaluate_bit_for_bit() {
+        let compiled = estimator().compile(Domain::Dnn).unwrap();
+        let pts = points();
+        let mut buffer = ResultBuffer::new();
+        compiled.evaluate_into(&pts, &mut buffer).unwrap();
+        assert_eq!(buffer.len(), pts.len());
+        assert_eq!(buffer.domain(), Some(Domain::Dnn));
+        for (i, point) in pts.iter().enumerate() {
+            let direct = compiled.evaluate(*point).unwrap();
+            assert_eq!(buffer.comparison(i), direct, "point {i}");
+            assert_eq!(buffer.ratio(i), direct.fpga_to_asic_ratio(), "point {i}");
+        }
+    }
+
+    #[test]
+    fn evaluate_into_is_thread_count_independent_and_reusable() {
+        let compiled = estimator().compile(Domain::Crypto).unwrap();
+        let pts = points();
+        let mut serial = ResultBuffer::new();
+        compiled
+            .evaluate_indexed_into(pts.len(), |i| pts[i], &mut serial, 1)
+            .unwrap();
+        let mut buffer = ResultBuffer::new();
+        for threads in [2, 3, 16] {
+            // Reuse the same buffer across fills of different sizes.
+            compiled
+                .evaluate_indexed_into(3, |i| pts[i], &mut buffer, threads)
+                .unwrap();
+            assert_eq!(buffer.len(), 3);
+            compiled
+                .evaluate_indexed_into(pts.len(), |i| pts[i], &mut buffer, threads)
+                .unwrap();
+            assert_eq!(serial, buffer, "{threads} threads");
+        }
+        buffer.clear();
+        assert!(buffer.is_empty());
+        assert_eq!(buffer.domain(), None);
+    }
+
+    #[test]
+    fn evaluate_into_surfaces_the_lowest_index_error() {
+        let compiled = estimator().compile(Domain::Dnn).unwrap();
+        let mut pts = points();
+        pts.insert(
+            2,
+            OperatingPoint {
+                applications: 0,
+                ..OperatingPoint::paper_default()
+            },
+        );
+        pts.push(OperatingPoint {
+            volume: 0,
+            ..OperatingPoint::paper_default()
+        });
+        for threads in [1, 4] {
+            let mut buffer = ResultBuffer::new();
+            let err = compiled
+                .evaluate_indexed_into(pts.len(), |i| pts[i], &mut buffer, threads)
+                .unwrap_err();
+            assert!(matches!(err, GreenFpgaError::EmptyWorkload), "{threads}");
+        }
+    }
+
+    #[test]
+    fn platform_coefficient_accessors_are_consistent() {
+        let compiled = estimator().compile(Domain::Dnn).unwrap();
+        let fpga = compiled.fpga();
+        // Operation rate: carbon over one year for one device.
+        assert!(fpga.operation_kg_per_device_year() > 0.0);
+        // FPGA pays hardware app-dev; the ASIC's software flow is free.
+        assert!(fpga.appdev_per_application_kg() > 0.0);
+        assert!(fpga.appdev_per_device_kg() > 0.0);
+        assert_eq!(compiled.asic().appdev_per_application_kg(), 0.0);
+        assert_eq!(compiled.asic().appdev_per_device_kg(), 0.0);
     }
 }

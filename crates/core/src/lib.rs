@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod analytic;
 mod application;
 mod breakdown;
 mod comparison;
@@ -57,6 +58,7 @@ mod error;
 mod estimator;
 mod eval;
 pub mod exec;
+mod frontier;
 mod knobs;
 mod params;
 mod report;
@@ -66,6 +68,7 @@ mod sweep;
 mod testcases;
 mod uncertainty;
 
+pub use analytic::{AffineComparison, AffineTotal};
 pub use application::{Application, Workload};
 pub use breakdown::CfpBreakdown;
 pub use comparison::{Crossover, CrossoverDirection, PlatformComparison, PlatformKind};
@@ -73,7 +76,8 @@ pub use device::{AsicSpec, ChipSpec, FpgaSpec};
 pub use domain::{Domain, DomainCalibration, IsoPerformanceRatios};
 pub use error::GreenFpgaError;
 pub use estimator::Estimator;
-pub use eval::{BatchRequest, CompiledPlatform, CompiledScenario, ScenarioTemplate};
+pub use eval::{BatchRequest, CompiledPlatform, CompiledScenario, ResultBuffer, ScenarioTemplate};
+pub use frontier::FrontierResult;
 pub use knobs::{Knob, KnobRange};
 pub use params::{DeploymentParams, DesignStaffing, EstimatorParams};
 pub use report::{csv_from_rows, render_table, HeatmapRenderer};

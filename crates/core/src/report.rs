@@ -4,7 +4,7 @@
 //! text: aligned tables for the console, CSV for plotting, and a coarse
 //! character heatmap for the Fig. 8 grids.
 
-use crate::GridSweep;
+use crate::{FrontierResult, GridSweep};
 
 /// Renders an aligned plain-text table.
 ///
@@ -160,6 +160,55 @@ impl HeatmapRenderer {
         }
         out
     }
+
+    /// Renders an adaptively refined [`FrontierResult`] winner map: `#`
+    /// where the FPGA wins, `.` where the ASIC does, and `=` on the
+    /// crossover frontier itself (cells with a neighbour of the opposite
+    /// winner), in the same lower-left-origin orientation as
+    /// [`HeatmapRenderer::render`].
+    pub fn render_frontier(&self, frontier: &FrontierResult) -> String {
+        let width = frontier.width();
+        let mut glyphs: Vec<Vec<char>> = (0..frontier.height())
+            .map(|row| {
+                (0..width)
+                    .map(|col| if frontier.fpga_wins(row, col) { '#' } else { '.' })
+                    .collect()
+            })
+            .collect();
+        for (row, col) in frontier.frontier_cells() {
+            glyphs[row][col] = '=';
+        }
+
+        let mut out = String::new();
+        out.push_str(&format!(
+            "FPGA-vs-ASIC winner map — x: {}, y: {} ('#' FPGA wins, '.' ASIC wins, '=' frontier); {} of {} cells evaluated ({:.1}%)\n",
+            frontier.x_axis.label(),
+            frontier.y_axis.label(),
+            frontier.evaluations(),
+            frontier.len(),
+            frontier.evaluated_fraction() * 100.0
+        ));
+        for (row_idx, row) in glyphs.iter().enumerate().rev() {
+            if self.with_labels {
+                out.push_str(&format!("{:>12.3} | ", frontier.y_values[row_idx]));
+            }
+            for &glyph in row {
+                out.push(glyph);
+                out.push(' ');
+            }
+            out.push('\n');
+        }
+        if self.with_labels {
+            out.push_str(&format!("{:>12} +-{}\n", "", "--".repeat(width)));
+            out.push_str(&format!(
+                "{:>14}x from {:.3} to {:.3}\n",
+                "",
+                frontier.x_values.first().copied().unwrap_or(0.0),
+                frontier.x_values.last().copied().unwrap_or(0.0)
+            ));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -234,5 +283,30 @@ mod tests {
         assert!(rendered.lines().count() >= 4);
         let unlabeled = HeatmapRenderer::default().render(&grid);
         assert!(unlabeled.lines().count() >= 3);
+    }
+
+    #[test]
+    fn frontier_rendering_marks_both_regions_and_the_contour() {
+        use crate::{Estimator, OperatingPoint};
+        let apps: Vec<f64> = (1..=12).map(|i| i as f64).collect();
+        let lifetimes: Vec<f64> = (1..=10).map(|i| 0.25 * i as f64).collect();
+        let frontier = Estimator::default()
+            .frontier(
+                Domain::Dnn,
+                SweepAxis::Applications,
+                &apps,
+                SweepAxis::LifetimeYears,
+                &lifetimes,
+                OperatingPoint::paper_default(),
+            )
+            .unwrap();
+        let rendered = HeatmapRenderer::new().render_frontier(&frontier);
+        assert!(rendered.contains('#') && rendered.contains('.') && rendered.contains('='));
+        assert!(rendered.contains("cells evaluated"));
+        assert!(rendered.contains("Num Apps"));
+        // One line per row plus header and two footer lines.
+        assert_eq!(rendered.lines().count(), lifetimes.len() + 3);
+        let unlabeled = HeatmapRenderer::default().render_frontier(&frontier);
+        assert_eq!(unlabeled.lines().count(), lifetimes.len() + 1);
     }
 }

@@ -91,7 +91,8 @@ impl Estimator {
                 [(knob, range.low), (knob, range.high)]
             })
             .collect();
-        let ratios = exec::try_map_indexed(probes.len(), 0, |i| {
+        let mut ratios = vec![0.0f64; probes.len()];
+        exec::try_fill_indexed(&mut ratios, 0, |i| {
             let (knob, value) = probes[i];
             let mut params = self.params().clone();
             knob.apply_mut(&mut params, value);

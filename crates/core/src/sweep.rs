@@ -7,7 +7,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::comparison::crossovers_from_samples;
-use crate::{exec, CfpBreakdown, Crossover, Domain, Estimator, GreenFpgaError};
+use crate::{CfpBreakdown, Crossover, Domain, Estimator, GreenFpgaError, ResultBuffer};
 
 /// The workload parameter varied by a sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -54,7 +54,7 @@ impl OperatingPoint {
         }
     }
 
-    fn with_axis(mut self, axis: SweepAxis, value: f64) -> Self {
+    pub(crate) fn with_axis(mut self, axis: SweepAxis, value: f64) -> Self {
         match axis {
             SweepAxis::Applications => self.applications = value.round().max(1.0) as u64,
             SweepAxis::LifetimeYears => self.lifetime_years = value,
@@ -114,8 +114,12 @@ impl SweepSeries {
         crossovers_from_samples(&samples)
     }
 
-    /// The sample closest to a given x value, if the series is non-empty.
+    /// The sample closest to a given x value. Returns `None` for an empty
+    /// series or a `NaN` probe instead of relying on caller invariants.
     pub fn nearest(&self, x: f64) -> Option<&SweepPoint> {
+        if x.is_nan() {
+            return None;
+        }
         self.points
             .iter()
             .min_by(|a, b| (a.x - x).abs().total_cmp(&(b.x - x).abs()))
@@ -152,8 +156,13 @@ impl GridSweep {
     }
 
     /// Fraction of grid cells where the FPGA has the lower footprint.
+    ///
+    /// Counts over the cells actually present in `ratios` (not the
+    /// coordinate lists), so a hand-built grid whose `ratios` disagree with
+    /// its axes — or an entirely empty one — reports a well-defined value
+    /// (`0.0` when there are no cells) instead of a skewed quotient.
     pub fn fpga_winning_fraction(&self) -> f64 {
-        let total = self.len();
+        let total: usize = self.ratios.iter().map(Vec::len).sum();
         if total == 0 {
             return 0.0;
         }
@@ -166,9 +175,9 @@ impl Estimator {
     /// Sweeps one workload parameter over the given values, holding the
     /// other two at `base`.
     ///
-    /// The domain is compiled once and the values are evaluated through the
-    /// batch engine ([`crate::CompiledScenario`]), in parallel for large
-    /// sweeps.
+    /// The domain is compiled once and the values stream through the SoA
+    /// batch kernel ([`crate::CompiledScenario::evaluate_into`]), in
+    /// parallel for large sweeps.
     ///
     /// # Errors
     ///
@@ -187,15 +196,22 @@ impl Estimator {
             });
         }
         let compiled = self.compile(domain)?;
-        let points = exec::try_map_indexed(values.len(), 0, |i| -> Result<_, GreenFpgaError> {
-            let x = values[i];
-            let comparison = compiled.evaluate(base.with_axis(axis, x))?;
-            Ok(SweepPoint {
+        let mut buffer = ResultBuffer::new();
+        compiled.evaluate_indexed_into(
+            values.len(),
+            |i| base.with_axis(axis, values[i]),
+            &mut buffer,
+            0,
+        )?;
+        let points = values
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| SweepPoint {
                 x,
-                fpga: comparison.fpga,
-                asic: comparison.asic,
+                fpga: buffer.fpga(i),
+                asic: buffer.asic(i),
             })
-        })?;
+            .collect();
         Ok(SweepSeries {
             domain,
             axis,
@@ -249,11 +265,15 @@ impl Estimator {
 
     /// Evaluates the FPGA:ASIC total-CFP ratio over a 2-D grid (Fig. 8).
     ///
-    /// The domain is compiled once and the flattened cells are spread over
-    /// the work-stealing pool ([`crate::exec`]): unlike the old
-    /// one-thread-per-row evaluation, a slow row cannot serialize the grid
-    /// and the thread count adapts to the machine instead of to the grid
-    /// height.
+    /// The domain is compiled once and the flattened lattice streams
+    /// through the SoA batch kernel
+    /// ([`crate::CompiledScenario::evaluate_indexed_into`]) without ever
+    /// materializing the operating points; workers each fill a contiguous
+    /// slab of the grid.
+    ///
+    /// When only the *winner* of each cell matters, prefer
+    /// [`Estimator::frontier`]: it classifies the same lattice from a small
+    /// fraction of the evaluations by refining only the crossover contour.
     ///
     /// # Errors
     ///
@@ -275,14 +295,23 @@ impl Estimator {
         }
         let compiled = self.compile(domain)?;
         let columns = x_values.len();
-        let cells = exec::try_map_indexed(columns * y_values.len(), 0, |i| {
-            let (row, col) = (i / columns, i % columns);
-            let point = base
-                .with_axis(y_axis, y_values[row])
-                .with_axis(x_axis, x_values[col]);
-            compiled.ratio(point)
-        })?;
-        let ratios = cells.chunks(columns).map(<[f64]>::to_vec).collect();
+        let mut buffer = ResultBuffer::new();
+        compiled.evaluate_indexed_into(
+            columns * y_values.len(),
+            |i| {
+                base.with_axis(y_axis, y_values[i / columns])
+                    .with_axis(x_axis, x_values[i % columns])
+            },
+            &mut buffer,
+            0,
+        )?;
+        let ratios = (0..y_values.len())
+            .map(|row| {
+                (0..columns)
+                    .map(|col| buffer.ratio(row * columns + col))
+                    .collect()
+            })
+            .collect();
         Ok(GridSweep {
             domain,
             x_axis,
@@ -416,6 +445,56 @@ mod tests {
             .unwrap();
         assert_eq!(series.nearest(3.4).unwrap().x, 4.0);
         assert_eq!(series.nearest(0.0).unwrap().x, 1.0);
+    }
+
+    #[test]
+    fn nearest_handles_empty_series_and_nan_probes() {
+        let empty = SweepSeries {
+            domain: Domain::Dnn,
+            axis: SweepAxis::Applications,
+            points: Vec::new(),
+        };
+        assert!(empty.nearest(1.0).is_none());
+        assert!(empty.crossovers().is_empty());
+        let series = estimator()
+            .sweep_applications(Domain::Dnn, &[1, 2], OperatingPoint::paper_default())
+            .unwrap();
+        assert!(series.nearest(f64::NAN).is_none());
+        // All distances to an infinite probe are infinite; ties go to the
+        // first sample.
+        assert_eq!(series.nearest(f64::INFINITY).unwrap().x, 1.0);
+    }
+
+    #[test]
+    fn winning_fraction_of_empty_or_inconsistent_grids_is_well_defined() {
+        let empty = GridSweep {
+            domain: Domain::Dnn,
+            x_axis: SweepAxis::Applications,
+            x_values: Vec::new(),
+            y_axis: SweepAxis::LifetimeYears,
+            y_values: Vec::new(),
+            ratios: Vec::new(),
+        };
+        assert_eq!(empty.fpga_winning_fraction(), 0.0);
+        assert!(empty.is_empty());
+        // A grid whose coordinate lists disagree with its cells counts over
+        // the cells actually present.
+        let inconsistent = GridSweep {
+            domain: Domain::Dnn,
+            x_axis: SweepAxis::Applications,
+            x_values: vec![1.0, 2.0, 3.0],
+            y_axis: SweepAxis::LifetimeYears,
+            y_values: vec![0.5, 1.0],
+            ratios: vec![vec![0.5, 2.0]],
+        };
+        assert!((inconsistent.fpga_winning_fraction() - 0.5).abs() < 1e-12);
+        let no_cells = GridSweep {
+            x_values: vec![1.0],
+            y_values: vec![1.0],
+            ratios: Vec::new(),
+            ..inconsistent
+        };
+        assert_eq!(no_cells.fpga_winning_fraction(), 0.0);
     }
 
     #[test]

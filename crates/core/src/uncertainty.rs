@@ -62,6 +62,9 @@ impl MonteCarlo {
     /// ([`CompiledScenario::compile`]) and evaluates the operating point —
     /// where the old implementation cloned the parameter set once per knob
     /// and rebuilt every spec and workload vector from scratch, serially.
+    /// The per-trial ratios are written straight into one preallocated
+    /// buffer ([`exec::try_fill_indexed`]); nothing is buffered per worker
+    /// or reassembled afterwards.
     ///
     /// # Errors
     ///
@@ -80,7 +83,8 @@ impl MonteCarlo {
         }
         let seed = self.seed;
         let template = ScenarioTemplate::new(domain)?;
-        let mut ratios = exec::try_map_indexed(self.samples, self.threads, |trial| {
+        let mut ratios = vec![0.0f64; self.samples];
+        exec::try_fill_indexed(&mut ratios, self.threads, |trial| {
             let mut rng = SplitMix64::new(seed.wrapping_add(trial as u64));
             let mut params = base.clone();
             for knob in Knob::ALL {
