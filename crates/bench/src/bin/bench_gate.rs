@@ -23,44 +23,7 @@
 
 use std::process::ExitCode;
 
-/// Parses the flat `{"key": number|null, ...}` objects `metrics_json`
-/// emits. Returns `(key, value)` pairs in file order; `null` becomes
-/// `None`.
-fn parse_flat_json(text: &str) -> Result<Vec<(String, Option<f64>)>, String> {
-    let body = text.trim();
-    let body = body
-        .strip_prefix('{')
-        .and_then(|b| b.strip_suffix('}'))
-        .ok_or_else(|| "expected a flat JSON object".to_string())?;
-    let mut metrics = Vec::new();
-    for raw in body.split(',') {
-        let entry = raw.trim();
-        if entry.is_empty() {
-            continue;
-        }
-        let (key, value) = entry
-            .split_once(':')
-            .ok_or_else(|| format!("malformed entry '{entry}'"))?;
-        let key = key
-            .trim()
-            .strip_prefix('"')
-            .and_then(|k| k.strip_suffix('"'))
-            .ok_or_else(|| format!("unquoted key in '{entry}'"))?
-            .to_string();
-        let value = value.trim();
-        let value = if value == "null" {
-            None
-        } else {
-            Some(
-                value
-                    .parse::<f64>()
-                    .map_err(|_| format!("non-numeric value '{value}' for {key}"))?,
-            )
-        };
-        metrics.push((key, value));
-    }
-    Ok(metrics)
-}
+use gf_bench::harness::parse_metrics_json;
 
 fn lookup(metrics: &[(String, Option<f64>)], key: &str) -> Option<f64> {
     metrics
@@ -70,12 +33,12 @@ fn lookup(metrics: &[(String, Option<f64>)], key: &str) -> Option<f64> {
 }
 
 fn run(baseline_path: &str, candidate_path: &str, tolerance: f64) -> Result<bool, String> {
-    let baseline = parse_flat_json(
+    let baseline = parse_metrics_json(
         &std::fs::read_to_string(baseline_path)
             .map_err(|e| format!("read {baseline_path}: {e}"))?,
     )
     .map_err(|e| format!("{baseline_path}: {e}"))?;
-    let candidate = parse_flat_json(
+    let candidate = parse_metrics_json(
         &std::fs::read_to_string(candidate_path)
             .map_err(|e| format!("read {candidate_path}: {e}"))?,
     )
@@ -161,7 +124,7 @@ mod tests {
     #[test]
     fn parses_the_harness_format() {
         let json = "{\n  \"a_ns\": 12.5,\n  \"b\": null,\n  \"c_ns\": 3\n}\n";
-        let metrics = parse_flat_json(json).unwrap();
+        let metrics = parse_metrics_json(json).unwrap();
         assert_eq!(metrics.len(), 3);
         assert_eq!(lookup(&metrics, "a_ns"), Some(12.5));
         assert_eq!(lookup(&metrics, "b"), None);
@@ -171,10 +134,10 @@ mod tests {
 
     #[test]
     fn rejects_malformed_input() {
-        assert!(parse_flat_json("not json").is_err());
-        assert!(parse_flat_json("{\"k\" 1}").is_err());
-        assert!(parse_flat_json("{\"k\": x}").is_err());
-        assert!(parse_flat_json("{k: 1}").is_err());
+        assert!(parse_metrics_json("not json").is_err());
+        assert!(parse_metrics_json("{\"k\" 1}").is_err());
+        assert!(parse_metrics_json("{\"k\": x}").is_err());
+        assert!(parse_metrics_json("{k: 1}").is_err());
     }
 
     #[test]

@@ -1,0 +1,303 @@
+//! `serve_load` — loopback load generator for `greenfpga-serve`.
+//!
+//! Boots the server in-process on an ephemeral port, hammers it from
+//! keep-alive client threads with `/v1/evaluate` and `/v1/batch` requests,
+//! golden-matches **every** response against direct engine calls (a
+//! response that is not bit-identical counts as an error), and reports
+//! throughput and latency percentiles.
+//!
+//! Results merge into the `BENCH_eval.json` trajectory artifact (override
+//! the path with `GF_BENCH_OUT`): existing keys are preserved, `serve_*`
+//! keys are replaced. Latency keys intentionally do not use the `_ns`
+//! suffix — loopback latency is machine-shaped, so `bench_gate` tracks but
+//! does not gate it.
+//!
+//! Environment knobs:
+//!
+//! * `GF_SERVE_LOAD_REQUESTS` — total `/v1/evaluate` requests (default 50 000)
+//! * `GF_SERVE_LOAD_BATCHES` — total `/v1/batch` requests (default 500, 64 points each)
+//! * `GF_SERVE_LOAD_CLIENTS` — client threads (default up to 4)
+//! * `GF_BENCH_NO_ASSERT` — report only, skip the acceptance assertions
+
+use std::net::SocketAddr;
+use std::time::Instant;
+
+use gf_bench::harness::parse_metrics_json;
+use gf_json::{FromJson, ToJson, Value};
+use gf_server::client::Client;
+use gf_server::{Server, ServerConfig};
+use greenfpga::api::{BatchEvalRequest, BatchEvalResponse, EvaluateRequest, EvaluateResponse};
+use greenfpga::{Domain, Estimator, OperatingPoint, PlatformComparison, ScenarioSpec};
+
+/// Distinct operating points the clients rotate through — enough variety
+/// to exercise real evaluation, few enough to precompute goldens.
+fn operating_points() -> Vec<OperatingPoint> {
+    let mut points = Vec::new();
+    for applications in [1u64, 2, 3, 5, 8, 12, 16, 24] {
+        for (lifetime_years, volume) in [
+            (0.5, 10_000u64),
+            (1.0, 100_000),
+            (1.5, 500_000),
+            (2.0, 1_000_000),
+            (2.5, 2_500_000),
+            (3.0, 5_000_000),
+            (4.0, 250_000),
+            (5.0, 50_000),
+        ] {
+            points.push(OperatingPoint {
+                applications,
+                lifetime_years,
+                volume,
+            });
+        }
+    }
+    points
+}
+
+fn env_usize(key: &str, fallback: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(fallback)
+}
+
+struct ClientOutcome {
+    evaluate_latencies_ns: Vec<u64>,
+    batch_latencies_ns: Vec<u64>,
+    errors: u64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_client(
+    addr: SocketAddr,
+    evaluate_bodies: &[String],
+    evaluate_expected: &[PlatformComparison],
+    batch_body: &str,
+    batch_expected: &[PlatformComparison],
+    evaluate_requests: usize,
+    batch_requests: usize,
+    offset: usize,
+) -> ClientOutcome {
+    let mut outcome = ClientOutcome {
+        evaluate_latencies_ns: Vec::with_capacity(evaluate_requests),
+        batch_latencies_ns: Vec::with_capacity(batch_requests),
+        errors: 0,
+    };
+    let mut client = match Client::connect(addr) {
+        Ok(client) => client,
+        Err(_) => {
+            outcome.errors += (evaluate_requests + batch_requests) as u64;
+            return outcome;
+        }
+    };
+    for i in 0..evaluate_requests {
+        let index = (offset + i) % evaluate_bodies.len();
+        let start = Instant::now();
+        let response = client.post("/v1/evaluate", &evaluate_bodies[index]);
+        let elapsed = start.elapsed().as_nanos() as u64;
+        outcome.evaluate_latencies_ns.push(elapsed);
+        let ok = matches!(&response, Ok((200, body)) if golden_matches_evaluate(body, &evaluate_expected[index]));
+        if !ok {
+            outcome.errors += 1;
+        }
+    }
+    for _ in 0..batch_requests {
+        let start = Instant::now();
+        let response = client.post("/v1/batch", batch_body);
+        let elapsed = start.elapsed().as_nanos() as u64;
+        outcome.batch_latencies_ns.push(elapsed);
+        let ok = matches!(&response, Ok((200, body)) if golden_matches_batch(body, batch_expected));
+        if !ok {
+            outcome.errors += 1;
+        }
+    }
+    outcome
+}
+
+/// `true` when the served body decodes to exactly the comparison the local
+/// engine produced (f64 round-tripping makes this a bit-level check).
+fn golden_matches_evaluate(body: &str, expected: &PlatformComparison) -> bool {
+    gf_json::parse(body)
+        .ok()
+        .and_then(|value| EvaluateResponse::from_json(&value).ok())
+        .is_some_and(|response| response.comparison == *expected)
+}
+
+fn golden_matches_batch(body: &str, expected: &[PlatformComparison]) -> bool {
+    gf_json::parse(body)
+        .ok()
+        .and_then(|value| BatchEvalResponse::from_json(&value).ok())
+        .is_some_and(|response| response.comparisons == expected)
+}
+
+fn percentile_us(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
+    sorted_ns[rank] as f64 / 1e3
+}
+
+fn main() {
+    let evaluate_total = env_usize("GF_SERVE_LOAD_REQUESTS", 50_000);
+    let batch_total = env_usize("GF_SERVE_LOAD_BATCHES", 500);
+    let clients = env_usize(
+        "GF_SERVE_LOAD_CLIENTS",
+        greenfpga::exec::default_threads().min(4),
+    );
+
+    // Golden results from the direct engine path.
+    let estimator = Estimator::default();
+    let compiled = estimator.compile(Domain::Dnn).expect("compile dnn");
+    let points = operating_points();
+    let evaluate_expected: Vec<PlatformComparison> = points
+        .iter()
+        .map(|&point| compiled.evaluate(point).expect("golden evaluate"))
+        .collect();
+    let evaluate_bodies: Vec<String> = points
+        .iter()
+        .map(|&point| {
+            EvaluateRequest {
+                scenario: ScenarioSpec::baseline(Domain::Dnn),
+                point,
+            }
+            .to_json()
+            .to_json_string()
+            .expect("request serializes")
+        })
+        .collect();
+    let batch_points: Vec<OperatingPoint> = points.iter().copied().take(64).collect();
+    let batch_expected: Vec<PlatformComparison> = batch_points
+        .iter()
+        .map(|&point| compiled.evaluate(point).expect("golden batch point"))
+        .collect();
+    let batch_body = BatchEvalRequest {
+        scenario: ScenarioSpec::baseline(Domain::Dnn),
+        points: batch_points.clone(),
+    }
+    .to_json()
+    .to_json_string()
+    .expect("batch request serializes");
+
+    // Server on an ephemeral loopback port, sized to the client count.
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: clients,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback server");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+    println!(
+        "serve_load: {evaluate_total} evaluate + {batch_total} batch requests over {clients} clients -> http://{addr}"
+    );
+
+    let started = Instant::now();
+    let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let evaluate_bodies = &evaluate_bodies;
+                let evaluate_expected = &evaluate_expected;
+                let batch_body = &batch_body;
+                let batch_expected = &batch_expected;
+                // Spread the remainder so every request is issued.
+                let evaluate_share = evaluate_total / clients
+                    + usize::from(c < evaluate_total % clients);
+                let batch_share = batch_total / clients + usize::from(c < batch_total % clients);
+                scope.spawn(move || {
+                    run_client(
+                        addr,
+                        evaluate_bodies,
+                        evaluate_expected,
+                        batch_body,
+                        batch_expected,
+                        evaluate_share,
+                        batch_share,
+                        c * 7, // decorrelate the rotation between clients
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    let wall = started.elapsed();
+    handle.shutdown();
+
+    let mut evaluate_latencies: Vec<u64> = outcomes
+        .iter()
+        .flat_map(|o| o.evaluate_latencies_ns.iter().copied())
+        .collect();
+    let mut batch_latencies: Vec<u64> = outcomes
+        .iter()
+        .flat_map(|o| o.batch_latencies_ns.iter().copied())
+        .collect();
+    evaluate_latencies.sort_unstable();
+    batch_latencies.sort_unstable();
+    let errors: u64 = outcomes.iter().map(|o| o.errors).sum();
+    let requests = evaluate_latencies.len() + batch_latencies.len();
+    let rps = requests as f64 / wall.as_secs_f64();
+
+    let eval_p50 = percentile_us(&evaluate_latencies, 0.50);
+    let eval_p99 = percentile_us(&evaluate_latencies, 0.99);
+    let batch_p50 = percentile_us(&batch_latencies, 0.50);
+    let batch_p99 = percentile_us(&batch_latencies, 0.99);
+    println!(
+        "serve_load: {requests} requests in {:.2}s -> {rps:.0} req/s, {errors} errors",
+        wall.as_secs_f64()
+    );
+    println!("  evaluate latency p50 {eval_p50:.1} us, p99 {eval_p99:.1} us");
+    println!("  batch(64) latency p50 {batch_p50:.1} us, p99 {batch_p99:.1} us");
+
+    // Merge into the trajectory artifact: keep foreign keys, replace ours.
+    let out = std::env::var("GF_BENCH_OUT").unwrap_or_else(|_| "BENCH_eval.json".to_string());
+    let serve_metrics = [
+        ("serve_requests", requests as f64),
+        ("serve_errors", errors as f64),
+        ("serve_clients", clients as f64),
+        ("serve_rps", rps),
+        ("serve_evaluate_p50_us", eval_p50),
+        ("serve_evaluate_p99_us", eval_p99),
+        ("serve_batch64_p50_us", batch_p50),
+        ("serve_batch64_p99_us", batch_p99),
+    ];
+    // A present-but-unparseable artifact must abort, not be silently
+    // replaced — in CI that file holds the kernel metrics the bench step
+    // just produced, and dropping them would starve the gate.
+    let mut merged: Vec<(String, Option<f64>)> = match std::fs::read_to_string(&out) {
+        Ok(text) => parse_metrics_json(&text)
+            .unwrap_or_else(|e| panic!("existing {out} is not a metrics artifact: {e}")),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => panic!("read {out}: {e}"),
+    };
+    merged.retain(|(key, _)| !key.starts_with("serve_"));
+    for (key, value) in serve_metrics {
+        merged.push((key.to_string(), Some(value)));
+    }
+    let members: Vec<(String, Value)> = merged
+        .into_iter()
+        .map(|(key, value)| {
+            let rendered = match value {
+                Some(v) if v.is_finite() => Value::Number(v),
+                _ => Value::Null,
+            };
+            (key, rendered)
+        })
+        .collect();
+    let json = Value::Object(members)
+        .to_json_string_pretty()
+        .expect("metrics serialize");
+    std::fs::write(&out, &json).expect("write bench json");
+    println!("merged serve metrics into {out}");
+
+    if std::env::var_os("GF_BENCH_NO_ASSERT").is_none() {
+        assert_eq!(errors, 0, "load run must complete with zero errors");
+        assert!(
+            requests >= 50_000,
+            "load run issued {requests} requests, below the 50k acceptance bar"
+        );
+    }
+}

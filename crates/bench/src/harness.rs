@@ -6,7 +6,6 @@
 //! (robust to scheduler noise). Results can be serialized to a JSON file so
 //! CI can track the performance trajectory (`BENCH_eval.json`).
 
-use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -118,22 +117,54 @@ fn format_ns(ns: f64) -> String {
 }
 
 /// Renders `(key, value)` metric pairs as a flat JSON object, for the
-/// `BENCH_*.json` artifacts CI tracks. Keys must be plain identifiers (no
-/// escaping is performed); values are emitted with full precision.
+/// `BENCH_*.json` artifacts CI tracks. Non-finite values become `null`
+/// (JSON has no lexeme for them); everything else round-trips with full
+/// precision through the real JSON writer in [`gf_json`].
 pub fn metrics_json(metrics: &[(&str, f64)]) -> String {
-    let mut out = String::from("{\n");
-    for (i, (key, value)) in metrics.iter().enumerate() {
-        let comma = if i + 1 == metrics.len() { "" } else { "," };
-        let rendered = if value.is_finite() {
-            format!("{value}")
-        } else {
-            "null".to_string()
-        };
-        let _ = writeln!(out, "  \"{key}\": {rendered}{comma}");
-    }
-    out.push('}');
-    out.push('\n');
-    out
+    metrics_value(metrics)
+        .to_json_string_pretty()
+        .expect("non-finite values are mapped to null above")
+}
+
+/// The [`gf_json::Value`] form of a metrics set, for callers that merge
+/// new keys into an existing artifact before writing.
+pub fn metrics_value(metrics: &[(&str, f64)]) -> gf_json::Value {
+    gf_json::Value::Object(
+        metrics
+            .iter()
+            .map(|&(key, value)| {
+                let rendered = if value.is_finite() {
+                    gf_json::Value::Number(value)
+                } else {
+                    gf_json::Value::Null
+                };
+                (key.to_string(), rendered)
+            })
+            .collect(),
+    )
+}
+
+/// Parses a metrics artifact produced by [`metrics_json`] back into
+/// `(key, value)` pairs in file order (`null` → `None`) — the read half
+/// `bench_gate` and the merge-updating writers use.
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed JSON, a non-object
+/// document, or non-numeric members.
+pub fn parse_metrics_json(text: &str) -> Result<Vec<(String, Option<f64>)>, String> {
+    let value = gf_json::parse(text).map_err(|e| e.to_string())?;
+    let members = value
+        .as_object()
+        .ok_or_else(|| "expected a flat JSON object of metrics".to_string())?;
+    members
+        .iter()
+        .map(|(key, member)| match member {
+            gf_json::Value::Null => Ok((key.clone(), None)),
+            gf_json::Value::Number(n) => Ok((key.clone(), Some(*n))),
+            other => Err(format!("non-numeric value {other:?} for {key}")),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -159,6 +190,23 @@ mod tests {
         assert!(json.contains("\"a\": 1.5,"));
         assert!(json.contains("\"b\": null,"));
         assert!(json.contains("\"c\": 3\n"));
+    }
+
+    #[test]
+    fn metrics_round_trip_through_the_parser() {
+        let metrics = [
+            ("grid_ns", 1234.5678),
+            ("speedup", 61.25),
+            ("broken", f64::INFINITY),
+        ];
+        let parsed = parse_metrics_json(&metrics_json(&metrics)).unwrap();
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed[0], ("grid_ns".to_string(), Some(1234.5678)));
+        assert_eq!(parsed[1], ("speedup".to_string(), Some(61.25)));
+        assert_eq!(parsed[2], ("broken".to_string(), None));
+        assert!(parse_metrics_json("not json").is_err());
+        assert!(parse_metrics_json("[1, 2]").is_err());
+        assert!(parse_metrics_json("{\"k\": \"text\"}").is_err());
     }
 
     #[test]

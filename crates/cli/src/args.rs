@@ -42,6 +42,8 @@ pub enum Command {
         /// Number of samples to draw.
         samples: usize,
     },
+    /// Run the HTTP/JSON estimation service (`greenfpga-serve`).
+    Serve(ServeArgs),
     /// Evaluate a 2-D ratio grid and print it as a character heatmap
     /// (Fig. 8), using the parallel batch engine.
     Grid {
@@ -83,6 +85,39 @@ pub struct GridShape {
     pub y_to: f64,
     /// Lattice resolution per axis.
     pub steps: usize,
+}
+
+/// Options of the `serve` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Bind address.
+    pub addr: String,
+    /// Connection worker threads (`0` = auto).
+    pub workers: usize,
+    /// Worker threads per batch evaluation.
+    pub eval_threads: usize,
+    /// Cached compiled scenarios.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        ServeArgs {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: 0,
+            eval_threads: 1,
+            cache_capacity: 64,
+        }
+    }
+}
+
+/// A parsed command line: the command plus global output options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedCommand {
+    /// The subcommand to run.
+    pub command: Command,
+    /// Emit JSON (via the `greenfpga::api` serializers) instead of tables.
+    pub json: bool,
 }
 
 /// Workload arguments shared by most subcommands.
@@ -137,6 +172,7 @@ COMMANDS:
   industry     Evaluate the Table 3 industry testcases
   tornado      One-at-a-time sensitivity analysis over the Table 1 knobs
   montecarlo   Monte-Carlo uncertainty analysis over the Table 1 ranges
+  serve        Run the HTTP/JSON estimation service (greenfpga-serve)
   help         Show this message
 
 COMMON OPTIONS:
@@ -144,6 +180,15 @@ COMMON OPTIONS:
   --apps <N>                      number of applications   (default: 5)
   --lifetime <YEARS>              application lifetime     (default: 2.0)
   --volume <UNITS>                application volume       (default: 1000000)
+  --json                          emit JSON instead of tables (compare,
+                                  crossover, sweep, industry, tornado,
+                                  montecarlo)
+
+SERVE OPTIONS:
+  --addr <HOST:PORT>              bind address             (default: 127.0.0.1:7878)
+  --workers <N>                   connection workers       (default: auto)
+  --eval-threads <N>              threads per batch eval   (default: 1)
+  --cache-capacity <N>            cached scenarios         (default: 64)
 
 SWEEP OPTIONS:
   --axis <apps|lifetime|volume>   axis to sweep            (required)
@@ -202,7 +247,7 @@ impl Options {
         while i < args.len() {
             let arg = &args[i];
             if let Some(key) = arg.strip_prefix("--") {
-                if key == "csv" || key == "adaptive" {
+                if key == "csv" || key == "adaptive" || key == "json" {
                     flags.push(key.to_string());
                     i += 1;
                 } else if i + 1 < args.len() {
@@ -301,13 +346,40 @@ fn parse_grid_shape(options: &Options) -> Result<GridShape, ParseError> {
     })
 }
 
+/// Parses the options of the `serve` subcommand.
+fn parse_serve(options: &Options) -> Result<ServeArgs, ParseError> {
+    let mut serve = ServeArgs::default();
+    if let Some(v) = options.get("addr") {
+        serve.addr = v.to_string();
+    }
+    if let Some(v) = options.get("workers") {
+        serve.workers = parse_number("--workers", v)?;
+    }
+    if let Some(v) = options.get("eval-threads") {
+        serve.eval_threads = parse_number::<usize>("--eval-threads", v)?.max(1);
+    }
+    if let Some(v) = options.get("cache-capacity") {
+        serve.cache_capacity = parse_number::<usize>("--cache-capacity", v)?.max(1);
+    }
+    Ok(serve)
+}
+
 /// Parses a full command line (excluding the program name).
-pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+pub fn parse(args: &[String]) -> Result<ParsedCommand, ParseError> {
     let Some((command, rest)) = args.split_first() else {
-        return Ok(Command::Help);
+        return Ok(ParsedCommand {
+            command: Command::Help,
+            json: false,
+        });
     };
     let options = Options::parse(rest)?;
-    match command.as_str() {
+    let json = options.has_flag("json");
+    let command = parse_command(command, &options)?;
+    Ok(ParsedCommand { command, json })
+}
+
+fn parse_command(command: &str, options: &Options) -> Result<Command, ParseError> {
+    match command {
         "compare" => Ok(Command::Compare(options.workload()?)),
         "crossover" => Ok(Command::Crossover(options.workload()?)),
         "tornado" => Ok(Command::Tornado(options.workload()?)),
@@ -364,13 +436,14 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         }
         "grid" | "heatmap" => Ok(Command::Grid {
             workload: options.workload()?,
-            shape: parse_grid_shape(&options)?,
+            shape: parse_grid_shape(options)?,
             adaptive: options.has_flag("adaptive"),
         }),
         "frontier" => Ok(Command::Frontier {
             workload: options.workload()?,
-            shape: parse_grid_shape(&options)?,
+            shape: parse_grid_shape(options)?,
         }),
+        "serve" => Ok(Command::Serve(parse_serve(options)?)),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(ParseError(format!("unknown command '{other}'"))),
     }
@@ -384,20 +457,58 @@ mod tests {
         line.split_whitespace().map(str::to_string).collect()
     }
 
+    /// Parses a line and returns the command, ignoring output options.
+    fn parse_cmd(line: &str) -> Result<Command, ParseError> {
+        parse(&argv(line)).map(|parsed| parsed.command)
+    }
+
     #[test]
     fn empty_command_line_is_help() {
-        assert_eq!(parse(&[]).unwrap(), Command::Help);
-        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
-        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+        assert_eq!(parse(&[]).unwrap().command, Command::Help);
+        assert_eq!(parse_cmd("help").unwrap(), Command::Help);
+        assert_eq!(parse_cmd("--help").unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn json_flag_is_global_and_off_by_default() {
+        assert!(!parse(&argv("compare")).unwrap().json);
+        assert!(parse(&argv("compare --json")).unwrap().json);
+        assert!(parse(&argv("crossover --domain crypto --json")).unwrap().json);
+        assert!(parse(&argv("montecarlo --json --samples 16")).unwrap().json);
+    }
+
+    #[test]
+    fn serve_defaults_and_overrides() {
+        assert_eq!(parse_cmd("serve").unwrap(), Command::Serve(ServeArgs::default()));
+        let command = parse_cmd(
+            "serve --addr 0.0.0.0:9999 --workers 4 --eval-threads 2 --cache-capacity 16",
+        )
+        .unwrap();
+        match command {
+            Command::Serve(serve) => {
+                assert_eq!(serve.addr, "0.0.0.0:9999");
+                assert_eq!(serve.workers, 4);
+                assert_eq!(serve.eval_threads, 2);
+                assert_eq!(serve.cache_capacity, 16);
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+        assert!(parse_cmd("serve --workers x").is_err());
+        // Degenerate values are clamped to usable minima.
+        match parse_cmd("serve --eval-threads 0 --cache-capacity 0").unwrap() {
+            Command::Serve(serve) => {
+                assert_eq!(serve.eval_threads, 1);
+                assert_eq!(serve.cache_capacity, 1);
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
     }
 
     #[test]
     fn compare_with_defaults_and_overrides() {
-        let cmd = parse(&argv("compare")).unwrap();
+        let cmd = parse_cmd("compare").unwrap();
         assert_eq!(cmd, Command::Compare(WorkloadArgs::default()));
-        let cmd = parse(&argv(
-            "compare --domain crypto --apps 3 --lifetime 1.5 --volume 250000",
-        ))
+        let cmd = parse_cmd("compare --domain crypto --apps 3 --lifetime 1.5 --volume 250000")
         .unwrap();
         match cmd {
             Command::Compare(w) => {
@@ -418,24 +529,22 @@ mod tests {
             ("ImageProcessing", Domain::ImageProcessing),
             ("CRYPTO", Domain::Crypto),
         ] {
-            let cmd = parse(&argv(&format!("compare --domain {alias}"))).unwrap();
+            let cmd = parse(&argv(&format!("compare --domain {alias}"))).unwrap().command;
             match cmd {
                 Command::Compare(w) => assert_eq!(w.domain, expected, "{alias}"),
                 other => panic!("unexpected command {other:?}"),
             }
         }
-        assert!(parse(&argv("compare --domain gpu")).is_err());
+        assert!(parse_cmd("compare --domain gpu").is_err());
     }
 
     #[test]
     fn sweep_requires_axis_and_bounds() {
-        assert!(parse(&argv("sweep")).is_err());
-        assert!(parse(&argv("sweep --axis apps")).is_err());
-        assert!(parse(&argv("sweep --axis apps --from 1 --to 0.5")).is_err());
-        assert!(parse(&argv("sweep --axis apps --from 1 --to 8 --steps 1")).is_err());
-        let cmd = parse(&argv(
-            "sweep --axis lifetime --from 0.2 --to 2.5 --steps 6 --csv",
-        ))
+        assert!(parse_cmd("sweep").is_err());
+        assert!(parse_cmd("sweep --axis apps").is_err());
+        assert!(parse_cmd("sweep --axis apps --from 1 --to 0.5").is_err());
+        assert!(parse_cmd("sweep --axis apps --from 1 --to 8 --steps 1").is_err());
+        let cmd = parse_cmd("sweep --axis lifetime --from 0.2 --to 2.5 --steps 6 --csv")
         .unwrap();
         match cmd {
             Command::Sweep {
@@ -457,7 +566,7 @@ mod tests {
 
     #[test]
     fn montecarlo_sample_parsing() {
-        let cmd = parse(&argv("montecarlo --domain dnn --samples 128")).unwrap();
+        let cmd = parse_cmd("montecarlo --domain dnn --samples 128").unwrap();
         match cmd {
             Command::MonteCarlo { samples, workload } => {
                 assert_eq!(samples, 128);
@@ -465,25 +574,25 @@ mod tests {
             }
             other => panic!("unexpected command {other:?}"),
         }
-        assert!(parse(&argv("montecarlo --samples 0")).is_err());
-        assert!(parse(&argv("montecarlo --samples abc")).is_err());
+        assert!(parse_cmd("montecarlo --samples 0").is_err());
+        assert!(parse_cmd("montecarlo --samples abc").is_err());
     }
 
     #[test]
     fn invalid_inputs_are_rejected_with_messages() {
-        assert!(parse(&argv("frobnicate")).is_err());
-        assert!(parse(&argv("compare --apps 0")).is_err());
-        assert!(parse(&argv("compare --volume 0")).is_err());
-        assert!(parse(&argv("compare --lifetime -1")).is_err());
-        assert!(parse(&argv("compare --apps")).is_err());
-        assert!(parse(&argv("compare apps 5")).is_err());
-        let err = parse(&argv("compare --apps x")).unwrap_err();
+        assert!(parse_cmd("frobnicate").is_err());
+        assert!(parse_cmd("compare --apps 0").is_err());
+        assert!(parse_cmd("compare --volume 0").is_err());
+        assert!(parse_cmd("compare --lifetime -1").is_err());
+        assert!(parse_cmd("compare --apps").is_err());
+        assert!(parse_cmd("compare apps 5").is_err());
+        let err = parse_cmd("compare --apps x").unwrap_err();
         assert!(err.to_string().contains("--apps"));
     }
 
     #[test]
     fn last_value_wins_for_repeated_options() {
-        let cmd = parse(&argv("compare --apps 3 --apps 7")).unwrap();
+        let cmd = parse_cmd("compare --apps 3 --apps 7").unwrap();
         match cmd {
             Command::Compare(w) => assert_eq!(w.apps, 7),
             other => panic!("unexpected command {other:?}"),
@@ -492,7 +601,7 @@ mod tests {
 
     #[test]
     fn grid_defaults_and_validation() {
-        let cmd = parse(&argv("grid --domain imgproc --steps 8")).unwrap();
+        let cmd = parse_cmd("grid --domain imgproc --steps 8").unwrap();
         match cmd {
             Command::Grid {
                 workload,
@@ -507,12 +616,10 @@ mod tests {
             }
             other => panic!("unexpected command {other:?}"),
         }
-        assert!(parse(&argv("grid --x-axis apps --y-axis apps")).is_err());
-        assert!(parse(&argv("grid --steps 1")).is_err());
-        assert!(parse(&argv("grid --x-from 5 --x-to 2")).is_err());
-        let cmd = parse(&argv(
-            "heatmap --x-axis volume --x-from 1000 --x-to 1000000 --y-axis apps --y-from 1 --y-to 10",
-        ))
+        assert!(parse_cmd("grid --x-axis apps --y-axis apps").is_err());
+        assert!(parse_cmd("grid --steps 1").is_err());
+        assert!(parse_cmd("grid --x-from 5 --x-to 2").is_err());
+        let cmd = parse_cmd("heatmap --x-axis volume --x-from 1000 --x-to 1000000 --y-axis apps --y-from 1 --y-to 10")
         .unwrap();
         assert!(matches!(
             cmd,
@@ -529,15 +636,13 @@ mod tests {
 
     #[test]
     fn grid_adaptive_flag_is_parsed() {
-        let cmd = parse(&argv("grid --domain dnn --steps 16 --adaptive")).unwrap();
+        let cmd = parse_cmd("grid --domain dnn --steps 16 --adaptive").unwrap();
         assert!(matches!(cmd, Command::Grid { adaptive: true, .. }));
     }
 
     #[test]
     fn frontier_shares_grid_geometry() {
-        let cmd = parse(&argv(
-            "frontier --domain dnn --x-axis apps --x-from 1 --x-to 32 --y-axis lifetime --y-from 0.1 --y-to 3 --steps 64",
-        ))
+        let cmd = parse_cmd("frontier --domain dnn --x-axis apps --x-from 1 --x-to 32 --y-axis lifetime --y-from 0.1 --y-to 3 --steps 64")
         .unwrap();
         match cmd {
             Command::Frontier { workload, shape } => {
@@ -549,9 +654,9 @@ mod tests {
             }
             other => panic!("unexpected command {other:?}"),
         }
-        assert!(parse(&argv("frontier --x-axis apps --y-axis apps")).is_err());
-        assert!(parse(&argv("frontier --steps 1")).is_err());
-        assert!(parse(&argv("frontier --y-from 3 --y-to 1")).is_err());
+        assert!(parse_cmd("frontier --x-axis apps --y-axis apps").is_err());
+        assert!(parse_cmd("frontier --steps 1").is_err());
+        assert!(parse_cmd("frontier --y-from 3 --y-to 1").is_err());
     }
 
     #[test]
@@ -565,6 +670,7 @@ mod tests {
             "industry",
             "tornado",
             "montecarlo",
+            "serve",
         ] {
             assert!(USAGE.contains(command), "usage is missing {command}");
         }

@@ -15,24 +15,25 @@ mod args;
 
 use std::process::ExitCode;
 
+use gf_json::{object, ToJson, Value};
 use greenfpga::{
     csv_from_rows, industry_asic1, industry_asic2, industry_fpga1, industry_fpga2, render_table,
-    Estimator, EstimatorParams, GreenFpgaError, HeatmapRenderer, IndustryScenario, MonteCarlo,
-    OperatingPoint, SweepAxis, Workload,
+    api, Estimator, EstimatorParams, GreenFpgaError, HeatmapRenderer, IndustryScenario,
+    MonteCarlo, OperatingPoint, SweepAxis, Workload,
 };
 
-use args::{Command, GridShape, WorkloadArgs, USAGE};
+use args::{Command, GridShape, ServeArgs, WorkloadArgs, USAGE};
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let command = match args::parse(&raw) {
-        Ok(command) => command,
+    let parsed = match args::parse(&raw) {
+        Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
             return ExitCode::from(2);
         }
     };
-    match run(command) {
+    match run(parsed.command, parsed.json) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
@@ -41,15 +42,15 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(command: Command) -> Result<(), GreenFpgaError> {
+fn run(command: Command, json: bool) -> Result<(), GreenFpgaError> {
     let estimator = Estimator::new(EstimatorParams::paper_defaults());
     match command {
         Command::Help => {
             println!("{USAGE}");
             Ok(())
         }
-        Command::Compare(workload) => compare(&estimator, workload),
-        Command::Crossover(workload) => crossover(&estimator, workload),
+        Command::Compare(workload) => compare(&estimator, workload, json),
+        Command::Crossover(workload) => crossover(&estimator, workload, json),
         Command::Sweep {
             workload,
             axis,
@@ -57,10 +58,21 @@ fn run(command: Command) -> Result<(), GreenFpgaError> {
             to,
             steps,
             csv,
-        } => sweep(&estimator, workload, axis, from, to, steps, csv),
-        Command::Industry => industry(&estimator),
-        Command::Tornado(workload) => tornado(&estimator, workload),
-        Command::MonteCarlo { workload, samples } => monte_carlo(&estimator, workload, samples),
+        } => {
+            let output = if json {
+                SweepOutput::Json
+            } else if csv {
+                SweepOutput::Csv
+            } else {
+                SweepOutput::Table
+            };
+            sweep(&estimator, workload, axis, from, to, steps, output)
+        }
+        Command::Industry => industry(&estimator, json),
+        Command::Tornado(workload) => tornado(&estimator, workload, json),
+        Command::MonteCarlo { workload, samples } => {
+            monte_carlo(&estimator, workload, samples, json)
+        }
         Command::Grid {
             workload,
             shape,
@@ -73,7 +85,58 @@ fn run(command: Command) -> Result<(), GreenFpgaError> {
             }
         }
         Command::Frontier { workload, shape } => frontier(&estimator, workload, shape),
+        Command::Serve(serve_args) => serve(serve_args),
     }
+}
+
+/// Runs the HTTP service in the foreground until the process is stopped.
+fn serve(serve_args: ServeArgs) -> Result<(), GreenFpgaError> {
+    let config = gf_server::ServerConfig {
+        addr: serve_args.addr,
+        workers: serve_args.workers,
+        eval_threads: serve_args.eval_threads,
+        cache_capacity: serve_args.cache_capacity,
+        ..gf_server::ServerConfig::default()
+    };
+    let workers = config.workers_resolved();
+    match gf_server::Server::bind(config) {
+        Ok(server) => {
+            println!(
+                "greenfpga-serve listening on http://{} ({workers} workers)",
+                server.local_addr()
+            );
+            server.run();
+            Ok(())
+        }
+        Err(e) => Err(GreenFpgaError::InvalidApplication {
+            field: "serve",
+            reason: e.to_string(),
+        }),
+    }
+}
+
+/// How the `sweep` subcommand renders its series.
+enum SweepOutput {
+    Table,
+    Csv,
+    Json,
+}
+
+/// Prints a JSON document (pretty, machine-parseable) to stdout.
+///
+/// # Errors
+///
+/// Surfaces serialization failures (a non-finite number in the result) as
+/// a model error, so `--json` consumers get a non-zero exit instead of an
+/// empty file.
+fn print_json(value: &Value) -> Result<(), GreenFpgaError> {
+    let text = value
+        .to_json_string_pretty()
+        .map_err(|e| GreenFpgaError::Serialization {
+            reason: e.to_string(),
+        })?;
+    print!("{text}");
+    Ok(())
 }
 
 fn linspace(from: f64, to: f64, steps: usize) -> Vec<f64> {
@@ -140,9 +203,12 @@ fn operating_point(args: WorkloadArgs) -> OperatingPoint {
     }
 }
 
-fn compare(estimator: &Estimator, args: WorkloadArgs) -> Result<(), GreenFpgaError> {
+fn compare(estimator: &Estimator, args: WorkloadArgs, json: bool) -> Result<(), GreenFpgaError> {
     let workload = Workload::uniform(args.domain, args.apps, args.lifetime_years, args.volume)?;
     let comparison = estimator.compare_domain(&workload)?;
+    if json {
+        return print_json(&api::EvaluateResponse { comparison }.to_json());
+    }
     println!(
         "{} — {} applications, {:.1}-year lifetimes, {} units each:",
         args.domain, args.apps, args.lifetime_years, args.volume
@@ -182,26 +248,43 @@ fn compare(estimator: &Estimator, args: WorkloadArgs) -> Result<(), GreenFpgaErr
     Ok(())
 }
 
-fn crossover(estimator: &Estimator, args: WorkloadArgs) -> Result<(), GreenFpgaError> {
-    println!(
-        "Crossover points for {} (around {} apps, {:.1} y, {} units):",
-        args.domain, args.apps, args.lifetime_years, args.volume
-    );
-    match estimator.crossover_in_applications(args.domain, 20, args.lifetime_years, args.volume)? {
-        Some(n) => println!("  applications: FPGA becomes greener from {n} applications"),
-        None => println!("  applications: no crossover within 20 applications"),
-    }
-    match estimator.crossover_in_lifetime(args.domain, args.apps, args.volume, 0.05, 5.0)? {
-        Some(c) => println!("  lifetime:     {} at {:.2} years", c.direction, c.at),
-        None => println!("  lifetime:     no crossover in 0.05–5 years"),
-    }
-    match estimator.crossover_in_volume(
+fn crossover(estimator: &Estimator, args: WorkloadArgs, json: bool) -> Result<(), GreenFpgaError> {
+    let applications =
+        estimator.crossover_in_applications(args.domain, 20, args.lifetime_years, args.volume)?;
+    let lifetime =
+        estimator.crossover_in_lifetime(args.domain, args.apps, args.volume, 0.05, 5.0)?;
+    let volume = estimator.crossover_in_volume(
         args.domain,
         args.apps,
         args.lifetime_years,
         1_000,
         50_000_000,
-    )? {
+    )?;
+    if json {
+        return print_json(
+            &api::CrossoverResponse {
+                domain: args.domain,
+                base: operating_point(args),
+                applications,
+                lifetime,
+                volume,
+            }
+            .to_json(),
+        );
+    }
+    println!(
+        "Crossover points for {} (around {} apps, {:.1} y, {} units):",
+        args.domain, args.apps, args.lifetime_years, args.volume
+    );
+    match applications {
+        Some(n) => println!("  applications: FPGA becomes greener from {n} applications"),
+        None => println!("  applications: no crossover within 20 applications"),
+    }
+    match lifetime {
+        Some(c) => println!("  lifetime:     {} at {:.2} years", c.direction, c.at),
+        None => println!("  lifetime:     no crossover in 0.05–5 years"),
+    }
+    match volume {
         Some(c) => println!("  volume:       {} at {:.0} units", c.direction, c.at),
         None => println!("  volume:       no crossover in 1K–50M units"),
     }
@@ -215,12 +298,15 @@ fn sweep(
     from: f64,
     to: f64,
     steps: usize,
-    csv: bool,
+    output: SweepOutput,
 ) -> Result<(), GreenFpgaError> {
     let values: Vec<f64> = (0..steps)
         .map(|i| from + (to - from) * i as f64 / (steps as f64 - 1.0))
         .collect();
     let series = estimator.sweep(args.domain, axis, &values, operating_point(args))?;
+    if matches!(output, SweepOutput::Json) {
+        return print_json(&series.to_json());
+    }
     let rows: Vec<Vec<String>> = series
         .points
         .iter()
@@ -239,7 +325,7 @@ fn sweep(
         "ASIC total (t)",
         "FPGA:ASIC",
     ];
-    if csv {
+    if matches!(output, SweepOutput::Csv) {
         print!("{}", csv_from_rows(&headers, &rows));
     } else {
         println!("{} sweep for {}:", axis.label(), args.domain);
@@ -251,8 +337,28 @@ fn sweep(
     Ok(())
 }
 
-fn industry(estimator: &Estimator) -> Result<(), GreenFpgaError> {
+fn industry(estimator: &Estimator, json: bool) -> Result<(), GreenFpgaError> {
     let scenario = IndustryScenario::paper_defaults();
+    if json {
+        let mut devices = Vec::new();
+        for fpga in [industry_fpga1(), industry_fpga2()] {
+            let cfp = scenario.evaluate_fpga(estimator, &fpga)?;
+            devices.push(object([
+                ("device", Value::from(fpga.chip().name())),
+                ("platform", Value::from("FPGA")),
+                ("cfp", cfp.to_json()),
+            ]));
+        }
+        for asic in [industry_asic1(), industry_asic2()] {
+            let cfp = scenario.evaluate_asic(estimator, &asic)?;
+            devices.push(object([
+                ("device", Value::from(asic.chip().name())),
+                ("platform", Value::from("ASIC")),
+                ("cfp", cfp.to_json()),
+            ]));
+        }
+        return print_json(&object([("devices", Value::Array(devices))]));
+    }
     let mut rows = Vec::new();
     for fpga in [industry_fpga1(), industry_fpga2()] {
         let cfp = scenario.evaluate_fpga(estimator, &fpga)?;
@@ -297,8 +403,11 @@ fn industry(estimator: &Estimator) -> Result<(), GreenFpgaError> {
     Ok(())
 }
 
-fn tornado(estimator: &Estimator, args: WorkloadArgs) -> Result<(), GreenFpgaError> {
+fn tornado(estimator: &Estimator, args: WorkloadArgs, json: bool) -> Result<(), GreenFpgaError> {
     let analysis = estimator.tornado_analysis(args.domain, operating_point(args))?;
+    if json {
+        return print_json(&analysis.to_json());
+    }
     let rows: Vec<Vec<String>> = analysis
         .entries
         .iter()
@@ -345,9 +454,13 @@ fn monte_carlo(
     estimator: &Estimator,
     args: WorkloadArgs,
     samples: usize,
+    json: bool,
 ) -> Result<(), GreenFpgaError> {
     let report =
         MonteCarlo::new(samples).run(estimator.params(), args.domain, operating_point(args))?;
+    if json {
+        return print_json(&report.to_json());
+    }
     println!(
         "Monte-Carlo study for {} ({samples} samples over the Table 1 ranges):",
         args.domain

@@ -1,0 +1,981 @@
+//! Typed wire format of the estimation service.
+//!
+//! This module is the single place where model types meet JSON: the
+//! [`gf_json::ToJson`] / [`gf_json::FromJson`] impls for the core result
+//! types, and the typed request/response structs `greenfpga-serve` exposes
+//! over HTTP. Putting them in the core crate (rather than the server) means
+//! every consumer — the server, the CLI's `--json` output, the load
+//! generator and the integration tests — shares one schema, so a response a
+//! test decodes is *structurally guaranteed* to match what the server
+//! encoded.
+//!
+//! Numbers are serialized with round-tripping `f64` formatting (see
+//! [`gf_json`]), so decoding a response reconstructs carbon breakdowns
+//! **bit-identical** to the values the engine produced.
+//!
+//! ## Request schema
+//!
+//! Every request names a scenario — a domain plus optional knob overrides
+//! (Table 1 knobs, keyed by [`Knob::id`]) — and the workload operating
+//! point(s):
+//!
+//! ```json
+//! {
+//!   "domain": "dnn",
+//!   "knobs": {"duty_cycle": 0.3, "usage_grid_intensity": 450.0},
+//!   "point": {"applications": 5, "lifetime_years": 2.0, "volume": 1000000}
+//! }
+//! ```
+
+use gf_json::{object, FromJson, JsonError, ToJson, Value};
+
+use crate::{
+    CfpBreakdown, Crossover, CrossoverDirection, Domain, EstimatorParams, FrontierResult, Knob,
+    OperatingPoint, PlatformComparison, PlatformKind, SensitivityEntry, SweepAxis, SweepPoint,
+    SweepSeries, TornadoAnalysis, UncertaintyReport,
+};
+use gf_units::Carbon;
+
+/// Reads a required object member.
+fn field<'v>(value: &'v Value, key: &'static str) -> Result<&'v Value, JsonError> {
+    value
+        .get(key)
+        .ok_or_else(|| JsonError::schema(key, "missing required field"))
+}
+
+/// Reads and decodes a required object member.
+fn decode<T: FromJson>(value: &Value, key: &'static str) -> Result<T, JsonError> {
+    T::from_json(field(value, key)?).map_err(|e| prefix_schema(key, e))
+}
+
+/// Decodes an optional object member, falling back when absent or null.
+fn decode_or<T: FromJson>(value: &Value, key: &'static str, fallback: T) -> Result<T, JsonError> {
+    match value.get(key) {
+        None | Some(Value::Null) => Ok(fallback),
+        Some(member) => T::from_json(member).map_err(|e| prefix_schema(key, e)),
+    }
+}
+
+/// Prefixes the field path of a nested schema error, so "lifetime_years"
+/// inside "point" reports as `point.lifetime_years`.
+fn prefix_schema(key: &str, error: JsonError) -> JsonError {
+    match error {
+        JsonError::Schema { at, message } => JsonError::Schema {
+            at: if at.is_empty()
+                || at == key
+                || matches!(at.as_str(), "number" | "string" | "bool" | "array")
+            {
+                key.to_string()
+            } else {
+                format!("{key}.{at}")
+            },
+            message,
+        },
+        other => other,
+    }
+}
+
+impl ToJson for Domain {
+    fn to_json(&self) -> Value {
+        Value::String(self.id().to_string())
+    }
+}
+
+impl FromJson for Domain {
+    fn from_json(value: &Value) -> Result<Domain, JsonError> {
+        let id = value
+            .as_str()
+            .ok_or_else(|| JsonError::schema("domain", "expected a domain string"))?;
+        Domain::parse_id(id)
+            .ok_or_else(|| JsonError::schema("domain", format!("unknown domain '{id}'")))
+    }
+}
+
+impl ToJson for SweepAxis {
+    fn to_json(&self) -> Value {
+        let id = match self {
+            SweepAxis::Applications => "apps",
+            SweepAxis::LifetimeYears => "lifetime",
+            SweepAxis::VolumeUnits => "volume",
+        };
+        Value::String(id.to_string())
+    }
+}
+
+impl FromJson for SweepAxis {
+    fn from_json(value: &Value) -> Result<SweepAxis, JsonError> {
+        let id = value
+            .as_str()
+            .ok_or_else(|| JsonError::schema("axis", "expected an axis string"))?;
+        match id.to_ascii_lowercase().as_str() {
+            "apps" | "applications" => Ok(SweepAxis::Applications),
+            "lifetime" => Ok(SweepAxis::LifetimeYears),
+            "volume" => Ok(SweepAxis::VolumeUnits),
+            other => Err(JsonError::schema("axis", format!("unknown axis '{other}'"))),
+        }
+    }
+}
+
+impl ToJson for PlatformKind {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl FromJson for PlatformKind {
+    fn from_json(value: &Value) -> Result<PlatformKind, JsonError> {
+        match value.as_str() {
+            Some("FPGA") => Ok(PlatformKind::Fpga),
+            Some("ASIC") => Ok(PlatformKind::Asic),
+            _ => Err(JsonError::schema("winner", "expected \"FPGA\" or \"ASIC\"")),
+        }
+    }
+}
+
+impl ToJson for CrossoverDirection {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl FromJson for CrossoverDirection {
+    fn from_json(value: &Value) -> Result<CrossoverDirection, JsonError> {
+        match value.as_str() {
+            Some("A2F") => Ok(CrossoverDirection::AsicToFpga),
+            Some("F2A") => Ok(CrossoverDirection::FpgaToAsic),
+            _ => Err(JsonError::schema("direction", "expected \"A2F\" or \"F2A\"")),
+        }
+    }
+}
+
+impl ToJson for Crossover {
+    fn to_json(&self) -> Value {
+        object([
+            ("at", Value::Number(self.at)),
+            ("direction", self.direction.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Crossover {
+    fn from_json(value: &Value) -> Result<Crossover, JsonError> {
+        Ok(Crossover {
+            at: decode(value, "at")?,
+            direction: decode(value, "direction")?,
+        })
+    }
+}
+
+impl ToJson for OperatingPoint {
+    fn to_json(&self) -> Value {
+        object([
+            ("applications", Value::Number(self.applications as f64)),
+            ("lifetime_years", Value::Number(self.lifetime_years)),
+            ("volume", Value::Number(self.volume as f64)),
+        ])
+    }
+}
+
+impl FromJson for OperatingPoint {
+    fn from_json(value: &Value) -> Result<OperatingPoint, JsonError> {
+        if value.as_object().is_none() {
+            return Err(JsonError::schema("point", "expected an operating-point object"));
+        }
+        let fallback = OperatingPoint::paper_default();
+        Ok(OperatingPoint {
+            applications: decode_or(value, "applications", fallback.applications)?,
+            lifetime_years: decode_or(value, "lifetime_years", fallback.lifetime_years)?,
+            volume: decode_or(value, "volume", fallback.volume)?,
+        })
+    }
+}
+
+impl ToJson for CfpBreakdown {
+    fn to_json(&self) -> Value {
+        object([
+            ("design_kg", self.design.as_kg()),
+            ("manufacturing_kg", self.manufacturing.as_kg()),
+            ("packaging_kg", self.packaging.as_kg()),
+            ("eol_kg", self.eol.as_kg()),
+            ("operation_kg", self.operation.as_kg()),
+            ("app_dev_kg", self.app_dev.as_kg()),
+            ("total_kg", self.total().as_kg()),
+        ])
+    }
+}
+
+impl FromJson for CfpBreakdown {
+    fn from_json(value: &Value) -> Result<CfpBreakdown, JsonError> {
+        Ok(CfpBreakdown {
+            design: Carbon::from_kg(decode(value, "design_kg")?),
+            manufacturing: Carbon::from_kg(decode(value, "manufacturing_kg")?),
+            packaging: Carbon::from_kg(decode(value, "packaging_kg")?),
+            eol: Carbon::from_kg(decode(value, "eol_kg")?),
+            operation: Carbon::from_kg(decode(value, "operation_kg")?),
+            app_dev: Carbon::from_kg(decode(value, "app_dev_kg")?),
+        })
+    }
+}
+
+impl ToJson for PlatformComparison {
+    fn to_json(&self) -> Value {
+        object([
+            ("domain", self.domain.to_json()),
+            ("fpga", self.fpga.to_json()),
+            ("asic", self.asic.to_json()),
+            ("ratio", Value::Number(self.fpga_to_asic_ratio())),
+            ("winner", self.winner().to_json()),
+        ])
+    }
+}
+
+impl FromJson for PlatformComparison {
+    fn from_json(value: &Value) -> Result<PlatformComparison, JsonError> {
+        Ok(PlatformComparison::new(
+            decode(value, "domain")?,
+            decode(value, "fpga")?,
+            decode(value, "asic")?,
+        ))
+    }
+}
+
+impl ToJson for SweepPoint {
+    fn to_json(&self) -> Value {
+        object([
+            ("x", Value::Number(self.x)),
+            ("fpga", self.fpga.to_json()),
+            ("asic", self.asic.to_json()),
+            ("ratio", Value::Number(self.ratio())),
+        ])
+    }
+}
+
+impl ToJson for SweepSeries {
+    fn to_json(&self) -> Value {
+        object([
+            ("domain", self.domain.to_json()),
+            ("axis", self.axis.to_json()),
+            (
+                "points",
+                Value::Array(self.points.iter().map(ToJson::to_json).collect()),
+            ),
+            (
+                "crossovers",
+                Value::Array(self.crossovers().iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl ToJson for SensitivityEntry {
+    fn to_json(&self) -> Value {
+        object([
+            ("knob", Value::String(self.knob.id().to_string())),
+            ("ratio_at_low", Value::Number(self.ratio_at_low)),
+            ("ratio_at_high", Value::Number(self.ratio_at_high)),
+            ("ratio_at_baseline", Value::Number(self.ratio_at_baseline)),
+            ("swing", Value::Number(self.swing())),
+            ("flips_winner", Value::Bool(self.flips_winner())),
+        ])
+    }
+}
+
+impl ToJson for TornadoAnalysis {
+    fn to_json(&self) -> Value {
+        object([
+            ("domain", self.domain.to_json()),
+            ("point", self.point.to_json()),
+            (
+                "entries",
+                Value::Array(self.entries.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl ToJson for UncertaintyReport {
+    fn to_json(&self) -> Value {
+        object([
+            ("domain", self.domain.to_json()),
+            ("point", self.point.to_json()),
+            ("samples", Value::Number(self.ratios.len() as f64)),
+            ("ratio_p5", Value::Number(self.quantile(0.05))),
+            ("ratio_median", Value::Number(self.median())),
+            ("ratio_p95", Value::Number(self.quantile(0.95))),
+            ("ratio_mean", Value::Number(self.mean())),
+            (
+                "fpga_win_probability",
+                Value::Number(self.fpga_win_probability()),
+            ),
+            ("majority_winner", self.majority_winner().to_json()),
+        ])
+    }
+}
+
+impl ToJson for FrontierResult {
+    fn to_json(&self) -> Value {
+        let winners = Value::Array(
+            self.winner_mask()
+                .into_iter()
+                .map(|row| Value::Array(row.into_iter().map(Value::Bool).collect()))
+                .collect(),
+        );
+        object([
+            ("domain", self.domain.to_json()),
+            ("x_axis", self.x_axis.to_json()),
+            (
+                "x_values",
+                Value::Array(self.x_values.iter().map(|&x| Value::Number(x)).collect()),
+            ),
+            ("y_axis", self.y_axis.to_json()),
+            (
+                "y_values",
+                Value::Array(self.y_values.iter().map(|&y| Value::Number(y)).collect()),
+            ),
+            ("fpga_wins", winners),
+            (
+                "fpga_winning_fraction",
+                Value::Number(self.fpga_winning_fraction()),
+            ),
+            ("evaluations", Value::Number(self.evaluations() as f64)),
+            (
+                "evaluated_fraction",
+                Value::Number(self.evaluated_fraction()),
+            ),
+        ])
+    }
+}
+
+/// A scenario addressed by a request: a domain template plus Table 1 knob
+/// overrides. Two requests with the same spec compile to the same
+/// [`crate::CompiledScenario`] — the key the server's scenario cache uses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// The application domain.
+    pub domain: Domain,
+    /// Knob overrides applied on top of
+    /// [`EstimatorParams::paper_defaults`], in application order.
+    pub knobs: Vec<(Knob, f64)>,
+}
+
+impl ScenarioSpec {
+    /// A baseline (no-override) spec for a domain.
+    pub fn baseline(domain: Domain) -> Self {
+        ScenarioSpec {
+            domain,
+            knobs: Vec::new(),
+        }
+    }
+
+    /// Resolves the spec to a parameter set: paper defaults with every
+    /// override applied (clamped to its knob's range, like
+    /// [`Knob::apply_mut`] always does).
+    pub fn params(&self) -> EstimatorParams {
+        let mut params = EstimatorParams::paper_defaults();
+        for &(knob, value) in &self.knobs {
+            knob.apply_mut(&mut params, value);
+        }
+        params
+    }
+}
+
+impl ToJson for ScenarioSpec {
+    fn to_json(&self) -> Value {
+        let knobs = Value::Object(
+            self.knobs
+                .iter()
+                .map(|&(knob, value)| (knob.id().to_string(), Value::Number(value)))
+                .collect(),
+        );
+        object([("domain", self.domain.to_json()), ("knobs", knobs)])
+    }
+}
+
+impl FromJson for ScenarioSpec {
+    fn from_json(value: &Value) -> Result<ScenarioSpec, JsonError> {
+        let domain = decode(value, "domain")?;
+        let mut knobs = Vec::new();
+        match value.get("knobs") {
+            None | Some(Value::Null) => {}
+            Some(Value::Object(members)) => {
+                for (id, member) in members {
+                    let knob = Knob::parse_id(id).ok_or_else(|| {
+                        JsonError::schema(format!("knobs.{id}"), "unknown knob")
+                    })?;
+                    let value = member.as_f64().ok_or_else(|| {
+                        JsonError::schema(format!("knobs.{id}"), "expected a number")
+                    })?;
+                    knobs.push((knob, value));
+                }
+            }
+            Some(_) => {
+                return Err(JsonError::schema("knobs", "expected an object of knob values"));
+            }
+        }
+        Ok(ScenarioSpec { domain, knobs })
+    }
+}
+
+/// `POST /v1/evaluate`: one operating point in one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluateRequest {
+    /// The scenario to evaluate in.
+    pub scenario: ScenarioSpec,
+    /// The operating point (defaults to [`OperatingPoint::paper_default`]).
+    pub point: OperatingPoint,
+}
+
+impl ToJson for EvaluateRequest {
+    fn to_json(&self) -> Value {
+        merge_scenario(&self.scenario, [("point", self.point.to_json())])
+    }
+}
+
+impl FromJson for EvaluateRequest {
+    fn from_json(value: &Value) -> Result<EvaluateRequest, JsonError> {
+        Ok(EvaluateRequest {
+            scenario: ScenarioSpec::from_json(value)?,
+            point: decode_or(value, "point", OperatingPoint::paper_default())?,
+        })
+    }
+}
+
+/// `POST /v1/evaluate` response: the full comparison at the point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluateResponse {
+    /// The comparison the engine produced.
+    pub comparison: PlatformComparison,
+}
+
+impl ToJson for EvaluateResponse {
+    fn to_json(&self) -> Value {
+        self.comparison.to_json()
+    }
+}
+
+impl FromJson for EvaluateResponse {
+    fn from_json(value: &Value) -> Result<EvaluateResponse, JsonError> {
+        Ok(EvaluateResponse {
+            comparison: PlatformComparison::from_json(value)?,
+        })
+    }
+}
+
+/// `POST /v1/batch`: many operating points in one scenario, evaluated
+/// through the zero-allocation SoA kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchEvalRequest {
+    /// The scenario every point is evaluated in.
+    pub scenario: ScenarioSpec,
+    /// The operating points, evaluated in order.
+    pub points: Vec<OperatingPoint>,
+}
+
+impl ToJson for BatchEvalRequest {
+    fn to_json(&self) -> Value {
+        merge_scenario(
+            &self.scenario,
+            [(
+                "points",
+                Value::Array(self.points.iter().map(ToJson::to_json).collect()),
+            )],
+        )
+    }
+}
+
+impl FromJson for BatchEvalRequest {
+    fn from_json(value: &Value) -> Result<BatchEvalRequest, JsonError> {
+        Ok(BatchEvalRequest {
+            scenario: ScenarioSpec::from_json(value)?,
+            points: decode(value, "points")?,
+        })
+    }
+}
+
+/// `POST /v1/batch` response: one comparison per requested point, in
+/// request order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchEvalResponse {
+    /// The comparisons, in request order.
+    pub comparisons: Vec<PlatformComparison>,
+}
+
+impl ToJson for BatchEvalResponse {
+    fn to_json(&self) -> Value {
+        object([
+            ("count", Value::Number(self.comparisons.len() as f64)),
+            (
+                "results",
+                Value::Array(self.comparisons.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for BatchEvalResponse {
+    fn from_json(value: &Value) -> Result<BatchEvalResponse, JsonError> {
+        let comparisons: Vec<PlatformComparison> = field(value, "results")?
+            .as_array()
+            .ok_or_else(|| JsonError::schema("results", "expected an array"))?
+            .iter()
+            .map(PlatformComparison::from_json)
+            .collect::<Result<_, _>>()?;
+        Ok(BatchEvalResponse { comparisons })
+    }
+}
+
+/// `POST /v1/crossover`: the three crossover searches of the paper's
+/// Figs. 4–6 around a base operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossoverRequest {
+    /// The scenario to search in.
+    pub scenario: ScenarioSpec,
+    /// The base operating point supplying the held parameters.
+    pub base: OperatingPoint,
+    /// Upper bound of the application-count search (Fig. 4).
+    pub max_applications: u64,
+    /// Lifetime search range in years (Fig. 5).
+    pub lifetime_range: (f64, f64),
+    /// Volume search range in devices (Fig. 6).
+    pub volume_range: (u64, u64),
+}
+
+impl CrossoverRequest {
+    /// The CLI's default search windows: 20 applications, 0.05–5 years,
+    /// 1 K–50 M devices.
+    pub fn with_default_ranges(scenario: ScenarioSpec, base: OperatingPoint) -> Self {
+        CrossoverRequest {
+            scenario,
+            base,
+            max_applications: 20,
+            lifetime_range: (0.05, 5.0),
+            volume_range: (1_000, 50_000_000),
+        }
+    }
+}
+
+impl ToJson for CrossoverRequest {
+    fn to_json(&self) -> Value {
+        merge_scenario(
+            &self.scenario,
+            [
+                ("point", self.base.to_json()),
+                (
+                    "max_applications",
+                    Value::Number(self.max_applications as f64),
+                ),
+                (
+                    "lifetime_range",
+                    Value::Array(vec![
+                        Value::Number(self.lifetime_range.0),
+                        Value::Number(self.lifetime_range.1),
+                    ]),
+                ),
+                (
+                    "volume_range",
+                    Value::Array(vec![
+                        Value::Number(self.volume_range.0 as f64),
+                        Value::Number(self.volume_range.1 as f64),
+                    ]),
+                ),
+            ],
+        )
+    }
+}
+
+impl FromJson for CrossoverRequest {
+    fn from_json(value: &Value) -> Result<CrossoverRequest, JsonError> {
+        let defaults = CrossoverRequest::with_default_ranges(
+            ScenarioSpec::from_json(value)?,
+            decode_or(value, "point", OperatingPoint::paper_default())?,
+        );
+        let pair_f64 = |key: &'static str, fallback: (f64, f64)| match value.get(key) {
+            None | Some(Value::Null) => Ok(fallback),
+            Some(member) => {
+                let items = member
+                    .as_array()
+                    .filter(|items| items.len() == 2)
+                    .ok_or_else(|| JsonError::schema(key, "expected [low, high]"))?;
+                match (items[0].as_f64(), items[1].as_f64()) {
+                    (Some(low), Some(high)) => Ok((low, high)),
+                    _ => Err(JsonError::schema(key, "expected two numbers")),
+                }
+            }
+        };
+        let (lifetime_low, lifetime_high) = pair_f64("lifetime_range", defaults.lifetime_range)?;
+        let volume_range = match value.get("volume_range") {
+            None | Some(Value::Null) => defaults.volume_range,
+            Some(member) => {
+                let items = member
+                    .as_array()
+                    .filter(|items| items.len() == 2)
+                    .ok_or_else(|| JsonError::schema("volume_range", "expected [low, high]"))?;
+                match (items[0].as_u64(), items[1].as_u64()) {
+                    (Some(low), Some(high)) => (low, high),
+                    _ => {
+                        return Err(JsonError::schema(
+                            "volume_range",
+                            "expected two non-negative integers",
+                        ))
+                    }
+                }
+            }
+        };
+        Ok(CrossoverRequest {
+            max_applications: decode_or(value, "max_applications", defaults.max_applications)?,
+            lifetime_range: (lifetime_low, lifetime_high),
+            volume_range,
+            ..defaults
+        })
+    }
+}
+
+/// `POST /v1/crossover` response: one entry per searched axis; `None`
+/// where the preferred platform never flips inside the window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossoverResponse {
+    /// The domain searched.
+    pub domain: Domain,
+    /// The base operating point the held parameters came from.
+    pub base: OperatingPoint,
+    /// Smallest winning application count (Fig. 4), if any.
+    pub applications: Option<u64>,
+    /// Lifetime crossover (Fig. 5), if any.
+    pub lifetime: Option<Crossover>,
+    /// Volume crossover (Fig. 6), if any.
+    pub volume: Option<Crossover>,
+}
+
+impl ToJson for CrossoverResponse {
+    fn to_json(&self) -> Value {
+        let opt = |crossover: &Option<Crossover>| match crossover {
+            Some(c) => c.to_json(),
+            None => Value::Null,
+        };
+        object([
+            ("domain", self.domain.to_json()),
+            ("point", self.base.to_json()),
+            (
+                "applications",
+                match self.applications {
+                    Some(n) => Value::Number(n as f64),
+                    None => Value::Null,
+                },
+            ),
+            ("lifetime", opt(&self.lifetime)),
+            ("volume", opt(&self.volume)),
+        ])
+    }
+}
+
+impl FromJson for CrossoverResponse {
+    fn from_json(value: &Value) -> Result<CrossoverResponse, JsonError> {
+        let opt = |key: &'static str| match value.get(key) {
+            None | Some(Value::Null) => Ok(None),
+            Some(member) => Crossover::from_json(member).map(Some).map_err(|e| prefix_schema(key, e)),
+        };
+        Ok(CrossoverResponse {
+            domain: decode(value, "domain")?,
+            base: decode(value, "point")?,
+            applications: match value.get("applications") {
+                None | Some(Value::Null) => None,
+                Some(member) => Some(u64::from_json(member).map_err(|e| prefix_schema("applications", e))?),
+            },
+            lifetime: opt("lifetime")?,
+            volume: opt("volume")?,
+        })
+    }
+}
+
+/// `POST /v1/frontier`: an adaptive winner map over a 2-D lattice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierRequest {
+    /// The scenario to trace in.
+    pub scenario: ScenarioSpec,
+    /// The base operating point supplying the held parameter.
+    pub base: OperatingPoint,
+    /// Axis swept along the columns.
+    pub x_axis: SweepAxis,
+    /// Column range (inclusive on both ends).
+    pub x_range: (f64, f64),
+    /// Axis swept along the rows.
+    pub y_axis: SweepAxis,
+    /// Row range (inclusive on both ends).
+    pub y_range: (f64, f64),
+    /// Lattice resolution per axis.
+    pub steps: usize,
+}
+
+impl FrontierRequest {
+    /// The lattice coordinates this request describes (linear spacing,
+    /// endpoints included) — shared by the server handler and clients that
+    /// want to reproduce the lattice locally.
+    pub fn lattice(&self) -> (Vec<f64>, Vec<f64>) {
+        let axis_values = |(from, to): (f64, f64)| -> Vec<f64> {
+            (0..self.steps)
+                .map(|i| from + (to - from) * i as f64 / (self.steps as f64 - 1.0))
+                .collect()
+        };
+        (axis_values(self.x_range), axis_values(self.y_range))
+    }
+}
+
+impl ToJson for FrontierRequest {
+    fn to_json(&self) -> Value {
+        merge_scenario(
+            &self.scenario,
+            [
+                ("point", self.base.to_json()),
+                ("x_axis", self.x_axis.to_json()),
+                ("x_from", Value::Number(self.x_range.0)),
+                ("x_to", Value::Number(self.x_range.1)),
+                ("y_axis", self.y_axis.to_json()),
+                ("y_from", Value::Number(self.y_range.0)),
+                ("y_to", Value::Number(self.y_range.1)),
+                ("steps", Value::Number(self.steps as f64)),
+            ],
+        )
+    }
+}
+
+impl FromJson for FrontierRequest {
+    fn from_json(value: &Value) -> Result<FrontierRequest, JsonError> {
+        let steps_u64: u64 = decode_or(value, "steps", 24)?;
+        let request = FrontierRequest {
+            scenario: ScenarioSpec::from_json(value)?,
+            base: decode_or(value, "point", OperatingPoint::paper_default())?,
+            x_axis: decode_or(value, "x_axis", SweepAxis::Applications)?,
+            x_range: (
+                decode_or(value, "x_from", 1.0)?,
+                decode_or(value, "x_to", 12.0)?,
+            ),
+            y_axis: decode_or(value, "y_axis", SweepAxis::LifetimeYears)?,
+            y_range: (
+                decode_or(value, "y_from", 0.25)?,
+                decode_or(value, "y_to", 3.0)?,
+            ),
+            steps: steps_u64 as usize,
+        };
+        if request.steps < 2 || request.steps > 1024 {
+            return Err(JsonError::schema("steps", "expected 2 ≤ steps ≤ 1024"));
+        }
+        if request.x_axis == request.y_axis {
+            return Err(JsonError::schema("y_axis", "x_axis and y_axis must differ"));
+        }
+        let range_invalid =
+            |(from, to): (f64, f64)| !(from.is_finite() && to.is_finite()) || to <= from;
+        if range_invalid(request.x_range) || range_invalid(request.y_range) {
+            return Err(JsonError::schema(
+                "x_from",
+                "ranges must be finite with to > from",
+            ));
+        }
+        Ok(request)
+    }
+}
+
+/// Splices request-specific members after the scenario members, so request
+/// JSON stays flat: `{"domain": ..., "knobs": ..., "point": ...}`.
+fn merge_scenario<const N: usize>(
+    scenario: &ScenarioSpec,
+    members: [(&'static str, Value); N],
+) -> Value {
+    let mut all = match scenario.to_json() {
+        Value::Object(members) => members,
+        _ => unreachable!("scenario serializes to an object"),
+    };
+    for (key, value) in members {
+        all.push((key.to_string(), value));
+    }
+    Value::Object(all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gf_json::parse;
+
+    #[test]
+    fn domain_and_axis_ids_round_trip() {
+        for domain in Domain::ALL {
+            assert_eq!(Domain::from_json(&domain.to_json()).unwrap(), domain);
+            assert_eq!(Domain::parse_id(domain.id()), Some(domain));
+        }
+        for axis in [
+            SweepAxis::Applications,
+            SweepAxis::LifetimeYears,
+            SweepAxis::VolumeUnits,
+        ] {
+            assert_eq!(SweepAxis::from_json(&axis.to_json()).unwrap(), axis);
+        }
+        assert!(Domain::from_json(&Value::String("gpu".into())).is_err());
+        assert!(SweepAxis::from_json(&Value::String("watts".into())).is_err());
+    }
+
+    #[test]
+    fn knob_ids_round_trip_and_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for knob in Knob::ALL {
+            assert_eq!(Knob::parse_id(knob.id()), Some(knob));
+            assert!(seen.insert(knob.id()), "duplicate id {}", knob.id());
+        }
+        assert_eq!(Knob::parse_id("warp_drive"), None);
+    }
+
+    #[test]
+    fn comparison_round_trips_bit_for_bit() {
+        let comparison = crate::Estimator::default()
+            .compare_uniform(Domain::Dnn, 5, 2.0, 1_000_000)
+            .unwrap();
+        let text = comparison.to_json().to_json_string().unwrap();
+        let back = PlatformComparison::from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(back, comparison);
+        assert_eq!(
+            back.fpga.total().as_kg().to_bits(),
+            comparison.fpga.total().as_kg().to_bits()
+        );
+    }
+
+    #[test]
+    fn evaluate_request_decodes_with_defaults() {
+        let request =
+            EvaluateRequest::from_json(&parse(r#"{"domain": "crypto"}"#).unwrap()).unwrap();
+        assert_eq!(request.scenario.domain, Domain::Crypto);
+        assert!(request.scenario.knobs.is_empty());
+        assert_eq!(request.point, OperatingPoint::paper_default());
+
+        let request = EvaluateRequest::from_json(
+            &parse(
+                r#"{"domain": "dnn", "knobs": {"duty_cycle": 0.5},
+                    "point": {"applications": 3, "lifetime_years": 1.5, "volume": 1000}}"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(request.scenario.knobs, vec![(Knob::DutyCycle, 0.5)]);
+        assert_eq!(request.point.applications, 3);
+        // Round trip through to_json.
+        let again =
+            EvaluateRequest::from_json(&parse(&request.to_json().to_json_string().unwrap()).unwrap())
+                .unwrap();
+        assert_eq!(again, request);
+    }
+
+    #[test]
+    fn bad_requests_report_the_offending_field() {
+        let missing = EvaluateRequest::from_json(&parse("{}").unwrap()).unwrap_err();
+        assert!(missing.to_string().contains("domain"), "{missing}");
+        let unknown_knob = EvaluateRequest::from_json(
+            &parse(r#"{"domain": "dnn", "knobs": {"warp": 1}}"#).unwrap(),
+        )
+        .unwrap_err();
+        assert!(unknown_knob.to_string().contains("knobs.warp"));
+        let bad_point = EvaluateRequest::from_json(
+            &parse(r#"{"domain": "dnn", "point": {"volume": -3}}"#).unwrap(),
+        )
+        .unwrap_err();
+        assert!(bad_point.to_string().contains("point"), "{bad_point}");
+        let bad_points =
+            BatchEvalRequest::from_json(&parse(r#"{"domain": "dnn", "points": 7}"#).unwrap())
+                .unwrap_err();
+        assert!(bad_points.to_string().contains("points"));
+    }
+
+    #[test]
+    fn scenario_params_apply_knobs_in_order() {
+        let spec = ScenarioSpec {
+            domain: Domain::Dnn,
+            knobs: vec![(Knob::DutyCycle, 0.1), (Knob::DutyCycle, 0.5)],
+        };
+        let params = spec.params();
+        assert!((params.deployment().duty_cycle.value() - 0.5).abs() < 1e-12);
+        assert_eq!(
+            ScenarioSpec::baseline(Domain::Dnn).params(),
+            EstimatorParams::paper_defaults()
+        );
+    }
+
+    #[test]
+    fn crossover_request_ranges_default_and_decode() {
+        let request =
+            CrossoverRequest::from_json(&parse(r#"{"domain": "imgproc"}"#).unwrap()).unwrap();
+        assert_eq!(request.max_applications, 20);
+        assert_eq!(request.lifetime_range, (0.05, 5.0));
+        assert_eq!(request.volume_range, (1_000, 50_000_000));
+        let request = CrossoverRequest::from_json(
+            &parse(
+                r#"{"domain": "dnn", "max_applications": 8,
+                    "lifetime_range": [0.5, 2.5], "volume_range": [10, 1000]}"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(request.max_applications, 8);
+        assert_eq!(request.lifetime_range, (0.5, 2.5));
+        assert_eq!(request.volume_range, (10, 1_000));
+        assert!(CrossoverRequest::from_json(
+            &parse(r#"{"domain": "dnn", "lifetime_range": [1]}"#).unwrap()
+        )
+        .is_err());
+        // Response round-trip.
+        let response = CrossoverResponse {
+            domain: Domain::Dnn,
+            base: OperatingPoint::paper_default(),
+            applications: Some(4),
+            lifetime: Some(Crossover {
+                at: 1.625,
+                direction: CrossoverDirection::FpgaToAsic,
+            }),
+            volume: None,
+        };
+        let text = response.to_json().to_json_string().unwrap();
+        assert_eq!(
+            CrossoverResponse::from_json(&parse(&text).unwrap()).unwrap(),
+            response
+        );
+    }
+
+    #[test]
+    fn frontier_request_validates_geometry() {
+        let request = FrontierRequest::from_json(
+            &parse(r#"{"domain": "dnn", "steps": 8, "x_to": 32}"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(request.steps, 8);
+        assert_eq!(request.x_range, (1.0, 32.0));
+        let (xs, ys) = request.lattice();
+        assert_eq!(xs.len(), 8);
+        assert_eq!(ys.len(), 8);
+        assert!((xs[0] - 1.0).abs() < 1e-12 && (xs[7] - 32.0).abs() < 1e-12);
+        for bad in [
+            r#"{"domain": "dnn", "steps": 1}"#,
+            r#"{"domain": "dnn", "steps": 4096}"#,
+            r#"{"domain": "dnn", "y_axis": "apps"}"#,
+            r#"{"domain": "dnn", "x_from": 5, "x_to": 2}"#,
+        ] {
+            assert!(
+                FrontierRequest::from_json(&parse(bad).unwrap()).is_err(),
+                "accepted {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_response_round_trips() {
+        let estimator = crate::Estimator::default();
+        let comparisons: Vec<PlatformComparison> = [1u64, 3, 9]
+            .iter()
+            .map(|&apps| {
+                estimator
+                    .compare_uniform(Domain::Crypto, apps, 1.5, 20_000)
+                    .unwrap()
+            })
+            .collect();
+        let response = BatchEvalResponse {
+            comparisons: comparisons.clone(),
+        };
+        let text = response.to_json().to_json_string().unwrap();
+        let back = BatchEvalResponse::from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(back.comparisons, comparisons);
+    }
+}

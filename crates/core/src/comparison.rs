@@ -141,14 +141,100 @@ impl Estimator {
         lifetime_years: f64,
         volume: u64,
     ) -> Result<Option<u64>, GreenFpgaError> {
+        self.compile(domain)?
+            .crossover_in_applications_verified(max_applications, lifetime_years, volume)
+    }
+
+    /// Finds the application lifetime at which the preferred platform flips
+    /// (the paper's F2A point of Fig. 5), holding the application count and
+    /// volume fixed. The search bisects `[min_years, max_years]`.
+    ///
+    /// Returns `Ok(None)` when the same platform wins across the whole
+    /// range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GreenFpgaError::InvalidRange`] for an inverted or
+    /// non-finite range, and propagates model errors.
+    pub fn crossover_in_lifetime(
+        &self,
+        domain: Domain,
+        applications: u64,
+        volume: u64,
+        min_years: f64,
+        max_years: f64,
+    ) -> Result<Option<Crossover>, GreenFpgaError> {
+        self.compile(domain)?
+            .crossover_in_lifetime_verified(applications, volume, min_years, max_years)
+    }
+
+    /// Finds the application volume at which the preferred platform flips
+    /// (the paper's F2A point of Fig. 6), holding the application count and
+    /// lifetime fixed. The search scans a geometric grid between
+    /// `min_volume` and `max_volume` and then bisects the bracketing
+    /// interval.
+    ///
+    /// Returns `Ok(None)` when the same platform wins across the whole
+    /// range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GreenFpgaError::InvalidRange`] for an inverted or zero
+    /// range, and propagates model errors.
+    pub fn crossover_in_volume(
+        &self,
+        domain: Domain,
+        applications: u64,
+        lifetime_years: f64,
+        min_volume: u64,
+        max_volume: u64,
+    ) -> Result<Option<Crossover>, GreenFpgaError> {
+        self.compile(domain)?
+            .crossover_in_volume_verified(applications, lifetime_years, min_volume, max_volume)
+    }
+
+    /// Convenience wrapper returning the full comparison for a uniform
+    /// workload at a single operating point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload construction and model errors.
+    pub fn compare_uniform(
+        &self,
+        domain: Domain,
+        applications: u64,
+        lifetime_years: f64,
+        volume: u64,
+    ) -> Result<PlatformComparison, GreenFpgaError> {
+        let workload = Workload::uniform(domain, applications, lifetime_years, volume)?;
+        self.compare_domain(&workload)
+    }
+}
+
+impl crate::CompiledScenario {
+    /// [`Estimator::crossover_in_applications`] on an already-compiled
+    /// scenario: the closed-form root plus kernel verification of the
+    /// integer boundary. Callers with a scenario cache (the server) use
+    /// these `_verified` entry points to search compile-free; the estimator
+    /// wrappers delegate here, so the answers are identical by
+    /// construction.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Estimator::crossover_in_applications`].
+    pub fn crossover_in_applications_verified(
+        &self,
+        max_applications: u64,
+        lifetime_years: f64,
+        volume: u64,
+    ) -> Result<Option<u64>, GreenFpgaError> {
         if max_applications == 0 {
             return Err(GreenFpgaError::InvalidRange {
                 what: "application count",
             });
         }
-        let compiled = self.compile(domain)?;
         let wins_at = |n: u64| -> Result<bool, GreenFpgaError> {
-            Ok(compiled
+            Ok(self
                 .evaluate(crate::OperatingPoint {
                     applications: n,
                     lifetime_years,
@@ -171,7 +257,7 @@ impl Estimator {
         // accumulates per application, so the two can disagree by a ulp at
         // the boundary: confirm against the real kernel and let the
         // (monotone) difference walk the candidate at most a step or two.
-        let Some(crossover) = compiled.crossover_in_applications_analytic(lifetime_years, volume)
+        let Some(crossover) = self.crossover_in_applications_analytic(lifetime_years, volume)
         else {
             return Ok(None); // Parallel totals: the n = 1 winner never flips.
         };
@@ -200,20 +286,14 @@ impl Estimator {
         Ok(Some(candidate))
     }
 
-    /// Finds the application lifetime at which the preferred platform flips
-    /// (the paper's F2A point of Fig. 5), holding the application count and
-    /// volume fixed. The search bisects `[min_years, max_years]`.
-    ///
-    /// Returns `Ok(None)` when the same platform wins across the whole
-    /// range.
+    /// [`Estimator::crossover_in_lifetime`] on an already-compiled
+    /// scenario.
     ///
     /// # Errors
     ///
-    /// Returns [`GreenFpgaError::InvalidRange`] for an inverted or
-    /// non-finite range, and propagates model errors.
-    pub fn crossover_in_lifetime(
+    /// Same conditions as [`Estimator::crossover_in_lifetime`].
+    pub fn crossover_in_lifetime_verified(
         &self,
-        domain: Domain,
         applications: u64,
         volume: u64,
         min_years: f64,
@@ -226,9 +306,8 @@ impl Estimator {
         {
             return Err(GreenFpgaError::InvalidRange { what: "lifetime" });
         }
-        let compiled = self.compile(domain)?;
         let diff = |years: f64| -> Result<f64, GreenFpgaError> {
-            let c = compiled.evaluate(crate::OperatingPoint {
+            let c = self.evaluate(crate::OperatingPoint {
                 applications,
                 lifetime_years: years,
                 volume,
@@ -246,7 +325,7 @@ impl Estimator {
         // closed-form root — no bisection. The endpoint signs above prove a
         // root exists inside the range; the clamp only guards the last-ulp
         // case where the multiplied-out coefficients land it a hair outside.
-        let at = compiled
+        let at = self
             .crossover_in_lifetime_analytic(applications, volume)
             .map_or(0.5 * (min_years + max_years), |c| c.at)
             .clamp(min_years, max_years);
@@ -260,22 +339,13 @@ impl Estimator {
         Ok(Some(Crossover { at, direction }))
     }
 
-    /// Finds the application volume at which the preferred platform flips
-    /// (the paper's F2A point of Fig. 6), holding the application count and
-    /// lifetime fixed. The search scans a geometric grid between
-    /// `min_volume` and `max_volume` and then bisects the bracketing
-    /// interval.
-    ///
-    /// Returns `Ok(None)` when the same platform wins across the whole
-    /// range.
+    /// [`Estimator::crossover_in_volume`] on an already-compiled scenario.
     ///
     /// # Errors
     ///
-    /// Returns [`GreenFpgaError::InvalidRange`] for an inverted or zero
-    /// range, and propagates model errors.
-    pub fn crossover_in_volume(
+    /// Same conditions as [`Estimator::crossover_in_volume`].
+    pub fn crossover_in_volume_verified(
         &self,
-        domain: Domain,
         applications: u64,
         lifetime_years: f64,
         min_volume: u64,
@@ -284,9 +354,8 @@ impl Estimator {
         if min_volume == 0 || max_volume <= min_volume {
             return Err(GreenFpgaError::InvalidRange { what: "volume" });
         }
-        let compiled = self.compile(domain)?;
         let diff = |volume: u64| -> Result<f64, GreenFpgaError> {
-            let c = compiled.evaluate(crate::OperatingPoint {
+            let c = self.evaluate(crate::OperatingPoint {
                 applications,
                 lifetime_years,
                 volume,
@@ -305,7 +374,7 @@ impl Estimator {
         // candidate against the kernel and let the (monotone) difference
         // walk it at most a step or two — replacing the old geometric
         // scan + integer bisection.
-        let root = compiled
+        let root = self
             .crossover_in_volume_analytic(applications, lifetime_years)
             .map_or(0.5 * (min_volume as f64 + max_volume as f64), |c| c.at);
         let mut candidate = if root < min_volume as f64 {
@@ -331,23 +400,6 @@ impl Estimator {
             at: candidate as f64,
             direction,
         }))
-    }
-
-    /// Convenience wrapper returning the full comparison for a uniform
-    /// workload at a single operating point.
-    ///
-    /// # Errors
-    ///
-    /// Propagates workload construction and model errors.
-    pub fn compare_uniform(
-        &self,
-        domain: Domain,
-        applications: u64,
-        lifetime_years: f64,
-        volume: u64,
-    ) -> Result<PlatformComparison, GreenFpgaError> {
-        let workload = Workload::uniform(domain, applications, lifetime_years, volume)?;
-        self.compare_domain(&workload)
     }
 }
 

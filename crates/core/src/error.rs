@@ -27,6 +27,12 @@ pub enum GreenFpgaError {
         /// Which range was invalid.
         what: &'static str,
     },
+    /// A result could not be rendered for machine consumption (e.g. a
+    /// non-finite number reached a JSON serializer).
+    Serialization {
+        /// What went wrong.
+        reason: String,
+    },
     /// Error bubbled up from the manufacturing substrate.
     Act(ActError),
     /// Error bubbled up from the lifecycle models.
@@ -46,6 +52,9 @@ impl fmt::Display for GreenFpgaError {
             }
             GreenFpgaError::InvalidRange { what } => {
                 write!(f, "invalid range for {what}")
+            }
+            GreenFpgaError::Serialization { reason } => {
+                write!(f, "serialization error: {reason}")
             }
             GreenFpgaError::Act(e) => write!(f, "manufacturing model error: {e}"),
             GreenFpgaError::Lifecycle(e) => write!(f, "lifecycle model error: {e}"),

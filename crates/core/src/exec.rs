@@ -18,6 +18,7 @@
 
 use std::convert::Infallible;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 
 /// Default number of worker threads: `GF_THREADS` if set and valid,
 /// otherwise the machine's available parallelism.
@@ -234,6 +235,129 @@ where
     }
 }
 
+/// A persistent pool of joinable worker threads for long-lived services.
+///
+/// The batch kernels above use *scoped* threads: they spawn for one call
+/// and join before it returns, which is the right shape for a CLI that
+/// evaluates one artifact and exits. A server that handles connections for
+/// hours must not pay a thread spawn per request, and must be able to shut
+/// down without leaking threads — `WorkerPool` owns its threads for its
+/// whole lifetime, hands them jobs over a channel, and **joins every one of
+/// them on drop** (after draining jobs already queued).
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+///
+/// let pool = greenfpga::exec::WorkerPool::new(4);
+/// let counter = Arc::new(AtomicUsize::new(0));
+/// for _ in 0..100 {
+///     let counter = Arc::clone(&counter);
+///     pool.execute(move || {
+///         counter.fetch_add(1, Ordering::Relaxed);
+///     });
+/// }
+/// drop(pool); // joins the workers; every queued job has run
+/// assert_eq!(counter.load(Ordering::Relaxed), 100);
+/// ```
+pub struct WorkerPool {
+    sender: Option<mpsc::Sender<Job>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    live: Arc<AtomicUsize>,
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+impl WorkerPool {
+    /// Spawns a pool of `threads` workers (`0` = [`default_threads`]).
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            default_threads()
+        } else {
+            threads
+        };
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let live = Arc::new(AtomicUsize::new(0));
+        let workers = (0..threads)
+            .map(|_| {
+                let receiver = Arc::clone(&receiver);
+                let live = Arc::clone(&live);
+                std::thread::spawn(move || {
+                    // Guard-scoped count so the decrement runs even when a
+                    // job panics and unwinds the worker.
+                    struct LiveGuard(Arc<AtomicUsize>);
+                    impl Drop for LiveGuard {
+                        fn drop(&mut self) {
+                            self.0.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    }
+                    live.fetch_add(1, Ordering::SeqCst);
+                    let _guard = LiveGuard(live);
+                    loop {
+                        // Take the lock only to receive; never hold it while
+                        // a job runs, so workers pull jobs concurrently.
+                        let job = match receiver.lock() {
+                            Ok(guard) => guard.recv(),
+                            Err(_) => break, // sibling panicked holding the lock
+                        };
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break, // channel closed: pool dropped
+                        }
+                    }
+                })
+            })
+            .collect();
+        WorkerPool {
+            sender: Some(sender),
+            workers,
+            live,
+        }
+    }
+
+    /// Number of worker threads the pool was built with.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Number of worker threads currently running their loop. Drops to zero
+    /// once the pool has been dropped and every worker has exited — the
+    /// observable the leak tests assert on.
+    pub fn live_workers(&self) -> usize {
+        self.live.load(Ordering::SeqCst)
+    }
+
+    /// Queues a job. Jobs run in FIFO claim order on whichever worker frees
+    /// up first. Returns `false` if the pool is shutting down (only possible
+    /// mid-drop, which safe callers never observe).
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        match &self.sender {
+            Some(sender) => sender.send(Box::new(job)).is_ok(),
+            None => false,
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    /// Closes the job channel and joins every worker. Queued jobs finish
+    /// first; a worker that panicked in a job is reported but does not
+    /// poison the join of its siblings.
+    fn drop(&mut self) {
+        drop(self.sender.take());
+        for worker in self.workers.drain(..) {
+            if worker.join().is_err() {
+                // The panic already unwound the worker (a panicking job is a
+                // bug upstream); the join itself still completed, so no
+                // thread leaks.
+                eprintln!("greenfpga: worker thread panicked in a pool job");
+            }
+        }
+    }
+}
+
 pub(crate) fn effective_workers(n: usize, threads: usize) -> usize {
     let requested = if threads == 0 {
         default_threads()
@@ -344,6 +468,76 @@ mod tests {
             Ok(())
         );
         assert_eq!(one, vec![41]);
+    }
+
+    #[test]
+    fn pool_runs_every_queued_job_before_join() {
+        use std::sync::Arc;
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.threads(), 4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..500 {
+            let counter = Arc::clone(&counter);
+            assert!(pool.execute(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        drop(pool);
+        assert_eq!(counter.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn repeated_pool_setup_and_teardown_leaks_no_threads() {
+        use std::sync::Arc;
+        // The long-lived-server shape: engines (pools) come and go over the
+        // process lifetime. Every drop must join its workers — the live
+        // count observed after each teardown must return to zero, and the
+        // loop must terminate (no deadlock between drop and recv).
+        for round in 0..50 {
+            let pool = WorkerPool::new(3);
+            let counter = Arc::new(AtomicUsize::new(0));
+            for _ in 0..20 {
+                let counter = Arc::clone(&counter);
+                pool.execute(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            let live = Arc::clone(&pool.live);
+            drop(pool);
+            assert_eq!(counter.load(Ordering::Relaxed), 20, "round {round}");
+            assert_eq!(live.load(Ordering::SeqCst), 0, "round {round} leaked");
+        }
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_job() {
+        use std::sync::Arc;
+        let pool = WorkerPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        pool.execute(|| panic!("job panic must not wedge the pool"));
+        for _ in 0..50 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        let live = Arc::clone(&pool.live);
+        drop(pool);
+        // The panicking worker died early, but its sibling drained the
+        // queue and both were joined.
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+        assert_eq!(live.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn pool_with_auto_sizing_is_usable() {
+        let pool = WorkerPool::new(0);
+        assert!(pool.threads() >= 1);
+        let (tx, rx) = std::sync::mpsc::channel();
+        pool.execute(move || {
+            tx.send(41 + 1).unwrap();
+        });
+        assert_eq!(rx.recv().unwrap(), 42);
     }
 
     #[test]

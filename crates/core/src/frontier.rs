@@ -20,7 +20,10 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{exec, Domain, Estimator, GreenFpgaError, OperatingPoint, PlatformKind, SweepAxis};
+use crate::{
+    exec, CompiledScenario, Domain, Estimator, GreenFpgaError, OperatingPoint, PlatformKind,
+    SweepAxis,
+};
 
 /// A rectangular block of lattice indices, inclusive on all sides.
 #[derive(Debug, Clone, Copy)]
@@ -243,12 +246,35 @@ impl Estimator {
         y_values: &[f64],
         base: OperatingPoint,
     ) -> Result<FrontierResult, GreenFpgaError> {
+        self.compile(domain)?
+            .frontier(x_axis, x_values, y_axis, y_values, base)
+    }
+}
+
+impl CompiledScenario {
+    /// [`Estimator::frontier`] on an already-compiled scenario — the entry
+    /// point callers with a scenario cache (the server) use to trace winner
+    /// maps compile-free. The result is identical to the estimator path,
+    /// which delegates here.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Estimator::frontier`].
+    pub fn frontier(
+        &self,
+        x_axis: SweepAxis,
+        x_values: &[f64],
+        y_axis: SweepAxis,
+        y_values: &[f64],
+        base: OperatingPoint,
+    ) -> Result<FrontierResult, GreenFpgaError> {
         if x_values.is_empty() || y_values.is_empty() {
             return Err(GreenFpgaError::InvalidRange {
                 what: "frontier values",
             });
         }
-        let compiled = self.compile(domain)?;
+        let domain = self.domain();
+        let compiled = self;
         let (width, height) = (x_values.len(), y_values.len());
         let cells = width * height;
         let mut ratios = vec![f64::NAN; cells];

@@ -107,6 +107,28 @@ impl Knob {
         }
     }
 
+    /// The knob's stable machine-readable identifier, used as the JSON key
+    /// in API requests and `--json` CLI output.
+    pub fn id(self) -> &'static str {
+        match self {
+            Knob::DutyCycle => "duty_cycle",
+            Knob::UsageGridIntensity => "usage_grid_intensity",
+            Knob::FabGridIntensity => "fab_grid_intensity",
+            Knob::RecycledMaterialFraction => "recycled_material_fraction",
+            Knob::EolRecycledFraction => "eol_recycled_fraction",
+            Knob::DesignHouseEnergy => "design_house_energy",
+            Knob::DesignGridIntensity => "design_grid_intensity",
+            Knob::FrontendMonths => "frontend_months",
+            Knob::BackendMonths => "backend_months",
+            Knob::FpgaChipLifetimeYears => "fpga_chip_lifetime_years",
+        }
+    }
+
+    /// Resolves a machine-readable identifier back to its knob.
+    pub fn parse_id(id: &str) -> Option<Knob> {
+        Knob::ALL.into_iter().find(|knob| knob.id() == id)
+    }
+
     /// The knob's unit, for reporting.
     pub fn unit(self) -> &'static str {
         match self {

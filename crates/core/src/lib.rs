@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 mod analytic;
+pub mod api;
 mod application;
 mod breakdown;
 mod comparison;
@@ -69,6 +70,10 @@ mod testcases;
 mod uncertainty;
 
 pub use analytic::{AffineComparison, AffineTotal};
+pub use api::{
+    BatchEvalRequest, BatchEvalResponse, CrossoverRequest, CrossoverResponse, EvaluateRequest,
+    EvaluateResponse, FrontierRequest, ScenarioSpec,
+};
 pub use application::{Application, Workload};
 pub use breakdown::CfpBreakdown;
 pub use comparison::{Crossover, CrossoverDirection, PlatformComparison, PlatformKind};

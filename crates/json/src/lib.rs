@@ -1,0 +1,463 @@
+//! # gf-json
+//!
+//! A small, real JSON subsystem for the offline GreenFPGA workspace: a
+//! [`Value`] tree, a recursive-descent parser with depth and size limits
+//! ([`parse`], [`parse_with`]), and a writer whose `f64` rendering
+//! round-trips bit-for-bit ([`Value::to_json_string`]).
+//!
+//! The workspace's `serde` entry is a no-op derive stub (the offline build
+//! cannot reach a registry), so every machine-readable artifact — bench
+//! metrics, the `bench_gate` baseline, and the `greenfpga-serve` HTTP API —
+//! goes through this crate instead of hand-concatenated strings.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Round-tripping**: `parse(v.to_json_string()) == v` for every value
+//!    this crate can produce. Numbers are written with Rust's shortest
+//!    round-trip `f64` formatting, so a parsed response compares
+//!    *bit-identical* to the `f64` the producer serialized — the property
+//!    the serving integration tests golden-match on.
+//! 2. **Bounded input**: the parser enforces a nesting-depth limit and an
+//!    input-size limit so a hostile request body cannot blow the stack or
+//!    memory of a long-lived server.
+//! 3. **Strict JSON**: no NaN/Infinity literals, no trailing commas, no
+//!    comments, no unquoted keys. Numbers that overflow `f64` are rejected
+//!    rather than silently becoming infinite.
+//!
+//! ## Example
+//!
+//! ```
+//! use gf_json::{parse, Value};
+//!
+//! let value = parse(r#"{"domain": "dnn", "points": [1, 2.5e0]}"#)?;
+//! assert_eq!(value.get("domain").and_then(Value::as_str), Some("dnn"));
+//! let back = parse(&value.to_json_string()?)?;
+//! assert_eq!(back, value);
+//! # Ok::<(), gf_json::JsonError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod parse;
+mod write;
+
+use std::fmt;
+
+pub use parse::{parse, parse_with, ParseLimits};
+
+/// A JSON document: the result of parsing, and the input to writing.
+///
+/// Objects preserve insertion order (they are association lists, not hash
+/// maps): serialized output is deterministic, and round-trips reproduce the
+/// source layout. Duplicate keys are allowed by the parser — [`Value::get`]
+/// returns the **last** occurrence, matching the common
+/// last-value-wins convention.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number. The writer rejects non-finite contents.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// `[ ... ]`.
+    Array(Vec<Value>),
+    /// `{ ... }` as an insertion-ordered association list.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The member of an object by key (last occurrence wins), or `None` for
+    /// a missing key or a non-object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => members
+                .iter()
+                .rev()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The element of an array by index, or `None` for a non-array or an
+    /// out-of-range index.
+    pub fn index(&self, i: usize) -> Option<&Value> {
+        match self {
+            Value::Array(items) => items.get(i),
+            _ => None,
+        }
+    }
+
+    /// The boolean content, or `None` for other variants.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric content, or `None` for other variants.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric content as an exact unsigned integer: `None` unless the
+    /// number is integral, non-negative and at most 2⁵³ (beyond which `f64`
+    /// cannot represent every integer and a silent rounding would corrupt
+    /// counts).
+    pub fn as_u64(&self) -> Option<u64> {
+        const MAX_EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+        match self {
+            Value::Number(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= MAX_EXACT => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string content, or `None` for other variants.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The array items, or `None` for other variants.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The object members in insertion order, or `None` for other variants.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// `true` for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Serializes compactly (no interstitial whitespace).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError::NonFinite`] when any contained number is NaN or
+    /// infinite — JSON has no lexeme for them, and emitting `null` instead
+    /// would silently break round-tripping.
+    pub fn to_json_string(&self) -> Result<String, JsonError> {
+        write::to_string(self, false)
+    }
+
+    /// Serializes with two-space indentation, for human-facing artifacts
+    /// like the committed `BENCH_eval.json` baseline.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Value::to_json_string`].
+    pub fn to_json_string_pretty(&self) -> Result<String, JsonError> {
+        write::to_string(self, true)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Value {
+        Value::Number(n)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(n: u64) -> Value {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(n: usize) -> Value {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(items: Vec<Value>) -> Value {
+        Value::Array(items)
+    }
+}
+
+/// Builds a [`Value::Object`] from `(key, value)` pairs — the ergonomic
+/// constructor the response builders use.
+pub fn object<K: Into<String>, V: Into<Value>>(members: impl IntoIterator<Item = (K, V)>) -> Value {
+    Value::Object(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.into(), v.into()))
+            .collect(),
+    )
+}
+
+/// Builds a [`Value::Array`] from anything convertible to values.
+pub fn array<V: Into<Value>>(items: impl IntoIterator<Item = V>) -> Value {
+    Value::Array(items.into_iter().map(Into::into).collect())
+}
+
+/// Errors raised while parsing, writing, or decoding JSON.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum JsonError {
+    /// The input violated the JSON grammar.
+    Syntax {
+        /// Byte offset of the offending input.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Nesting exceeded the configured depth limit.
+    DepthLimit {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+    /// The input exceeded the configured size limit.
+    SizeLimit {
+        /// The limit that was exceeded, in bytes.
+        limit: usize,
+    },
+    /// A number was NaN or infinite (on write), or overflowed `f64` (on
+    /// parse).
+    NonFinite,
+    /// A well-formed document did not match the expected schema
+    /// (`from_json` decoding).
+    Schema {
+        /// Which field or element was wrong.
+        at: String,
+        /// What was expected.
+        message: String,
+    },
+}
+
+impl JsonError {
+    /// Constructs a [`JsonError::Schema`] error — the helper every
+    /// `FromJson` impl leans on.
+    pub fn schema(at: impl Into<String>, message: impl Into<String>) -> JsonError {
+        JsonError::Schema {
+            at: at.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonError::Syntax { offset, message } => {
+                write!(f, "JSON syntax error at byte {offset}: {message}")
+            }
+            JsonError::DepthLimit { limit } => {
+                write!(f, "JSON nesting exceeds the depth limit of {limit}")
+            }
+            JsonError::SizeLimit { limit } => {
+                write!(f, "JSON input exceeds the size limit of {limit} bytes")
+            }
+            JsonError::NonFinite => f.write_str("JSON cannot represent NaN or infinite numbers"),
+            JsonError::Schema { at, message } => {
+                write!(f, "JSON schema error at {at}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Serialization to a JSON [`Value`].
+pub trait ToJson {
+    /// Renders `self` as a JSON value.
+    fn to_json(&self) -> Value;
+}
+
+/// Deserialization from a JSON [`Value`].
+pub trait FromJson: Sized {
+    /// Decodes `self` from a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError::Schema`] when the value does not match.
+    fn from_json(value: &Value) -> Result<Self, JsonError>;
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::Number(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(value: &Value) -> Result<f64, JsonError> {
+        value
+            .as_f64()
+            .ok_or_else(|| JsonError::schema("number", "expected a number"))
+    }
+}
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Value {
+        Value::Number(*self as f64)
+    }
+}
+
+impl FromJson for u64 {
+    fn from_json(value: &Value) -> Result<u64, JsonError> {
+        value
+            .as_u64()
+            .ok_or_else(|| JsonError::schema("number", "expected a non-negative integer ≤ 2^53"))
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(value: &Value) -> Result<bool, JsonError> {
+        value
+            .as_bool()
+            .ok_or_else(|| JsonError::schema("bool", "expected true or false"))
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(value: &Value) -> Result<String, JsonError> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| JsonError::schema("string", "expected a string"))
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(value: &Value) -> Result<Vec<T>, JsonError> {
+        value
+            .as_array()
+            .ok_or_else(|| JsonError::schema("array", "expected an array"))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_variants() {
+        let doc = object([
+            ("flag", Value::Bool(true)),
+            ("n", Value::Number(2.5)),
+            ("s", Value::from("hi")),
+            ("list", array([1.0, 2.0])),
+            ("nothing", Value::Null),
+        ]);
+        assert_eq!(doc.get("flag").and_then(Value::as_bool), Some(true));
+        assert_eq!(doc.get("n").and_then(Value::as_f64), Some(2.5));
+        assert_eq!(doc.get("s").and_then(Value::as_str), Some("hi"));
+        assert_eq!(doc.get("list").and_then(|v| v.index(1)).and_then(Value::as_f64), Some(2.0));
+        assert!(doc.get("nothing").is_some_and(Value::is_null));
+        assert!(doc.get("missing").is_none());
+        assert!(Value::Null.get("x").is_none());
+        assert!(Value::Null.index(0).is_none());
+        assert_eq!(doc.as_object().map(<[_]>::len), Some(5));
+    }
+
+    #[test]
+    fn duplicate_keys_resolve_to_the_last() {
+        let doc = object([("k", 1.0), ("k", 2.0)]);
+        assert_eq!(doc.get("k").and_then(Value::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn u64_conversion_is_exact_or_nothing() {
+        assert_eq!(Value::Number(5.0).as_u64(), Some(5));
+        assert_eq!(Value::Number(0.0).as_u64(), Some(0));
+        assert_eq!(Value::Number(2.5).as_u64(), None);
+        assert_eq!(Value::Number(-1.0).as_u64(), None);
+        assert_eq!(Value::Number(9.007_199_254_740_992e15).as_u64(), Some(1 << 53));
+        assert_eq!(Value::Number(1e16).as_u64(), None);
+        assert_eq!(Value::Bool(true).as_u64(), None);
+    }
+
+    #[test]
+    fn trait_round_trips_for_primitives() {
+        assert_eq!(f64::from_json(&2.5f64.to_json()).unwrap(), 2.5);
+        assert_eq!(u64::from_json(&7u64.to_json()).unwrap(), 7);
+        assert!(bool::from_json(&true.to_json()).unwrap());
+        assert_eq!(
+            String::from_json(&"x".to_string().to_json()).unwrap(),
+            "x"
+        );
+        let v: Vec<f64> = vec![1.0, 2.0];
+        assert_eq!(Vec::<f64>::from_json(&v.to_json()).unwrap(), v);
+        assert!(f64::from_json(&Value::Null).is_err());
+        assert!(u64::from_json(&Value::Number(0.5)).is_err());
+        assert!(Vec::<f64>::from_json(&Value::Bool(true)).is_err());
+    }
+
+    #[test]
+    fn error_display_names_the_problem() {
+        assert!(JsonError::schema("point.volume", "expected an integer")
+            .to_string()
+            .contains("point.volume"));
+        assert!(JsonError::DepthLimit { limit: 4 }.to_string().contains('4'));
+        assert!(JsonError::SizeLimit { limit: 9 }.to_string().contains('9'));
+        assert!(JsonError::NonFinite.to_string().contains("NaN"));
+        assert!(JsonError::Syntax {
+            offset: 3,
+            message: "bad".into()
+        }
+        .to_string()
+        .contains("byte 3"));
+    }
+}

@@ -1,0 +1,190 @@
+//! JSON serialization with round-tripping `f64` output.
+//!
+//! Numbers use Rust's shortest round-trip formatting (`{}` on `f64`), which
+//! guarantees `text.parse::<f64>()` recovers the exact bits that were
+//! written — the property the serving tests golden-match on. Non-finite
+//! numbers are a hard error: JSON has no lexeme for them, and the usual
+//! fallback (emitting `null`) silently breaks round-tripping.
+
+use std::fmt::Write as _;
+
+use crate::{JsonError, Value};
+
+/// Serializes `value`, compactly or with two-space indentation.
+pub fn to_string(value: &Value, pretty: bool) -> Result<String, JsonError> {
+    let mut out = String::new();
+    write_value(&mut out, value, pretty, 0)?;
+    if pretty {
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+fn write_value(
+    out: &mut String,
+    value: &Value,
+    pretty: bool,
+    indent: usize,
+) -> Result<(), JsonError> {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => {
+            if !n.is_finite() {
+                return Err(JsonError::NonFinite);
+            }
+            // Rust's f64 Display is the shortest decimal string that parses
+            // back to the same bits; "-0" and integral values like "5" are
+            // all valid JSON number lexemes.
+            let _ = write!(out, "{n}");
+        }
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return Ok(());
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    newline_indent(out, indent + 1);
+                }
+                write_value(out, item, pretty, indent + 1)?;
+            }
+            if pretty {
+                newline_indent(out, indent);
+            }
+            out.push(']');
+        }
+        Value::Object(members) => {
+            if members.is_empty() {
+                out.push_str("{}");
+                return Ok(());
+            }
+            out.push('{');
+            for (i, (key, member)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    newline_indent(out, indent + 1);
+                }
+                write_string(out, key);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(out, member, pretty, indent + 1)?;
+            }
+            if pretty {
+                newline_indent(out, indent);
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn newline_indent(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000c}' => out.push_str("\\f"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{array, object, parse};
+
+    #[test]
+    fn compact_output_matches_expectations() {
+        let doc = object([
+            ("a", Value::Number(1.0)),
+            ("b", array([Value::Null, Value::Bool(false)])),
+            ("c", Value::from("x\"y")),
+        ]);
+        assert_eq!(
+            doc.to_json_string().unwrap(),
+            r#"{"a":1,"b":[null,false],"c":"x\"y"}"#
+        );
+        assert_eq!(Value::Object(vec![]).to_json_string().unwrap(), "{}");
+        assert_eq!(Value::Array(vec![]).to_json_string().unwrap(), "[]");
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_parseable() {
+        let doc = object([("k", array([1.0, 2.0])), ("m", array::<f64>([]))]);
+        let pretty = doc.to_json_string_pretty().unwrap();
+        assert!(pretty.contains("\n  \"k\": ["));
+        assert!(pretty.ends_with("}\n"));
+        assert_eq!(parse(&pretty).unwrap(), doc);
+    }
+
+    #[test]
+    fn strings_escape_controls_and_round_trip() {
+        let original = Value::String("tab\t nl\n quote\" back\\ bell\u{7} nul\u{0} é→\u{1f600}".into());
+        let text = original.to_json_string().unwrap();
+        assert!(text.contains("\\u0007") && text.contains("\\u0000"));
+        assert_eq!(parse(&text).unwrap(), original);
+    }
+
+    #[test]
+    fn non_finite_numbers_are_rejected() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(
+                Value::Number(bad).to_json_string().unwrap_err(),
+                JsonError::NonFinite
+            );
+            assert_eq!(
+                array([bad]).to_json_string_pretty().unwrap_err(),
+                JsonError::NonFinite
+            );
+        }
+    }
+
+    #[test]
+    fn numbers_round_trip_bit_for_bit() {
+        for n in [
+            0.0,
+            -0.0,
+            1.0,
+            -1.5,
+            1e-9,
+            1.000000001,
+            std::f64::consts::PI,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            5e-324, // smallest subnormal
+            1234567890123456.7,
+        ] {
+            let text = Value::Number(n).to_json_string().unwrap();
+            let back = parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), n.to_bits(), "{n} -> {text}");
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Property-based tests for the JSON subsystem.
+//!
+//! Written as deterministic sampling loops over [`gf_support::SplitMix64`]
+//! (the offline build cannot fetch proptest): random value trees round-trip
+//! through the writer and parser, random `f64` bit patterns round-trip
+//! bit-for-bit, and random mutations of valid documents never panic the
+//! parser.
+
+use gf_json::{parse, parse_with, JsonError, ParseLimits, Value};
+use gf_support::SplitMix64;
+
+const CASES: usize = 256;
+
+fn rng(test_id: u64) -> SplitMix64 {
+    SplitMix64::new(0x5EED_0000_0000_0000 ^ test_id)
+}
+
+/// Draws a random value tree of bounded depth: scalars at the leaves,
+/// arrays/objects (with occasionally exotic keys) in between.
+fn gen_value(rng: &mut SplitMix64, depth: usize) -> Value {
+    let choice = if depth == 0 {
+        rng.gen_index(5)
+    } else {
+        rng.gen_index(7)
+    };
+    match choice {
+        0 => Value::Null,
+        1 => Value::Bool(rng.gen_bool()),
+        2 => Value::Number(gen_finite_f64(rng)),
+        3 => Value::String(gen_string(rng)),
+        4 => Value::Number(rng.gen_range_u64(0, 1 << 53) as f64),
+        5 => {
+            let n = rng.gen_index(5);
+            Value::Array((0..n).map(|_| gen_value(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = rng.gen_index(5);
+            Value::Object(
+                (0..n)
+                    .map(|_| (gen_string(rng), gen_value(rng, depth - 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+/// A finite f64 drawn from raw bit patterns, spanning the full exponent
+/// range including subnormals and signed zero.
+fn gen_finite_f64(rng: &mut SplitMix64) -> f64 {
+    loop {
+        let candidate = f64::from_bits(rng.next_u64());
+        if candidate.is_finite() {
+            return candidate;
+        }
+    }
+}
+
+fn gen_string(rng: &mut SplitMix64) -> String {
+    let exotic = [
+        '"', '\\', '\n', '\t', '\u{0}', '\u{7}', '\u{1f}', 'é', '→', '\u{1f600}', '\u{fffd}',
+    ];
+    let len = rng.gen_index(12);
+    (0..len)
+        .map(|_| {
+            if rng.gen_bool() {
+                exotic[rng.gen_index(exotic.len())]
+            } else {
+                (b'a' + rng.gen_index(26) as u8) as char
+            }
+        })
+        .collect()
+}
+
+/// Bitwise equality on trees: `Value`'s derived `PartialEq` compares f64 by
+/// value (so `-0.0 == 0.0` and NaN never equals itself); round-trip checks
+/// need bits.
+fn bit_equal(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Number(x), Value::Number(y)) => x.to_bits() == y.to_bits(),
+        (Value::Array(xs), Value::Array(ys)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| bit_equal(x, y))
+        }
+        (Value::Object(xs), Value::Object(ys)) => {
+            xs.len() == ys.len()
+                && xs
+                    .iter()
+                    .zip(ys)
+                    .all(|((ka, va), (kb, vb))| ka == kb && bit_equal(va, vb))
+        }
+        _ => a == b,
+    }
+}
+
+#[test]
+fn random_trees_round_trip_compact_and_pretty() {
+    let mut rng = rng(1);
+    for case in 0..CASES {
+        let value = gen_value(&mut rng, 4);
+        let compact = value.to_json_string().unwrap();
+        let parsed = parse(&compact).unwrap();
+        assert!(bit_equal(&parsed, &value), "case {case}: {compact}");
+        let pretty = value.to_json_string_pretty().unwrap();
+        let parsed = parse(&pretty).unwrap();
+        assert!(bit_equal(&parsed, &value), "case {case} (pretty)");
+    }
+}
+
+#[test]
+fn random_f64_bit_patterns_round_trip_exactly() {
+    let mut rng = rng(2);
+    for _ in 0..4 * CASES {
+        let n = gen_finite_f64(&mut rng);
+        let text = Value::Number(n).to_json_string().unwrap();
+        let back = parse(&text).unwrap().as_f64().unwrap();
+        assert_eq!(back.to_bits(), n.to_bits(), "{n:?} -> {text}");
+    }
+}
+
+#[test]
+fn f64_edge_cases_round_trip_or_reject() {
+    // Signed zero survives the trip with its sign bit.
+    let neg_zero = parse(&Value::Number(-0.0).to_json_string().unwrap())
+        .unwrap()
+        .as_f64()
+        .unwrap();
+    assert_eq!(neg_zero.to_bits(), (-0.0f64).to_bits());
+    // 1e-9-scale precision is exact, not approximate.
+    let tiny = 1e-9;
+    let back = parse(&Value::Number(tiny).to_json_string().unwrap())
+        .unwrap()
+        .as_f64()
+        .unwrap();
+    assert_eq!(back.to_bits(), tiny.to_bits());
+    // Non-finite numbers are rejected by the writer...
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        assert_eq!(
+            Value::Number(bad).to_json_string().unwrap_err(),
+            JsonError::NonFinite
+        );
+    }
+    // ...and by the parser, as literals and as overflow.
+    for bad in ["NaN", "nan", "Infinity", "-Infinity", "inf", "1e999", "-1e999"] {
+        assert!(parse(bad).is_err(), "accepted {bad}");
+    }
+}
+
+#[test]
+fn mutated_documents_never_panic_the_parser() {
+    let mut rng = rng(3);
+    for _ in 0..CASES {
+        let value = gen_value(&mut rng, 3);
+        let mut text = value.to_json_string().unwrap().into_bytes();
+        // Apply a few random byte mutations (overwrite, truncate, extend).
+        for _ in 0..1 + rng.gen_index(3) {
+            if text.is_empty() {
+                break;
+            }
+            match rng.gen_index(3) {
+                0 => {
+                    let i = rng.gen_index(text.len());
+                    text[i] = (rng.next_u64() & 0x7f) as u8;
+                }
+                1 => {
+                    text.truncate(rng.gen_index(text.len()));
+                }
+                _ => {
+                    text.push(b"{}[],:\"0"[rng.gen_index(8)]);
+                }
+            }
+        }
+        // Mutations may produce invalid UTF-8; the parser takes &str, so
+        // only check the lossy re-decoding — the point is "no panic".
+        let text = String::from_utf8_lossy(&text);
+        let _ = parse(&text);
+    }
+}
+
+#[test]
+fn depth_limit_is_enforced_at_every_level() {
+    let mut rng = rng(4);
+    for _ in 0..32 {
+        let limit = 1 + rng.gen_index(12);
+        let limits = ParseLimits {
+            max_depth: limit,
+            max_bytes: 1 << 20,
+        };
+        // Alternate array/object nesting to the exact limit: accepted.
+        let mut doc = String::from("0");
+        for level in 0..limit {
+            doc = if level % 2 == 0 {
+                format!("[{doc}]")
+            } else {
+                format!("{{\"k\":{doc}}}")
+            };
+        }
+        assert!(parse_with(&doc, limits).is_ok(), "depth {limit}");
+        // One level deeper: rejected with DepthLimit, not a stack overflow.
+        let deeper = format!("[{doc}]");
+        assert_eq!(
+            parse_with(&deeper, limits).unwrap_err(),
+            JsonError::DepthLimit { limit },
+        );
+    }
+}
+
+#[test]
+fn nested_round_trip_preserves_structure_through_reserialization() {
+    // Serialize → parse → serialize must be a fixed point (the writer is
+    // deterministic and the parser preserves order).
+    let mut rng = rng(5);
+    for _ in 0..CASES {
+        let value = gen_value(&mut rng, 4);
+        let first = value.to_json_string().unwrap();
+        let second = parse(&first).unwrap().to_json_string().unwrap();
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,202 @@
+//! Keyed LRU cache of compiled scenarios.
+//!
+//! Compiling a scenario ([`greenfpga::ScenarioTemplate::compile`]) resolves
+//! a domain's calibration against one parameter set — the only non-trivial
+//! cost on the serving hot path. Requests overwhelmingly reuse a small set
+//! of scenarios (same domain, same knob overrides, different operating
+//! points), so the server keys compiled scenarios by `(domain, knob
+//! overrides)` and serves the common case without compiling anything.
+//!
+//! The cache is a plain move-to-front vector under a mutex: at serving
+//! capacities (dozens of distinct scenarios) a linear scan of small keys
+//! beats hashing, and [`greenfpga::CompiledScenario`] is `Copy`, so a hit
+//! clones nothing and the lock is held only for the scan.
+
+use greenfpga::{CompiledScenario, GreenFpgaError, ScenarioSpec, ScenarioTemplate};
+
+/// One cache slot: the canonical key plus the compiled scenario.
+struct Entry {
+    key: Key,
+    compiled: CompiledScenario,
+}
+
+/// Canonical scenario key: the domain index plus the knob overrides in
+/// application order, with each value keyed by its exact bit pattern (so
+/// `-0.0` and `0.0`, or two NaN payloads, never alias).
+type Key = (usize, Vec<(u8, u64)>);
+
+fn key_of(spec: &ScenarioSpec) -> Key {
+    let domain = greenfpga::Domain::ALL
+        .iter()
+        .position(|d| *d == spec.domain)
+        .expect("every domain is listed in Domain::ALL");
+    let knobs = spec
+        .knobs
+        .iter()
+        .map(|&(knob, value)| {
+            let index = greenfpga::Knob::ALL
+                .iter()
+                .position(|k| *k == knob)
+                .expect("every knob is listed in Knob::ALL");
+            (index as u8, value.to_bits())
+        })
+        .collect();
+    (domain, knobs)
+}
+
+/// The LRU cache. Templates for every domain are resolved once at
+/// construction, so even a cache miss pays only the pure-arithmetic
+/// [`ScenarioTemplate::compile`], never spec rebuilding.
+pub(crate) struct ScenarioCache {
+    templates: Vec<ScenarioTemplate>,
+    entries: Vec<Entry>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl ScenarioCache {
+    /// Builds the cache and pre-resolves every domain template.
+    ///
+    /// # Errors
+    ///
+    /// Propagates calibration errors; the built-in calibrations never
+    /// trigger them.
+    pub fn new(capacity: usize) -> Result<Self, GreenFpgaError> {
+        let templates = greenfpga::Domain::ALL
+            .iter()
+            .map(|&domain| ScenarioTemplate::new(domain))
+            .collect::<Result<_, _>>()?;
+        Ok(ScenarioCache {
+            templates,
+            entries: Vec::new(),
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+        })
+    }
+
+    /// The compiled scenario for a spec: cached when seen before, compiled
+    /// (and cached, evicting the least recently used entry at capacity)
+    /// otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile errors (degenerate parameters); knob overrides
+    /// are range-clamped, so spec-derived parameters never trigger them.
+    pub fn lookup(&mut self, spec: &ScenarioSpec) -> Result<CompiledScenario, GreenFpgaError> {
+        let key = key_of(spec);
+        if let Some(position) = self.entries.iter().position(|entry| entry.key == key) {
+            self.hits += 1;
+            // Move to front: position 0 is most recently used.
+            let entry = self.entries.remove(position);
+            let compiled = entry.compiled;
+            self.entries.insert(0, entry);
+            return Ok(compiled);
+        }
+        self.misses += 1;
+        let compiled = self.templates[key.0].compile(&spec.params())?;
+        if self.entries.len() >= self.capacity {
+            self.entries.pop();
+        }
+        self.entries.insert(0, Entry { key, compiled });
+        Ok(compiled)
+    }
+
+    /// Number of cached scenarios.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Lifetime (hits, misses) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greenfpga::{Domain, Estimator, Knob, OperatingPoint};
+
+    fn spec(domain: Domain, knobs: &[(Knob, f64)]) -> ScenarioSpec {
+        ScenarioSpec {
+            domain,
+            knobs: knobs.to_vec(),
+        }
+    }
+
+    #[test]
+    fn hit_returns_the_same_compilation() {
+        let mut cache = ScenarioCache::new(8).unwrap();
+        let spec = spec(Domain::Dnn, &[(Knob::DutyCycle, 0.4)]);
+        let first = cache.lookup(&spec).unwrap();
+        let second = cache.lookup(&spec).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.len(), 1);
+        // And the compilation matches a from-scratch estimator.
+        let direct = Estimator::new(spec.params()).compile(Domain::Dnn).unwrap();
+        assert_eq!(
+            first.evaluate(OperatingPoint::paper_default()).unwrap(),
+            direct.evaluate(OperatingPoint::paper_default()).unwrap()
+        );
+    }
+
+    #[test]
+    fn distinct_knob_values_get_distinct_entries() {
+        let mut cache = ScenarioCache::new(8).unwrap();
+        let a = cache
+            .lookup(&spec(Domain::Dnn, &[(Knob::DutyCycle, 0.1)]))
+            .unwrap();
+        let b = cache
+            .lookup(&spec(Domain::Dnn, &[(Knob::DutyCycle, 0.6)]))
+            .unwrap();
+        assert_ne!(a, b);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats(), (0, 2));
+        // Same spec via a different f64 with identical bits hits.
+        cache
+            .lookup(&spec(Domain::Dnn, &[(Knob::DutyCycle, 0.1)]))
+            .unwrap();
+        assert_eq!(cache.stats(), (1, 2));
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let mut cache = ScenarioCache::new(2).unwrap();
+        let a = spec(Domain::Dnn, &[]);
+        let b = spec(Domain::Crypto, &[]);
+        let c = spec(Domain::ImageProcessing, &[]);
+        cache.lookup(&a).unwrap();
+        cache.lookup(&b).unwrap();
+        cache.lookup(&a).unwrap(); // a is now most recent
+        cache.lookup(&c).unwrap(); // evicts b
+        assert_eq!(cache.len(), 2);
+        cache.lookup(&a).unwrap();
+        assert_eq!(cache.stats().0, 2, "a stayed cached");
+        cache.lookup(&b).unwrap();
+        assert_eq!(cache.stats().1, 4, "b was evicted and recompiled");
+    }
+
+    #[test]
+    fn knob_order_is_part_of_the_key() {
+        // apply order matters semantically (later overrides win), so the
+        // cache must not conflate permutations.
+        let mut cache = ScenarioCache::new(8).unwrap();
+        cache
+            .lookup(&spec(
+                Domain::Dnn,
+                &[(Knob::DutyCycle, 0.1), (Knob::DutyCycle, 0.5)],
+            ))
+            .unwrap();
+        cache
+            .lookup(&spec(
+                Domain::Dnn,
+                &[(Knob::DutyCycle, 0.5), (Knob::DutyCycle, 0.1)],
+            ))
+            .unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats(), (0, 2));
+    }
+}

@@ -1,0 +1,107 @@
+//! A minimal blocking HTTP/1.1 client for loopback testing.
+//!
+//! Just enough client to drive `greenfpga-serve` from the integration tests
+//! and the `serve_load` generator without external tooling: one keep-alive
+//! connection, `Content-Length` framing, no redirects, no TLS. Not a
+//! general-purpose HTTP client.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// One keep-alive connection to a server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one `GET` request and reads the response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors and malformed responses.
+    pub fn get(&mut self, path: &str) -> std::io::Result<(u16, String)> {
+        self.request("GET", path, None)
+    }
+
+    /// Sends one `POST` with a JSON body and reads the response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors and malformed responses.
+    pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+        self.request("POST", path, Some(body))
+    }
+
+    /// Sends one request over the keep-alive connection and reads the
+    /// response, returning `(status, body)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; a response the client cannot frame maps to
+    /// [`std::io::ErrorKind::InvalidData`].
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<(u16, String)> {
+        let body = body.unwrap_or_default();
+        write!(
+            self.writer,
+            "{method} {path} HTTP/1.1\r\nHost: loopback\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )?;
+        self.writer.flush()?;
+
+        let bad = |message: &str| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, message.to_string())
+        };
+        let mut line = String::new();
+        self.reader.read_line(&mut line)?;
+        let status: u16 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|code| code.parse().ok())
+            .ok_or_else(|| bad(&format!("malformed status line '{}'", line.trim())))?;
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            if self.reader.read_line(&mut header)? == 0 {
+                return Err(bad("connection closed inside response headers"));
+            }
+            let header = header.trim();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| bad("invalid Content-Length in response"))?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        String::from_utf8(body)
+            .map(|text| (status, text))
+            .map_err(|_| bad("response body is not UTF-8"))
+    }
+}

@@ -1,0 +1,388 @@
+//! A minimal HTTP/1.1 message layer over blocking byte streams.
+//!
+//! Just enough protocol for a JSON API behind a trusted load balancer (or a
+//! benchmark harness): request-line + header parsing, `Content-Length`
+//! bodies, keep-alive negotiation and `Expect: 100-continue`. No chunked
+//! transfer encoding, no TLS, no pipelining guarantees beyond
+//! read-one-write-one. Everything is bounded: header block and body sizes
+//! are capped so one connection cannot balloon server memory.
+
+use std::io::{BufRead, Write};
+
+/// Bounds applied while reading one request.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ReadLimits {
+    /// Maximum bytes of request line + headers.
+    pub max_head_bytes: usize,
+    /// Maximum bytes of body (from `Content-Length`).
+    pub max_body_bytes: usize,
+}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Request {
+    /// Uppercase method token (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target as sent (path, no normalization).
+    pub path: String,
+    /// Body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// `false` when the client asked for `Connection: close` (or spoke
+    /// HTTP/1.0 without `keep-alive`).
+    pub keep_alive: bool,
+}
+
+/// Why reading a request stopped.
+#[derive(Debug)]
+pub(crate) enum ReadOutcome {
+    /// A complete request was parsed.
+    Request(Request),
+    /// The peer closed the connection cleanly between requests.
+    Closed,
+    /// The peer violated the protocol or a limit; the connection must be
+    /// answered with `status` (if writable) and dropped.
+    Bad {
+        /// Response status to send before closing.
+        status: u16,
+        /// Human-readable reason, returned in the JSON error body.
+        message: String,
+    },
+    /// An I/O error (including read timeouts) ended the connection.
+    Io(std::io::Error),
+}
+
+/// Reads one request. `writer` is needed for `Expect: 100-continue`
+/// interim responses.
+pub(crate) fn read_request<R: BufRead, W: Write>(
+    reader: &mut R,
+    writer: &mut W,
+    limits: ReadLimits,
+) -> ReadOutcome {
+    let mut head = Vec::new();
+    // Request line + headers, terminated by an empty line.
+    let mut line_start = 0;
+    let mut leading_blanks = 0;
+    loop {
+        // Cap the read *inside* the line scan: read_until would otherwise
+        // buffer a newline-free byte stream without bound before the size
+        // check ever ran.
+        let remaining = (limits.max_head_bytes + 1).saturating_sub(head.len()) as u64;
+        let mut limited = std::io::Read::take(&mut *reader, remaining);
+        let read = limited.read_until(b'\n', &mut head);
+        match read {
+            Err(e) => return ReadOutcome::Io(e),
+            Ok(_) if head.len() > limits.max_head_bytes => {
+                return ReadOutcome::Bad {
+                    status: 431,
+                    message: "request head too large".into(),
+                };
+            }
+            Ok(0) => {
+                return if head.is_empty() {
+                    ReadOutcome::Closed
+                } else {
+                    ReadOutcome::Bad {
+                        status: 400,
+                        message: "connection closed mid-request".into(),
+                    }
+                };
+            }
+            Ok(_) => {}
+        }
+        let line_end = head.len();
+        let line = trim_crlf(&head[line_start..line_end]);
+        if line_start > 0 && line.is_empty() {
+            break; // end of headers
+        }
+        if line_start == 0 && line.is_empty() {
+            // Tolerate a stray CRLF before the request line (RFC 7230 §3.5)
+            // — but only a couple, so a blank-line flood cannot spin here.
+            leading_blanks += 1;
+            if leading_blanks > 4 {
+                return ReadOutcome::Bad {
+                    status: 400,
+                    message: "expected a request line".into(),
+                };
+            }
+            head.clear();
+            continue;
+        }
+        line_start = line_end;
+    }
+
+    let head_text = match std::str::from_utf8(&head) {
+        Ok(text) => text,
+        Err(_) => {
+            return ReadOutcome::Bad {
+                status: 400,
+                message: "request head is not UTF-8".into(),
+            };
+        }
+    };
+    // `str::lines` splits on `\n` and strips a trailing `\r`, matching the
+    // framing loop above, which accepts bare-LF line endings too — parsing
+    // must see the same lines the framing saw or the connection desyncs.
+    let mut lines = head_text.lines().map(str::trim_end);
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return ReadOutcome::Bad {
+            status: 400,
+            message: format!("malformed request line '{request_line}'"),
+        };
+    };
+    if !matches!(version, "HTTP/1.1" | "HTTP/1.0") {
+        return ReadOutcome::Bad {
+            status: 505,
+            message: format!("unsupported protocol '{version}'"),
+        };
+    }
+
+    let mut content_length = 0usize;
+    let mut keep_alive = version == "HTTP/1.1";
+    let mut expects_continue = false;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue; // the blank terminator (and any malformed header)
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => match value.parse::<usize>() {
+                Ok(n) => content_length = n,
+                Err(_) => {
+                    return ReadOutcome::Bad {
+                        status: 400,
+                        message: "invalid Content-Length".into(),
+                    };
+                }
+            },
+            "connection" => {
+                let value = value.to_ascii_lowercase();
+                if value.contains("close") {
+                    keep_alive = false;
+                } else if value.contains("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+            "expect" => {
+                expects_continue = value.eq_ignore_ascii_case("100-continue");
+            }
+            "transfer-encoding" => {
+                return ReadOutcome::Bad {
+                    status: 501,
+                    message: "transfer encodings are not supported".into(),
+                };
+            }
+            _ => {}
+        }
+    }
+    if content_length > limits.max_body_bytes {
+        return ReadOutcome::Bad {
+            status: 413,
+            message: format!("body exceeds {} bytes", limits.max_body_bytes),
+        };
+    }
+    if expects_continue && content_length > 0 {
+        if let Err(e) = writer.write_all(b"HTTP/1.1 100 Continue\r\n\r\n") {
+            return ReadOutcome::Io(e);
+        }
+        let _ = writer.flush();
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        if let Err(e) = reader.read_exact(&mut body) {
+            return ReadOutcome::Io(e);
+        }
+    }
+    ReadOutcome::Request(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body,
+        keep_alive,
+    })
+}
+
+fn trim_crlf(line: &[u8]) -> &[u8] {
+    let line = line.strip_suffix(b"\n").unwrap_or(line);
+    line.strip_suffix(b"\r").unwrap_or(line)
+}
+
+/// Writes one `application/json` response.
+pub(crate) fn write_response<W: Write>(
+    writer: &mut W,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let reason = reason_phrase(status);
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    write!(
+        writer,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        body.len()
+    )?;
+    writer.write_all(body.as_bytes())?;
+    writer.flush()
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        505 => "HTTP Version Not Supported",
+        _ => "Response",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const LIMITS: ReadLimits = ReadLimits {
+        max_head_bytes: 1024,
+        max_body_bytes: 256,
+    };
+
+    fn read(input: &str) -> ReadOutcome {
+        let mut reader = Cursor::new(input.as_bytes().to_vec());
+        let mut writer = Vec::new();
+        read_request(&mut reader, &mut writer, LIMITS)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let outcome = read(
+            "POST /v1/evaluate HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody",
+        );
+        let ReadOutcome::Request(request) = outcome else {
+            panic!("expected a request, got {outcome:?}");
+        };
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/v1/evaluate");
+        assert_eq!(request.body, b"body");
+        assert!(request.keep_alive);
+    }
+
+    #[test]
+    fn connection_close_and_http10_disable_keep_alive() {
+        let ReadOutcome::Request(request) =
+            read("GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+        else {
+            panic!()
+        };
+        assert!(!request.keep_alive);
+        let ReadOutcome::Request(request) = read("GET /healthz HTTP/1.0\r\n\r\n") else {
+            panic!()
+        };
+        assert!(!request.keep_alive);
+        let ReadOutcome::Request(request) =
+            read("GET /healthz HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+        else {
+            panic!()
+        };
+        assert!(request.keep_alive);
+    }
+
+    #[test]
+    fn clean_eof_is_closed_and_partial_is_bad() {
+        assert!(matches!(read(""), ReadOutcome::Closed));
+        assert!(matches!(
+            read("GET /healthz HTT"),
+            ReadOutcome::Bad { status: 400, .. }
+        ));
+    }
+
+    #[test]
+    fn protocol_violations_get_the_right_status() {
+        assert!(matches!(read("GARBAGE\r\n\r\n"), ReadOutcome::Bad { status: 400, .. }));
+        assert!(matches!(
+            read("GET / SPDY/3\r\n\r\n"),
+            ReadOutcome::Bad { status: 505, .. }
+        ));
+        assert!(matches!(
+            read("POST / HTTP/1.1\r\nContent-Length: 999\r\n\r\n"),
+            ReadOutcome::Bad { status: 413, .. }
+        ));
+        assert!(matches!(
+            read("POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            ReadOutcome::Bad { status: 400, .. }
+        ));
+        assert!(matches!(
+            read("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            ReadOutcome::Bad { status: 501, .. }
+        ));
+        let long_header = format!("GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "a".repeat(2048));
+        assert!(matches!(
+            read(&long_header),
+            ReadOutcome::Bad { status: 431, .. }
+        ));
+    }
+
+    #[test]
+    fn expect_continue_gets_an_interim_response() {
+        let mut reader = Cursor::new(
+            b"POST / HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 2\r\n\r\nhi".to_vec(),
+        );
+        let mut writer = Vec::new();
+        let outcome = read_request(&mut reader, &mut writer, LIMITS);
+        assert!(matches!(outcome, ReadOutcome::Request(_)));
+        assert!(String::from_utf8(writer).unwrap().starts_with("HTTP/1.1 100"));
+    }
+
+    #[test]
+    fn bare_lf_requests_parse_their_headers() {
+        // The framing loop accepts bare-LF endings, so header parsing must
+        // too — otherwise Content-Length is dropped and the body bytes
+        // desync the connection.
+        let outcome = read("POST /v1/evaluate HTTP/1.1\nContent-Length: 4\n\nbody");
+        let ReadOutcome::Request(request) = outcome else {
+            panic!("expected a request, got {outcome:?}");
+        };
+        assert_eq!(request.body, b"body");
+    }
+
+    #[test]
+    fn newline_free_floods_are_capped_not_buffered() {
+        // A head with no '\n' at all must hit the size limit, not grow the
+        // buffer until the peer relents.
+        let flood = "G".repeat(64 * 1024);
+        assert!(matches!(
+            read(&flood),
+            ReadOutcome::Bad { status: 431, .. }
+        ));
+    }
+
+    #[test]
+    fn leading_crlf_is_tolerated() {
+        let ReadOutcome::Request(request) = read("\r\nGET /healthz HTTP/1.1\r\n\r\n") else {
+            panic!()
+        };
+        assert_eq!(request.path, "/healthz");
+    }
+
+    #[test]
+    fn responses_have_framing_headers() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{\"ok\":true}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+        let mut out = Vec::new();
+        write_response(&mut out, 404, "{}", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("404 Not Found"));
+        assert!(text.contains("Connection: close"));
+    }
+}

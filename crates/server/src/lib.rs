@@ -1,0 +1,325 @@
+//! # greenfpga-serve
+//!
+//! A zero-dependency HTTP/JSON estimation service over the compiled
+//! GreenFPGA engine: a connection acceptor on [`std::net::TcpListener`]
+//! feeding a persistent [`greenfpga::exec::WorkerPool`], one worker per
+//! connection, keep-alive HTTP/1.1 with bounded request sizes.
+//!
+//! ## Routes
+//!
+//! | Route | Engine path |
+//! |---|---|
+//! | `GET /healthz` | liveness + cache/request counters |
+//! | `POST /v1/evaluate` | [`greenfpga::CompiledScenario::evaluate`] |
+//! | `POST /v1/batch` | [`greenfpga::CompiledScenario::evaluate_into`] (zero-alloc SoA kernel, per-connection reused buffer) |
+//! | `POST /v1/crossover` | [`greenfpga::Estimator::crossover_in_applications`] & friends (closed-form solver) |
+//! | `POST /v1/frontier` | [`greenfpga::Estimator::frontier`] (adaptive quadtree winner map) |
+//!
+//! Request/response schemas are the typed structs of [`greenfpga::api`]; a
+//! scenario (`domain` + Table 1 `knobs` overrides) addresses a keyed LRU
+//! cache of [`greenfpga::CompiledScenario`]s, so the common case — same
+//! scenario, different operating points — never recompiles anything.
+//!
+//! ## Embedding
+//!
+//! ```no_run
+//! let config = gf_server::ServerConfig {
+//!     addr: "127.0.0.1:0".to_string(), // ephemeral port
+//!     ..gf_server::ServerConfig::default()
+//! };
+//! let handle = gf_server::Server::bind(config)?.spawn();
+//! println!("serving on http://{}", handle.addr());
+//! handle.shutdown(); // joins the acceptor and every worker
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+pub mod client;
+mod http;
+mod routes;
+
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use greenfpga::exec::WorkerPool;
+use greenfpga::ResultBuffer;
+
+use cache::ScenarioCache;
+
+/// Server tuning. Every field has a serving-sane default; the CLI exposes
+/// the interesting ones as flags.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (`:0` for an ephemeral port).
+    pub addr: String,
+    /// Connection worker threads (`0` = [`greenfpga::exec::default_threads`]).
+    pub workers: usize,
+    /// Worker threads per batch evaluation. Defaults to 1: request-level
+    /// concurrency comes from the connection workers, so fanning each batch
+    /// out across cores as well would oversubscribe under load.
+    pub eval_threads: usize,
+    /// Maximum request body size in bytes.
+    pub max_body_bytes: usize,
+    /// Maximum cached compiled scenarios.
+    pub cache_capacity: usize,
+    /// Idle keep-alive timeout: a connection with no request for this long
+    /// is closed. Also bounds how long shutdown waits for idle connections.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: 0,
+            eval_threads: 1,
+            max_body_bytes: 4 << 20,
+            cache_capacity: 64,
+            idle_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The worker count after resolving `0` to the machine default.
+    pub fn workers_resolved(&self) -> usize {
+        if self.workers == 0 {
+            greenfpga::exec::default_threads()
+        } else {
+            self.workers
+        }
+    }
+}
+
+/// Shared server state: configuration, the scenario cache and counters.
+pub(crate) struct ServerState {
+    pub config: ServerConfig,
+    pub cache: Mutex<ScenarioCache>,
+    pub requests: AtomicU64,
+    pub stop: AtomicBool,
+    /// Live connections by id, so shutdown can interrupt workers blocked in
+    /// keep-alive reads instead of waiting out their idle timeout.
+    connections: Mutex<HashMap<u64, TcpStream>>,
+    next_connection_id: AtomicU64,
+}
+
+impl ServerState {
+    /// Severs every open connection; blocked reads return EOF immediately.
+    fn sever_connections(&self) {
+        let connections = std::mem::take(
+            &mut *self.connections.lock().expect("connection registry poisoned"),
+        );
+        for (_, stream) in connections {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// A bound (but not yet serving) server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds the listener and pre-resolves the scenario templates.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding; calibration failures surface as
+    /// [`std::io::ErrorKind::InvalidData`] (the built-in calibrations never
+    /// fail).
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let cache = ScenarioCache::new(config.cache_capacity).map_err(|e| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+        })?;
+        Ok(Server {
+            listener,
+            state: Arc::new(ServerState {
+                config,
+                cache: Mutex::new(cache),
+                requests: AtomicU64::new(0),
+                stop: AtomicBool::new(false),
+                connections: Mutex::new(HashMap::new()),
+                next_connection_id: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The bound address (with the real port when `:0` was requested).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the socket address cannot be read back, which only happens
+    /// after the listener broke.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("listener has an address")
+    }
+
+    /// Serves until the process exits (the CLI entry point).
+    pub fn run(self) {
+        let state = Arc::clone(&self.state);
+        serve(self.listener, state);
+    }
+
+    /// Serves on a background acceptor thread and returns a handle that can
+    /// shut the server down cleanly.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr();
+        let state = Arc::clone(&self.state);
+        let acceptor_state = Arc::clone(&self.state);
+        let listener = self.listener;
+        let acceptor = std::thread::spawn(move || serve(listener, acceptor_state));
+        ServerHandle {
+            addr,
+            state,
+            acceptor: Some(acceptor),
+        }
+    }
+}
+
+/// Handle to a spawned server: address + clean shutdown.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The serving address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests served so far (responses written, any status).
+    pub fn requests_served(&self) -> u64 {
+        self.state.requests.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting, drains the workers and joins every thread. Open
+    /// keep-alive connections are closed after their next response (or
+    /// their idle timeout, whichever comes first).
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(acceptor) = self.acceptor.take() else {
+            return;
+        };
+        self.state.stop.store(true, Ordering::SeqCst);
+        // Interrupt workers blocked in keep-alive reads, then wake the
+        // blocking accept with a throwaway connection.
+        self.state.sever_connections();
+        let _ = TcpStream::connect(self.addr);
+        let _ = acceptor.join();
+    }
+}
+
+impl Drop for ServerHandle {
+    /// Dropping without [`ServerHandle::shutdown`] still stops the server —
+    /// tests that bail on an assert must not leave an acceptor thread
+    /// wedged on `accept`.
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// The acceptor loop. Owns the connection worker pool; returning drops the
+/// pool, which joins every worker after its queued connections finish.
+fn serve(listener: TcpListener, state: Arc<ServerState>) {
+    let pool = WorkerPool::new(state.config.workers_resolved());
+    for stream in listener.incoming() {
+        if state.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let id = state.next_connection_id.fetch_add(1, Ordering::Relaxed);
+        if let Ok(registered) = stream.try_clone() {
+            state
+                .connections
+                .lock()
+                .expect("connection registry poisoned")
+                .insert(id, registered);
+        }
+        let state = Arc::clone(&state);
+        pool.execute(move || {
+            handle_connection(stream, &state);
+            state
+                .connections
+                .lock()
+                .expect("connection registry poisoned")
+                .remove(&id);
+        });
+    }
+    // Late shutdown can race a connection registered after the sever pass;
+    // sever again so no queued worker waits out its idle timeout.
+    state.sever_connections();
+}
+
+/// One connection's whole keep-alive lifetime: read a request, answer it,
+/// repeat until the client closes, errs, goes idle past the timeout, or
+/// the server is shutting down. The SoA result buffer lives here — one per
+/// connection, reused across every batch request it carries.
+fn handle_connection(stream: TcpStream, state: &ServerState) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(state.config.idle_timeout));
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut buffer = ResultBuffer::new();
+    let limits = http::ReadLimits {
+        max_head_bytes: 16 << 10,
+        max_body_bytes: state.config.max_body_bytes,
+    };
+    loop {
+        if state.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match http::read_request(&mut reader, &mut writer, limits) {
+            http::ReadOutcome::Request(request) => {
+                let (status, body) = routes::handle(state, &mut buffer, &request);
+                state.requests.fetch_add(1, Ordering::Relaxed);
+                let keep_alive = request.keep_alive && !state.stop.load(Ordering::SeqCst);
+                if http::write_response(&mut writer, status, &body, keep_alive).is_err() {
+                    break;
+                }
+                if !keep_alive {
+                    break;
+                }
+            }
+            http::ReadOutcome::Closed => break,
+            http::ReadOutcome::Bad { status, message } => {
+                let body = routes::protocol_error_body(status, &message);
+                let _ = http::write_response(&mut writer, status, &body, false);
+                break;
+            }
+            http::ReadOutcome::Io(e) => {
+                // Idle timeouts and peer hangups are routine keep-alive
+                // life; anything else deserves a line of diagnostics.
+                use std::io::ErrorKind;
+                if !matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock
+                        | ErrorKind::TimedOut
+                        | ErrorKind::ConnectionReset
+                        | ErrorKind::ConnectionAborted
+                        | ErrorKind::BrokenPipe
+                        | ErrorKind::UnexpectedEof
+                ) {
+                    eprintln!("greenfpga-serve: connection error: {e}");
+                }
+                break;
+            }
+        }
+    }
+}

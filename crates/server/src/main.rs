@@ -1,0 +1,118 @@
+//! `greenfpga-serve` — the standalone server binary.
+//!
+//! ```text
+//! greenfpga-serve [--addr 127.0.0.1:7878] [--workers N] [--eval-threads N]
+//!                 [--cache-capacity N] [--max-body-bytes N]
+//! ```
+//!
+//! The same server is reachable as `greenfpga serve ...` through the CLI.
+
+use std::process::ExitCode;
+
+use gf_server::{Server, ServerConfig};
+
+const USAGE: &str = "\
+greenfpga-serve — HTTP/JSON estimation service over the GreenFPGA engine
+
+USAGE:
+  greenfpga-serve [OPTIONS]
+
+OPTIONS:
+  --addr <HOST:PORT>      bind address                 (default: 127.0.0.1:7878)
+  --workers <N>           connection worker threads    (default: auto)
+  --eval-threads <N>      threads per batch evaluation (default: 1)
+  --cache-capacity <N>    cached compiled scenarios    (default: 64)
+  --max-body-bytes <N>    request body limit           (default: 4194304)
+
+ROUTES:
+  GET  /healthz        liveness + counters
+  POST /v1/evaluate    one operating point            {\"domain\", \"knobs\"?, \"point\"?}
+  POST /v1/batch       many points, SoA batch kernel  {\"domain\", \"knobs\"?, \"points\"}
+  POST /v1/crossover   closed-form crossover solver   {\"domain\", \"knobs\"?, \"point\"?, ranges?}
+  POST /v1/frontier    adaptive quadtree winner map   {\"domain\", \"knobs\"?, axes/ranges/steps?}
+";
+
+/// Parses `--key value` pairs into a config; the tiny hand parser matches
+/// the CLI's dependency-free house style.
+fn parse_config(args: &[String]) -> Result<ServerConfig, String> {
+    let mut config = ServerConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].as_str();
+        if matches!(key, "--help" | "-h" | "help") {
+            return Err(String::new());
+        }
+        let Some(value) = args.get(i + 1) else {
+            return Err(format!("missing value for {key}"));
+        };
+        let parse_usize =
+            |v: &str| -> Result<usize, String> { v.parse().map_err(|_| format!("invalid value '{v}' for {key}")) };
+        match key {
+            "--addr" => config.addr = value.clone(),
+            "--workers" => config.workers = parse_usize(value)?,
+            "--eval-threads" => config.eval_threads = parse_usize(value)?.max(1),
+            "--cache-capacity" => config.cache_capacity = parse_usize(value)?.max(1),
+            "--max-body-bytes" => config.max_body_bytes = parse_usize(value)?.max(1024),
+            other => return Err(format!("unknown option '{other}'")),
+        }
+        i += 2;
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_config(&args) {
+        Ok(config) => config,
+        Err(message) => {
+            if message.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {message}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let workers = config.workers_resolved();
+    let server = match Server::bind(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "greenfpga-serve listening on http://{} ({workers} workers)",
+        server.local_addr()
+    );
+    server.run();
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(line: &str) -> Vec<String> {
+        line.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn defaults_and_overrides_parse() {
+        let config = parse_config(&[]).unwrap();
+        assert_eq!(config.addr, "127.0.0.1:7878");
+        let config =
+            parse_config(&argv("--addr 0.0.0.0:9000 --workers 8 --eval-threads 2")).unwrap();
+        assert_eq!(config.addr, "0.0.0.0:9000");
+        assert_eq!(config.workers, 8);
+        assert_eq!(config.eval_threads, 2);
+    }
+
+    #[test]
+    fn bad_options_are_rejected() {
+        assert!(parse_config(&argv("--workers")).is_err());
+        assert!(parse_config(&argv("--workers x")).is_err());
+        assert!(parse_config(&argv("--frobnicate 1")).is_err());
+        assert_eq!(parse_config(&argv("--help")).unwrap_err(), "");
+    }
+}

@@ -1,0 +1,237 @@
+//! Request routing: JSON in, engine call, JSON out.
+//!
+//! Every handler decodes one typed request from [`greenfpga::api`], runs
+//! the corresponding engine entry point, and encodes the typed response.
+//! The handlers deliberately call the **same** public engine APIs a direct
+//! library user would (`CompiledScenario::evaluate`,
+//! `CompiledScenario::evaluate_indexed_into`, `Estimator::crossover_in_*`,
+//! `Estimator::frontier`), so a served response is bit-identical to a local
+//! call by construction — the serving integration tests golden-match on
+//! exactly this.
+
+use gf_json::{object, FromJson, JsonError, ToJson, Value};
+use greenfpga::{api, GreenFpgaError, ResultBuffer};
+
+use crate::http::Request;
+use crate::ServerState;
+
+/// Routes one request. Returns `(status, body)`; the body is always JSON.
+pub(crate) fn handle(state: &ServerState, buffer: &mut ResultBuffer, request: &Request) -> (u16, String) {
+    let outcome = match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Ok(healthz(state)),
+        ("POST", "/v1/evaluate") => with_body(state, request, |state, body| {
+            evaluate(state, body)
+        }),
+        ("POST", "/v1/batch") => with_body(state, request, |state, body| {
+            batch(state, buffer, body)
+        }),
+        ("POST", "/v1/crossover") => with_body(state, request, crossover),
+        ("POST", "/v1/frontier") => with_body(state, request, frontier),
+        ("GET" | "POST", _) => Err(Failure {
+            status: 404,
+            kind: "not_found",
+            message: format!("no route for {} {}", request.method, request.path),
+        }),
+        _ => Err(Failure {
+            status: 405,
+            kind: "method_not_allowed",
+            message: format!("method {} is not supported", request.method),
+        }),
+    };
+    match outcome {
+        Ok(value) => match value.to_json_string() {
+            Ok(body) => (200, body),
+            Err(e) => encode_failure(Failure {
+                status: 500,
+                kind: "internal",
+                message: format!("response serialization failed: {e}"),
+            }),
+        },
+        Err(failure) => encode_failure(failure),
+    }
+}
+
+/// Builds the error body for a protocol-level rejection raised by the HTTP
+/// reader (bad request line, oversized head/body, ...).
+pub(crate) fn protocol_error_body(status: u16, message: &str) -> String {
+    encode_failure(Failure {
+        status,
+        kind: "protocol",
+        message: message.to_string(),
+    })
+    .1
+}
+
+struct Failure {
+    status: u16,
+    kind: &'static str,
+    message: String,
+}
+
+fn encode_failure(failure: Failure) -> (u16, String) {
+    let body = object([(
+        "error",
+        object([
+            ("kind", Value::from(failure.kind)),
+            ("message", Value::from(failure.message)),
+        ]),
+    )]);
+    let body = body
+        .to_json_string()
+        .unwrap_or_else(|_| "{\"error\":{\"kind\":\"internal\"}}".to_string());
+    (failure.status, body)
+}
+
+impl From<JsonError> for Failure {
+    fn from(e: JsonError) -> Failure {
+        Failure {
+            status: 400,
+            kind: "bad_request",
+            message: e.to_string(),
+        }
+    }
+}
+
+impl From<GreenFpgaError> for Failure {
+    fn from(e: GreenFpgaError) -> Failure {
+        Failure {
+            status: 422,
+            kind: "model",
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Parses the body (bounded by the transport's body limit, plus the JSON
+/// parser's own depth limit) and runs the handler.
+fn with_body<F>(state: &ServerState, request: &Request, run: F) -> Result<Value, Failure>
+where
+    F: FnOnce(&ServerState, &Value) -> Result<Value, Failure>,
+{
+    let text = std::str::from_utf8(&request.body).map_err(|_| Failure {
+        status: 400,
+        kind: "bad_request",
+        message: "body is not UTF-8".to_string(),
+    })?;
+    let limits = gf_json::ParseLimits {
+        max_bytes: state.config.max_body_bytes,
+        ..gf_json::ParseLimits::default()
+    };
+    let body = gf_json::parse_with(text, limits)?;
+    run(state, &body)
+}
+
+fn healthz(state: &ServerState) -> Value {
+    let (entries, hits, misses) = {
+        let cache = state.cache.lock().expect("cache lock poisoned");
+        let (hits, misses) = cache.stats();
+        (cache.len(), hits, misses)
+    };
+    object([
+        ("status", Value::from("ok")),
+        ("workers", Value::from(state.config.workers_resolved())),
+        (
+            "requests_served",
+            Value::Number(state.requests.load(std::sync::atomic::Ordering::Relaxed) as f64),
+        ),
+        (
+            "scenario_cache",
+            object([
+                ("entries", Value::from(entries)),
+                ("hits", Value::Number(hits as f64)),
+                ("misses", Value::Number(misses as f64)),
+            ]),
+        ),
+    ])
+}
+
+fn evaluate(state: &ServerState, body: &Value) -> Result<Value, Failure> {
+    let request = api::EvaluateRequest::from_json(body)?;
+    let compiled = state
+        .cache
+        .lock()
+        .expect("cache lock poisoned")
+        .lookup(&request.scenario)?;
+    let comparison = compiled.evaluate(request.point)?;
+    Ok(api::EvaluateResponse { comparison }.to_json())
+}
+
+fn batch(state: &ServerState, buffer: &mut ResultBuffer, body: &Value) -> Result<Value, Failure> {
+    let request = api::BatchEvalRequest::from_json(body)?;
+    let compiled = state
+        .cache
+        .lock()
+        .expect("cache lock poisoned")
+        .lookup(&request.scenario)?;
+    // The SoA kernel writes into this connection's reused buffer: repeated
+    // batches on a connection allocate nothing for evaluation. eval_threads
+    // defaults to 1 — request concurrency comes from connection workers, so
+    // fanning every batch out would just oversubscribe the cores.
+    compiled.evaluate_indexed_into(
+        request.points.len(),
+        |i| request.points[i],
+        buffer,
+        state.config.eval_threads.max(1),
+    )?;
+    Ok(api::BatchEvalResponse {
+        comparisons: buffer.comparisons().collect(),
+    }
+    .to_json())
+}
+
+fn crossover(state: &ServerState, body: &Value) -> Result<Value, Failure> {
+    let request = api::CrossoverRequest::from_json(body)?;
+    // The `_verified` searches are the bodies behind
+    // `Estimator::crossover_in_*` (the wrappers compile then delegate), so
+    // serving them off the cached compilation changes nothing but the
+    // compile count.
+    let compiled = state
+        .cache
+        .lock()
+        .expect("cache lock poisoned")
+        .lookup(&request.scenario)?;
+    let base = request.base;
+    let applications = compiled.crossover_in_applications_verified(
+        request.max_applications,
+        base.lifetime_years,
+        base.volume,
+    )?;
+    let lifetime = compiled.crossover_in_lifetime_verified(
+        base.applications,
+        base.volume,
+        request.lifetime_range.0,
+        request.lifetime_range.1,
+    )?;
+    let volume = compiled.crossover_in_volume_verified(
+        base.applications,
+        base.lifetime_years,
+        request.volume_range.0,
+        request.volume_range.1,
+    )?;
+    Ok(api::CrossoverResponse {
+        domain: request.scenario.domain,
+        base,
+        applications,
+        lifetime,
+        volume,
+    }
+    .to_json())
+}
+
+fn frontier(state: &ServerState, body: &Value) -> Result<Value, Failure> {
+    let request = api::FrontierRequest::from_json(body)?;
+    let compiled = state
+        .cache
+        .lock()
+        .expect("cache lock poisoned")
+        .lookup(&request.scenario)?;
+    let (x_values, y_values) = request.lattice();
+    let result = compiled.frontier(
+        request.x_axis,
+        &x_values,
+        request.y_axis,
+        &y_values,
+        request.base,
+    )?;
+    Ok(result.to_json())
+}

@@ -1,0 +1,407 @@
+//! Integration tests for `greenfpga-serve`: a real server on an ephemeral
+//! loopback port, driven by real TCP clients, with every served result
+//! **golden-matched bit-for-bit** against direct engine calls.
+//!
+//! The bit-identity works because the wire format (`greenfpga::api` over
+//! `gf_json`) serializes `f64` with shortest round-trip formatting: parsing
+//! a response reconstructs exactly the bits the server's engine produced,
+//! so `PartialEq` on the decoded structs is a bit-level comparison.
+
+use gf_json::{FromJson, ToJson, Value};
+use gf_server::client::Client;
+use gf_server::{Server, ServerConfig, ServerHandle};
+use greenfpga::api::{
+    BatchEvalRequest, BatchEvalResponse, CrossoverResponse, EvaluateRequest, EvaluateResponse,
+    FrontierRequest,
+};
+use greenfpga::{Domain, Estimator, Knob, OperatingPoint, ResultBuffer, ScenarioSpec, SweepAxis};
+
+/// Boots a server on an ephemeral port with test-friendly settings.
+fn spawn_server() -> ServerHandle {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        idle_timeout: std::time::Duration::from_secs(2),
+        ..ServerConfig::default()
+    };
+    Server::bind(config).expect("bind ephemeral server").spawn()
+}
+
+fn connect(handle: &ServerHandle) -> Client {
+    Client::connect(handle.addr()).expect("connect to server")
+}
+
+fn post_json(client: &mut Client, path: &str, request: &impl ToJson) -> (u16, Value) {
+    let body = request.to_json().to_json_string().expect("serialize request");
+    let (status, body) = client.post(path, &body).expect("request round-trip");
+    let value = gf_json::parse(&body).expect("response is JSON");
+    (status, value)
+}
+
+fn scenario_cases() -> Vec<ScenarioSpec> {
+    let mut specs: Vec<ScenarioSpec> = Domain::ALL.into_iter().map(ScenarioSpec::baseline).collect();
+    specs.push(ScenarioSpec {
+        domain: Domain::Dnn,
+        knobs: vec![(Knob::DutyCycle, 0.45), (Knob::UsageGridIntensity, 650.0)],
+    });
+    specs.push(ScenarioSpec {
+        domain: Domain::Crypto,
+        knobs: vec![(Knob::EolRecycledFraction, 0.9)],
+    });
+    specs
+}
+
+fn point_cases() -> Vec<OperatingPoint> {
+    vec![
+        OperatingPoint::paper_default(),
+        OperatingPoint {
+            applications: 1,
+            lifetime_years: 0.25,
+            volume: 1_000,
+        },
+        OperatingPoint {
+            applications: 12,
+            lifetime_years: 3.5,
+            volume: 10_000_000,
+        },
+    ]
+}
+
+#[test]
+fn healthz_reports_ok_and_counts_requests() {
+    let handle = spawn_server();
+    let mut client = connect(&handle);
+    let (status, body) = client.get("/healthz").expect("healthz");
+    assert_eq!(status, 200);
+    let value = gf_json::parse(&body).unwrap();
+    assert_eq!(value.get("status").and_then(Value::as_str), Some("ok"));
+    assert!(value.get("workers").and_then(Value::as_u64).unwrap() >= 1);
+    let served_before = value
+        .get("requests_served")
+        .and_then(Value::as_u64)
+        .unwrap();
+    // More requests move the counter.
+    let (status, _) = client.get("/healthz").expect("healthz again");
+    assert_eq!(status, 200);
+    let (status, body) = client.get("/healthz").expect("healthz counter read");
+    assert_eq!(status, 200);
+    let served_after = gf_json::parse(&body)
+        .unwrap()
+        .get("requests_served")
+        .and_then(Value::as_u64)
+        .unwrap();
+    assert!(served_after > served_before);
+    handle.shutdown();
+}
+
+#[test]
+fn evaluate_is_bit_identical_to_direct_engine_calls() {
+    let handle = spawn_server();
+    let mut client = connect(&handle);
+    for scenario in scenario_cases() {
+        // The direct path a library user would run: estimator with the same
+        // knob overrides, compiled scenario, point evaluation.
+        let direct = Estimator::new(scenario.params())
+            .compile(scenario.domain)
+            .unwrap();
+        for point in point_cases() {
+            let request = EvaluateRequest {
+                scenario: scenario.clone(),
+                point,
+            };
+            let (status, value) = post_json(&mut client, "/v1/evaluate", &request);
+            assert_eq!(status, 200, "{value:?}");
+            let response = EvaluateResponse::from_json(&value).expect("decode response");
+            let expected = direct.evaluate(point).unwrap();
+            assert_eq!(response.comparison, expected, "{scenario:?} {point:?}");
+            // Explicit bit check on one representative field, in case a
+            // PartialEq refactor ever loosens the struct comparison.
+            assert_eq!(
+                response.comparison.fpga.total().as_kg().to_bits(),
+                expected.fpga.total().as_kg().to_bits()
+            );
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn batch_matches_the_soa_kernel_bit_for_bit() {
+    let handle = spawn_server();
+    let mut client = connect(&handle);
+    let scenario = ScenarioSpec {
+        domain: Domain::ImageProcessing,
+        knobs: vec![(Knob::FabGridIntensity, 120.0)],
+    };
+    let points: Vec<OperatingPoint> = (1..=40u64)
+        .map(|i| OperatingPoint {
+            applications: 1 + i % 9,
+            lifetime_years: 0.25 * i as f64,
+            volume: 10_000 * i,
+        })
+        .collect();
+    let request = BatchEvalRequest {
+        scenario: scenario.clone(),
+        points: points.clone(),
+    };
+    // Direct golden: the same zero-alloc kernel the server routes through.
+    let compiled = Estimator::new(scenario.params())
+        .compile(scenario.domain)
+        .unwrap();
+    let mut buffer = ResultBuffer::new();
+    compiled.evaluate_into(&points, &mut buffer).unwrap();
+    // Repeated batches on one keep-alive connection hit the same reused
+    // server-side buffer; every one must be identical.
+    for round in 0..3 {
+        let (status, value) = post_json(&mut client, "/v1/batch", &request);
+        assert_eq!(status, 200, "round {round}: {value:?}");
+        let response = BatchEvalResponse::from_json(&value).expect("decode batch");
+        assert_eq!(response.comparisons.len(), points.len());
+        for (i, comparison) in response.comparisons.iter().enumerate() {
+            assert_eq!(*comparison, buffer.comparison(i), "round {round} point {i}");
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn crossover_matches_the_estimator_searches() {
+    let handle = spawn_server();
+    let mut client = connect(&handle);
+    for scenario in scenario_cases() {
+        let request = greenfpga::CrossoverRequest::with_default_ranges(
+            scenario.clone(),
+            OperatingPoint::paper_default(),
+        );
+        let (status, value) = post_json(&mut client, "/v1/crossover", &request);
+        assert_eq!(status, 200, "{value:?}");
+        let response = CrossoverResponse::from_json(&value).expect("decode crossover");
+        let estimator = Estimator::new(scenario.params());
+        let base = OperatingPoint::paper_default();
+        assert_eq!(
+            response.applications,
+            estimator
+                .crossover_in_applications(scenario.domain, 20, base.lifetime_years, base.volume)
+                .unwrap(),
+            "{scenario:?}"
+        );
+        assert_eq!(
+            response.lifetime,
+            estimator
+                .crossover_in_lifetime(scenario.domain, base.applications, base.volume, 0.05, 5.0)
+                .unwrap(),
+            "{scenario:?}"
+        );
+        assert_eq!(
+            response.volume,
+            estimator
+                .crossover_in_volume(
+                    scenario.domain,
+                    base.applications,
+                    base.lifetime_years,
+                    1_000,
+                    50_000_000
+                )
+                .unwrap(),
+            "{scenario:?}"
+        );
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn frontier_matches_the_direct_winner_map() {
+    let handle = spawn_server();
+    let mut client = connect(&handle);
+    let scenario = ScenarioSpec::baseline(Domain::Dnn);
+    let request = FrontierRequest {
+        scenario: scenario.clone(),
+        base: OperatingPoint::paper_default(),
+        x_axis: SweepAxis::Applications,
+        x_range: (1.0, 16.0),
+        y_axis: SweepAxis::LifetimeYears,
+        y_range: (0.25, 3.0),
+        steps: 16,
+    };
+    let (status, value) = post_json(&mut client, "/v1/frontier", &request);
+    assert_eq!(status, 200, "{value:?}");
+
+    let (x_values, y_values) = request.lattice();
+    let direct = Estimator::new(scenario.params())
+        .frontier(
+            scenario.domain,
+            request.x_axis,
+            &x_values,
+            request.y_axis,
+            &y_values,
+            request.base,
+        )
+        .unwrap();
+    assert_eq!(
+        value.get("evaluations").and_then(Value::as_u64),
+        Some(direct.evaluations() as u64)
+    );
+    let mask = value.get("fpga_wins").and_then(Value::as_array).unwrap();
+    assert_eq!(mask.len(), direct.height());
+    for (row, served_row) in mask.iter().enumerate() {
+        let served_row = served_row.as_array().unwrap();
+        assert_eq!(served_row.len(), direct.width());
+        for (col, cell) in served_row.iter().enumerate() {
+            assert_eq!(
+                cell.as_bool(),
+                Some(direct.fpga_wins(row, col)),
+                "cell ({row},{col})"
+            );
+        }
+    }
+    // Served x/y coordinates round-trip bit-for-bit too.
+    let served_x: Vec<f64> = value
+        .get("x_values")
+        .and_then(Value::as_array)
+        .unwrap()
+        .iter()
+        .map(|v| v.as_f64().unwrap())
+        .collect();
+    assert_eq!(served_x.len(), x_values.len());
+    for (a, b) in served_x.iter().zip(&x_values) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_clients_get_consistent_answers() {
+    let handle = spawn_server();
+    let addr = handle.addr();
+    let scenario = ScenarioSpec::baseline(Domain::Dnn);
+    let direct = Estimator::default().compile(Domain::Dnn).unwrap();
+    let clients = 4;
+    let requests_per_client = 50;
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let scenario = scenario.clone();
+            let direct = &direct;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for i in 0..requests_per_client {
+                    let point = OperatingPoint {
+                        applications: 1 + ((c + i) % 10) as u64,
+                        lifetime_years: 0.5 + 0.25 * (i % 8) as f64,
+                        volume: 100_000 + 10_000 * i as u64,
+                    };
+                    let request = EvaluateRequest {
+                        scenario: scenario.clone(),
+                        point,
+                    };
+                    let body = request.to_json().to_json_string().unwrap();
+                    let (status, body) =
+                        client.post("/v1/evaluate", &body).expect("round-trip");
+                    assert_eq!(status, 200);
+                    let response =
+                        EvaluateResponse::from_json(&gf_json::parse(&body).unwrap()).unwrap();
+                    assert_eq!(
+                        response.comparison,
+                        direct.evaluate(point).unwrap(),
+                        "client {c} request {i}"
+                    );
+                }
+            });
+        }
+    });
+    assert!(handle.requests_served() >= (clients * requests_per_client) as u64);
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_requests_are_rejected_without_harming_the_server() {
+    let handle = spawn_server();
+    let mut client = connect(&handle);
+    // Broken JSON.
+    let (status, body) = client.post("/v1/evaluate", "{not json").unwrap();
+    assert_eq!(status, 400, "{body}");
+    // Schema violations.
+    let (status, body) = client.post("/v1/evaluate", "{}").unwrap();
+    assert_eq!(status, 400);
+    assert!(body.contains("domain"), "{body}");
+    let (status, _) = client
+        .post("/v1/evaluate", r#"{"domain": "warp-core"}"#)
+        .unwrap();
+    assert_eq!(status, 400);
+    let (status, body) = client
+        .post("/v1/evaluate", r#"{"domain": "dnn", "knobs": {"flux": 1}}"#)
+        .unwrap();
+    assert_eq!(status, 400);
+    assert!(body.contains("flux"), "{body}");
+    // Hostile nesting trips the parser's depth limit, not the stack.
+    let deep = format!("{}{}", "[".repeat(50_000), "]".repeat(50_000));
+    let (status, _) = client.post("/v1/evaluate", &deep).unwrap();
+    assert_eq!(status, 400);
+    // Model-level rejection: zero applications is a 422, not a crash.
+    let (status, body) = client
+        .post(
+            "/v1/evaluate",
+            r#"{"domain": "dnn", "point": {"applications": 0}}"#,
+        )
+        .unwrap();
+    assert_eq!(status, 422, "{body}");
+    // Unknown routes and methods.
+    let (status, _) = client.get("/v2/evaluate").unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = client.request("DELETE", "/healthz", None).unwrap();
+    assert_eq!(status, 405);
+    // The connection that sent garbage is still serviceable...
+    let (status, _) = client.get("/healthz").unwrap();
+    assert_eq!(status, 200);
+    // ...and so is a fresh one.
+    let mut fresh = connect(&handle);
+    let (status, _) = fresh.get("/healthz").unwrap();
+    assert_eq!(status, 200);
+    handle.shutdown();
+}
+
+#[test]
+fn repeated_server_lifecycle_is_leak_free_and_deadlock_free() {
+    // The long-lived-service satellite: engines (server + worker pool +
+    // cache) must come up and tear down repeatedly without wedging on a
+    // join or accumulating threads. A deadlock here hangs the test; a leak
+    // shows up as runaway thread counts under any external inspection.
+    for round in 0..10 {
+        let handle = spawn_server();
+        let mut client = connect(&handle);
+        let (status, _) = client.get("/healthz").expect("healthz");
+        assert_eq!(status, 200, "round {round}");
+        let request = EvaluateRequest {
+            scenario: ScenarioSpec::baseline(Domain::Crypto),
+            point: OperatingPoint::paper_default(),
+        };
+        let (status, _) = post_json(&mut client, "/v1/evaluate", &request);
+        assert_eq!(status, 200, "round {round}");
+        drop(client);
+        handle.shutdown(); // must join promptly every round
+    }
+}
+
+#[test]
+fn scenario_cache_serves_repeats_compile_free() {
+    let handle = spawn_server();
+    let mut client = connect(&handle);
+    let request = EvaluateRequest {
+        scenario: ScenarioSpec {
+            domain: Domain::Dnn,
+            knobs: vec![(Knob::DutyCycle, 0.33)],
+        },
+        point: OperatingPoint::paper_default(),
+    };
+    for _ in 0..5 {
+        let (status, _) = post_json(&mut client, "/v1/evaluate", &request);
+        assert_eq!(status, 200);
+    }
+    let (_, health) = client.get("/healthz").unwrap();
+    let health = gf_json::parse(&health).unwrap();
+    let cache = health.get("scenario_cache").expect("cache stats");
+    let hits = cache.get("hits").and_then(Value::as_u64).unwrap();
+    let misses = cache.get("misses").and_then(Value::as_u64).unwrap();
+    assert_eq!(misses, 1, "one compile for five identical scenarios");
+    assert_eq!(hits, 4);
+    handle.shutdown();
+}
