@@ -433,6 +433,16 @@ fn main() {
             "frontier evaluated {:.1}% of the dense grid, above the 20% acceptance bar",
             frontier_fraction * 100.0
         );
+        // Target ≥1.0 (the committed baseline records it); asserted against
+        // the shared noise-headroomed floor (see
+        // [`gf_bench::SOA_SPEEDUP_FLOOR`]) that `bench_gate` also enforces.
+        assert!(
+            soa_speedup >= gf_bench::SOA_SPEEDUP_FLOOR,
+            "SoA kernel speedup {soa_speedup:.2}x below the {} floor — the \
+             zero-alloc batch kernel must not lose to collecting per-point \
+             comparisons",
+            gf_bench::SOA_SPEEDUP_FLOOR
+        );
         // The wall-clock frontier win is machine-shaped (dense grids
         // parallelize better than refinement waves), so the hard bar is the
         // evaluation fraction above; the timing is reported, not asserted.

@@ -1,22 +1,25 @@
-//! `serve_load` — loopback load generator for `greenfpga-serve`.
+//! `serve_load` — multi-client loopback saturation benchmark for
+//! `greenfpga-serve`.
 //!
-//! Boots the server in-process on an ephemeral port, hammers it from
-//! keep-alive client threads with `/v1/evaluate` and `/v1/batch` requests,
-//! golden-matches **every** response against direct engine calls (a
-//! response that is not bit-identical counts as an error), and reports
-//! throughput and latency percentiles.
+//! Runs one load pass per client count (1, 4 and 8 keep-alive clients),
+//! each against a fresh in-process server on an ephemeral port, hammering
+//! `/v1/evaluate` and `/v1/batch` and golden-matching **every** response
+//! against direct engine calls (a response that is not bit-identical
+//! counts as an error). Reports throughput per client count and latency
+//! percentiles for the single-client pass.
 //!
 //! Results merge into the `BENCH_eval.json` trajectory artifact (override
 //! the path with `GF_BENCH_OUT`): existing keys are preserved, `serve_*`
-//! keys are replaced. Latency keys intentionally do not use the `_ns`
-//! suffix — loopback latency is machine-shaped, so `bench_gate` tracks but
-//! does not gate it.
+//! keys are replaced. `serve_rps` and the latency percentiles come from
+//! the 1-client pass (comparable across baselines); `serve_rps_4` /
+//! `serve_rps_8` record the saturation scaling. `bench_gate` gates every
+//! `serve_rps*` key downward like the kernel speedups; the latency keys
+//! are tracked but not gated (loopback latency is machine-shaped).
 //!
 //! Environment knobs:
 //!
-//! * `GF_SERVE_LOAD_REQUESTS` — total `/v1/evaluate` requests (default 50 000)
-//! * `GF_SERVE_LOAD_BATCHES` — total `/v1/batch` requests (default 500, 64 points each)
-//! * `GF_SERVE_LOAD_CLIENTS` — client threads (default up to 4)
+//! * `GF_SERVE_LOAD_REQUESTS` — `/v1/evaluate` requests per pass (default 50 000)
+//! * `GF_SERVE_LOAD_BATCHES` — `/v1/batch` requests per pass (default 500, 64 points each)
 //! * `GF_BENCH_NO_ASSERT` — report only, skip the acceptance assertions
 
 use std::net::SocketAddr;
@@ -139,48 +142,30 @@ fn percentile_us(sorted_ns: &[u64], q: f64) -> f64 {
     sorted_ns[rank] as f64 / 1e3
 }
 
-fn main() {
-    let evaluate_total = env_usize("GF_SERVE_LOAD_REQUESTS", 50_000);
-    let batch_total = env_usize("GF_SERVE_LOAD_BATCHES", 500);
-    let clients = env_usize(
-        "GF_SERVE_LOAD_CLIENTS",
-        greenfpga::exec::default_threads().min(4),
-    );
+/// Precomputed request bodies and their golden responses, shared by every
+/// pass.
+struct Workload {
+    evaluate_bodies: Vec<String>,
+    evaluate_expected: Vec<PlatformComparison>,
+    batch_body: String,
+    batch_expected: Vec<PlatformComparison>,
+}
 
-    // Golden results from the direct engine path.
-    let estimator = Estimator::default();
-    let compiled = estimator.compile(Domain::Dnn).expect("compile dnn");
-    let points = operating_points();
-    let evaluate_expected: Vec<PlatformComparison> = points
-        .iter()
-        .map(|&point| compiled.evaluate(point).expect("golden evaluate"))
-        .collect();
-    let evaluate_bodies: Vec<String> = points
-        .iter()
-        .map(|&point| {
-            EvaluateRequest {
-                scenario: ScenarioSpec::baseline(Domain::Dnn),
-                point,
-            }
-            .to_json()
-            .to_json_string()
-            .expect("request serializes")
-        })
-        .collect();
-    let batch_points: Vec<OperatingPoint> = points.iter().copied().take(64).collect();
-    let batch_expected: Vec<PlatformComparison> = batch_points
-        .iter()
-        .map(|&point| compiled.evaluate(point).expect("golden batch point"))
-        .collect();
-    let batch_body = BatchEvalRequest {
-        scenario: ScenarioSpec::baseline(Domain::Dnn),
-        points: batch_points.clone(),
-    }
-    .to_json()
-    .to_json_string()
-    .expect("batch request serializes");
+/// One pass's aggregate outcome.
+struct PassResult {
+    clients: usize,
+    requests: usize,
+    errors: u64,
+    rps: f64,
+    eval_p50: f64,
+    eval_p99: f64,
+    batch_p50: f64,
+    batch_p99: f64,
+}
 
-    // Server on an ephemeral loopback port, sized to the client count.
+/// Runs one load pass: a fresh server sized to `clients`, every client on
+/// its own keep-alive connection, every response golden-matched.
+fn run_pass(workload: &Workload, clients: usize, evaluate_total: usize, batch_total: usize) -> PassResult {
     let server = Server::bind(ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         workers: clients,
@@ -190,17 +175,17 @@ fn main() {
     let addr = server.local_addr();
     let handle = server.spawn();
     println!(
-        "serve_load: {evaluate_total} evaluate + {batch_total} batch requests over {clients} clients -> http://{addr}"
+        "serve_load: {evaluate_total} evaluate + {batch_total} batch requests over {clients} client(s) -> http://{addr}"
     );
 
     let started = Instant::now();
     let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
-                let evaluate_bodies = &evaluate_bodies;
-                let evaluate_expected = &evaluate_expected;
-                let batch_body = &batch_body;
-                let batch_expected = &batch_expected;
+                let evaluate_bodies = &workload.evaluate_bodies;
+                let evaluate_expected = &workload.evaluate_expected;
+                let batch_body = &workload.batch_body;
+                let batch_expected = &workload.batch_expected;
                 // Spread the remainder so every request is issued.
                 let evaluate_share = evaluate_total / clients
                     + usize::from(c < evaluate_total % clients);
@@ -241,29 +226,104 @@ fn main() {
     let requests = evaluate_latencies.len() + batch_latencies.len();
     let rps = requests as f64 / wall.as_secs_f64();
 
-    let eval_p50 = percentile_us(&evaluate_latencies, 0.50);
-    let eval_p99 = percentile_us(&evaluate_latencies, 0.99);
-    let batch_p50 = percentile_us(&batch_latencies, 0.50);
-    let batch_p99 = percentile_us(&batch_latencies, 0.99);
+    let result = PassResult {
+        clients,
+        requests,
+        errors,
+        rps,
+        eval_p50: percentile_us(&evaluate_latencies, 0.50),
+        eval_p99: percentile_us(&evaluate_latencies, 0.99),
+        batch_p50: percentile_us(&batch_latencies, 0.50),
+        batch_p99: percentile_us(&batch_latencies, 0.99),
+    };
     println!(
-        "serve_load: {requests} requests in {:.2}s -> {rps:.0} req/s, {errors} errors",
+        "serve_load: {requests} requests in {:.2}s -> {rps:.0} req/s, {errors} errors ({clients} client(s))",
         wall.as_secs_f64()
     );
-    println!("  evaluate latency p50 {eval_p50:.1} us, p99 {eval_p99:.1} us");
-    println!("  batch(64) latency p50 {batch_p50:.1} us, p99 {batch_p99:.1} us");
+    println!(
+        "  evaluate latency p50 {:.1} us, p99 {:.1} us",
+        result.eval_p50, result.eval_p99
+    );
+    println!(
+        "  batch(64) latency p50 {:.1} us, p99 {:.1} us",
+        result.batch_p50, result.batch_p99
+    );
+    result
+}
+
+/// The saturation ladder: single client for the comparable baseline, then
+/// moderate and heavy concurrency.
+const CLIENT_COUNTS: [usize; 3] = [1, 4, 8];
+
+fn main() {
+    let evaluate_total = env_usize("GF_SERVE_LOAD_REQUESTS", 50_000);
+    let batch_total = env_usize("GF_SERVE_LOAD_BATCHES", 500);
+
+    // Golden results from the direct engine path.
+    let estimator = Estimator::default();
+    let compiled = estimator.compile(Domain::Dnn).expect("compile dnn");
+    let points = operating_points();
+    let evaluate_expected: Vec<PlatformComparison> = points
+        .iter()
+        .map(|&point| compiled.evaluate(point).expect("golden evaluate"))
+        .collect();
+    let evaluate_bodies: Vec<String> = points
+        .iter()
+        .map(|&point| {
+            EvaluateRequest {
+                scenario: ScenarioSpec::baseline(Domain::Dnn),
+                point,
+            }
+            .to_json()
+            .to_json_string()
+            .expect("request serializes")
+        })
+        .collect();
+    let batch_points: Vec<OperatingPoint> = points.iter().copied().take(64).collect();
+    let batch_expected: Vec<PlatformComparison> = batch_points
+        .iter()
+        .map(|&point| compiled.evaluate(point).expect("golden batch point"))
+        .collect();
+    let batch_body = BatchEvalRequest {
+        scenario: ScenarioSpec::baseline(Domain::Dnn),
+        points: batch_points.clone(),
+    }
+    .to_json()
+    .to_json_string()
+    .expect("batch request serializes");
+    let workload = Workload {
+        evaluate_bodies,
+        evaluate_expected,
+        batch_body,
+        batch_expected,
+    };
+
+    let passes: Vec<PassResult> = CLIENT_COUNTS
+        .iter()
+        .map(|&clients| run_pass(&workload, clients, evaluate_total, batch_total))
+        .collect();
+    let single = &passes[0];
+    let requests: usize = passes.iter().map(|p| p.requests).sum();
+    let errors: u64 = passes.iter().map(|p| p.errors).sum();
 
     // Merge into the trajectory artifact: keep foreign keys, replace ours.
+    // `serve_rps` and the latency percentiles are the 1-client pass, so they
+    // stay comparable with pre-multi-client baselines; `serve_rps_<N>`
+    // records the saturation ladder.
     let out = std::env::var("GF_BENCH_OUT").unwrap_or_else(|_| "BENCH_eval.json".to_string());
-    let serve_metrics = [
-        ("serve_requests", requests as f64),
-        ("serve_errors", errors as f64),
-        ("serve_clients", clients as f64),
-        ("serve_rps", rps),
-        ("serve_evaluate_p50_us", eval_p50),
-        ("serve_evaluate_p99_us", eval_p99),
-        ("serve_batch64_p50_us", batch_p50),
-        ("serve_batch64_p99_us", batch_p99),
+    let mut serve_metrics = vec![
+        ("serve_requests".to_string(), requests as f64),
+        ("serve_errors".to_string(), errors as f64),
+        ("serve_clients".to_string(), *CLIENT_COUNTS.last().unwrap() as f64),
+        ("serve_rps".to_string(), single.rps),
+        ("serve_evaluate_p50_us".to_string(), single.eval_p50),
+        ("serve_evaluate_p99_us".to_string(), single.eval_p99),
+        ("serve_batch64_p50_us".to_string(), single.batch_p50),
+        ("serve_batch64_p99_us".to_string(), single.batch_p99),
     ];
+    for pass in &passes {
+        serve_metrics.push((format!("serve_rps_{}", pass.clients), pass.rps));
+    }
     // A present-but-unparseable artifact must abort, not be silently
     // replaced — in CI that file holds the kernel metrics the bench step
     // just produced, and dropping them would starve the gate.
@@ -275,7 +335,7 @@ fn main() {
     };
     merged.retain(|(key, _)| !key.starts_with("serve_"));
     for (key, value) in serve_metrics {
-        merged.push((key.to_string(), Some(value)));
+        merged.push((key, Some(value)));
     }
     let members: Vec<(String, Value)> = merged
         .into_iter()
@@ -298,6 +358,10 @@ fn main() {
         assert!(
             requests >= 50_000,
             "load run issued {requests} requests, below the 50k acceptance bar"
+        );
+        assert!(
+            passes.iter().all(|pass| pass.rps > 0.0),
+            "every client count must sustain positive throughput"
         );
     }
 }

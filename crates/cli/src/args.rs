@@ -98,6 +98,10 @@ pub struct ServeArgs {
     pub eval_threads: usize,
     /// Cached compiled scenarios.
     pub cache_capacity: usize,
+    /// Scenario cache shards.
+    pub cache_shards: usize,
+    /// Hard cap on live connections (admission control beyond it).
+    pub max_connections: usize,
 }
 
 impl Default for ServeArgs {
@@ -107,6 +111,8 @@ impl Default for ServeArgs {
             workers: 0,
             eval_threads: 1,
             cache_capacity: 64,
+            cache_shards: 8,
+            max_connections: 1024,
         }
     }
 }
@@ -189,6 +195,8 @@ SERVE OPTIONS:
   --workers <N>                   connection workers       (default: auto)
   --eval-threads <N>              threads per batch eval   (default: 1)
   --cache-capacity <N>            cached scenarios         (default: 64)
+  --cache-shards <N>              scenario cache shards    (default: 8)
+  --max-connections <N>           live connection cap      (default: 1024)
 
 SWEEP OPTIONS:
   --axis <apps|lifetime|volume>   axis to sweep            (required)
@@ -358,8 +366,26 @@ fn parse_serve(options: &Options) -> Result<ServeArgs, ParseError> {
     if let Some(v) = options.get("eval-threads") {
         serve.eval_threads = parse_number::<usize>("--eval-threads", v)?.max(1);
     }
+    // Zero is a configuration bug for these three, not a value to clamp —
+    // reject it loudly, matching the library-level cache contract.
+    let positive = |flag: &'static str, n: usize| -> Result<usize, ParseError> {
+        if n == 0 {
+            Err(ParseError(format!("{flag} must be at least 1")))
+        } else {
+            Ok(n)
+        }
+    };
     if let Some(v) = options.get("cache-capacity") {
-        serve.cache_capacity = parse_number::<usize>("--cache-capacity", v)?.max(1);
+        serve.cache_capacity =
+            positive("--cache-capacity", parse_number::<usize>("--cache-capacity", v)?)?;
+    }
+    if let Some(v) = options.get("cache-shards") {
+        serve.cache_shards =
+            positive("--cache-shards", parse_number::<usize>("--cache-shards", v)?)?;
+    }
+    if let Some(v) = options.get("max-connections") {
+        serve.max_connections =
+            positive("--max-connections", parse_number::<usize>("--max-connections", v)?)?;
     }
     Ok(serve)
 }
@@ -481,7 +507,8 @@ mod tests {
     fn serve_defaults_and_overrides() {
         assert_eq!(parse_cmd("serve").unwrap(), Command::Serve(ServeArgs::default()));
         let command = parse_cmd(
-            "serve --addr 0.0.0.0:9999 --workers 4 --eval-threads 2 --cache-capacity 16",
+            "serve --addr 0.0.0.0:9999 --workers 4 --eval-threads 2 --cache-capacity 16 \
+             --cache-shards 2 --max-connections 32",
         )
         .unwrap();
         match command {
@@ -490,18 +517,21 @@ mod tests {
                 assert_eq!(serve.workers, 4);
                 assert_eq!(serve.eval_threads, 2);
                 assert_eq!(serve.cache_capacity, 16);
+                assert_eq!(serve.cache_shards, 2);
+                assert_eq!(serve.max_connections, 32);
             }
             other => panic!("unexpected command {other:?}"),
         }
         assert!(parse_cmd("serve --workers x").is_err());
-        // Degenerate values are clamped to usable minima.
-        match parse_cmd("serve --eval-threads 0 --cache-capacity 0").unwrap() {
-            Command::Serve(serve) => {
-                assert_eq!(serve.eval_threads, 1);
-                assert_eq!(serve.cache_capacity, 1);
-            }
+        // Zero eval-threads clamps to serial; zero capacities/shards/caps
+        // are configuration errors, not clamps.
+        match parse_cmd("serve --eval-threads 0").unwrap() {
+            Command::Serve(serve) => assert_eq!(serve.eval_threads, 1),
             other => panic!("unexpected command {other:?}"),
         }
+        assert!(parse_cmd("serve --cache-capacity 0").is_err());
+        assert!(parse_cmd("serve --cache-shards 0").is_err());
+        assert!(parse_cmd("serve --max-connections 0").is_err());
     }
 
     #[test]

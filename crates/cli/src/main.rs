@@ -96,6 +96,8 @@ fn serve(serve_args: ServeArgs) -> Result<(), GreenFpgaError> {
         workers: serve_args.workers,
         eval_threads: serve_args.eval_threads,
         cache_capacity: serve_args.cache_capacity,
+        cache_shards: serve_args.cache_shards,
+        max_connections: serve_args.max_connections,
         ..gf_server::ServerConfig::default()
     };
     let workers = config.workers_resolved();

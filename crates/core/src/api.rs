@@ -774,6 +774,158 @@ impl FromJson for FrontierRequest {
     }
 }
 
+/// One latency histogram of `GET /v1/metrics`: `bounds_us[i]` is the
+/// inclusive upper bound (microseconds) of bucket `i`, and `counts` has one
+/// extra trailing bucket for everything above the last bound (JSON has no
+/// lexeme for infinity, so the overflow bound is implicit).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyHistogram {
+    /// Inclusive bucket upper bounds in microseconds, ascending.
+    pub bounds_us: Vec<f64>,
+    /// Observation counts; `counts.len() == bounds_us.len() + 1` (the last
+    /// bucket is the overflow bucket).
+    pub counts: Vec<u64>,
+}
+
+impl ToJson for LatencyHistogram {
+    fn to_json(&self) -> Value {
+        object([
+            ("bounds_us", self.bounds_us.to_json()),
+            ("counts", self.counts.to_json()),
+        ])
+    }
+}
+
+impl FromJson for LatencyHistogram {
+    fn from_json(value: &Value) -> Result<LatencyHistogram, JsonError> {
+        let histogram = LatencyHistogram {
+            bounds_us: decode(value, "bounds_us")?,
+            counts: decode(value, "counts")?,
+        };
+        if histogram.counts.len() != histogram.bounds_us.len() + 1 {
+            return Err(JsonError::schema(
+                "counts",
+                "expected one count per bound plus the overflow bucket",
+            ));
+        }
+        Ok(histogram)
+    }
+}
+
+/// One route's counters in `GET /v1/metrics`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteMetrics {
+    /// Stable route label, e.g. `"POST /v1/evaluate"`.
+    pub route: String,
+    /// Requests answered on this route (any status).
+    pub requests: u64,
+    /// Requests answered with a non-2xx status.
+    pub errors: u64,
+    /// Handler latency distribution.
+    pub latency: LatencyHistogram,
+}
+
+impl ToJson for RouteMetrics {
+    fn to_json(&self) -> Value {
+        object([
+            ("route", Value::String(self.route.clone())),
+            ("requests", self.requests.to_json()),
+            ("errors", self.errors.to_json()),
+            ("latency", self.latency.to_json()),
+        ])
+    }
+}
+
+impl FromJson for RouteMetrics {
+    fn from_json(value: &Value) -> Result<RouteMetrics, JsonError> {
+        Ok(RouteMetrics {
+            route: decode(value, "route")?,
+            requests: decode(value, "requests")?,
+            errors: decode(value, "errors")?,
+            latency: decode(value, "latency")?,
+        })
+    }
+}
+
+/// One scenario-cache shard's counters in `GET /v1/metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheShardMetrics {
+    /// Compiled scenarios currently cached in the shard.
+    pub entries: u64,
+    /// Lifetime lookup hits.
+    pub hits: u64,
+    /// Lifetime lookup misses (compilations).
+    pub misses: u64,
+}
+
+impl ToJson for CacheShardMetrics {
+    fn to_json(&self) -> Value {
+        object([
+            ("entries", self.entries.to_json()),
+            ("hits", self.hits.to_json()),
+            ("misses", self.misses.to_json()),
+        ])
+    }
+}
+
+impl FromJson for CacheShardMetrics {
+    fn from_json(value: &Value) -> Result<CacheShardMetrics, JsonError> {
+        Ok(CacheShardMetrics {
+            entries: decode(value, "entries")?,
+            hits: decode(value, "hits")?,
+            misses: decode(value, "misses")?,
+        })
+    }
+}
+
+/// `GET /v1/metrics` response: the serving core's observability snapshot —
+/// per-route request/error counters and latency histograms, per-shard
+/// scenario-cache statistics, and the connection governor's gauges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsResponse {
+    /// Requests answered over the server's lifetime (any route, any status).
+    pub requests_served: u64,
+    /// Connections currently accepted and not yet finished.
+    pub connections_live: u64,
+    /// The governor's hard cap on live connections.
+    pub connections_max: u64,
+    /// Connections rejected with `503` by admission control.
+    pub connections_rejected: u64,
+    /// Per-route counters, in stable route order.
+    pub routes: Vec<RouteMetrics>,
+    /// Per-shard scenario-cache statistics, in shard order.
+    pub cache_shards: Vec<CacheShardMetrics>,
+}
+
+impl ToJson for MetricsResponse {
+    fn to_json(&self) -> Value {
+        object([
+            ("requests_served", self.requests_served.to_json()),
+            ("connections_live", self.connections_live.to_json()),
+            ("connections_max", self.connections_max.to_json()),
+            (
+                "connections_rejected",
+                self.connections_rejected.to_json(),
+            ),
+            ("routes", self.routes.to_json()),
+            ("cache_shards", self.cache_shards.to_json()),
+        ])
+    }
+}
+
+impl FromJson for MetricsResponse {
+    fn from_json(value: &Value) -> Result<MetricsResponse, JsonError> {
+        Ok(MetricsResponse {
+            requests_served: decode(value, "requests_served")?,
+            connections_live: decode(value, "connections_live")?,
+            connections_max: decode(value, "connections_max")?,
+            connections_rejected: decode(value, "connections_rejected")?,
+            routes: decode(value, "routes")?,
+            cache_shards: decode(value, "cache_shards")?,
+        })
+    }
+}
+
 /// Splices request-specific members after the scenario members, so request
 /// JSON stays flat: `{"domain": ..., "knobs": ..., "point": ...}`.
 fn merge_scenario<const N: usize>(
@@ -958,6 +1110,44 @@ mod tests {
                 "accepted {bad}"
             );
         }
+    }
+
+    #[test]
+    fn metrics_response_round_trips() {
+        let response = MetricsResponse {
+            requests_served: 1234,
+            connections_live: 7,
+            connections_max: 256,
+            connections_rejected: 3,
+            routes: vec![RouteMetrics {
+                route: "POST /v1/evaluate".to_string(),
+                requests: 1200,
+                errors: 4,
+                latency: LatencyHistogram {
+                    bounds_us: vec![50.0, 100.0, 1000.0],
+                    counts: vec![800, 300, 99, 1],
+                },
+            }],
+            cache_shards: vec![
+                CacheShardMetrics {
+                    entries: 2,
+                    hits: 1100,
+                    misses: 2,
+                },
+                CacheShardMetrics {
+                    entries: 0,
+                    hits: 0,
+                    misses: 0,
+                },
+            ],
+        };
+        let text = response.to_json().to_json_string().unwrap();
+        let back = MetricsResponse::from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(back, response);
+        // A histogram whose counts don't cover the overflow bucket is a
+        // schema violation, not a silent truncation.
+        let bad = r#"{"bounds_us": [50.0], "counts": [1]}"#;
+        assert!(LatencyHistogram::from_json(&parse(bad).unwrap()).is_err());
     }
 
     #[test]

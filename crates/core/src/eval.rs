@@ -349,6 +349,32 @@ impl CompiledScenario {
         (fpga, asic)
     }
 
+    /// The SoA kernel's schedule for [`CompiledScenario::totals`]: the
+    /// two per-application accumulation loops fused into one. Fusing
+    /// interleaves the FPGA and ASIC dependency chains — the accumulation
+    /// is latency-bound on `f64` add chains, so a lone chain leaves the FP
+    /// ports mostly idle — and is **bit-identical** to the reference
+    /// schedule: every accumulator component still sees exactly the same
+    /// additions in the same order.
+    fn totals_kernel(
+        &self,
+        point: OperatingPoint,
+        lifetime: TimeSpan,
+    ) -> (CfpBreakdown, CfpBreakdown) {
+        let fpga_devices = point.volume * self.fpga.chips_per_unit;
+        let mut fpga = self.fpga.embodied(fpga_devices as f64);
+        let fpga_deployment = self.fpga.deployment(lifetime, fpga_devices);
+        let asic_embodied = self.asic.embodied(point.volume as f64);
+        let asic_deployment = self.asic.deployment(lifetime, point.volume);
+        let mut asic = CfpBreakdown::ZERO;
+        for _ in 0..point.applications {
+            fpga += fpga_deployment;
+            asic += asic_embodied;
+            asic += asic_deployment;
+        }
+        (fpga, asic)
+    }
+
     /// FPGA:ASIC total-CFP ratio at one operating point.
     ///
     /// # Errors
@@ -403,21 +429,66 @@ impl CompiledScenario {
             threads,
             (fpga_cols, asic_cols),
             &|start, len, (mut fpga_chunk, mut asic_chunk): (SoaChunksMut<'_>, SoaChunksMut<'_>)| {
-                for j in 0..len {
-                    let point = point_of(start + j);
-                    let lifetime = match self.validate(point) {
-                        Ok(lifetime) => lifetime,
-                        Err(e) => return Some((start + j, e)),
-                    };
-                    let (fpga, asic) = self.totals(point, lifetime);
-                    fpga_chunk.write(j, &fpga);
-                    asic_chunk.write(j, &asic);
+                // The chunk is processed in tiles: gather the points, run
+                // the hot evaluation loop in [`CompiledScenario::evaluate_tile`]
+                // (a plain method, so its codegen is as tight as the scalar
+                // `evaluate` path instead of being pessimized inside this
+                // generic closure), then flush each staged column with one
+                // contiguous copy. Writing the 12 output columns
+                // point-by-point interleaved 12 strided, bounds-checked
+                // store streams — the regression `bench eval` caught as
+                // `soa_speedup < 1`.
+                let mut points = [OperatingPoint::paper_default(); SOA_TILE];
+                let mut at = 0;
+                while at < len {
+                    let tile_len = SOA_TILE.min(len - at);
+                    for (t, slot) in points[..tile_len].iter_mut().enumerate() {
+                        *slot = point_of(start + at + t);
+                    }
+                    let (fpga_tile, fpga_rest) = fpga_chunk.split_at_mut(tile_len);
+                    let (asic_tile, asic_rest) = asic_chunk.split_at_mut(tile_len);
+                    fpga_chunk = fpga_rest;
+                    asic_chunk = asic_rest;
+                    if let Err((t, e)) =
+                        self.evaluate_tile(&points[..tile_len], fpga_tile, asic_tile)
+                    {
+                        return Some((start + at + t, e));
+                    }
+                    at += tile_len;
                 }
                 None
             },
         )
     }
 }
+
+impl CompiledScenario {
+    /// The SoA kernel's hot loop: evaluates one tile of points into the
+    /// staged column tiles. A dedicated method so the optimizer compiles it
+    /// like the scalar [`CompiledScenario::evaluate`] loop, independent of
+    /// the generic chunk closure around it.
+    ///
+    /// On a validation failure returns the offset *within the tile* and the
+    /// error; staged contents are unspecified in that case.
+    fn evaluate_tile(
+        &self,
+        points: &[OperatingPoint],
+        mut fpga_cols: SoaChunksMut<'_>,
+        mut asic_cols: SoaChunksMut<'_>,
+    ) -> Result<(), (usize, GreenFpgaError)> {
+        for (t, &point) in points.iter().enumerate() {
+            let lifetime = self.validate(point).map_err(|e| (t, e))?;
+            let (fpga, asic) = self.totals_kernel(point, lifetime);
+            fpga_cols.stage(t, &fpga);
+            asic_cols.stage(t, &asic);
+        }
+        Ok(())
+    }
+}
+
+/// Points staged per SoA flush; sized so one tile (two platforms × six
+/// columns × 64 points = 6 KiB) stays comfortably inside L1.
+const SOA_TILE: usize = 64;
 
 /// One platform's lifecycle components as structure-of-arrays columns
 /// (kilograms CO₂e), one `Vec<f64>` per [`CfpBreakdown`] field.
@@ -512,13 +583,14 @@ impl<'a> SoaChunksMut<'a> {
         )
     }
 
-    fn write(&mut self, i: usize, breakdown: &CfpBreakdown) {
-        self.design[i] = breakdown.design.as_kg();
-        self.manufacturing[i] = breakdown.manufacturing.as_kg();
-        self.packaging[i] = breakdown.packaging.as_kg();
-        self.eol[i] = breakdown.eol.as_kg();
-        self.operation[i] = breakdown.operation.as_kg();
-        self.app_dev[i] = breakdown.app_dev.as_kg();
+    /// Writes one breakdown at position `t`.
+    fn stage(&mut self, t: usize, breakdown: &CfpBreakdown) {
+        self.design[t] = breakdown.design.as_kg();
+        self.manufacturing[t] = breakdown.manufacturing.as_kg();
+        self.packaging[t] = breakdown.packaging.as_kg();
+        self.eol[t] = breakdown.eol.as_kg();
+        self.operation[t] = breakdown.operation.as_kg();
+        self.app_dev[t] = breakdown.app_dev.as_kg();
     }
 }
 

@@ -22,17 +22,25 @@ use std::sync::{mpsc, Arc, Mutex};
 
 /// Default number of worker threads: `GF_THREADS` if set and valid,
 /// otherwise the machine's available parallelism.
+///
+/// Resolved once per process: the environment scan behind
+/// [`std::env::var`] is measurable on the batch-kernel hot path (every
+/// `threads = 0` call would otherwise pay it), and the override is a
+/// process-launch knob, not a runtime one.
 pub fn default_threads() -> usize {
-    if let Ok(value) = std::env::var("GF_THREADS") {
-        if let Ok(n) = value.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
+    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Ok(value) = std::env::var("GF_THREADS") {
+            if let Ok(n) = value.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
             }
         }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// Runs `f(0..n)` in parallel on `threads` workers (`0` = auto) and returns
@@ -266,6 +274,7 @@ pub struct WorkerPool {
     sender: Option<mpsc::Sender<Job>>,
     workers: Vec<std::thread::JoinHandle<()>>,
     live: Arc<AtomicUsize>,
+    queued: Arc<AtomicUsize>,
 }
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -281,10 +290,12 @@ impl WorkerPool {
         let (sender, receiver) = mpsc::channel::<Job>();
         let receiver = Arc::new(Mutex::new(receiver));
         let live = Arc::new(AtomicUsize::new(0));
+        let queued = Arc::new(AtomicUsize::new(0));
         let workers = (0..threads)
             .map(|_| {
                 let receiver = Arc::clone(&receiver);
                 let live = Arc::clone(&live);
+                let queued = Arc::clone(&queued);
                 std::thread::spawn(move || {
                     // Guard-scoped count so the decrement runs even when a
                     // job panics and unwinds the worker.
@@ -304,7 +315,13 @@ impl WorkerPool {
                             Err(_) => break, // sibling panicked holding the lock
                         };
                         match job {
-                            Ok(job) => job(),
+                            Ok(job) => {
+                                // Claimed: the job leaves the queue before it
+                                // runs, so `queue_depth` counts only jobs
+                                // still waiting for a worker.
+                                queued.fetch_sub(1, Ordering::SeqCst);
+                                job();
+                            }
                             Err(_) => break, // channel closed: pool dropped
                         }
                     }
@@ -315,6 +332,7 @@ impl WorkerPool {
             sender: Some(sender),
             workers,
             live,
+            queued,
         }
     }
 
@@ -335,9 +353,25 @@ impl WorkerPool {
     /// mid-drop, which safe callers never observe).
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) -> bool {
         match &self.sender {
-            Some(sender) => sender.send(Box::new(job)).is_ok(),
+            Some(sender) => {
+                self.queued.fetch_add(1, Ordering::SeqCst);
+                if sender.send(Box::new(job)).is_ok() {
+                    true
+                } else {
+                    self.queued.fetch_sub(1, Ordering::SeqCst);
+                    false
+                }
+            }
             None => false,
         }
+    }
+
+    /// Number of queued jobs no worker has claimed yet — the backlog a
+    /// long-lived service watches for admission control. A job leaves the
+    /// count the moment a worker picks it up, so a pool with idle capacity
+    /// reads `0` even while jobs run.
+    pub fn queue_depth(&self) -> usize {
+        self.queued.load(Ordering::SeqCst)
     }
 }
 
@@ -527,6 +561,27 @@ mod tests {
         // queue and both were joined.
         assert_eq!(counter.load(Ordering::Relaxed), 50);
         assert_eq!(live.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn queue_depth_tracks_unclaimed_jobs() {
+        use std::sync::mpsc::channel;
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.queue_depth(), 0);
+        // Wedge the single worker so further jobs must queue.
+        let (release_tx, release_rx) = channel::<()>();
+        let (started_tx, started_rx) = channel::<()>();
+        pool.execute(move || {
+            started_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+        });
+        started_rx.recv().unwrap(); // the blocker has been claimed
+        for _ in 0..5 {
+            pool.execute(|| {});
+        }
+        assert_eq!(pool.queue_depth(), 5, "five jobs wait behind the blocker");
+        release_tx.send(()).unwrap();
+        drop(pool); // drains the queue and joins
     }
 
     #[test]

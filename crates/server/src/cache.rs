@@ -1,4 +1,4 @@
-//! Keyed LRU cache of compiled scenarios.
+//! Keyed LRU cache of compiled scenarios, sharded for concurrency.
 //!
 //! Compiling a scenario ([`greenfpga::ScenarioTemplate::compile`]) resolves
 //! a domain's calibration against one parameter set — the only non-trivial
@@ -7,10 +7,15 @@
 //! points), so the server keys compiled scenarios by `(domain, knob
 //! overrides)` and serves the common case without compiling anything.
 //!
-//! The cache is a plain move-to-front vector under a mutex: at serving
-//! capacities (dozens of distinct scenarios) a linear scan of small keys
-//! beats hashing, and [`greenfpga::CompiledScenario`] is `Copy`, so a hit
-//! clones nothing and the lock is held only for the scan.
+//! Each shard is a plain move-to-front vector under its own mutex: at
+//! serving capacities (dozens of distinct scenarios) a linear scan of small
+//! keys beats hashing, and [`greenfpga::CompiledScenario`] is `Copy`, so a
+//! hit clones nothing and the lock is held only for the scan. Sharding by
+//! spec-hash ([`ShardedScenarioCache`]) keeps concurrent connections off
+//! one global lock: two requests contend only when their scenarios hash to
+//! the same shard.
+
+use std::sync::Mutex;
 
 use greenfpga::{CompiledScenario, GreenFpgaError, ScenarioSpec, ScenarioTemplate};
 
@@ -44,6 +49,29 @@ fn key_of(spec: &ScenarioSpec) -> Key {
     (domain, knobs)
 }
 
+/// FNV-1a over the canonical key bytes — the shard selector. Stable across
+/// lookups of the same spec by construction (the key is already
+/// bit-canonical), and cheap next to even a cache hit.
+fn hash_of(key: &Key) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    let mut eat = |byte: u8| {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(PRIME);
+    };
+    for byte in (key.0 as u64).to_le_bytes() {
+        eat(byte);
+    }
+    for &(index, bits) in &key.1 {
+        eat(index);
+        for byte in bits.to_le_bytes() {
+            eat(byte);
+        }
+    }
+    hash
+}
+
 /// The LRU cache. Templates for every domain are resolved once at
 /// construction, so even a cache miss pays only the pure-arithmetic
 /// [`ScenarioTemplate::compile`], never spec rebuilding.
@@ -60,9 +88,16 @@ impl ScenarioCache {
     ///
     /// # Errors
     ///
-    /// Propagates calibration errors; the built-in calibrations never
-    /// trigger them.
+    /// Returns [`GreenFpgaError::InvalidRange`] for a zero `capacity` — a
+    /// cache that can hold nothing is always a caller bug, and silently
+    /// clamping it up would mask it. Also propagates calibration errors;
+    /// the built-in calibrations never trigger them.
     pub fn new(capacity: usize) -> Result<Self, GreenFpgaError> {
+        if capacity == 0 {
+            return Err(GreenFpgaError::InvalidRange {
+                what: "scenario cache capacity (must be at least 1)",
+            });
+        }
         let templates = greenfpga::Domain::ALL
             .iter()
             .map(|&domain| ScenarioTemplate::new(domain))
@@ -70,7 +105,7 @@ impl ScenarioCache {
         Ok(ScenarioCache {
             templates,
             entries: Vec::new(),
-            capacity: capacity.max(1),
+            capacity,
             hits: 0,
             misses: 0,
         })
@@ -78,14 +113,27 @@ impl ScenarioCache {
 
     /// The compiled scenario for a spec: cached when seen before, compiled
     /// (and cached, evicting the least recently used entry at capacity)
-    /// otherwise.
+    /// otherwise. Production lookups go through [`ShardedScenarioCache`],
+    /// which hashes the key itself; this spec-keyed entry point remains for
+    /// the single-shard unit tests.
     ///
     /// # Errors
     ///
     /// Propagates compile errors (degenerate parameters); knob overrides
     /// are range-clamped, so spec-derived parameters never trigger them.
+    #[cfg(test)]
     pub fn lookup(&mut self, spec: &ScenarioSpec) -> Result<CompiledScenario, GreenFpgaError> {
-        let key = key_of(spec);
+        self.lookup_keyed(key_of(spec), spec)
+    }
+
+    /// [`ScenarioCache::lookup`] with the canonical key already computed —
+    /// the sharded wrapper hashes the key for shard selection and must not
+    /// pay for building it twice.
+    fn lookup_keyed(
+        &mut self,
+        key: Key,
+        spec: &ScenarioSpec,
+    ) -> Result<CompiledScenario, GreenFpgaError> {
         if let Some(position) = self.entries.iter().position(|entry| entry.key == key) {
             self.hits += 1;
             // Move to front: position 0 is most recently used.
@@ -111,6 +159,95 @@ impl ScenarioCache {
     /// Lifetime (hits, misses) counters.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+}
+
+/// Per-shard statistics snapshot: `(entries, hits, misses)`.
+pub(crate) type ShardStats = (usize, u64, u64);
+
+/// The serving cache: N independent [`ScenarioCache`] shards selected by
+/// spec-hash, each behind its own lock.
+///
+/// A lookup locks exactly one shard, so concurrent connections contend only
+/// when their scenarios collide on a shard — the global-mutex serialization
+/// the single-cache design imposed is gone. The same spec always hashes to
+/// the same shard, so hit/miss behavior per scenario is unchanged; lifetime
+/// statistics are aggregated across shards on read.
+pub(crate) struct ShardedScenarioCache {
+    shards: Vec<Mutex<ScenarioCache>>,
+}
+
+impl ShardedScenarioCache {
+    /// Builds `shards` shards splitting `capacity` entries between them
+    /// (each shard gets `ceil(capacity / shards)`, so the total is never
+    /// below the requested capacity and every shard can hold at least one
+    /// entry).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GreenFpgaError::InvalidRange`] when `shards` or `capacity`
+    /// is zero; propagates template-resolution errors.
+    pub fn new(shards: usize, capacity: usize) -> Result<Self, GreenFpgaError> {
+        if shards == 0 {
+            return Err(GreenFpgaError::InvalidRange {
+                what: "scenario cache shard count (must be at least 1)",
+            });
+        }
+        let per_shard = capacity.div_ceil(shards);
+        let shards = (0..shards)
+            .map(|_| Ok(Mutex::new(ScenarioCache::new(per_shard)?)))
+            .collect::<Result<_, GreenFpgaError>>()?;
+        Ok(ShardedScenarioCache { shards })
+    }
+
+    /// The compiled scenario for a spec, from the shard its key hashes to.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ScenarioCache::lookup`].
+    pub fn lookup(&self, spec: &ScenarioSpec) -> Result<CompiledScenario, GreenFpgaError> {
+        let key = key_of(spec);
+        let shard = (hash_of(&key) % self.shards.len() as u64) as usize;
+        self.shards[shard]
+            .lock()
+            .expect("scenario cache shard poisoned")
+            .lookup_keyed(key, spec)
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Cached scenarios across all shards. (Production callers fold
+    /// [`ShardedScenarioCache::per_shard`] once instead; kept for tests.)
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.per_shard().iter().map(|(entries, _, _)| entries).sum()
+    }
+
+    /// Aggregated lifetime (hits, misses) counters. (Production callers
+    /// fold [`ShardedScenarioCache::per_shard`] once instead; kept for
+    /// tests.)
+    #[cfg(test)]
+    pub fn stats(&self) -> (u64, u64) {
+        self.per_shard()
+            .iter()
+            .fold((0, 0), |(h, m), &(_, hits, misses)| (h + hits, m + misses))
+    }
+
+    /// Per-shard `(entries, hits, misses)` snapshots, in shard order. Each
+    /// shard is snapshotted under its own lock; the combined view is not a
+    /// single atomic cut, which is fine for monitoring counters.
+    pub fn per_shard(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let shard = shard.lock().expect("scenario cache shard poisoned");
+                let (hits, misses) = shard.stats();
+                (shard.len(), hits, misses)
+            })
+            .collect()
     }
 }
 
@@ -177,6 +314,89 @@ mod tests {
         assert_eq!(cache.stats().0, 2, "a stayed cached");
         cache.lookup(&b).unwrap();
         assert_eq!(cache.stats().1, 4, "b was evicted and recompiled");
+    }
+
+    #[test]
+    fn zero_capacity_is_rejected_not_coerced() {
+        assert!(matches!(
+            ScenarioCache::new(0),
+            Err(GreenFpgaError::InvalidRange { .. })
+        ));
+        assert!(matches!(
+            ShardedScenarioCache::new(4, 0),
+            Err(GreenFpgaError::InvalidRange { .. })
+        ));
+        assert!(matches!(
+            ShardedScenarioCache::new(0, 64),
+            Err(GreenFpgaError::InvalidRange { .. })
+        ));
+    }
+
+    #[test]
+    fn sharded_lookup_matches_direct_compilation_and_counts() {
+        let cache = ShardedScenarioCache::new(4, 64).unwrap();
+        assert_eq!(cache.shard_count(), 4);
+        let spec = spec(Domain::Dnn, &[(Knob::DutyCycle, 0.4)]);
+        let first = cache.lookup(&spec).unwrap();
+        let second = cache.lookup(&spec).unwrap();
+        assert_eq!(first, second, "same spec hits the same shard");
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.len(), 1);
+        let direct = Estimator::new(spec.params()).compile(Domain::Dnn).unwrap();
+        assert_eq!(
+            first.evaluate(OperatingPoint::paper_default()).unwrap(),
+            direct.evaluate(OperatingPoint::paper_default()).unwrap()
+        );
+        // Per-shard stats sum to the aggregate.
+        let per_shard = cache.per_shard();
+        assert_eq!(per_shard.len(), 4);
+        assert_eq!(per_shard.iter().map(|s| s.1).sum::<u64>(), 1);
+        assert_eq!(per_shard.iter().map(|s| s.2).sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn sharded_capacity_splits_but_never_starves_a_shard() {
+        // 4 shards over capacity 2 still give every shard one slot.
+        let cache = ShardedScenarioCache::new(4, 2).unwrap();
+        for domain in Domain::ALL {
+            cache.lookup(&spec(domain, &[])).unwrap();
+        }
+        assert!(cache.len() >= 1);
+        // A single-shard cache behaves exactly like the flat cache.
+        let single = ShardedScenarioCache::new(1, 8).unwrap();
+        single.lookup(&spec(Domain::Dnn, &[])).unwrap();
+        single.lookup(&spec(Domain::Dnn, &[])).unwrap();
+        assert_eq!(single.stats(), (1, 1));
+    }
+
+    #[test]
+    fn concurrent_hammering_keeps_stats_consistent() {
+        use std::sync::Arc;
+        let cache = Arc::new(ShardedScenarioCache::new(4, 64).unwrap());
+        let threads = 8;
+        let rounds = 50;
+        std::thread::scope(|scope| {
+            for worker in 0..threads {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for round in 0..rounds {
+                        let domain = Domain::ALL[(worker + round) % Domain::ALL.len()];
+                        let duty = 0.1 + 0.1 * ((worker + round) % 5) as f64;
+                        let spec = spec(domain, &[(Knob::DutyCycle, duty)]);
+                        cache.lookup(&spec).unwrap();
+                    }
+                });
+            }
+        });
+        let (hits, misses) = cache.stats();
+        assert_eq!(
+            hits + misses,
+            (threads * rounds) as u64,
+            "every lookup is counted exactly once"
+        );
+        // 3 domains x 5 duty cycles = 15 distinct scenarios at most.
+        assert!(misses <= 15, "misses {misses} exceed the distinct specs");
+        assert!(cache.len() <= 15);
     }
 
     #[test]

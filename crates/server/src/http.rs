@@ -139,7 +139,7 @@ pub(crate) fn read_request<R: BufRead, W: Write>(
         };
     }
 
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     let mut keep_alive = version == "HTTP/1.1";
     let mut expects_continue = false;
     for line in lines {
@@ -150,7 +150,17 @@ pub(crate) fn read_request<R: BufRead, W: Write>(
         let value = value.trim();
         match name.as_str() {
             "content-length" => match value.parse::<usize>() {
-                Ok(n) => content_length = n,
+                // Conflicting duplicates are a request-smuggling vector
+                // (RFC 9112 §6.3): with last-write-wins, this server and an
+                // intermediary that picks the first value would frame the
+                // stream differently. Repeating the *same* value is legal.
+                Ok(n) if content_length.is_some_and(|previous| previous != n) => {
+                    return ReadOutcome::Bad {
+                        status: 400,
+                        message: "conflicting Content-Length headers".into(),
+                    };
+                }
+                Ok(n) => content_length = Some(n),
                 Err(_) => {
                     return ReadOutcome::Bad {
                         status: 400,
@@ -178,6 +188,7 @@ pub(crate) fn read_request<R: BufRead, W: Write>(
             _ => {}
         }
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > limits.max_body_bytes {
         return ReadOutcome::Bad {
             status: 413,
@@ -216,13 +227,29 @@ pub(crate) fn write_response<W: Write>(
     body: &str,
     keep_alive: bool,
 ) -> std::io::Result<()> {
+    write_response_with(writer, status, body, keep_alive, None)
+}
+
+/// [`write_response`] with an optional `Retry-After` header (seconds) —
+/// the admission-control `503` tells clients when backing off is worth it.
+pub(crate) fn write_response_with<W: Write>(
+    writer: &mut W,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    retry_after_secs: Option<u32>,
+) -> std::io::Result<()> {
     let reason = reason_phrase(status);
     let connection = if keep_alive { "keep-alive" } else { "close" };
     write!(
         writer,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
         body.len()
     )?;
+    if let Some(seconds) = retry_after_secs {
+        write!(writer, "Retry-After: {seconds}\r\n")?;
+    }
+    writer.write_all(b"\r\n")?;
     writer.write_all(body.as_bytes())?;
     writer.flush()
 }
@@ -238,6 +265,7 @@ fn reason_phrase(status: u16) -> &'static str {
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         501 => "Not Implemented",
+        503 => "Service Unavailable",
         505 => "HTTP Version Not Supported",
         _ => "Response",
     }
@@ -326,6 +354,40 @@ mod tests {
             read(&long_header),
             ReadOutcome::Bad { status: 431, .. }
         ));
+    }
+
+    #[test]
+    fn conflicting_content_lengths_are_rejected() {
+        // The smuggling shape: two headers that frame the body differently.
+        assert!(matches!(
+            read("POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 11\r\n\r\nbody"),
+            ReadOutcome::Bad { status: 400, .. }
+        ));
+        // Order does not matter.
+        assert!(matches!(
+            read("POST / HTTP/1.1\r\nContent-Length: 11\r\nContent-Length: 4\r\n\r\nbody"),
+            ReadOutcome::Bad { status: 400, .. }
+        ));
+        // Identical duplicates are legal (RFC 9112 §6.3) and frame once.
+        let ReadOutcome::Request(request) =
+            read("POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nbody")
+        else {
+            panic!("identical duplicate Content-Length must parse");
+        };
+        assert_eq!(request.body, b"body");
+    }
+
+    #[test]
+    fn retry_after_header_is_emitted_on_demand() {
+        let mut out = Vec::new();
+        write_response_with(&mut out, 503, "{}", false, Some(2)).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+        let mut out = Vec::new();
+        write_response_with(&mut out, 200, "{}", true, None).unwrap();
+        assert!(!String::from_utf8(out).unwrap().contains("Retry-After"));
     }
 
     #[test]

@@ -39,19 +39,21 @@
 mod cache;
 pub mod client;
 mod http;
+mod metrics;
 mod routes;
 
 use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use greenfpga::exec::WorkerPool;
 use greenfpga::ResultBuffer;
 
-use cache::ScenarioCache;
+use cache::ShardedScenarioCache;
+use metrics::Metrics;
 
 /// Server tuning. Every field has a serving-sane default; the CLI exposes
 /// the interesting ones as flags.
@@ -67,8 +69,23 @@ pub struct ServerConfig {
     pub eval_threads: usize,
     /// Maximum request body size in bytes.
     pub max_body_bytes: usize,
-    /// Maximum cached compiled scenarios.
+    /// Maximum cached compiled scenarios (split across the shards).
     pub cache_capacity: usize,
+    /// Scenario-cache shards. Lookups lock one shard, so concurrent
+    /// connections contend only on hash collisions; more shards buy less
+    /// contention at slightly coarser LRU eviction (capacity is split).
+    pub cache_shards: usize,
+    /// Hard cap on live connections. The governor answers `503` with
+    /// `Retry-After` beyond it instead of queueing unboundedly.
+    ///
+    /// Load shedding can kick in well before this cap: a connection
+    /// occupies a worker for its whole keep-alive lifetime, so once a full
+    /// wave of accepted connections is queued unclaimed behind busy
+    /// workers, further connections are also rejected (they could not be
+    /// served before roughly an idle-timeout of waiting anyway). Size
+    /// `workers` to the expected steady-state concurrency and this cap to
+    /// the tolerable burst.
+    pub max_connections: usize,
     /// Idle keep-alive timeout: a connection with no request for this long
     /// is closed. Also bounds how long shutdown waits for idle connections.
     pub idle_timeout: Duration,
@@ -82,6 +99,8 @@ impl Default for ServerConfig {
             eval_threads: 1,
             max_body_bytes: 4 << 20,
             cache_capacity: 64,
+            cache_shards: 8,
+            max_connections: 1024,
             idle_timeout: Duration::from_secs(5),
         }
     }
@@ -98,12 +117,16 @@ impl ServerConfig {
     }
 }
 
-/// Shared server state: configuration, the scenario cache and counters.
+/// Shared server state: configuration, the sharded scenario cache, the
+/// metrics registry and the connection governor's gauges.
 pub(crate) struct ServerState {
     pub config: ServerConfig,
-    pub cache: Mutex<ScenarioCache>,
+    pub cache: ShardedScenarioCache,
     pub requests: AtomicU64,
     pub stop: AtomicBool,
+    pub metrics: Metrics,
+    /// Connections accepted and not yet finished — the governor's gauge.
+    pub live_connections: AtomicUsize,
     /// Live connections by id, so shutdown can interrupt workers blocked in
     /// keep-alive reads instead of waiting out their idle timeout.
     connections: Mutex<HashMap<u64, TcpStream>>,
@@ -138,16 +161,17 @@ impl Server {
     /// fail).
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
-        let cache = ScenarioCache::new(config.cache_capacity).map_err(|e| {
-            std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
-        })?;
+        let cache = ShardedScenarioCache::new(config.cache_shards, config.cache_capacity)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
         Ok(Server {
             listener,
             state: Arc::new(ServerState {
                 config,
-                cache: Mutex::new(cache),
+                cache,
                 requests: AtomicU64::new(0),
                 stop: AtomicBool::new(false),
+                metrics: Metrics::new(),
+                live_connections: AtomicUsize::new(0),
                 connections: Mutex::new(HashMap::new()),
                 next_connection_id: AtomicU64::new(0),
             }),
@@ -233,15 +257,31 @@ impl Drop for ServerHandle {
     }
 }
 
-/// The acceptor loop. Owns the connection worker pool; returning drops the
-/// pool, which joins every worker after its queued connections finish.
+/// The acceptor loop with its connection governor. Owns the connection
+/// worker pool; returning drops the pool, which joins every worker after
+/// its queued connections finish.
+///
+/// Admission control happens here, before a connection ever reaches the
+/// pool: past the live-connection cap, or once a full wave of accepted
+/// connections is already queued unclaimed behind the workers, the
+/// connection is answered `503` + `Retry-After` and closed instead of
+/// joining an unbounded backlog.
 fn serve(listener: TcpListener, state: Arc<ServerState>) {
-    let pool = WorkerPool::new(state.config.workers_resolved());
+    let workers = state.config.workers_resolved();
+    let pool = WorkerPool::new(workers);
     for stream in listener.incoming() {
         if state.stop.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = stream else { continue };
+        let live = state.live_connections.load(Ordering::SeqCst);
+        let saturated = pool.queue_depth() >= workers.max(1);
+        if live >= state.config.max_connections || saturated {
+            state.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            reject_connection(stream);
+            continue;
+        }
+        state.live_connections.fetch_add(1, Ordering::SeqCst);
         let id = state.next_connection_id.fetch_add(1, Ordering::Relaxed);
         if let Ok(registered) = stream.try_clone() {
             state
@@ -250,19 +290,66 @@ fn serve(listener: TcpListener, state: Arc<ServerState>) {
                 .expect("connection registry poisoned")
                 .insert(id, registered);
         }
-        let state = Arc::clone(&state);
-        pool.execute(move || {
-            handle_connection(stream, &state);
-            state
-                .connections
-                .lock()
-                .expect("connection registry poisoned")
-                .remove(&id);
+        let job_state = Arc::clone(&state);
+        let queued = pool.execute(move || {
+            // Guard-scoped decrement: a panicking handler must not leak an
+            // admission slot, or the governor wedges shut one phantom
+            // connection at a time.
+            struct SlotGuard(Arc<ServerState>, u64);
+            impl Drop for SlotGuard {
+                fn drop(&mut self) {
+                    if let Ok(mut connections) = self.0.connections.lock() {
+                        connections.remove(&self.1);
+                    }
+                    self.0.live_connections.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            let _guard = SlotGuard(Arc::clone(&job_state), id);
+            handle_connection(stream, &job_state);
         });
+        if !queued {
+            // Only possible mid-drop; undo the gauge so it stays balanced.
+            state.live_connections.fetch_sub(1, Ordering::SeqCst);
+        }
     }
     // Late shutdown can race a connection registered after the sever pass;
     // sever again so no queued worker waits out its idle timeout.
     state.sever_connections();
+}
+
+/// Answers an admission-rejected connection with `503` + `Retry-After` and
+/// closes it, on the acceptor thread. The write and the drain are bounded
+/// by a hard deadline: rejection runs on the only accepting thread, so a
+/// peer must never be able to hold it for long.
+///
+/// The deadline is a deliberate trade-off: a rejection can cost the
+/// acceptor up to ~50ms (typically well under 1ms — a normal client's
+/// request bytes are already buffered, so the drain sees them and then
+/// EOF immediately). Under a rejection flood faster than the drain budget
+/// the kernel accept backlog absorbs the difference; a peer that tries to
+/// pin the acceptor by trickling bytes is cut off at the deadline and
+/// gets the RST it engineered.
+fn reject_connection(stream: TcpStream) {
+    let mut stream = stream;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(50)));
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(10)));
+    let body = routes::overload_error_body();
+    let _ = http::write_response_with(&mut stream, 503, &body, false, Some(1));
+    // A typical client has already sent (part of) a request. Closing with
+    // unread received data makes the kernel answer RST, which would discard
+    // the buffered 503 — so stop sending, then drain what the peer already
+    // put on the wire before closing.
+    let _ = stream.shutdown(Shutdown::Write);
+    let deadline = Instant::now() + Duration::from_millis(50);
+    let mut sink = [0u8; 1024];
+    while Instant::now() < deadline {
+        match std::io::Read::read(&mut stream, &mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
 }
 
 /// One connection's whole keep-alive lifetime: read a request, answer it,
@@ -287,7 +374,13 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
         }
         match http::read_request(&mut reader, &mut writer, limits) {
             http::ReadOutcome::Request(request) => {
+                let started = Instant::now();
                 let (status, body) = routes::handle(state, &mut buffer, &request);
+                state.metrics.record(
+                    routes::route_index(&request.method, &request.path),
+                    status,
+                    started.elapsed().as_secs_f64() * 1e6,
+                );
                 state.requests.fetch_add(1, Ordering::Relaxed);
                 let keep_alive = request.keep_alive && !state.stop.load(Ordering::SeqCst);
                 if http::write_response(&mut writer, status, &body, keep_alive).is_err() {
@@ -299,6 +392,12 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
             }
             http::ReadOutcome::Closed => break,
             http::ReadOutcome::Bad { status, message } => {
+                // Protocol-level rejections have no route; they count
+                // against the fallback bucket so they are not invisible —
+                // and against `requests` too, so `requests_served` stays
+                // the sum of the per-route counters.
+                state.metrics.record(metrics::ROUTE_OTHER, status, 0.0);
+                state.requests.fetch_add(1, Ordering::Relaxed);
                 let body = routes::protocol_error_body(status, &message);
                 let _ = http::write_response(&mut writer, status, &body, false);
                 break;

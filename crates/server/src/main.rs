@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! greenfpga-serve [--addr 127.0.0.1:7878] [--workers N] [--eval-threads N]
-//!                 [--cache-capacity N] [--max-body-bytes N]
+//!                 [--cache-capacity N] [--cache-shards N]
+//!                 [--max-connections N] [--max-body-bytes N]
 //! ```
 //!
 //! The same server is reachable as `greenfpga serve ...` through the CLI.
@@ -22,10 +23,13 @@ OPTIONS:
   --workers <N>           connection worker threads    (default: auto)
   --eval-threads <N>      threads per batch evaluation (default: 1)
   --cache-capacity <N>    cached compiled scenarios    (default: 64)
+  --cache-shards <N>      scenario cache shards        (default: 8)
+  --max-connections <N>   live connection hard cap     (default: 1024)
   --max-body-bytes <N>    request body limit           (default: 4194304)
 
 ROUTES:
   GET  /healthz        liveness + counters
+  GET  /v1/metrics     per-route counters, latency histograms, cache shards
   POST /v1/evaluate    one operating point            {\"domain\", \"knobs\"?, \"point\"?}
   POST /v1/batch       many points, SoA batch kernel  {\"domain\", \"knobs\"?, \"points\"}
   POST /v1/crossover   closed-form crossover solver   {\"domain\", \"knobs\"?, \"point\"?, ranges?}
@@ -47,11 +51,22 @@ fn parse_config(args: &[String]) -> Result<ServerConfig, String> {
         };
         let parse_usize =
             |v: &str| -> Result<usize, String> { v.parse().map_err(|_| format!("invalid value '{v}' for {key}")) };
+        // Zero is a configuration bug for these, not a value to clamp —
+        // reject it here so the mistake is visible, matching the
+        // library-level `ScenarioCache`/`ShardedScenarioCache` contract.
+        let parse_positive = |v: &str| -> Result<usize, String> {
+            match parse_usize(v)? {
+                0 => Err(format!("{key} must be at least 1")),
+                n => Ok(n),
+            }
+        };
         match key {
             "--addr" => config.addr = value.clone(),
             "--workers" => config.workers = parse_usize(value)?,
             "--eval-threads" => config.eval_threads = parse_usize(value)?.max(1),
-            "--cache-capacity" => config.cache_capacity = parse_usize(value)?.max(1),
+            "--cache-capacity" => config.cache_capacity = parse_positive(value)?,
+            "--cache-shards" => config.cache_shards = parse_positive(value)?,
+            "--max-connections" => config.max_connections = parse_positive(value)?,
             "--max-body-bytes" => config.max_body_bytes = parse_usize(value)?.max(1024),
             other => return Err(format!("unknown option '{other}'")),
         }
@@ -101,11 +116,17 @@ mod tests {
     fn defaults_and_overrides_parse() {
         let config = parse_config(&[]).unwrap();
         assert_eq!(config.addr, "127.0.0.1:7878");
-        let config =
-            parse_config(&argv("--addr 0.0.0.0:9000 --workers 8 --eval-threads 2")).unwrap();
+        assert_eq!(config.cache_shards, 8);
+        assert_eq!(config.max_connections, 1024);
+        let config = parse_config(&argv(
+            "--addr 0.0.0.0:9000 --workers 8 --eval-threads 2 --cache-shards 4 --max-connections 64",
+        ))
+        .unwrap();
         assert_eq!(config.addr, "0.0.0.0:9000");
         assert_eq!(config.workers, 8);
         assert_eq!(config.eval_threads, 2);
+        assert_eq!(config.cache_shards, 4);
+        assert_eq!(config.max_connections, 64);
     }
 
     #[test]
@@ -114,5 +135,9 @@ mod tests {
         assert!(parse_config(&argv("--workers x")).is_err());
         assert!(parse_config(&argv("--frobnicate 1")).is_err());
         assert_eq!(parse_config(&argv("--help")).unwrap_err(), "");
+        // Zero capacities/shards/caps are configuration errors, not clamps.
+        assert!(parse_config(&argv("--cache-capacity 0")).is_err());
+        assert!(parse_config(&argv("--cache-shards 0")).is_err());
+        assert!(parse_config(&argv("--max-connections 0")).is_err());
     }
 }

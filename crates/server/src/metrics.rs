@@ -1,0 +1,151 @@
+//! In-process serving metrics: lock-free counters behind `GET /v1/metrics`.
+//!
+//! Every counter is a relaxed atomic — recording a request costs a handful
+//! of uncontended atomic adds, never a lock, so observability does not
+//! serialize the serving path it observes. Snapshots read the counters
+//! route by route; the combined view is not one atomic cut, which is the
+//! normal contract for monitoring counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use greenfpga::api::{LatencyHistogram, RouteMetrics};
+
+/// Histogram bucket upper bounds in microseconds (inclusive), ascending.
+/// Everything above the last bound lands in the implicit overflow bucket,
+/// so a snapshot has `LATENCY_BOUNDS_US.len() + 1` counts.
+pub(crate) const LATENCY_BOUNDS_US: [f64; 11] = [
+    50.0, 100.0, 250.0, 500.0, 1_000.0, 2_500.0, 5_000.0, 10_000.0, 25_000.0, 50_000.0, 100_000.0,
+];
+
+/// Stable route labels, in snapshot order. The last entry is the fallback
+/// bucket for unknown routes and protocol-level rejections.
+pub(crate) const ROUTES: [&str; 7] = [
+    "GET /healthz",
+    "GET /v1/metrics",
+    "POST /v1/evaluate",
+    "POST /v1/batch",
+    "POST /v1/crossover",
+    "POST /v1/frontier",
+    "other",
+];
+
+/// Index of the fallback route bucket in [`ROUTES`].
+pub(crate) const ROUTE_OTHER: usize = ROUTES.len() - 1;
+
+/// One route's counters.
+struct RouteStats {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    buckets: [AtomicU64; LATENCY_BOUNDS_US.len() + 1],
+}
+
+impl RouteStats {
+    fn new() -> Self {
+        RouteStats {
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn record(&self, status: u16, elapsed_us: f64) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if !(200..300).contains(&status) {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let bucket = LATENCY_BOUNDS_US
+            .iter()
+            .position(|&bound| elapsed_us <= bound)
+            .unwrap_or(LATENCY_BOUNDS_US.len());
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, route: &str) -> RouteMetrics {
+        RouteMetrics {
+            route: route.to_string(),
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            latency: LatencyHistogram {
+                bounds_us: LATENCY_BOUNDS_US.to_vec(),
+                counts: self
+                    .buckets
+                    .iter()
+                    .map(|bucket| bucket.load(Ordering::Relaxed))
+                    .collect(),
+            },
+        }
+    }
+}
+
+/// The server's metrics registry: one [`RouteStats`] per route plus the
+/// admission-control rejection counter.
+pub(crate) struct Metrics {
+    routes: [RouteStats; ROUTES.len()],
+    /// Connections rejected with `503` by the governor.
+    pub rejected: AtomicU64,
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Metrics {
+            routes: std::array::from_fn(|_| RouteStats::new()),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one answered request. `route` is an index into [`ROUTES`];
+    /// out-of-range indices count against the fallback bucket.
+    pub fn record(&self, route: usize, status: u16, elapsed_us: f64) {
+        self.routes[route.min(ROUTE_OTHER)].record(status, elapsed_us);
+    }
+
+    /// Per-route snapshots in [`ROUTES`] order.
+    pub fn snapshot_routes(&self) -> Vec<RouteMetrics> {
+        ROUTES
+            .iter()
+            .zip(&self.routes)
+            .map(|(route, stats)| stats.snapshot(route))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_land_in_the_right_route_and_bucket() {
+        let metrics = Metrics::new();
+        metrics.record(2, 200, 60.0); // evaluate, second bucket
+        metrics.record(2, 422, 60.0); // error
+        metrics.record(2, 200, 1e9); // overflow bucket
+        metrics.record(usize::MAX, 404, 10.0); // clamped to "other"
+        let routes = metrics.snapshot_routes();
+        assert_eq!(routes.len(), ROUTES.len());
+        let evaluate = &routes[2];
+        assert_eq!(evaluate.route, "POST /v1/evaluate");
+        assert_eq!(evaluate.requests, 3);
+        assert_eq!(evaluate.errors, 1);
+        assert_eq!(evaluate.latency.counts[1], 2, "two 60us observations");
+        assert_eq!(
+            *evaluate.latency.counts.last().unwrap(),
+            1,
+            "overflow bucket"
+        );
+        assert_eq!(
+            evaluate.latency.counts.len(),
+            evaluate.latency.bounds_us.len() + 1
+        );
+        let other = &routes[ROUTE_OTHER];
+        assert_eq!(other.requests, 1);
+        assert_eq!(other.errors, 1);
+    }
+
+    #[test]
+    fn boundary_observations_are_inclusive() {
+        let metrics = Metrics::new();
+        metrics.record(0, 200, 50.0); // exactly the first bound
+        let routes = metrics.snapshot_routes();
+        assert_eq!(routes[0].latency.counts[0], 1);
+    }
+}

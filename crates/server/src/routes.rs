@@ -13,12 +13,28 @@ use gf_json::{object, FromJson, JsonError, ToJson, Value};
 use greenfpga::{api, GreenFpgaError, ResultBuffer};
 
 use crate::http::Request;
+use crate::metrics::{ROUTES, ROUTE_OTHER};
 use crate::ServerState;
+
+/// The metrics-registry index of a request — one of [`ROUTES`], falling
+/// back to the catch-all bucket for unknown paths and methods.
+pub(crate) fn route_index(method: &str, path: &str) -> usize {
+    let label_matches = |label: &str| {
+        label
+            .split_once(' ')
+            .is_some_and(|(m, p)| m == method && p == path)
+    };
+    ROUTES
+        .iter()
+        .position(|label| label_matches(label))
+        .unwrap_or(ROUTE_OTHER)
+}
 
 /// Routes one request. Returns `(status, body)`; the body is always JSON.
 pub(crate) fn handle(state: &ServerState, buffer: &mut ResultBuffer, request: &Request) -> (u16, String) {
     let outcome = match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => Ok(healthz(state)),
+        ("GET", "/v1/metrics") => Ok(metrics(state)),
         ("POST", "/v1/evaluate") => with_body(state, request, |state, body| {
             evaluate(state, body)
         }),
@@ -58,6 +74,17 @@ pub(crate) fn protocol_error_body(status: u16, message: &str) -> String {
         status,
         kind: "protocol",
         message: message.to_string(),
+    })
+    .1
+}
+
+/// Builds the `503` body the connection governor answers with when the
+/// server is at capacity.
+pub(crate) fn overload_error_body() -> String {
+    encode_failure(Failure {
+        status: 503,
+        kind: "overloaded",
+        message: "server is at capacity; retry after the Retry-After delay".to_string(),
     })
     .1
 }
@@ -122,11 +149,15 @@ where
 }
 
 fn healthz(state: &ServerState) -> Value {
-    let (entries, hits, misses) = {
-        let cache = state.cache.lock().expect("cache lock poisoned");
-        let (hits, misses) = cache.stats();
-        (cache.len(), hits, misses)
-    };
+    // One pass over the shards: a single snapshot yields entries, hits and
+    // misses together, instead of locking every shard once per figure.
+    let (entries, hits, misses) = state
+        .cache
+        .per_shard()
+        .into_iter()
+        .fold((0usize, 0u64, 0u64), |(e, h, m), (entries, hits, misses)| {
+            (e + entries, h + hits, m + misses)
+        });
     object([
         ("status", Value::from("ok")),
         ("workers", Value::from(state.config.workers_resolved())),
@@ -138,6 +169,7 @@ fn healthz(state: &ServerState) -> Value {
             "scenario_cache",
             object([
                 ("entries", Value::from(entries)),
+                ("shards", Value::from(state.cache.shard_count())),
                 ("hits", Value::Number(hits as f64)),
                 ("misses", Value::Number(misses as f64)),
             ]),
@@ -145,24 +177,38 @@ fn healthz(state: &ServerState) -> Value {
     ])
 }
 
+fn metrics(state: &ServerState) -> Value {
+    use std::sync::atomic::Ordering;
+    api::MetricsResponse {
+        requests_served: state.requests.load(Ordering::Relaxed),
+        connections_live: state.live_connections.load(Ordering::SeqCst) as u64,
+        connections_max: state.config.max_connections as u64,
+        connections_rejected: state.metrics.rejected.load(Ordering::Relaxed),
+        routes: state.metrics.snapshot_routes(),
+        cache_shards: state
+            .cache
+            .per_shard()
+            .into_iter()
+            .map(|(entries, hits, misses)| api::CacheShardMetrics {
+                entries: entries as u64,
+                hits,
+                misses,
+            })
+            .collect(),
+    }
+    .to_json()
+}
+
 fn evaluate(state: &ServerState, body: &Value) -> Result<Value, Failure> {
     let request = api::EvaluateRequest::from_json(body)?;
-    let compiled = state
-        .cache
-        .lock()
-        .expect("cache lock poisoned")
-        .lookup(&request.scenario)?;
+    let compiled = state.cache.lookup(&request.scenario)?;
     let comparison = compiled.evaluate(request.point)?;
     Ok(api::EvaluateResponse { comparison }.to_json())
 }
 
 fn batch(state: &ServerState, buffer: &mut ResultBuffer, body: &Value) -> Result<Value, Failure> {
     let request = api::BatchEvalRequest::from_json(body)?;
-    let compiled = state
-        .cache
-        .lock()
-        .expect("cache lock poisoned")
-        .lookup(&request.scenario)?;
+    let compiled = state.cache.lookup(&request.scenario)?;
     // The SoA kernel writes into this connection's reused buffer: repeated
     // batches on a connection allocate nothing for evaluation. eval_threads
     // defaults to 1 — request concurrency comes from connection workers, so
@@ -185,11 +231,7 @@ fn crossover(state: &ServerState, body: &Value) -> Result<Value, Failure> {
     // `Estimator::crossover_in_*` (the wrappers compile then delegate), so
     // serving them off the cached compilation changes nothing but the
     // compile count.
-    let compiled = state
-        .cache
-        .lock()
-        .expect("cache lock poisoned")
-        .lookup(&request.scenario)?;
+    let compiled = state.cache.lookup(&request.scenario)?;
     let base = request.base;
     let applications = compiled.crossover_in_applications_verified(
         request.max_applications,
@@ -220,11 +262,7 @@ fn crossover(state: &ServerState, body: &Value) -> Result<Value, Failure> {
 
 fn frontier(state: &ServerState, body: &Value) -> Result<Value, Failure> {
     let request = api::FrontierRequest::from_json(body)?;
-    let compiled = state
-        .cache
-        .lock()
-        .expect("cache lock poisoned")
-        .lookup(&request.scenario)?;
+    let compiled = state.cache.lookup(&request.scenario)?;
     let (x_values, y_values) = request.lattice();
     let result = compiled.frontier(
         request.x_axis,

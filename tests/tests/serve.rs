@@ -12,7 +12,7 @@ use gf_server::client::Client;
 use gf_server::{Server, ServerConfig, ServerHandle};
 use greenfpga::api::{
     BatchEvalRequest, BatchEvalResponse, CrossoverResponse, EvaluateRequest, EvaluateResponse,
-    FrontierRequest,
+    FrontierRequest, MetricsResponse,
 };
 use greenfpga::{Domain, Estimator, Knob, OperatingPoint, ResultBuffer, ScenarioSpec, SweepAxis};
 
@@ -379,6 +379,221 @@ fn repeated_server_lifecycle_is_leak_free_and_deadlock_free() {
         drop(client);
         handle.shutdown(); // must join promptly every round
     }
+}
+
+#[test]
+fn metrics_route_has_the_golden_shape_and_counts() {
+    let handle = spawn_server();
+    let mut client = connect(&handle);
+    // Traffic across routes, including an error.
+    for _ in 0..3 {
+        let request = EvaluateRequest {
+            scenario: ScenarioSpec::baseline(Domain::Dnn),
+            point: OperatingPoint::paper_default(),
+        };
+        let (status, _) = post_json(&mut client, "/v1/evaluate", &request);
+        assert_eq!(status, 200);
+    }
+    let (status, _) = client.post("/v1/evaluate", "{not json").unwrap();
+    assert_eq!(status, 400);
+    let (status, _) = client.get("/healthz").unwrap();
+    assert_eq!(status, 200);
+
+    let (status, body) = client.get("/v1/metrics").unwrap();
+    assert_eq!(status, 200, "{body}");
+    // The body decodes through the typed schema — golden shape by
+    // construction, and every field is internally consistent.
+    let metrics = MetricsResponse::from_json(&gf_json::parse(&body).unwrap()).unwrap();
+    assert_eq!(metrics.connections_live, 1, "this client is connected");
+    assert_eq!(metrics.connections_max, ServerConfig::default().max_connections as u64);
+    assert_eq!(metrics.connections_rejected, 0);
+    assert!(metrics.requests_served >= 5);
+    let route = |label: &str| {
+        metrics
+            .routes
+            .iter()
+            .find(|r| r.route == label)
+            .unwrap_or_else(|| panic!("missing route {label}"))
+            .clone()
+    };
+    let evaluate = route("POST /v1/evaluate");
+    assert_eq!(evaluate.requests, 4);
+    assert_eq!(evaluate.errors, 1, "the malformed request counts");
+    assert_eq!(
+        evaluate.latency.counts.iter().sum::<u64>(),
+        evaluate.requests,
+        "every request lands in exactly one latency bucket"
+    );
+    assert!(route("GET /healthz").requests >= 1);
+    // Cache shards: stats sum matches the scenario traffic (one distinct
+    // scenario -> one miss, the rest hits).
+    assert_eq!(metrics.cache_shards.len(), ServerConfig::default().cache_shards);
+    let misses: u64 = metrics.cache_shards.iter().map(|s| s.misses).sum();
+    let hits: u64 = metrics.cache_shards.iter().map(|s| s.hits).sum();
+    assert_eq!(misses, 1);
+    assert_eq!(hits, 2);
+    handle.shutdown();
+}
+
+#[test]
+fn admission_control_rejects_beyond_the_connection_cap() {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        max_connections: 2,
+        idle_timeout: std::time::Duration::from_secs(2),
+        ..ServerConfig::default()
+    };
+    let handle = Server::bind(config).expect("bind").spawn();
+    // Two live connections fill the cap...
+    let mut first = connect(&handle);
+    let (status, _) = first.get("/healthz").unwrap();
+    assert_eq!(status, 200);
+    let mut second = connect(&handle);
+    let (status, _) = second.get("/healthz").unwrap();
+    assert_eq!(status, 200);
+    // ...so the third is turned away at accept time: the server answers
+    // 503 unprompted and closes. Read passively (sending a request first
+    // could race the close into an RST that discards the buffered 503).
+    let mut third = std::net::TcpStream::connect(handle.addr()).expect("tcp connect succeeds");
+    let mut rejection = String::new();
+    {
+        use std::io::Read;
+        third.read_to_string(&mut rejection).expect("read rejection");
+    }
+    assert!(rejection.starts_with("HTTP/1.1 503 "), "{rejection}");
+    assert!(rejection.contains("overloaded"), "{rejection}");
+    // The established connections keep working.
+    let (status, _) = first.get("/healthz").unwrap();
+    assert_eq!(status, 200);
+    // Freeing a slot re-admits new connections (poll briefly: the gauge
+    // drops when the worker finishes the closed connection).
+    drop(second);
+    let mut readmitted = None;
+    for _ in 0..50 {
+        let mut candidate = Client::connect(handle.addr()).expect("tcp connect");
+        if let Ok((200, _)) = candidate.get("/healthz") {
+            readmitted = Some(candidate);
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    assert!(readmitted.is_some(), "a freed slot re-admits connections");
+    // The rejections are visible in the metrics.
+    let (_, body) = first.get("/v1/metrics").unwrap();
+    let metrics = MetricsResponse::from_json(&gf_json::parse(&body).unwrap()).unwrap();
+    assert!(metrics.connections_rejected >= 1);
+    assert_eq!(metrics.connections_max, 2);
+    handle.shutdown();
+}
+
+#[test]
+fn rejected_connections_carry_retry_after() {
+    use std::io::Read;
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        max_connections: 1,
+        idle_timeout: std::time::Duration::from_secs(2),
+        ..ServerConfig::default()
+    };
+    let handle = Server::bind(config).expect("bind").spawn();
+    let mut occupant = connect(&handle);
+    let (status, _) = occupant.get("/healthz").unwrap();
+    assert_eq!(status, 200);
+    // Raw TCP so the rejection headers are visible; read passively — the
+    // server answers 503 at accept time without waiting for a request.
+    let mut raw = std::net::TcpStream::connect(handle.addr()).unwrap();
+    let mut response = String::new();
+    raw.read_to_string(&mut response).unwrap(); // server closes after 503
+    assert!(response.starts_with("HTTP/1.1 503 Service Unavailable"), "{response}");
+    assert!(response.contains("Retry-After:"), "{response}");
+    assert!(response.contains("Connection: close"), "{response}");
+    handle.shutdown();
+}
+
+#[test]
+fn sharded_cache_survives_concurrent_hammering_with_exact_stats() {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 8,
+        cache_shards: 4,
+        idle_timeout: std::time::Duration::from_secs(2),
+        ..ServerConfig::default()
+    };
+    let handle = Server::bind(config).expect("bind").spawn();
+    let addr = handle.addr();
+    let clients = 8;
+    let rounds = 30;
+    // 6 distinct scenarios hammered from every client concurrently.
+    let scenarios: Vec<ScenarioSpec> = (0..6)
+        .map(|i| ScenarioSpec {
+            domain: Domain::ALL[i % Domain::ALL.len()],
+            knobs: vec![(Knob::DutyCycle, 0.2 + 0.1 * (i / 3) as f64)],
+        })
+        .collect();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let scenarios = &scenarios;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for i in 0..rounds {
+                    let scenario = scenarios[(c + i) % scenarios.len()].clone();
+                    let direct = Estimator::new(scenario.params())
+                        .compile(scenario.domain)
+                        .unwrap();
+                    let request = EvaluateRequest {
+                        scenario,
+                        point: OperatingPoint::paper_default(),
+                    };
+                    let body = request.to_json().to_json_string().unwrap();
+                    let (status, body) = client.post("/v1/evaluate", &body).expect("round-trip");
+                    assert_eq!(status, 200);
+                    let response =
+                        EvaluateResponse::from_json(&gf_json::parse(&body).unwrap()).unwrap();
+                    assert_eq!(
+                        response.comparison,
+                        direct.evaluate(OperatingPoint::paper_default()).unwrap()
+                    );
+                }
+            });
+        }
+    });
+    let mut client = connect(&handle);
+    let (_, body) = client.get("/v1/metrics").unwrap();
+    let metrics = MetricsResponse::from_json(&gf_json::parse(&body).unwrap()).unwrap();
+    assert_eq!(metrics.cache_shards.len(), 4);
+    let hits: u64 = metrics.cache_shards.iter().map(|s| s.hits).sum();
+    let misses: u64 = metrics.cache_shards.iter().map(|s| s.misses).sum();
+    assert_eq!(
+        hits + misses,
+        (clients * rounds) as u64,
+        "every lookup counted exactly once across shards"
+    );
+    assert!(misses <= scenarios.len() as u64, "at most one compile per scenario");
+    handle.shutdown();
+}
+
+#[test]
+fn duplicate_conflicting_content_length_is_rejected_over_the_wire() {
+    use std::io::{Read, Write};
+    let handle = spawn_server();
+    let mut raw = std::net::TcpStream::connect(handle.addr()).unwrap();
+    // No body bytes follow: the rejection happens at the headers, and any
+    // unread body at close could RST away the buffered 400.
+    raw.write_all(
+        b"POST /v1/evaluate HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\nContent-Length: 17\r\n\r\n",
+    )
+    .unwrap();
+    let mut response = String::new();
+    raw.read_to_string(&mut response).unwrap(); // connection closes after 400
+    assert!(response.starts_with("HTTP/1.1 400 Bad Request"), "{response}");
+    assert!(response.contains("conflicting Content-Length"), "{response}");
+    // The server remains healthy for well-formed clients.
+    let mut fresh = connect(&handle);
+    let (status, _) = fresh.get("/healthz").unwrap();
+    assert_eq!(status, 200);
+    handle.shutdown();
 }
 
 #[test]
