@@ -40,7 +40,5 @@ fn main() {
         )
         .expect("grid");
     let renderer = HeatmapRenderer::new();
-    bench("heatmap_render_10x10", || {
-        renderer.render(black_box(&grid))
-    });
+    bench("heatmap_render_10x10", || renderer.render(black_box(&grid)));
 }

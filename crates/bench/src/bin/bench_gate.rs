@@ -34,10 +34,7 @@ use std::process::ExitCode;
 use gf_bench::harness::parse_metrics_json;
 
 fn lookup(metrics: &[(String, Option<f64>)], key: &str) -> Option<f64> {
-    metrics
-        .iter()
-        .find(|(k, _)| k == key)
-        .and_then(|(_, v)| *v)
+    metrics.iter().find(|(k, _)| k == key).and_then(|(_, v)| *v)
 }
 
 fn run(baseline_path: &str, candidate_path: &str, tolerance: f64) -> Result<bool, String> {
@@ -307,7 +304,11 @@ mod tests {
         // At or above the floor (and the baseline) passes, including the
         // noise headroom just below 1.0.
         for passing in ["1.05", "0.96"] {
-            std::fs::write(&candidate, format!("{{\n  \"soa_speedup\": {passing}\n}}\n")).unwrap();
+            std::fs::write(
+                &candidate,
+                format!("{{\n  \"soa_speedup\": {passing}\n}}\n"),
+            )
+            .unwrap();
             assert!(!run(
                 baseline.to_str().unwrap(),
                 candidate.to_str().unwrap(),

@@ -26,10 +26,12 @@ use std::net::SocketAddr;
 use std::time::Instant;
 
 use gf_bench::harness::parse_metrics_json;
-use gf_json::{FromJson, ToJson, Value};
+use gf_json::{FromJson, Value};
 use gf_server::client::Client;
 use gf_server::{Server, ServerConfig};
-use greenfpga::api::{BatchEvalRequest, BatchEvalResponse, EvaluateRequest, EvaluateResponse};
+use greenfpga::api::{
+    BatchEvalRequest, BatchEvalResponse, EvaluateRequest, EvaluateResponse, Query, QueryKind,
+};
 use greenfpga::{Domain, Estimator, OperatingPoint, PlatformComparison, ScenarioSpec};
 
 /// Distinct operating points the clients rotate through — enough variety
@@ -97,7 +99,7 @@ fn run_client(
     for i in 0..evaluate_requests {
         let index = (offset + i) % evaluate_bodies.len();
         let start = Instant::now();
-        let response = client.post("/v1/evaluate", &evaluate_bodies[index]);
+        let response = client.post(QueryKind::Evaluate.path(), &evaluate_bodies[index]);
         let elapsed = start.elapsed().as_nanos() as u64;
         outcome.evaluate_latencies_ns.push(elapsed);
         let ok = matches!(&response, Ok((200, body)) if golden_matches_evaluate(body, &evaluate_expected[index]));
@@ -107,7 +109,7 @@ fn run_client(
     }
     for _ in 0..batch_requests {
         let start = Instant::now();
-        let response = client.post("/v1/batch", batch_body);
+        let response = client.post(QueryKind::Batch.path(), batch_body);
         let elapsed = start.elapsed().as_nanos() as u64;
         outcome.batch_latencies_ns.push(elapsed);
         let ok = matches!(&response, Ok((200, body)) if golden_matches_batch(body, batch_expected));
@@ -165,7 +167,12 @@ struct PassResult {
 
 /// Runs one load pass: a fresh server sized to `clients`, every client on
 /// its own keep-alive connection, every response golden-matched.
-fn run_pass(workload: &Workload, clients: usize, evaluate_total: usize, batch_total: usize) -> PassResult {
+fn run_pass(
+    workload: &Workload,
+    clients: usize,
+    evaluate_total: usize,
+    batch_total: usize,
+) -> PassResult {
     let server = Server::bind(ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         workers: clients,
@@ -187,8 +194,8 @@ fn run_pass(workload: &Workload, clients: usize, evaluate_total: usize, batch_to
                 let batch_body = &workload.batch_body;
                 let batch_expected = &workload.batch_expected;
                 // Spread the remainder so every request is issued.
-                let evaluate_share = evaluate_total / clients
-                    + usize::from(c < evaluate_total % clients);
+                let evaluate_share =
+                    evaluate_total / clients + usize::from(c < evaluate_total % clients);
                 let batch_share = batch_total / clients + usize::from(c < batch_total % clients);
                 scope.spawn(move || {
                     run_client(
@@ -267,14 +274,16 @@ fn main() {
         .iter()
         .map(|&point| compiled.evaluate(point).expect("golden evaluate"))
         .collect();
+    // Bodies come from the same `Query` types every other frontend speaks:
+    // `Query::request_body()` is exactly what `POST /v1/<kind>` decodes.
     let evaluate_bodies: Vec<String> = points
         .iter()
         .map(|&point| {
-            EvaluateRequest {
+            Query::Evaluate(EvaluateRequest {
                 scenario: ScenarioSpec::baseline(Domain::Dnn),
                 point,
-            }
-            .to_json()
+            })
+            .request_body()
             .to_json_string()
             .expect("request serializes")
         })
@@ -284,11 +293,11 @@ fn main() {
         .iter()
         .map(|&point| compiled.evaluate(point).expect("golden batch point"))
         .collect();
-    let batch_body = BatchEvalRequest {
+    let batch_body = Query::Batch(BatchEvalRequest {
         scenario: ScenarioSpec::baseline(Domain::Dnn),
         points: batch_points.clone(),
-    }
-    .to_json()
+    })
+    .request_body()
     .to_json_string()
     .expect("batch request serializes");
     let workload = Workload {
@@ -314,7 +323,10 @@ fn main() {
     let mut serve_metrics = vec![
         ("serve_requests".to_string(), requests as f64),
         ("serve_errors".to_string(), errors as f64),
-        ("serve_clients".to_string(), *CLIENT_COUNTS.last().unwrap() as f64),
+        (
+            "serve_clients".to_string(),
+            *CLIENT_COUNTS.last().unwrap() as f64,
+        ),
         ("serve_rps".to_string(), single.rps),
         ("serve_evaluate_p50_us".to_string(), single.eval_p50),
         ("serve_evaluate_p99_us".to_string(), single.eval_p99),

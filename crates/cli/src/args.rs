@@ -7,13 +7,27 @@
 
 use std::fmt;
 
-use greenfpga::{Domain, SweepAxis};
+use greenfpga::{Domain, MonteCarloRequest, SweepAxis};
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
-    /// Compare FPGA vs ASIC at one operating point.
-    Compare(WorkloadArgs),
+    /// Compare FPGA vs ASIC at one operating point, in one or more domains
+    /// (`--domain dnn,crypto` compares side by side).
+    Compare {
+        /// Common workload arguments (the domain list overrides its
+        /// domain).
+        workload: WorkloadArgs,
+        /// The domains to compare, in order.
+        domains: Vec<Domain>,
+    },
+    /// Evaluate one operating point in one scenario (the `evaluate` query).
+    Evaluate(WorkloadArgs),
+    /// Run one raw `Query` JSON envelope from a file or stdin.
+    Query {
+        /// Path to the envelope (`-`/absent = stdin).
+        file: Option<String>,
+    },
     /// Sweep one workload axis and print the series (optionally as CSV).
     Sweep {
         /// Common workload arguments (the swept axis value is ignored).
@@ -41,6 +55,8 @@ pub enum Command {
         workload: WorkloadArgs,
         /// Number of samples to draw.
         samples: usize,
+        /// RNG seed (deterministic results for a fixed seed).
+        seed: u64,
     },
     /// Run the HTTP/JSON estimation service (`greenfpga-serve`).
     Serve(ServeArgs),
@@ -170,7 +186,8 @@ USAGE:
   greenfpga <COMMAND> [OPTIONS]
 
 COMMANDS:
-  compare      Compare FPGA and ASIC platforms at one operating point
+  evaluate     Evaluate one operating point in one scenario
+  compare      Compare platforms at one point (1+ domains side by side)
   sweep        Sweep apps | lifetime | volume and print the series
   crossover    Report A2F/F2A crossover points (closed-form solver)
   grid         2-D ratio heatmap over two axes (parallel batch engine)
@@ -178,17 +195,22 @@ COMMANDS:
   industry     Evaluate the Table 3 industry testcases
   tornado      One-at-a-time sensitivity analysis over the Table 1 knobs
   montecarlo   Monte-Carlo uncertainty analysis over the Table 1 ranges
+  query        Run a raw Query JSON envelope from --file or stdin
   serve        Run the HTTP/JSON estimation service (greenfpga-serve)
   help         Show this message
 
+Every command is an adapter over the same engine the HTTP service runs:
+the result of `greenfpga <cmd> --json` is identical to the matching
+`POST /v1/<kind>` response body.
+
 COMMON OPTIONS:
   --domain <dnn|imgproc|crypto>   application domain       (default: dnn)
+                                  (compare: comma-separated list allowed)
   --apps <N>                      number of applications   (default: 5)
   --lifetime <YEARS>              application lifetime     (default: 2.0)
   --volume <UNITS>                application volume       (default: 1000000)
-  --json                          emit JSON instead of tables (compare,
-                                  crossover, sweep, industry, tornado,
-                                  montecarlo)
+  --json                          emit JSON instead of tables (every
+                                  command except serve and help)
 
 SERVE OPTIONS:
   --addr <HOST:PORT>              bind address             (default: 127.0.0.1:7878)
@@ -206,6 +228,10 @@ SWEEP OPTIONS:
 
 MONTECARLO OPTIONS:
   --samples <N>                   number of samples        (default: 512)
+  --seed <N>                      RNG seed, < 2^53         (default: 2654435769)
+
+QUERY OPTIONS:
+  --file <PATH>                   envelope path            (default: stdin)
 
 GRID / FRONTIER OPTIONS:
   --x-axis <apps|lifetime|volume> column axis              (default: apps)
@@ -283,10 +309,42 @@ impl Options {
         self.flags.iter().any(|f| f == flag)
     }
 
-    fn workload(&self) -> Result<WorkloadArgs, ParseError> {
+    /// The `--domain` list (`compare` accepts several, comma-separated;
+    /// at most [`greenfpga::CompareRequest::MAX_SCENARIOS`], matching the
+    /// wire-side limit).
+    fn domains(&self) -> Result<Vec<Domain>, ParseError> {
+        match self.get("domain") {
+            None => Ok(vec![Domain::Dnn]),
+            Some(list) => {
+                let domains: Vec<Domain> = list
+                    .split(',')
+                    .map(|part| parse_domain(part.trim()))
+                    .collect::<Result<_, _>>()?;
+                if domains.is_empty() {
+                    return Err(ParseError("--domain must name a domain".to_string()));
+                }
+                if domains.len() > greenfpga::CompareRequest::MAX_SCENARIOS {
+                    return Err(ParseError(format!(
+                        "--domain lists at most {} domains",
+                        greenfpga::CompareRequest::MAX_SCENARIOS
+                    )));
+                }
+                Ok(domains)
+            }
+        }
+    }
+
+    /// The shared workload arguments. A comma-separated `--domain` list is
+    /// only meaningful for `compare` (which parses it via
+    /// [`Options::domains`] and supplies the leading domain here); every
+    /// other subcommand rejects a list instead of silently dropping
+    /// entries.
+    fn workload_with(&self, domain: Option<Domain>) -> Result<WorkloadArgs, ParseError> {
         let mut workload = WorkloadArgs::default();
-        if let Some(v) = self.get("domain") {
-            workload.domain = parse_domain(v)?;
+        match (domain, self.get("domain")) {
+            (Some(domain), _) => workload.domain = domain,
+            (None, Some(v)) => workload.domain = parse_domain(v)?,
+            (None, None) => {}
         }
         if let Some(v) = self.get("apps") {
             workload.apps = parse_number("--apps", v)?;
@@ -307,6 +365,10 @@ impl Options {
             return Err(ParseError("--lifetime must be positive".to_string()));
         }
         Ok(workload)
+    }
+
+    fn workload(&self) -> Result<WorkloadArgs, ParseError> {
+        self.workload_with(None)
     }
 }
 
@@ -376,16 +438,22 @@ fn parse_serve(options: &Options) -> Result<ServeArgs, ParseError> {
         }
     };
     if let Some(v) = options.get("cache-capacity") {
-        serve.cache_capacity =
-            positive("--cache-capacity", parse_number::<usize>("--cache-capacity", v)?)?;
+        serve.cache_capacity = positive(
+            "--cache-capacity",
+            parse_number::<usize>("--cache-capacity", v)?,
+        )?;
     }
     if let Some(v) = options.get("cache-shards") {
-        serve.cache_shards =
-            positive("--cache-shards", parse_number::<usize>("--cache-shards", v)?)?;
+        serve.cache_shards = positive(
+            "--cache-shards",
+            parse_number::<usize>("--cache-shards", v)?,
+        )?;
     }
     if let Some(v) = options.get("max-connections") {
-        serve.max_connections =
-            positive("--max-connections", parse_number::<usize>("--max-connections", v)?)?;
+        serve.max_connections = positive(
+            "--max-connections",
+            parse_number::<usize>("--max-connections", v)?,
+        )?;
     }
     Ok(serve)
 }
@@ -406,7 +474,20 @@ pub fn parse(args: &[String]) -> Result<ParsedCommand, ParseError> {
 
 fn parse_command(command: &str, options: &Options) -> Result<Command, ParseError> {
     match command {
-        "compare" => Ok(Command::Compare(options.workload()?)),
+        "compare" => {
+            let domains = options.domains()?;
+            Ok(Command::Compare {
+                workload: options.workload_with(Some(domains[0]))?,
+                domains,
+            })
+        }
+        "evaluate" => Ok(Command::Evaluate(options.workload()?)),
+        "query" => Ok(Command::Query {
+            file: options
+                .get("file")
+                .filter(|path| *path != "-")
+                .map(str::to_string),
+        }),
         "crossover" => Ok(Command::Crossover(options.workload()?)),
         "tornado" => Ok(Command::Tornado(options.workload()?)),
         "industry" => Ok(Command::Industry),
@@ -418,9 +499,20 @@ fn parse_command(command: &str, options: &Options) -> Result<Command, ParseError
             if samples == 0 {
                 return Err(ParseError("--samples must be at least 1".to_string()));
             }
+            let seed: u64 = match options.get("seed") {
+                Some(v) => parse_number("--seed", v)?,
+                None => MonteCarloRequest::DEFAULT_SEED,
+            };
+            // The wire format carries the seed as a JSON number, which is
+            // only exact below 2^53 — reject larger seeds here so the CLI
+            // result always matches the equivalent HTTP request.
+            if seed >= (1 << 53) {
+                return Err(ParseError("--seed must be below 2^53".to_string()));
+            }
             Ok(Command::MonteCarlo {
                 workload: options.workload()?,
                 samples,
+                seed,
             })
         }
         "sweep" => {
@@ -499,13 +591,20 @@ mod tests {
     fn json_flag_is_global_and_off_by_default() {
         assert!(!parse(&argv("compare")).unwrap().json);
         assert!(parse(&argv("compare --json")).unwrap().json);
-        assert!(parse(&argv("crossover --domain crypto --json")).unwrap().json);
+        assert!(
+            parse(&argv("crossover --domain crypto --json"))
+                .unwrap()
+                .json
+        );
         assert!(parse(&argv("montecarlo --json --samples 16")).unwrap().json);
     }
 
     #[test]
     fn serve_defaults_and_overrides() {
-        assert_eq!(parse_cmd("serve").unwrap(), Command::Serve(ServeArgs::default()));
+        assert_eq!(
+            parse_cmd("serve").unwrap(),
+            Command::Serve(ServeArgs::default())
+        );
         let command = parse_cmd(
             "serve --addr 0.0.0.0:9999 --workers 4 --eval-threads 2 --cache-capacity 16 \
              --cache-shards 2 --max-connections 32",
@@ -537,18 +636,71 @@ mod tests {
     #[test]
     fn compare_with_defaults_and_overrides() {
         let cmd = parse_cmd("compare").unwrap();
-        assert_eq!(cmd, Command::Compare(WorkloadArgs::default()));
-        let cmd = parse_cmd("compare --domain crypto --apps 3 --lifetime 1.5 --volume 250000")
-        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Compare {
+                workload: WorkloadArgs::default(),
+                domains: vec![Domain::Dnn],
+            }
+        );
+        let cmd =
+            parse_cmd("compare --domain crypto --apps 3 --lifetime 1.5 --volume 250000").unwrap();
         match cmd {
-            Command::Compare(w) => {
+            Command::Compare {
+                workload: w,
+                domains,
+            } => {
                 assert_eq!(w.domain, Domain::Crypto);
+                assert_eq!(domains, vec![Domain::Crypto]);
                 assert_eq!(w.apps, 3);
                 assert!((w.lifetime_years - 1.5).abs() < 1e-12);
                 assert_eq!(w.volume, 250_000);
             }
             other => panic!("unexpected command {other:?}"),
         }
+    }
+
+    #[test]
+    fn compare_accepts_a_domain_list() {
+        let cmd = parse_cmd("compare --domain dnn,crypto").unwrap();
+        match cmd {
+            Command::Compare { workload, domains } => {
+                assert_eq!(domains, vec![Domain::Dnn, Domain::Crypto]);
+                assert_eq!(workload.domain, Domain::Dnn, "workload takes the first");
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+        assert!(parse_cmd("compare --domain dnn,gpu").is_err());
+        // A list longer than the wire limit is rejected at parse time.
+        let many = vec!["dnn"; greenfpga::CompareRequest::MAX_SCENARIOS + 1].join(",");
+        assert!(parse_cmd(&format!("compare --domain {many}")).is_err());
+        // Other commands reject a list instead of silently dropping entries.
+        assert!(parse_cmd("evaluate --domain dnn,crypto").is_err());
+        assert!(parse_cmd("sweep --domain dnn,crypto --axis apps --from 1 --to 8").is_err());
+        let cmd = parse_cmd("evaluate --domain crypto").unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Evaluate(WorkloadArgs {
+                domain: Domain::Crypto,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn query_takes_an_optional_file() {
+        assert_eq!(parse_cmd("query").unwrap(), Command::Query { file: None });
+        assert_eq!(
+            parse_cmd("query --file q.json").unwrap(),
+            Command::Query {
+                file: Some("q.json".to_string())
+            }
+        );
+        assert_eq!(
+            parse_cmd("query --file -").unwrap(),
+            Command::Query { file: None },
+            "'-' means stdin"
+        );
     }
 
     #[test]
@@ -559,9 +711,11 @@ mod tests {
             ("ImageProcessing", Domain::ImageProcessing),
             ("CRYPTO", Domain::Crypto),
         ] {
-            let cmd = parse(&argv(&format!("compare --domain {alias}"))).unwrap().command;
+            let cmd = parse(&argv(&format!("evaluate --domain {alias}")))
+                .unwrap()
+                .command;
             match cmd {
-                Command::Compare(w) => assert_eq!(w.domain, expected, "{alias}"),
+                Command::Evaluate(w) => assert_eq!(w.domain, expected, "{alias}"),
                 other => panic!("unexpected command {other:?}"),
             }
         }
@@ -574,8 +728,7 @@ mod tests {
         assert!(parse_cmd("sweep --axis apps").is_err());
         assert!(parse_cmd("sweep --axis apps --from 1 --to 0.5").is_err());
         assert!(parse_cmd("sweep --axis apps --from 1 --to 8 --steps 1").is_err());
-        let cmd = parse_cmd("sweep --axis lifetime --from 0.2 --to 2.5 --steps 6 --csv")
-        .unwrap();
+        let cmd = parse_cmd("sweep --axis lifetime --from 0.2 --to 2.5 --steps 6 --csv").unwrap();
         match cmd {
             Command::Sweep {
                 axis,
@@ -598,14 +751,25 @@ mod tests {
     fn montecarlo_sample_parsing() {
         let cmd = parse_cmd("montecarlo --domain dnn --samples 128").unwrap();
         match cmd {
-            Command::MonteCarlo { samples, workload } => {
+            Command::MonteCarlo {
+                samples,
+                workload,
+                seed,
+            } => {
                 assert_eq!(samples, 128);
                 assert_eq!(workload.domain, Domain::Dnn);
+                assert_eq!(seed, MonteCarloRequest::DEFAULT_SEED);
             }
             other => panic!("unexpected command {other:?}"),
         }
+        let cmd = parse_cmd("montecarlo --samples 16 --seed 42").unwrap();
+        assert!(matches!(cmd, Command::MonteCarlo { seed: 42, .. }));
         assert!(parse_cmd("montecarlo --samples 0").is_err());
         assert!(parse_cmd("montecarlo --samples abc").is_err());
+        assert!(parse_cmd("montecarlo --seed x").is_err());
+        // Seeds at or above 2^53 would not survive the JSON wire format.
+        assert!(parse_cmd("montecarlo --seed 9007199254740992").is_err());
+        assert!(parse_cmd("montecarlo --seed 9007199254740991").is_ok());
     }
 
     #[test]
@@ -624,7 +788,7 @@ mod tests {
     fn last_value_wins_for_repeated_options() {
         let cmd = parse_cmd("compare --apps 3 --apps 7").unwrap();
         match cmd {
-            Command::Compare(w) => assert_eq!(w.apps, 7),
+            Command::Compare { workload: w, .. } => assert_eq!(w.apps, 7),
             other => panic!("unexpected command {other:?}"),
         }
     }
@@ -692,6 +856,7 @@ mod tests {
     #[test]
     fn usage_mentions_every_command() {
         for command in [
+            "evaluate",
             "compare",
             "sweep",
             "crossover",
@@ -700,6 +865,7 @@ mod tests {
             "industry",
             "tornado",
             "montecarlo",
+            "query",
             "serve",
         ] {
             assert!(USAGE.contains(command), "usage is missing {command}");

@@ -1,7 +1,8 @@
 //! `greenfpga` — command-line interface to the GreenFPGA carbon model.
 //!
 //! ```text
-//! greenfpga compare --domain dnn --apps 5 --lifetime 2.0 --volume 1000000
+//! greenfpga evaluate --domain dnn --apps 5 --lifetime 2.0 --volume 1000000
+//! greenfpga compare --domain dnn,crypto
 //! greenfpga sweep --domain dnn --axis apps --from 1 --to 12 --steps 12
 //! greenfpga crossover --domain imgproc
 //! greenfpga frontier --domain dnn --steps 64
@@ -9,17 +10,30 @@
 //! greenfpga industry
 //! greenfpga tornado --domain dnn
 //! greenfpga montecarlo --domain crypto --samples 1024
+//! echo '{"kind":"sweep","domain":"dnn","axis":"apps","from":1,"to":12}' | greenfpga query
 //! ```
+//!
+//! Every subcommand is a thin adapter over [`greenfpga::Engine`]: it
+//! builds the same [`greenfpga::Query`] the HTTP service decodes, runs it
+//! through the same facade, and renders the typed outcome — as a table by
+//! default, or as the identical wire JSON with `--json`. Failures exit
+//! with the [`greenfpga::ApiErrorCode`] taxonomy's canonical codes:
+//! `2` usage, `3` model, `4` overloaded, `5` internal.
 
 mod args;
 
+use std::io::Read;
 use std::process::ExitCode;
 
-use gf_json::{object, ToJson, Value};
+use gf_json::{FromJson, ToJson, Value};
+use greenfpga::api::{
+    CompareRequest, EvaluateRequest, FrontierResponse, GridRequest, IndustryRequest,
+    MonteCarloRequest, MonteCarloResponse, Outcome, Query, SweepRequest, TornadoRequest,
+};
 use greenfpga::{
-    csv_from_rows, industry_asic1, industry_asic2, industry_fpga1, industry_fpga2, render_table,
-    api, Estimator, EstimatorParams, GreenFpgaError, HeatmapRenderer, IndustryScenario,
-    MonteCarlo, OperatingPoint, SweepAxis, Workload,
+    csv_from_rows, render_table, ApiError, CfpBreakdown, CrossoverRequest, Domain, Engine,
+    FrontierRequest, HeatmapRenderer, OperatingPoint, PlatformComparison, ScenarioSpec, SweepAxis,
+    SweepSeries, TornadoAnalysis,
 };
 
 use args::{Command, GridShape, ServeArgs, WorkloadArgs, USAGE};
@@ -30,203 +44,255 @@ fn main() -> ExitCode {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
-            return ExitCode::from(2);
+            return ExitCode::from(ApiError::bad_request(String::new()).exit_code());
         }
     };
     match run(parsed.command, parsed.json) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }
 
-fn run(command: Command, json: bool) -> Result<(), GreenFpgaError> {
-    let estimator = Estimator::new(EstimatorParams::paper_defaults());
+fn run(command: Command, json: bool) -> Result<(), ApiError> {
     match command {
         Command::Help => {
+            reject_json(json, "help")?;
             println!("{USAGE}");
             Ok(())
         }
-        Command::Compare(workload) => compare(&estimator, workload, json),
-        Command::Crossover(workload) => crossover(&estimator, workload, json),
+        Command::Serve(serve_args) => {
+            reject_json(json, "serve")?;
+            serve(serve_args)
+        }
+        Command::Query { file } => run_raw_query(file),
+        command => {
+            let engine = Engine::with_defaults()?;
+            let query = build_query(&command)?;
+            let outcome = engine.run(&query)?;
+            if json {
+                print_json(&outcome.result_json())
+            } else {
+                render_outcome(&command, &outcome)
+            }
+        }
+    }
+}
+
+/// `--json` on a subcommand that produces no result document is a usage
+/// error, reported through the taxonomy instead of silently ignored.
+fn reject_json(json: bool, command: &str) -> Result<(), ApiError> {
+    if json {
+        return Err(ApiError::bad_request(format!(
+            "--json does not apply to '{command}': it produces no result document"
+        )));
+    }
+    Ok(())
+}
+
+/// Maps an analytic subcommand to its [`Query`] — the same request the
+/// HTTP route for that kind decodes.
+fn build_query(command: &Command) -> Result<Query, ApiError> {
+    Ok(match command {
+        Command::Evaluate(workload) => Query::Evaluate(EvaluateRequest {
+            scenario: ScenarioSpec::baseline(workload.domain),
+            point: operating_point(*workload),
+        }),
+        Command::Compare { workload, domains } => Query::Compare(CompareRequest {
+            scenarios: domains.iter().map(|&d| ScenarioSpec::baseline(d)).collect(),
+            point: operating_point(*workload),
+        }),
+        Command::Crossover(workload) => Query::Crossover(CrossoverRequest::with_default_ranges(
+            ScenarioSpec::baseline(workload.domain),
+            operating_point(*workload),
+        )),
         Command::Sweep {
             workload,
             axis,
             from,
             to,
             steps,
-            csv,
-        } => {
-            let output = if json {
-                SweepOutput::Json
-            } else if csv {
-                SweepOutput::Csv
-            } else {
-                SweepOutput::Table
-            };
-            sweep(&estimator, workload, axis, from, to, steps, output)
-        }
-        Command::Industry => industry(&estimator, json),
-        Command::Tornado(workload) => tornado(&estimator, workload, json),
-        Command::MonteCarlo { workload, samples } => {
-            monte_carlo(&estimator, workload, samples, json)
-        }
+            ..
+        } => Query::Sweep(SweepRequest {
+            scenario: ScenarioSpec::baseline(workload.domain),
+            base: operating_point(*workload),
+            axis: *axis,
+            range: (*from, *to),
+            steps: *steps,
+        }),
+        Command::Industry => Query::Industry(IndustryRequest::default()),
+        Command::Tornado(workload) => Query::Tornado(TornadoRequest {
+            scenario: ScenarioSpec::baseline(workload.domain),
+            point: operating_point(*workload),
+        }),
+        Command::MonteCarlo {
+            workload,
+            samples,
+            seed,
+        } => Query::MonteCarlo(MonteCarloRequest {
+            scenario: ScenarioSpec::baseline(workload.domain),
+            point: operating_point(*workload),
+            samples: *samples,
+            seed: *seed,
+        }),
         Command::Grid {
             workload,
             shape,
             adaptive,
         } => {
-            if adaptive {
-                frontier(&estimator, workload, shape)
+            if *adaptive {
+                Query::Frontier(frontier_request(*workload, *shape))
             } else {
-                grid(&estimator, workload, shape)
+                Query::Grid(GridRequest {
+                    scenario: ScenarioSpec::baseline(workload.domain),
+                    base: operating_point(*workload),
+                    x_axis: shape.x_axis,
+                    x_range: (shape.x_from, shape.x_to),
+                    y_axis: shape.y_axis,
+                    y_range: (shape.y_from, shape.y_to),
+                    steps: shape.steps,
+                })
             }
         }
-        Command::Frontier { workload, shape } => frontier(&estimator, workload, shape),
-        Command::Serve(serve_args) => serve(serve_args),
+        Command::Frontier { workload, shape } => {
+            Query::Frontier(frontier_request(*workload, *shape))
+        }
+        Command::Help | Command::Serve(_) | Command::Query { .. } => {
+            unreachable!("handled before query dispatch")
+        }
+    })
+}
+
+fn frontier_request(workload: WorkloadArgs, shape: GridShape) -> FrontierRequest {
+    FrontierRequest {
+        scenario: ScenarioSpec::baseline(workload.domain),
+        base: operating_point(workload),
+        x_axis: shape.x_axis,
+        x_range: (shape.x_from, shape.x_to),
+        y_axis: shape.y_axis,
+        y_range: (shape.y_from, shape.y_to),
+        steps: shape.steps,
     }
 }
 
-/// Runs the HTTP service in the foreground until the process is stopped.
-fn serve(serve_args: ServeArgs) -> Result<(), GreenFpgaError> {
-    let config = gf_server::ServerConfig {
-        addr: serve_args.addr,
-        workers: serve_args.workers,
-        eval_threads: serve_args.eval_threads,
-        cache_capacity: serve_args.cache_capacity,
-        cache_shards: serve_args.cache_shards,
-        max_connections: serve_args.max_connections,
-        ..gf_server::ServerConfig::default()
-    };
-    let workers = config.workers_resolved();
-    match gf_server::Server::bind(config) {
-        Ok(server) => {
-            println!(
-                "greenfpga-serve listening on http://{} ({workers} workers)",
-                server.local_addr()
-            );
-            server.run();
+/// Renders a typed outcome as the human-readable tables and maps.
+fn render_outcome(command: &Command, outcome: &Outcome) -> Result<(), ApiError> {
+    match (command, outcome) {
+        (Command::Evaluate(workload), Outcome::Evaluate(response)) => {
+            print_comparison_table(*workload, &response.comparison);
             Ok(())
         }
-        Err(e) => Err(GreenFpgaError::InvalidApplication {
-            field: "serve",
-            reason: e.to_string(),
-        }),
+        (Command::Compare { workload, .. }, Outcome::Compare(response)) => {
+            for comparison in &response.comparisons {
+                let mut workload = *workload;
+                workload.domain = comparison.domain;
+                print_comparison_table(workload, comparison);
+            }
+            Ok(())
+        }
+        (Command::Crossover(workload), Outcome::Crossover(response)) => {
+            println!(
+                "Crossover points for {} (around {} apps, {:.1} y, {} units):",
+                workload.domain, workload.apps, workload.lifetime_years, workload.volume
+            );
+            match response.applications {
+                Some(n) => println!("  applications: FPGA becomes greener from {n} applications"),
+                None => println!("  applications: no crossover within 20 applications"),
+            }
+            match &response.lifetime {
+                Some(c) => println!("  lifetime:     {} at {:.2} years", c.direction, c.at),
+                None => println!("  lifetime:     no crossover in 0.05–5 years"),
+            }
+            match &response.volume {
+                Some(c) => println!("  volume:       {} at {:.0} units", c.direction, c.at),
+                None => println!("  volume:       no crossover in 1K–50M units"),
+            }
+            Ok(())
+        }
+        (Command::Sweep { workload, csv, .. }, Outcome::Sweep(series)) => {
+            print_sweep(workload.domain, series, *csv);
+            Ok(())
+        }
+        (Command::Industry, Outcome::Industry(response)) => {
+            let rows: Vec<Vec<String>> = response
+                .devices
+                .iter()
+                .map(|device| breakdown_row(&device.device, &device.cfp))
+                .collect();
+            println!("Industry testcases, 6-year service at 1M units (tCO2e):");
+            println!(
+                "{}",
+                render_table(
+                    &[
+                        "Device",
+                        "Design",
+                        "Mfg+Pkg",
+                        "EOL",
+                        "Operation",
+                        "App dev",
+                        "Total"
+                    ],
+                    &rows
+                )
+            );
+            Ok(())
+        }
+        (Command::Tornado(workload), Outcome::Tornado(analysis)) => {
+            print_tornado(*workload, analysis);
+            Ok(())
+        }
+        (
+            Command::MonteCarlo {
+                workload, samples, ..
+            },
+            Outcome::MonteCarlo(response),
+        ) => {
+            print_monte_carlo(*workload, *samples, response);
+            Ok(())
+        }
+        (
+            Command::Grid {
+                workload, shape, ..
+            },
+            Outcome::Grid(grid),
+        ) => {
+            println!(
+                "{} ratio grid, {}x{} cells (FPGA wins in {:.1}% of them):",
+                workload.domain,
+                shape.steps,
+                shape.steps,
+                grid.fpga_winning_fraction() * 100.0
+            );
+            print!("{}", HeatmapRenderer::new().render(grid));
+            Ok(())
+        }
+        (
+            Command::Frontier { workload, shape }
+            | Command::Grid {
+                workload, shape, ..
+            },
+            Outcome::Frontier(frontier),
+        ) => {
+            print_frontier(*workload, *shape, frontier);
+            Ok(())
+        }
+        _ => Err(ApiError::internal(
+            "outcome kind does not match the subcommand",
+        )),
     }
 }
 
-/// How the `sweep` subcommand renders its series.
-enum SweepOutput {
-    Table,
-    Csv,
-    Json,
-}
-
-/// Prints a JSON document (pretty, machine-parseable) to stdout.
-///
-/// # Errors
-///
-/// Surfaces serialization failures (a non-finite number in the result) as
-/// a model error, so `--json` consumers get a non-zero exit instead of an
-/// empty file.
-fn print_json(value: &Value) -> Result<(), GreenFpgaError> {
-    let text = value
-        .to_json_string_pretty()
-        .map_err(|e| GreenFpgaError::Serialization {
-            reason: e.to_string(),
-        })?;
-    print!("{text}");
-    Ok(())
-}
-
-fn linspace(from: f64, to: f64, steps: usize) -> Vec<f64> {
-    (0..steps)
-        .map(|i| from + (to - from) * i as f64 / (steps as f64 - 1.0))
-        .collect()
-}
-
-fn grid(
-    estimator: &Estimator,
-    args: WorkloadArgs,
-    shape: GridShape,
-) -> Result<(), GreenFpgaError> {
-    let grid = estimator.ratio_grid(
-        args.domain,
-        shape.x_axis,
-        &linspace(shape.x_from, shape.x_to, shape.steps),
-        shape.y_axis,
-        &linspace(shape.y_from, shape.y_to, shape.steps),
-        operating_point(args),
-    )?;
-    println!(
-        "{} ratio grid, {}x{} cells (FPGA wins in {:.1}% of them):",
-        args.domain,
-        shape.steps,
-        shape.steps,
-        grid.fpga_winning_fraction() * 100.0
-    );
-    print!("{}", HeatmapRenderer::new().render(&grid));
-    Ok(())
-}
-
-fn frontier(
-    estimator: &Estimator,
-    args: WorkloadArgs,
-    shape: GridShape,
-) -> Result<(), GreenFpgaError> {
-    let frontier = estimator.frontier(
-        args.domain,
-        shape.x_axis,
-        &linspace(shape.x_from, shape.x_to, shape.steps),
-        shape.y_axis,
-        &linspace(shape.y_from, shape.y_to, shape.steps),
-        operating_point(args),
-    )?;
-    println!(
-        "{} crossover frontier, {}x{} cells (FPGA wins in {:.1}%; {} evaluations, {:.1}% of dense):",
-        args.domain,
-        shape.steps,
-        shape.steps,
-        frontier.fpga_winning_fraction() * 100.0,
-        frontier.evaluations(),
-        frontier.evaluated_fraction() * 100.0
-    );
-    print!("{}", HeatmapRenderer::new().render_frontier(&frontier));
-    Ok(())
-}
-
-fn operating_point(args: WorkloadArgs) -> OperatingPoint {
-    OperatingPoint {
-        applications: args.apps,
-        lifetime_years: args.lifetime_years,
-        volume: args.volume,
-    }
-}
-
-fn compare(estimator: &Estimator, args: WorkloadArgs, json: bool) -> Result<(), GreenFpgaError> {
-    let workload = Workload::uniform(args.domain, args.apps, args.lifetime_years, args.volume)?;
-    let comparison = estimator.compare_domain(&workload)?;
-    if json {
-        return print_json(&api::EvaluateResponse { comparison }.to_json());
-    }
+fn print_comparison_table(args: WorkloadArgs, comparison: &PlatformComparison) {
     println!(
         "{} — {} applications, {:.1}-year lifetimes, {} units each:",
-        args.domain, args.apps, args.lifetime_years, args.volume
+        comparison.domain, args.apps, args.lifetime_years, args.volume
     );
-    let mut rows = Vec::new();
-    for (platform, cfp) in [("FPGA", comparison.fpga), ("ASIC", comparison.asic)] {
-        rows.push(vec![
-            platform.to_string(),
-            format!("{:.1}", cfp.design.as_tons()),
-            format!("{:.1}", (cfp.manufacturing + cfp.packaging).as_tons()),
-            format!("{:.1}", cfp.eol.as_tons()),
-            format!("{:.1}", cfp.operation.as_tons()),
-            format!("{:.1}", cfp.app_dev.as_tons()),
-            format!("{:.1}", cfp.total().as_tons()),
-        ]);
-    }
+    let rows = vec![
+        breakdown_row("FPGA", &comparison.fpga),
+        breakdown_row("ASIC", &comparison.asic),
+    ];
     println!(
         "{}",
         render_table(
@@ -247,68 +313,23 @@ fn compare(estimator: &Estimator, args: WorkloadArgs, json: bool) -> Result<(), 
         comparison.fpga_to_asic_ratio(),
         comparison.winner()
     );
-    Ok(())
 }
 
-fn crossover(estimator: &Estimator, args: WorkloadArgs, json: bool) -> Result<(), GreenFpgaError> {
-    let applications =
-        estimator.crossover_in_applications(args.domain, 20, args.lifetime_years, args.volume)?;
-    let lifetime =
-        estimator.crossover_in_lifetime(args.domain, args.apps, args.volume, 0.05, 5.0)?;
-    let volume = estimator.crossover_in_volume(
-        args.domain,
-        args.apps,
-        args.lifetime_years,
-        1_000,
-        50_000_000,
-    )?;
-    if json {
-        return print_json(
-            &api::CrossoverResponse {
-                domain: args.domain,
-                base: operating_point(args),
-                applications,
-                lifetime,
-                volume,
-            }
-            .to_json(),
-        );
-    }
-    println!(
-        "Crossover points for {} (around {} apps, {:.1} y, {} units):",
-        args.domain, args.apps, args.lifetime_years, args.volume
-    );
-    match applications {
-        Some(n) => println!("  applications: FPGA becomes greener from {n} applications"),
-        None => println!("  applications: no crossover within 20 applications"),
-    }
-    match lifetime {
-        Some(c) => println!("  lifetime:     {} at {:.2} years", c.direction, c.at),
-        None => println!("  lifetime:     no crossover in 0.05–5 years"),
-    }
-    match volume {
-        Some(c) => println!("  volume:       {} at {:.0} units", c.direction, c.at),
-        None => println!("  volume:       no crossover in 1K–50M units"),
-    }
-    Ok(())
+/// One table row of a breakdown, in tons.
+fn breakdown_row(label: &str, cfp: &CfpBreakdown) -> Vec<String> {
+    vec![
+        label.to_string(),
+        format!("{:.1}", cfp.design.as_tons()),
+        format!("{:.1}", (cfp.manufacturing + cfp.packaging).as_tons()),
+        format!("{:.1}", cfp.eol.as_tons()),
+        format!("{:.1}", cfp.operation.as_tons()),
+        format!("{:.1}", cfp.app_dev.as_tons()),
+        format!("{:.1}", cfp.total().as_tons()),
+    ]
 }
 
-fn sweep(
-    estimator: &Estimator,
-    args: WorkloadArgs,
-    axis: SweepAxis,
-    from: f64,
-    to: f64,
-    steps: usize,
-    output: SweepOutput,
-) -> Result<(), GreenFpgaError> {
-    let values: Vec<f64> = (0..steps)
-        .map(|i| from + (to - from) * i as f64 / (steps as f64 - 1.0))
-        .collect();
-    let series = estimator.sweep(args.domain, axis, &values, operating_point(args))?;
-    if matches!(output, SweepOutput::Json) {
-        return print_json(&series.to_json());
-    }
+fn print_sweep(domain: Domain, series: &SweepSeries, csv: bool) {
+    let axis: SweepAxis = series.axis;
     let rows: Vec<Vec<String>> = series
         .points
         .iter()
@@ -327,89 +348,18 @@ fn sweep(
         "ASIC total (t)",
         "FPGA:ASIC",
     ];
-    if matches!(output, SweepOutput::Csv) {
+    if csv {
         print!("{}", csv_from_rows(&headers, &rows));
     } else {
-        println!("{} sweep for {}:", axis.label(), args.domain);
+        println!("{} sweep for {}:", axis.label(), domain);
         println!("{}", render_table(&headers, &rows));
         for c in series.crossovers() {
             println!("{} crossover at {:.3}", c.direction, c.at);
         }
     }
-    Ok(())
 }
 
-fn industry(estimator: &Estimator, json: bool) -> Result<(), GreenFpgaError> {
-    let scenario = IndustryScenario::paper_defaults();
-    if json {
-        let mut devices = Vec::new();
-        for fpga in [industry_fpga1(), industry_fpga2()] {
-            let cfp = scenario.evaluate_fpga(estimator, &fpga)?;
-            devices.push(object([
-                ("device", Value::from(fpga.chip().name())),
-                ("platform", Value::from("FPGA")),
-                ("cfp", cfp.to_json()),
-            ]));
-        }
-        for asic in [industry_asic1(), industry_asic2()] {
-            let cfp = scenario.evaluate_asic(estimator, &asic)?;
-            devices.push(object([
-                ("device", Value::from(asic.chip().name())),
-                ("platform", Value::from("ASIC")),
-                ("cfp", cfp.to_json()),
-            ]));
-        }
-        return print_json(&object([("devices", Value::Array(devices))]));
-    }
-    let mut rows = Vec::new();
-    for fpga in [industry_fpga1(), industry_fpga2()] {
-        let cfp = scenario.evaluate_fpga(estimator, &fpga)?;
-        rows.push(vec![
-            fpga.chip().name().to_string(),
-            format!("{:.1}", cfp.design.as_tons()),
-            format!("{:.1}", (cfp.manufacturing + cfp.packaging).as_tons()),
-            format!("{:.1}", cfp.eol.as_tons()),
-            format!("{:.1}", cfp.operation.as_tons()),
-            format!("{:.1}", cfp.app_dev.as_tons()),
-            format!("{:.1}", cfp.total().as_tons()),
-        ]);
-    }
-    for asic in [industry_asic1(), industry_asic2()] {
-        let cfp = scenario.evaluate_asic(estimator, &asic)?;
-        rows.push(vec![
-            asic.chip().name().to_string(),
-            format!("{:.1}", cfp.design.as_tons()),
-            format!("{:.1}", (cfp.manufacturing + cfp.packaging).as_tons()),
-            format!("{:.1}", cfp.eol.as_tons()),
-            format!("{:.1}", cfp.operation.as_tons()),
-            format!("{:.1}", cfp.app_dev.as_tons()),
-            format!("{:.1}", cfp.total().as_tons()),
-        ]);
-    }
-    println!("Industry testcases, 6-year service at 1M units (tCO2e):");
-    println!(
-        "{}",
-        render_table(
-            &[
-                "Device",
-                "Design",
-                "Mfg+Pkg",
-                "EOL",
-                "Operation",
-                "App dev",
-                "Total"
-            ],
-            &rows
-        )
-    );
-    Ok(())
-}
-
-fn tornado(estimator: &Estimator, args: WorkloadArgs, json: bool) -> Result<(), GreenFpgaError> {
-    let analysis = estimator.tornado_analysis(args.domain, operating_point(args))?;
-    if json {
-        return print_json(&analysis.to_json());
-    }
+fn print_tornado(args: WorkloadArgs, analysis: &TornadoAnalysis) {
     let rows: Vec<Vec<String>> = analysis
         .entries
         .iter()
@@ -449,32 +399,102 @@ fn tornado(estimator: &Estimator, args: WorkloadArgs, json: bool) -> Result<(), 
             &rows
         )
     );
-    Ok(())
 }
 
-fn monte_carlo(
-    estimator: &Estimator,
-    args: WorkloadArgs,
-    samples: usize,
-    json: bool,
-) -> Result<(), GreenFpgaError> {
-    let report =
-        MonteCarlo::new(samples).run(estimator.params(), args.domain, operating_point(args))?;
-    if json {
-        return print_json(&report.to_json());
-    }
+fn print_monte_carlo(args: WorkloadArgs, samples: usize, response: &MonteCarloResponse) {
     println!(
         "Monte-Carlo study for {} ({samples} samples over the Table 1 ranges):",
         args.domain
     );
-    println!("  ratio p5     {:.3}", report.quantile(0.05));
-    println!("  ratio median {:.3}", report.median());
-    println!("  ratio p95    {:.3}", report.quantile(0.95));
-    println!("  ratio mean   {:.3}", report.mean());
+    println!("  ratio p5     {:.3}", response.ratio_p5);
+    println!("  ratio median {:.3}", response.ratio_median);
+    println!("  ratio p95    {:.3}", response.ratio_p95);
+    println!("  ratio mean   {:.3}", response.ratio_mean);
     println!(
         "  P(FPGA greener) = {:.1}%",
-        report.fpga_win_probability() * 100.0
+        response.fpga_win_probability * 100.0
     );
-    println!("  majority winner: {}", report.majority_winner());
+    println!("  majority winner: {}", response.majority_winner);
+}
+
+fn print_frontier(args: WorkloadArgs, shape: GridShape, frontier: &FrontierResponse) {
+    println!(
+        "{} crossover frontier, {}x{} cells (FPGA wins in {:.1}%; {} evaluations, {:.1}% of dense):",
+        args.domain,
+        shape.steps,
+        shape.steps,
+        frontier.fpga_winning_fraction * 100.0,
+        frontier.evaluations,
+        frontier.evaluated_fraction * 100.0
+    );
+    print!(
+        "{}",
+        HeatmapRenderer::new().render_frontier_response(frontier)
+    );
+}
+
+/// The `query` subcommand: one raw [`Query`] envelope in, one
+/// [`Outcome`] envelope out.
+fn run_raw_query(file: Option<String>) -> Result<(), ApiError> {
+    let text = match file {
+        Some(path) => std::fs::read_to_string(&path)
+            .map_err(|e| ApiError::bad_request(format!("cannot read {path}: {e}")))?,
+        None => {
+            let mut text = String::new();
+            std::io::stdin()
+                .read_to_string(&mut text)
+                .map_err(|e| ApiError::bad_request(format!("cannot read stdin: {e}")))?;
+            text
+        }
+    };
+    let value = gf_json::parse(&text)?;
+    let query = Query::from_json(&value)?;
+    let engine = Engine::with_defaults()?;
+    let outcome = engine.run(&query)?;
+    print_json(&outcome.to_json())
+}
+
+/// Runs the HTTP service in the foreground until the process is stopped.
+fn serve(serve_args: ServeArgs) -> Result<(), ApiError> {
+    let config = gf_server::ServerConfig {
+        addr: serve_args.addr,
+        workers: serve_args.workers,
+        eval_threads: serve_args.eval_threads,
+        cache_capacity: serve_args.cache_capacity,
+        cache_shards: serve_args.cache_shards,
+        max_connections: serve_args.max_connections,
+        ..gf_server::ServerConfig::default()
+    };
+    let workers = config.workers_resolved();
+    let server = gf_server::Server::bind(config)
+        .map_err(|e| ApiError::internal(format!("cannot start the server: {e}")))?;
+    println!(
+        "greenfpga-serve listening on http://{} ({workers} workers)",
+        server.local_addr()
+    );
+    server.run();
+    Ok(())
+}
+
+fn operating_point(args: WorkloadArgs) -> OperatingPoint {
+    OperatingPoint {
+        applications: args.apps,
+        lifetime_years: args.lifetime_years,
+        volume: args.volume,
+    }
+}
+
+/// Prints a JSON document (pretty, machine-parseable) to stdout.
+///
+/// # Errors
+///
+/// Surfaces serialization failures (a non-finite number in the result) as
+/// an internal error, so `--json` consumers get a non-zero exit instead of
+/// an empty file.
+fn print_json(value: &Value) -> Result<(), ApiError> {
+    let text = value
+        .to_json_string_pretty()
+        .map_err(|e| ApiError::internal(format!("result serialization failed: {e}")))?;
+    print!("{text}");
     Ok(())
 }

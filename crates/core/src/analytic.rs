@@ -100,8 +100,7 @@ impl AffineComparison {
     /// [`AffineComparison::crossover`] restricted to `[min, max]`: returns
     /// `None` when the root falls outside the closed range.
     pub fn crossover_in(&self, min: f64, max: f64) -> Option<Crossover> {
-        self.crossover()
-            .filter(|c| c.at >= min && c.at <= max)
+        self.crossover().filter(|c| c.at >= min && c.at <= max)
     }
 }
 
@@ -147,7 +146,9 @@ impl CompiledScenario {
                 },
                 AffineTotal {
                     intercept_kg: 0.0,
-                    slope_kg: ad + volume * ac * ah + volume * ac * ar * years
+                    slope_kg: ad
+                        + volume * ac * ah
+                        + volume * ac * ar * years
                         + aa
                         + ag * volume * ac,
                 },
@@ -296,11 +297,7 @@ mod tests {
                 SweepAxis::Applications,
                 &[1.0, 2.0, 5.0, 16.0, 64.0],
             );
-            assert_affine_matches_kernel(
-                domain,
-                SweepAxis::LifetimeYears,
-                &[0.05, 0.5, 2.0, 7.5],
-            );
+            assert_affine_matches_kernel(domain, SweepAxis::LifetimeYears, &[0.05, 0.5, 2.0, 7.5]);
             assert_affine_matches_kernel(
                 domain,
                 SweepAxis::VolumeUnits,
@@ -327,10 +324,7 @@ mod tests {
         let scale = affine.fpga.at(root).abs().max(1.0);
         assert!(affine.diff_at(root).abs() <= 1e-9 * scale);
         // Winner flips across the root.
-        assert_ne!(
-            affine.winner_at(root - 0.1),
-            affine.winner_at(root + 0.1)
-        );
+        assert_ne!(affine.winner_at(root - 0.1), affine.winner_at(root + 0.1));
     }
 
     #[test]

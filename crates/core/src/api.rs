@@ -30,11 +30,14 @@
 use gf_json::{object, FromJson, JsonError, ToJson, Value};
 
 use crate::{
-    CfpBreakdown, Crossover, CrossoverDirection, Domain, EstimatorParams, FrontierResult, Knob,
-    OperatingPoint, PlatformComparison, PlatformKind, SensitivityEntry, SweepAxis, SweepPoint,
-    SweepSeries, TornadoAnalysis, UncertaintyReport,
+    ApiError, ApiErrorCode, CfpBreakdown, Crossover, CrossoverDirection, Domain, EstimatorParams,
+    FrontierResult, GridSweep, Knob, OperatingPoint, PlatformComparison, PlatformKind,
+    SensitivityEntry, SweepAxis, SweepPoint, SweepSeries, TornadoAnalysis, UncertaintyReport,
 };
 use gf_units::Carbon;
+
+/// Version of the `Query`/`Outcome` JSON envelope (the `"v"` member).
+pub const API_VERSION: u64 = 1;
 
 /// Reads a required object member.
 fn field<'v>(value: &'v Value, key: &'static str) -> Result<&'v Value, JsonError> {
@@ -143,7 +146,10 @@ impl FromJson for CrossoverDirection {
         match value.as_str() {
             Some("A2F") => Ok(CrossoverDirection::AsicToFpga),
             Some("F2A") => Ok(CrossoverDirection::FpgaToAsic),
-            _ => Err(JsonError::schema("direction", "expected \"A2F\" or \"F2A\"")),
+            _ => Err(JsonError::schema(
+                "direction",
+                "expected \"A2F\" or \"F2A\"",
+            )),
         }
     }
 }
@@ -179,7 +185,10 @@ impl ToJson for OperatingPoint {
 impl FromJson for OperatingPoint {
     fn from_json(value: &Value) -> Result<OperatingPoint, JsonError> {
         if value.as_object().is_none() {
-            return Err(JsonError::schema("point", "expected an operating-point object"));
+            return Err(JsonError::schema(
+                "point",
+                "expected an operating-point object",
+            ));
         }
         let fallback = OperatingPoint::paper_default();
         Ok(OperatingPoint {
@@ -381,38 +390,19 @@ impl ScenarioSpec {
 
 impl ToJson for ScenarioSpec {
     fn to_json(&self) -> Value {
-        let knobs = Value::Object(
-            self.knobs
-                .iter()
-                .map(|&(knob, value)| (knob.id().to_string(), Value::Number(value)))
-                .collect(),
-        );
-        object([("domain", self.domain.to_json()), ("knobs", knobs)])
+        object([
+            ("domain", self.domain.to_json()),
+            ("knobs", encode_knob_overrides(&self.knobs)),
+        ])
     }
 }
 
 impl FromJson for ScenarioSpec {
     fn from_json(value: &Value) -> Result<ScenarioSpec, JsonError> {
-        let domain = decode(value, "domain")?;
-        let mut knobs = Vec::new();
-        match value.get("knobs") {
-            None | Some(Value::Null) => {}
-            Some(Value::Object(members)) => {
-                for (id, member) in members {
-                    let knob = Knob::parse_id(id).ok_or_else(|| {
-                        JsonError::schema(format!("knobs.{id}"), "unknown knob")
-                    })?;
-                    let value = member.as_f64().ok_or_else(|| {
-                        JsonError::schema(format!("knobs.{id}"), "expected a number")
-                    })?;
-                    knobs.push((knob, value));
-                }
-            }
-            Some(_) => {
-                return Err(JsonError::schema("knobs", "expected an object of knob values"));
-            }
-        }
-        Ok(ScenarioSpec { domain, knobs })
+        Ok(ScenarioSpec {
+            domain: decode(value, "domain")?,
+            knobs: decode_knob_overrides(value)?,
+        })
     }
 }
 
@@ -672,14 +662,18 @@ impl FromJson for CrossoverResponse {
     fn from_json(value: &Value) -> Result<CrossoverResponse, JsonError> {
         let opt = |key: &'static str| match value.get(key) {
             None | Some(Value::Null) => Ok(None),
-            Some(member) => Crossover::from_json(member).map(Some).map_err(|e| prefix_schema(key, e)),
+            Some(member) => Crossover::from_json(member)
+                .map(Some)
+                .map_err(|e| prefix_schema(key, e)),
         };
         Ok(CrossoverResponse {
             domain: decode(value, "domain")?,
             base: decode(value, "point")?,
             applications: match value.get("applications") {
                 None | Some(Value::Null) => None,
-                Some(member) => Some(u64::from_json(member).map_err(|e| prefix_schema("applications", e))?),
+                Some(member) => {
+                    Some(u64::from_json(member).map_err(|e| prefix_schema("applications", e))?)
+                }
             },
             lifetime: opt("lifetime")?,
             volume: opt("volume")?,
@@ -706,44 +700,29 @@ pub struct FrontierRequest {
     pub steps: usize,
 }
 
-impl FrontierRequest {
-    /// The lattice coordinates this request describes (linear spacing,
-    /// endpoints included) — shared by the server handler and clients that
-    /// want to reproduce the lattice locally.
-    pub fn lattice(&self) -> (Vec<f64>, Vec<f64>) {
-        let axis_values = |(from, to): (f64, f64)| -> Vec<f64> {
-            (0..self.steps)
-                .map(|i| from + (to - from) * i as f64 / (self.steps as f64 - 1.0))
-                .collect()
-        };
-        (axis_values(self.x_range), axis_values(self.y_range))
-    }
+/// Linearly spaced axis values (endpoints included) — the lattice geometry
+/// shared by [`FrontierRequest`], [`GridRequest`] and the CLI.
+fn linear_axis_values((from, to): (f64, f64), steps: usize) -> Vec<f64> {
+    (0..steps)
+        .map(|i| from + (to - from) * i as f64 / (steps as f64 - 1.0))
+        .collect()
 }
 
-impl ToJson for FrontierRequest {
-    fn to_json(&self) -> Value {
-        merge_scenario(
-            &self.scenario,
-            [
-                ("point", self.base.to_json()),
-                ("x_axis", self.x_axis.to_json()),
-                ("x_from", Value::Number(self.x_range.0)),
-                ("x_to", Value::Number(self.x_range.1)),
-                ("y_axis", self.y_axis.to_json()),
-                ("y_from", Value::Number(self.y_range.0)),
-                ("y_to", Value::Number(self.y_range.1)),
-                ("steps", Value::Number(self.steps as f64)),
-            ],
-        )
-    }
+/// The 2-D lattice geometry shared by [`FrontierRequest`] and
+/// [`GridRequest`]: axes, ranges and resolution, with their common
+/// defaults, decoding and validation.
+struct LatticeGeometry {
+    x_axis: SweepAxis,
+    x_range: (f64, f64),
+    y_axis: SweepAxis,
+    y_range: (f64, f64),
+    steps: usize,
 }
 
-impl FromJson for FrontierRequest {
-    fn from_json(value: &Value) -> Result<FrontierRequest, JsonError> {
+impl LatticeGeometry {
+    fn decode(value: &Value) -> Result<LatticeGeometry, JsonError> {
         let steps_u64: u64 = decode_or(value, "steps", 24)?;
-        let request = FrontierRequest {
-            scenario: ScenarioSpec::from_json(value)?,
-            base: decode_or(value, "point", OperatingPoint::paper_default())?,
+        let geometry = LatticeGeometry {
             x_axis: decode_or(value, "x_axis", SweepAxis::Applications)?,
             x_range: (
                 decode_or(value, "x_from", 1.0)?,
@@ -756,21 +735,143 @@ impl FromJson for FrontierRequest {
             ),
             steps: steps_u64 as usize,
         };
-        if request.steps < 2 || request.steps > 1024 {
+        if geometry.steps < 2 || geometry.steps > 1024 {
             return Err(JsonError::schema("steps", "expected 2 ≤ steps ≤ 1024"));
         }
-        if request.x_axis == request.y_axis {
+        if geometry.x_axis == geometry.y_axis {
             return Err(JsonError::schema("y_axis", "x_axis and y_axis must differ"));
         }
         let range_invalid =
             |(from, to): (f64, f64)| !(from.is_finite() && to.is_finite()) || to <= from;
-        if range_invalid(request.x_range) || range_invalid(request.y_range) {
+        if range_invalid(geometry.x_range) || range_invalid(geometry.y_range) {
             return Err(JsonError::schema(
                 "x_from",
                 "ranges must be finite with to > from",
             ));
         }
-        Ok(request)
+        Ok(geometry)
+    }
+
+    fn encode_members(&self) -> [(&'static str, Value); 7] {
+        [
+            ("x_axis", self.x_axis.to_json()),
+            ("x_from", Value::Number(self.x_range.0)),
+            ("x_to", Value::Number(self.x_range.1)),
+            ("y_axis", self.y_axis.to_json()),
+            ("y_from", Value::Number(self.y_range.0)),
+            ("y_to", Value::Number(self.y_range.1)),
+            ("steps", Value::Number(self.steps as f64)),
+        ]
+    }
+
+    /// The full lattice-request JSON shared by [`FrontierRequest`] and
+    /// [`GridRequest`]: flat scenario members, the base point, then the
+    /// geometry.
+    fn encode_request(&self, scenario: &ScenarioSpec, base: OperatingPoint) -> Value {
+        let mut members = vec![("point", base.to_json())];
+        members.extend(self.encode_members());
+        merge_scenario_vec(scenario, members)
+    }
+}
+
+impl FrontierRequest {
+    /// The lattice coordinates this request describes (linear spacing,
+    /// endpoints included) — shared by the server handler and clients that
+    /// want to reproduce the lattice locally.
+    pub fn lattice(&self) -> (Vec<f64>, Vec<f64>) {
+        (
+            linear_axis_values(self.x_range, self.steps),
+            linear_axis_values(self.y_range, self.steps),
+        )
+    }
+}
+
+impl ToJson for FrontierRequest {
+    fn to_json(&self) -> Value {
+        LatticeGeometry {
+            x_axis: self.x_axis,
+            x_range: self.x_range,
+            y_axis: self.y_axis,
+            y_range: self.y_range,
+            steps: self.steps,
+        }
+        .encode_request(&self.scenario, self.base)
+    }
+}
+
+impl FromJson for FrontierRequest {
+    fn from_json(value: &Value) -> Result<FrontierRequest, JsonError> {
+        let geometry = LatticeGeometry::decode(value)?;
+        Ok(FrontierRequest {
+            scenario: ScenarioSpec::from_json(value)?,
+            base: decode_or(value, "point", OperatingPoint::paper_default())?,
+            x_axis: geometry.x_axis,
+            x_range: geometry.x_range,
+            y_axis: geometry.y_axis,
+            y_range: geometry.y_range,
+            steps: geometry.steps,
+        })
+    }
+}
+
+/// `POST /v1/grid`: a dense FPGA:ASIC ratio heatmap over a 2-D lattice
+/// (the paper's Fig. 8), every cell evaluated through the SoA batch
+/// kernel. Same geometry and defaults as [`FrontierRequest`]; use the
+/// frontier when only the winner of each cell matters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridRequest {
+    /// The scenario to evaluate in.
+    pub scenario: ScenarioSpec,
+    /// The base operating point supplying the held parameter.
+    pub base: OperatingPoint,
+    /// Axis swept along the columns.
+    pub x_axis: SweepAxis,
+    /// Column range (inclusive on both ends).
+    pub x_range: (f64, f64),
+    /// Axis swept along the rows.
+    pub y_axis: SweepAxis,
+    /// Row range (inclusive on both ends).
+    pub y_range: (f64, f64),
+    /// Lattice resolution per axis.
+    pub steps: usize,
+}
+
+impl GridRequest {
+    /// The lattice coordinates this request describes — identical
+    /// semantics to [`FrontierRequest::lattice`].
+    pub fn lattice(&self) -> (Vec<f64>, Vec<f64>) {
+        (
+            linear_axis_values(self.x_range, self.steps),
+            linear_axis_values(self.y_range, self.steps),
+        )
+    }
+}
+
+impl ToJson for GridRequest {
+    fn to_json(&self) -> Value {
+        LatticeGeometry {
+            x_axis: self.x_axis,
+            x_range: self.x_range,
+            y_axis: self.y_axis,
+            y_range: self.y_range,
+            steps: self.steps,
+        }
+        .encode_request(&self.scenario, self.base)
+    }
+}
+
+impl FromJson for GridRequest {
+    fn from_json(value: &Value) -> Result<GridRequest, JsonError> {
+        let geometry = LatticeGeometry::decode(value)?;
+        Ok(GridRequest {
+            scenario: ScenarioSpec::from_json(value)?,
+            base: decode_or(value, "point", OperatingPoint::paper_default())?,
+            x_axis: geometry.x_axis,
+            x_range: geometry.x_range,
+            y_axis: geometry.y_axis,
+            y_range: geometry.y_range,
+            steps: geometry.steps,
+        })
     }
 }
 
@@ -821,6 +922,10 @@ pub struct RouteMetrics {
     pub requests: u64,
     /// Requests answered with a non-2xx status.
     pub errors: u64,
+    /// Request-body bytes received on this route.
+    pub bytes_in: u64,
+    /// Response-body bytes sent on this route.
+    pub bytes_out: u64,
     /// Handler latency distribution.
     pub latency: LatencyHistogram,
 }
@@ -831,6 +936,8 @@ impl ToJson for RouteMetrics {
             ("route", Value::String(self.route.clone())),
             ("requests", self.requests.to_json()),
             ("errors", self.errors.to_json()),
+            ("bytes_in", self.bytes_in.to_json()),
+            ("bytes_out", self.bytes_out.to_json()),
             ("latency", self.latency.to_json()),
         ])
     }
@@ -842,6 +949,8 @@ impl FromJson for RouteMetrics {
             route: decode(value, "route")?,
             requests: decode(value, "requests")?,
             errors: decode(value, "errors")?,
+            bytes_in: decode_or(value, "bytes_in", 0)?,
+            bytes_out: decode_or(value, "bytes_out", 0)?,
             latency: decode(value, "latency")?,
         })
     }
@@ -903,10 +1012,7 @@ impl ToJson for MetricsResponse {
             ("requests_served", self.requests_served.to_json()),
             ("connections_live", self.connections_live.to_json()),
             ("connections_max", self.connections_max.to_json()),
-            (
-                "connections_rejected",
-                self.connections_rejected.to_json(),
-            ),
+            ("connections_rejected", self.connections_rejected.to_json()),
             ("routes", self.routes.to_json()),
             ("cache_shards", self.cache_shards.to_json()),
         ])
@@ -932,6 +1038,11 @@ fn merge_scenario<const N: usize>(
     scenario: &ScenarioSpec,
     members: [(&'static str, Value); N],
 ) -> Value {
+    merge_scenario_vec(scenario, members.into_iter().collect())
+}
+
+/// [`merge_scenario`] for a dynamic member list.
+fn merge_scenario_vec(scenario: &ScenarioSpec, members: Vec<(&'static str, Value)>) -> Value {
     let mut all = match scenario.to_json() {
         Value::Object(members) => members,
         _ => unreachable!("scenario serializes to an object"),
@@ -940,6 +1051,1025 @@ fn merge_scenario<const N: usize>(
         all.push((key.to_string(), value));
     }
     Value::Object(all)
+}
+
+/// Decodes an optional `"knobs"` object into `(Knob, value)` overrides —
+/// shared by [`ScenarioSpec`] and [`IndustryRequest`].
+fn decode_knob_overrides(value: &Value) -> Result<Vec<(Knob, f64)>, JsonError> {
+    let mut knobs = Vec::new();
+    match value.get("knobs") {
+        None | Some(Value::Null) => {}
+        Some(Value::Object(members)) => {
+            for (id, member) in members {
+                let knob = Knob::parse_id(id)
+                    .ok_or_else(|| JsonError::schema(format!("knobs.{id}"), "unknown knob"))?;
+                let value = member
+                    .as_f64()
+                    .ok_or_else(|| JsonError::schema(format!("knobs.{id}"), "expected a number"))?;
+                knobs.push((knob, value));
+            }
+        }
+        Some(_) => {
+            return Err(JsonError::schema(
+                "knobs",
+                "expected an object of knob values",
+            ));
+        }
+    }
+    Ok(knobs)
+}
+
+/// Encodes knob overrides as the `"knobs"` JSON object.
+fn encode_knob_overrides(knobs: &[(Knob, f64)]) -> Value {
+    Value::Object(
+        knobs
+            .iter()
+            .map(|&(knob, value)| (knob.id().to_string(), Value::Number(value)))
+            .collect(),
+    )
+}
+
+impl FromJson for SweepPoint {
+    /// Decodes one sweep sample; the derived `ratio` member is ignored (it
+    /// is recomputed from the decoded breakdowns).
+    fn from_json(value: &Value) -> Result<SweepPoint, JsonError> {
+        Ok(SweepPoint {
+            x: decode(value, "x")?,
+            fpga: decode(value, "fpga")?,
+            asic: decode(value, "asic")?,
+        })
+    }
+}
+
+impl FromJson for SweepSeries {
+    /// Decodes a series; the derived `crossovers` member is ignored (it is
+    /// recomputed from the decoded points, bit-identically).
+    fn from_json(value: &Value) -> Result<SweepSeries, JsonError> {
+        Ok(SweepSeries {
+            domain: decode(value, "domain")?,
+            axis: decode(value, "axis")?,
+            points: decode(value, "points")?,
+        })
+    }
+}
+
+impl ToJson for GridSweep {
+    fn to_json(&self) -> Value {
+        object([
+            ("domain", self.domain.to_json()),
+            ("x_axis", self.x_axis.to_json()),
+            ("x_values", self.x_values.to_json()),
+            ("y_axis", self.y_axis.to_json()),
+            ("y_values", self.y_values.to_json()),
+            ("ratios", self.ratios.to_json()),
+            (
+                "fpga_winning_fraction",
+                Value::Number(self.fpga_winning_fraction()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for GridSweep {
+    /// Decodes a ratio grid; the derived `fpga_winning_fraction` member is
+    /// ignored. The ratio matrix must match the coordinate lists.
+    fn from_json(value: &Value) -> Result<GridSweep, JsonError> {
+        let grid = GridSweep {
+            domain: decode(value, "domain")?,
+            x_axis: decode(value, "x_axis")?,
+            x_values: decode(value, "x_values")?,
+            y_axis: decode(value, "y_axis")?,
+            y_values: decode(value, "y_values")?,
+            ratios: decode(value, "ratios")?,
+        };
+        if grid.ratios.len() != grid.y_values.len()
+            || grid
+                .ratios
+                .iter()
+                .any(|row| row.len() != grid.x_values.len())
+        {
+            return Err(JsonError::schema(
+                "ratios",
+                "expected one row per y value and one column per x value",
+            ));
+        }
+        Ok(grid)
+    }
+}
+
+impl FromJson for SensitivityEntry {
+    /// Decodes one tornado bar; the derived `swing` and `flips_winner`
+    /// members are ignored.
+    fn from_json(value: &Value) -> Result<SensitivityEntry, JsonError> {
+        let id: String = decode(value, "knob")?;
+        let knob = Knob::parse_id(&id)
+            .ok_or_else(|| JsonError::schema("knob", format!("unknown knob '{id}'")))?;
+        Ok(SensitivityEntry {
+            knob,
+            ratio_at_low: decode(value, "ratio_at_low")?,
+            ratio_at_high: decode(value, "ratio_at_high")?,
+            ratio_at_baseline: decode(value, "ratio_at_baseline")?,
+        })
+    }
+}
+
+impl FromJson for TornadoAnalysis {
+    fn from_json(value: &Value) -> Result<TornadoAnalysis, JsonError> {
+        Ok(TornadoAnalysis {
+            domain: decode(value, "domain")?,
+            point: decode(value, "point")?,
+            entries: decode(value, "entries")?,
+        })
+    }
+}
+
+/// `POST /v1/compare`: one operating point evaluated side by side in
+/// several scenarios (e.g. all three domains at their baselines).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareRequest {
+    /// The scenarios to evaluate, in response order (1–16).
+    pub scenarios: Vec<ScenarioSpec>,
+    /// The operating point shared by every scenario.
+    pub point: OperatingPoint,
+}
+
+impl CompareRequest {
+    /// The most scenarios one request may carry.
+    pub const MAX_SCENARIOS: usize = 16;
+}
+
+impl ToJson for CompareRequest {
+    fn to_json(&self) -> Value {
+        object([
+            (
+                "scenarios",
+                Value::Array(self.scenarios.iter().map(ToJson::to_json).collect()),
+            ),
+            ("point", self.point.to_json()),
+        ])
+    }
+}
+
+impl FromJson for CompareRequest {
+    fn from_json(value: &Value) -> Result<CompareRequest, JsonError> {
+        let scenarios: Vec<ScenarioSpec> = decode(value, "scenarios")?;
+        if scenarios.is_empty() || scenarios.len() > CompareRequest::MAX_SCENARIOS {
+            return Err(JsonError::schema(
+                "scenarios",
+                format!("expected 1 to {} scenarios", CompareRequest::MAX_SCENARIOS),
+            ));
+        }
+        Ok(CompareRequest {
+            scenarios,
+            point: decode_or(value, "point", OperatingPoint::paper_default())?,
+        })
+    }
+}
+
+/// `POST /v1/compare` response: one comparison per requested scenario, in
+/// request order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareResponse {
+    /// The comparisons, in request order.
+    pub comparisons: Vec<PlatformComparison>,
+}
+
+impl ToJson for CompareResponse {
+    fn to_json(&self) -> Value {
+        object([
+            ("count", Value::Number(self.comparisons.len() as f64)),
+            (
+                "results",
+                Value::Array(self.comparisons.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for CompareResponse {
+    fn from_json(value: &Value) -> Result<CompareResponse, JsonError> {
+        Ok(CompareResponse {
+            comparisons: decode(value, "results")?,
+        })
+    }
+}
+
+/// `POST /v1/sweep`: one workload axis swept over a linear range, the
+/// other two held at `base` (the paper's Figs. 4–6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRequest {
+    /// The scenario to sweep in.
+    pub scenario: ScenarioSpec,
+    /// The operating point supplying the two held parameters.
+    pub base: OperatingPoint,
+    /// The swept axis.
+    pub axis: SweepAxis,
+    /// Sweep range (inclusive on both ends; `to > from`).
+    pub range: (f64, f64),
+    /// Number of samples (2–100 000).
+    pub steps: usize,
+}
+
+impl SweepRequest {
+    /// The most samples one request may ask for.
+    pub const MAX_STEPS: usize = 100_000;
+
+    /// The sampled axis values (linear spacing, endpoints included).
+    pub fn values(&self) -> Vec<f64> {
+        linear_axis_values(self.range, self.steps)
+    }
+}
+
+impl ToJson for SweepRequest {
+    fn to_json(&self) -> Value {
+        merge_scenario(
+            &self.scenario,
+            [
+                ("point", self.base.to_json()),
+                ("axis", self.axis.to_json()),
+                ("from", Value::Number(self.range.0)),
+                ("to", Value::Number(self.range.1)),
+                ("steps", Value::Number(self.steps as f64)),
+            ],
+        )
+    }
+}
+
+impl FromJson for SweepRequest {
+    fn from_json(value: &Value) -> Result<SweepRequest, JsonError> {
+        let steps_u64: u64 = decode_or(value, "steps", 10)?;
+        let request = SweepRequest {
+            scenario: ScenarioSpec::from_json(value)?,
+            base: decode_or(value, "point", OperatingPoint::paper_default())?,
+            axis: decode(value, "axis")?,
+            range: (decode(value, "from")?, decode(value, "to")?),
+            steps: steps_u64 as usize,
+        };
+        if request.steps < 2 || request.steps > SweepRequest::MAX_STEPS {
+            return Err(JsonError::schema(
+                "steps",
+                format!("expected 2 ≤ steps ≤ {}", SweepRequest::MAX_STEPS),
+            ));
+        }
+        let (from, to) = request.range;
+        if !(from.is_finite() && to.is_finite()) || to <= from {
+            return Err(JsonError::schema(
+                "from",
+                "sweep range must be finite with to > from",
+            ));
+        }
+        Ok(request)
+    }
+}
+
+/// `POST /v1/tornado`: one-at-a-time sensitivity analysis over every
+/// Table 1 knob around the scenario's parameters (the paper's Fig. 12).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TornadoRequest {
+    /// The scenario whose parameters anchor the analysis.
+    pub scenario: ScenarioSpec,
+    /// The operating point the ratio is probed at.
+    pub point: OperatingPoint,
+}
+
+impl ToJson for TornadoRequest {
+    fn to_json(&self) -> Value {
+        merge_scenario(&self.scenario, [("point", self.point.to_json())])
+    }
+}
+
+impl FromJson for TornadoRequest {
+    fn from_json(value: &Value) -> Result<TornadoRequest, JsonError> {
+        Ok(TornadoRequest {
+            scenario: ScenarioSpec::from_json(value)?,
+            point: decode_or(value, "point", OperatingPoint::paper_default())?,
+        })
+    }
+}
+
+/// `POST /v1/montecarlo`: Monte-Carlo uncertainty analysis over the
+/// Table 1 knob ranges (the paper's Fig. 13). Deterministic for a given
+/// `(samples, seed)` regardless of thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonteCarloRequest {
+    /// The scenario whose parameters anchor the study.
+    pub scenario: ScenarioSpec,
+    /// The (fixed) workload operating point.
+    pub point: OperatingPoint,
+    /// Number of parameter samples to draw (1–1 048 576).
+    pub samples: usize,
+    /// RNG seed. Must stay below 2⁵³ so it survives the JSON number
+    /// round-trip exactly.
+    pub seed: u64,
+}
+
+impl MonteCarloRequest {
+    /// Default sample count (matches the CLI default).
+    pub const DEFAULT_SAMPLES: usize = 512;
+    /// Default wire seed. Smaller than [`crate::MonteCarlo::new`]'s default
+    /// because JSON numbers only represent integers below 2⁵³ exactly.
+    pub const DEFAULT_SEED: u64 = 0x9E37_79B9;
+    /// The most samples one request may ask for.
+    pub const MAX_SAMPLES: usize = 1 << 20;
+    /// Exclusive upper bound on seeds (2⁵³): every integer below it has
+    /// an exact JSON representation, while 2⁵³ itself is ambiguous (it is
+    /// also what 2⁵³+1 rounds to). The engine and the CLI both reject
+    /// seeds at or above this bound so local and served runs cannot
+    /// silently diverge.
+    pub const MAX_SEED: u64 = 1 << 53;
+
+    /// A request with the default sample count and seed.
+    pub fn with_defaults(scenario: ScenarioSpec, point: OperatingPoint) -> Self {
+        MonteCarloRequest {
+            scenario,
+            point,
+            samples: MonteCarloRequest::DEFAULT_SAMPLES,
+            seed: MonteCarloRequest::DEFAULT_SEED,
+        }
+    }
+}
+
+impl ToJson for MonteCarloRequest {
+    fn to_json(&self) -> Value {
+        merge_scenario(
+            &self.scenario,
+            [
+                ("point", self.point.to_json()),
+                ("samples", Value::Number(self.samples as f64)),
+                ("seed", Value::Number(self.seed as f64)),
+            ],
+        )
+    }
+}
+
+impl FromJson for MonteCarloRequest {
+    fn from_json(value: &Value) -> Result<MonteCarloRequest, JsonError> {
+        let samples: u64 = decode_or(value, "samples", MonteCarloRequest::DEFAULT_SAMPLES as u64)?;
+        if samples == 0 || samples > MonteCarloRequest::MAX_SAMPLES as u64 {
+            return Err(JsonError::schema(
+                "samples",
+                format!("expected 1 ≤ samples ≤ {}", MonteCarloRequest::MAX_SAMPLES),
+            ));
+        }
+        Ok(MonteCarloRequest {
+            scenario: ScenarioSpec::from_json(value)?,
+            point: decode_or(value, "point", OperatingPoint::paper_default())?,
+            samples: samples as usize,
+            seed: decode_or(value, "seed", MonteCarloRequest::DEFAULT_SEED)?,
+        })
+    }
+}
+
+/// `POST /v1/montecarlo` response: the summary statistics of the sampled
+/// FPGA:ASIC ratio distribution (the full sample vector stays server-side).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonteCarloResponse {
+    /// Domain the study was run in.
+    pub domain: Domain,
+    /// The (fixed) workload operating point.
+    pub point: OperatingPoint,
+    /// Number of samples drawn.
+    pub samples: u64,
+    /// 5th percentile of the ratio distribution.
+    pub ratio_p5: f64,
+    /// Median ratio.
+    pub ratio_median: f64,
+    /// 95th percentile of the ratio distribution.
+    pub ratio_p95: f64,
+    /// Mean ratio.
+    pub ratio_mean: f64,
+    /// Fraction of samples where the FPGA had the lower footprint.
+    pub fpga_win_probability: f64,
+    /// The platform winning the majority of samples.
+    pub majority_winner: PlatformKind,
+}
+
+impl From<&UncertaintyReport> for MonteCarloResponse {
+    fn from(report: &UncertaintyReport) -> MonteCarloResponse {
+        MonteCarloResponse {
+            domain: report.domain,
+            point: report.point,
+            samples: report.ratios.len() as u64,
+            ratio_p5: report.quantile(0.05),
+            ratio_median: report.median(),
+            ratio_p95: report.quantile(0.95),
+            ratio_mean: report.mean(),
+            fpga_win_probability: report.fpga_win_probability(),
+            majority_winner: report.majority_winner(),
+        }
+    }
+}
+
+impl ToJson for MonteCarloResponse {
+    fn to_json(&self) -> Value {
+        object([
+            ("domain", self.domain.to_json()),
+            ("point", self.point.to_json()),
+            ("samples", Value::Number(self.samples as f64)),
+            ("ratio_p5", Value::Number(self.ratio_p5)),
+            ("ratio_median", Value::Number(self.ratio_median)),
+            ("ratio_p95", Value::Number(self.ratio_p95)),
+            ("ratio_mean", Value::Number(self.ratio_mean)),
+            (
+                "fpga_win_probability",
+                Value::Number(self.fpga_win_probability),
+            ),
+            ("majority_winner", self.majority_winner.to_json()),
+        ])
+    }
+}
+
+impl FromJson for MonteCarloResponse {
+    fn from_json(value: &Value) -> Result<MonteCarloResponse, JsonError> {
+        Ok(MonteCarloResponse {
+            domain: decode(value, "domain")?,
+            point: decode(value, "point")?,
+            samples: decode(value, "samples")?,
+            ratio_p5: decode(value, "ratio_p5")?,
+            ratio_median: decode(value, "ratio_median")?,
+            ratio_p95: decode(value, "ratio_p95")?,
+            ratio_mean: decode(value, "ratio_mean")?,
+            fpga_win_probability: decode(value, "fpga_win_probability")?,
+            majority_winner: decode(value, "majority_winner")?,
+        })
+    }
+}
+
+/// `POST /v1/industry`: the Table 3 industry testcases (Figs. 10–11) under
+/// a configurable deployment scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndustryRequest {
+    /// Table 1 knob overrides applied on top of the paper defaults.
+    pub knobs: Vec<(Knob, f64)>,
+    /// Total service life in years.
+    pub service_years: f64,
+    /// Applications an FPGA serves over the service life.
+    pub fpga_applications: u64,
+    /// Deployment volume in devices.
+    pub volume: u64,
+}
+
+impl Default for IndustryRequest {
+    /// The paper's setup: 6 years, 3 FPGA applications, 1 M units, no
+    /// overrides.
+    fn default() -> Self {
+        IndustryRequest {
+            knobs: Vec::new(),
+            service_years: 6.0,
+            fpga_applications: 3,
+            volume: 1_000_000,
+        }
+    }
+}
+
+impl ToJson for IndustryRequest {
+    fn to_json(&self) -> Value {
+        object([
+            ("knobs", encode_knob_overrides(&self.knobs)),
+            ("service_years", Value::Number(self.service_years)),
+            (
+                "fpga_applications",
+                Value::Number(self.fpga_applications as f64),
+            ),
+            ("volume", Value::Number(self.volume as f64)),
+        ])
+    }
+}
+
+impl FromJson for IndustryRequest {
+    fn from_json(value: &Value) -> Result<IndustryRequest, JsonError> {
+        if value.as_object().is_none() {
+            return Err(JsonError::schema("industry", "expected a request object"));
+        }
+        let defaults = IndustryRequest::default();
+        let request = IndustryRequest {
+            knobs: decode_knob_overrides(value)?,
+            service_years: decode_or(value, "service_years", defaults.service_years)?,
+            fpga_applications: decode_or(value, "fpga_applications", defaults.fpga_applications)?,
+            volume: decode_or(value, "volume", defaults.volume)?,
+        };
+        if !request.service_years.is_finite() || request.service_years <= 0.0 {
+            return Err(JsonError::schema(
+                "service_years",
+                "expected a positive number of years",
+            ));
+        }
+        if request.fpga_applications == 0 {
+            return Err(JsonError::schema(
+                "fpga_applications",
+                "expected at least one application",
+            ));
+        }
+        if request.volume == 0 {
+            return Err(JsonError::schema("volume", "expected at least one device"));
+        }
+        Ok(request)
+    }
+}
+
+/// One device's footprint in a [`IndustryResponse`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndustryDeviceReport {
+    /// Device name (Table 3).
+    pub device: String,
+    /// Which platform the device is.
+    pub platform: PlatformKind,
+    /// Its lifecycle footprint under the requested scenario.
+    pub cfp: CfpBreakdown,
+}
+
+impl ToJson for IndustryDeviceReport {
+    fn to_json(&self) -> Value {
+        object([
+            ("device", Value::String(self.device.clone())),
+            ("platform", self.platform.to_json()),
+            ("cfp", self.cfp.to_json()),
+        ])
+    }
+}
+
+impl FromJson for IndustryDeviceReport {
+    fn from_json(value: &Value) -> Result<IndustryDeviceReport, JsonError> {
+        Ok(IndustryDeviceReport {
+            device: decode(value, "device")?,
+            platform: decode(value, "platform")?,
+            cfp: decode(value, "cfp")?,
+        })
+    }
+}
+
+/// `POST /v1/industry` response: every Table 3 device's footprint, FPGAs
+/// first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndustryResponse {
+    /// Per-device footprints.
+    pub devices: Vec<IndustryDeviceReport>,
+}
+
+impl ToJson for IndustryResponse {
+    fn to_json(&self) -> Value {
+        object([(
+            "devices",
+            Value::Array(self.devices.iter().map(ToJson::to_json).collect()),
+        )])
+    }
+}
+
+impl FromJson for IndustryResponse {
+    fn from_json(value: &Value) -> Result<IndustryResponse, JsonError> {
+        Ok(IndustryResponse {
+            devices: decode(value, "devices")?,
+        })
+    }
+}
+
+/// `POST /v1/frontier` response: the wire form of a
+/// [`crate::FrontierResult`] — the dense winner mask plus the refiner's
+/// evaluation accounting (the per-cell ratios of evaluated cells stay
+/// engine-side).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierResponse {
+    /// Domain the frontier was traced in.
+    pub domain: Domain,
+    /// Axis swept along the columns.
+    pub x_axis: SweepAxis,
+    /// Column coordinate values.
+    pub x_values: Vec<f64>,
+    /// Axis swept along the rows.
+    pub y_axis: SweepAxis,
+    /// Row coordinate values.
+    pub y_values: Vec<f64>,
+    /// `fpga_wins[row][col]` is `true` where the FPGA has the lower total.
+    pub fpga_wins: Vec<Vec<bool>>,
+    /// Fraction of cells the FPGA wins.
+    pub fpga_winning_fraction: f64,
+    /// Model evaluations the refiner performed.
+    pub evaluations: u64,
+    /// `evaluations` over the dense cell count.
+    pub evaluated_fraction: f64,
+}
+
+impl From<&FrontierResult> for FrontierResponse {
+    fn from(result: &FrontierResult) -> FrontierResponse {
+        FrontierResponse {
+            domain: result.domain,
+            x_axis: result.x_axis,
+            x_values: result.x_values.clone(),
+            y_axis: result.y_axis,
+            y_values: result.y_values.clone(),
+            fpga_wins: result.winner_mask(),
+            fpga_winning_fraction: result.fpga_winning_fraction(),
+            evaluations: result.evaluations() as u64,
+            evaluated_fraction: result.evaluated_fraction(),
+        }
+    }
+}
+
+impl ToJson for FrontierResponse {
+    fn to_json(&self) -> Value {
+        let winners = Value::Array(
+            self.fpga_wins
+                .iter()
+                .map(|row| Value::Array(row.iter().map(|&b| Value::Bool(b)).collect()))
+                .collect(),
+        );
+        object([
+            ("domain", self.domain.to_json()),
+            ("x_axis", self.x_axis.to_json()),
+            ("x_values", self.x_values.to_json()),
+            ("y_axis", self.y_axis.to_json()),
+            ("y_values", self.y_values.to_json()),
+            ("fpga_wins", winners),
+            (
+                "fpga_winning_fraction",
+                Value::Number(self.fpga_winning_fraction),
+            ),
+            ("evaluations", Value::Number(self.evaluations as f64)),
+            ("evaluated_fraction", Value::Number(self.evaluated_fraction)),
+        ])
+    }
+}
+
+impl FromJson for FrontierResponse {
+    fn from_json(value: &Value) -> Result<FrontierResponse, JsonError> {
+        let response = FrontierResponse {
+            domain: decode(value, "domain")?,
+            x_axis: decode(value, "x_axis")?,
+            x_values: decode(value, "x_values")?,
+            y_axis: decode(value, "y_axis")?,
+            y_values: decode(value, "y_values")?,
+            fpga_wins: decode(value, "fpga_wins")?,
+            fpga_winning_fraction: decode(value, "fpga_winning_fraction")?,
+            evaluations: decode(value, "evaluations")?,
+            evaluated_fraction: decode(value, "evaluated_fraction")?,
+        };
+        if response.fpga_wins.len() != response.y_values.len()
+            || response
+                .fpga_wins
+                .iter()
+                .any(|row| row.len() != response.x_values.len())
+        {
+            return Err(JsonError::schema(
+                "fpga_wins",
+                "expected one row per y value and one column per x value",
+            ));
+        }
+        Ok(response)
+    }
+}
+
+impl ToJson for ApiError {
+    fn to_json(&self) -> Value {
+        object([(
+            "error",
+            object([
+                ("code", Value::String(self.code.id().to_string())),
+                ("message", Value::String(self.message.clone())),
+                ("retryable", Value::Bool(self.retryable)),
+            ]),
+        )])
+    }
+}
+
+impl FromJson for ApiError {
+    fn from_json(value: &Value) -> Result<ApiError, JsonError> {
+        let error = field(value, "error")?;
+        let id: String = decode(error, "code")?;
+        let code = ApiErrorCode::parse_id(&id)
+            .ok_or_else(|| JsonError::schema("error.code", format!("unknown code '{id}'")))?;
+        let message: String = decode(error, "message")?;
+        let retryable = decode_or(error, "retryable", code.default_retryable())?;
+        Ok(ApiError {
+            code,
+            message,
+            retryable,
+        })
+    }
+}
+
+/// The kind discriminator of [`Query`]/[`Outcome`] — one entry per
+/// workload the engine serves. The kind's [`QueryKind::id`] doubles as the
+/// envelope's `"kind"` member, and [`QueryKind::path`] as the HTTP route
+/// (`POST /v1/<id>`), so the route table, the envelope dispatch and the
+/// metrics labels all derive from this one enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// One operating point in one scenario.
+    Evaluate,
+    /// Many operating points in one scenario (SoA batch kernel).
+    Batch,
+    /// One point evaluated side by side in several scenarios.
+    Compare,
+    /// The three crossover searches (closed-form solver).
+    Crossover,
+    /// Adaptive winner map over a 2-D lattice (quadtree refiner).
+    Frontier,
+    /// One axis swept over a linear range.
+    Sweep,
+    /// Dense ratio heatmap over a 2-D lattice.
+    Grid,
+    /// One-at-a-time sensitivity analysis over the Table 1 knobs.
+    Tornado,
+    /// Monte-Carlo uncertainty analysis over the Table 1 ranges.
+    MonteCarlo,
+    /// The Table 3 industry testcases.
+    Industry,
+}
+
+impl QueryKind {
+    /// Every kind, in documentation and route-table order.
+    pub const ALL: [QueryKind; 10] = [
+        QueryKind::Evaluate,
+        QueryKind::Batch,
+        QueryKind::Compare,
+        QueryKind::Crossover,
+        QueryKind::Frontier,
+        QueryKind::Sweep,
+        QueryKind::Grid,
+        QueryKind::Tornado,
+        QueryKind::MonteCarlo,
+        QueryKind::Industry,
+    ];
+
+    /// The stable identifier used by the envelope's `"kind"` member.
+    pub fn id(self) -> &'static str {
+        match self {
+            QueryKind::Evaluate => "evaluate",
+            QueryKind::Batch => "batch",
+            QueryKind::Compare => "compare",
+            QueryKind::Crossover => "crossover",
+            QueryKind::Frontier => "frontier",
+            QueryKind::Sweep => "sweep",
+            QueryKind::Grid => "grid",
+            QueryKind::Tornado => "tornado",
+            QueryKind::MonteCarlo => "montecarlo",
+            QueryKind::Industry => "industry",
+        }
+    }
+
+    /// The HTTP route serving this kind (`POST` only).
+    pub fn path(self) -> &'static str {
+        match self {
+            QueryKind::Evaluate => "/v1/evaluate",
+            QueryKind::Batch => "/v1/batch",
+            QueryKind::Compare => "/v1/compare",
+            QueryKind::Crossover => "/v1/crossover",
+            QueryKind::Frontier => "/v1/frontier",
+            QueryKind::Sweep => "/v1/sweep",
+            QueryKind::Grid => "/v1/grid",
+            QueryKind::Tornado => "/v1/tornado",
+            QueryKind::MonteCarlo => "/v1/montecarlo",
+            QueryKind::Industry => "/v1/industry",
+        }
+    }
+
+    /// Parses an envelope identifier back to its kind.
+    pub fn parse_id(id: &str) -> Option<QueryKind> {
+        QueryKind::ALL.into_iter().find(|kind| kind.id() == id)
+    }
+
+    /// The kind served at an HTTP path, if any.
+    pub fn from_path(path: &str) -> Option<QueryKind> {
+        QueryKind::ALL.into_iter().find(|kind| kind.path() == path)
+    }
+
+    /// Decodes this kind's request payload (the flat request object a
+    /// `POST /v1/<kind>` body carries — no envelope members required).
+    ///
+    /// # Errors
+    ///
+    /// Returns the schema error of the offending member.
+    pub fn decode_request(self, value: &Value) -> Result<Query, JsonError> {
+        Ok(match self {
+            QueryKind::Evaluate => Query::Evaluate(EvaluateRequest::from_json(value)?),
+            QueryKind::Batch => Query::Batch(BatchEvalRequest::from_json(value)?),
+            QueryKind::Compare => Query::Compare(CompareRequest::from_json(value)?),
+            QueryKind::Crossover => Query::Crossover(CrossoverRequest::from_json(value)?),
+            QueryKind::Frontier => Query::Frontier(FrontierRequest::from_json(value)?),
+            QueryKind::Sweep => Query::Sweep(SweepRequest::from_json(value)?),
+            QueryKind::Grid => Query::Grid(GridRequest::from_json(value)?),
+            QueryKind::Tornado => Query::Tornado(TornadoRequest::from_json(value)?),
+            QueryKind::MonteCarlo => Query::MonteCarlo(MonteCarloRequest::from_json(value)?),
+            QueryKind::Industry => Query::Industry(IndustryRequest::from_json(value)?),
+        })
+    }
+
+    /// Decodes this kind's response payload (the bare result object a
+    /// `POST /v1/<kind>` route answers with).
+    ///
+    /// # Errors
+    ///
+    /// Returns the schema error of the offending member.
+    pub fn decode_result(self, value: &Value) -> Result<Outcome, JsonError> {
+        Ok(match self {
+            QueryKind::Evaluate => Outcome::Evaluate(EvaluateResponse::from_json(value)?),
+            QueryKind::Batch => Outcome::Batch(BatchEvalResponse::from_json(value)?),
+            QueryKind::Compare => Outcome::Compare(CompareResponse::from_json(value)?),
+            QueryKind::Crossover => Outcome::Crossover(CrossoverResponse::from_json(value)?),
+            QueryKind::Frontier => Outcome::Frontier(FrontierResponse::from_json(value)?),
+            QueryKind::Sweep => Outcome::Sweep(SweepSeries::from_json(value)?),
+            QueryKind::Grid => Outcome::Grid(GridSweep::from_json(value)?),
+            QueryKind::Tornado => Outcome::Tornado(TornadoAnalysis::from_json(value)?),
+            QueryKind::MonteCarlo => Outcome::MonteCarlo(MonteCarloResponse::from_json(value)?),
+            QueryKind::Industry => Outcome::Industry(IndustryResponse::from_json(value)?),
+        })
+    }
+}
+
+impl std::fmt::Display for QueryKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One request against the unified engine surface — every workload the
+/// library, the HTTP server and the CLI can answer, as one versioned type.
+///
+/// The JSON form is a flat envelope: the request payload with `"v"` (the
+/// [`API_VERSION`]) and `"kind"` (the [`QueryKind::id`]) prepended:
+///
+/// ```json
+/// {"v": 1, "kind": "sweep", "domain": "dnn", "axis": "apps",
+///  "from": 1, "to": 12, "steps": 12}
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// One operating point in one scenario.
+    Evaluate(EvaluateRequest),
+    /// Many operating points in one scenario.
+    Batch(BatchEvalRequest),
+    /// One point across several scenarios.
+    Compare(CompareRequest),
+    /// The three crossover searches.
+    Crossover(CrossoverRequest),
+    /// Adaptive winner map over a 2-D lattice.
+    Frontier(FrontierRequest),
+    /// One axis swept over a linear range.
+    Sweep(SweepRequest),
+    /// Dense ratio heatmap over a 2-D lattice.
+    Grid(GridRequest),
+    /// One-at-a-time knob sensitivity analysis.
+    Tornado(TornadoRequest),
+    /// Monte-Carlo uncertainty analysis.
+    MonteCarlo(MonteCarloRequest),
+    /// The Table 3 industry testcases.
+    Industry(IndustryRequest),
+}
+
+impl Query {
+    /// This query's kind discriminator.
+    pub fn kind(&self) -> QueryKind {
+        match self {
+            Query::Evaluate(_) => QueryKind::Evaluate,
+            Query::Batch(_) => QueryKind::Batch,
+            Query::Compare(_) => QueryKind::Compare,
+            Query::Crossover(_) => QueryKind::Crossover,
+            Query::Frontier(_) => QueryKind::Frontier,
+            Query::Sweep(_) => QueryKind::Sweep,
+            Query::Grid(_) => QueryKind::Grid,
+            Query::Tornado(_) => QueryKind::Tornado,
+            Query::MonteCarlo(_) => QueryKind::MonteCarlo,
+            Query::Industry(_) => QueryKind::Industry,
+        }
+    }
+
+    /// The flat request payload (what a `POST /v1/<kind>` body carries,
+    /// without the envelope members).
+    pub fn request_body(&self) -> Value {
+        match self {
+            Query::Evaluate(request) => request.to_json(),
+            Query::Batch(request) => request.to_json(),
+            Query::Compare(request) => request.to_json(),
+            Query::Crossover(request) => request.to_json(),
+            Query::Frontier(request) => request.to_json(),
+            Query::Sweep(request) => request.to_json(),
+            Query::Grid(request) => request.to_json(),
+            Query::Tornado(request) => request.to_json(),
+            Query::MonteCarlo(request) => request.to_json(),
+            Query::Industry(request) => request.to_json(),
+        }
+    }
+}
+
+/// Reads and validates the `"v"`/`"kind"` envelope members.
+fn decode_envelope(value: &Value) -> Result<QueryKind, JsonError> {
+    let version: u64 = decode_or(value, "v", API_VERSION)?;
+    if version != API_VERSION {
+        return Err(JsonError::schema(
+            "v",
+            format!("unsupported API version {version} (this build speaks {API_VERSION})"),
+        ));
+    }
+    let id: String = decode(value, "kind")?;
+    QueryKind::parse_id(&id)
+        .ok_or_else(|| JsonError::schema("kind", format!("unknown query kind '{id}'")))
+}
+
+impl ToJson for Query {
+    fn to_json(&self) -> Value {
+        let mut members = vec![
+            ("v".to_string(), Value::Number(API_VERSION as f64)),
+            (
+                "kind".to_string(),
+                Value::String(self.kind().id().to_string()),
+            ),
+        ];
+        match self.request_body() {
+            Value::Object(body) => members.extend(body),
+            // `from_json` decodes the flat object, so a non-object body
+            // could never round-trip — fail loudly instead of emitting an
+            // envelope the decoder rejects.
+            _ => unreachable!("request bodies serialize to objects"),
+        }
+        Value::Object(members)
+    }
+}
+
+impl FromJson for Query {
+    fn from_json(value: &Value) -> Result<Query, JsonError> {
+        decode_envelope(value)?.decode_request(value)
+    }
+}
+
+/// The result of running a [`Query`] — one variant per query kind, in the
+/// same order. The JSON form is `{"v": 1, "kind": "<id>", "result": ...}`
+/// where `result` is exactly the body the matching HTTP route answers
+/// with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Result of [`Query::Evaluate`].
+    Evaluate(EvaluateResponse),
+    /// Result of [`Query::Batch`].
+    Batch(BatchEvalResponse),
+    /// Result of [`Query::Compare`].
+    Compare(CompareResponse),
+    /// Result of [`Query::Crossover`].
+    Crossover(CrossoverResponse),
+    /// Result of [`Query::Frontier`].
+    Frontier(FrontierResponse),
+    /// Result of [`Query::Sweep`].
+    Sweep(SweepSeries),
+    /// Result of [`Query::Grid`].
+    Grid(GridSweep),
+    /// Result of [`Query::Tornado`].
+    Tornado(TornadoAnalysis),
+    /// Result of [`Query::MonteCarlo`].
+    MonteCarlo(MonteCarloResponse),
+    /// Result of [`Query::Industry`].
+    Industry(IndustryResponse),
+}
+
+impl Outcome {
+    /// This outcome's kind discriminator.
+    pub fn kind(&self) -> QueryKind {
+        match self {
+            Outcome::Evaluate(_) => QueryKind::Evaluate,
+            Outcome::Batch(_) => QueryKind::Batch,
+            Outcome::Compare(_) => QueryKind::Compare,
+            Outcome::Crossover(_) => QueryKind::Crossover,
+            Outcome::Frontier(_) => QueryKind::Frontier,
+            Outcome::Sweep(_) => QueryKind::Sweep,
+            Outcome::Grid(_) => QueryKind::Grid,
+            Outcome::Tornado(_) => QueryKind::Tornado,
+            Outcome::MonteCarlo(_) => QueryKind::MonteCarlo,
+            Outcome::Industry(_) => QueryKind::Industry,
+        }
+    }
+
+    /// The bare result payload — exactly the body the matching
+    /// `POST /v1/<kind>` route answers with.
+    pub fn result_json(&self) -> Value {
+        match self {
+            Outcome::Evaluate(response) => response.to_json(),
+            Outcome::Batch(response) => response.to_json(),
+            Outcome::Compare(response) => response.to_json(),
+            Outcome::Crossover(response) => response.to_json(),
+            Outcome::Frontier(response) => response.to_json(),
+            Outcome::Sweep(series) => series.to_json(),
+            Outcome::Grid(grid) => grid.to_json(),
+            Outcome::Tornado(analysis) => analysis.to_json(),
+            Outcome::MonteCarlo(response) => response.to_json(),
+            Outcome::Industry(response) => response.to_json(),
+        }
+    }
+}
+
+impl ToJson for Outcome {
+    fn to_json(&self) -> Value {
+        object([
+            ("v", Value::Number(API_VERSION as f64)),
+            ("kind", Value::String(self.kind().id().to_string())),
+            ("result", self.result_json()),
+        ])
+    }
+}
+
+impl FromJson for Outcome {
+    fn from_json(value: &Value) -> Result<Outcome, JsonError> {
+        let kind = decode_envelope(value)?;
+        kind.decode_result(field(value, "result")?)
+            .map_err(|e| prefix_schema("result", e))
+    }
 }
 
 #[cfg(test)]
@@ -1007,9 +2137,10 @@ mod tests {
         assert_eq!(request.scenario.knobs, vec![(Knob::DutyCycle, 0.5)]);
         assert_eq!(request.point.applications, 3);
         // Round trip through to_json.
-        let again =
-            EvaluateRequest::from_json(&parse(&request.to_json().to_json_string().unwrap()).unwrap())
-                .unwrap();
+        let again = EvaluateRequest::from_json(
+            &parse(&request.to_json().to_json_string().unwrap()).unwrap(),
+        )
+        .unwrap();
         assert_eq!(again, request);
     }
 
@@ -1123,6 +2254,8 @@ mod tests {
                 route: "POST /v1/evaluate".to_string(),
                 requests: 1200,
                 errors: 4,
+                bytes_in: 96_000,
+                bytes_out: 480_000,
                 latency: LatencyHistogram {
                     bounds_us: vec![50.0, 100.0, 1000.0],
                     counts: vec![800, 300, 99, 1],

@@ -141,8 +141,11 @@ impl Estimator {
         lifetime_years: f64,
         volume: u64,
     ) -> Result<Option<u64>, GreenFpgaError> {
-        self.compile(domain)?
-            .crossover_in_applications_verified(max_applications, lifetime_years, volume)
+        self.compile(domain)?.crossover_in_applications_verified(
+            max_applications,
+            lifetime_years,
+            volume,
+        )
     }
 
     /// Finds the application lifetime at which the preferred platform flips
@@ -164,8 +167,12 @@ impl Estimator {
         min_years: f64,
         max_years: f64,
     ) -> Result<Option<Crossover>, GreenFpgaError> {
-        self.compile(domain)?
-            .crossover_in_lifetime_verified(applications, volume, min_years, max_years)
+        self.compile(domain)?.crossover_in_lifetime_verified(
+            applications,
+            volume,
+            min_years,
+            max_years,
+        )
     }
 
     /// Finds the application volume at which the preferred platform flips
@@ -189,8 +196,12 @@ impl Estimator {
         min_volume: u64,
         max_volume: u64,
     ) -> Result<Option<Crossover>, GreenFpgaError> {
-        self.compile(domain)?
-            .crossover_in_volume_verified(applications, lifetime_years, min_volume, max_volume)
+        self.compile(domain)?.crossover_in_volume_verified(
+            applications,
+            lifetime_years,
+            min_volume,
+            max_volume,
+        )
     }
 
     /// Convenience wrapper returning the full comparison for a uniform
@@ -599,7 +610,11 @@ mod tests {
         let at = crossover.at as u64;
         let lo_sign = diff(1_000).signum();
         assert_ne!(diff(at).signum(), lo_sign, "sign must flip at {at}");
-        assert_eq!(diff(at - 1).signum(), lo_sign, "{at} must be the first flip");
+        assert_eq!(
+            diff(at - 1).signum(),
+            lo_sign,
+            "{at} must be the first flip"
+        );
     }
 
     #[test]

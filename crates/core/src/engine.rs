@@ -1,0 +1,839 @@
+//! The unified engine facade: one entry point for every query kind.
+//!
+//! [`Engine`] owns the two long-lived pieces of serving state that used to
+//! live inside `greenfpga-serve` — the sharded compiled-scenario cache and
+//! a persistent [`exec::WorkerPool`] — and dispatches every
+//! [`Query`] variant through one [`Engine::run`] call. The HTTP
+//! server, the CLI and the bench clients are all thin adapters over this
+//! facade, so a result is bit-identical across frontends by construction:
+//! they literally execute the same code.
+//!
+//! ```
+//! use greenfpga::api::{EvaluateRequest, Query, Outcome};
+//! use greenfpga::{Domain, Engine, OperatingPoint, ScenarioSpec};
+//!
+//! let engine = Engine::with_defaults()?;
+//! let query = Query::Evaluate(EvaluateRequest {
+//!     scenario: ScenarioSpec::baseline(Domain::Dnn),
+//!     point: OperatingPoint::paper_default(),
+//! });
+//! let Outcome::Evaluate(response) = engine.run(&query)? else {
+//!     unreachable!("evaluate queries produce evaluate outcomes");
+//! };
+//! assert!(response.comparison.fpga_to_asic_ratio() > 0.0);
+//! # Ok::<(), greenfpga::ApiError>(())
+//! ```
+
+use std::sync::Mutex;
+
+use crate::api::{
+    CacheShardMetrics, CompareResponse, CrossoverResponse, EvaluateResponse, FrontierResponse,
+    IndustryDeviceReport, IndustryRequest, IndustryResponse, MonteCarloResponse, Outcome, Query,
+};
+use crate::{
+    exec, industry_asic1, industry_asic2, industry_fpga1, industry_fpga2, ApiError,
+    BatchEvalResponse, CompiledScenario, Estimator, EstimatorParams, GreenFpgaError,
+    IndustryScenario, MonteCarlo, PlatformKind, ResultBuffer, ScenarioSpec, ScenarioTemplate,
+};
+
+/// Tuning for an [`Engine`]. Every field has a sane default; the server
+/// exposes the interesting ones as flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Maximum cached compiled scenarios (split across the shards).
+    pub cache_capacity: usize,
+    /// Scenario-cache shards. Lookups lock one shard, so concurrent
+    /// callers contend only on hash collisions.
+    pub cache_shards: usize,
+    /// Worker threads per batch/sweep/grid evaluation (`0` =
+    /// [`exec::default_threads`]). Servers should keep this at 1: request
+    /// concurrency already comes from connection workers.
+    pub eval_threads: usize,
+    /// Threads in the persistent [`exec::WorkerPool`] (`0` =
+    /// [`exec::default_threads`]). The pool is spawned lazily on the first
+    /// [`Engine::execute`], so one-shot CLI engines never pay for it.
+    pub workers: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            cache_capacity: 64,
+            cache_shards: 8,
+            eval_threads: 0,
+            workers: 0,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The pool worker count after resolving `0` to the machine default.
+    pub fn workers_resolved(&self) -> usize {
+        if self.workers == 0 {
+            exec::default_threads()
+        } else {
+            self.workers
+        }
+    }
+}
+
+/// The lazily spawned worker pool behind [`Engine::execute`].
+struct PoolSlot {
+    pool: Option<exec::WorkerPool>,
+    /// Set by [`Engine::join_workers`]; jobs submitted afterwards are
+    /// rejected instead of silently respawning the pool.
+    closed: bool,
+}
+
+/// The unified engine: a sharded compiled-scenario cache, a persistent
+/// worker pool, and one [`Engine::run`] dispatch for every [`Query`].
+///
+/// The `Debug` form reports only the configuration; cache contents and
+/// pool state are runtime details.
+pub struct Engine {
+    config: EngineConfig,
+    cache: ShardedScenarioCache,
+    pool: Mutex<PoolSlot>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Builds an engine: resolves every domain template and sizes the
+    /// scenario cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError`] (code `model`) for a zero cache capacity or
+    /// shard count, and propagates calibration failures (the built-in
+    /// calibrations never trigger them).
+    pub fn new(config: EngineConfig) -> Result<Engine, ApiError> {
+        let cache = ShardedScenarioCache::new(config.cache_shards, config.cache_capacity)?;
+        Ok(Engine {
+            config,
+            cache,
+            pool: Mutex::new(PoolSlot {
+                pool: None,
+                closed: false,
+            }),
+        })
+    }
+
+    /// An engine with the default configuration.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Engine::new`] (never for the defaults).
+    pub fn with_defaults() -> Result<Engine, ApiError> {
+        Engine::new(EngineConfig::default())
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The compiled scenario for a spec — cached when seen before.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile errors (knob overrides are range-clamped, so
+    /// spec-derived parameters never trigger them).
+    pub fn compiled(&self, spec: &ScenarioSpec) -> Result<CompiledScenario, ApiError> {
+        Ok(self.cache.lookup(spec)?)
+    }
+
+    /// Runs one query and returns its outcome. Allocates a scratch
+    /// [`ResultBuffer`] per call; long-lived callers that answer many
+    /// batch queries should hold a buffer and use
+    /// [`Engine::run_with_buffer`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ApiError`] taxonomy: `model` for model-level
+    /// rejections, `internal` for serialization bugs.
+    pub fn run(&self, query: &Query) -> Result<Outcome, ApiError> {
+        self.run_with_buffer(query, &mut ResultBuffer::new())
+    }
+
+    /// [`Engine::run`] writing batch evaluations through the caller's
+    /// reused buffer (the zero-allocation serving path).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Engine::run`].
+    pub fn run_with_buffer(
+        &self,
+        query: &Query,
+        buffer: &mut ResultBuffer,
+    ) -> Result<Outcome, ApiError> {
+        let threads = self.config.eval_threads;
+        Ok(match query {
+            Query::Evaluate(request) => {
+                let compiled = self.compiled(&request.scenario)?;
+                Outcome::Evaluate(EvaluateResponse {
+                    comparison: compiled.evaluate(request.point)?,
+                })
+            }
+            Query::Batch(request) => {
+                let compiled = self.compiled(&request.scenario)?;
+                compiled.evaluate_indexed_into(
+                    request.points.len(),
+                    |i| request.points[i],
+                    buffer,
+                    threads,
+                )?;
+                Outcome::Batch(BatchEvalResponse {
+                    comparisons: buffer.comparisons().collect(),
+                })
+            }
+            Query::Compare(request) => {
+                // The wire decoder enforces this too; checking here keeps
+                // programmatic callers (and the CLI) consistent with HTTP.
+                if request.scenarios.is_empty()
+                    || request.scenarios.len() > crate::CompareRequest::MAX_SCENARIOS
+                {
+                    return Err(ApiError::bad_request(format!(
+                        "compare takes 1 to {} scenarios, got {}",
+                        crate::CompareRequest::MAX_SCENARIOS,
+                        request.scenarios.len()
+                    )));
+                }
+                let mut comparisons = Vec::with_capacity(request.scenarios.len());
+                for scenario in &request.scenarios {
+                    let compiled = self.compiled(scenario)?;
+                    comparisons.push(compiled.evaluate(request.point)?);
+                }
+                Outcome::Compare(CompareResponse { comparisons })
+            }
+            Query::Crossover(request) => {
+                let compiled = self.compiled(&request.scenario)?;
+                let base = request.base;
+                Outcome::Crossover(CrossoverResponse {
+                    domain: request.scenario.domain,
+                    base,
+                    applications: compiled.crossover_in_applications_verified(
+                        request.max_applications,
+                        base.lifetime_years,
+                        base.volume,
+                    )?,
+                    lifetime: compiled.crossover_in_lifetime_verified(
+                        base.applications,
+                        base.volume,
+                        request.lifetime_range.0,
+                        request.lifetime_range.1,
+                    )?,
+                    volume: compiled.crossover_in_volume_verified(
+                        base.applications,
+                        base.lifetime_years,
+                        request.volume_range.0,
+                        request.volume_range.1,
+                    )?,
+                })
+            }
+            Query::Frontier(request) => {
+                let compiled = self.compiled(&request.scenario)?;
+                let (x_values, y_values) = request.lattice();
+                let result = compiled.frontier(
+                    request.x_axis,
+                    &x_values,
+                    request.y_axis,
+                    &y_values,
+                    request.base,
+                )?;
+                Outcome::Frontier(FrontierResponse::from(&result))
+            }
+            Query::Sweep(request) => {
+                let compiled = self.compiled(&request.scenario)?;
+                Outcome::Sweep(compiled.sweep_series(
+                    request.axis,
+                    &request.values(),
+                    request.base,
+                    threads,
+                )?)
+            }
+            Query::Grid(request) => {
+                let compiled = self.compiled(&request.scenario)?;
+                let (x_values, y_values) = request.lattice();
+                Outcome::Grid(compiled.ratio_grid(
+                    request.x_axis,
+                    &x_values,
+                    request.y_axis,
+                    &y_values,
+                    request.base,
+                    threads,
+                )?)
+            }
+            Query::Tornado(request) => {
+                let estimator = Estimator::new(request.scenario.params());
+                Outcome::Tornado(
+                    estimator.tornado_analysis(request.scenario.domain, request.point)?,
+                )
+            }
+            Query::MonteCarlo(request) => {
+                // Seeds at or above 2^53 would be silently rounded by the
+                // JSON wire format (2^53 itself is the rounding target of
+                // 2^53+1, so it is ambiguous too); rejecting them here
+                // keeps a local run and the equivalent HTTP request
+                // bit-identical by construction, matching the CLI parser.
+                if request.seed >= crate::MonteCarloRequest::MAX_SEED {
+                    return Err(ApiError::bad_request(format!(
+                        "montecarlo seed {} exceeds 2^53 and would not survive \
+                         the JSON wire format",
+                        request.seed
+                    )));
+                }
+                let report = MonteCarlo::new(request.samples)
+                    .with_seed(request.seed)
+                    .with_threads(threads)
+                    .run(
+                        &request.scenario.params(),
+                        request.scenario.domain,
+                        request.point,
+                    )?;
+                Outcome::MonteCarlo(MonteCarloResponse::from(&report))
+            }
+            Query::Industry(request) => Outcome::Industry(run_industry(request)?),
+        })
+    }
+
+    /// Number of scenario-cache shards.
+    pub fn cache_shard_count(&self) -> usize {
+        self.cache.shard_count()
+    }
+
+    /// Per-shard scenario-cache statistics, in shard order.
+    pub fn cache_shard_metrics(&self) -> Vec<CacheShardMetrics> {
+        self.cache
+            .per_shard()
+            .into_iter()
+            .map(|(entries, hits, misses)| CacheShardMetrics {
+                entries: entries as u64,
+                hits,
+                misses,
+            })
+            .collect()
+    }
+
+    /// Submits a job to the persistent worker pool, spawning the pool on
+    /// first use. Returns `false` after [`Engine::join_workers`].
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        let mut slot = self.pool.lock().expect("engine pool poisoned");
+        if slot.closed {
+            return false;
+        }
+        let workers = self.config.workers;
+        slot.pool
+            .get_or_insert_with(|| exec::WorkerPool::new(workers))
+            .execute(job)
+    }
+
+    /// Jobs accepted by the pool and not yet claimed by a worker (`0`
+    /// before the pool has spawned).
+    pub fn queue_depth(&self) -> usize {
+        self.pool
+            .lock()
+            .expect("engine pool poisoned")
+            .pool
+            .as_ref()
+            .map_or(0, exec::WorkerPool::queue_depth)
+    }
+
+    /// Drains queued jobs and joins every pool worker. Jobs submitted
+    /// afterwards are rejected. Idempotent; a no-op when the pool never
+    /// spawned.
+    pub fn join_workers(&self) {
+        let pool = {
+            let mut slot = self.pool.lock().expect("engine pool poisoned");
+            slot.closed = true;
+            slot.pool.take()
+        };
+        // Dropped outside the lock: the drop drains and joins, and a
+        // worker's job might call back into the engine.
+        drop(pool);
+    }
+}
+
+/// The [`Query::Industry`] body: every Table 3 device under the requested
+/// deployment scenario, FPGAs first — the same evaluations the paper's
+/// Figs. 10–11 plot.
+fn run_industry(request: &IndustryRequest) -> Result<IndustryResponse, GreenFpgaError> {
+    let mut params = EstimatorParams::paper_defaults();
+    for &(knob, value) in &request.knobs {
+        knob.apply_mut(&mut params, value);
+    }
+    let estimator = Estimator::new(params);
+    let scenario = IndustryScenario {
+        service_years: request.service_years,
+        fpga_applications: request.fpga_applications,
+        volume: request.volume,
+        ..IndustryScenario::paper_defaults()
+    };
+    let mut devices = Vec::with_capacity(4);
+    for fpga in [industry_fpga1(), industry_fpga2()] {
+        devices.push(IndustryDeviceReport {
+            device: fpga.chip().name().to_string(),
+            platform: PlatformKind::Fpga,
+            cfp: scenario.evaluate_fpga(&estimator, &fpga)?,
+        });
+    }
+    for asic in [industry_asic1(), industry_asic2()] {
+        devices.push(IndustryDeviceReport {
+            device: asic.chip().name().to_string(),
+            platform: PlatformKind::Asic,
+            cfp: scenario.evaluate_asic(&estimator, &asic)?,
+        });
+    }
+    Ok(IndustryResponse { devices })
+}
+
+/// One cache slot: the canonical key plus the compiled scenario.
+struct Entry {
+    key: Key,
+    compiled: CompiledScenario,
+}
+
+/// Canonical scenario key: the domain index plus the knob overrides in
+/// application order, with each value keyed by its exact bit pattern (so
+/// `-0.0` and `0.0`, or two NaN payloads, never alias).
+type Key = (usize, Vec<(u8, u64)>);
+
+fn key_of(spec: &ScenarioSpec) -> Key {
+    let domain = crate::Domain::ALL
+        .iter()
+        .position(|d| *d == spec.domain)
+        .expect("every domain is listed in Domain::ALL");
+    let knobs = spec
+        .knobs
+        .iter()
+        .map(|&(knob, value)| {
+            let index = crate::Knob::ALL
+                .iter()
+                .position(|k| *k == knob)
+                .expect("every knob is listed in Knob::ALL");
+            (index as u8, value.to_bits())
+        })
+        .collect();
+    (domain, knobs)
+}
+
+/// FNV-1a over the canonical key bytes — the shard selector. Stable across
+/// lookups of the same spec by construction (the key is already
+/// bit-canonical), and cheap next to even a cache hit.
+fn hash_of(key: &Key) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    let mut eat = |byte: u8| {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(PRIME);
+    };
+    for byte in (key.0 as u64).to_le_bytes() {
+        eat(byte);
+    }
+    for &(index, bits) in &key.1 {
+        eat(index);
+        for byte in bits.to_le_bytes() {
+            eat(byte);
+        }
+    }
+    hash
+}
+
+/// One shard of the scenario cache: a keyed LRU of compiled scenarios.
+/// Templates for every domain are resolved once at construction, so even a
+/// cache miss pays only the pure-arithmetic [`ScenarioTemplate::compile`],
+/// never spec rebuilding. Each shard is a plain move-to-front vector: at
+/// serving capacities (dozens of distinct scenarios) a linear scan of
+/// small keys beats hashing, and [`CompiledScenario`] is `Copy`, so a hit
+/// clones nothing and the lock is held only for the scan.
+struct ScenarioCache {
+    templates: Vec<ScenarioTemplate>,
+    entries: Vec<Entry>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl ScenarioCache {
+    /// Builds the cache and pre-resolves every domain template.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GreenFpgaError::InvalidRange`] for a zero `capacity` — a
+    /// cache that can hold nothing is always a caller bug, and silently
+    /// clamping it up would mask it. Also propagates calibration errors;
+    /// the built-in calibrations never trigger them.
+    fn new(capacity: usize) -> Result<Self, GreenFpgaError> {
+        if capacity == 0 {
+            return Err(GreenFpgaError::InvalidRange {
+                what: "scenario cache capacity (must be at least 1)",
+            });
+        }
+        let templates = crate::Domain::ALL
+            .iter()
+            .map(|&domain| ScenarioTemplate::new(domain))
+            .collect::<Result<_, _>>()?;
+        Ok(ScenarioCache {
+            templates,
+            entries: Vec::new(),
+            capacity,
+            hits: 0,
+            misses: 0,
+        })
+    }
+
+    /// The compiled scenario for a spec, with the canonical key already
+    /// computed — the sharded wrapper hashes the key for shard selection
+    /// and must not pay for building it twice.
+    fn lookup_keyed(
+        &mut self,
+        key: Key,
+        spec: &ScenarioSpec,
+    ) -> Result<CompiledScenario, GreenFpgaError> {
+        if let Some(position) = self.entries.iter().position(|entry| entry.key == key) {
+            self.hits += 1;
+            // Move to front: position 0 is most recently used.
+            let entry = self.entries.remove(position);
+            let compiled = entry.compiled;
+            self.entries.insert(0, entry);
+            return Ok(compiled);
+        }
+        self.misses += 1;
+        let compiled = self.templates[key.0].compile(&spec.params())?;
+        if self.entries.len() >= self.capacity {
+            self.entries.pop();
+        }
+        self.entries.insert(0, Entry { key, compiled });
+        Ok(compiled)
+    }
+
+    /// Spec-keyed lookup for the single-shard unit tests.
+    #[cfg(test)]
+    fn lookup(&mut self, spec: &ScenarioSpec) -> Result<CompiledScenario, GreenFpgaError> {
+        self.lookup_keyed(key_of(spec), spec)
+    }
+
+    /// Number of cached scenarios.
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Lifetime (hits, misses) counters.
+    fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+/// Per-shard statistics snapshot: `(entries, hits, misses)`.
+type ShardStats = (usize, u64, u64);
+
+/// The engine's scenario cache: N independent [`ScenarioCache`] shards
+/// selected by spec-hash, each behind its own lock.
+///
+/// A lookup locks exactly one shard, so concurrent callers contend only
+/// when their scenarios collide on a shard. The same spec always hashes to
+/// the same shard, so hit/miss behavior per scenario is deterministic;
+/// lifetime statistics are aggregated across shards on read.
+struct ShardedScenarioCache {
+    shards: Vec<Mutex<ScenarioCache>>,
+}
+
+impl ShardedScenarioCache {
+    /// Builds `shards` shards splitting `capacity` entries between them
+    /// (each shard gets `ceil(capacity / shards)`, so the total is never
+    /// below the requested capacity and every shard can hold at least one
+    /// entry).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GreenFpgaError::InvalidRange`] when `shards` or
+    /// `capacity` is zero; propagates template-resolution errors.
+    fn new(shards: usize, capacity: usize) -> Result<Self, GreenFpgaError> {
+        if shards == 0 {
+            return Err(GreenFpgaError::InvalidRange {
+                what: "scenario cache shard count (must be at least 1)",
+            });
+        }
+        let per_shard = capacity.div_ceil(shards);
+        let shards = (0..shards)
+            .map(|_| Ok(Mutex::new(ScenarioCache::new(per_shard)?)))
+            .collect::<Result<_, GreenFpgaError>>()?;
+        Ok(ShardedScenarioCache { shards })
+    }
+
+    /// The compiled scenario for a spec, from the shard its key hashes to.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ScenarioCache::lookup_keyed`].
+    fn lookup(&self, spec: &ScenarioSpec) -> Result<CompiledScenario, GreenFpgaError> {
+        let key = key_of(spec);
+        let shard = (hash_of(&key) % self.shards.len() as u64) as usize;
+        self.shards[shard]
+            .lock()
+            .expect("scenario cache shard poisoned")
+            .lookup_keyed(key, spec)
+    }
+
+    /// Number of shards.
+    fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Cached scenarios across all shards (tests only; production callers
+    /// fold [`ShardedScenarioCache::per_shard`] once instead).
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.per_shard().iter().map(|(entries, _, _)| entries).sum()
+    }
+
+    /// Aggregated lifetime (hits, misses) counters (tests only).
+    #[cfg(test)]
+    fn stats(&self) -> (u64, u64) {
+        self.per_shard()
+            .iter()
+            .fold((0, 0), |(h, m), &(_, hits, misses)| (h + hits, m + misses))
+    }
+
+    /// Per-shard `(entries, hits, misses)` snapshots, in shard order. Each
+    /// shard is snapshotted under its own lock; the combined view is not a
+    /// single atomic cut, which is fine for monitoring counters.
+    fn per_shard(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let shard = shard.lock().expect("scenario cache shard poisoned");
+                let (hits, misses) = shard.stats();
+                (shard.len(), hits, misses)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Domain, Knob, OperatingPoint};
+
+    fn spec(domain: Domain, knobs: &[(Knob, f64)]) -> ScenarioSpec {
+        ScenarioSpec {
+            domain,
+            knobs: knobs.to_vec(),
+        }
+    }
+
+    #[test]
+    fn hit_returns_the_same_compilation() {
+        let mut cache = ScenarioCache::new(8).unwrap();
+        let spec = spec(Domain::Dnn, &[(Knob::DutyCycle, 0.4)]);
+        let first = cache.lookup(&spec).unwrap();
+        let second = cache.lookup(&spec).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.len(), 1);
+        // And the compilation matches a from-scratch estimator.
+        let direct = Estimator::new(spec.params()).compile(Domain::Dnn).unwrap();
+        assert_eq!(
+            first.evaluate(OperatingPoint::paper_default()).unwrap(),
+            direct.evaluate(OperatingPoint::paper_default()).unwrap()
+        );
+    }
+
+    #[test]
+    fn distinct_knob_values_get_distinct_entries() {
+        let mut cache = ScenarioCache::new(8).unwrap();
+        let a = cache
+            .lookup(&spec(Domain::Dnn, &[(Knob::DutyCycle, 0.1)]))
+            .unwrap();
+        let b = cache
+            .lookup(&spec(Domain::Dnn, &[(Knob::DutyCycle, 0.6)]))
+            .unwrap();
+        assert_ne!(a, b);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats(), (0, 2));
+        // Same spec via a different f64 with identical bits hits.
+        cache
+            .lookup(&spec(Domain::Dnn, &[(Knob::DutyCycle, 0.1)]))
+            .unwrap();
+        assert_eq!(cache.stats(), (1, 2));
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let mut cache = ScenarioCache::new(2).unwrap();
+        let a = spec(Domain::Dnn, &[]);
+        let b = spec(Domain::Crypto, &[]);
+        let c = spec(Domain::ImageProcessing, &[]);
+        cache.lookup(&a).unwrap();
+        cache.lookup(&b).unwrap();
+        cache.lookup(&a).unwrap(); // a is now most recent
+        cache.lookup(&c).unwrap(); // evicts b
+        assert_eq!(cache.len(), 2);
+        cache.lookup(&a).unwrap();
+        assert_eq!(cache.stats().0, 2, "a stayed cached");
+        cache.lookup(&b).unwrap();
+        assert_eq!(cache.stats().1, 4, "b was evicted and recompiled");
+    }
+
+    #[test]
+    fn zero_capacity_is_rejected_not_coerced() {
+        assert!(matches!(
+            ScenarioCache::new(0),
+            Err(GreenFpgaError::InvalidRange { .. })
+        ));
+        assert!(matches!(
+            ShardedScenarioCache::new(4, 0),
+            Err(GreenFpgaError::InvalidRange { .. })
+        ));
+        assert!(matches!(
+            ShardedScenarioCache::new(0, 64),
+            Err(GreenFpgaError::InvalidRange { .. })
+        ));
+        // The same contract surfaces through the engine as an ApiError.
+        let error = Engine::new(EngineConfig {
+            cache_capacity: 0,
+            ..EngineConfig::default()
+        })
+        .unwrap_err();
+        assert_eq!(error.code, crate::ApiErrorCode::Model);
+    }
+
+    #[test]
+    fn sharded_lookup_matches_direct_compilation_and_counts() {
+        let cache = ShardedScenarioCache::new(4, 64).unwrap();
+        assert_eq!(cache.shard_count(), 4);
+        let spec = spec(Domain::Dnn, &[(Knob::DutyCycle, 0.4)]);
+        let first = cache.lookup(&spec).unwrap();
+        let second = cache.lookup(&spec).unwrap();
+        assert_eq!(first, second, "same spec hits the same shard");
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.len(), 1);
+        let direct = Estimator::new(spec.params()).compile(Domain::Dnn).unwrap();
+        assert_eq!(
+            first.evaluate(OperatingPoint::paper_default()).unwrap(),
+            direct.evaluate(OperatingPoint::paper_default()).unwrap()
+        );
+        // Per-shard stats sum to the aggregate.
+        let per_shard = cache.per_shard();
+        assert_eq!(per_shard.len(), 4);
+        assert_eq!(per_shard.iter().map(|s| s.1).sum::<u64>(), 1);
+        assert_eq!(per_shard.iter().map(|s| s.2).sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn sharded_capacity_splits_but_never_starves_a_shard() {
+        // 4 shards over capacity 2 still give every shard one slot.
+        let cache = ShardedScenarioCache::new(4, 2).unwrap();
+        for domain in Domain::ALL {
+            cache.lookup(&spec(domain, &[])).unwrap();
+        }
+        assert!(cache.len() >= 1);
+        // A single-shard cache behaves exactly like the flat cache.
+        let single = ShardedScenarioCache::new(1, 8).unwrap();
+        single.lookup(&spec(Domain::Dnn, &[])).unwrap();
+        single.lookup(&spec(Domain::Dnn, &[])).unwrap();
+        assert_eq!(single.stats(), (1, 1));
+    }
+
+    #[test]
+    fn concurrent_hammering_keeps_stats_consistent() {
+        use std::sync::Arc;
+        let cache = Arc::new(ShardedScenarioCache::new(4, 64).unwrap());
+        let threads = 8;
+        let rounds = 50;
+        std::thread::scope(|scope| {
+            for worker in 0..threads {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for round in 0..rounds {
+                        let domain = Domain::ALL[(worker + round) % Domain::ALL.len()];
+                        let duty = 0.1 + 0.1 * ((worker + round) % 5) as f64;
+                        let spec = spec(domain, &[(Knob::DutyCycle, duty)]);
+                        cache.lookup(&spec).unwrap();
+                    }
+                });
+            }
+        });
+        let (hits, misses) = cache.stats();
+        assert_eq!(
+            hits + misses,
+            (threads * rounds) as u64,
+            "every lookup is counted exactly once"
+        );
+        // 3 domains x 5 duty cycles = 15 distinct scenarios at most.
+        assert!(misses <= 15, "misses {misses} exceed the distinct specs");
+        assert!(cache.len() <= 15);
+    }
+
+    #[test]
+    fn knob_order_is_part_of_the_key() {
+        // apply order matters semantically (later overrides win), so the
+        // cache must not conflate permutations.
+        let mut cache = ScenarioCache::new(8).unwrap();
+        cache
+            .lookup(&spec(
+                Domain::Dnn,
+                &[(Knob::DutyCycle, 0.1), (Knob::DutyCycle, 0.5)],
+            ))
+            .unwrap();
+        cache
+            .lookup(&spec(
+                Domain::Dnn,
+                &[(Knob::DutyCycle, 0.5), (Knob::DutyCycle, 0.1)],
+            ))
+            .unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats(), (0, 2));
+    }
+
+    #[test]
+    fn engine_cache_counts_surface_through_metrics() {
+        let engine = Engine::new(EngineConfig {
+            cache_shards: 2,
+            ..EngineConfig::default()
+        })
+        .unwrap();
+        let spec = ScenarioSpec::baseline(Domain::Dnn);
+        for _ in 0..3 {
+            engine.compiled(&spec).unwrap();
+        }
+        let shards = engine.cache_shard_metrics();
+        assert_eq!(shards.len(), 2);
+        assert_eq!(engine.cache_shard_count(), 2);
+        assert_eq!(shards.iter().map(|s| s.misses).sum::<u64>(), 1);
+        assert_eq!(shards.iter().map(|s| s.hits).sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn worker_pool_spawns_lazily_and_joins_idempotently() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let engine = Engine::with_defaults().unwrap();
+        assert_eq!(engine.queue_depth(), 0, "no pool before the first job");
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..16 {
+            let counter = Arc::clone(&counter);
+            assert!(engine.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        engine.join_workers();
+        assert_eq!(counter.load(Ordering::SeqCst), 16, "drained before join");
+        assert!(!engine.execute(|| {}), "closed engines reject jobs");
+        engine.join_workers(); // idempotent
+        assert_eq!(engine.queue_depth(), 0);
+    }
+
+    #[test]
+    fn engine_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Engine>();
+    }
+}

@@ -164,8 +164,7 @@ impl ScenarioTemplate {
                 area: fpga_spec.chip().area(),
                 tdp: fpga_spec.chip().tdp(),
                 packaged_mass: fpga_spec.chip().packaged_mass(),
-                chips_per_unit: fpga_spec
-                    .fpgas_for_application(calibration.reference_asic_gates()),
+                chips_per_unit: fpga_spec.fpgas_for_application(calibration.reference_asic_gates()),
                 config_time: Some(fpga_spec.configuration_time()),
                 flow: DevelopmentFlow::FpgaHardware,
             },
@@ -196,29 +195,28 @@ impl ScenarioTemplate {
     /// Propagates manufacturing-model errors (degenerate die area); the
     /// built-in calibrations never trigger them.
     pub fn compile(&self, params: &EstimatorParams) -> Result<CompiledScenario, GreenFpgaError> {
-        let compile_platform =
-            |t: &PlatformTemplate| -> Result<CompiledPlatform, GreenFpgaError> {
-                let appdev = match t.config_time {
-                    Some(config_time) => params.appdev().with_config_time(config_time),
-                    None => *params.appdev(),
-                };
-                Ok(CompiledPlatform {
-                    design: params.design_house().design_carbon(&t.project),
-                    manufacturing_per_chip: params
-                        .manufacturing_model(t.node)
-                        .carbon_per_die(t.area)?,
-                    packaging_per_chip: params.packaging().carbon_for_die(t.area),
-                    eol_per_chip: params.eol_model().carbon_per_chip(t.packaged_mass),
-                    chips_per_unit: t.chips_per_unit,
-                    profile: OperationProfile::new(
-                        t.tdp,
-                        params.deployment().duty_cycle,
-                        params.deployment().usage_grid,
-                    ),
-                    appdev,
-                    flow: t.flow,
-                })
+        let compile_platform = |t: &PlatformTemplate| -> Result<CompiledPlatform, GreenFpgaError> {
+            let appdev = match t.config_time {
+                Some(config_time) => params.appdev().with_config_time(config_time),
+                None => *params.appdev(),
             };
+            Ok(CompiledPlatform {
+                design: params.design_house().design_carbon(&t.project),
+                manufacturing_per_chip: params
+                    .manufacturing_model(t.node)
+                    .carbon_per_die(t.area)?,
+                packaging_per_chip: params.packaging().carbon_for_die(t.area),
+                eol_per_chip: params.eol_model().carbon_per_chip(t.packaged_mass),
+                chips_per_unit: t.chips_per_unit,
+                profile: OperationProfile::new(
+                    t.tdp,
+                    params.deployment().duty_cycle,
+                    params.deployment().usage_grid,
+                ),
+                appdev,
+                flow: t.flow,
+            })
+        };
         Ok(CompiledScenario {
             domain: self.domain,
             fpga: compile_platform(&self.fpga)?,
@@ -424,41 +422,42 @@ impl CompiledScenario {
     ) -> Result<(), GreenFpgaError> {
         out.prepare(self.domain, n);
         let (fpga_cols, asic_cols) = out.columns_mut();
-        exec::try_fill_chunked(
-            n,
-            threads,
-            (fpga_cols, asic_cols),
-            &|start, len, (mut fpga_chunk, mut asic_chunk): (SoaChunksMut<'_>, SoaChunksMut<'_>)| {
-                // The chunk is processed in tiles: gather the points, run
-                // the hot evaluation loop in [`CompiledScenario::evaluate_tile`]
-                // (a plain method, so its codegen is as tight as the scalar
-                // `evaluate` path instead of being pessimized inside this
-                // generic closure), then flush each staged column with one
-                // contiguous copy. Writing the 12 output columns
-                // point-by-point interleaved 12 strided, bounds-checked
-                // store streams — the regression `bench eval` caught as
-                // `soa_speedup < 1`.
-                let mut points = [OperatingPoint::paper_default(); SOA_TILE];
-                let mut at = 0;
-                while at < len {
-                    let tile_len = SOA_TILE.min(len - at);
-                    for (t, slot) in points[..tile_len].iter_mut().enumerate() {
-                        *slot = point_of(start + at + t);
-                    }
-                    let (fpga_tile, fpga_rest) = fpga_chunk.split_at_mut(tile_len);
-                    let (asic_tile, asic_rest) = asic_chunk.split_at_mut(tile_len);
-                    fpga_chunk = fpga_rest;
-                    asic_chunk = asic_rest;
-                    if let Err((t, e)) =
-                        self.evaluate_tile(&points[..tile_len], fpga_tile, asic_tile)
-                    {
-                        return Some((start + at + t, e));
-                    }
-                    at += tile_len;
+        exec::try_fill_chunked(n, threads, (fpga_cols, asic_cols), &|start,
+                                                                     len,
+                                                                     (
+            mut fpga_chunk,
+            mut asic_chunk,
+        ): (
+            SoaChunksMut<'_>,
+            SoaChunksMut<'_>,
+        )| {
+            // The chunk is processed in tiles: gather the points, run
+            // the hot evaluation loop in [`CompiledScenario::evaluate_tile`]
+            // (a plain method, so its codegen is as tight as the scalar
+            // `evaluate` path instead of being pessimized inside this
+            // generic closure), then flush each staged column with one
+            // contiguous copy. Writing the 12 output columns
+            // point-by-point interleaved 12 strided, bounds-checked
+            // store streams — the regression `bench eval` caught as
+            // `soa_speedup < 1`.
+            let mut points = [OperatingPoint::paper_default(); SOA_TILE];
+            let mut at = 0;
+            while at < len {
+                let tile_len = SOA_TILE.min(len - at);
+                for (t, slot) in points[..tile_len].iter_mut().enumerate() {
+                    *slot = point_of(start + at + t);
                 }
-                None
-            },
-        )
+                let (fpga_tile, fpga_rest) = fpga_chunk.split_at_mut(tile_len);
+                let (asic_tile, asic_rest) = asic_chunk.split_at_mut(tile_len);
+                fpga_chunk = fpga_rest;
+                asic_chunk = asic_rest;
+                if let Err((t, e)) = self.evaluate_tile(&points[..tile_len], fpga_tile, asic_tile) {
+                    return Some((start + at + t, e));
+                }
+                at += tile_len;
+            }
+            None
+        })
     }
 }
 
@@ -892,7 +891,10 @@ mod tests {
         ));
         assert!(matches!(
             compiled.evaluate(OperatingPoint { volume: 0, ..base }),
-            Err(GreenFpgaError::InvalidApplication { field: "volume", .. })
+            Err(GreenFpgaError::InvalidApplication {
+                field: "volume",
+                ..
+            })
         ));
         assert!(matches!(
             compiled.evaluate(OperatingPoint {
@@ -909,10 +911,13 @@ mod tests {
     #[test]
     fn batch_surfaces_the_lowest_index_error() {
         let mut pts = points();
-        pts.insert(2, OperatingPoint {
-            applications: 0,
-            ..OperatingPoint::paper_default()
-        });
+        pts.insert(
+            2,
+            OperatingPoint {
+                applications: 0,
+                ..OperatingPoint::paper_default()
+            },
+        );
         pts.push(OperatingPoint {
             volume: 0,
             ..OperatingPoint::paper_default()

@@ -434,13 +434,8 @@ mod tests {
 
     #[test]
     fn try_map_returns_lowest_index_error() {
-        let result: Result<Vec<usize>, usize> = try_map_indexed(100, 4, |i| {
-            if i % 30 == 7 {
-                Err(i)
-            } else {
-                Ok(i)
-            }
-        });
+        let result: Result<Vec<usize>, usize> =
+            try_map_indexed(100, 4, |i| if i % 30 == 7 { Err(i) } else { Ok(i) });
         assert_eq!(result, Err(7));
     }
 
@@ -599,13 +594,18 @@ mod tests {
     fn fill_returns_lowest_index_error() {
         for threads in [1, 2, 4, 9] {
             let mut out = vec![0usize; 100];
-            let result = try_fill_indexed(&mut out, threads, |i| {
-                if i % 30 == 7 {
-                    Err(i)
-                } else {
-                    Ok(i)
-                }
-            });
+            let result =
+                try_fill_indexed(
+                    &mut out,
+                    threads,
+                    |i| {
+                        if i % 30 == 7 {
+                            Err(i)
+                        } else {
+                            Ok(i)
+                        }
+                    },
+                );
             assert_eq!(result, Err(7), "{threads} threads");
         }
     }

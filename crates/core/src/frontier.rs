@@ -121,7 +121,10 @@ impl FrontierResult {
     ///
     /// Panics when the indices are out of range.
     pub fn fpga_wins(&self, row: usize, col: usize) -> bool {
-        assert!(row < self.height() && col < self.width(), "cell out of range");
+        assert!(
+            row < self.height() && col < self.width(),
+            "cell out of range"
+        );
         self.winners[row * self.width() + col]
     }
 
@@ -145,7 +148,10 @@ impl FrontierResult {
     ///
     /// Panics when the indices are out of range.
     pub fn ratio_at(&self, row: usize, col: usize) -> Option<f64> {
-        assert!(row < self.height() && col < self.width(), "cell out of range");
+        assert!(
+            row < self.height() && col < self.width(),
+            "cell out of range"
+        );
         let ratio = self.ratios[row * self.width() + col];
         if ratio.is_nan() {
             None
@@ -330,8 +336,7 @@ impl CompiledScenario {
             // Ascending order keeps the "lowest index" error guarantee of
             // the underlying pool meaningful at the lattice level.
             need.sort_unstable();
-            let wave =
-                exec::try_map_indexed(need.len(), 0, |i| compiled.ratio(point_at(need[i])))?;
+            let wave = exec::try_map_indexed(need.len(), 0, |i| compiled.ratio(point_at(need[i])))?;
             for (&index, ratio) in need.iter().zip(wave) {
                 ratios[index] = ratio;
                 requested[index] = false;
@@ -341,8 +346,9 @@ impl CompiledScenario {
             // Classify or subdivide every block of the wave.
             let mut next = Vec::new();
             for block in blocks.drain(..) {
-                let corner_wins =
-                    block.corners().map(|(col, row)| ratios[row * width + col] < 1.0);
+                let corner_wins = block
+                    .corners()
+                    .map(|(col, row)| ratios[row * width + col] < 1.0);
                 let uniform = corner_wins.iter().all(|&w| w == corner_wins[0]);
                 if uniform {
                     for row in block.y0..=block.y1 {

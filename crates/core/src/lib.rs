@@ -55,6 +55,7 @@ mod breakdown;
 mod comparison;
 mod device;
 mod domain;
+mod engine;
 mod error;
 mod estimator;
 mod eval;
@@ -71,15 +72,18 @@ mod uncertainty;
 
 pub use analytic::{AffineComparison, AffineTotal};
 pub use api::{
-    BatchEvalRequest, BatchEvalResponse, CrossoverRequest, CrossoverResponse, EvaluateRequest,
-    EvaluateResponse, FrontierRequest, ScenarioSpec,
+    BatchEvalRequest, BatchEvalResponse, CompareRequest, CompareResponse, CrossoverRequest,
+    CrossoverResponse, EvaluateRequest, EvaluateResponse, FrontierRequest, FrontierResponse,
+    GridRequest, IndustryRequest, IndustryResponse, MonteCarloRequest, MonteCarloResponse, Outcome,
+    Query, QueryKind, ScenarioSpec, SweepRequest, TornadoRequest,
 };
 pub use application::{Application, Workload};
 pub use breakdown::CfpBreakdown;
 pub use comparison::{Crossover, CrossoverDirection, PlatformComparison, PlatformKind};
 pub use device::{AsicSpec, ChipSpec, FpgaSpec};
 pub use domain::{Domain, DomainCalibration, IsoPerformanceRatios};
-pub use error::GreenFpgaError;
+pub use engine::{Engine, EngineConfig};
+pub use error::{ApiError, ApiErrorCode, GreenFpgaError};
 pub use estimator::Estimator;
 pub use eval::{BatchRequest, CompiledPlatform, CompiledScenario, ResultBuffer, ScenarioTemplate};
 pub use frontier::FrontierResult;

@@ -167,30 +167,88 @@ impl HeatmapRenderer {
     /// winner), in the same lower-left-origin orientation as
     /// [`HeatmapRenderer::render`].
     pub fn render_frontier(&self, frontier: &FrontierResult) -> String {
-        let width = frontier.width();
-        let mut glyphs: Vec<Vec<char>> = (0..frontier.height())
+        self.render_winner_map(
+            frontier.x_axis.label(),
+            frontier.y_axis.label(),
+            &frontier.x_values,
+            &frontier.y_values,
+            |row, col| frontier.fpga_wins(row, col),
+            frontier.evaluations(),
+            frontier.evaluated_fraction(),
+        )
+    }
+
+    /// Renders a wire-form [`crate::api::FrontierResponse`] winner map —
+    /// the same body as [`HeatmapRenderer::render_frontier`], computed from
+    /// the mask the response carries, so remote clients (and the CLI's
+    /// engine adapter) render identically without the engine-side
+    /// [`FrontierResult`].
+    pub fn render_frontier_response(&self, frontier: &crate::api::FrontierResponse) -> String {
+        self.render_winner_map(
+            frontier.x_axis.label(),
+            frontier.y_axis.label(),
+            &frontier.x_values,
+            &frontier.y_values,
+            |row, col| frontier.fpga_wins[row][col],
+            frontier.evaluations as usize,
+            frontier.evaluated_fraction,
+        )
+    }
+
+    /// The shared winner-map body behind [`HeatmapRenderer::render_frontier`]
+    /// and [`HeatmapRenderer::render_frontier_response`]: glyph grid,
+    /// 4-neighbour frontier marking, header and axis footer. One body, so
+    /// the engine-side and wire-side renderings cannot diverge.
+    #[allow(clippy::too_many_arguments)]
+    fn render_winner_map(
+        &self,
+        x_label: &str,
+        y_label: &str,
+        x_values: &[f64],
+        y_values: &[f64],
+        wins: impl Fn(usize, usize) -> bool,
+        evaluations: usize,
+        evaluated_fraction: f64,
+    ) -> String {
+        let width = x_values.len();
+        let height = y_values.len();
+        let mut glyphs: Vec<Vec<char>> = (0..height)
             .map(|row| {
                 (0..width)
-                    .map(|col| if frontier.fpga_wins(row, col) { '#' } else { '.' })
+                    .map(|col| if wins(row, col) { '#' } else { '.' })
                     .collect()
             })
             .collect();
-        for (row, col) in frontier.frontier_cells() {
-            glyphs[row][col] = '=';
+        // Frontier cells: any 4-neighbour with the opposite winner (the
+        // same rule as `FrontierResult::frontier_cells`).
+        for (row, glyph_row) in glyphs.iter_mut().enumerate() {
+            for (col, glyph) in glyph_row.iter_mut().enumerate() {
+                let here = wins(row, col);
+                let neighbours = [
+                    row.checked_sub(1).map(|r| (r, col)),
+                    (row + 1 < height).then_some((row + 1, col)),
+                    col.checked_sub(1).map(|c| (row, c)),
+                    (col + 1 < width).then_some((row, col + 1)),
+                ];
+                if neighbours
+                    .into_iter()
+                    .flatten()
+                    .any(|(r, c)| wins(r, c) != here)
+                {
+                    *glyph = '=';
+                }
+            }
         }
 
         let mut out = String::new();
         out.push_str(&format!(
-            "FPGA-vs-ASIC winner map — x: {}, y: {} ('#' FPGA wins, '.' ASIC wins, '=' frontier); {} of {} cells evaluated ({:.1}%)\n",
-            frontier.x_axis.label(),
-            frontier.y_axis.label(),
-            frontier.evaluations(),
-            frontier.len(),
-            frontier.evaluated_fraction() * 100.0
+            "FPGA-vs-ASIC winner map — x: {x_label}, y: {y_label} ('#' FPGA wins, '.' ASIC wins, '=' frontier); {evaluations} of {} cells evaluated ({:.1}%)\n",
+            width * height,
+            evaluated_fraction * 100.0
         ));
         for (row_idx, row) in glyphs.iter().enumerate().rev() {
             if self.with_labels {
-                out.push_str(&format!("{:>12.3} | ", frontier.y_values[row_idx]));
+                out.push_str(&format!("{:>12.3} | ", y_values[row_idx]));
             }
             for &glyph in row {
                 out.push(glyph);
@@ -203,8 +261,8 @@ impl HeatmapRenderer {
             out.push_str(&format!(
                 "{:>14}x from {:.3} to {:.3}\n",
                 "",
-                frontier.x_values.first().copied().unwrap_or(0.0),
-                frontier.x_values.last().copied().unwrap_or(0.0)
+                x_values.first().copied().unwrap_or(0.0),
+                x_values.last().copied().unwrap_or(0.0)
             ));
         }
         out

@@ -190,33 +190,7 @@ impl Estimator {
         values: &[f64],
         base: OperatingPoint,
     ) -> Result<SweepSeries, GreenFpgaError> {
-        if values.is_empty() {
-            return Err(GreenFpgaError::InvalidRange {
-                what: "sweep values",
-            });
-        }
-        let compiled = self.compile(domain)?;
-        let mut buffer = ResultBuffer::new();
-        compiled.evaluate_indexed_into(
-            values.len(),
-            |i| base.with_axis(axis, values[i]),
-            &mut buffer,
-            0,
-        )?;
-        let points = values
-            .iter()
-            .enumerate()
-            .map(|(i, &x)| SweepPoint {
-                x,
-                fpga: buffer.fpga(i),
-                asic: buffer.asic(i),
-            })
-            .collect();
-        Ok(SweepSeries {
-            domain,
-            axis,
-            points,
-        })
+        self.compile(domain)?.sweep_series(axis, values, base, 0)
     }
 
     /// Sweeps the number of applications (Fig. 4).
@@ -288,22 +262,90 @@ impl Estimator {
         y_values: &[f64],
         base: OperatingPoint,
     ) -> Result<GridSweep, GreenFpgaError> {
+        self.compile(domain)?
+            .ratio_grid(x_axis, x_values, y_axis, y_values, base, 0)
+    }
+}
+
+impl crate::CompiledScenario {
+    /// Sweeps one workload parameter over the given values, holding the
+    /// other two at `base` — the compiled body behind [`Estimator::sweep`],
+    /// callable off a cached compilation. `threads` follows the batch
+    /// kernel's convention (`0` = auto); the result is identical for every
+    /// thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GreenFpgaError::InvalidRange`] for an empty value list and
+    /// propagates model errors.
+    pub fn sweep_series(
+        &self,
+        axis: SweepAxis,
+        values: &[f64],
+        base: OperatingPoint,
+        threads: usize,
+    ) -> Result<SweepSeries, GreenFpgaError> {
+        if values.is_empty() {
+            return Err(GreenFpgaError::InvalidRange {
+                what: "sweep values",
+            });
+        }
+        let mut buffer = ResultBuffer::new();
+        self.evaluate_indexed_into(
+            values.len(),
+            |i| base.with_axis(axis, values[i]),
+            &mut buffer,
+            threads,
+        )?;
+        let points = values
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| SweepPoint {
+                x,
+                fpga: buffer.fpga(i),
+                asic: buffer.asic(i),
+            })
+            .collect();
+        Ok(SweepSeries {
+            domain: self.domain(),
+            axis,
+            points,
+        })
+    }
+
+    /// Evaluates the FPGA:ASIC ratio over a 2-D lattice — the compiled
+    /// body behind [`Estimator::ratio_grid`], callable off a cached
+    /// compilation. `threads` follows the batch kernel's convention (`0` =
+    /// auto); the result is identical for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GreenFpgaError::InvalidRange`] when either value list is
+    /// empty and propagates the model error with the lowest cell index.
+    pub fn ratio_grid(
+        &self,
+        x_axis: SweepAxis,
+        x_values: &[f64],
+        y_axis: SweepAxis,
+        y_values: &[f64],
+        base: OperatingPoint,
+        threads: usize,
+    ) -> Result<GridSweep, GreenFpgaError> {
         if x_values.is_empty() || y_values.is_empty() {
             return Err(GreenFpgaError::InvalidRange {
                 what: "grid values",
             });
         }
-        let compiled = self.compile(domain)?;
         let columns = x_values.len();
         let mut buffer = ResultBuffer::new();
-        compiled.evaluate_indexed_into(
+        self.evaluate_indexed_into(
             columns * y_values.len(),
             |i| {
                 base.with_axis(y_axis, y_values[i / columns])
                     .with_axis(x_axis, x_values[i % columns])
             },
             &mut buffer,
-            0,
+            threads,
         )?;
         let ratios = (0..y_values.len())
             .map(|row| {
@@ -313,7 +355,7 @@ impl Estimator {
             })
             .collect();
         Ok(GridSweep {
-            domain,
+            domain: self.domain(),
             x_axis,
             x_values: x_values.to_vec(),
             y_axis,

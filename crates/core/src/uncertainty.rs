@@ -59,7 +59,7 @@ impl MonteCarlo {
     /// Trials run in parallel through the batch engine. Each trial clones
     /// the base parameters **once**, retunes every knob in place
     /// ([`Knob::apply_mut`]), compiles the scenario
-    /// ([`CompiledScenario::compile`]) and evaluates the operating point —
+    /// ([`crate::CompiledScenario::compile`]) and evaluates the operating point —
     /// where the old implementation cloned the parameter set once per knob
     /// and rebuilt every spec and workload vector from scratch, serially.
     /// The per-trial ratios are written straight into one preallocated

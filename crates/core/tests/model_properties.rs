@@ -6,8 +6,7 @@
 use gf_support::SplitMix64;
 use greenfpga::units::{Fraction, TimeSpan};
 use greenfpga::{
-    Domain, Estimator, EstimatorParams, LongHorizonScenario, OperatingPoint, PlatformKind,
-    Workload,
+    Domain, Estimator, EstimatorParams, LongHorizonScenario, OperatingPoint, PlatformKind, Workload,
 };
 
 const CASES: usize = 64;
@@ -107,7 +106,9 @@ fn more_applications_never_hurt_the_fpga_ratio() {
         let lifetime = rng.gen_range_f64(0.2, 3.0);
         let volume = rng.gen_range_u64(1_000, 999_999);
         let est = estimator();
-        let fewer = est.compare_uniform(domain, napps, lifetime, volume).unwrap();
+        let fewer = est
+            .compare_uniform(domain, napps, lifetime, volume)
+            .unwrap();
         let more = est
             .compare_uniform(domain, napps + 1, lifetime, volume)
             .unwrap();
@@ -127,7 +128,9 @@ fn totals_are_monotone_in_lifetime_and_volume() {
         let longer = est
             .compare_uniform(domain, 5, lifetime * 1.5, volume)
             .unwrap();
-        let wider = est.compare_uniform(domain, 5, lifetime, volume * 2).unwrap();
+        let wider = est
+            .compare_uniform(domain, 5, lifetime, volume * 2)
+            .unwrap();
         assert!(longer.fpga.total() >= base.fpga.total());
         assert!(longer.asic.total() >= base.asic.total());
         assert!(wider.fpga.total() >= base.fpga.total());

@@ -74,11 +74,7 @@ impl Value {
     /// a missing key or a non-object.
     pub fn get(&self, key: &str) -> Option<&Value> {
         match self {
-            Value::Object(members) => members
-                .iter()
-                .rev()
-                .find(|(k, _)| k == key)
-                .map(|(_, v)| v),
+            Value::Object(members) => members.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
@@ -115,9 +111,7 @@ impl Value {
     pub fn as_u64(&self) -> Option<u64> {
         const MAX_EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
         match self {
-            Value::Number(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= MAX_EXACT => {
-                Some(*n as u64)
-            }
+            Value::Number(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= MAX_EXACT => Some(*n as u64),
             _ => None,
         }
     }
@@ -404,7 +398,12 @@ mod tests {
         assert_eq!(doc.get("flag").and_then(Value::as_bool), Some(true));
         assert_eq!(doc.get("n").and_then(Value::as_f64), Some(2.5));
         assert_eq!(doc.get("s").and_then(Value::as_str), Some("hi"));
-        assert_eq!(doc.get("list").and_then(|v| v.index(1)).and_then(Value::as_f64), Some(2.0));
+        assert_eq!(
+            doc.get("list")
+                .and_then(|v| v.index(1))
+                .and_then(Value::as_f64),
+            Some(2.0)
+        );
         assert!(doc.get("nothing").is_some_and(Value::is_null));
         assert!(doc.get("missing").is_none());
         assert!(Value::Null.get("x").is_none());
@@ -424,7 +423,10 @@ mod tests {
         assert_eq!(Value::Number(0.0).as_u64(), Some(0));
         assert_eq!(Value::Number(2.5).as_u64(), None);
         assert_eq!(Value::Number(-1.0).as_u64(), None);
-        assert_eq!(Value::Number(9.007_199_254_740_992e15).as_u64(), Some(1 << 53));
+        assert_eq!(
+            Value::Number(9.007_199_254_740_992e15).as_u64(),
+            Some(1 << 53)
+        );
         assert_eq!(Value::Number(1e16).as_u64(), None);
         assert_eq!(Value::Bool(true).as_u64(), None);
     }
@@ -434,10 +436,7 @@ mod tests {
         assert_eq!(f64::from_json(&2.5f64.to_json()).unwrap(), 2.5);
         assert_eq!(u64::from_json(&7u64.to_json()).unwrap(), 7);
         assert!(bool::from_json(&true.to_json()).unwrap());
-        assert_eq!(
-            String::from_json(&"x".to_string().to_json()).unwrap(),
-            "x"
-        );
+        assert_eq!(String::from_json(&"x".to_string().to_json()).unwrap(), "x");
         let v: Vec<f64> = vec![1.0, 2.0];
         assert_eq!(Vec::<f64>::from_json(&v.to_json()).unwrap(), v);
         assert!(f64::from_json(&Value::Null).is_err());

@@ -205,9 +205,10 @@ impl<'a> Parser<'a> {
                     while end < self.bytes.len() && (self.bytes[end] & 0xc0) == 0x80 {
                         end += 1;
                     }
-                    out.push_str(std::str::from_utf8(&self.bytes[start..end]).expect(
-                        "input is a &str, so every scalar is valid UTF-8",
-                    ));
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..end])
+                            .expect("input is a &str, so every scalar is valid UTF-8"),
+                    );
                     self.pos = end;
                 }
             }
@@ -314,8 +315,8 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number lexemes are ASCII");
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number lexemes are ASCII");
         let number: f64 = text
             .parse()
             .map_err(|_| self.syntax(format!("unparseable number '{text}'")))?;
@@ -338,7 +339,10 @@ mod tests {
         assert_eq!(parse("true").unwrap(), Value::Bool(true));
         assert_eq!(parse("false").unwrap(), Value::Bool(false));
         assert_eq!(parse("0").unwrap(), Value::Number(0.0));
-        assert_eq!(parse("-0").unwrap().as_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(
+            parse("-0").unwrap().as_f64().unwrap().to_bits(),
+            (-0.0f64).to_bits()
+        );
         assert_eq!(parse("2.5e3").unwrap(), Value::Number(2500.0));
         assert_eq!(parse("1E-2").unwrap(), Value::Number(0.01));
         assert_eq!(parse("\"hi\"").unwrap(), Value::String("hi".into()));
@@ -357,7 +361,12 @@ mod tests {
         assert_eq!(parse("[]").unwrap(), Value::Array(vec![]));
         assert_eq!(parse("{}").unwrap(), Value::Object(vec![]));
         assert_eq!(
-            parse("[1, [2, [3]]]").unwrap().index(1).and_then(|v| v.index(1)).and_then(|v| v.index(0)).and_then(Value::as_f64),
+            parse("[1, [2, [3]]]")
+                .unwrap()
+                .index(1)
+                .and_then(|v| v.index(1))
+                .and_then(|v| v.index(0))
+                .and_then(Value::as_f64),
             Some(3.0)
         );
     }
@@ -381,11 +390,43 @@ mod tests {
     #[test]
     fn rejects_malformed_input() {
         for bad in [
-            "", "   ", "{", "}", "[", "]", "[1,]", "{\"a\":}", "{\"a\" 1}", "{a: 1}",
-            "[1 2]", "tru", "nul", "truex", "\"unterminated", "\"bad\\q\"", "\"\\u12g4\"",
-            "\"\\ud800\"", "\"\\ud800\\u0041\"", "\"\\udc00\"", "01", "1.", ".5", "+1",
-            "1e", "1e+", "-", "NaN", "Infinity", "-Infinity", "1 2", "[1],", "\"a\"x",
-            "{\"a\":1,}", "nan", "\u{1}", "\"\u{1}\"",
+            "",
+            "   ",
+            "{",
+            "}",
+            "[",
+            "]",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{a: 1}",
+            "[1 2]",
+            "tru",
+            "nul",
+            "truex",
+            "\"unterminated",
+            "\"bad\\q\"",
+            "\"\\u12g4\"",
+            "\"\\ud800\"",
+            "\"\\ud800\\u0041\"",
+            "\"\\udc00\"",
+            "01",
+            "1.",
+            ".5",
+            "+1",
+            "1e",
+            "1e+",
+            "-",
+            "NaN",
+            "Infinity",
+            "-Infinity",
+            "1 2",
+            "[1],",
+            "\"a\"x",
+            "{\"a\":1,}",
+            "nan",
+            "\u{1}",
+            "\"\u{1}\"",
         ] {
             assert!(parse(bad).is_err(), "accepted {bad:?}");
         }

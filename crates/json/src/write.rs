@@ -147,7 +147,8 @@ mod tests {
 
     #[test]
     fn strings_escape_controls_and_round_trip() {
-        let original = Value::String("tab\t nl\n quote\" back\\ bell\u{7} nul\u{0} é→\u{1f600}".into());
+        let original =
+            Value::String("tab\t nl\n quote\" back\\ bell\u{7} nul\u{0} é→\u{1f600}".into());
         let text = original.to_json_string().unwrap();
         assert!(text.contains("\\u0007") && text.contains("\\u0000"));
         assert_eq!(parse(&text).unwrap(), original);

@@ -57,7 +57,17 @@ fn gen_finite_f64(rng: &mut SplitMix64) -> f64 {
 
 fn gen_string(rng: &mut SplitMix64) -> String {
     let exotic = [
-        '"', '\\', '\n', '\t', '\u{0}', '\u{7}', '\u{1f}', 'é', '→', '\u{1f600}', '\u{fffd}',
+        '"',
+        '\\',
+        '\n',
+        '\t',
+        '\u{0}',
+        '\u{7}',
+        '\u{1f}',
+        'é',
+        '→',
+        '\u{1f600}',
+        '\u{fffd}',
     ];
     let len = rng.gen_index(12);
     (0..len)
@@ -139,7 +149,15 @@ fn f64_edge_cases_round_trip_or_reject() {
         );
     }
     // ...and by the parser, as literals and as overflow.
-    for bad in ["NaN", "nan", "Infinity", "-Infinity", "inf", "1e999", "-1e999"] {
+    for bad in [
+        "NaN",
+        "nan",
+        "Infinity",
+        "-Infinity",
+        "inf",
+        "1e999",
+        "-1e999",
+    ] {
         assert!(parse(bad).is_err(), "accepted {bad}");
     }
 }

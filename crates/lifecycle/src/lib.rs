@@ -2,7 +2,7 @@
 //! application development and field operation.
 //!
 //! These are the models the GreenFPGA paper adds on top of the ACT-style
-//! manufacturing substrate ([`gf_act`]):
+//! manufacturing substrate (`gf_act`):
 //!
 //! * [`DesignHouse`] / [`DesignProject`] — the design-phase CFP of Eq. (4),
 //!   built from design-house sustainability-report figures (annual energy,

@@ -289,9 +289,8 @@ mod tests {
 
     #[test]
     fn parses_a_post_with_body() {
-        let outcome = read(
-            "POST /v1/evaluate HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody",
-        );
+        let outcome =
+            read("POST /v1/evaluate HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody");
         let ReadOutcome::Request(request) = outcome else {
             panic!("expected a request, got {outcome:?}");
         };
@@ -332,7 +331,10 @@ mod tests {
 
     #[test]
     fn protocol_violations_get_the_right_status() {
-        assert!(matches!(read("GARBAGE\r\n\r\n"), ReadOutcome::Bad { status: 400, .. }));
+        assert!(matches!(
+            read("GARBAGE\r\n\r\n"),
+            ReadOutcome::Bad { status: 400, .. }
+        ));
         assert!(matches!(
             read("GET / SPDY/3\r\n\r\n"),
             ReadOutcome::Bad { status: 505, .. }
@@ -398,7 +400,9 @@ mod tests {
         let mut writer = Vec::new();
         let outcome = read_request(&mut reader, &mut writer, LIMITS);
         assert!(matches!(outcome, ReadOutcome::Request(_)));
-        assert!(String::from_utf8(writer).unwrap().starts_with("HTTP/1.1 100"));
+        assert!(String::from_utf8(writer)
+            .unwrap()
+            .starts_with("HTTP/1.1 100"));
     }
 
     #[test]
@@ -418,10 +422,7 @@ mod tests {
         // A head with no '\n' at all must hit the size limit, not grow the
         // buffer until the peer relents.
         let flood = "G".repeat(64 * 1024);
-        assert!(matches!(
-            read(&flood),
-            ReadOutcome::Bad { status: 431, .. }
-        ));
+        assert!(matches!(read(&flood), ReadOutcome::Bad { status: 431, .. }));
     }
 
     #[test]

@@ -7,18 +7,23 @@
 //!
 //! ## Routes
 //!
-//! | Route | Engine path |
+//! Every route is a thin adapter over one [`greenfpga::Engine`] — the
+//! same facade the CLI and library users call, so a served response is
+//! bit-identical to a local call by construction:
+//!
+//! | Route | |
 //! |---|---|
-//! | `GET /healthz` | liveness + cache/request counters |
-//! | `POST /v1/evaluate` | [`greenfpga::CompiledScenario::evaluate`] |
-//! | `POST /v1/batch` | [`greenfpga::CompiledScenario::evaluate_into`] (zero-alloc SoA kernel, per-connection reused buffer) |
-//! | `POST /v1/crossover` | [`greenfpga::Estimator::crossover_in_applications`] & friends (closed-form solver) |
-//! | `POST /v1/frontier` | [`greenfpga::Estimator::frontier`] (adaptive quadtree winner map) |
+//! | `GET /healthz` | liveness, version, uptime |
+//! | `GET /v1/metrics` | per-route counters, latency histograms, cache shards |
+//! | `POST /v1/<kind>` | [`greenfpga::Engine::run`] for every [`greenfpga::api::QueryKind`]: `evaluate`, `batch`, `compare`, `crossover`, `frontier`, `sweep`, `grid`, `tornado`, `montecarlo`, `industry` |
 //!
 //! Request/response schemas are the typed structs of [`greenfpga::api`]; a
-//! scenario (`domain` + Table 1 `knobs` overrides) addresses a keyed LRU
-//! cache of [`greenfpga::CompiledScenario`]s, so the common case — same
-//! scenario, different operating points — never recompiles anything.
+//! scenario (`domain` + Table 1 `knobs` overrides) addresses the engine's
+//! sharded keyed LRU cache of [`greenfpga::CompiledScenario`]s, so the
+//! common case — same scenario, different operating points — never
+//! recompiles anything. Failures speak the stable
+//! [`greenfpga::ApiError`] taxonomy (`error.code` / `error.message` /
+//! `error.retryable`), mapped to HTTP status canonically.
 //!
 //! ## Embedding
 //!
@@ -36,7 +41,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod cache;
 pub mod client;
 mod http;
 mod metrics;
@@ -49,10 +53,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use greenfpga::exec::WorkerPool;
-use greenfpga::ResultBuffer;
+use greenfpga::{Engine, EngineConfig, ResultBuffer};
 
-use cache::ShardedScenarioCache;
 use metrics::Metrics;
 
 /// Server tuning. Every field has a serving-sane default; the CLI exposes
@@ -117,11 +119,13 @@ impl ServerConfig {
     }
 }
 
-/// Shared server state: configuration, the sharded scenario cache, the
-/// metrics registry and the connection governor's gauges.
+/// Shared server state: configuration, the unified engine (scenario
+/// cache plus worker pool), the metrics registry and the connection
+/// governor's gauges.
 pub(crate) struct ServerState {
     pub config: ServerConfig,
-    pub cache: ShardedScenarioCache,
+    pub engine: Engine,
+    pub started: Instant,
     pub requests: AtomicU64,
     pub stop: AtomicBool,
     pub metrics: Metrics,
@@ -137,7 +141,10 @@ impl ServerState {
     /// Severs every open connection; blocked reads return EOF immediately.
     fn sever_connections(&self) {
         let connections = std::mem::take(
-            &mut *self.connections.lock().expect("connection registry poisoned"),
+            &mut *self
+                .connections
+                .lock()
+                .expect("connection registry poisoned"),
         );
         for (_, stream) in connections {
             let _ = stream.shutdown(Shutdown::Both);
@@ -161,13 +168,19 @@ impl Server {
     /// fail).
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
-        let cache = ShardedScenarioCache::new(config.cache_shards, config.cache_capacity)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let engine = Engine::new(EngineConfig {
+            cache_capacity: config.cache_capacity,
+            cache_shards: config.cache_shards,
+            eval_threads: config.eval_threads.max(1),
+            workers: config.workers,
+        })
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
         Ok(Server {
             listener,
             state: Arc::new(ServerState {
                 config,
-                cache,
+                engine,
+                started: Instant::now(),
                 requests: AtomicU64::new(0),
                 stop: AtomicBool::new(false),
                 metrics: Metrics::new(),
@@ -257,9 +270,9 @@ impl Drop for ServerHandle {
     }
 }
 
-/// The acceptor loop with its connection governor. Owns the connection
-/// worker pool; returning drops the pool, which joins every worker after
-/// its queued connections finish.
+/// The acceptor loop with its connection governor. Connections run on the
+/// engine's persistent worker pool; returning joins the pool (after its
+/// queued connections finish) via [`Engine::join_workers`].
 ///
 /// Admission control happens here, before a connection ever reaches the
 /// pool: past the live-connection cap, or once a full wave of accepted
@@ -268,14 +281,13 @@ impl Drop for ServerHandle {
 /// joining an unbounded backlog.
 fn serve(listener: TcpListener, state: Arc<ServerState>) {
     let workers = state.config.workers_resolved();
-    let pool = WorkerPool::new(workers);
     for stream in listener.incoming() {
         if state.stop.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = stream else { continue };
         let live = state.live_connections.load(Ordering::SeqCst);
-        let saturated = pool.queue_depth() >= workers.max(1);
+        let saturated = state.engine.queue_depth() >= workers.max(1);
         if live >= state.config.max_connections || saturated {
             state.metrics.rejected.fetch_add(1, Ordering::Relaxed);
             reject_connection(stream);
@@ -291,7 +303,7 @@ fn serve(listener: TcpListener, state: Arc<ServerState>) {
                 .insert(id, registered);
         }
         let job_state = Arc::clone(&state);
-        let queued = pool.execute(move || {
+        let queued = state.engine.execute(move || {
             // Guard-scoped decrement: a panicking handler must not leak an
             // admission slot, or the governor wedges shut one phantom
             // connection at a time.
@@ -308,13 +320,16 @@ fn serve(listener: TcpListener, state: Arc<ServerState>) {
             handle_connection(stream, &job_state);
         });
         if !queued {
-            // Only possible mid-drop; undo the gauge so it stays balanced.
+            // Only possible after the engine's workers were joined (a race
+            // with shutdown); undo the gauge so it stays balanced.
             state.live_connections.fetch_sub(1, Ordering::SeqCst);
         }
     }
     // Late shutdown can race a connection registered after the sever pass;
-    // sever again so no queued worker waits out its idle timeout.
+    // sever again so no queued worker waits out its idle timeout, then
+    // drain and join the engine's workers.
     state.sever_connections();
+    state.engine.join_workers();
 }
 
 /// Answers an admission-rejected connection with `503` + `Retry-After` and
@@ -380,6 +395,8 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
                     routes::route_index(&request.method, &request.path),
                     status,
                     started.elapsed().as_secs_f64() * 1e6,
+                    request.body.len() as u64,
+                    body.len() as u64,
                 );
                 state.requests.fetch_add(1, Ordering::Relaxed);
                 let keep_alive = request.keep_alive && !state.stop.load(Ordering::SeqCst);
@@ -396,9 +413,15 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
                 // against the fallback bucket so they are not invisible —
                 // and against `requests` too, so `requests_served` stays
                 // the sum of the per-route counters.
-                state.metrics.record(metrics::ROUTE_OTHER, status, 0.0);
+                let body = routes::protocol_error_body(&message);
+                state.metrics.record(
+                    state.metrics.other_index(),
+                    status,
+                    0.0,
+                    0,
+                    body.len() as u64,
+                );
                 state.requests.fetch_add(1, Ordering::Relaxed);
-                let body = routes::protocol_error_body(status, &message);
                 let _ = http::write_response(&mut writer, status, &body, false);
                 break;
             }

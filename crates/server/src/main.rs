@@ -28,12 +28,22 @@ OPTIONS:
   --max-body-bytes <N>    request body limit           (default: 4194304)
 
 ROUTES:
-  GET  /healthz        liveness + counters
-  GET  /v1/metrics     per-route counters, latency histograms, cache shards
+  GET  /healthz        liveness: status, version, uptime, workers
+  GET  /v1/metrics     per-route counters + bytes, latency histograms, cache shards
   POST /v1/evaluate    one operating point            {\"domain\", \"knobs\"?, \"point\"?}
   POST /v1/batch       many points, SoA batch kernel  {\"domain\", \"knobs\"?, \"points\"}
+  POST /v1/compare     one point, several scenarios   {\"scenarios\", \"point\"?}
   POST /v1/crossover   closed-form crossover solver   {\"domain\", \"knobs\"?, \"point\"?, ranges?}
   POST /v1/frontier    adaptive quadtree winner map   {\"domain\", \"knobs\"?, axes/ranges/steps?}
+  POST /v1/sweep       one-axis linear sweep          {\"domain\", \"knobs\"?, \"axis\", \"from\", \"to\", \"steps\"?}
+  POST /v1/grid        dense 2-D ratio heatmap        {\"domain\", \"knobs\"?, axes/ranges/steps?}
+  POST /v1/tornado     per-knob sensitivity analysis  {\"domain\", \"knobs\"?, \"point\"?}
+  POST /v1/montecarlo  uncertainty analysis           {\"domain\", \"knobs\"?, \"point\"?, \"samples\"?, \"seed\"?}
+  POST /v1/industry    Table 3 industry testcases     {\"knobs\"?, \"service_years\"?, \"fpga_applications\"?, \"volume\"?}
+
+Errors are {\"error\": {\"code\", \"message\", \"retryable\"}} with canonical
+HTTP statuses (400 bad_request, 404 not_found, 405 method_not_allowed,
+422 model, 503 overloaded + Retry-After, 500 internal).
 ";
 
 /// Parses `--key value` pairs into a config; the tiny hand parser matches
@@ -49,8 +59,10 @@ fn parse_config(args: &[String]) -> Result<ServerConfig, String> {
         let Some(value) = args.get(i + 1) else {
             return Err(format!("missing value for {key}"));
         };
-        let parse_usize =
-            |v: &str| -> Result<usize, String> { v.parse().map_err(|_| format!("invalid value '{v}' for {key}")) };
+        let parse_usize = |v: &str| -> Result<usize, String> {
+            v.parse()
+                .map_err(|_| format!("invalid value '{v}' for {key}"))
+        };
         // Zero is a configuration bug for these, not a value to clamp —
         // reject it here so the mistake is visible, matching the
         // library-level `ScenarioCache`/`ShardedScenarioCache` contract.
@@ -110,6 +122,17 @@ mod tests {
 
     fn argv(line: &str) -> Vec<String> {
         line.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn usage_lists_every_query_route() {
+        for kind in greenfpga::api::QueryKind::ALL {
+            assert!(
+                USAGE.contains(kind.path()),
+                "usage is missing {}",
+                kind.path()
+            );
+        }
     }
 
     #[test]

@@ -5,10 +5,19 @@
 //! serialize the serving path it observes. Snapshots read the counters
 //! route by route; the combined view is not one atomic cut, which is the
 //! normal contract for monitoring counters.
+//!
+//! The per-route registry is **derived from the dispatch table** in
+//! [`crate::routes`]: one [`RouteStats`] per table entry plus the trailing
+//! fallback bucket, with labels built from the same `(method, path)` pairs
+//! the dispatcher matches on. An endpoint added to the table can therefore
+//! never silently miss its metrics — there is no second list to keep in
+//! sync.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use greenfpga::api::{LatencyHistogram, RouteMetrics};
+
+use crate::routes::route_table;
 
 /// Histogram bucket upper bounds in microseconds (inclusive), ascending.
 /// Everything above the last bound lands in the implicit overflow bucket,
@@ -17,25 +26,16 @@ pub(crate) const LATENCY_BOUNDS_US: [f64; 11] = [
     50.0, 100.0, 250.0, 500.0, 1_000.0, 2_500.0, 5_000.0, 10_000.0, 25_000.0, 50_000.0, 100_000.0,
 ];
 
-/// Stable route labels, in snapshot order. The last entry is the fallback
-/// bucket for unknown routes and protocol-level rejections.
-pub(crate) const ROUTES: [&str; 7] = [
-    "GET /healthz",
-    "GET /v1/metrics",
-    "POST /v1/evaluate",
-    "POST /v1/batch",
-    "POST /v1/crossover",
-    "POST /v1/frontier",
-    "other",
-];
-
-/// Index of the fallback route bucket in [`ROUTES`].
-pub(crate) const ROUTE_OTHER: usize = ROUTES.len() - 1;
+/// Label of the fallback bucket for unknown routes and protocol-level
+/// rejections.
+const OTHER_LABEL: &str = "other";
 
 /// One route's counters.
 struct RouteStats {
     requests: AtomicU64,
     errors: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
     buckets: [AtomicU64; LATENCY_BOUNDS_US.len() + 1],
 }
 
@@ -44,15 +44,19 @@ impl RouteStats {
         RouteStats {
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
-    fn record(&self, status: u16, elapsed_us: f64) {
+    fn record(&self, status: u16, elapsed_us: f64, bytes_in: u64, bytes_out: u64) {
         self.requests.fetch_add(1, Ordering::Relaxed);
         if !(200..300).contains(&status) {
             self.errors.fetch_add(1, Ordering::Relaxed);
         }
+        self.bytes_in.fetch_add(bytes_in, Ordering::Relaxed);
+        self.bytes_out.fetch_add(bytes_out, Ordering::Relaxed);
         let bucket = LATENCY_BOUNDS_US
             .iter()
             .position(|&bound| elapsed_us <= bound)
@@ -65,6 +69,8 @@ impl RouteStats {
             route: route.to_string(),
             requests: self.requests.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
             latency: LatencyHistogram {
                 bounds_us: LATENCY_BOUNDS_US.to_vec(),
                 counts: self
@@ -77,31 +83,56 @@ impl RouteStats {
     }
 }
 
-/// The server's metrics registry: one [`RouteStats`] per route plus the
-/// admission-control rejection counter.
+/// The server's metrics registry: one [`RouteStats`] per dispatch-table
+/// entry (plus the fallback bucket) and the admission-control rejection
+/// counter.
 pub(crate) struct Metrics {
-    routes: [RouteStats; ROUTES.len()],
+    /// `labels.len() == routes.len()`; the last entry is the fallback.
+    labels: Vec<String>,
+    routes: Vec<RouteStats>,
     /// Connections rejected with `503` by the governor.
     pub rejected: AtomicU64,
 }
 
 impl Metrics {
+    /// Builds the registry from the dispatch table — the single source of
+    /// route identity.
     pub fn new() -> Self {
+        let mut labels: Vec<String> = route_table()
+            .iter()
+            .map(|route| format!("{} {}", route.method, route.path))
+            .collect();
+        labels.push(OTHER_LABEL.to_string());
+        let routes = (0..labels.len()).map(|_| RouteStats::new()).collect();
         Metrics {
-            routes: std::array::from_fn(|_| RouteStats::new()),
+            labels,
+            routes,
             rejected: AtomicU64::new(0),
         }
     }
 
-    /// Records one answered request. `route` is an index into [`ROUTES`];
-    /// out-of-range indices count against the fallback bucket.
-    pub fn record(&self, route: usize, status: u16, elapsed_us: f64) {
-        self.routes[route.min(ROUTE_OTHER)].record(status, elapsed_us);
+    /// Index of the fallback bucket.
+    pub fn other_index(&self) -> usize {
+        self.routes.len() - 1
     }
 
-    /// Per-route snapshots in [`ROUTES`] order.
+    /// Records one answered request. `route` is an index into the dispatch
+    /// table; out-of-range indices count against the fallback bucket.
+    pub fn record(
+        &self,
+        route: usize,
+        status: u16,
+        elapsed_us: f64,
+        bytes_in: u64,
+        bytes_out: u64,
+    ) {
+        let index = route.min(self.other_index());
+        self.routes[index].record(status, elapsed_us, bytes_in, bytes_out);
+    }
+
+    /// Per-route snapshots in dispatch-table order (fallback last).
     pub fn snapshot_routes(&self) -> Vec<RouteMetrics> {
-        ROUTES
+        self.labels
             .iter()
             .zip(&self.routes)
             .map(|(route, stats)| stats.snapshot(route))
@@ -113,39 +144,63 @@ impl Metrics {
 mod tests {
     use super::*;
 
+    /// Table index of `POST /v1/evaluate` (healthz and metrics precede the
+    /// query routes).
+    fn evaluate_index() -> usize {
+        route_table()
+            .iter()
+            .position(|route| route.path == "/v1/evaluate")
+            .expect("evaluate is routed")
+    }
+
     #[test]
     fn records_land_in_the_right_route_and_bucket() {
         let metrics = Metrics::new();
-        metrics.record(2, 200, 60.0); // evaluate, second bucket
-        metrics.record(2, 422, 60.0); // error
-        metrics.record(2, 200, 1e9); // overflow bucket
-        metrics.record(usize::MAX, 404, 10.0); // clamped to "other"
+        let evaluate = evaluate_index();
+        metrics.record(evaluate, 200, 60.0, 100, 900); // second bucket
+        metrics.record(evaluate, 422, 60.0, 50, 80); // error
+        metrics.record(evaluate, 200, 1e9, 100, 900); // overflow bucket
+        metrics.record(usize::MAX, 404, 10.0, 0, 40); // clamped to "other"
         let routes = metrics.snapshot_routes();
-        assert_eq!(routes.len(), ROUTES.len());
-        let evaluate = &routes[2];
-        assert_eq!(evaluate.route, "POST /v1/evaluate");
-        assert_eq!(evaluate.requests, 3);
-        assert_eq!(evaluate.errors, 1);
-        assert_eq!(evaluate.latency.counts[1], 2, "two 60us observations");
+        assert_eq!(routes.len(), route_table().len() + 1);
+        let stats = &routes[evaluate];
+        assert_eq!(stats.route, "POST /v1/evaluate");
+        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.errors, 1);
+        assert_eq!(stats.bytes_in, 250);
+        assert_eq!(stats.bytes_out, 1880);
+        assert_eq!(stats.latency.counts[1], 2, "two 60us observations");
+        assert_eq!(*stats.latency.counts.last().unwrap(), 1, "overflow bucket");
         assert_eq!(
-            *evaluate.latency.counts.last().unwrap(),
-            1,
-            "overflow bucket"
+            stats.latency.counts.len(),
+            stats.latency.bounds_us.len() + 1
         );
-        assert_eq!(
-            evaluate.latency.counts.len(),
-            evaluate.latency.bounds_us.len() + 1
-        );
-        let other = &routes[ROUTE_OTHER];
+        let other = &routes[metrics.other_index()];
+        assert_eq!(other.route, "other");
         assert_eq!(other.requests, 1);
         assert_eq!(other.errors, 1);
+        assert_eq!(other.bytes_out, 40);
     }
 
     #[test]
     fn boundary_observations_are_inclusive() {
         let metrics = Metrics::new();
-        metrics.record(0, 200, 50.0); // exactly the first bound
+        metrics.record(0, 200, 50.0, 0, 0); // exactly the first bound
         let routes = metrics.snapshot_routes();
         assert_eq!(routes[0].latency.counts[0], 1);
+    }
+
+    #[test]
+    fn every_dispatch_table_entry_has_a_metrics_bucket() {
+        // The drift this registry is designed out of: a route reachable
+        // through the dispatcher without a counter. Labels come from the
+        // same table the dispatcher matches on, so this holds trivially —
+        // the test pins the derivation.
+        let metrics = Metrics::new();
+        let routes = metrics.snapshot_routes();
+        for (i, route) in route_table().iter().enumerate() {
+            assert_eq!(routes[i].route, format!("{} {}", route.method, route.path));
+        }
+        assert_eq!(routes.last().unwrap().route, "other");
     }
 }

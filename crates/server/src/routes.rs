@@ -1,275 +1,211 @@
 //! Request routing: JSON in, engine call, JSON out.
 //!
-//! Every handler decodes one typed request from [`greenfpga::api`], runs
-//! the corresponding engine entry point, and encodes the typed response.
-//! The handlers deliberately call the **same** public engine APIs a direct
-//! library user would (`CompiledScenario::evaluate`,
-//! `CompiledScenario::evaluate_indexed_into`, `Estimator::crossover_in_*`,
-//! `Estimator::frontier`), so a served response is bit-identical to a local
-//! call by construction — the serving integration tests golden-match on
-//! exactly this.
+//! The dispatch table ([`route_table`]) is the single source of route
+//! identity: every `POST /v1/<kind>` entry is derived from
+//! [`QueryKind::ALL`], the metrics registry builds its labels from the same
+//! table, and [`route_index`] positions a request against it — so adding a
+//! query kind to the core enum makes it servable *and* metered with no
+//! server-side list to update.
+//!
+//! Every query handler decodes the typed request from [`greenfpga::api`],
+//! runs it through the shared [`greenfpga::Engine`] — the **same**
+//! facade a library user or the CLI calls — and encodes the typed
+//! response, so a served response is bit-identical to a local call by
+//! construction. Failures speak the [`ApiError`] taxonomy, mapped to HTTP
+//! status via [`ApiError::http_status`].
 
-use gf_json::{object, FromJson, JsonError, ToJson, Value};
-use greenfpga::{api, GreenFpgaError, ResultBuffer};
+use std::sync::OnceLock;
+
+use gf_json::{object, ToJson, Value};
+use greenfpga::api::QueryKind;
+use greenfpga::{ApiError, ResultBuffer};
 
 use crate::http::Request;
-use crate::metrics::{ROUTES, ROUTE_OTHER};
 use crate::ServerState;
 
-/// The metrics-registry index of a request — one of [`ROUTES`], falling
-/// back to the catch-all bucket for unknown paths and methods.
+/// What a dispatch-table entry serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Endpoint {
+    /// `GET /healthz`: liveness, version, uptime.
+    Healthz,
+    /// `GET /v1/metrics`: the observability snapshot.
+    Metrics,
+    /// `POST /v1/<kind>`: one engine query.
+    Query(QueryKind),
+}
+
+/// One dispatch-table entry.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Route {
+    /// HTTP method the entry answers.
+    pub method: &'static str,
+    /// Exact request path.
+    pub path: &'static str,
+    /// What it serves.
+    pub endpoint: Endpoint,
+}
+
+/// The dispatch table: the two `GET` endpoints followed by one `POST`
+/// route per [`QueryKind`], in [`QueryKind::ALL`] order. Built once.
+pub(crate) fn route_table() -> &'static [Route] {
+    static TABLE: OnceLock<Vec<Route>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = vec![
+            Route {
+                method: "GET",
+                path: "/healthz",
+                endpoint: Endpoint::Healthz,
+            },
+            Route {
+                method: "GET",
+                path: "/v1/metrics",
+                endpoint: Endpoint::Metrics,
+            },
+        ];
+        table.extend(QueryKind::ALL.into_iter().map(|kind| Route {
+            method: "POST",
+            path: kind.path(),
+            endpoint: Endpoint::Query(kind),
+        }));
+        table
+    })
+}
+
+/// The metrics-registry index of a request — its dispatch-table position,
+/// falling back to the trailing bucket for unknown paths and methods.
 pub(crate) fn route_index(method: &str, path: &str) -> usize {
-    let label_matches = |label: &str| {
-        label
-            .split_once(' ')
-            .is_some_and(|(m, p)| m == method && p == path)
-    };
-    ROUTES
+    route_table()
         .iter()
-        .position(|label| label_matches(label))
-        .unwrap_or(ROUTE_OTHER)
+        .position(|route| route.method == method && route.path == path)
+        .unwrap_or(usize::MAX)
 }
 
 /// Routes one request. Returns `(status, body)`; the body is always JSON.
-pub(crate) fn handle(state: &ServerState, buffer: &mut ResultBuffer, request: &Request) -> (u16, String) {
-    let outcome = match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => Ok(healthz(state)),
-        ("GET", "/v1/metrics") => Ok(metrics(state)),
-        ("POST", "/v1/evaluate") => with_body(state, request, |state, body| {
-            evaluate(state, body)
-        }),
-        ("POST", "/v1/batch") => with_body(state, request, |state, body| {
-            batch(state, buffer, body)
-        }),
-        ("POST", "/v1/crossover") => with_body(state, request, crossover),
-        ("POST", "/v1/frontier") => with_body(state, request, frontier),
-        ("GET" | "POST", _) => Err(Failure {
-            status: 404,
-            kind: "not_found",
-            message: format!("no route for {} {}", request.method, request.path),
-        }),
-        _ => Err(Failure {
-            status: 405,
-            kind: "method_not_allowed",
-            message: format!("method {} is not supported", request.method),
-        }),
-    };
-    match outcome {
+pub(crate) fn handle(
+    state: &ServerState,
+    buffer: &mut ResultBuffer,
+    request: &Request,
+) -> (u16, String) {
+    match dispatch(state, buffer, request) {
         Ok(value) => match value.to_json_string() {
             Ok(body) => (200, body),
-            Err(e) => encode_failure(Failure {
-                status: 500,
-                kind: "internal",
-                message: format!("response serialization failed: {e}"),
-            }),
+            Err(e) => {
+                let error = ApiError::internal(format!("response serialization failed: {e}"));
+                (error.http_status(), error_body(&error))
+            }
         },
-        Err(failure) => encode_failure(failure),
+        Err(error) => (error.http_status(), error_body(&error)),
     }
 }
 
+/// Finds the dispatch-table entry for a request and runs it.
+fn dispatch(
+    state: &ServerState,
+    buffer: &mut ResultBuffer,
+    request: &Request,
+) -> Result<Value, ApiError> {
+    let entry = route_table()
+        .iter()
+        .find(|route| route.path == request.path)
+        .ok_or_else(|| {
+            ApiError::not_found(format!("no route for {} {}", request.method, request.path))
+        })?;
+    if entry.method != request.method {
+        return Err(ApiError::method_not_allowed(format!(
+            "{} only supports {}",
+            entry.path, entry.method
+        )));
+    }
+    match entry.endpoint {
+        Endpoint::Healthz => Ok(healthz(state)),
+        Endpoint::Metrics => Ok(metrics(state)),
+        Endpoint::Query(kind) => {
+            let body = parse_body(state, request)?;
+            let query = kind.decode_request(&body)?;
+            let outcome = state.engine.run_with_buffer(&query, buffer)?;
+            Ok(outcome.result_json())
+        }
+    }
+}
+
+/// Parses the request body (bounded by the transport's body limit, plus
+/// the JSON parser's own depth limit).
+fn parse_body(state: &ServerState, request: &Request) -> Result<Value, ApiError> {
+    let text = std::str::from_utf8(&request.body)
+        .map_err(|_| ApiError::bad_request("body is not UTF-8"))?;
+    let limits = gf_json::ParseLimits {
+        max_bytes: state.config.max_body_bytes,
+        ..gf_json::ParseLimits::default()
+    };
+    Ok(gf_json::parse_with(text, limits)?)
+}
+
+/// Encodes an [`ApiError`] as the JSON error body.
+pub(crate) fn error_body(error: &ApiError) -> String {
+    error
+        .to_json()
+        .to_json_string()
+        .unwrap_or_else(|_| "{\"error\":{\"code\":\"internal\"}}".to_string())
+}
+
 /// Builds the error body for a protocol-level rejection raised by the HTTP
-/// reader (bad request line, oversized head/body, ...).
-pub(crate) fn protocol_error_body(status: u16, message: &str) -> String {
-    encode_failure(Failure {
-        status,
-        kind: "protocol",
-        message: message.to_string(),
-    })
-    .1
+/// reader (bad request line, oversized head/body, ...). The transport
+/// keeps its specific status (`413`, `431`, ...); the body carries the
+/// canonical `protocol` code.
+pub(crate) fn protocol_error_body(message: &str) -> String {
+    error_body(&ApiError::protocol(message))
 }
 
 /// Builds the `503` body the connection governor answers with when the
 /// server is at capacity.
 pub(crate) fn overload_error_body() -> String {
-    encode_failure(Failure {
-        status: 503,
-        kind: "overloaded",
-        message: "server is at capacity; retry after the Retry-After delay".to_string(),
-    })
-    .1
-}
-
-struct Failure {
-    status: u16,
-    kind: &'static str,
-    message: String,
-}
-
-fn encode_failure(failure: Failure) -> (u16, String) {
-    let body = object([(
-        "error",
-        object([
-            ("kind", Value::from(failure.kind)),
-            ("message", Value::from(failure.message)),
-        ]),
-    )]);
-    let body = body
-        .to_json_string()
-        .unwrap_or_else(|_| "{\"error\":{\"kind\":\"internal\"}}".to_string());
-    (failure.status, body)
-}
-
-impl From<JsonError> for Failure {
-    fn from(e: JsonError) -> Failure {
-        Failure {
-            status: 400,
-            kind: "bad_request",
-            message: e.to_string(),
-        }
-    }
-}
-
-impl From<GreenFpgaError> for Failure {
-    fn from(e: GreenFpgaError) -> Failure {
-        Failure {
-            status: 422,
-            kind: "model",
-            message: e.to_string(),
-        }
-    }
-}
-
-/// Parses the body (bounded by the transport's body limit, plus the JSON
-/// parser's own depth limit) and runs the handler.
-fn with_body<F>(state: &ServerState, request: &Request, run: F) -> Result<Value, Failure>
-where
-    F: FnOnce(&ServerState, &Value) -> Result<Value, Failure>,
-{
-    let text = std::str::from_utf8(&request.body).map_err(|_| Failure {
-        status: 400,
-        kind: "bad_request",
-        message: "body is not UTF-8".to_string(),
-    })?;
-    let limits = gf_json::ParseLimits {
-        max_bytes: state.config.max_body_bytes,
-        ..gf_json::ParseLimits::default()
-    };
-    let body = gf_json::parse_with(text, limits)?;
-    run(state, &body)
+    error_body(&ApiError::overloaded(
+        "server is at capacity; retry after the Retry-After delay",
+    ))
 }
 
 fn healthz(state: &ServerState) -> Value {
-    // One pass over the shards: a single snapshot yields entries, hits and
-    // misses together, instead of locking every shard once per figure.
-    let (entries, hits, misses) = state
-        .cache
-        .per_shard()
-        .into_iter()
-        .fold((0usize, 0u64, 0u64), |(e, h, m), (entries, hits, misses)| {
-            (e + entries, h + hits, m + misses)
-        });
+    // Liveness only: cache and request counters live in `/v1/metrics`.
     object([
         ("status", Value::from("ok")),
+        ("version", Value::from(env!("CARGO_PKG_VERSION"))),
+        (
+            "uptime_seconds",
+            Value::Number(state.started.elapsed().as_secs_f64()),
+        ),
         ("workers", Value::from(state.config.workers_resolved())),
-        (
-            "requests_served",
-            Value::Number(state.requests.load(std::sync::atomic::Ordering::Relaxed) as f64),
-        ),
-        (
-            "scenario_cache",
-            object([
-                ("entries", Value::from(entries)),
-                ("shards", Value::from(state.cache.shard_count())),
-                ("hits", Value::Number(hits as f64)),
-                ("misses", Value::Number(misses as f64)),
-            ]),
-        ),
     ])
 }
 
 fn metrics(state: &ServerState) -> Value {
     use std::sync::atomic::Ordering;
-    api::MetricsResponse {
+    greenfpga::api::MetricsResponse {
         requests_served: state.requests.load(Ordering::Relaxed),
         connections_live: state.live_connections.load(Ordering::SeqCst) as u64,
         connections_max: state.config.max_connections as u64,
         connections_rejected: state.metrics.rejected.load(Ordering::Relaxed),
         routes: state.metrics.snapshot_routes(),
-        cache_shards: state
-            .cache
-            .per_shard()
-            .into_iter()
-            .map(|(entries, hits, misses)| api::CacheShardMetrics {
-                entries: entries as u64,
-                hits,
-                misses,
-            })
-            .collect(),
+        cache_shards: state.engine.cache_shard_metrics(),
     }
     .to_json()
 }
 
-fn evaluate(state: &ServerState, body: &Value) -> Result<Value, Failure> {
-    let request = api::EvaluateRequest::from_json(body)?;
-    let compiled = state.cache.lookup(&request.scenario)?;
-    let comparison = compiled.evaluate(request.point)?;
-    Ok(api::EvaluateResponse { comparison }.to_json())
-}
+#[cfg(test)]
+mod tests {
+    use super::*;
 
-fn batch(state: &ServerState, buffer: &mut ResultBuffer, body: &Value) -> Result<Value, Failure> {
-    let request = api::BatchEvalRequest::from_json(body)?;
-    let compiled = state.cache.lookup(&request.scenario)?;
-    // The SoA kernel writes into this connection's reused buffer: repeated
-    // batches on a connection allocate nothing for evaluation. eval_threads
-    // defaults to 1 — request concurrency comes from connection workers, so
-    // fanning every batch out would just oversubscribe the cores.
-    compiled.evaluate_indexed_into(
-        request.points.len(),
-        |i| request.points[i],
-        buffer,
-        state.config.eval_threads.max(1),
-    )?;
-    Ok(api::BatchEvalResponse {
-        comparisons: buffer.comparisons().collect(),
+    #[test]
+    fn every_query_kind_is_in_the_dispatch_table() {
+        for kind in QueryKind::ALL {
+            let index = route_index("POST", kind.path());
+            let entry = &route_table()[index];
+            assert_eq!(entry.endpoint, Endpoint::Query(kind), "{kind}");
+            assert_eq!(entry.method, "POST");
+        }
+        assert!(route_index("GET", "/healthz") < route_table().len());
+        assert!(route_index("GET", "/v1/metrics") < route_table().len());
+        // Unknown requests clamp to the fallback bucket downstream.
+        assert_eq!(route_index("GET", "/nope"), usize::MAX);
+        assert_eq!(route_index("PATCH", "/healthz"), usize::MAX);
     }
-    .to_json())
-}
-
-fn crossover(state: &ServerState, body: &Value) -> Result<Value, Failure> {
-    let request = api::CrossoverRequest::from_json(body)?;
-    // The `_verified` searches are the bodies behind
-    // `Estimator::crossover_in_*` (the wrappers compile then delegate), so
-    // serving them off the cached compilation changes nothing but the
-    // compile count.
-    let compiled = state.cache.lookup(&request.scenario)?;
-    let base = request.base;
-    let applications = compiled.crossover_in_applications_verified(
-        request.max_applications,
-        base.lifetime_years,
-        base.volume,
-    )?;
-    let lifetime = compiled.crossover_in_lifetime_verified(
-        base.applications,
-        base.volume,
-        request.lifetime_range.0,
-        request.lifetime_range.1,
-    )?;
-    let volume = compiled.crossover_in_volume_verified(
-        base.applications,
-        base.lifetime_years,
-        request.volume_range.0,
-        request.volume_range.1,
-    )?;
-    Ok(api::CrossoverResponse {
-        domain: request.scenario.domain,
-        base,
-        applications,
-        lifetime,
-        volume,
-    }
-    .to_json())
-}
-
-fn frontier(state: &ServerState, body: &Value) -> Result<Value, Failure> {
-    let request = api::FrontierRequest::from_json(body)?;
-    let compiled = state.cache.lookup(&request.scenario)?;
-    let (x_values, y_values) = request.lattice();
-    let result = compiled.frontier(
-        request.x_axis,
-        &x_values,
-        request.y_axis,
-        &y_values,
-        request.base,
-    )?;
-    Ok(result.to_json())
 }

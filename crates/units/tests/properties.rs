@@ -114,8 +114,7 @@ fn timespan_month_round_trip() {
         let years = rng.gen_range_f64(0.0, 1.0e4);
         let t = TimeSpan::from_years(years);
         assert!(
-            (TimeSpan::from_months(t.as_months()).as_years() - years).abs()
-                <= years * 1e-12 + 1e-9
+            (TimeSpan::from_months(t.as_months()).as_years() - years).abs() <= years * 1e-12 + 1e-9
         );
         assert!(
             (TimeSpan::from_hours(t.as_hours()).as_years() - years).abs() <= years * 1e-9 + 1e-9

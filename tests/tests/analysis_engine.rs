@@ -13,8 +13,7 @@
 //! across batches.
 
 use greenfpga::{
-    CrossoverDirection, Domain, Estimator, EstimatorParams, OperatingPoint, ResultBuffer,
-    SweepAxis,
+    CrossoverDirection, Domain, Estimator, EstimatorParams, OperatingPoint, ResultBuffer, SweepAxis,
 };
 
 fn estimator() -> Estimator {
@@ -41,8 +40,12 @@ fn golden_analytic_crossovers_match_the_sampled_oracle() {
         let counts: Vec<u64> = (1..=64).collect();
         let series = est.sweep_applications(domain, &counts, base).unwrap();
         let oracle = series.crossovers();
-        assert!(oracle.len() <= 1, "{domain}: affine diff crosses at most once");
-        let analytic = compiled.crossover_in_applications_analytic(base.lifetime_years, base.volume);
+        assert!(
+            oracle.len() <= 1,
+            "{domain}: affine diff crosses at most once"
+        );
+        let analytic =
+            compiled.crossover_in_applications_analytic(base.lifetime_years, base.volume);
         match oracle.first() {
             Some(c) => {
                 let a = analytic.expect("oracle found a crossover the solver missed");
@@ -68,7 +71,10 @@ fn golden_analytic_crossovers_match_the_sampled_oracle() {
             .collect();
         let series = est.sweep_lifetime(domain, &lifetimes, base).unwrap();
         let oracle = series.crossovers();
-        assert!(oracle.len() <= 1, "{domain}: affine diff crosses at most once");
+        assert!(
+            oracle.len() <= 1,
+            "{domain}: affine diff crosses at most once"
+        );
         let analytic = compiled.crossover_in_lifetime_analytic(base.applications, base.volume);
         match oracle.first() {
             Some(c) => {
@@ -93,8 +99,12 @@ fn golden_analytic_crossovers_match_the_sampled_oracle() {
         let volumes = greenfpga::log_spaced_volumes(1_000, 50_000_000, 48);
         let series = est.sweep_volume(domain, &volumes, base).unwrap();
         let oracle = series.crossovers();
-        assert!(oracle.len() <= 1, "{domain}: affine diff crosses at most once");
-        let analytic = compiled.crossover_in_volume_analytic(base.applications, base.lifetime_years);
+        assert!(
+            oracle.len() <= 1,
+            "{domain}: affine diff crosses at most once"
+        );
+        let analytic =
+            compiled.crossover_in_volume_analytic(base.applications, base.lifetime_years);
         match oracle.first() {
             Some(c) => {
                 let a = analytic.expect("oracle found a crossover the solver missed");
@@ -134,7 +144,11 @@ fn golden_analytic_crossovers_track_retuned_operating_points() {
         let analytic = compiled.crossover_in_lifetime_analytic(applications, volume);
         if let Some(c) = oracle.first() {
             let a = analytic.expect("solver missed an oracle crossover");
-            assert_crossover_close(&format!("dnn {applications} apps {volume} units"), a.at, c.at);
+            assert_crossover_close(
+                &format!("dnn {applications} apps {volume} units"),
+                a.at,
+                c.at,
+            );
         }
     }
 }
@@ -268,7 +282,9 @@ fn golden_estimator_crossovers_keep_their_scan_semantics() {
     for domain in Domain::ALL {
         let compiled = est.compile(domain).unwrap();
         // Applications: result equals the first FPGA win of a linear scan.
-        let fast = est.crossover_in_applications(domain, 20, 2.0, 1_000_000).unwrap();
+        let fast = est
+            .crossover_in_applications(domain, 20, 2.0, 1_000_000)
+            .unwrap();
         let slow = (1..=20u64).find(|&n| {
             let c = compiled
                 .evaluate(OperatingPoint {
@@ -299,7 +315,11 @@ fn golden_estimator_crossovers_keep_their_scan_semantics() {
             let at = c.at as u64;
             let lo_sign = diff(1_000).signum();
             assert_ne!(diff(at).signum(), lo_sign, "{domain} flip at {at}");
-            assert_eq!(diff(at - 1).signum(), lo_sign, "{domain} first flip at {at}");
+            assert_eq!(
+                diff(at - 1).signum(),
+                lo_sign,
+                "{domain} first flip at {at}"
+            );
         }
 
         // Lifetime: the root actually zeroes the difference.

@@ -138,9 +138,7 @@ fn batch_sweep_matches_point_wise_compare_domain() {
         ][rng.gen_index(3)];
         let values: Vec<f64> = match axis {
             SweepAxis::Applications => (1..=rng.gen_range_u64(2, 12)).map(|n| n as f64).collect(),
-            SweepAxis::LifetimeYears => (1..=10)
-                .map(|_| rng.gen_range_f64(0.1, 5.0))
-                .collect(),
+            SweepAxis::LifetimeYears => (1..=10).map(|_| rng.gen_range_f64(0.1, 5.0)).collect(),
             _ => (1..=10)
                 .map(|_| rng.gen_range_u64(1_000, 3_000_000) as f64)
                 .collect(),

@@ -11,10 +11,15 @@ use gf_json::{FromJson, ToJson, Value};
 use gf_server::client::Client;
 use gf_server::{Server, ServerConfig, ServerHandle};
 use greenfpga::api::{
-    BatchEvalRequest, BatchEvalResponse, CrossoverResponse, EvaluateRequest, EvaluateResponse,
-    FrontierRequest, MetricsResponse,
+    BatchEvalRequest, BatchEvalResponse, CompareRequest, CompareResponse, CrossoverResponse,
+    EvaluateRequest, EvaluateResponse, FrontierRequest, GridRequest, IndustryRequest,
+    IndustryResponse, MetricsResponse, MonteCarloRequest, MonteCarloResponse, QueryKind,
+    SweepRequest, TornadoRequest,
 };
-use greenfpga::{Domain, Estimator, Knob, OperatingPoint, ResultBuffer, ScenarioSpec, SweepAxis};
+use greenfpga::{
+    Domain, Estimator, GridSweep, Knob, MonteCarlo, OperatingPoint, ResultBuffer, ScenarioSpec,
+    SweepAxis, SweepSeries, TornadoAnalysis,
+};
 
 /// Boots a server on an ephemeral port with test-friendly settings.
 fn spawn_server() -> ServerHandle {
@@ -32,14 +37,20 @@ fn connect(handle: &ServerHandle) -> Client {
 }
 
 fn post_json(client: &mut Client, path: &str, request: &impl ToJson) -> (u16, Value) {
-    let body = request.to_json().to_json_string().expect("serialize request");
+    let body = request
+        .to_json()
+        .to_json_string()
+        .expect("serialize request");
     let (status, body) = client.post(path, &body).expect("request round-trip");
     let value = gf_json::parse(&body).expect("response is JSON");
     (status, value)
 }
 
 fn scenario_cases() -> Vec<ScenarioSpec> {
-    let mut specs: Vec<ScenarioSpec> = Domain::ALL.into_iter().map(ScenarioSpec::baseline).collect();
+    let mut specs: Vec<ScenarioSpec> = Domain::ALL
+        .into_iter()
+        .map(ScenarioSpec::baseline)
+        .collect();
     specs.push(ScenarioSpec {
         domain: Domain::Dnn,
         knobs: vec![(Knob::DutyCycle, 0.45), (Knob::UsageGridIntensity, 650.0)],
@@ -68,29 +79,33 @@ fn point_cases() -> Vec<OperatingPoint> {
 }
 
 #[test]
-fn healthz_reports_ok_and_counts_requests() {
+fn healthz_is_liveness_only_and_metrics_counts_requests() {
     let handle = spawn_server();
     let mut client = connect(&handle);
     let (status, body) = client.get("/healthz").expect("healthz");
     assert_eq!(status, 200);
     let value = gf_json::parse(&body).unwrap();
     assert_eq!(value.get("status").and_then(Value::as_str), Some("ok"));
+    // The version is gf-server's own CARGO_PKG_VERSION; assert shape, not
+    // the value (this test crate may be versioned independently).
+    let version = value.get("version").and_then(Value::as_str).unwrap();
+    assert!(
+        !version.is_empty() && version.chars().next().unwrap().is_ascii_digit(),
+        "healthz reports a semver-ish build version, got '{version}'"
+    );
+    assert!(value.get("uptime_seconds").and_then(Value::as_f64).unwrap() >= 0.0);
     assert!(value.get("workers").and_then(Value::as_u64).unwrap() >= 1);
-    let served_before = value
-        .get("requests_served")
-        .and_then(Value::as_u64)
-        .unwrap();
-    // More requests move the counter.
+    // Slimmed: the counters moved to /v1/metrics.
+    assert!(value.get("requests_served").is_none());
+    assert!(value.get("scenario_cache").is_none());
+    // More requests move the metrics counter.
+    let (_, body) = client.get("/v1/metrics").expect("metrics");
+    let before = MetricsResponse::from_json(&gf_json::parse(&body).unwrap()).unwrap();
     let (status, _) = client.get("/healthz").expect("healthz again");
     assert_eq!(status, 200);
-    let (status, body) = client.get("/healthz").expect("healthz counter read");
-    assert_eq!(status, 200);
-    let served_after = gf_json::parse(&body)
-        .unwrap()
-        .get("requests_served")
-        .and_then(Value::as_u64)
-        .unwrap();
-    assert!(served_after > served_before);
+    let (_, body) = client.get("/v1/metrics").expect("metrics again");
+    let after = MetricsResponse::from_json(&gf_json::parse(&body).unwrap()).unwrap();
+    assert!(after.requests_served > before.requests_served);
     handle.shutdown();
 }
 
@@ -294,8 +309,7 @@ fn concurrent_clients_get_consistent_answers() {
                         point,
                     };
                     let body = request.to_json().to_json_string().unwrap();
-                    let (status, body) =
-                        client.post("/v1/evaluate", &body).expect("round-trip");
+                    let (status, body) = client.post("/v1/evaluate", &body).expect("round-trip");
                     assert_eq!(status, 200);
                     let response =
                         EvaluateResponse::from_json(&gf_json::parse(&body).unwrap()).unwrap();
@@ -405,7 +419,10 @@ fn metrics_route_has_the_golden_shape_and_counts() {
     // construction, and every field is internally consistent.
     let metrics = MetricsResponse::from_json(&gf_json::parse(&body).unwrap()).unwrap();
     assert_eq!(metrics.connections_live, 1, "this client is connected");
-    assert_eq!(metrics.connections_max, ServerConfig::default().max_connections as u64);
+    assert_eq!(
+        metrics.connections_max,
+        ServerConfig::default().max_connections as u64
+    );
     assert_eq!(metrics.connections_rejected, 0);
     assert!(metrics.requests_served >= 5);
     let route = |label: &str| {
@@ -427,7 +444,10 @@ fn metrics_route_has_the_golden_shape_and_counts() {
     assert!(route("GET /healthz").requests >= 1);
     // Cache shards: stats sum matches the scenario traffic (one distinct
     // scenario -> one miss, the rest hits).
-    assert_eq!(metrics.cache_shards.len(), ServerConfig::default().cache_shards);
+    assert_eq!(
+        metrics.cache_shards.len(),
+        ServerConfig::default().cache_shards
+    );
     let misses: u64 = metrics.cache_shards.iter().map(|s| s.misses).sum();
     let hits: u64 = metrics.cache_shards.iter().map(|s| s.hits).sum();
     assert_eq!(misses, 1);
@@ -459,7 +479,9 @@ fn admission_control_rejects_beyond_the_connection_cap() {
     let mut rejection = String::new();
     {
         use std::io::Read;
-        third.read_to_string(&mut rejection).expect("read rejection");
+        third
+            .read_to_string(&mut rejection)
+            .expect("read rejection");
     }
     assert!(rejection.starts_with("HTTP/1.1 503 "), "{rejection}");
     assert!(rejection.contains("overloaded"), "{rejection}");
@@ -506,7 +528,10 @@ fn rejected_connections_carry_retry_after() {
     let mut raw = std::net::TcpStream::connect(handle.addr()).unwrap();
     let mut response = String::new();
     raw.read_to_string(&mut response).unwrap(); // server closes after 503
-    assert!(response.starts_with("HTTP/1.1 503 Service Unavailable"), "{response}");
+    assert!(
+        response.starts_with("HTTP/1.1 503 Service Unavailable"),
+        "{response}"
+    );
     assert!(response.contains("Retry-After:"), "{response}");
     assert!(response.contains("Connection: close"), "{response}");
     handle.shutdown();
@@ -570,7 +595,10 @@ fn sharded_cache_survives_concurrent_hammering_with_exact_stats() {
         (clients * rounds) as u64,
         "every lookup counted exactly once across shards"
     );
-    assert!(misses <= scenarios.len() as u64, "at most one compile per scenario");
+    assert!(
+        misses <= scenarios.len() as u64,
+        "at most one compile per scenario"
+    );
     handle.shutdown();
 }
 
@@ -587,8 +615,14 @@ fn duplicate_conflicting_content_length_is_rejected_over_the_wire() {
     .unwrap();
     let mut response = String::new();
     raw.read_to_string(&mut response).unwrap(); // connection closes after 400
-    assert!(response.starts_with("HTTP/1.1 400 Bad Request"), "{response}");
-    assert!(response.contains("conflicting Content-Length"), "{response}");
+    assert!(
+        response.starts_with("HTTP/1.1 400 Bad Request"),
+        "{response}"
+    );
+    assert!(
+        response.contains("conflicting Content-Length"),
+        "{response}"
+    );
     // The server remains healthy for well-formed clients.
     let mut fresh = connect(&handle);
     let (status, _) = fresh.get("/healthz").unwrap();
@@ -611,12 +645,197 @@ fn scenario_cache_serves_repeats_compile_free() {
         let (status, _) = post_json(&mut client, "/v1/evaluate", &request);
         assert_eq!(status, 200);
     }
-    let (_, health) = client.get("/healthz").unwrap();
-    let health = gf_json::parse(&health).unwrap();
-    let cache = health.get("scenario_cache").expect("cache stats");
-    let hits = cache.get("hits").and_then(Value::as_u64).unwrap();
-    let misses = cache.get("misses").and_then(Value::as_u64).unwrap();
+    let (_, body) = client.get("/v1/metrics").unwrap();
+    let metrics = MetricsResponse::from_json(&gf_json::parse(&body).unwrap()).unwrap();
+    let misses: u64 = metrics.cache_shards.iter().map(|s| s.misses).sum();
+    let hits: u64 = metrics.cache_shards.iter().map(|s| s.hits).sum();
     assert_eq!(misses, 1, "one compile for five identical scenarios");
     assert_eq!(hits, 4);
+    handle.shutdown();
+}
+
+#[test]
+fn sweep_route_is_bit_identical_to_the_direct_series() {
+    let handle = spawn_server();
+    let mut client = connect(&handle);
+    let scenario = ScenarioSpec {
+        domain: Domain::Dnn,
+        knobs: vec![(Knob::DutyCycle, 0.4)],
+    };
+    let request = SweepRequest {
+        scenario: scenario.clone(),
+        base: OperatingPoint::paper_default(),
+        axis: SweepAxis::Applications,
+        range: (1.0, 12.0),
+        steps: 12,
+    };
+    let (status, value) = post_json(&mut client, QueryKind::Sweep.path(), &request);
+    assert_eq!(status, 200, "{value:?}");
+    let served = SweepSeries::from_json(&value).expect("decode series");
+    let direct = Estimator::new(scenario.params())
+        .sweep(
+            scenario.domain,
+            request.axis,
+            &request.values(),
+            request.base,
+        )
+        .unwrap();
+    assert_eq!(served, direct);
+    assert_eq!(
+        served.points[3].fpga.total().as_kg().to_bits(),
+        direct.points[3].fpga.total().as_kg().to_bits()
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn grid_route_is_bit_identical_to_the_direct_grid() {
+    let handle = spawn_server();
+    let mut client = connect(&handle);
+    let scenario = ScenarioSpec::baseline(Domain::ImageProcessing);
+    let request = GridRequest {
+        scenario: scenario.clone(),
+        base: OperatingPoint::paper_default(),
+        x_axis: SweepAxis::Applications,
+        x_range: (1.0, 8.0),
+        y_axis: SweepAxis::LifetimeYears,
+        y_range: (0.5, 2.5),
+        steps: 8,
+    };
+    let (status, value) = post_json(&mut client, QueryKind::Grid.path(), &request);
+    assert_eq!(status, 200, "{value:?}");
+    let served = GridSweep::from_json(&value).expect("decode grid");
+    let (x_values, y_values) = request.lattice();
+    let direct = Estimator::new(scenario.params())
+        .ratio_grid(
+            scenario.domain,
+            request.x_axis,
+            &x_values,
+            request.y_axis,
+            &y_values,
+            request.base,
+        )
+        .unwrap();
+    assert_eq!(served, direct);
+    handle.shutdown();
+}
+
+#[test]
+fn tornado_route_is_bit_identical_to_the_direct_analysis() {
+    let handle = spawn_server();
+    let mut client = connect(&handle);
+    let scenario = ScenarioSpec::baseline(Domain::Crypto);
+    let request = TornadoRequest {
+        scenario: scenario.clone(),
+        point: OperatingPoint::paper_default(),
+    };
+    let (status, value) = post_json(&mut client, QueryKind::Tornado.path(), &request);
+    assert_eq!(status, 200, "{value:?}");
+    let served = TornadoAnalysis::from_json(&value).expect("decode tornado");
+    let direct = Estimator::new(scenario.params())
+        .tornado_analysis(scenario.domain, request.point)
+        .unwrap();
+    assert_eq!(served, direct);
+    handle.shutdown();
+}
+
+#[test]
+fn montecarlo_route_is_bit_identical_and_deterministic() {
+    let handle = spawn_server();
+    let mut client = connect(&handle);
+    let scenario = ScenarioSpec::baseline(Domain::Dnn);
+    let request = MonteCarloRequest {
+        scenario: scenario.clone(),
+        point: OperatingPoint::paper_default(),
+        samples: 64,
+        seed: 1234,
+    };
+    let (status, value) = post_json(&mut client, QueryKind::MonteCarlo.path(), &request);
+    assert_eq!(status, 200, "{value:?}");
+    let served = MonteCarloResponse::from_json(&value).expect("decode montecarlo");
+    let direct = MonteCarlo::new(request.samples)
+        .with_seed(request.seed)
+        .run(&scenario.params(), scenario.domain, request.point)
+        .unwrap();
+    assert_eq!(served, MonteCarloResponse::from(&direct));
+    // Deterministic: a second request answers identically.
+    let (_, again) = post_json(&mut client, QueryKind::MonteCarlo.path(), &request);
+    assert_eq!(MonteCarloResponse::from_json(&again).unwrap(), served);
+    handle.shutdown();
+}
+
+#[test]
+fn compare_route_matches_per_scenario_evaluations() {
+    let handle = spawn_server();
+    let mut client = connect(&handle);
+    let scenarios: Vec<ScenarioSpec> = Domain::ALL
+        .into_iter()
+        .map(ScenarioSpec::baseline)
+        .collect();
+    let request = CompareRequest {
+        scenarios: scenarios.clone(),
+        point: OperatingPoint::paper_default(),
+    };
+    let (status, value) = post_json(&mut client, QueryKind::Compare.path(), &request);
+    assert_eq!(status, 200, "{value:?}");
+    let served = CompareResponse::from_json(&value).expect("decode compare");
+    assert_eq!(served.comparisons.len(), scenarios.len());
+    for (scenario, comparison) in scenarios.iter().zip(&served.comparisons) {
+        let direct = Estimator::new(scenario.params())
+            .compile(scenario.domain)
+            .unwrap()
+            .evaluate(request.point)
+            .unwrap();
+        assert_eq!(*comparison, direct, "{scenario:?}");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn industry_route_matches_the_direct_testcases() {
+    let handle = spawn_server();
+    let mut client = connect(&handle);
+    let request = IndustryRequest::default();
+    let (status, value) = post_json(&mut client, QueryKind::Industry.path(), &request);
+    assert_eq!(status, 200, "{value:?}");
+    let served = IndustryResponse::from_json(&value).expect("decode industry");
+    assert_eq!(served.devices.len(), 4);
+    let estimator = Estimator::default();
+    let scenario = greenfpga::IndustryScenario::paper_defaults();
+    let expected_first = scenario
+        .evaluate_fpga(&estimator, &greenfpga::industry_fpga1())
+        .unwrap();
+    assert_eq!(served.devices[0].cfp, expected_first);
+    let expected_last = scenario
+        .evaluate_asic(&estimator, &greenfpga::industry_asic2())
+        .unwrap();
+    assert_eq!(served.devices[3].cfp, expected_last);
+    handle.shutdown();
+}
+
+#[test]
+fn every_query_kind_is_servable_over_the_wire() {
+    // The acceptance sweep: POST a decodable request to every /v1/<kind>
+    // route and require a 200 whose body the typed decoder accepts.
+    let handle = spawn_server();
+    let mut client = connect(&handle);
+    for kind in QueryKind::ALL {
+        let body = match kind {
+            QueryKind::Batch => r#"{"domain": "dnn", "points": [{"applications": 2}]}"#.to_string(),
+            QueryKind::Compare => r#"{"scenarios": [{"domain": "dnn"}]}"#.to_string(),
+            QueryKind::Sweep => {
+                r#"{"domain": "dnn", "axis": "apps", "from": 1, "to": 4, "steps": 3}"#.to_string()
+            }
+            QueryKind::MonteCarlo => r#"{"domain": "dnn", "samples": 8}"#.to_string(),
+            QueryKind::Industry => "{}".to_string(),
+            QueryKind::Frontier | QueryKind::Grid => r#"{"domain": "dnn", "steps": 4}"#.to_string(),
+            _ => r#"{"domain": "dnn"}"#.to_string(),
+        };
+        let (status, text) = client.post(kind.path(), &body).expect("round-trip");
+        assert_eq!(status, 200, "{kind}: {text}");
+        let value = gf_json::parse(&text).expect("response is JSON");
+        kind.decode_result(&value)
+            .unwrap_or_else(|e| panic!("{kind}: served body fails typed decode: {e}"));
+    }
     handle.shutdown();
 }
