@@ -20,10 +20,12 @@
 //! * absolute quality floors on the candidate, independent of whatever the
 //!   baseline recorded — a bad baseline must not grandfather a bad kernel
 //!   in (the `soa_speedup: 0.88` episode): the adaptive-frontier evaluation
-//!   budget (`frontier_eval_fraction ≤ 0.2`) and the SoA batch kernel
+//!   budget (`frontier_eval_fraction ≤ 0.2`), the SoA batch kernel
 //!   staying at parity with the AoS collect path (`soa_speedup ≥`
 //!   [`gf_bench::SOA_SPEEDUP_FLOOR`], a noise-headroomed floor below the
-//!   ≥ 1.0 target the committed baseline records).
+//!   ≥ 1.0 target the committed baseline records), and the serving soak
+//!   holding at least [`gf_bench::SERVE_CONNECTIONS_FLOOR`] verified live
+//!   keep-alive connections (`serve_connections`).
 //!
 //! ```text
 //! bench_gate <baseline.json> <candidate.json>
@@ -119,6 +121,23 @@ fn run(baseline_path: &str, candidate_path: &str, tolerance: f64) -> Result<bool
         println!(
             "  {:<40} {:>32.2}x   {verdict}  (absolute floor {floor})",
             "soa_speedup (floor)", soa
+        );
+    }
+    // The serving soak must keep demonstrating event-loop connection
+    // scaling: thousands of live keep-alive connections, every one
+    // re-verified (any failure zeroes the metric via the soak's own
+    // zero-error assertion before this gate even runs).
+    if let Some(connections) = lookup(&candidate, "serve_connections") {
+        let floor = gf_bench::SERVE_CONNECTIONS_FLOOR;
+        let verdict = if connections < floor {
+            failed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {:<40} {connections:>33.0}   {verdict}  (absolute floor {floor})",
+            "serve_connections (floor)"
         );
     }
     Ok(failed)
@@ -277,6 +296,48 @@ mod tests {
         )
         .unwrap();
         assert!(run(
+            baseline.to_str().unwrap(),
+            candidate.to_str().unwrap(),
+            1.25
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn serve_connections_has_an_absolute_floor() {
+        let dir = std::env::temp_dir().join("gf_bench_gate_conns_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let baseline = dir.join("baseline.json");
+        let candidate = dir.join("candidate.json");
+        // Even a baseline that never recorded the soak cannot grandfather
+        // a candidate below the floor in.
+        std::fs::write(&baseline, "{\n  \"k_ns\": 100\n}\n").unwrap();
+        std::fs::write(
+            &candidate,
+            "{\n  \"k_ns\": 100,\n  \"serve_connections\": 512\n}\n",
+        )
+        .unwrap();
+        assert!(run(
+            baseline.to_str().unwrap(),
+            candidate.to_str().unwrap(),
+            1.25
+        )
+        .unwrap());
+        std::fs::write(
+            &candidate,
+            "{\n  \"k_ns\": 100,\n  \"serve_connections\": 4104\n}\n",
+        )
+        .unwrap();
+        assert!(!run(
+            baseline.to_str().unwrap(),
+            candidate.to_str().unwrap(),
+            1.25
+        )
+        .unwrap());
+        // A candidate that has no soak key (older artifact) is not failed
+        // by the floor alone.
+        std::fs::write(&candidate, "{\n  \"k_ns\": 100\n}\n").unwrap();
+        assert!(!run(
             baseline.to_str().unwrap(),
             candidate.to_str().unwrap(),
             1.25

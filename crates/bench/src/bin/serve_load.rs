@@ -3,36 +3,49 @@
 //!
 //! Runs one load pass per client count (1, 4 and 8 keep-alive clients),
 //! each against a fresh in-process server on an ephemeral port, hammering
-//! `/v1/evaluate` and `/v1/batch` and golden-matching **every** response
-//! against direct engine calls (a response that is not bit-identical
-//! counts as an error). Reports throughput per client count and latency
-//! percentiles for the single-client pass.
+//! `/v1/evaluate` and `/v1/batch` — then a **soak pass** that parks
+//! thousands of idle keep-alive connections on the event loop while active
+//! clients keep running traffic, and re-verifies every idle connection
+//! still answers afterwards.
+//!
+//! Every response is golden-matched **byte-for-byte**: a warmup round
+//! captures the full wire bytes of each distinct response and verifies them
+//! (decoded) against direct engine calls, and the hot loops then compare
+//! raw bytes. That is simultaneously a stronger check than per-response
+//! JSON decoding (any drifted byte fails, not just decoded fields) and
+//! cheap enough that the generator measures the server instead of itself.
 //!
 //! Results merge into the `BENCH_eval.json` trajectory artifact (override
 //! the path with `GF_BENCH_OUT`): existing keys are preserved, `serve_*`
 //! keys are replaced. `serve_rps` and the latency percentiles come from
 //! the 1-client pass (comparable across baselines); `serve_rps_4` /
-//! `serve_rps_8` record the saturation scaling. `bench_gate` gates every
-//! `serve_rps*` key downward like the kernel speedups; the latency keys
-//! are tracked but not gated (loopback latency is machine-shaped).
+//! `serve_rps_8` record the saturation ladder; `serve_connections` records
+//! the soak's concurrently-live verified connection count. `bench_gate`
+//! gates every `serve_rps*` key downward like the kernel speedups and
+//! holds `serve_connections` above an absolute floor; the latency keys are
+//! tracked but not gated (loopback latency is machine-shaped).
 //!
 //! Environment knobs:
 //!
 //! * `GF_SERVE_LOAD_REQUESTS` — `/v1/evaluate` requests per pass (default 50 000)
 //! * `GF_SERVE_LOAD_BATCHES` — `/v1/batch` requests per pass (default 500, 64 points each)
+//! * `GF_SERVE_SOAK_CONNECTIONS` — idle keep-alive connections in the soak
+//!   pass (default 4096; each costs two fds in-process)
 //! * `GF_BENCH_NO_ASSERT` — report only, skip the acceptance assertions
 
-use std::net::SocketAddr;
-use std::time::Instant;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
 
 use gf_bench::harness::parse_metrics_json;
 use gf_json::{FromJson, Value};
-use gf_server::client::Client;
 use gf_server::{Server, ServerConfig};
 use greenfpga::api::{
     BatchEvalRequest, BatchEvalResponse, EvaluateRequest, EvaluateResponse, Query, QueryKind,
 };
-use greenfpga::{Domain, Estimator, OperatingPoint, PlatformComparison, ScenarioSpec};
+use greenfpga::{
+    Domain, Estimator, OperatingPoint, PlatformComparison, ResultBuffer, ScenarioSpec,
+};
 
 /// Distinct operating points the clients rotate through — enough variety
 /// to exercise real evaluation, few enough to precompute goldens.
@@ -67,19 +80,144 @@ fn env_usize(key: &str, fallback: usize) -> usize {
         .unwrap_or(fallback)
 }
 
+/// Encodes one full keep-alive request as the exact bytes a client writes.
+fn encode_request(path: &str, body: &str) -> Vec<u8> {
+    format!(
+        "POST {path} HTTP/1.1\r\nHost: loopback\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// A raw keep-alive connection tuned for the hot loop: one `write` syscall
+/// per request, `read_exact` into a reused buffer sized by the known
+/// golden, and a byte compare — no per-response parsing or allocation.
+struct RawClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl RawClient {
+    fn connect(addr: SocketAddr) -> std::io::Result<RawClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        // A response that frames shorter than its golden (an unexpected
+        // error body) parks `read_exact`; the timeout turns that into a
+        // counted failure instead of a hang.
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        Ok(RawClient {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// One round-trip, `true` iff the response bytes equal the golden.
+    fn round_trip(&mut self, request: &[u8], golden: &[u8]) -> bool {
+        if self.stream.write_all(request).is_err() {
+            return false;
+        }
+        self.buf.clear();
+        self.buf.resize(golden.len(), 0);
+        if self.stream.read_exact(&mut self.buf).is_err() {
+            return false;
+        }
+        self.buf == golden
+    }
+
+    /// Pipelines the requests at `indices` in one segment, reads the
+    /// back-to-back responses, and byte-matches each against its golden.
+    /// Returns the number of failed requests.
+    fn pipeline(&mut self, workload: &Workload, indices: std::ops::Range<usize>) -> u64 {
+        let window: Vec<usize> = indices
+            .map(|i| i % workload.evaluate_requests.len())
+            .collect();
+        let mut wire = Vec::new();
+        let mut total = 0usize;
+        for &index in &window {
+            wire.extend_from_slice(&workload.evaluate_requests[index]);
+            total += workload.evaluate_goldens[index].len();
+        }
+        if self.stream.write_all(&wire).is_err() {
+            return window.len() as u64;
+        }
+        self.buf.clear();
+        self.buf.resize(total, 0);
+        if self.stream.read_exact(&mut self.buf).is_err() {
+            return window.len() as u64;
+        }
+        let mut errors = 0u64;
+        let mut cursor = 0usize;
+        for &index in &window {
+            let golden = &workload.evaluate_goldens[index];
+            if &self.buf[cursor..cursor + golden.len()] != golden.as_slice() {
+                errors += 1;
+            }
+            cursor += golden.len();
+        }
+        errors
+    }
+}
+
+/// Reads one `Content-Length`-framed response (used only while capturing
+/// goldens — the hot loops read by known length).
+fn read_framed(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
+    let mut raw = Vec::new();
+    let mut chunk = [0u8; 16 << 10];
+    let header_end = loop {
+        if let Some(pos) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed inside response head",
+            ));
+        }
+        raw.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&raw[..header_end]).to_string();
+    let content_length: usize = head
+        .lines()
+        .find_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            name.trim()
+                .eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().ok())?
+        })
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "missing Content-Length")
+        })?;
+    while raw.len() < header_end + content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed inside response body",
+            ));
+        }
+        raw.extend_from_slice(&chunk[..n]);
+    }
+    Ok(raw)
+}
+
+fn body_of(raw: &[u8]) -> &str {
+    let pos = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("framed");
+    std::str::from_utf8(&raw[pos + 4..]).expect("JSON body")
+}
+
 struct ClientOutcome {
     evaluate_latencies_ns: Vec<u64>,
     batch_latencies_ns: Vec<u64>,
     errors: u64,
 }
 
-#[allow(clippy::too_many_arguments)]
 fn run_client(
     addr: SocketAddr,
-    evaluate_bodies: &[String],
-    evaluate_expected: &[PlatformComparison],
-    batch_body: &str,
-    batch_expected: &[PlatformComparison],
+    workload: &Workload,
     evaluate_requests: usize,
     batch_requests: usize,
     offset: usize,
@@ -89,51 +227,54 @@ fn run_client(
         batch_latencies_ns: Vec::with_capacity(batch_requests),
         errors: 0,
     };
-    let mut client = match Client::connect(addr) {
+    let mut client = match RawClient::connect(addr) {
         Ok(client) => client,
         Err(_) => {
             outcome.errors += (evaluate_requests + batch_requests) as u64;
             return outcome;
         }
     };
-    for i in 0..evaluate_requests {
-        let index = (offset + i) % evaluate_bodies.len();
-        let start = Instant::now();
-        let response = client.post(QueryKind::Evaluate.path(), &evaluate_bodies[index]);
-        let elapsed = start.elapsed().as_nanos() as u64;
-        outcome.evaluate_latencies_ns.push(elapsed);
-        let ok = matches!(&response, Ok((200, body)) if golden_matches_evaluate(body, &evaluate_expected[index]));
-        if !ok {
-            outcome.errors += 1;
+    // Evaluate phase: requests go out pipelined (PIPELINE per segment) —
+    // the server's keep-alive machinery answers them in order — with a
+    // periodic *serial* round-trip so the latency percentiles measure real
+    // request latency, not amortized group time.
+    const PIPELINE: usize = 32;
+    const PROBE_EVERY_GROUPS: usize = 8;
+    let mut issued = 0usize;
+    let mut groups = 0usize;
+    while issued < evaluate_requests {
+        if groups.is_multiple_of(PROBE_EVERY_GROUPS) {
+            let index = (offset + issued) % workload.evaluate_requests.len();
+            let start = Instant::now();
+            let ok = client.round_trip(
+                &workload.evaluate_requests[index],
+                &workload.evaluate_goldens[index],
+            );
+            outcome
+                .evaluate_latencies_ns
+                .push(start.elapsed().as_nanos() as u64);
+            if !ok {
+                outcome.errors += 1;
+            }
+            issued += 1;
+        } else {
+            let window = PIPELINE.min(evaluate_requests - issued);
+            outcome.errors += client.pipeline(workload, offset + issued..offset + issued + window);
+            issued += window;
         }
+        groups += 1;
     }
     for _ in 0..batch_requests {
         let start = Instant::now();
-        let response = client.post(QueryKind::Batch.path(), batch_body);
-        let elapsed = start.elapsed().as_nanos() as u64;
-        outcome.batch_latencies_ns.push(elapsed);
-        let ok = matches!(&response, Ok((200, body)) if golden_matches_batch(body, batch_expected));
+        let ok = client.round_trip(&workload.batch_request, &workload.batch_golden);
+        outcome
+            .batch_latencies_ns
+            .push(start.elapsed().as_nanos() as u64);
         if !ok {
             outcome.errors += 1;
         }
     }
     outcome
-}
-
-/// `true` when the served body decodes to exactly the comparison the local
-/// engine produced (f64 round-tripping makes this a bit-level check).
-fn golden_matches_evaluate(body: &str, expected: &PlatformComparison) -> bool {
-    gf_json::parse(body)
-        .ok()
-        .and_then(|value| EvaluateResponse::from_json(&value).ok())
-        .is_some_and(|response| response.comparison == *expected)
-}
-
-fn golden_matches_batch(body: &str, expected: &[PlatformComparison]) -> bool {
-    gf_json::parse(body)
-        .ok()
-        .and_then(|value| BatchEvalResponse::from_json(&value).ok())
-        .is_some_and(|response| response.comparisons == expected)
 }
 
 fn percentile_us(sorted_ns: &[u64], q: f64) -> f64 {
@@ -144,13 +285,99 @@ fn percentile_us(sorted_ns: &[u64], q: f64) -> f64 {
     sorted_ns[rank] as f64 / 1e3
 }
 
-/// Precomputed request bodies and their golden responses, shared by every
-/// pass.
+/// Pre-encoded request bytes and their captured golden response bytes,
+/// shared by every pass.
 struct Workload {
-    evaluate_bodies: Vec<String>,
-    evaluate_expected: Vec<PlatformComparison>,
-    batch_body: String,
-    batch_expected: Vec<PlatformComparison>,
+    evaluate_requests: Vec<Vec<u8>>,
+    evaluate_goldens: Vec<Vec<u8>>,
+    batch_request: Vec<u8>,
+    batch_golden: Vec<u8>,
+}
+
+/// Builds the workload: encodes every request, then captures each distinct
+/// response's wire bytes from a scratch server and proves them bit-identical
+/// to direct engine calls before the hot loops trust them as goldens.
+fn build_workload() -> Workload {
+    let estimator = Estimator::default();
+    let compiled = estimator.compile(Domain::Dnn).expect("compile dnn");
+    let points = operating_points();
+    // Bodies come from the same `Query` types every other frontend speaks:
+    // `Query::request_body()` is exactly what `POST /v1/<kind>` decodes.
+    let evaluate_requests: Vec<Vec<u8>> = points
+        .iter()
+        .map(|&point| {
+            let body = Query::Evaluate(EvaluateRequest {
+                scenario: ScenarioSpec::baseline(Domain::Dnn),
+                point,
+            })
+            .request_body()
+            .to_json_string()
+            .expect("request serializes");
+            encode_request(QueryKind::Evaluate.path(), &body)
+        })
+        .collect();
+    let batch_points: Vec<OperatingPoint> = points.iter().copied().take(64).collect();
+    let batch_body = Query::Batch(BatchEvalRequest {
+        scenario: ScenarioSpec::baseline(Domain::Dnn),
+        points: batch_points.clone(),
+    })
+    .request_body()
+    .to_json_string()
+    .expect("batch request serializes");
+    let batch_request = encode_request(QueryKind::Batch.path(), &batch_body);
+
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .expect("bind golden-capture server");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+    let mut stream = TcpStream::connect(addr).expect("connect for golden capture");
+    stream.set_nodelay(true).expect("nodelay");
+
+    let evaluate_goldens: Vec<Vec<u8>> = points
+        .iter()
+        .zip(&evaluate_requests)
+        .map(|(&point, request)| {
+            stream.write_all(request).expect("send capture request");
+            let raw = read_framed(&mut stream).expect("capture response");
+            let value = gf_json::parse(body_of(&raw)).expect("response is JSON");
+            let response = EvaluateResponse::from_json(&value).expect("decode evaluate");
+            let expected = compiled.evaluate(point).expect("golden evaluate");
+            assert_eq!(
+                response.comparison, expected,
+                "served evaluate drifted from the direct engine call at {point:?}"
+            );
+            raw
+        })
+        .collect();
+    stream
+        .write_all(&batch_request)
+        .expect("send batch capture");
+    let batch_golden = read_framed(&mut stream).expect("capture batch response");
+    let value = gf_json::parse(body_of(&batch_golden)).expect("batch response is JSON");
+    let response = BatchEvalResponse::from_json(&value).expect("decode batch");
+    let mut buffer = ResultBuffer::new();
+    compiled
+        .evaluate_into(&batch_points, &mut buffer)
+        .expect("golden batch");
+    let expected: Vec<PlatformComparison> = (0..batch_points.len())
+        .map(|i| buffer.comparison(i))
+        .collect();
+    assert_eq!(
+        response.comparisons, expected,
+        "served batch drifted from the SoA kernel"
+    );
+    handle.shutdown();
+
+    Workload {
+        evaluate_requests,
+        evaluate_goldens,
+        batch_request,
+        batch_golden,
+    }
 }
 
 /// One pass's aggregate outcome.
@@ -189,10 +416,6 @@ fn run_pass(
     let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
-                let evaluate_bodies = &workload.evaluate_bodies;
-                let evaluate_expected = &workload.evaluate_expected;
-                let batch_body = &workload.batch_body;
-                let batch_expected = &workload.batch_expected;
                 // Spread the remainder so every request is issued.
                 let evaluate_share =
                     evaluate_total / clients + usize::from(c < evaluate_total % clients);
@@ -200,10 +423,7 @@ fn run_pass(
                 scope.spawn(move || {
                     run_client(
                         addr,
-                        evaluate_bodies,
-                        evaluate_expected,
-                        batch_body,
-                        batch_expected,
+                        workload,
                         evaluate_share,
                         batch_share,
                         c * 7, // decorrelate the rotation between clients
@@ -230,7 +450,9 @@ fn run_pass(
     evaluate_latencies.sort_unstable();
     batch_latencies.sort_unstable();
     let errors: u64 = outcomes.iter().map(|o| o.errors).sum();
-    let requests = evaluate_latencies.len() + batch_latencies.len();
+    // Every requested round-trip is issued (pipelined or probed), so the
+    // pass total is exact even though only probes carry latency samples.
+    let requests = evaluate_total + batch_total;
     let rps = requests as f64 / wall.as_secs_f64();
 
     let result = PassResult {
@@ -258,6 +480,100 @@ fn run_pass(
     result
 }
 
+/// The soak outcome: how many concurrently-live connections were verified.
+struct SoakResult {
+    connections: usize,
+    errors: u64,
+}
+
+/// The soak pass: parks `GF_SERVE_SOAK_CONNECTIONS` idle keep-alive
+/// connections on one event loop (each verified with a golden round-trip
+/// on open), runs active traffic from 8 more clients while they sit, then
+/// re-verifies every idle connection still answers — proving idle
+/// connections cost the server nothing but an fd and a slab slot, and that
+/// traffic does not evict them.
+fn run_soak(workload: &Workload, idle_target: usize) -> SoakResult {
+    const ACTIVE_CLIENTS: usize = 8;
+    const ACTIVE_REQUESTS_EACH: usize = 2_000;
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: ACTIVE_CLIENTS,
+        max_connections: idle_target + 64,
+        // Idle connections must survive the whole pass; the point is that
+        // they are cheap, not that they are reaped.
+        idle_timeout: Duration::from_secs(120),
+        ..ServerConfig::default()
+    })
+    .expect("bind soak server");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+    println!(
+        "serve_load: soak -> {idle_target} idle keep-alive connections + {ACTIVE_CLIENTS} active clients on http://{addr}"
+    );
+
+    let mut errors = 0u64;
+    let started = Instant::now();
+    let mut idle: Vec<RawClient> = Vec::with_capacity(idle_target);
+    for i in 0..idle_target {
+        match RawClient::connect(addr) {
+            Ok(mut client) => {
+                let index = i % workload.evaluate_requests.len();
+                if !client.round_trip(
+                    &workload.evaluate_requests[index],
+                    &workload.evaluate_goldens[index],
+                ) {
+                    errors += 1;
+                }
+                idle.push(client);
+            }
+            Err(_) => errors += 1,
+        }
+    }
+    println!(
+        "serve_load: soak opened+verified {} connections in {:.2}s ({errors} errors)",
+        idle.len(),
+        started.elapsed().as_secs_f64()
+    );
+
+    // Active traffic while every idle connection stays parked.
+    let active_outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..ACTIVE_CLIENTS)
+            .map(|c| {
+                scope.spawn(move || run_client(addr, workload, ACTIVE_REQUESTS_EACH, 0, c * 7))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("soak client panicked"))
+            .collect()
+    });
+    errors += active_outcomes.iter().map(|o| o.errors).sum::<u64>();
+
+    // Every parked connection must still answer, byte-identically.
+    for (i, client) in idle.iter_mut().enumerate() {
+        let index = i % workload.evaluate_requests.len();
+        if !client.round_trip(
+            &workload.evaluate_requests[index],
+            &workload.evaluate_goldens[index],
+        ) {
+            errors += 1;
+        }
+    }
+    let connections = idle.len() + ACTIVE_CLIENTS;
+    println!(
+        "serve_load: soak held {connections} live connections ({} idle + {ACTIVE_CLIENTS} active), {} active requests, {errors} errors, {:.2}s total",
+        idle.len(),
+        ACTIVE_CLIENTS * ACTIVE_REQUESTS_EACH,
+        started.elapsed().as_secs_f64()
+    );
+    drop(idle);
+    handle.shutdown();
+    SoakResult {
+        connections,
+        errors,
+    }
+}
+
 /// The saturation ladder: single client for the comparable baseline, then
 /// moderate and heavy concurrency.
 const CLIENT_COUNTS: [usize; 3] = [1, 4, 8];
@@ -265,55 +581,17 @@ const CLIENT_COUNTS: [usize; 3] = [1, 4, 8];
 fn main() {
     let evaluate_total = env_usize("GF_SERVE_LOAD_REQUESTS", 50_000);
     let batch_total = env_usize("GF_SERVE_LOAD_BATCHES", 500);
+    let soak_connections = env_usize("GF_SERVE_SOAK_CONNECTIONS", 4_096);
 
-    // Golden results from the direct engine path.
-    let estimator = Estimator::default();
-    let compiled = estimator.compile(Domain::Dnn).expect("compile dnn");
-    let points = operating_points();
-    let evaluate_expected: Vec<PlatformComparison> = points
-        .iter()
-        .map(|&point| compiled.evaluate(point).expect("golden evaluate"))
-        .collect();
-    // Bodies come from the same `Query` types every other frontend speaks:
-    // `Query::request_body()` is exactly what `POST /v1/<kind>` decodes.
-    let evaluate_bodies: Vec<String> = points
-        .iter()
-        .map(|&point| {
-            Query::Evaluate(EvaluateRequest {
-                scenario: ScenarioSpec::baseline(Domain::Dnn),
-                point,
-            })
-            .request_body()
-            .to_json_string()
-            .expect("request serializes")
-        })
-        .collect();
-    let batch_points: Vec<OperatingPoint> = points.iter().copied().take(64).collect();
-    let batch_expected: Vec<PlatformComparison> = batch_points
-        .iter()
-        .map(|&point| compiled.evaluate(point).expect("golden batch point"))
-        .collect();
-    let batch_body = Query::Batch(BatchEvalRequest {
-        scenario: ScenarioSpec::baseline(Domain::Dnn),
-        points: batch_points.clone(),
-    })
-    .request_body()
-    .to_json_string()
-    .expect("batch request serializes");
-    let workload = Workload {
-        evaluate_bodies,
-        evaluate_expected,
-        batch_body,
-        batch_expected,
-    };
-
+    let workload = build_workload();
     let passes: Vec<PassResult> = CLIENT_COUNTS
         .iter()
         .map(|&clients| run_pass(&workload, clients, evaluate_total, batch_total))
         .collect();
+    let soak = run_soak(&workload, soak_connections);
     let single = &passes[0];
     let requests: usize = passes.iter().map(|p| p.requests).sum();
-    let errors: u64 = passes.iter().map(|p| p.errors).sum();
+    let errors: u64 = passes.iter().map(|p| p.errors).sum::<u64>() + soak.errors;
 
     // Merge into the trajectory artifact: keep foreign keys, replace ours.
     // `serve_rps` and the latency percentiles are the 1-client pass, so they
@@ -332,6 +610,7 @@ fn main() {
         ("serve_evaluate_p99_us".to_string(), single.eval_p99),
         ("serve_batch64_p50_us".to_string(), single.batch_p50),
         ("serve_batch64_p99_us".to_string(), single.batch_p99),
+        ("serve_connections".to_string(), soak.connections as f64),
     ];
     for pass in &passes {
         serve_metrics.push((format!("serve_rps_{}", pass.clients), pass.rps));
@@ -374,6 +653,12 @@ fn main() {
         assert!(
             passes.iter().all(|pass| pass.rps > 0.0),
             "every client count must sustain positive throughput"
+        );
+        assert!(
+            soak.connections >= soak_connections,
+            "soak verified {} live connections, below the {} target",
+            soak.connections,
+            soak_connections
         );
     }
 }

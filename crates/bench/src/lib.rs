@@ -17,6 +17,17 @@ use greenfpga::{CfpBreakdown, Estimator, EstimatorParams};
 /// far-below-parity regressions like the once-shipped 0.88.
 pub const SOA_SPEEDUP_FLOOR: f64 = 0.95;
 
+/// Absolute floor for the `serve_connections` soak metric: the event-loop
+/// server must demonstrably hold at least this many concurrently-live,
+/// individually re-verified keep-alive connections while serving active
+/// traffic. Checked by `bench_gate` on the candidate whenever the key is
+/// present, so a regression to thread-per-connection scaling (or an fd
+/// leak that starves the soak) cannot ride in behind a stale baseline.
+/// `serve_load` runs the soak at `GF_SERVE_SOAK_CONNECTIONS` (default
+/// 4096, matching this floor); smoke runs at reduced counts should write
+/// to a separate artifact rather than lower the floor.
+pub const SERVE_CONNECTIONS_FLOOR: f64 = 4096.0;
+
 /// Builds the estimator every experiment binary uses: the paper-calibrated
 /// defaults. Override knobs inside individual binaries where an experiment
 /// calls for it.

@@ -118,6 +118,12 @@ pub struct ServeArgs {
     pub cache_shards: usize,
     /// Hard cap on live connections (admission control beyond it).
     pub max_connections: usize,
+    /// Keep-alive idle close, in seconds.
+    pub idle_timeout_secs: u64,
+    /// Slowloris `408` deadline, in seconds.
+    pub header_timeout_secs: u64,
+    /// Readiness driver for the event loop.
+    pub driver: gf_server::DriverKind,
 }
 
 impl Default for ServeArgs {
@@ -129,6 +135,9 @@ impl Default for ServeArgs {
             cache_capacity: 64,
             cache_shards: 8,
             max_connections: 1024,
+            idle_timeout_secs: 5,
+            header_timeout_secs: 10,
+            driver: gf_server::DriverKind::Auto,
         }
     }
 }
@@ -219,6 +228,9 @@ SERVE OPTIONS:
   --cache-capacity <N>            cached scenarios         (default: 64)
   --cache-shards <N>              scenario cache shards    (default: 8)
   --max-connections <N>           live connection cap      (default: 1024)
+  --idle-timeout <SECS>           keep-alive idle close    (default: 5)
+  --header-timeout <SECS>         slowloris 408 deadline   (default: 10)
+  --driver <epoll|portable|auto>  readiness driver         (default: auto)
 
 SWEEP OPTIONS:
   --axis <apps|lifetime|volume>   axis to sweep            (required)
@@ -455,6 +467,30 @@ fn parse_serve(options: &Options) -> Result<ServeArgs, ParseError> {
             parse_number::<usize>("--max-connections", v)?,
         )?;
     }
+    if let Some(v) = options.get("idle-timeout") {
+        serve.idle_timeout_secs = positive(
+            "--idle-timeout",
+            parse_number::<usize>("--idle-timeout", v)?,
+        )? as u64;
+    }
+    if let Some(v) = options.get("header-timeout") {
+        serve.header_timeout_secs = positive(
+            "--header-timeout",
+            parse_number::<usize>("--header-timeout", v)?,
+        )? as u64;
+    }
+    if let Some(v) = options.get("driver") {
+        serve.driver = match v {
+            "epoll" => gf_server::DriverKind::Epoll,
+            "portable" => gf_server::DriverKind::Portable,
+            "auto" => gf_server::DriverKind::Auto,
+            other => {
+                return Err(ParseError(format!(
+                    "--driver must be epoll|portable|auto, got '{other}'"
+                )))
+            }
+        };
+    }
     Ok(serve)
 }
 
@@ -607,6 +643,7 @@ mod tests {
         );
         let command = parse_cmd(
             "serve --addr 0.0.0.0:9999 --workers 4 --eval-threads 2 --cache-capacity 16 \
+             --idle-timeout 60 --header-timeout 2 --driver portable \
              --cache-shards 2 --max-connections 32",
         )
         .unwrap();
@@ -618,10 +655,15 @@ mod tests {
                 assert_eq!(serve.cache_capacity, 16);
                 assert_eq!(serve.cache_shards, 2);
                 assert_eq!(serve.max_connections, 32);
+                assert_eq!(serve.idle_timeout_secs, 60);
+                assert_eq!(serve.header_timeout_secs, 2);
+                assert_eq!(serve.driver, gf_server::DriverKind::Portable);
             }
             other => panic!("unexpected command {other:?}"),
         }
         assert!(parse_cmd("serve --workers x").is_err());
+        assert!(parse_cmd("serve --header-timeout 0").is_err());
+        assert!(parse_cmd("serve --driver kqueue").is_err());
         // Zero eval-threads clamps to serial; zero capacities/shards/caps
         // are configuration errors, not clamps.
         match parse_cmd("serve --eval-threads 0").unwrap() {

@@ -334,6 +334,30 @@ impl Engine {
             .execute(job)
     }
 
+    /// [`Engine::execute`] for completion-callback jobs that want a
+    /// scratch [`ResultBuffer`]: the buffer is **worker-thread-local** and
+    /// reused across every job that worker runs, so a serving transport
+    /// dispatching queries to the pool pays for the SoA result arrays once
+    /// per worker, not once per request.
+    pub fn execute_with_buffer(
+        &self,
+        job: impl FnOnce(&mut ResultBuffer) + Send + 'static,
+    ) -> bool {
+        self.execute(move || {
+            thread_local! {
+                static BUFFER: std::cell::RefCell<ResultBuffer> =
+                    std::cell::RefCell::new(ResultBuffer::new());
+            }
+            BUFFER.with(|buffer| match buffer.try_borrow_mut() {
+                Ok(mut buffer) => job(&mut buffer),
+                // A job that re-enters the pool worker (it cannot today,
+                // but the contract should not quietly assume that) falls
+                // back to a throwaway buffer instead of panicking.
+                Err(_) => job(&mut ResultBuffer::new()),
+            })
+        })
+    }
+
     /// Jobs accepted by the pool and not yet claimed by a worker (`0`
     /// before the pool has spawned).
     pub fn queue_depth(&self) -> usize {

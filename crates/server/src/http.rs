@@ -1,13 +1,19 @@
-//! A minimal HTTP/1.1 message layer over blocking byte streams.
+//! A minimal HTTP/1.1 message layer for a non-blocking transport.
 //!
 //! Just enough protocol for a JSON API behind a trusted load balancer (or a
 //! benchmark harness): request-line + header parsing, `Content-Length`
-//! bodies, keep-alive negotiation and `Expect: 100-continue`. No chunked
-//! transfer encoding, no TLS, no pipelining guarantees beyond
-//! read-one-write-one. Everything is bounded: header block and body sizes
-//! are capped so one connection cannot balloon server memory.
-
-use std::io::{BufRead, Write};
+//! bodies, keep-alive negotiation, pipelining and `Expect: 100-continue`.
+//! No chunked transfer encoding, no TLS. Everything is bounded: header
+//! block and body sizes are capped so one connection cannot balloon server
+//! memory.
+//!
+//! The parser is **incremental**: [`RequestAssembler::step`] consumes
+//! whatever bytes have arrived so far and either produces a complete
+//! [`Request`], asks for more, or rejects the stream — so the event loop
+//! can resume parsing exactly where a partial TCP segment left off, one
+//! byte at a time if that is how the peer delivers them. Responses are
+//! encoded into an owned buffer ([`encode_response`]) that the transport
+//! drains across however many writable-readiness rounds it takes.
 
 /// Bounds applied while reading one request.
 #[derive(Debug, Clone, Copy)]
@@ -32,13 +38,13 @@ pub(crate) struct Request {
     pub keep_alive: bool,
 }
 
-/// Why reading a request stopped.
+/// What one [`RequestAssembler::step`] call produced.
 #[derive(Debug)]
-pub(crate) enum ReadOutcome {
-    /// A complete request was parsed.
+pub(crate) enum Step {
+    /// The buffered bytes do not yet hold a complete request.
+    NeedMore,
+    /// A complete request was parsed (and its bytes consumed).
     Request(Request),
-    /// The peer closed the connection cleanly between requests.
-    Closed,
     /// The peer violated the protocol or a limit; the connection must be
     /// answered with `status` (if writable) and dropped.
     Bad {
@@ -47,96 +53,176 @@ pub(crate) enum ReadOutcome {
         /// Human-readable reason, returned in the JSON error body.
         message: String,
     },
-    /// An I/O error (including read timeouts) ended the connection.
-    Io(std::io::Error),
 }
 
-/// Reads one request. `writer` is needed for `Expect: 100-continue`
-/// interim responses.
-pub(crate) fn read_request<R: BufRead, W: Write>(
-    reader: &mut R,
-    writer: &mut W,
-    limits: ReadLimits,
-) -> ReadOutcome {
-    let mut head = Vec::new();
-    // Request line + headers, terminated by an empty line.
-    let mut line_start = 0;
-    let mut leading_blanks = 0;
-    loop {
-        // Cap the read *inside* the line scan: read_until would otherwise
-        // buffer a newline-free byte stream without bound before the size
-        // check ever ran.
-        let remaining = (limits.max_head_bytes + 1).saturating_sub(head.len()) as u64;
-        let mut limited = std::io::Read::take(&mut *reader, remaining);
-        let read = limited.read_until(b'\n', &mut head);
-        match read {
-            Err(e) => return ReadOutcome::Io(e),
-            Ok(_) if head.len() > limits.max_head_bytes => {
-                return ReadOutcome::Bad {
+/// The head fields carried between the head-complete and body-complete
+/// phases of one request.
+#[derive(Debug)]
+struct Head {
+    method: String,
+    path: String,
+    content_length: usize,
+    keep_alive: bool,
+}
+
+/// Incremental request parser: feed it the connection's receive buffer
+/// whenever bytes arrive, get back requests as they complete.
+///
+/// State between calls is exactly the progress that must survive a partial
+/// read: how far the head-terminator scan got (so a trickled head is never
+/// rescanned from byte zero), the parsed head while its body is still in
+/// flight, and how many leading blank lines were already tolerated.
+#[derive(Debug, Default)]
+pub(crate) struct RequestAssembler {
+    /// Byte offset the head-terminator scan resumes from.
+    scan: usize,
+    /// Parsed head awaiting `content_length` body bytes.
+    head: Option<Head>,
+    /// Stray leading CRLFs tolerated so far for the current request.
+    leading_blanks: u32,
+    /// Set when a parsed head asked for `Expect: 100-continue`; the
+    /// transport takes it once and queues the interim response.
+    interim_due: bool,
+}
+
+impl RequestAssembler {
+    /// True when the stream holds a partially received request, so an EOF
+    /// or deadline now is a mid-request abort rather than a clean close.
+    pub fn mid_request(&self, inbuf: &[u8]) -> bool {
+        self.head.is_some() || !inbuf.is_empty()
+    }
+
+    /// Takes (and clears) the pending `100 Continue` obligation.
+    pub fn take_interim_due(&mut self) -> bool {
+        std::mem::take(&mut self.interim_due)
+    }
+
+    /// Consumes as much of `inbuf` as a complete request needs. Parsed
+    /// bytes are drained from the front of `inbuf`; pipelined followers
+    /// stay buffered for the next call.
+    pub fn step(&mut self, inbuf: &mut Vec<u8>, limits: ReadLimits) -> Step {
+        if self.head.is_none() {
+            // Tolerate a stray CRLF before the request line (RFC 7230 §3.5)
+            // — but only a couple, so a blank-line flood cannot spin here.
+            while self.scan == 0 {
+                let drop = if inbuf.starts_with(b"\r\n") {
+                    2
+                } else if inbuf.first() == Some(&b'\n') {
+                    1
+                } else {
+                    break;
+                };
+                self.leading_blanks += 1;
+                if self.leading_blanks > 4 {
+                    return Step::Bad {
+                        status: 400,
+                        message: "expected a request line".into(),
+                    };
+                }
+                inbuf.drain(..drop);
+            }
+            let Some(head_end) = self.find_head_end(inbuf) else {
+                if inbuf.len() > limits.max_head_bytes {
+                    return Step::Bad {
+                        status: 431,
+                        message: "request head too large".into(),
+                    };
+                }
+                return Step::NeedMore;
+            };
+            if head_end > limits.max_head_bytes {
+                return Step::Bad {
                     status: 431,
                     message: "request head too large".into(),
                 };
             }
-            Ok(0) => {
-                return if head.is_empty() {
-                    ReadOutcome::Closed
-                } else {
-                    ReadOutcome::Bad {
+            let head = match std::str::from_utf8(&inbuf[..head_end]) {
+                Ok(text) => match parse_head_text(text) {
+                    Ok(head) => head,
+                    Err((status, message)) => return Step::Bad { status, message },
+                },
+                Err(_) => {
+                    return Step::Bad {
                         status: 400,
-                        message: "connection closed mid-request".into(),
-                    }
+                        message: "request head is not UTF-8".into(),
+                    };
+                }
+            };
+            if head.1 > limits.max_body_bytes {
+                return Step::Bad {
+                    status: 413,
+                    message: format!("body exceeds {} bytes", limits.max_body_bytes),
                 };
             }
-            Ok(_) => {}
-        }
-        let line_end = head.len();
-        let line = trim_crlf(&head[line_start..line_end]);
-        if line_start > 0 && line.is_empty() {
-            break; // end of headers
-        }
-        if line_start == 0 && line.is_empty() {
-            // Tolerate a stray CRLF before the request line (RFC 7230 §3.5)
-            // — but only a couple, so a blank-line flood cannot spin here.
-            leading_blanks += 1;
-            if leading_blanks > 4 {
-                return ReadOutcome::Bad {
-                    status: 400,
-                    message: "expected a request line".into(),
-                };
+            let (fields, content_length, expects_continue) = head;
+            inbuf.drain(..head_end);
+            self.scan = 0;
+            if expects_continue && content_length > 0 {
+                self.interim_due = true;
             }
-            head.clear();
-            continue;
+            self.head = Some(Head {
+                method: fields.0,
+                path: fields.1,
+                content_length,
+                keep_alive: fields.2,
+            });
         }
-        line_start = line_end;
+
+        let content_length = self.head.as_ref().map_or(0, |head| head.content_length);
+        if inbuf.len() < content_length {
+            return Step::NeedMore;
+        }
+        let head = self.head.take().expect("head parsed above");
+        let body: Vec<u8> = inbuf.drain(..content_length).collect();
+        self.leading_blanks = 0;
+        self.interim_due = false;
+        Step::Request(Request {
+            method: head.method,
+            path: head.path,
+            body,
+            keep_alive: head.keep_alive,
+        })
     }
 
-    let head_text = match std::str::from_utf8(&head) {
-        Ok(text) => text,
-        Err(_) => {
-            return ReadOutcome::Bad {
-                status: 400,
-                message: "request head is not UTF-8".into(),
-            };
+    /// Finds the end of the head (the byte after the blank line),
+    /// remembering scan progress so trickled bytes are not rescanned.
+    fn find_head_end(&mut self, inbuf: &[u8]) -> Option<usize> {
+        let mut i = self.scan;
+        while i < inbuf.len() {
+            if inbuf[i] == b'\n' {
+                match inbuf.get(i + 1) {
+                    Some(b'\n') => return Some(i + 2),
+                    Some(b'\r') if inbuf.get(i + 2) == Some(&b'\n') => return Some(i + 3),
+                    _ => {}
+                }
+            }
+            i += 1;
         }
-    };
+        // Resume two bytes back: a terminator split across segments has at
+        // most two of its bytes ("\n\r") already buffered.
+        self.scan = inbuf.len().saturating_sub(2);
+        None
+    }
+}
+
+type ParsedHead = ((String, String, bool), usize, bool);
+
+/// Parses the UTF-8 head text: request line + headers up to and including
+/// the blank line. Returns `((method, path, keep_alive), content_length,
+/// expects_continue)` or the `(status, message)` to reject with.
+fn parse_head_text(head_text: &str) -> Result<ParsedHead, (u16, String)> {
     // `str::lines` splits on `\n` and strips a trailing `\r`, matching the
-    // framing loop above, which accepts bare-LF line endings too — parsing
-    // must see the same lines the framing saw or the connection desyncs.
+    // framing scan, which accepts bare-LF line endings too — parsing must
+    // see the same lines the framing saw or the connection desyncs.
     let mut lines = head_text.lines().map(str::trim_end);
     let request_line = lines.next().unwrap_or_default();
     let mut parts = request_line.split_whitespace();
     let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
     else {
-        return ReadOutcome::Bad {
-            status: 400,
-            message: format!("malformed request line '{request_line}'"),
-        };
+        return Err((400, format!("malformed request line '{request_line}'")));
     };
     if !matches!(version, "HTTP/1.1" | "HTTP/1.0") {
-        return ReadOutcome::Bad {
-            status: 505,
-            message: format!("unsupported protocol '{version}'"),
-        };
+        return Err((505, format!("unsupported protocol '{version}'")));
     }
 
     let mut content_length: Option<usize> = None;
@@ -155,18 +241,10 @@ pub(crate) fn read_request<R: BufRead, W: Write>(
                 // intermediary that picks the first value would frame the
                 // stream differently. Repeating the *same* value is legal.
                 Ok(n) if content_length.is_some_and(|previous| previous != n) => {
-                    return ReadOutcome::Bad {
-                        status: 400,
-                        message: "conflicting Content-Length headers".into(),
-                    };
+                    return Err((400, "conflicting Content-Length headers".into()));
                 }
                 Ok(n) => content_length = Some(n),
-                Err(_) => {
-                    return ReadOutcome::Bad {
-                        status: 400,
-                        message: "invalid Content-Length".into(),
-                    };
-                }
+                Err(_) => return Err((400, "invalid Content-Length".into())),
             },
             "connection" => {
                 let value = value.to_ascii_lowercase();
@@ -180,78 +258,45 @@ pub(crate) fn read_request<R: BufRead, W: Write>(
                 expects_continue = value.eq_ignore_ascii_case("100-continue");
             }
             "transfer-encoding" => {
-                return ReadOutcome::Bad {
-                    status: 501,
-                    message: "transfer encodings are not supported".into(),
-                };
+                return Err((501, "transfer encodings are not supported".into()));
             }
             _ => {}
         }
     }
-    let content_length = content_length.unwrap_or(0);
-    if content_length > limits.max_body_bytes {
-        return ReadOutcome::Bad {
-            status: 413,
-            message: format!("body exceeds {} bytes", limits.max_body_bytes),
-        };
-    }
-    if expects_continue && content_length > 0 {
-        if let Err(e) = writer.write_all(b"HTTP/1.1 100 Continue\r\n\r\n") {
-            return ReadOutcome::Io(e);
-        }
-        let _ = writer.flush();
-    }
-    let mut body = vec![0u8; content_length];
-    if content_length > 0 {
-        if let Err(e) = reader.read_exact(&mut body) {
-            return ReadOutcome::Io(e);
-        }
-    }
-    ReadOutcome::Request(Request {
-        method: method.to_string(),
-        path: path.to_string(),
-        body,
-        keep_alive,
-    })
+    Ok((
+        (method.to_string(), path.to_string(), keep_alive),
+        content_length.unwrap_or(0),
+        expects_continue,
+    ))
 }
 
-fn trim_crlf(line: &[u8]) -> &[u8] {
-    let line = line.strip_suffix(b"\n").unwrap_or(line);
-    line.strip_suffix(b"\r").unwrap_or(line)
-}
+/// The interim response owed after a head with `Expect: 100-continue`.
+pub(crate) const CONTINUE_RESPONSE: &[u8] = b"HTTP/1.1 100 Continue\r\n\r\n";
 
-/// Writes one `application/json` response.
-pub(crate) fn write_response<W: Write>(
-    writer: &mut W,
-    status: u16,
-    body: &str,
-    keep_alive: bool,
-) -> std::io::Result<()> {
-    write_response_with(writer, status, body, keep_alive, None)
-}
-
-/// [`write_response`] with an optional `Retry-After` header (seconds) —
-/// the admission-control `503` tells clients when backing off is worth it.
-pub(crate) fn write_response_with<W: Write>(
-    writer: &mut W,
+/// Appends one `application/json` response to `out`, with an optional
+/// `Retry-After` header (seconds) — the admission-control `503` tells
+/// clients when backing off is worth it.
+pub(crate) fn encode_response(
+    out: &mut Vec<u8>,
     status: u16,
     body: &str,
     keep_alive: bool,
     retry_after_secs: Option<u32>,
-) -> std::io::Result<()> {
+) {
+    use std::io::Write;
     let reason = reason_phrase(status);
     let connection = if keep_alive { "keep-alive" } else { "close" };
-    write!(
-        writer,
+    // Writes into a Vec cannot fail.
+    let _ = write!(
+        out,
         "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
         body.len()
-    )?;
+    );
     if let Some(seconds) = retry_after_secs {
-        write!(writer, "Retry-After: {seconds}\r\n")?;
+        let _ = write!(out, "Retry-After: {seconds}\r\n");
     }
-    writer.write_all(b"\r\n")?;
-    writer.write_all(body.as_bytes())?;
-    writer.flush()
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body.as_bytes());
 }
 
 fn reason_phrase(status: u16) -> &'static str {
@@ -260,6 +305,7 @@ fn reason_phrase(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         431 => "Request Header Fields Too Large",
@@ -274,24 +320,24 @@ fn reason_phrase(status: u16) -> &'static str {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::Cursor;
 
     const LIMITS: ReadLimits = ReadLimits {
         max_head_bytes: 1024,
         max_body_bytes: 256,
     };
 
-    fn read(input: &str) -> ReadOutcome {
-        let mut reader = Cursor::new(input.as_bytes().to_vec());
-        let mut writer = Vec::new();
-        read_request(&mut reader, &mut writer, LIMITS)
+    /// Feeds the whole input at once and steps once.
+    fn read(input: &str) -> Step {
+        let mut assembler = RequestAssembler::default();
+        let mut inbuf = input.as_bytes().to_vec();
+        assembler.step(&mut inbuf, LIMITS)
     }
 
     #[test]
     fn parses_a_post_with_body() {
         let outcome =
             read("POST /v1/evaluate HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody");
-        let ReadOutcome::Request(request) = outcome else {
+        let Step::Request(request) = outcome else {
             panic!("expected a request, got {outcome:?}");
         };
         assert_eq!(request.method, "POST");
@@ -302,17 +348,16 @@ mod tests {
 
     #[test]
     fn connection_close_and_http10_disable_keep_alive() {
-        let ReadOutcome::Request(request) =
-            read("GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+        let Step::Request(request) = read("GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
         else {
             panic!()
         };
         assert!(!request.keep_alive);
-        let ReadOutcome::Request(request) = read("GET /healthz HTTP/1.0\r\n\r\n") else {
+        let Step::Request(request) = read("GET /healthz HTTP/1.0\r\n\r\n") else {
             panic!()
         };
         assert!(!request.keep_alive);
-        let ReadOutcome::Request(request) =
+        let Step::Request(request) =
             read("GET /healthz HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
         else {
             panic!()
@@ -321,41 +366,82 @@ mod tests {
     }
 
     #[test]
-    fn clean_eof_is_closed_and_partial_is_bad() {
-        assert!(matches!(read(""), ReadOutcome::Closed));
+    fn incomplete_requests_ask_for_more() {
+        assert!(matches!(read(""), Step::NeedMore));
+        assert!(matches!(read("GET /healthz HTT"), Step::NeedMore));
         assert!(matches!(
-            read("GET /healthz HTT"),
-            ReadOutcome::Bad { status: 400, .. }
+            read("POST / HTTP/1.1\r\nContent-Length: 4\r\n\r\nbo"),
+            Step::NeedMore
         ));
+        // `mid_request` distinguishes a clean idle close from an abort.
+        let mut assembler = RequestAssembler::default();
+        let mut inbuf = b"GET /he".to_vec();
+        assert!(matches!(assembler.step(&mut inbuf, LIMITS), Step::NeedMore));
+        assert!(assembler.mid_request(&inbuf));
+        assert!(!RequestAssembler::default().mid_request(&[]));
+    }
+
+    #[test]
+    fn one_byte_at_a_time_parses_identically() {
+        let wire = "POST /v1/evaluate HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody";
+        let mut assembler = RequestAssembler::default();
+        let mut inbuf = Vec::new();
+        let mut parsed = None;
+        for (i, byte) in wire.bytes().enumerate() {
+            inbuf.push(byte);
+            match assembler.step(&mut inbuf, LIMITS) {
+                Step::NeedMore => assert!(i + 1 < wire.len(), "must finish on the last byte"),
+                Step::Request(request) => parsed = Some(request),
+                bad => panic!("unexpected {bad:?}"),
+            }
+        }
+        let request = parsed.expect("request completes");
+        assert_eq!(request.path, "/v1/evaluate");
+        assert_eq!(request.body, b"body");
+        assert!(inbuf.is_empty(), "all bytes consumed");
+    }
+
+    #[test]
+    fn pipelined_requests_are_consumed_one_at_a_time() {
+        let wire = "GET /healthz HTTP/1.1\r\n\r\nPOST /v1/evaluate HTTP/1.1\r\nContent-Length: 2\r\n\r\nhiGET /v1/metrics HTTP/1.1\r\n\r\n";
+        let mut assembler = RequestAssembler::default();
+        let mut inbuf = wire.as_bytes().to_vec();
+        let mut paths = Vec::new();
+        loop {
+            match assembler.step(&mut inbuf, LIMITS) {
+                Step::Request(request) => paths.push(request.path),
+                Step::NeedMore => break,
+                bad => panic!("unexpected {bad:?}"),
+            }
+        }
+        assert_eq!(paths, ["/healthz", "/v1/evaluate", "/v1/metrics"]);
+        assert!(inbuf.is_empty());
     }
 
     #[test]
     fn protocol_violations_get_the_right_status() {
         assert!(matches!(
             read("GARBAGE\r\n\r\n"),
-            ReadOutcome::Bad { status: 400, .. }
+            Step::Bad { status: 400, .. }
         ));
         assert!(matches!(
             read("GET / SPDY/3\r\n\r\n"),
-            ReadOutcome::Bad { status: 505, .. }
+            Step::Bad { status: 505, .. }
         ));
         assert!(matches!(
             read("POST / HTTP/1.1\r\nContent-Length: 999\r\n\r\n"),
-            ReadOutcome::Bad { status: 413, .. }
+            Step::Bad { status: 413, .. }
         ));
         assert!(matches!(
             read("POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
-            ReadOutcome::Bad { status: 400, .. }
+            Step::Bad { status: 400, .. }
         ));
         assert!(matches!(
             read("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
-            ReadOutcome::Bad { status: 501, .. }
+            Step::Bad { status: 501, .. }
         ));
         let long_header = format!("GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "a".repeat(2048));
-        assert!(matches!(
-            read(&long_header),
-            ReadOutcome::Bad { status: 431, .. }
-        ));
+        assert!(matches!(read(&long_header), Step::Bad { status: 431, .. }));
     }
 
     #[test]
@@ -363,15 +449,15 @@ mod tests {
         // The smuggling shape: two headers that frame the body differently.
         assert!(matches!(
             read("POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 11\r\n\r\nbody"),
-            ReadOutcome::Bad { status: 400, .. }
+            Step::Bad { status: 400, .. }
         ));
         // Order does not matter.
         assert!(matches!(
             read("POST / HTTP/1.1\r\nContent-Length: 11\r\nContent-Length: 4\r\n\r\nbody"),
-            ReadOutcome::Bad { status: 400, .. }
+            Step::Bad { status: 400, .. }
         ));
         // Identical duplicates are legal (RFC 9112 §6.3) and frame once.
-        let ReadOutcome::Request(request) =
+        let Step::Request(request) =
             read("POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nbody")
         else {
             panic!("identical duplicate Content-Length must parse");
@@ -382,36 +468,40 @@ mod tests {
     #[test]
     fn retry_after_header_is_emitted_on_demand() {
         let mut out = Vec::new();
-        write_response_with(&mut out, 503, "{}", false, Some(2)).unwrap();
+        encode_response(&mut out, 503, "{}", false, Some(2));
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
         assert!(text.contains("Retry-After: 2\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
         let mut out = Vec::new();
-        write_response_with(&mut out, 200, "{}", true, None).unwrap();
+        encode_response(&mut out, 200, "{}", true, None);
         assert!(!String::from_utf8(out).unwrap().contains("Retry-After"));
     }
 
     #[test]
-    fn expect_continue_gets_an_interim_response() {
-        let mut reader = Cursor::new(
-            b"POST / HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 2\r\n\r\nhi".to_vec(),
-        );
-        let mut writer = Vec::new();
-        let outcome = read_request(&mut reader, &mut writer, LIMITS);
-        assert!(matches!(outcome, ReadOutcome::Request(_)));
-        assert!(String::from_utf8(writer)
-            .unwrap()
-            .starts_with("HTTP/1.1 100"));
+    fn expect_continue_flags_an_interim_response() {
+        let mut assembler = RequestAssembler::default();
+        let mut inbuf =
+            b"POST / HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 2\r\n\r\n".to_vec();
+        // Head complete, body not: the interim obligation is raised so the
+        // transport can answer before the peer sends the body.
+        assert!(matches!(assembler.step(&mut inbuf, LIMITS), Step::NeedMore));
+        assert!(assembler.take_interim_due());
+        assert!(!assembler.take_interim_due(), "taken once");
+        inbuf.extend_from_slice(b"hi");
+        let Step::Request(request) = assembler.step(&mut inbuf, LIMITS) else {
+            panic!("body completes the request");
+        };
+        assert_eq!(request.body, b"hi");
     }
 
     #[test]
     fn bare_lf_requests_parse_their_headers() {
-        // The framing loop accepts bare-LF endings, so header parsing must
+        // The framing scan accepts bare-LF endings, so header parsing must
         // too — otherwise Content-Length is dropped and the body bytes
         // desync the connection.
         let outcome = read("POST /v1/evaluate HTTP/1.1\nContent-Length: 4\n\nbody");
-        let ReadOutcome::Request(request) = outcome else {
+        let Step::Request(request) = outcome else {
             panic!("expected a request, got {outcome:?}");
         };
         assert_eq!(request.body, b"body");
@@ -422,30 +512,39 @@ mod tests {
         // A head with no '\n' at all must hit the size limit, not grow the
         // buffer until the peer relents.
         let flood = "G".repeat(64 * 1024);
-        assert!(matches!(read(&flood), ReadOutcome::Bad { status: 431, .. }));
+        assert!(matches!(read(&flood), Step::Bad { status: 431, .. }));
     }
 
     #[test]
-    fn leading_crlf_is_tolerated() {
-        let ReadOutcome::Request(request) = read("\r\nGET /healthz HTTP/1.1\r\n\r\n") else {
+    fn leading_crlf_is_tolerated_but_floods_are_not() {
+        let Step::Request(request) = read("\r\nGET /healthz HTTP/1.1\r\n\r\n") else {
             panic!()
         };
         assert_eq!(request.path, "/healthz");
+        assert!(matches!(
+            read("\r\n\r\n\r\n\r\n\r\n\r\nGET /healthz HTTP/1.1\r\n\r\n"),
+            Step::Bad { status: 400, .. }
+        ));
     }
 
     #[test]
     fn responses_have_framing_headers() {
         let mut out = Vec::new();
-        write_response(&mut out, 200, "{\"ok\":true}", true).unwrap();
+        encode_response(&mut out, 200, "{\"ok\":true}", true, None);
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 11\r\n"));
         assert!(text.contains("Connection: keep-alive\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
         let mut out = Vec::new();
-        write_response(&mut out, 404, "{}", false).unwrap();
+        encode_response(&mut out, 404, "{}", false, None);
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("404 Not Found"));
         assert!(text.contains("Connection: close"));
+        let mut out = Vec::new();
+        encode_response(&mut out, 408, "{}", false, None);
+        assert!(String::from_utf8(out)
+            .unwrap()
+            .starts_with("HTTP/1.1 408 Request Timeout\r\n"));
     }
 }

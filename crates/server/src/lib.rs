@@ -1,9 +1,15 @@
 //! # greenfpga-serve
 //!
 //! A zero-dependency HTTP/JSON estimation service over the compiled
-//! GreenFPGA engine: a connection acceptor on [`std::net::TcpListener`]
-//! feeding a persistent [`greenfpga::exec::WorkerPool`], one worker per
-//! connection, keep-alive HTTP/1.1 with bounded request sizes.
+//! GreenFPGA engine, built on a single-threaded readiness event loop:
+//! a non-blocking listener and sockets driven by raw `epoll` on Linux
+//! (with a portable speculative-sweep fallback), per-connection state
+//! machines that resume partial reads and writes wherever the network
+//! fragmented them, and a persistent [`greenfpga::exec::WorkerPool`]
+//! that does only *engine* work — heavy queries are offloaded with a
+//! completion callback and their responses return to the loop through a
+//! wakeup pipe. Connection count is bounded by file descriptors, not
+//! threads: 10k+ live keep-alive connections are one loop, not 10k stacks.
 //!
 //! ## Routes
 //!
@@ -25,6 +31,16 @@
 //! [`greenfpga::ApiError`] taxonomy (`error.code` / `error.message` /
 //! `error.retryable`), mapped to HTTP status canonically.
 //!
+//! ## Dispatch placement
+//!
+//! Cheap queries (point evaluations, the `GET` endpoints) run **inline on
+//! the event loop**: at microsecond service times, a thread handoff costs
+//! more than the work. Fan-out queries (`batch`, `sweep`, `grid`,
+//! `frontier`, `tornado`, `montecarlo`) go to the worker pool so a
+//! millisecond-scale computation never stalls the other connections; the
+//! worker completes the response into a queue and pokes the loop's wakeup
+//! pipe.
+//!
 //! ## Embedding
 //!
 //! ```no_run
@@ -34,20 +50,25 @@
 //! };
 //! let handle = gf_server::Server::bind(config)?.spawn();
 //! println!("serving on http://{}", handle.addr());
-//! handle.shutdown(); // joins the acceptor and every worker
+//! handle.shutdown(); // joins the event loop and every worker
 //! # Ok::<(), std::io::Error>(())
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
+mod conn;
 mod http;
 mod metrics;
+mod poll;
 mod routes;
+#[allow(unsafe_code)]
+mod sys;
 
-use std::collections::HashMap;
-use std::io::BufReader;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -55,7 +76,33 @@ use std::time::{Duration, Instant};
 
 use greenfpga::{Engine, EngineConfig, ResultBuffer};
 
+use conn::{Conn, ConnSlab, ConnState};
 use metrics::Metrics;
+use poll::{Driver, Interest};
+
+pub use poll::DriverKind;
+
+/// Token of the listening socket in readiness reports.
+const LISTENER_TOKEN: u64 = u64::MAX;
+/// Token of the worker wakeup pipe in readiness reports.
+const WAKE_TOKEN: u64 = u64::MAX - 1;
+/// Request line + headers cap, per request.
+const MAX_HEAD_BYTES: usize = 16 << 10;
+/// How long a closing connection may take to drain its final response
+/// before the socket is dropped regardless.
+const DRAIN_DEADLINE: Duration = Duration::from_millis(50);
+/// How long an error/rejection response may take to reach the peer.
+const REJECT_WRITE_DEADLINE: Duration = Duration::from_secs(1);
+/// Load shedding: reject new connections once this many jobs per worker
+/// are queued unclaimed behind the pool.
+const SHED_QUEUE_FACTOR: usize = 8;
+/// Upper bound on the portable driver's idle back-off between sweeps.
+const PORTABLE_IDLE_CAP: Duration = Duration::from_millis(20);
+/// Pending-response backpressure: once this many unflushed bytes are
+/// queued on a connection, the parse loop stops answering pipelined
+/// followers until the peer drains some — bounding memory a reader that
+/// pipelines requests but never reads responses can pin.
+const OUT_BACKPRESSURE: usize = 256 << 10;
 
 /// Server tuning. Every field has a serving-sane default; the CLI exposes
 /// the interesting ones as flags.
@@ -63,10 +110,11 @@ use metrics::Metrics;
 pub struct ServerConfig {
     /// Bind address, e.g. `127.0.0.1:7878` (`:0` for an ephemeral port).
     pub addr: String,
-    /// Connection worker threads (`0` = [`greenfpga::exec::default_threads`]).
+    /// Engine worker threads for offloaded queries
+    /// (`0` = [`greenfpga::exec::default_threads`]).
     pub workers: usize,
     /// Worker threads per batch evaluation. Defaults to 1: request-level
-    /// concurrency comes from the connection workers, so fanning each batch
+    /// concurrency comes from the engine workers, so fanning each batch
     /// out across cores as well would oversubscribe under load.
     pub eval_threads: usize,
     /// Maximum request body size in bytes.
@@ -74,23 +122,25 @@ pub struct ServerConfig {
     /// Maximum cached compiled scenarios (split across the shards).
     pub cache_capacity: usize,
     /// Scenario-cache shards. Lookups lock one shard, so concurrent
-    /// connections contend only on hash collisions; more shards buy less
+    /// requests contend only on hash collisions; more shards buy less
     /// contention at slightly coarser LRU eviction (capacity is split).
     pub cache_shards: usize,
     /// Hard cap on live connections. The governor answers `503` with
-    /// `Retry-After` beyond it instead of queueing unboundedly.
-    ///
-    /// Load shedding can kick in well before this cap: a connection
-    /// occupies a worker for its whole keep-alive lifetime, so once a full
-    /// wave of accepted connections is queued unclaimed behind busy
-    /// workers, further connections are also rejected (they could not be
-    /// served before roughly an idle-timeout of waiting anyway). Size
-    /// `workers` to the expected steady-state concurrency and this cap to
-    /// the tolerable burst.
+    /// `Retry-After` beyond it instead of queueing unboundedly. A
+    /// connection costs one file descriptor and its buffers — not a
+    /// thread — so this can be sized in the tens of thousands.
     pub max_connections: usize,
     /// Idle keep-alive timeout: a connection with no request for this long
-    /// is closed. Also bounds how long shutdown waits for idle connections.
+    /// is closed (silently — it is owed nothing).
     pub idle_timeout: Duration,
+    /// Slowloris defense: once the first byte of a request arrives, the
+    /// whole head+body must follow within this window or the connection is
+    /// answered `408` and closed. Armed once per request, so trickling
+    /// bytes cannot reset it.
+    pub header_timeout: Duration,
+    /// Readiness driver. `Auto` resolves via the `GF_SERVE_DRIVER`
+    /// environment variable, then the platform default (`epoll` on Linux).
+    pub driver: DriverKind,
 }
 
 impl Default for ServerConfig {
@@ -104,6 +154,8 @@ impl Default for ServerConfig {
             cache_shards: 8,
             max_connections: 1024,
             idle_timeout: Duration::from_secs(5),
+            header_timeout: Duration::from_secs(10),
+            driver: DriverKind::Auto,
         }
     }
 }
@@ -119,9 +171,58 @@ impl ServerConfig {
     }
 }
 
-/// Shared server state: configuration, the unified engine (scenario
-/// cache plus worker pool), the metrics registry and the connection
-/// governor's gauges.
+/// A response computed on a worker, traveling back to the event loop.
+struct Completion {
+    token: u64,
+    status: u16,
+    body: String,
+    route: usize,
+    started: Instant,
+    bytes_in: u64,
+    keep_alive: bool,
+}
+
+/// Pokes the event loop out of its wait. One byte per poke, coalesced by
+/// the pipe buffer; write errors (full pipe, torn-down loop) are ignored —
+/// the loop drains its completion queue on every iteration regardless.
+struct Waker {
+    #[cfg(unix)]
+    tx: std::os::unix::net::UnixStream,
+}
+
+impl Waker {
+    fn wake(&self) {
+        #[cfg(unix)]
+        {
+            let _ = (&self.tx).write(&[1]);
+        }
+    }
+}
+
+/// The receiving half of the wakeup channel, owned by the event loop.
+struct WakePipe {
+    #[cfg(unix)]
+    rx: std::os::unix::net::UnixStream,
+}
+
+fn wake_channel() -> std::io::Result<(Waker, WakePipe)> {
+    #[cfg(unix)]
+    {
+        let (tx, rx) = std::os::unix::net::UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        Ok((Waker { tx }, WakePipe { rx }))
+    }
+    #[cfg(not(unix))]
+    {
+        // No pipe: the loop caps its wait instead (see `next_timeout`).
+        Ok((Waker {}, WakePipe {}))
+    }
+}
+
+/// Shared server state: configuration, the unified engine (scenario cache
+/// plus worker pool), the metrics registry, the governor's gauges and the
+/// worker→loop completion channel.
 pub(crate) struct ServerState {
     pub config: ServerConfig,
     pub engine: Engine,
@@ -129,45 +230,52 @@ pub(crate) struct ServerState {
     pub requests: AtomicU64,
     pub stop: AtomicBool,
     pub metrics: Metrics,
-    /// Connections accepted and not yet finished — the governor's gauge.
+    /// Connections admitted and not yet closed — the governor's gauge.
     pub live_connections: AtomicUsize,
-    /// Live connections by id, so shutdown can interrupt workers blocked in
-    /// keep-alive reads instead of waiting out their idle timeout.
-    connections: Mutex<HashMap<u64, TcpStream>>,
-    next_connection_id: AtomicU64,
+    /// Responses finished by workers, awaiting the loop.
+    completions: Mutex<Vec<Completion>>,
+    waker: Waker,
 }
 
 impl ServerState {
-    /// Severs every open connection; blocked reads return EOF immediately.
-    fn sever_connections(&self) {
-        let connections = std::mem::take(
-            &mut *self
-                .connections
-                .lock()
-                .expect("connection registry poisoned"),
-        );
-        for (_, stream) in connections {
-            let _ = stream.shutdown(Shutdown::Both);
+    /// Queues a finished response and pokes the loop (only when the queue
+    /// was empty — one poke wakes the loop for the whole backlog).
+    fn complete(&self, completion: Completion) {
+        let was_empty = {
+            let mut queue = self.completions.lock().expect("completion queue poisoned");
+            let was_empty = queue.is_empty();
+            queue.push(completion);
+            was_empty
+        };
+        if was_empty {
+            self.waker.wake();
         }
     }
 }
 
 /// A bound (but not yet serving) server.
 pub struct Server {
-    listener: TcpListener,
+    addr: SocketAddr,
     state: Arc<ServerState>,
+    event_loop: EventLoop,
 }
 
 impl Server {
-    /// Binds the listener and pre-resolves the scenario templates.
+    /// Binds the listener, resolves the readiness driver and pre-resolves
+    /// the scenario templates.
     ///
     /// # Errors
     ///
-    /// I/O errors from binding; calibration failures surface as
-    /// [`std::io::ErrorKind::InvalidData`] (the built-in calibrations never
-    /// fail).
+    /// I/O errors from binding or driver setup; an invalid
+    /// `GF_SERVE_DRIVER`/driver choice surfaces as
+    /// [`std::io::ErrorKind::InvalidInput`]; calibration failures surface
+    /// as [`std::io::ErrorKind::InvalidData`] (the built-in calibrations
+    /// never fail).
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let driver_kind = config.driver.resolve()?;
         let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
         let engine = Engine::new(EngineConfig {
             cache_capacity: config.cache_capacity,
             cache_shards: config.cache_shards,
@@ -175,50 +283,47 @@ impl Server {
             workers: config.workers,
         })
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let (waker, wake_pipe) = wake_channel()?;
+        let state = Arc::new(ServerState {
+            config,
+            engine,
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            metrics: Metrics::new(),
+            live_connections: AtomicUsize::new(0),
+            completions: Mutex::new(Vec::new()),
+            waker,
+        });
+        let event_loop = EventLoop::new(listener, wake_pipe, Arc::clone(&state), driver_kind)?;
         Ok(Server {
-            listener,
-            state: Arc::new(ServerState {
-                config,
-                engine,
-                started: Instant::now(),
-                requests: AtomicU64::new(0),
-                stop: AtomicBool::new(false),
-                metrics: Metrics::new(),
-                live_connections: AtomicUsize::new(0),
-                connections: Mutex::new(HashMap::new()),
-                next_connection_id: AtomicU64::new(0),
-            }),
+            addr,
+            state,
+            event_loop,
         })
     }
 
     /// The bound address (with the real port when `:0` was requested).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the socket address cannot be read back, which only happens
-    /// after the listener broke.
     pub fn local_addr(&self) -> SocketAddr {
-        self.listener.local_addr().expect("listener has an address")
+        self.addr
     }
 
     /// Serves until the process exits (the CLI entry point).
     pub fn run(self) {
-        let state = Arc::clone(&self.state);
-        serve(self.listener, state);
+        self.event_loop.run();
     }
 
-    /// Serves on a background acceptor thread and returns a handle that can
-    /// shut the server down cleanly.
+    /// Serves on a background event-loop thread and returns a handle that
+    /// can shut the server down cleanly.
     pub fn spawn(self) -> ServerHandle {
-        let addr = self.local_addr();
+        let addr = self.addr;
         let state = Arc::clone(&self.state);
-        let acceptor_state = Arc::clone(&self.state);
-        let listener = self.listener;
-        let acceptor = std::thread::spawn(move || serve(listener, acceptor_state));
+        let event_loop = self.event_loop;
+        let thread = std::thread::spawn(move || event_loop.run());
         ServerHandle {
             addr,
             state,
-            acceptor: Some(acceptor),
+            thread: Some(thread),
         }
     }
 }
@@ -227,7 +332,7 @@ impl Server {
 pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<ServerState>,
-    acceptor: Option<std::thread::JoinHandle<()>>,
+    thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -236,211 +341,737 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Requests served so far (responses written, any status).
+    /// Requests served so far (responses produced, any status).
     pub fn requests_served(&self) -> u64 {
         self.state.requests.load(Ordering::Relaxed)
     }
 
-    /// Stops accepting, drains the workers and joins every thread. Open
-    /// keep-alive connections are closed after their next response (or
-    /// their idle timeout, whichever comes first).
+    /// Stops the event loop, closes every connection, drains the workers
+    /// and joins every thread.
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
 
     fn stop_and_join(&mut self) {
-        let Some(acceptor) = self.acceptor.take() else {
+        let Some(thread) = self.thread.take() else {
             return;
         };
         self.state.stop.store(true, Ordering::SeqCst);
-        // Interrupt workers blocked in keep-alive reads, then wake the
-        // blocking accept with a throwaway connection.
-        self.state.sever_connections();
-        let _ = TcpStream::connect(self.addr);
-        let _ = acceptor.join();
+        self.state.waker.wake();
+        let _ = thread.join();
     }
 }
 
 impl Drop for ServerHandle {
     /// Dropping without [`ServerHandle::shutdown`] still stops the server —
-    /// tests that bail on an assert must not leave an acceptor thread
-    /// wedged on `accept`.
+    /// tests that bail on an assert must not leave an event loop running.
     fn drop(&mut self) {
         self.stop_and_join();
     }
 }
 
-/// The acceptor loop with its connection governor. Connections run on the
-/// engine's persistent worker pool; returning joins the pool (after its
-/// queued connections finish) via [`Engine::join_workers`].
-///
-/// Admission control happens here, before a connection ever reaches the
-/// pool: past the live-connection cap, or once a full wave of accepted
-/// connections is already queued unclaimed behind the workers, the
-/// connection is answered `503` + `Retry-After` and closed instead of
-/// joining an unbounded backlog.
-fn serve(listener: TcpListener, state: Arc<ServerState>) {
-    let workers = state.config.workers_resolved();
-    for stream in listener.incoming() {
-        if state.stop.load(Ordering::SeqCst) {
-            break;
+#[cfg(unix)]
+fn raw_fd(stream: &TcpStream) -> std::os::unix::io::RawFd {
+    use std::os::unix::io::AsRawFd;
+    stream.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn raw_fd(_stream: &TcpStream) -> i32 {
+    // The portable driver (the only choice off unix) ignores fds.
+    0
+}
+
+/// Moves a connection's deadline, pushing a heap entry only when one is
+/// needed: no entry is standing, or the deadline moved *earlier* than the
+/// standing one could cover. Later-moving deadlines ride the standing
+/// entry, which re-pushes itself when it pops early — so a keep-alive
+/// connection costs one heap entry per idle window, not one per request.
+fn arm_deadline(
+    timers: &mut BinaryHeap<Reverse<(Instant, u64)>>,
+    conn: &mut Conn,
+    token: u64,
+    deadline: Instant,
+) {
+    let push = !conn.timer_queued || conn.deadline.is_none_or(|previous| deadline < previous);
+    conn.deadline = Some(deadline);
+    if push {
+        timers.push(Reverse((deadline, token)));
+        conn.timer_queued = true;
+    }
+}
+
+/// The readiness event loop: owns the listener, every connection, the
+/// timer heap and the driver. Single-threaded — all connection state is
+/// plain data, and the only synchronization is the completion queue the
+/// workers fill.
+struct EventLoop {
+    listener: TcpListener,
+    driver: Driver,
+    state: Arc<ServerState>,
+    conns: ConnSlab,
+    /// Lazy-deletion deadline heap (see [`arm_deadline`]).
+    timers: BinaryHeap<Reverse<(Instant, u64)>>,
+    events: Vec<poll::Event>,
+    scratch: Vec<u8>,
+    /// Result scratch for queries handled inline on the loop.
+    buffer: ResultBuffer,
+    wake_pipe: WakePipe,
+    /// Whether the last iteration accomplished anything — paces the
+    /// portable driver's speculative sweeps.
+    progress: bool,
+    idle_streak: u32,
+    workers: usize,
+}
+
+impl EventLoop {
+    fn new(
+        listener: TcpListener,
+        wake_pipe: WakePipe,
+        state: Arc<ServerState>,
+        driver_kind: DriverKind,
+    ) -> std::io::Result<EventLoop> {
+        let mut driver = Driver::new(driver_kind)?;
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            driver.register(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)?;
+            driver.register(wake_pipe.rx.as_raw_fd(), WAKE_TOKEN, Interest::READ)?;
         }
-        let Ok(stream) = stream else { continue };
-        let live = state.live_connections.load(Ordering::SeqCst);
-        let saturated = state.engine.queue_depth() >= workers.max(1);
-        if live >= state.config.max_connections || saturated {
-            state.metrics.rejected.fetch_add(1, Ordering::Relaxed);
-            reject_connection(stream);
-            continue;
+        #[cfg(not(unix))]
+        {
+            driver.register(0, LISTENER_TOKEN, Interest::READ)?;
         }
-        state.live_connections.fetch_add(1, Ordering::SeqCst);
-        let id = state.next_connection_id.fetch_add(1, Ordering::Relaxed);
-        if let Ok(registered) = stream.try_clone() {
-            state
-                .connections
-                .lock()
-                .expect("connection registry poisoned")
-                .insert(id, registered);
+        let workers = state.config.workers_resolved().max(1);
+        Ok(EventLoop {
+            listener,
+            driver,
+            state,
+            conns: ConnSlab::default(),
+            timers: BinaryHeap::new(),
+            events: Vec::with_capacity(1024),
+            scratch: vec![0u8; 64 << 10],
+            buffer: ResultBuffer::new(),
+            wake_pipe,
+            progress: true,
+            idle_streak: 0,
+            workers,
+        })
+    }
+
+    fn run(mut self) {
+        while !self.state.stop.load(Ordering::SeqCst) {
+            let timeout = self.next_timeout();
+            if self.driver.is_speculative() {
+                self.pace_speculative_sweep(timeout);
+            }
+            if let Err(e) = self.driver.wait(&mut self.events, timeout) {
+                eprintln!("greenfpga-serve: driver wait failed: {e}");
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+            self.progress = false;
+            let events = std::mem::take(&mut self.events);
+            for &event in &events {
+                self.handle_event(event);
+            }
+            self.events = events;
+            self.drain_completions();
+            self.expire_timers();
         }
-        let job_state = Arc::clone(&state);
-        let queued = state.engine.execute(move || {
-            // Guard-scoped decrement: a panicking handler must not leak an
-            // admission slot, or the governor wedges shut one phantom
-            // connection at a time.
-            struct SlotGuard(Arc<ServerState>, u64);
-            impl Drop for SlotGuard {
-                fn drop(&mut self) {
-                    if let Ok(mut connections) = self.0.connections.lock() {
-                        connections.remove(&self.1);
+        // Teardown: sever every connection, then drain and join the
+        // engine's workers (their late completions go nowhere, harmlessly).
+        for token in self.conns.tokens() {
+            self.close(token);
+        }
+        self.state.engine.join_workers();
+    }
+
+    /// How long the wait may block: until the nearest deadline, forever
+    /// when none is armed (the wakeup pipe interrupts for completions and
+    /// shutdown). Without a wakeup pipe the wait is capped instead.
+    fn next_timeout(&self) -> Option<Duration> {
+        let now = Instant::now();
+        let timeout = self
+            .timers
+            .peek()
+            .map(|&Reverse((deadline, _))| deadline.saturating_duration_since(now));
+        #[cfg(unix)]
+        {
+            timeout
+        }
+        #[cfg(not(unix))]
+        {
+            let cap = Duration::from_millis(10);
+            Some(timeout.map_or(cap, |t| t.min(cap)))
+        }
+    }
+
+    /// The portable driver never blocks in `wait`, so the loop sleeps here
+    /// between sweeps once a full pass made no progress — parking on the
+    /// wakeup pipe so completions and shutdown still interrupt, with a
+    /// deadline-capped exponential back-off so an idle server costs little
+    /// and an active one sweeps flat-out.
+    fn pace_speculative_sweep(&mut self, timeout: Option<Duration>) {
+        if self.progress {
+            self.idle_streak = 0;
+            return;
+        }
+        self.idle_streak = self.idle_streak.saturating_add(1);
+        let backoff =
+            Duration::from_micros(500u64 << self.idle_streak.min(5)).min(PORTABLE_IDLE_CAP);
+        let nap = timeout.map_or(backoff, |t| t.min(backoff));
+        let nap = nap.max(Duration::from_micros(100));
+        #[cfg(unix)]
+        {
+            let pipe = &self.wake_pipe.rx;
+            if pipe.set_read_timeout(Some(nap)).is_ok() && pipe.set_nonblocking(false).is_ok() {
+                let mut reader = pipe;
+                let mut bytes = [0u8; 8];
+                let _ = reader.read(&mut bytes);
+                let _ = pipe.set_nonblocking(true);
+            } else {
+                std::thread::sleep(nap);
+            }
+        }
+        #[cfg(not(unix))]
+        std::thread::sleep(nap);
+    }
+
+    fn handle_event(&mut self, event: poll::Event) {
+        match event.token {
+            LISTENER_TOKEN => self.accept_ready(),
+            WAKE_TOKEN => self.drain_wake(),
+            token => self.conn_ready(token, event.readable, event.writable),
+        }
+    }
+
+    fn drain_wake(&mut self) {
+        #[cfg(unix)]
+        {
+            let mut reader = &self.wake_pipe.rx;
+            let mut sink = [0u8; 64];
+            while matches!(reader.read(&mut sink), Ok(n) if n > 0) {}
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    self.progress = true;
+                    self.admit(stream);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break, // transient (EMFILE, aborted handshake); retried on next event
+            }
+        }
+    }
+
+    /// Admission control, before a connection costs anything but an fd:
+    /// past the live cap, or once a deep job backlog is queued unclaimed
+    /// behind the workers, the connection gets a `503` + `Retry-After`
+    /// queued through the ordinary writable-readiness machinery — the
+    /// loop never blocks to deliver a rejection.
+    fn admit(&mut self, stream: TcpStream) {
+        let _ = stream.set_nonblocking(true);
+        let _ = stream.set_nodelay(true);
+        let live = self.state.live_connections.load(Ordering::SeqCst);
+        let shedding = self.state.engine.queue_depth() >= self.workers * SHED_QUEUE_FACTOR;
+        let now = Instant::now();
+        let rejected = live >= self.state.config.max_connections || shedding;
+        let deadline = if rejected {
+            now + REJECT_WRITE_DEADLINE
+        } else {
+            now + self.state.config.idle_timeout
+        };
+        let mut conn = Conn::new(stream, deadline);
+        if rejected {
+            self.state.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            conn.counted_live = false;
+            conn.state = ConnState::Write;
+            conn.close_after_write = true;
+            http::encode_response(
+                &mut conn.outbuf,
+                503,
+                &routes::overload_error_body(),
+                false,
+                Some(1),
+            );
+            conn.interest = conn.desired_interest();
+        } else {
+            self.state.live_connections.fetch_add(1, Ordering::SeqCst);
+        }
+        let fd = raw_fd(&conn.stream);
+        let interest = conn.interest;
+        let token = self.conns.insert(conn);
+        if self.driver.register(fd, token, interest).is_err() {
+            self.close(token);
+            return;
+        }
+        if let Some(conn) = self.conns.get_mut(token) {
+            arm_deadline(&mut self.timers, conn, token, deadline);
+        }
+        if rejected {
+            self.flush_out(token);
+            self.update_interest(token);
+        }
+    }
+
+    fn conn_ready(&mut self, token: u64, readable: bool, writable: bool) {
+        let Some(conn) = self.conns.get_mut(token) else {
+            return; // stale event for a closed connection
+        };
+        // Act only on registered interest: the portable driver reports
+        // speculatively, and epoll events can outlive an interest change
+        // made earlier in this batch.
+        let interest = conn.interest;
+        if writable && interest.writable {
+            self.flush_out(token);
+            let resumed = self
+                .conns
+                .get_mut(token)
+                .is_some_and(|conn| conn.state == ConnState::Read && conn.outbuf.is_empty());
+            if resumed {
+                // A drained response unblocks any pipelined follower.
+                self.process_buffered(token);
+            }
+        }
+        let readable_now = self
+            .conns
+            .get_mut(token)
+            .is_some_and(|conn| conn.interest.readable);
+        if readable && readable_now {
+            let state = self
+                .conns
+                .get_mut(token)
+                .map(|conn| conn.state)
+                .expect("checked above");
+            match state {
+                ConnState::Read => self.read_ready(token),
+                ConnState::Drain => self.drain_ready(token),
+                ConnState::Dispatched | ConnState::Write => {}
+            }
+        }
+        self.update_interest(token);
+    }
+
+    fn read_ready(&mut self, token: u64) {
+        enum After {
+            Parse,
+            PeerClosed,
+            Close,
+        }
+        let after = {
+            let scratch = &mut self.scratch;
+            let Some(conn) = self.conns.get_mut(token) else {
+                return;
+            };
+            match conn.stream.read(scratch) {
+                Ok(0) => After::PeerClosed,
+                Ok(n) => {
+                    conn.inbuf.extend_from_slice(&scratch[..n]);
+                    self.progress = true;
+                    After::Parse
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::Interrupted =>
+                {
+                    After::Parse
+                }
+                Err(_) => After::Close,
+            }
+        };
+        match after {
+            After::Parse => self.process_buffered(token),
+            After::PeerClosed => self.peer_closed(token),
+            After::Close => self.close(token),
+        }
+    }
+
+    /// EOF from the peer: a clean close between requests, a `400` when it
+    /// abandoned a request midway (the send half may still deliver it).
+    fn peer_closed(&mut self, token: u64) {
+        let mid_request = self
+            .conns
+            .get_mut(token)
+            .is_some_and(|conn| conn.state == ConnState::Read && conn.mid_request());
+        if mid_request {
+            self.protocol_error(token, 400, "connection closed mid-request");
+        } else {
+            self.close(token);
+        }
+    }
+
+    /// Parses and dispatches every complete request already buffered, then
+    /// flushes the accumulated responses in **one** write — pipelined
+    /// inline requests cost one syscall per segment, not one per response.
+    /// Stops when bytes run out, a request is offloaded (responses must
+    /// stay in request order), or the backpressure bound trips.
+    fn process_buffered(&mut self, token: u64) {
+        let limits = http::ReadLimits {
+            max_head_bytes: MAX_HEAD_BYTES,
+            max_body_bytes: self.state.config.max_body_bytes,
+        };
+        let header_timeout = self.state.config.header_timeout;
+        loop {
+            let Some(conn) = self.conns.get_mut(token) else {
+                return;
+            };
+            if conn.state != ConnState::Read || conn.outbuf.len() - conn.outpos >= OUT_BACKPRESSURE
+            {
+                break;
+            }
+            let step = conn.assembler.step(&mut conn.inbuf, limits);
+            if conn.assembler.take_interim_due() {
+                // `Expect: 100-continue`: the interim joins the flush — the
+                // peer may be waiting for it before sending the body.
+                conn.outbuf.extend_from_slice(http::CONTINUE_RESPONSE);
+            }
+            match step {
+                http::Step::NeedMore => {
+                    if conn.mid_request() && !conn.header_deadline_armed {
+                        // Slowloris defense: one fixed deadline per
+                        // request, armed at its first byte.
+                        conn.header_deadline_armed = true;
+                        arm_deadline(
+                            &mut self.timers,
+                            conn,
+                            token,
+                            Instant::now() + header_timeout,
+                        );
                     }
-                    self.0.live_connections.fetch_sub(1, Ordering::SeqCst);
-                }
-            }
-            let _guard = SlotGuard(Arc::clone(&job_state), id);
-            handle_connection(stream, &job_state);
-        });
-        if !queued {
-            // Only possible after the engine's workers were joined (a race
-            // with shutdown); undo the gauge so it stays balanced.
-            state.live_connections.fetch_sub(1, Ordering::SeqCst);
-        }
-    }
-    // Late shutdown can race a connection registered after the sever pass;
-    // sever again so no queued worker waits out its idle timeout, then
-    // drain and join the engine's workers.
-    state.sever_connections();
-    state.engine.join_workers();
-}
-
-/// Answers an admission-rejected connection with `503` + `Retry-After` and
-/// closes it, on the acceptor thread. The write and the drain are bounded
-/// by a hard deadline: rejection runs on the only accepting thread, so a
-/// peer must never be able to hold it for long.
-///
-/// The deadline is a deliberate trade-off: a rejection can cost the
-/// acceptor up to ~50ms (typically well under 1ms — a normal client's
-/// request bytes are already buffered, so the drain sees them and then
-/// EOF immediately). Under a rejection flood faster than the drain budget
-/// the kernel accept backlog absorbs the difference; a peer that tries to
-/// pin the acceptor by trickling bytes is cut off at the deadline and
-/// gets the RST it engineered.
-fn reject_connection(stream: TcpStream) {
-    let mut stream = stream;
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(50)));
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(10)));
-    let body = routes::overload_error_body();
-    let _ = http::write_response_with(&mut stream, 503, &body, false, Some(1));
-    // A typical client has already sent (part of) a request. Closing with
-    // unread received data makes the kernel answer RST, which would discard
-    // the buffered 503 — so stop sending, then drain what the peer already
-    // put on the wire before closing.
-    let _ = stream.shutdown(Shutdown::Write);
-    let deadline = Instant::now() + Duration::from_millis(50);
-    let mut sink = [0u8; 1024];
-    while Instant::now() < deadline {
-        match std::io::Read::read(&mut stream, &mut sink) {
-            Ok(0) | Err(_) => break,
-            Ok(_) => {}
-        }
-    }
-    let _ = stream.shutdown(Shutdown::Both);
-}
-
-/// One connection's whole keep-alive lifetime: read a request, answer it,
-/// repeat until the client closes, errs, goes idle past the timeout, or
-/// the server is shutting down. The SoA result buffer lives here — one per
-/// connection, reused across every batch request it carries.
-fn handle_connection(stream: TcpStream, state: &ServerState) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(state.config.idle_timeout));
-    let Ok(mut writer) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(stream);
-    let mut buffer = ResultBuffer::new();
-    let limits = http::ReadLimits {
-        max_head_bytes: 16 << 10,
-        max_body_bytes: state.config.max_body_bytes,
-    };
-    loop {
-        if state.stop.load(Ordering::SeqCst) {
-            break;
-        }
-        match http::read_request(&mut reader, &mut writer, limits) {
-            http::ReadOutcome::Request(request) => {
-                let started = Instant::now();
-                let (status, body) = routes::handle(state, &mut buffer, &request);
-                state.metrics.record(
-                    routes::route_index(&request.method, &request.path),
-                    status,
-                    started.elapsed().as_secs_f64() * 1e6,
-                    request.body.len() as u64,
-                    body.len() as u64,
-                );
-                state.requests.fetch_add(1, Ordering::Relaxed);
-                let keep_alive = request.keep_alive && !state.stop.load(Ordering::SeqCst);
-                if http::write_response(&mut writer, status, &body, keep_alive).is_err() {
                     break;
                 }
-                if !keep_alive {
+                http::Step::Bad { status, message } => {
+                    self.protocol_error(token, status, &message);
                     break;
                 }
-            }
-            http::ReadOutcome::Closed => break,
-            http::ReadOutcome::Bad { status, message } => {
-                // Protocol-level rejections have no route; they count
-                // against the fallback bucket so they are not invisible —
-                // and against `requests` too, so `requests_served` stays
-                // the sum of the per-route counters.
-                let body = routes::protocol_error_body(&message);
-                state.metrics.record(
-                    state.metrics.other_index(),
-                    status,
-                    0.0,
-                    0,
-                    body.len() as u64,
-                );
-                state.requests.fetch_add(1, Ordering::Relaxed);
-                let _ = http::write_response(&mut writer, status, &body, false);
-                break;
-            }
-            http::ReadOutcome::Io(e) => {
-                // Idle timeouts and peer hangups are routine keep-alive
-                // life; anything else deserves a line of diagnostics.
-                use std::io::ErrorKind;
-                if !matches!(
-                    e.kind(),
-                    ErrorKind::WouldBlock
-                        | ErrorKind::TimedOut
-                        | ErrorKind::ConnectionReset
-                        | ErrorKind::ConnectionAborted
-                        | ErrorKind::BrokenPipe
-                        | ErrorKind::UnexpectedEof
-                ) {
-                    eprintln!("greenfpga-serve: connection error: {e}");
+                http::Step::Request(request) => {
+                    self.dispatch(token, request);
+                    // Loop: an inline response leaves the connection in
+                    // `Read` with its bytes queued and pipelined followers
+                    // possibly buffered.
                 }
+            }
+        }
+        self.flush_out(token);
+        // A closing response the peer is slow to accept needs a write-stall
+        // deadline; keep-alive responses already armed theirs when they
+        // were encoded.
+        let stall_deadline = Instant::now() + self.state.config.idle_timeout;
+        if let Some(conn) = self.conns.get_mut(token) {
+            if conn.state == ConnState::Write {
+                arm_deadline(&mut self.timers, conn, token, stall_deadline);
+            }
+        }
+        self.update_interest(token);
+    }
+
+    fn dispatch(&mut self, token: u64, request: http::Request) {
+        let route = routes::route_index(&request.method, &request.path);
+        let offload = routes::offloads(&request.method, &request.path);
+        let started = Instant::now();
+        let bytes_in = request.body.len() as u64;
+        let keep_alive = request.keep_alive;
+        {
+            let Some(conn) = self.conns.get_mut(token) else {
+                return;
+            };
+            conn.header_deadline_armed = false;
+            if offload {
+                conn.state = ConnState::Dispatched;
+                conn.deadline = None; // the engine owes us, the peer owes nothing
+            }
+        }
+        if offload {
+            let state = Arc::clone(&self.state);
+            let queued = self.state.engine.execute_with_buffer(move |buffer| {
+                let (status, body) = routes::handle(&state, buffer, &request);
+                state.complete(Completion {
+                    token,
+                    status,
+                    body,
+                    route,
+                    started,
+                    bytes_in,
+                    keep_alive,
+                });
+            });
+            if !queued {
+                // Only possible racing shutdown: the loop is about to tear
+                // everything down anyway.
+                self.close(token);
+            }
+        } else {
+            let (status, body) = routes::handle(&self.state, &mut self.buffer, &request);
+            self.finish_request(token, route, status, &body, started, bytes_in, keep_alive);
+        }
+    }
+
+    /// Records and encodes one finished request. The response bytes are
+    /// *queued*, not flushed — the caller coalesces the flush (via
+    /// [`Self::process_buffered`]) so pipelined responses share a write.
+    /// A keep-alive connection goes straight back to `Read` with its idle
+    /// deadline re-armed; a closing one waits in `Write` for the flush.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_request(
+        &mut self,
+        token: u64,
+        route: usize,
+        status: u16,
+        body: &str,
+        started: Instant,
+        bytes_in: u64,
+        request_keep_alive: bool,
+    ) {
+        let keep_alive = request_keep_alive && !self.state.stop.load(Ordering::SeqCst);
+        self.state.metrics.record(
+            route,
+            status,
+            started.elapsed().as_secs_f64() * 1e6,
+            bytes_in,
+            body.len() as u64,
+        );
+        self.state.requests.fetch_add(1, Ordering::Relaxed);
+        let idle_deadline = Instant::now() + self.state.config.idle_timeout;
+        let Some(conn) = self.conns.get_mut(token) else {
+            return; // closed while dispatched (shutdown) — counted, unsendable
+        };
+        conn.close_after_write = !keep_alive;
+        http::encode_response(&mut conn.outbuf, status, body, keep_alive, None);
+        if keep_alive {
+            conn.state = ConnState::Read;
+            arm_deadline(&mut self.timers, conn, token, idle_deadline);
+        } else {
+            conn.state = ConnState::Write;
+        }
+    }
+
+    /// Answers a protocol-level rejection (bad request line, oversized
+    /// head, header deadline, ...) and closes after the write. Counted
+    /// against the fallback metrics bucket so rejections are not
+    /// invisible — and against `requests` too, so `requests_served` stays
+    /// the sum of the per-route counters.
+    fn protocol_error(&mut self, token: u64, status: u16, message: &str) {
+        let body = routes::protocol_error_body(message);
+        self.state.metrics.record(
+            self.state.metrics.other_index(),
+            status,
+            0.0,
+            0,
+            body.len() as u64,
+        );
+        self.state.requests.fetch_add(1, Ordering::Relaxed);
+        {
+            let Some(conn) = self.conns.get_mut(token) else {
+                return;
+            };
+            conn.close_after_write = true;
+            http::encode_response(&mut conn.outbuf, status, &body, false, None);
+            conn.state = ConnState::Write;
+        }
+        self.flush_out(token);
+        let stall_deadline = Instant::now() + REJECT_WRITE_DEADLINE;
+        if let Some(conn) = self.conns.get_mut(token) {
+            if conn.state == ConnState::Write {
+                arm_deadline(&mut self.timers, conn, token, stall_deadline);
+            }
+        }
+        self.update_interest(token);
+    }
+
+    /// Writes as much of `outbuf` as the socket accepts. On completion:
+    /// back to `Read` for keep-alive, or send-shutdown + `Drain` when the
+    /// connection is closing (so the peer's unread bytes cannot turn our
+    /// final response into an RST).
+    fn flush_out(&mut self, token: u64) {
+        let idle_timeout = self.state.config.idle_timeout;
+        let mut must_close = false;
+        if let Some(conn) = self.conns.get_mut(token) {
+            let mut wrote = false;
+            while conn.outpos < conn.outbuf.len() {
+                match conn.stream.write(&conn.outbuf[conn.outpos..]) {
+                    Ok(0) => {
+                        must_close = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.outpos += n;
+                        wrote = true;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        must_close = true;
+                        break;
+                    }
+                }
+            }
+            if wrote {
+                self.progress = true;
+            }
+            if !must_close && conn.outpos == conn.outbuf.len() && !conn.outbuf.is_empty() {
+                conn.outbuf.clear();
+                conn.outpos = 0;
+                if conn.state == ConnState::Write {
+                    if conn.close_after_write {
+                        let _ = conn.stream.shutdown(Shutdown::Write);
+                        conn.state = ConnState::Drain;
+                        arm_deadline(
+                            &mut self.timers,
+                            conn,
+                            token,
+                            Instant::now() + DRAIN_DEADLINE,
+                        );
+                    } else {
+                        conn.state = ConnState::Read;
+                        arm_deadline(&mut self.timers, conn, token, Instant::now() + idle_timeout);
+                    }
+                }
+            }
+        }
+        if must_close {
+            self.close(token);
+        }
+    }
+
+    /// Discards whatever the closing peer already sent, until EOF or the
+    /// drain deadline.
+    fn drain_ready(&mut self, token: u64) {
+        let mut must_close = false;
+        {
+            let scratch = &mut self.scratch;
+            let Some(conn) = self.conns.get_mut(token) else {
+                return;
+            };
+            loop {
+                match conn.stream.read(scratch) {
+                    Ok(0) => {
+                        must_close = true;
+                        break;
+                    }
+                    Ok(_) => {
+                        self.progress = true;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        must_close = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if must_close {
+            self.close(token);
+        }
+    }
+
+    /// Syncs the driver's interest set with what the connection's state
+    /// wants. No syscall when nothing changed.
+    fn update_interest(&mut self, token: u64) {
+        let mut failed = false;
+        if let Some(conn) = self.conns.get_mut(token) {
+            let desired = conn.desired_interest();
+            if desired != conn.interest {
+                conn.interest = desired;
+                let fd = raw_fd(&conn.stream);
+                failed = self.driver.modify(fd, token, desired).is_err();
+            }
+        }
+        if failed {
+            self.close(token);
+        }
+    }
+
+    fn drain_completions(&mut self) {
+        let completed = {
+            let mut queue = self
+                .state
+                .completions
+                .lock()
+                .expect("completion queue poisoned");
+            if queue.is_empty() {
+                return;
+            }
+            std::mem::take(&mut *queue)
+        };
+        for completion in completed {
+            self.progress = true;
+            self.finish_request(
+                completion.token,
+                completion.route,
+                completion.status,
+                &completion.body,
+                completion.started,
+                completion.bytes_in,
+                completion.keep_alive,
+            );
+            // Flush the queued response, resume any pipelined follower
+            // behind it, and re-sync interest/deadlines.
+            self.process_buffered(completion.token);
+        }
+    }
+
+    fn expire_timers(&mut self) {
+        let now = Instant::now();
+        while let Some(&Reverse((when, token))) = self.timers.peek() {
+            if when > now {
                 break;
+            }
+            self.timers.pop();
+            enum Fire {
+                Skip,
+                HeaderTimeout,
+                Close,
+            }
+            let fire = {
+                let Some(conn) = self.conns.get_mut(token) else {
+                    continue; // the connection already closed
+                };
+                conn.timer_queued = false;
+                match conn.deadline {
+                    None => Fire::Skip, // dispatched: no peer deadline
+                    Some(deadline) if deadline > now => {
+                        // The deadline moved later since this entry was
+                        // pushed: re-arm the standing entry at its real time.
+                        self.timers.push(Reverse((deadline, token)));
+                        conn.timer_queued = true;
+                        Fire::Skip
+                    }
+                    Some(_) => match conn.state {
+                        // Slowloris or a stalled body: the peer started a
+                        // request and never finished it inside the window.
+                        ConnState::Read if conn.mid_request() => Fire::HeaderTimeout,
+                        ConnState::Read | ConnState::Write | ConnState::Drain => Fire::Close,
+                        ConnState::Dispatched => Fire::Skip,
+                    },
+                }
+            };
+            match fire {
+                Fire::Skip => {}
+                Fire::HeaderTimeout => {
+                    self.progress = true;
+                    self.protocol_error(token, 408, "request header read timed out");
+                }
+                Fire::Close => {
+                    self.progress = true;
+                    self.close(token);
+                }
+            }
+        }
+    }
+
+    fn close(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(token) {
+            let fd = raw_fd(&conn.stream);
+            self.driver.deregister(fd, token);
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            if conn.counted_live {
+                self.state.live_connections.fetch_sub(1, Ordering::SeqCst);
             }
         }
     }

@@ -4,6 +4,8 @@
 //! greenfpga-serve [--addr 127.0.0.1:7878] [--workers N] [--eval-threads N]
 //!                 [--cache-capacity N] [--cache-shards N]
 //!                 [--max-connections N] [--max-body-bytes N]
+//!                 [--idle-timeout SECS] [--header-timeout SECS]
+//!                 [--driver epoll|portable|auto]
 //! ```
 //!
 //! The same server is reachable as `greenfpga serve ...` through the CLI.
@@ -26,6 +28,9 @@ OPTIONS:
   --cache-shards <N>      scenario cache shards        (default: 8)
   --max-connections <N>   live connection hard cap     (default: 1024)
   --max-body-bytes <N>    request body limit           (default: 4194304)
+  --idle-timeout <SECS>   keep-alive idle close        (default: 5)
+  --header-timeout <SECS> slowloris 408 deadline       (default: 10)
+  --driver <NAME>         epoll | portable | auto      (default: auto)
 
 ROUTES:
   GET  /healthz        liveness: status, version, uptime, workers
@@ -80,6 +85,25 @@ fn parse_config(args: &[String]) -> Result<ServerConfig, String> {
             "--cache-shards" => config.cache_shards = parse_positive(value)?,
             "--max-connections" => config.max_connections = parse_positive(value)?,
             "--max-body-bytes" => config.max_body_bytes = parse_usize(value)?.max(1024),
+            "--idle-timeout" => {
+                config.idle_timeout = std::time::Duration::from_secs(parse_positive(value)? as u64)
+            }
+            "--header-timeout" => {
+                config.header_timeout =
+                    std::time::Duration::from_secs(parse_positive(value)? as u64)
+            }
+            "--driver" => {
+                config.driver = match value.as_str() {
+                    "epoll" => gf_server::DriverKind::Epoll,
+                    "portable" => gf_server::DriverKind::Portable,
+                    "auto" => gf_server::DriverKind::Auto,
+                    other => {
+                        return Err(format!(
+                            "--driver must be epoll|portable|auto, got '{other}'"
+                        ))
+                    }
+                }
+            }
             other => return Err(format!("unknown option '{other}'")),
         }
         i += 2;
@@ -101,6 +125,7 @@ fn main() -> ExitCode {
         }
     };
     let workers = config.workers_resolved();
+    let driver = config.driver.name();
     let server = match Server::bind(config) {
         Ok(server) => server,
         Err(e) => {
@@ -109,7 +134,7 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "greenfpga-serve listening on http://{} ({workers} workers)",
+        "greenfpga-serve listening on http://{} ({workers} workers, {driver} driver)",
         server.local_addr()
     );
     server.run();
@@ -141,8 +166,11 @@ mod tests {
         assert_eq!(config.addr, "127.0.0.1:7878");
         assert_eq!(config.cache_shards, 8);
         assert_eq!(config.max_connections, 1024);
+        assert_eq!(config.header_timeout, std::time::Duration::from_secs(10));
+        assert_eq!(config.driver, gf_server::DriverKind::Auto);
         let config = parse_config(&argv(
-            "--addr 0.0.0.0:9000 --workers 8 --eval-threads 2 --cache-shards 4 --max-connections 64",
+            "--addr 0.0.0.0:9000 --workers 8 --eval-threads 2 --cache-shards 4 --max-connections 64 \
+             --idle-timeout 30 --header-timeout 3 --driver portable",
         ))
         .unwrap();
         assert_eq!(config.addr, "0.0.0.0:9000");
@@ -150,6 +178,9 @@ mod tests {
         assert_eq!(config.eval_threads, 2);
         assert_eq!(config.cache_shards, 4);
         assert_eq!(config.max_connections, 64);
+        assert_eq!(config.idle_timeout, std::time::Duration::from_secs(30));
+        assert_eq!(config.header_timeout, std::time::Duration::from_secs(3));
+        assert_eq!(config.driver, gf_server::DriverKind::Portable);
     }
 
     #[test]
@@ -162,5 +193,7 @@ mod tests {
         assert!(parse_config(&argv("--cache-capacity 0")).is_err());
         assert!(parse_config(&argv("--cache-shards 0")).is_err());
         assert!(parse_config(&argv("--max-connections 0")).is_err());
+        assert!(parse_config(&argv("--header-timeout 0")).is_err());
+        assert!(parse_config(&argv("--driver kqueue")).is_err());
     }
 }

@@ -80,6 +80,29 @@ pub(crate) fn route_index(method: &str, path: &str) -> usize {
         .unwrap_or(usize::MAX)
 }
 
+/// Whether a request should run on the worker pool instead of inline on
+/// the event loop. Point lookups finish in single-digit microseconds —
+/// handing them to another thread costs more than answering them — while
+/// the fan-out kinds can burn milliseconds and would stall every other
+/// connection if they ran on the loop.
+pub(crate) fn offloads(method: &str, path: &str) -> bool {
+    route_table()
+        .iter()
+        .find(|route| route.method == method && route.path == path)
+        .is_some_and(|route| match route.endpoint {
+            Endpoint::Query(kind) => matches!(
+                kind,
+                QueryKind::Batch
+                    | QueryKind::Sweep
+                    | QueryKind::Grid
+                    | QueryKind::Frontier
+                    | QueryKind::Tornado
+                    | QueryKind::MonteCarlo
+            ),
+            Endpoint::Healthz | Endpoint::Metrics => false,
+        })
+}
+
 /// Routes one request. Returns `(status, body)`; the body is always JSON.
 pub(crate) fn handle(
     state: &ServerState,

@@ -1,0 +1,296 @@
+//! Transport-level tests for the event-loop server: responses must be
+//! **byte-identical** no matter how the network fragments the request or
+//! how slowly the client drains the response, on both readiness drivers.
+//!
+//! Where `serve.rs` golden-matches decoded structs against direct engine
+//! calls, this suite attacks the framing itself: 1-byte request segments,
+//! a 1-byte client read window, pipelined keep-alive requests delivered in
+//! a single segment, `Expect: 100-continue` interims, slowloris headers,
+//! and silent idle closes.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use gf_json::FromJson;
+use gf_server::{DriverKind, Server, ServerConfig, ServerHandle};
+use greenfpga::api::EvaluateResponse;
+use greenfpga::{Domain, Estimator, OperatingPoint, ScenarioSpec};
+
+fn spawn_with(config: ServerConfig) -> ServerHandle {
+    Server::bind(config).expect("bind ephemeral server").spawn()
+}
+
+fn spawn_server() -> ServerHandle {
+    spawn_with(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        ..ServerConfig::default()
+    })
+}
+
+fn connect(handle: &ServerHandle) -> TcpStream {
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    stream
+}
+
+fn evaluate_request_bytes(keep_alive: bool) -> Vec<u8> {
+    let body =
+        r#"{"domain":"dnn","point":{"applications":5,"lifetime_years":2.0,"volume":1000000}}"#;
+    let connection = if keep_alive {
+        ""
+    } else {
+        "Connection: close\r\n"
+    };
+    format!(
+        "POST /v1/evaluate HTTP/1.1\r\nHost: loopback\r\n{connection}Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// Reads exactly one `Content-Length`-framed response and returns its raw
+/// bytes (status line through body). Reads through the provided closure so
+/// tests can throttle the read window; `carry` holds bytes of any
+/// *following* pipelined response a read happened to pull in, and must be
+/// passed back in for the next call.
+fn read_response_carry(
+    carry: &mut Vec<u8>,
+    mut read: impl FnMut(&mut [u8]) -> std::io::Result<usize>,
+) -> Vec<u8> {
+    let mut raw = std::mem::take(carry);
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        let n = read(&mut chunk).expect("read response head");
+        assert!(n > 0, "connection closed inside response head");
+        raw.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&raw[..header_end]).expect("response head is ASCII");
+    let content_length: usize = head
+        .lines()
+        .find_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            name.trim()
+                .eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().expect("Content-Length value"))
+        })
+        .expect("response carries Content-Length");
+    while raw.len() < header_end + content_length {
+        let n = read(&mut chunk).expect("read response body");
+        assert!(n > 0, "connection closed inside response body");
+        raw.extend_from_slice(&chunk[..n]);
+    }
+    *carry = raw.split_off(header_end + content_length);
+    raw
+}
+
+/// [`read_response_carry`] for the single-response case: any trailing
+/// bytes are a framing bug.
+fn read_response(read: impl FnMut(&mut [u8]) -> std::io::Result<usize>) -> Vec<u8> {
+    let mut carry = Vec::new();
+    let raw = read_response_carry(&mut carry, read);
+    assert!(carry.is_empty(), "stray bytes after a lone response");
+    raw
+}
+
+fn body_of(raw: &[u8]) -> &[u8] {
+    let pos = raw.windows(4).position(|w| w == b"\r\n\r\n").unwrap();
+    &raw[pos + 4..]
+}
+
+fn status_of(raw: &[u8]) -> u16 {
+    std::str::from_utf8(raw)
+        .unwrap()
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap()
+}
+
+/// The reference response bytes for [`evaluate_request_bytes`], produced by
+/// one clean single-segment round-trip against `handle`.
+fn golden_response(handle: &ServerHandle) -> Vec<u8> {
+    let mut stream = connect(handle);
+    stream.write_all(&evaluate_request_bytes(true)).unwrap();
+    read_response(|buf| stream.read(buf))
+}
+
+/// The direct-engine evaluation the served response must decode to.
+fn direct_evaluation() -> greenfpga::PlatformComparison {
+    let scenario = ScenarioSpec::baseline(Domain::Dnn);
+    Estimator::new(scenario.params())
+        .compile(scenario.domain)
+        .unwrap()
+        .evaluate(OperatingPoint::paper_default())
+        .unwrap()
+}
+
+/// Decodes a raw response as an `EvaluateResponse` and bit-checks it
+/// against the direct engine call.
+fn assert_matches_direct(raw: &[u8]) {
+    assert_eq!(status_of(raw), 200);
+    let value = gf_json::parse(std::str::from_utf8(body_of(raw)).unwrap()).unwrap();
+    let response = EvaluateResponse::from_json(&value).expect("decode evaluate");
+    assert_eq!(response.comparison, direct_evaluation());
+}
+
+#[test]
+fn one_byte_request_segments_produce_identical_bytes() {
+    let handle = spawn_server();
+    let golden = golden_response(&handle);
+    assert_matches_direct(&golden);
+
+    let mut stream = connect(&handle);
+    for &byte in &evaluate_request_bytes(true) {
+        stream.write_all(&[byte]).unwrap();
+        stream.flush().unwrap();
+    }
+    let raw = read_response(|buf| stream.read(buf));
+    assert_eq!(raw, golden, "worst-case fragmentation changed the bytes");
+    handle.shutdown();
+}
+
+#[test]
+fn one_byte_client_read_window_produces_identical_bytes() {
+    let handle = spawn_server();
+    let golden = golden_response(&handle);
+
+    let mut stream = connect(&handle);
+    stream.write_all(&evaluate_request_bytes(true)).unwrap();
+    // Drain the response one byte at a time: the server's writes must
+    // resume across however many partial flushes the window forces.
+    let raw = read_response(|buf| stream.read(&mut buf[..1]));
+    assert_eq!(raw, golden, "a slow reader changed the bytes");
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_requests_in_one_segment_answer_in_order() {
+    let handle = spawn_server();
+    let golden = golden_response(&handle);
+
+    // Three identical evaluates pipelined into a single segment, plus an
+    // offloaded batch wedged in the middle: responses must come back
+    // complete, in request order, each byte-identical to the clean run.
+    let batch_body =
+        r#"{"domain":"dnn","points":[{"applications":5,"lifetime_years":2.0,"volume":1000000}]}"#;
+    let batch = format!(
+        "POST /v1/batch HTTP/1.1\r\nHost: loopback\r\nContent-Length: {}\r\n\r\n{batch_body}",
+        batch_body.len()
+    );
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&evaluate_request_bytes(true));
+    wire.extend_from_slice(batch.as_bytes());
+    wire.extend_from_slice(&evaluate_request_bytes(true));
+    let mut stream = connect(&handle);
+    stream.write_all(&wire).unwrap();
+
+    let mut carry = Vec::new();
+    let first = read_response_carry(&mut carry, |buf| stream.read(buf));
+    assert_eq!(first, golden, "pipelined response 1");
+    let second = read_response_carry(&mut carry, |buf| stream.read(buf));
+    assert_eq!(status_of(&second), 200, "offloaded batch in the middle");
+    let batch_json = gf_json::parse(std::str::from_utf8(body_of(&second)).unwrap()).unwrap();
+    let decoded = greenfpga::api::BatchEvalResponse::from_json(&batch_json).expect("decode batch");
+    assert_eq!(decoded.comparisons, vec![direct_evaluation()]);
+    let third = read_response_carry(&mut carry, |buf| stream.read(buf));
+    assert_eq!(third, golden, "pipelined response 3");
+    assert!(carry.is_empty(), "exactly three responses");
+    handle.shutdown();
+}
+
+#[test]
+fn expect_continue_interim_then_identical_response() {
+    let handle = spawn_server();
+    let golden = golden_response(&handle);
+
+    let body =
+        r#"{"domain":"dnn","point":{"applications":5,"lifetime_years":2.0,"volume":1000000}}"#;
+    let head = format!(
+        "POST /v1/evaluate HTTP/1.1\r\nHost: loopback\r\nExpect: 100-continue\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    let mut stream = connect(&handle);
+    stream.write_all(head.as_bytes()).unwrap();
+    // The interim must arrive before the body is sent.
+    let mut interim = vec![0u8; b"HTTP/1.1 100 Continue\r\n\r\n".len()];
+    stream.read_exact(&mut interim).unwrap();
+    assert_eq!(interim, b"HTTP/1.1 100 Continue\r\n\r\n");
+    stream.write_all(body.as_bytes()).unwrap();
+    let raw = read_response(|buf| stream.read(buf));
+    assert_eq!(raw, golden, "100-continue flow changed the final bytes");
+    handle.shutdown();
+}
+
+#[test]
+fn slowloris_partial_header_gets_408_and_close() {
+    let handle = spawn_with(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        header_timeout: Duration::from_millis(300),
+        idle_timeout: Duration::from_secs(30), // idle must not fire first
+        ..ServerConfig::default()
+    });
+    let mut stream = connect(&handle);
+    // Trickle a partial request line, then stall: re-sending a byte before
+    // the deadline must NOT reset it (it is armed once per request).
+    stream.write_all(b"GET /health").unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+    stream.write_all(b"z").unwrap();
+    let raw = read_response(|buf| stream.read(buf));
+    assert_eq!(status_of(&raw), 408, "stalled header times out");
+    assert!(body_of(&raw).starts_with(b"{\"error\""));
+    // After the 408 the server closes: EOF, not a hang.
+    let mut rest = [0u8; 16];
+    assert_eq!(stream.read(&mut rest).unwrap(), 0, "connection closed");
+    handle.shutdown();
+}
+
+#[test]
+fn idle_keep_alive_connection_closes_silently() {
+    let handle = spawn_with(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        idle_timeout: Duration::from_millis(300),
+        ..ServerConfig::default()
+    });
+    let mut stream = connect(&handle);
+    // No request sent: the idle deadline closes the connection with no
+    // bytes owed (a 408 would be wrong — nothing was asked).
+    let mut chunk = [0u8; 16];
+    assert_eq!(stream.read(&mut chunk).unwrap(), 0, "silent close");
+    handle.shutdown();
+}
+
+#[test]
+fn portable_driver_serves_identical_bytes() {
+    let epoll_default = spawn_server();
+    let golden = golden_response(&epoll_default);
+    epoll_default.shutdown();
+
+    let handle = spawn_with(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        driver: DriverKind::Portable,
+        ..ServerConfig::default()
+    });
+    // Clean, fragmented, and slow-reader paths all hit the same bytes on
+    // the speculative-sweep driver.
+    assert_eq!(golden_response(&handle), golden, "clean round-trip");
+    let mut stream = connect(&handle);
+    for &byte in &evaluate_request_bytes(true) {
+        stream.write_all(&[byte]).unwrap();
+    }
+    let raw = read_response(|buf| stream.read(&mut buf[..1]));
+    assert_eq!(raw, golden, "fragmented + slow reader on portable");
+    assert_matches_direct(&raw);
+    handle.shutdown();
+}
