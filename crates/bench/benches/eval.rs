@@ -15,7 +15,10 @@
 //! * the 64×64 winner map — dense `ratio_grid` versus the adaptive
 //!   frontier refiner (`Estimator::frontier`), and
 //! * the SoA batch kernel — `CompiledScenario::evaluate_into` into a
-//!   reused buffer versus collecting per-point `PlatformComparison`s.
+//!   reused buffer versus collecting per-point `PlatformComparison`s, and
+//! * a streamed 1024×1024 (million-point) ratio grid —
+//!   `CompiledScenario::grid_stream` drained block by block, the tile
+//!   kernel end to end with only one row-block resident (`grid_1m_ns`).
 //!
 //! Emits `BENCH_eval.json` (override the path with `GF_BENCH_OUT`) so CI
 //! can track the performance trajectory (`bench_gate` compares a fresh run
@@ -25,7 +28,7 @@
 
 use std::time::Duration;
 
-use gf_bench::harness::{bench_with, metrics_json};
+use gf_bench::harness::{bench_ratio, bench_with, metrics_json};
 use gf_support::SplitMix64;
 use greenfpga::{
     CompiledScenario, Domain, Estimator, EstimatorParams, Knob, MonteCarlo, OperatingPoint,
@@ -33,6 +36,8 @@ use greenfpga::{
 };
 
 const GRID_SIZE: usize = 64;
+/// Side length of the streamed million-point grid (1024² ≈ 1.05 M cells).
+const GRID_1M_SIDE: usize = 1024;
 const MC_SAMPLES: usize = 10_000;
 const MC_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
 
@@ -362,23 +367,22 @@ fn main() {
             })
             .collect()
     };
-    let aos_collect = bench_with(
+    // Interleaved rounds, best-time quotient: noise can only slow a
+    // round down, so min-over-rounds on each side is the cleanest
+    // estimate of kernel capability — what the absolute floor asks (see
+    // [`gf_bench::harness::bench_ratio`]).
+    let mut soa_buffer = ResultBuffer::new();
+    let (aos_collect, soa_kernel, soa_speedup) = bench_ratio(
         &format!("evaluate_aos_collect_{}", soa_points.len()),
-        Duration::from_millis(200),
-        5,
+        &format!("evaluate_into_soa_{}", soa_points.len()),
+        Duration::from_millis(120),
+        7,
         || -> Vec<greenfpga::PlatformComparison> {
             soa_points
                 .iter()
                 .map(|&p| compiled.evaluate(p).expect("aos point"))
                 .collect()
         },
-    );
-    println!("{aos_collect}");
-    let mut soa_buffer = ResultBuffer::new();
-    let soa_kernel = bench_with(
-        &format!("evaluate_into_soa_{}", soa_points.len()),
-        Duration::from_millis(200),
-        5,
         || {
             compiled
                 .evaluate_into(&soa_points, &mut soa_buffer)
@@ -386,9 +390,54 @@ fn main() {
             soa_buffer.ratio(0)
         },
     );
+    println!("{aos_collect}");
     println!("{soa_kernel}");
-    let soa_speedup = aos_collect.median_ns / soa_kernel.median_ns;
-    println!("soa kernel speedup over AoS collect: {soa_speedup:.1}x");
+    println!(
+        "soa kernel speedup over AoS collect: {soa_speedup:.1}x (best-of-7 interleaved rounds)"
+    );
+
+    // --- Streamed million-point grid: the tile kernel end to end. ---
+    let grid_volumes: Vec<f64> = greenfpga::log_spaced_volumes(1_000, 50_000_000, GRID_1M_SIDE)
+        .into_iter()
+        .map(|v| v as f64)
+        .collect();
+    let grid_lifetimes: Vec<f64> = (0..GRID_1M_SIDE)
+        .map(|i| 0.25 + (3.0 - 0.25) * i as f64 / (GRID_1M_SIDE - 1) as f64)
+        .collect();
+    let grid_base = OperatingPoint {
+        applications: 5,
+        lifetime_years: 1.0,
+        volume: 1_000_000,
+    };
+    let grid_1m = bench_with(
+        &format!("grid_{GRID_1M_SIDE}x{GRID_1M_SIDE}_stream"),
+        Duration::from_millis(300),
+        3,
+        || {
+            let mut stream = compiled
+                .grid_stream(
+                    SweepAxis::VolumeUnits,
+                    grid_volumes.clone(),
+                    SweepAxis::LifetimeYears,
+                    grid_lifetimes.clone(),
+                    grid_base,
+                    threads,
+                )
+                .expect("grid stream");
+            while let Some(block) = stream.next_block() {
+                block.expect("grid block");
+            }
+            assert!(stream.is_finished());
+            let fraction = stream.fpga_winning_fraction();
+            assert!((0.0..=1.0).contains(&fraction), "bad fraction {fraction}");
+            fraction
+        },
+    );
+    println!("{grid_1m}");
+    println!(
+        "streamed {GRID_1M_SIDE}x{GRID_1M_SIDE} grid: {:.1} M cells/s",
+        (GRID_1M_SIDE * GRID_1M_SIDE) as f64 / grid_1m.median_ns * 1e3
+    );
 
     let json = metrics_json(&[
         ("grid_size", GRID_SIZE as f64),
@@ -410,6 +459,7 @@ fn main() {
         ("evaluate_aos_ns", aos_collect.median_ns),
         ("evaluate_soa_ns", soa_kernel.median_ns),
         ("soa_speedup", soa_speedup),
+        ("grid_1m_ns", grid_1m.median_ns),
     ]);
     let out = std::env::var("GF_BENCH_OUT").unwrap_or_else(|_| "BENCH_eval.json".to_string());
     std::fs::write(&out, &json).expect("write bench json");
@@ -433,15 +483,21 @@ fn main() {
             "frontier evaluated {:.1}% of the dense grid, above the 20% acceptance bar",
             frontier_fraction * 100.0
         );
-        // Target ≥1.0 (the committed baseline records it); asserted against
-        // the shared noise-headroomed floor (see
-        // [`gf_bench::SOA_SPEEDUP_FLOOR`]) that `bench_gate` also enforces.
-        assert!(
-            soa_speedup >= gf_bench::SOA_SPEEDUP_FLOOR,
-            "SoA kernel speedup {soa_speedup:.2}x below the {} floor — the \
-             zero-alloc batch kernel must not lose to collecting per-point \
-             comparisons",
+        // With the simd tile kernel the shared vector-win floor (see
+        // [`gf_bench::SOA_SPEEDUP_FLOOR`], also enforced by `bench_gate`)
+        // is asserted directly; the branchless scalar fallback clears
+        // ~1.5x, so portable runs assert the old parity bar and leave the
+        // hard floor to the gate over the simd-built CI artifact.
+        let soa_floor = if cfg!(feature = "simd") {
             gf_bench::SOA_SPEEDUP_FLOOR
+        } else {
+            0.95
+        };
+        assert!(
+            soa_speedup >= soa_floor,
+            "SoA kernel speedup {soa_speedup:.2}x below the {soa_floor} floor — the \
+             tile kernel must not lose its vector margin over collecting \
+             per-point comparisons"
         );
         // The wall-clock frontier win is machine-shaped (dense grids
         // parallelize better than refinement waves), so the hard bar is the

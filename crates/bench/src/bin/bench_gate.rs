@@ -20,10 +20,10 @@
 //! * absolute quality floors on the candidate, independent of whatever the
 //!   baseline recorded — a bad baseline must not grandfather a bad kernel
 //!   in (the `soa_speedup: 0.88` episode): the adaptive-frontier evaluation
-//!   budget (`frontier_eval_fraction ≤ 0.2`), the SoA batch kernel
-//!   staying at parity with the AoS collect path (`soa_speedup ≥`
-//!   [`gf_bench::SOA_SPEEDUP_FLOOR`], a noise-headroomed floor below the
-//!   ≥ 1.0 target the committed baseline records), and the serving soak
+//!   budget (`frontier_eval_fraction ≤ 0.2`), the SIMD tile kernel
+//!   beating the AoS collect path by its vector margin (`soa_speedup ≥`
+//!   [`gf_bench::SOA_SPEEDUP_FLOOR`] = 2.0 — the candidate artifact must
+//!   come from a `--features simd` build), and the serving soak
 //!   holding at least [`gf_bench::SERVE_CONNECTIONS_FLOOR`] verified live
 //!   keep-alive connections (`serve_connections`).
 //!
@@ -105,11 +105,11 @@ fn run(baseline_path: &str, candidate_path: &str, tolerance: f64) -> Result<bool
             fraction * 100.0
         );
     }
-    // The floor carries a little headroom below the ≥1.0 target (see
-    // [`gf_bench::SOA_SPEEDUP_FLOOR`]): the SoA kernel's serial win over
-    // the AoS collect is a few percent, which is inside shared-runner
-    // noise, while the regression class this guards against (the shipped
-    // 0.88) sits far below the headroom.
+    // The floor demands the tile kernel's vector win, not parity (see
+    // [`gf_bench::SOA_SPEEDUP_FLOOR`]): a candidate built without the
+    // `simd` feature, or a kernel change that silently de-vectorizes,
+    // lands well under 2.0 even on a fast runner, while the measured
+    // AVX2 speedup (2.1–2.2x) keeps headroom above the floor.
     if let Some(soa) = lookup(&candidate, "soa_speedup") {
         let floor = gf_bench::SOA_SPEEDUP_FLOOR;
         let verdict = if soa < floor {
@@ -362,9 +362,9 @@ mod tests {
             1.25
         )
         .unwrap());
-        // At or above the floor (and the baseline) passes, including the
-        // noise headroom just below 1.0.
-        for passing in ["1.05", "0.96"] {
+        // At or above the floor (and the baseline) passes, with the
+        // measured simd speedups comfortably over it.
+        for passing in ["2.15", "2.05"] {
             std::fs::write(
                 &candidate,
                 format!("{{\n  \"soa_speedup\": {passing}\n}}\n"),

@@ -10,12 +10,15 @@ pub mod harness;
 use greenfpga::{CfpBreakdown, Estimator, EstimatorParams};
 
 /// Absolute floor for the `soa_speedup` metric, shared by the `bench eval`
-/// assertion and `bench_gate`'s candidate check so the two can never
-/// enforce different bars. The target is ≥ 1.0 (the committed baseline
-/// records it); the floor sits slightly below to absorb run-to-run noise
-/// — the serial SoA win is a few percent — while still failing
-/// far-below-parity regressions like the once-shipped 0.88.
-pub const SOA_SPEEDUP_FLOOR: f64 = 0.95;
+/// assertion (simd builds) and `bench_gate`'s candidate check so the two
+/// can never enforce different bars. The SIMD tile kernel turns the SoA
+/// layout into a real vector win — 2.1–2.2x over the AoS collect path on
+/// AVX2 — so the floor demands the speedup, not mere parity: a build that
+/// silently drops back to scalar (broken feature wiring, a de-vectorized
+/// kernel) fails the gate even when both paths got uniformly faster. CI
+/// produces the gated artifact with `--features simd`; the branchless
+/// portable fallback clears ~1.5x and is not held to this bar.
+pub const SOA_SPEEDUP_FLOOR: f64 = 2.0;
 
 /// Absolute floor for the `serve_connections` soak metric: the event-loop
 /// server must demonstrably hold at least this many concurrently-live,

@@ -70,6 +70,9 @@ pub enum Command {
         /// Classify winners by adaptive frontier refinement instead of
         /// evaluating every cell.
         adaptive: bool,
+        /// Stream row-blocks as they are computed instead of buffering the
+        /// whole grid (bounded memory for million-point lattices).
+        stream: bool,
     },
     /// Trace the crossover frontier of a 2-D lattice by adaptive quadtree
     /// refinement and print the winner map.
@@ -134,7 +137,7 @@ impl Default for ServeArgs {
             eval_threads: 1,
             cache_capacity: 64,
             cache_shards: 8,
-            max_connections: 1024,
+            max_connections: 4096,
             idle_timeout_secs: 5,
             header_timeout_secs: 10,
             driver: gf_server::DriverKind::Auto,
@@ -227,7 +230,7 @@ SERVE OPTIONS:
   --eval-threads <N>              threads per batch eval   (default: 1)
   --cache-capacity <N>            cached scenarios         (default: 64)
   --cache-shards <N>              scenario cache shards    (default: 8)
-  --max-connections <N>           live connection cap      (default: 1024)
+  --max-connections <N>           live connection cap      (default: 4096)
   --idle-timeout <SECS>           keep-alive idle close    (default: 5)
   --header-timeout <SECS>         slowloris 408 deadline   (default: 10)
   --driver <epoll|portable|auto>  readiness driver         (default: auto)
@@ -254,6 +257,9 @@ GRID / FRONTIER OPTIONS:
   --adaptive                      grid only: classify winners by adaptive
                                   frontier refinement instead of evaluating
                                   every cell
+  --stream                        grid only: evaluate and print row-blocks
+                                  incrementally, holding only one block in
+                                  memory at a time
 ";
 
 fn parse_domain(value: &str) -> Result<Domain, ParseError> {
@@ -293,7 +299,7 @@ impl Options {
         while i < args.len() {
             let arg = &args[i];
             if let Some(key) = arg.strip_prefix("--") {
-                if key == "csv" || key == "adaptive" || key == "json" {
+                if key == "csv" || key == "adaptive" || key == "json" || key == "stream" {
                     flags.push(key.to_string());
                     i += 1;
                 } else if i + 1 < args.len() {
@@ -592,6 +598,7 @@ fn parse_command(command: &str, options: &Options) -> Result<Command, ParseError
             workload: options.workload()?,
             shape: parse_grid_shape(options)?,
             adaptive: options.has_flag("adaptive"),
+            stream: options.has_flag("stream"),
         }),
         "frontier" => Ok(Command::Frontier {
             workload: options.workload()?,
@@ -843,12 +850,14 @@ mod tests {
                 workload,
                 shape,
                 adaptive,
+                stream,
             } => {
                 assert_eq!(workload.domain, Domain::ImageProcessing);
                 assert_eq!(shape.x_axis, SweepAxis::Applications);
                 assert_eq!(shape.y_axis, SweepAxis::LifetimeYears);
                 assert_eq!(shape.steps, 8);
                 assert!(!adaptive);
+                assert!(!stream);
             }
             other => panic!("unexpected command {other:?}"),
         }
@@ -874,6 +883,12 @@ mod tests {
     fn grid_adaptive_flag_is_parsed() {
         let cmd = parse_cmd("grid --domain dnn --steps 16 --adaptive").unwrap();
         assert!(matches!(cmd, Command::Grid { adaptive: true, .. }));
+    }
+
+    #[test]
+    fn grid_stream_flag_is_parsed() {
+        let cmd = parse_cmd("grid --domain dnn --steps 16 --stream").unwrap();
+        assert!(matches!(cmd, Command::Grid { stream: true, .. }));
     }
 
     #[test]

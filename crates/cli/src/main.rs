@@ -25,7 +25,7 @@ mod args;
 use std::io::Read;
 use std::process::ExitCode;
 
-use gf_json::{FromJson, ToJson, Value};
+use gf_json::{object, FromJson, ToJson, Value};
 use greenfpga::api::{
     CompareRequest, EvaluateRequest, FrontierResponse, GridRequest, IndustryRequest,
     MonteCarloRequest, MonteCarloResponse, Outcome, Query, SweepRequest, TornadoRequest,
@@ -70,6 +70,14 @@ fn run(command: Command, json: bool) -> Result<(), ApiError> {
         Command::Query { file } => run_raw_query(file),
         command => {
             let engine = Engine::with_defaults()?;
+            if let Command::Grid {
+                adaptive: false,
+                stream: true,
+                ..
+            } = command
+            {
+                return run_grid_stream(&engine, &command, json);
+            }
             let query = build_query(&command)?;
             let outcome = engine.run(&query)?;
             if json {
@@ -141,6 +149,7 @@ fn build_query(command: &Command) -> Result<Query, ApiError> {
             workload,
             shape,
             adaptive,
+            stream,
         } => {
             if *adaptive {
                 Query::Frontier(frontier_request(*workload, *shape))
@@ -153,6 +162,7 @@ fn build_query(command: &Command) -> Result<Query, ApiError> {
                     y_axis: shape.y_axis,
                     y_range: (shape.y_from, shape.y_to),
                     steps: shape.steps,
+                    stream: *stream,
                 })
             }
         }
@@ -175,6 +185,102 @@ fn frontier_request(workload: WorkloadArgs, shape: GridShape) -> FrontierRequest
         y_range: (shape.y_from, shape.y_to),
         steps: shape.steps,
     }
+}
+
+/// Streams a ratio grid row-block by row-block: each block prints (and
+/// flushes) as soon as the engine finishes it, so a million-point lattice
+/// never materialises in memory — the resident buffer is one row-block.
+/// `--json` emits the compact single-line grid document, spliced around an
+/// incrementally written `ratios` array exactly as the HTTP streaming
+/// route does; the human view prints glyph rows in evaluation order
+/// (ascending y) instead of the buffered heatmap's top-down frame.
+fn run_grid_stream(engine: &Engine, command: &Command, json: bool) -> Result<(), ApiError> {
+    use std::io::Write;
+    let Command::Grid {
+        workload, shape, ..
+    } = command
+    else {
+        return Err(ApiError::internal("streamed grid on a non-grid command"));
+    };
+    let Query::Grid(request) = build_query(command)? else {
+        return Err(ApiError::internal("streamed grid built a non-grid query"));
+    };
+    let mut stream = engine.grid_stream(&request)?;
+    let y_values = stream.y_values().to_vec();
+    let columns = stream.columns();
+    let mut out = std::io::stdout().lock();
+    let io = |e: std::io::Error| ApiError::internal(format!("stdout write failed: {e}"));
+    let ser =
+        |e: gf_json::JsonError| ApiError::internal(format!("result serialization failed: {e}"));
+    if json {
+        let mut head = object([
+            ("domain", stream.domain().to_json()),
+            ("x_axis", stream.x_axis().to_json()),
+            ("x_values", stream.x_values().to_vec().to_json()),
+            ("y_axis", stream.y_axis().to_json()),
+            ("y_values", stream.y_values().to_vec().to_json()),
+        ])
+        .to_json_string()
+        .map_err(ser)?;
+        head.pop(); // the closing '}' — the object stays open for the rows
+        head.push_str(",\"ratios\":[");
+        out.write_all(head.as_bytes()).map_err(io)?;
+        let mut first = true;
+        while let Some(block) = stream.next_block() {
+            let block = block?;
+            let mut fragment = String::new();
+            for row in 0..block.rows() {
+                if !first {
+                    fragment.push(',');
+                }
+                first = false;
+                let cells: Vec<f64> = block.row(row).collect();
+                fragment.push_str(&cells.to_json().to_json_string().map_err(ser)?);
+            }
+            out.write_all(fragment.as_bytes()).map_err(io)?;
+            out.flush().map_err(io)?;
+        }
+        let fraction = Value::Number(stream.fpga_winning_fraction())
+            .to_json_string()
+            .map_err(ser)?;
+        writeln!(out, "],\"fpga_winning_fraction\":{fraction}}}").map_err(io)?;
+    } else {
+        writeln!(
+            out,
+            "{} ratio grid, {}x{} cells, streaming {} rows per block (ascending y):",
+            workload.domain,
+            shape.steps,
+            shape.steps,
+            stream.block_rows()
+        )
+        .map_err(io)?;
+        writeln!(
+            out,
+            "FPGA:ASIC CFP ratio — x: {}, y: {} ('#','+' FPGA wins, '=', '.', ' ' ASIC wins)",
+            stream.x_axis().label(),
+            stream.y_axis().label()
+        )
+        .map_err(io)?;
+        let renderer = HeatmapRenderer::new();
+        while let Some(block) = stream.next_block() {
+            let block = block?;
+            let mut text = String::new();
+            for row in 0..block.rows() {
+                let y = y_values[block.start_row() + row];
+                text.push_str(&renderer.render_row(y, block.row(row)));
+            }
+            out.write_all(text.as_bytes()).map_err(io)?;
+            out.flush().map_err(io)?;
+        }
+        writeln!(
+            out,
+            "FPGA wins in {:.1}% of {} cells.",
+            stream.fpga_winning_fraction() * 100.0,
+            stream.rows_delivered() * columns
+        )
+        .map_err(io)?;
+    }
+    Ok(())
 }
 
 /// Renders a typed outcome as the human-readable tables and maps.

@@ -834,6 +834,13 @@ pub struct GridRequest {
     pub y_range: (f64, f64),
     /// Lattice resolution per axis.
     pub steps: usize,
+    /// When `true`, a serving transport delivers the grid as streamed
+    /// row-blocks (HTTP chunked transfer-encoding) instead of one buffered
+    /// body. The decoded payload is byte-identical either way; this only
+    /// bounds transport memory. Defaults to `false` and is omitted from
+    /// the encoding when `false`, so buffered requests round-trip to the
+    /// pre-streaming wire form.
+    pub stream: bool,
 }
 
 impl GridRequest {
@@ -849,14 +856,19 @@ impl GridRequest {
 
 impl ToJson for GridRequest {
     fn to_json(&self) -> Value {
-        LatticeGeometry {
+        let geometry = LatticeGeometry {
             x_axis: self.x_axis,
             x_range: self.x_range,
             y_axis: self.y_axis,
             y_range: self.y_range,
             steps: self.steps,
+        };
+        let mut members = vec![("point", self.base.to_json())];
+        members.extend(geometry.encode_members());
+        if self.stream {
+            members.push(("stream", Value::Bool(true)));
         }
-        .encode_request(&self.scenario, self.base)
+        merge_scenario_vec(&self.scenario, members)
     }
 }
 
@@ -871,6 +883,7 @@ impl FromJson for GridRequest {
             y_axis: geometry.y_axis,
             y_range: geometry.y_range,
             steps: geometry.steps,
+            stream: decode_or(value, "stream", false)?,
         })
     }
 }

@@ -32,8 +32,9 @@ use crate::api::{
 };
 use crate::{
     exec, industry_asic1, industry_asic2, industry_fpga1, industry_fpga2, ApiError,
-    BatchEvalResponse, CompiledScenario, Estimator, EstimatorParams, GreenFpgaError,
-    IndustryScenario, MonteCarlo, PlatformKind, ResultBuffer, ScenarioSpec, ScenarioTemplate,
+    BatchEvalResponse, CompiledScenario, Estimator, EstimatorParams, GreenFpgaError, GridRequest,
+    GridStream, IndustryScenario, MonteCarlo, PlatformKind, ResultBuffer, ScenarioSpec,
+    ScenarioTemplate,
 };
 
 /// Tuning for an [`Engine`]. Every field has a sane default; the server
@@ -105,6 +106,11 @@ impl std::fmt::Debug for Engine {
 }
 
 impl Engine {
+    /// Column capacity (bytes) each pool worker's thread-local
+    /// [`ResultBuffer`] keeps between jobs — 64 KiB ≈ 680 points across
+    /// the 12 columns, comfortably above the common serving batch sizes.
+    pub const WORKER_BUFFER_RETAIN_BYTES: usize = 64 << 10;
+
     /// Builds an engine: resolves every domain template and sizes the
     /// scenario cache.
     ///
@@ -303,6 +309,29 @@ impl Engine {
         })
     }
 
+    /// Starts a streaming evaluation of a [`Query::Grid`]-shaped request —
+    /// the bounded-memory sibling of the buffered `Query::Grid` arm in
+    /// [`Engine::run`]. The caller pulls row-blocks with
+    /// [`GridStream::next_block`]; every ratio and the final
+    /// `fpga_winning_fraction` are bit-identical to the buffered outcome.
+    ///
+    /// # Errors
+    ///
+    /// Same compile/validation conditions as the buffered grid; per-point
+    /// model errors surface from [`GridStream::next_block`].
+    pub fn grid_stream(&self, request: &GridRequest) -> Result<GridStream, ApiError> {
+        let compiled = self.compiled(&request.scenario)?;
+        let (x_values, y_values) = request.lattice();
+        Ok(compiled.grid_stream(
+            request.x_axis,
+            x_values,
+            request.y_axis,
+            y_values,
+            request.base,
+            self.config.eval_threads,
+        )?)
+    }
+
     /// Number of scenario-cache shards.
     pub fn cache_shard_count(&self) -> usize {
         self.cache.shard_count()
@@ -339,6 +368,12 @@ impl Engine {
     /// reused across every job that worker runs, so a serving transport
     /// dispatching queries to the pool pays for the SoA result arrays once
     /// per worker, not once per request.
+    ///
+    /// After each job the retained capacity is capped at
+    /// [`Engine::WORKER_BUFFER_RETAIN_BYTES`]: batches that fit keep their
+    /// columns allocated (steady-state serving stays zero-allocation),
+    /// while one outsized request — a million-point batch, say — no longer
+    /// pins its high-water footprint in every worker forever.
     pub fn execute_with_buffer(
         &self,
         job: impl FnOnce(&mut ResultBuffer) + Send + 'static,
@@ -349,7 +384,10 @@ impl Engine {
                     std::cell::RefCell::new(ResultBuffer::new());
             }
             BUFFER.with(|buffer| match buffer.try_borrow_mut() {
-                Ok(mut buffer) => job(&mut buffer),
+                Ok(mut buffer) => {
+                    job(&mut buffer);
+                    buffer.shrink_retained(Engine::WORKER_BUFFER_RETAIN_BYTES);
+                }
                 // A job that re-enters the pool worker (it cannot today,
                 // but the contract should not quietly assume that) falls
                 // back to a throwaway buffer instead of panicking.

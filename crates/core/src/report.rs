@@ -125,6 +125,23 @@ impl HeatmapRenderer {
         }
     }
 
+    /// Renders one streamed grid row in the same glyph alphabet as
+    /// [`HeatmapRenderer::render`]. Streamed delivery is ascending-y
+    /// evaluation order, so callers print rows as they arrive instead of
+    /// buffering the whole grid for the top-down frame.
+    pub fn render_row(&self, y_value: f64, ratios: impl Iterator<Item = f64>) -> String {
+        let mut out = String::new();
+        if self.with_labels {
+            out.push_str(&format!("{y_value:>12.3} | "));
+        }
+        for ratio in ratios {
+            out.push(Self::glyph(ratio));
+            out.push(' ');
+        }
+        out.push('\n');
+        out
+    }
+
     /// Renders the grid; rows are printed top-to-bottom in descending
     /// y-value order so the origin sits at the lower left, like the paper's
     /// heatmaps.

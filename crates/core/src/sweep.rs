@@ -363,6 +363,232 @@ impl crate::CompiledScenario {
             ratios,
         })
     }
+
+    /// Starts a streaming evaluation of the same lattice as
+    /// [`CompiledScenario::ratio_grid`](crate::CompiledScenario::ratio_grid),
+    /// yielding row-blocks through one reused [`ResultBuffer`] instead of
+    /// materializing the whole grid.
+    ///
+    /// The peak resident footprint is one block (`block_rows × columns`
+    /// cells), so a 1024×1024 — or million-row — grid evaluates in bounded
+    /// memory. Every ratio is bit-identical to the buffered path: the same
+    /// kernel evaluates the same points in the same order, only the
+    /// delivery is chunked.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GreenFpgaError::InvalidRange`] when either value list is
+    /// empty; per-point model errors surface from
+    /// [`GridStream::next_block`].
+    pub fn grid_stream(
+        &self,
+        x_axis: SweepAxis,
+        x_values: Vec<f64>,
+        y_axis: SweepAxis,
+        y_values: Vec<f64>,
+        base: OperatingPoint,
+        threads: usize,
+    ) -> Result<GridStream, GreenFpgaError> {
+        if x_values.is_empty() || y_values.is_empty() {
+            return Err(GreenFpgaError::InvalidRange {
+                what: "grid values",
+            });
+        }
+        // Aim for ~16K cells per block: big enough to amortize dispatch and
+        // saturate the tile kernel, small enough that a wide grid's resident
+        // buffer stays tens-of-rows sized.
+        let columns = x_values.len();
+        let block_rows = (GridStream::TARGET_BLOCK_CELLS / columns).clamp(1, y_values.len());
+        Ok(GridStream {
+            scenario: *self,
+            x_axis,
+            x_values,
+            y_axis,
+            y_values,
+            base,
+            threads,
+            block_rows,
+            next_row: 0,
+            buffer: ResultBuffer::new(),
+            wins: 0,
+        })
+    }
+}
+
+/// A pull-based streaming evaluation of a ratio grid, produced by
+/// [`CompiledScenario::grid_stream`](crate::CompiledScenario::grid_stream).
+///
+/// Call [`GridStream::next_block`] until it returns `None`; each block
+/// borrows the stream's internal buffer, so memory stays bounded by one
+/// block regardless of grid size. After exhaustion,
+/// [`GridStream::fpga_winning_fraction`] reports the same value (bit-exact)
+/// as [`GridSweep::fpga_winning_fraction`] on the buffered result.
+#[derive(Debug)]
+pub struct GridStream {
+    scenario: crate::CompiledScenario,
+    x_axis: SweepAxis,
+    x_values: Vec<f64>,
+    y_axis: SweepAxis,
+    y_values: Vec<f64>,
+    base: OperatingPoint,
+    threads: usize,
+    block_rows: usize,
+    next_row: usize,
+    buffer: ResultBuffer,
+    wins: usize,
+}
+
+impl GridStream {
+    const TARGET_BLOCK_CELLS: usize = 16 * 1024;
+
+    /// Domain the grid is evaluated in.
+    pub fn domain(&self) -> Domain {
+        self.scenario.domain()
+    }
+
+    /// Axis swept along the columns.
+    pub fn x_axis(&self) -> SweepAxis {
+        self.x_axis
+    }
+
+    /// Column coordinate values.
+    pub fn x_values(&self) -> &[f64] {
+        &self.x_values
+    }
+
+    /// Axis swept along the rows.
+    pub fn y_axis(&self) -> SweepAxis {
+        self.y_axis
+    }
+
+    /// Row coordinate values.
+    pub fn y_values(&self) -> &[f64] {
+        &self.y_values
+    }
+
+    /// Number of grid columns.
+    pub fn columns(&self) -> usize {
+        self.x_values.len()
+    }
+
+    /// Total number of grid rows.
+    pub fn rows(&self) -> usize {
+        self.y_values.len()
+    }
+
+    /// Rows delivered per block (the last block may be shorter).
+    pub fn block_rows(&self) -> usize {
+        self.block_rows
+    }
+
+    /// Overrides the block height. Clamped to `1..=rows`.
+    pub fn with_block_rows(mut self, rows: usize) -> Self {
+        self.block_rows = rows.clamp(1, self.rows());
+        self
+    }
+
+    /// Rows evaluated and delivered so far.
+    pub fn rows_delivered(&self) -> usize {
+        self.next_row
+    }
+
+    /// `true` once every row has been delivered.
+    pub fn is_finished(&self) -> bool {
+        self.next_row >= self.rows()
+    }
+
+    /// Fraction of *delivered* cells where the FPGA has the lower
+    /// footprint. Once the stream is exhausted this equals
+    /// [`GridSweep::fpga_winning_fraction`] on the buffered grid exactly:
+    /// same `< 1.0` predicate over the same ratios, same quotient.
+    pub fn fpga_winning_fraction(&self) -> f64 {
+        let cells = self.next_row * self.columns();
+        if cells == 0 {
+            return 0.0;
+        }
+        self.wins as f64 / cells as f64
+    }
+
+    /// Evaluates and returns the next row-block, or `None` when the grid is
+    /// exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the model error with the lowest cell index inside the
+    /// block; the stream terminates (subsequent calls return `None`).
+    pub fn next_block(&mut self) -> Option<Result<GridBlock<'_>, GreenFpgaError>> {
+        let rows_total = self.y_values.len();
+        if self.next_row >= rows_total {
+            return None;
+        }
+        let start_row = self.next_row;
+        let rows = self.block_rows.min(rows_total - start_row);
+        let columns = self.x_values.len();
+        let result = {
+            let (x_values, y_values) = (&self.x_values, &self.y_values);
+            let (x_axis, y_axis, base) = (self.x_axis, self.y_axis, self.base);
+            self.scenario.evaluate_indexed_into(
+                rows * columns,
+                |i| {
+                    base.with_axis(y_axis, y_values[start_row + i / columns])
+                        .with_axis(x_axis, x_values[i % columns])
+                },
+                &mut self.buffer,
+                self.threads,
+            )
+        };
+        if let Err(error) = result {
+            self.next_row = rows_total;
+            return Some(Err(error));
+        }
+        self.next_row = start_row + rows;
+        self.wins += (0..rows * columns)
+            .filter(|&i| self.buffer.ratio(i) < 1.0)
+            .count();
+        Some(Ok(GridBlock {
+            start_row,
+            rows,
+            columns,
+            buffer: &self.buffer,
+        }))
+    }
+}
+
+/// One row-block of a [`GridStream`], borrowing the stream's buffer.
+#[derive(Debug)]
+pub struct GridBlock<'a> {
+    start_row: usize,
+    rows: usize,
+    columns: usize,
+    buffer: &'a ResultBuffer,
+}
+
+impl GridBlock<'_> {
+    /// Absolute index of the block's first row within the grid.
+    pub fn start_row(&self) -> usize {
+        self.start_row
+    }
+
+    /// Number of rows in this block.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (same for every block).
+    pub fn columns(&self) -> usize {
+        self.columns
+    }
+
+    /// FPGA:ASIC ratio at `(row, col)`, with `row` relative to the block.
+    pub fn ratio(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.columns, "cell out of block");
+        self.buffer.ratio(row * self.columns + col)
+    }
+
+    /// Iterates one block-relative row's ratios in column order.
+    pub fn row(&self, row: usize) -> impl Iterator<Item = f64> + '_ {
+        (0..self.columns).map(move |col| self.ratio(row, col))
+    }
 }
 
 /// Builds a geometric (log-spaced) list of volumes between `min` and `max`
@@ -566,6 +792,123 @@ mod tests {
         // most apps and shortest lifetime must have a lower ratio than the
         // cell with the fewest apps and longest lifetime.
         assert!(grid.ratios[0][2] < grid.ratios[3][0]);
+    }
+
+    #[test]
+    fn grid_stream_matches_buffered_grid_bit_for_bit() {
+        let x_values: Vec<f64> = (1..=13).map(|i| i as f64).collect();
+        let y_values: Vec<f64> = (1..=7).map(|i| 0.3 * i as f64).collect();
+        let base = OperatingPoint::paper_default();
+        let compiled = estimator().compile(Domain::Dnn).unwrap();
+        let buffered = compiled
+            .ratio_grid(
+                SweepAxis::Applications,
+                &x_values,
+                SweepAxis::LifetimeYears,
+                &y_values,
+                base,
+                0,
+            )
+            .unwrap();
+        // Exercise block heights that divide the row count, don't, and
+        // exceed it.
+        for block_rows in [1usize, 2, 3, 7, 100] {
+            let mut stream = compiled
+                .grid_stream(
+                    SweepAxis::Applications,
+                    x_values.clone(),
+                    SweepAxis::LifetimeYears,
+                    y_values.clone(),
+                    base,
+                    0,
+                )
+                .unwrap()
+                .with_block_rows(block_rows);
+            assert_eq!(stream.columns(), x_values.len());
+            assert_eq!(stream.rows(), y_values.len());
+            assert_eq!(stream.block_rows(), block_rows.min(y_values.len()));
+            let mut next_expected_row = 0;
+            while let Some(block) = stream.next_block() {
+                let block = block.unwrap();
+                assert_eq!(block.start_row(), next_expected_row);
+                for r in 0..block.rows() {
+                    let absolute = block.start_row() + r;
+                    for (c, ratio) in block.row(r).enumerate() {
+                        assert_eq!(
+                            ratio.to_bits(),
+                            buffered.ratios[absolute][c].to_bits(),
+                            "cell ({absolute},{c}) diverged at block_rows {block_rows}"
+                        );
+                    }
+                }
+                next_expected_row += block.rows();
+            }
+            assert!(stream.is_finished());
+            assert_eq!(stream.rows_delivered(), y_values.len());
+            assert_eq!(
+                stream.fpga_winning_fraction().to_bits(),
+                buffered.fpga_winning_fraction().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn grid_stream_rejects_empty_axes_and_reports_errors_once() {
+        let compiled = estimator().compile(Domain::Dnn).unwrap();
+        assert!(matches!(
+            compiled.grid_stream(
+                SweepAxis::Applications,
+                Vec::new(),
+                SweepAxis::LifetimeYears,
+                vec![1.0],
+                OperatingPoint::paper_default(),
+                0,
+            ),
+            Err(GreenFpgaError::InvalidRange { .. })
+        ));
+        // A non-finite lifetime fails validation inside the block; the
+        // stream surfaces the error once and then terminates.
+        let mut stream = compiled
+            .grid_stream(
+                SweepAxis::Applications,
+                vec![1.0],
+                SweepAxis::LifetimeYears,
+                vec![f64::NAN],
+                OperatingPoint::paper_default(),
+                0,
+            )
+            .unwrap();
+        assert!(stream.next_block().unwrap().is_err());
+        assert!(stream.next_block().is_none());
+        assert_eq!(stream.fpga_winning_fraction(), 0.0);
+    }
+
+    #[test]
+    fn grid_stream_default_block_rows_bound_memory() {
+        let compiled = estimator().compile(Domain::Dnn).unwrap();
+        // A wide grid gets a short block; a narrow one takes all its rows.
+        let wide = compiled
+            .grid_stream(
+                SweepAxis::Applications,
+                (1..=8192).map(|i| i as f64).collect(),
+                SweepAxis::LifetimeYears,
+                vec![0.5; 64],
+                OperatingPoint::paper_default(),
+                0,
+            )
+            .unwrap();
+        assert_eq!(wide.block_rows(), 2);
+        let narrow = compiled
+            .grid_stream(
+                SweepAxis::Applications,
+                vec![1.0, 2.0],
+                SweepAxis::LifetimeYears,
+                vec![0.5; 10],
+                OperatingPoint::paper_default(),
+                0,
+            )
+            .unwrap();
+        assert_eq!(narrow.block_rows(), 10);
     }
 
     #[test]

@@ -80,6 +80,7 @@ impl Client {
             .and_then(|code| code.parse().ok())
             .ok_or_else(|| bad(&format!("malformed status line '{}'", line.trim())))?;
         let mut content_length = 0usize;
+        let mut chunked = false;
         loop {
             let mut header = String::new();
             if self.reader.read_line(&mut header)? == 0 {
@@ -90,18 +91,59 @@ impl Client {
                 break;
             }
             if let Some((name, value)) = header.split_once(':') {
-                if name.trim().eq_ignore_ascii_case("content-length") {
+                let name = name.trim();
+                if name.eq_ignore_ascii_case("content-length") {
                     content_length = value
                         .trim()
                         .parse()
                         .map_err(|_| bad("invalid Content-Length in response"))?;
+                } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                    chunked = value.trim().eq_ignore_ascii_case("chunked");
                 }
             }
         }
-        let mut body = vec![0u8; content_length];
-        self.reader.read_exact(&mut body)?;
+        let body = if chunked {
+            self.read_chunked_body()?
+        } else {
+            let mut body = vec![0u8; content_length];
+            self.reader.read_exact(&mut body)?;
+            body
+        };
         String::from_utf8(body)
             .map(|text| (status, text))
             .map_err(|_| bad("response body is not UTF-8"))
+    }
+
+    /// Decodes a `Transfer-Encoding: chunked` body: hex size line, data,
+    /// CRLF, repeated until the zero-size terminator. A malformed frame or
+    /// a connection closed mid-body (a streamed response the server had to
+    /// truncate) maps to [`std::io::ErrorKind::InvalidData`].
+    fn read_chunked_body(&mut self) -> std::io::Result<Vec<u8>> {
+        let bad = |message: &str| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, message.to_string())
+        };
+        let mut body = Vec::new();
+        loop {
+            let mut size_line = String::new();
+            if self.reader.read_line(&mut size_line)? == 0 {
+                return Err(bad("connection closed inside chunked body"));
+            }
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| bad("invalid chunk size line"))?;
+            if size == 0 {
+                // The terminator's trailing blank line (no trailers).
+                let mut blank = String::new();
+                self.reader.read_line(&mut blank)?;
+                return Ok(body);
+            }
+            let start = body.len();
+            body.resize(start + size, 0);
+            self.reader.read_exact(&mut body[start..])?;
+            let mut crlf = [0u8; 2];
+            self.reader.read_exact(&mut crlf)?;
+            if &crlf != b"\r\n" {
+                return Err(bad("chunk data not terminated by CRLF"));
+            }
+        }
     }
 }

@@ -2,7 +2,8 @@
 //! buffers that let I/O resume mid-message, and the token slab that maps
 //! readiness reports back to connections.
 //!
-//! One connection walks `Read → Dispatched → Write → (Read | Drain)`:
+//! One connection walks `Read → Dispatched → (Write | Stream) →
+//! (Read | Drain)`:
 //!
 //! * **Read** — bytes accumulate in `inbuf`; the [`RequestAssembler`]
 //!   consumes them incrementally (head, then body), surviving any
@@ -10,6 +11,10 @@
 //! * **Dispatched** — a complete request was handed to the worker pool;
 //!   read interest is dropped so the socket cannot spin the loop while the
 //!   engine works. The response comes back through the completion queue.
+//! * **Stream** — a chunked response is in flight: the worker evaluates
+//!   row-blocks and sends body fragments through a bounded channel; the
+//!   loop chunk-encodes them into `outbuf` as the peer drains it, so the
+//!   resident response is block-sized, never whole-result sized.
 //! * **Write** — `outbuf[outpos..]` drains across however many
 //!   writable-readiness rounds the peer's receive window allows.
 //! * **Drain** — the response is flushed and the connection is closing:
@@ -34,10 +39,30 @@ pub(crate) enum ConnState {
     Read,
     /// A request is with the worker pool; awaiting its completion.
     Dispatched,
+    /// A chunked response is streaming: a worker pumps body fragments
+    /// through the connection's [`StreamState`] channel while the loop
+    /// relays them to the socket, never buffering more than the
+    /// backpressure bound.
+    Stream,
     /// Draining `outbuf` to the peer.
     Write,
     /// Response flushed, send side shut; discarding until EOF.
     Drain,
+}
+
+/// The loop-side half of one in-flight streamed response.
+pub(crate) struct StreamState {
+    /// Body fragments arriving from the worker (bounded, so a peer that
+    /// stops reading blocks the *worker*, not server memory).
+    pub rx: std::sync::mpsc::Receiver<crate::StreamEvent>,
+    /// Metrics-registry index of the streaming route.
+    pub route: usize,
+    /// When the request was parsed (for the latency histogram).
+    pub started: Instant,
+    /// Request body size (for the metrics byte counters).
+    pub bytes_in: u64,
+    /// Body payload bytes relayed so far (chunk framing excluded).
+    pub bytes_out: u64,
 }
 
 /// One live connection.
@@ -72,6 +97,9 @@ pub(crate) struct Conn {
     /// Whether this connection occupies an admission slot (rejected
     /// connections do not — they only live long enough to carry a `503`).
     pub counted_live: bool,
+    /// The in-flight streamed response, while `state` is
+    /// [`ConnState::Stream`].
+    pub streaming: Option<StreamState>,
 }
 
 impl Conn {
@@ -90,6 +118,7 @@ impl Conn {
             timer_queued: false,
             header_deadline_armed: false,
             counted_live: true,
+            streaming: None,
         }
     }
 

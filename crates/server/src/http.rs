@@ -299,6 +299,39 @@ pub(crate) fn encode_response(
     out.extend_from_slice(body.as_bytes());
 }
 
+/// Appends the head of a streamed `application/json` response: status line
+/// and headers with `Transfer-Encoding: chunked` instead of a
+/// `Content-Length` — the body follows as [`encode_chunk`] pieces finished
+/// by [`encode_last_chunk`], so the transport never needs to know the full
+/// body size up front.
+pub(crate) fn encode_stream_head(out: &mut Vec<u8>, status: u16, keep_alive: bool) {
+    use std::io::Write;
+    let reason = reason_phrase(status);
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let _ = write!(
+        out,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nTransfer-Encoding: chunked\r\nConnection: {connection}\r\n\r\n",
+    );
+}
+
+/// Appends one chunk of a streamed body (hex size line, data, CRLF). An
+/// empty slice is skipped entirely: a zero-length chunk would terminate
+/// the body early ([`encode_last_chunk`] owns that lexeme).
+pub(crate) fn encode_chunk(out: &mut Vec<u8>, data: &[u8]) {
+    use std::io::Write;
+    if data.is_empty() {
+        return;
+    }
+    let _ = write!(out, "{:x}\r\n", data.len());
+    out.extend_from_slice(data);
+    out.extend_from_slice(b"\r\n");
+}
+
+/// Appends the chunked-body terminator (no trailers).
+pub(crate) fn encode_last_chunk(out: &mut Vec<u8>) {
+    out.extend_from_slice(b"0\r\n\r\n");
+}
+
 fn reason_phrase(status: u16) -> &'static str {
     match status {
         200 => "OK",
@@ -525,6 +558,22 @@ mod tests {
             read("\r\n\r\n\r\n\r\n\r\n\r\nGET /healthz HTTP/1.1\r\n\r\n"),
             Step::Bad { status: 400, .. }
         ));
+    }
+
+    #[test]
+    fn chunked_responses_frame_each_piece() {
+        let mut out = Vec::new();
+        encode_stream_head(&mut out, 200, true);
+        encode_chunk(&mut out, b"{\"ratios\":[");
+        encode_chunk(&mut out, b""); // skipped: must not terminate the body
+        encode_chunk(&mut out, b"[1.0]]}");
+        encode_last_chunk(&mut out);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"));
+        assert!(!text.contains("Content-Length"));
+        assert!(text.contains("\r\n\r\nb\r\n{\"ratios\":[\r\n"));
+        assert!(text.ends_with("7\r\n[1.0]]}\r\n0\r\n\r\n"));
     }
 
     #[test]

@@ -76,7 +76,7 @@ use std::time::{Duration, Instant};
 
 use greenfpga::{Engine, EngineConfig, ResultBuffer};
 
-use conn::{Conn, ConnSlab, ConnState};
+use conn::{Conn, ConnSlab, ConnState, StreamState};
 use metrics::Metrics;
 use poll::{Driver, Interest};
 
@@ -152,7 +152,7 @@ impl Default for ServerConfig {
             max_body_bytes: 4 << 20,
             cache_capacity: 64,
             cache_shards: 8,
-            max_connections: 1024,
+            max_connections: 4096,
             idle_timeout: Duration::from_secs(5),
             header_timeout: Duration::from_secs(10),
             driver: DriverKind::Auto,
@@ -171,8 +171,14 @@ impl ServerConfig {
     }
 }
 
-/// A response computed on a worker, traveling back to the event loop.
-struct Completion {
+/// Bounded depth of a streamed response's worker→loop fragment channel:
+/// the worker computes at most this many row-blocks ahead of what the
+/// peer has accepted, then blocks — backpressure lands on the worker, not
+/// on server memory.
+const STREAM_CHANNEL_DEPTH: usize = 2;
+
+/// A fully buffered response computed on a worker.
+struct Response {
     token: u64,
     status: u16,
     body: String,
@@ -180,6 +186,43 @@ struct Completion {
     started: Instant,
     bytes_in: u64,
     keep_alive: bool,
+}
+
+/// What a worker sends back to the event loop through the completion
+/// queue.
+enum Completion {
+    /// A complete buffered response, ready to encode and flush.
+    Respond(Response),
+    /// A streamed response is starting: the loop should send the chunked
+    /// head plus the opening body fragment, then relay events from `rx`.
+    StreamStart {
+        token: u64,
+        /// Opening body fragment (response JSON up to the streamed rows).
+        head: String,
+        /// The worker's fragment channel for the rest of the body.
+        rx: std::sync::mpsc::Receiver<StreamEvent>,
+        route: usize,
+        started: Instant,
+        bytes_in: u64,
+        keep_alive: bool,
+    },
+    /// The worker queued more stream events for `token`'s channel.
+    StreamWake { token: u64 },
+}
+
+/// One event of a streamed response body.
+pub(crate) enum StreamEvent {
+    /// A body fragment to chunk-encode onto the wire.
+    Chunk(String),
+    /// The final fragment; the loop terminates the chunked body after it.
+    End {
+        /// Response JSON after the streamed rows.
+        tail: String,
+    },
+    /// Unrecoverable mid-stream failure. The status line is already on the
+    /// wire, so the loop truncates the chunked body (no terminator) and
+    /// closes — the peer's decoder sees the truncation.
+    Abort,
 }
 
 /// Pokes the event loop out of its wait. One byte per poke, coalesced by
@@ -642,6 +685,17 @@ impl EventLoop {
             .conns
             .get_mut(token)
             .is_some_and(|conn| conn.interest.readable);
+        if writable {
+            // A drained socket frees outbuf room: pull more of an in-flight
+            // streamed body from the worker's channel.
+            let streaming = self
+                .conns
+                .get_mut(token)
+                .is_some_and(|conn| conn.state == ConnState::Stream);
+            if streaming {
+                self.pump_stream(token);
+            }
+        }
         if readable && readable_now {
             let state = self
                 .conns
@@ -651,7 +705,7 @@ impl EventLoop {
             match state {
                 ConnState::Read => self.read_ready(token),
                 ConnState::Drain => self.drain_ready(token),
-                ConnState::Dispatched | ConnState::Write => {}
+                ConnState::Dispatched | ConnState::Stream | ConnState::Write => {}
             }
         }
         self.update_interest(token);
@@ -789,16 +843,35 @@ impl EventLoop {
         if offload {
             let state = Arc::clone(&self.state);
             let queued = self.state.engine.execute_with_buffer(move |buffer| {
-                let (status, body) = routes::handle(&state, buffer, &request);
-                state.complete(Completion {
-                    token,
-                    status,
-                    body,
-                    route,
-                    started,
-                    bytes_in,
-                    keep_alive,
-                });
+                match routes::handle_offloaded(&state, buffer, &request) {
+                    routes::Reply::Full { status, body } => {
+                        state.complete(Completion::Respond(Response {
+                            token,
+                            status,
+                            body,
+                            route,
+                            started,
+                            bytes_in,
+                            keep_alive,
+                        }));
+                    }
+                    routes::Reply::GridStream { head, stream } => {
+                        let (tx, rx) = std::sync::mpsc::sync_channel(STREAM_CHANNEL_DEPTH);
+                        state.complete(Completion::StreamStart {
+                            token,
+                            head,
+                            rx,
+                            route,
+                            started,
+                            bytes_in,
+                            keep_alive,
+                        });
+                        // Blocks on the channel whenever the loop (and
+                        // ultimately the peer) falls behind; returns early
+                        // if the connection dies (the rx drops).
+                        routes::stream_grid_blocks(&state, token, &tx, stream);
+                    }
+                }
             });
             if !queued {
                 // Only possible racing shutdown: the loop is about to tear
@@ -1001,19 +1074,161 @@ impl EventLoop {
         };
         for completion in completed {
             self.progress = true;
-            self.finish_request(
-                completion.token,
-                completion.route,
-                completion.status,
-                &completion.body,
-                completion.started,
-                completion.bytes_in,
-                completion.keep_alive,
-            );
-            // Flush the queued response, resume any pipelined follower
-            // behind it, and re-sync interest/deadlines.
-            self.process_buffered(completion.token);
+            match completion {
+                Completion::Respond(response) => {
+                    self.finish_request(
+                        response.token,
+                        response.route,
+                        response.status,
+                        &response.body,
+                        response.started,
+                        response.bytes_in,
+                        response.keep_alive,
+                    );
+                    // Flush the queued response, resume any pipelined
+                    // follower behind it, and re-sync interest/deadlines.
+                    self.process_buffered(response.token);
+                }
+                Completion::StreamStart {
+                    token,
+                    head,
+                    rx,
+                    route,
+                    started,
+                    bytes_in,
+                    keep_alive,
+                } => self.start_stream(token, head, rx, route, started, bytes_in, keep_alive),
+                Completion::StreamWake { token } => self.pump_stream(token),
+            }
         }
+    }
+
+    /// Opens a streamed response: chunked head plus the opening body
+    /// fragment, then whatever the worker has already queued. If the
+    /// connection died while the request was dispatched, the dropped
+    /// receiver stops the worker at its next send.
+    #[allow(clippy::too_many_arguments)]
+    fn start_stream(
+        &mut self,
+        token: u64,
+        head: String,
+        rx: std::sync::mpsc::Receiver<StreamEvent>,
+        route: usize,
+        started: Instant,
+        bytes_in: u64,
+        keep_alive: bool,
+    ) {
+        let keep_alive = keep_alive && !self.state.stop.load(Ordering::SeqCst);
+        {
+            let Some(conn) = self.conns.get_mut(token) else {
+                return; // closed while dispatched: rx drops here
+            };
+            conn.state = ConnState::Stream;
+            conn.close_after_write = !keep_alive;
+            http::encode_stream_head(&mut conn.outbuf, 200, keep_alive);
+            http::encode_chunk(&mut conn.outbuf, head.as_bytes());
+            conn.streaming = Some(StreamState {
+                rx,
+                route,
+                started,
+                bytes_in,
+                bytes_out: head.len() as u64,
+            });
+        }
+        self.pump_stream(token);
+    }
+
+    /// Relays queued stream events into the connection's output buffer, up
+    /// to the backpressure bound, then flushes. Ends the request on
+    /// [`StreamEvent::End`] (the connection proceeds exactly like a
+    /// buffered response: keep-alive back to `Read`, else `Drain`);
+    /// truncates and closes on [`StreamEvent::Abort`] or a vanished
+    /// worker.
+    fn pump_stream(&mut self, token: u64) {
+        use std::sync::mpsc::TryRecvError;
+        let idle_timeout = self.state.config.idle_timeout;
+        let mut finished: Option<StreamState> = None;
+        let mut aborted = false;
+        {
+            let Some(conn) = self.conns.get_mut(token) else {
+                return;
+            };
+            if conn.state != ConnState::Stream {
+                return;
+            }
+            loop {
+                if conn.outbuf.len() - conn.outpos >= OUT_BACKPRESSURE {
+                    break;
+                }
+                let event = match conn.streaming.as_mut() {
+                    Some(stream) => stream.rx.try_recv(),
+                    None => return,
+                };
+                match event {
+                    Ok(StreamEvent::Chunk(fragment)) => {
+                        if let Some(stream) = conn.streaming.as_mut() {
+                            stream.bytes_out += fragment.len() as u64;
+                        }
+                        http::encode_chunk(&mut conn.outbuf, fragment.as_bytes());
+                    }
+                    Ok(StreamEvent::End { tail }) => {
+                        if let Some(stream) = conn.streaming.as_mut() {
+                            stream.bytes_out += tail.len() as u64;
+                        }
+                        http::encode_chunk(&mut conn.outbuf, tail.as_bytes());
+                        http::encode_last_chunk(&mut conn.outbuf);
+                        finished = conn.streaming.take();
+                        conn.state = ConnState::Write;
+                        break;
+                    }
+                    Ok(StreamEvent::Abort) | Err(TryRecvError::Disconnected) => {
+                        aborted = true;
+                        break;
+                    }
+                    Err(TryRecvError::Empty) => break,
+                }
+            }
+        }
+        if aborted {
+            // The status line is long gone; a truncated chunked body is
+            // the only honest signal left.
+            self.close(token);
+            return;
+        }
+        if let Some(done) = finished {
+            self.state.metrics.record(
+                done.route,
+                200,
+                done.started.elapsed().as_secs_f64() * 1e6,
+                done.bytes_in,
+                done.bytes_out,
+            );
+            self.state.requests.fetch_add(1, Ordering::Relaxed);
+        }
+        self.flush_out(token);
+        let resumed = self
+            .conns
+            .get_mut(token)
+            .is_some_and(|conn| conn.state == ConnState::Read && conn.outbuf.is_empty());
+        if resumed {
+            // Keep-alive after a fully flushed stream: any pipelined
+            // follower is already buffered.
+            self.process_buffered(token);
+            return;
+        }
+        if let Some(conn) = self.conns.get_mut(token) {
+            if conn.state == ConnState::Stream {
+                if conn.outpos < conn.outbuf.len() {
+                    // The peer owes a drain: bound how long it may stall.
+                    arm_deadline(&mut self.timers, conn, token, Instant::now() + idle_timeout);
+                } else {
+                    // Waiting on the worker — it owes the next block, the
+                    // peer owes nothing (same contract as `Dispatched`).
+                    conn.deadline = None;
+                }
+            }
+        }
+        self.update_interest(token);
     }
 
     fn expire_timers(&mut self) {
@@ -1046,7 +1261,12 @@ impl EventLoop {
                         // Slowloris or a stalled body: the peer started a
                         // request and never finished it inside the window.
                         ConnState::Read if conn.mid_request() => Fire::HeaderTimeout,
-                        ConnState::Read | ConnState::Write | ConnState::Drain => Fire::Close,
+                        // A streaming deadline only arms while the peer
+                        // owes a drain, so firing means a stalled reader.
+                        ConnState::Read
+                        | ConnState::Stream
+                        | ConnState::Write
+                        | ConnState::Drain => Fire::Close,
                         ConnState::Dispatched => Fire::Skip,
                     },
                 }

@@ -26,7 +26,7 @@ OPTIONS:
   --eval-threads <N>      threads per batch evaluation (default: 1)
   --cache-capacity <N>    cached compiled scenarios    (default: 64)
   --cache-shards <N>      scenario cache shards        (default: 8)
-  --max-connections <N>   live connection hard cap     (default: 1024)
+  --max-connections <N>   live connection hard cap     (default: 4096)
   --max-body-bytes <N>    request body limit           (default: 4194304)
   --idle-timeout <SECS>   keep-alive idle close        (default: 5)
   --header-timeout <SECS> slowloris 408 deadline       (default: 10)
@@ -165,7 +165,7 @@ mod tests {
         let config = parse_config(&[]).unwrap();
         assert_eq!(config.addr, "127.0.0.1:7878");
         assert_eq!(config.cache_shards, 8);
-        assert_eq!(config.max_connections, 1024);
+        assert_eq!(config.max_connections, 4096);
         assert_eq!(config.header_timeout, std::time::Duration::from_secs(10));
         assert_eq!(config.driver, gf_server::DriverKind::Auto);
         let config = parse_config(&argv(

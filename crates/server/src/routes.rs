@@ -14,14 +14,15 @@
 //! construction. Failures speak the [`ApiError`] taxonomy, mapped to HTTP
 //! status via [`ApiError::http_status`].
 
+use std::sync::mpsc::SyncSender;
 use std::sync::OnceLock;
 
-use gf_json::{object, ToJson, Value};
+use gf_json::{object, FromJson, ToJson, Value};
 use greenfpga::api::QueryKind;
-use greenfpga::{ApiError, ResultBuffer};
+use greenfpga::{ApiError, GridRequest, GridStream, ResultBuffer};
 
 use crate::http::Request;
-use crate::ServerState;
+use crate::{Completion, ServerState, StreamEvent};
 
 /// What a dispatch-table entry serves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,6 +102,140 @@ pub(crate) fn offloads(method: &str, path: &str) -> bool {
             ),
             Endpoint::Healthz | Endpoint::Metrics => false,
         })
+}
+
+/// What an offloaded request produced on the worker.
+pub(crate) enum Reply {
+    /// A complete buffered response.
+    Full {
+        /// HTTP status.
+        status: u16,
+        /// JSON body.
+        body: String,
+    },
+    /// A `stream: true` grid request: the response head (JSON up to the
+    /// streamed rows) is ready and the worker should pump the row-blocks.
+    GridStream {
+        /// Response JSON up to and including `"ratios":[`.
+        head: String,
+        /// The bounded-memory grid evaluation to pump.
+        stream: Box<GridStream>,
+    },
+}
+
+/// Routes one offloaded request, additionally recognizing the streamed
+/// grid mode ([`Reply::GridStream`]) that the inline path never serves
+/// (grids always offload). Everything else behaves exactly like
+/// [`handle`].
+pub(crate) fn handle_offloaded(
+    state: &ServerState,
+    buffer: &mut ResultBuffer,
+    request: &Request,
+) -> Reply {
+    if request.method == "POST" && request.path == QueryKind::Grid.path() {
+        match try_grid_stream(state, request) {
+            Ok(Some((head, stream))) => return Reply::GridStream { head, stream },
+            Ok(None) => {} // `stream` not requested: buffered path below
+            Err(error) => {
+                return Reply::Full {
+                    status: error.http_status(),
+                    body: error_body(&error),
+                };
+            }
+        }
+    }
+    let (status, body) = handle(state, buffer, request);
+    Reply::Full { status, body }
+}
+
+/// Decodes a grid request and, when it asked to stream, compiles the
+/// scenario and builds the response head. `Ok(None)` means "buffered
+/// request — use the ordinary path".
+fn try_grid_stream(
+    state: &ServerState,
+    request: &Request,
+) -> Result<Option<(String, Box<GridStream>)>, ApiError> {
+    let body = parse_body(state, request)?;
+    let grid = GridRequest::from_json(&body)?;
+    if !grid.stream {
+        return Ok(None);
+    }
+    let stream = state.engine.grid_stream(&grid)?;
+    let head = grid_stream_head(&stream)?;
+    Ok(Some((head, Box::new(stream))))
+}
+
+/// The streamed response's opening fragment: the buffered
+/// [`greenfpga::GridSweep`] JSON truncated right after `"ratios":[`. The
+/// same compact writer produces both paths, so streamed + buffered bodies
+/// are byte-identical once the rows and tail are appended.
+fn grid_stream_head(stream: &GridStream) -> Result<String, ApiError> {
+    let mut head = object([
+        ("domain", stream.domain().to_json()),
+        ("x_axis", stream.x_axis().to_json()),
+        ("x_values", stream.x_values().to_vec().to_json()),
+        ("y_axis", stream.y_axis().to_json()),
+        ("y_values", stream.y_values().to_vec().to_json()),
+    ])
+    .to_json_string()
+    .map_err(|e| ApiError::internal(format!("response serialization failed: {e}")))?;
+    head.pop(); // the closing '}' — the object stays open for the rows
+    head.push_str(",\"ratios\":[");
+    Ok(head)
+}
+
+/// Evaluates a grid stream block by block on the worker, sending each
+/// block's rows (and finally the tail with the winning fraction) through
+/// the bounded channel, waking the loop after every event. Returns when
+/// the stream ends, serialization fails (→ [`StreamEvent::Abort`]), or
+/// the connection dies (send fails on the dropped receiver).
+pub(crate) fn stream_grid_blocks(
+    state: &ServerState,
+    token: u64,
+    tx: &SyncSender<StreamEvent>,
+    mut stream: Box<GridStream>,
+) {
+    let wake = |event: StreamEvent| {
+        let delivered = tx.send(event).is_ok();
+        if delivered {
+            state.complete(Completion::StreamWake { token });
+        }
+        delivered
+    };
+    let mut first = true;
+    while let Some(block) = stream.next_block() {
+        let Ok(block) = block else {
+            // Head already on the wire: truncation is the only signal left.
+            wake(StreamEvent::Abort);
+            return;
+        };
+        let mut fragment = String::new();
+        for r in 0..block.rows() {
+            if !first {
+                fragment.push(',');
+            }
+            first = false;
+            let row: Vec<f64> = block.row(r).collect();
+            match row.to_json().to_json_string() {
+                Ok(json) => fragment.push_str(&json),
+                Err(_) => {
+                    wake(StreamEvent::Abort);
+                    return;
+                }
+            }
+        }
+        if !wake(StreamEvent::Chunk(fragment)) {
+            return; // connection closed: stop evaluating
+        }
+    }
+    let fraction = Value::Number(stream.fpga_winning_fraction());
+    let Ok(fraction) = fraction.to_json_string() else {
+        wake(StreamEvent::Abort);
+        return;
+    };
+    wake(StreamEvent::End {
+        tail: format!("],\"fpga_winning_fraction\":{fraction}}}"),
+    });
 }
 
 /// Routes one request. Returns `(status, body)`; the body is always JSON.

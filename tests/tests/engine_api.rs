@@ -241,6 +241,7 @@ fn sweep_and_grid_match_the_direct_estimator() {
             y_axis: SweepAxis::VolumeUnits,
             y_range: (10_000.0, 1_000_000.0),
             steps: 6,
+            stream: false,
         };
         let Outcome::Grid(served) = engine.run(&Query::Grid(grid.clone())).unwrap() else {
             panic!("wrong outcome kind");
@@ -420,6 +421,7 @@ fn random_query(kind: QueryKind, rng: &mut SplitMix64) -> Query {
             y_axis: SweepAxis::Applications,
             y_range: (1.0, rng.gen_range_f64(2.0, 16.0)),
             steps: 2 + (rng.next_u64() % 20) as usize,
+            stream: false,
         }),
         QueryKind::Tornado => Query::Tornado(TornadoRequest { scenario, point }),
         QueryKind::MonteCarlo => Query::MonteCarlo(MonteCarloRequest {

@@ -701,6 +701,7 @@ fn grid_route_is_bit_identical_to_the_direct_grid() {
         y_axis: SweepAxis::LifetimeYears,
         y_range: (0.5, 2.5),
         steps: 8,
+        stream: false,
     };
     let (status, value) = post_json(&mut client, QueryKind::Grid.path(), &request);
     assert_eq!(status, 200, "{value:?}");
@@ -717,6 +718,124 @@ fn grid_route_is_bit_identical_to_the_direct_grid() {
         )
         .unwrap();
     assert_eq!(served, direct);
+    handle.shutdown();
+}
+
+/// The grid request the streamed-delivery tests share: `steps` per axis,
+/// streamed or buffered per the flag, otherwise identical.
+fn grid_request_for_streaming(steps: usize, stream: bool) -> GridRequest {
+    GridRequest {
+        scenario: ScenarioSpec::baseline(Domain::Dnn),
+        base: OperatingPoint::paper_default(),
+        x_axis: SweepAxis::Applications,
+        x_range: (1.0, 12.0),
+        y_axis: SweepAxis::LifetimeYears,
+        y_range: (0.25, 3.0),
+        steps,
+        stream,
+    }
+}
+
+fn grid_body(steps: usize, stream: bool) -> String {
+    grid_request_for_streaming(steps, stream)
+        .to_json()
+        .to_json_string()
+        .expect("serialize request")
+}
+
+#[test]
+fn streamed_grid_body_is_byte_identical_to_buffered() {
+    // 200 steps → 40 000 cells → three row-blocks through the bounded
+    // worker→loop channel, so the equality crosses real chunk seams.
+    let handle = spawn_server();
+    let mut client = connect(&handle);
+    let (status, buffered) = client
+        .post(QueryKind::Grid.path(), &grid_body(200, false))
+        .expect("buffered grid");
+    assert_eq!(status, 200, "{buffered}");
+    let (status, streamed) = client
+        .post(QueryKind::Grid.path(), &grid_body(200, true))
+        .expect("streamed grid");
+    assert_eq!(status, 200, "{streamed}");
+    assert_eq!(
+        streamed, buffered,
+        "chunk-decoded streamed body must be byte-identical to buffered"
+    );
+    // The keep-alive connection survives a streamed response.
+    let (status, _) = client.get("/healthz").expect("keep-alive after stream");
+    assert_eq!(status, 200);
+    handle.shutdown();
+}
+
+/// The acceptance-scale case: a 1024×1024 (million-point) grid streamed
+/// and buffered byte-identically. Minutes under the debug profile, so it
+/// is ignored by default — run with `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "million-point grid; run under --release"]
+fn streamed_million_point_grid_is_byte_identical_to_buffered() {
+    let handle = spawn_server();
+    let mut client = connect(&handle);
+    let (status, buffered) = client
+        .post(QueryKind::Grid.path(), &grid_body(1024, false))
+        .expect("buffered grid");
+    assert_eq!(status, 200);
+    let (status, streamed) = client
+        .post(QueryKind::Grid.path(), &grid_body(1024, true))
+        .expect("streamed grid");
+    assert_eq!(status, 200);
+    assert_eq!(streamed.len(), buffered.len());
+    assert!(streamed == buffered, "million-point bodies diverge");
+    handle.shutdown();
+}
+
+#[test]
+fn streamed_grid_is_delivered_in_row_block_sized_chunks() {
+    // Raw socket: inspect the chunked framing itself. Three row-blocks
+    // must arrive as separate data chunks (head, blocks, tail) — proof the
+    // response was produced and relayed incrementally, never materialised
+    // whole in a server buffer.
+    use std::io::{Read, Write};
+    let handle = spawn_server();
+    let mut socket = std::net::TcpStream::connect(handle.addr()).expect("raw connect");
+    let body = grid_body(200, true);
+    write!(
+        socket,
+        "POST /v1/grid HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut raw = Vec::new();
+    socket.read_to_end(&mut raw).expect("read to EOF");
+    let text = String::from_utf8(raw).expect("response is UTF-8");
+    let (head, payload) = text.split_once("\r\n\r\n").expect("header terminator");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    let head_lower = head.to_ascii_lowercase();
+    assert!(head_lower.contains("transfer-encoding: chunked"), "{head}");
+    assert!(!head_lower.contains("content-length"), "{head}");
+
+    let mut chunk_sizes = Vec::new();
+    let mut rest = payload;
+    loop {
+        let (size_line, tail) = rest.split_once("\r\n").expect("chunk size line");
+        let size = usize::from_str_radix(size_line.trim(), 16).expect("hex chunk size");
+        if size == 0 {
+            break;
+        }
+        chunk_sizes.push(size);
+        assert_eq!(&tail[size..size + 2], "\r\n", "chunk data CRLF");
+        rest = &tail[size + 2..];
+    }
+    let total: usize = chunk_sizes.iter().sum();
+    // head + three row-blocks + tail, each its own chunk.
+    assert!(
+        chunk_sizes.len() >= 5,
+        "expected block-wise chunks, got {chunk_sizes:?}"
+    );
+    let largest = chunk_sizes.iter().copied().max().unwrap_or(0);
+    assert!(
+        largest < total / 2,
+        "one chunk carries most of the body ({largest} of {total}): not streamed"
+    );
     handle.shutdown();
 }
 
