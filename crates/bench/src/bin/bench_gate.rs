@@ -23,9 +23,11 @@
 //!   budget (`frontier_eval_fraction ≤ 0.2`), the SIMD tile kernel
 //!   beating the AoS collect path by its vector margin (`soa_speedup ≥`
 //!   [`gf_bench::SOA_SPEEDUP_FLOOR`] = 2.0 — the candidate artifact must
-//!   come from a `--features simd` build), and the serving soak
+//!   come from a `--features simd` build), the serving soak
 //!   holding at least [`gf_bench::SERVE_CONNECTIONS_FLOOR`] verified live
-//!   keep-alive connections (`serve_connections`).
+//!   keep-alive connections (`serve_connections`), and the default-on
+//!   tracing costing at most 3% of serve throughput (`trace_overhead ≥`
+//!   [`gf_bench::TRACE_OVERHEAD_FLOOR`]).
 //!
 //! ```text
 //! bench_gate <baseline.json> <candidate.json>
@@ -138,6 +140,23 @@ fn run(baseline_path: &str, candidate_path: &str, tolerance: f64) -> Result<bool
         println!(
             "  {:<40} {connections:>33.0}   {verdict}  (absolute floor {floor})",
             "serve_connections (floor)"
+        );
+    }
+    // Tracing is on by default, so its cost rides on every request: the
+    // traced/untraced throughput ratio (interleaved same-machine passes,
+    // see `serve_load`) must stay above the absolute floor regardless of
+    // what the baseline recorded.
+    if let Some(overhead) = lookup(&candidate, "trace_overhead") {
+        let floor = gf_bench::TRACE_OVERHEAD_FLOOR;
+        let verdict = if overhead < floor {
+            failed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {:<40} {overhead:>32.3}x   {verdict}  (absolute floor {floor})",
+            "trace_overhead (floor)"
         );
     }
     Ok(failed)
@@ -336,6 +355,49 @@ mod tests {
         .unwrap());
         // A candidate that has no soak key (older artifact) is not failed
         // by the floor alone.
+        std::fs::write(&candidate, "{\n  \"k_ns\": 100\n}\n").unwrap();
+        assert!(!run(
+            baseline.to_str().unwrap(),
+            candidate.to_str().unwrap(),
+            1.25
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn trace_overhead_has_an_absolute_floor() {
+        let dir = std::env::temp_dir().join("gf_bench_gate_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let baseline = dir.join("baseline.json");
+        let candidate = dir.join("candidate.json");
+        // The floor binds on the candidate alone — a baseline without the
+        // key (or with a bad value) cannot grandfather a slow span path in.
+        std::fs::write(&baseline, "{\n  \"k_ns\": 100\n}\n").unwrap();
+        std::fs::write(
+            &candidate,
+            "{\n  \"k_ns\": 100,\n  \"trace_overhead\": 0.90\n}\n",
+        )
+        .unwrap();
+        assert!(run(
+            baseline.to_str().unwrap(),
+            candidate.to_str().unwrap(),
+            1.25
+        )
+        .unwrap());
+        for passing in ["0.97", "0.995", "1.01"] {
+            std::fs::write(
+                &candidate,
+                format!("{{\n  \"k_ns\": 100,\n  \"trace_overhead\": {passing}\n}}\n"),
+            )
+            .unwrap();
+            assert!(!run(
+                baseline.to_str().unwrap(),
+                candidate.to_str().unwrap(),
+                1.25
+            )
+            .unwrap());
+        }
+        // A candidate without the key (older artifact) is not failed.
         std::fs::write(&candidate, "{\n  \"k_ns\": 100\n}\n").unwrap();
         assert!(!run(
             baseline.to_str().unwrap(),

@@ -20,10 +20,14 @@
 //! keys are replaced. `serve_rps` and the latency percentiles come from
 //! the 1-client pass (comparable across baselines); `serve_rps_4` /
 //! `serve_rps_8` record the saturation ladder; `serve_connections` records
-//! the soak's concurrently-live verified connection count. `bench_gate`
-//! gates every `serve_rps*` key downward like the kernel speedups and
-//! holds `serve_connections` above an absolute floor; the latency keys are
-//! tracked but not gated (loopback latency is machine-shaped).
+//! the soak's concurrently-live verified connection count;
+//! `trace_overhead` records the traced/untraced throughput ratio of
+//! interleaved 1-client passes (tracing is on by default, so this is the
+//! cost every production request pays). `bench_gate` gates every
+//! `serve_rps*` key downward like the kernel speedups, holds
+//! `serve_connections` above an absolute floor, and holds
+//! `trace_overhead` above [`gf_bench::TRACE_OVERHEAD_FLOOR`]; the latency
+//! keys are tracked but not gated (loopback latency is machine-shaped).
 //!
 //! Environment knobs:
 //!
@@ -31,6 +35,10 @@
 //! * `GF_SERVE_LOAD_BATCHES` — `/v1/batch` requests per pass (default 500, 64 points each)
 //! * `GF_SERVE_SOAK_CONNECTIONS` — idle keep-alive connections in the soak
 //!   pass (default 4096; each costs two fds in-process)
+//! * `GF_SERVE_TRACE_REQUESTS` — trace-overhead request budget per
+//!   round (default 20 000; five rounds, split into alternating
+//!   traced/untraced 500-request slices — the metric is the median
+//!   ratio over adjacent slice pairs)
 //! * `GF_BENCH_NO_ASSERT` — report only, skip the acceptance assertions
 
 use std::io::{Read, Write};
@@ -89,6 +97,33 @@ fn encode_request(path: &str, body: &str) -> Vec<u8> {
     .into_bytes()
 }
 
+/// The per-request `x-request-id` header: its 16 hex chars are the one
+/// place a response legitimately differs between identical requests, so
+/// the byte compare treats exactly that span as a wildcard (the id is
+/// fixed-width, so the framing around it never moves).
+const REQUEST_ID_HEADER: &[u8] = b"x-request-id: ";
+const REQUEST_ID_HEX: usize = 16;
+
+/// Byte-compares a response against its golden, masking the request-id
+/// hex: every other byte — headers, framing, the whole body — must match
+/// exactly, and the masked span must still be 16 hex digits.
+fn matches_golden(buf: &[u8], golden: &[u8]) -> bool {
+    if buf.len() != golden.len() {
+        return false;
+    }
+    let Some(at) = golden
+        .windows(REQUEST_ID_HEADER.len())
+        .position(|w| w == REQUEST_ID_HEADER)
+    else {
+        return buf == golden;
+    };
+    let id_from = at + REQUEST_ID_HEADER.len();
+    let id_to = id_from + REQUEST_ID_HEX;
+    buf[..id_from] == golden[..id_from]
+        && buf[id_from..id_to].iter().all(u8::is_ascii_hexdigit)
+        && buf[id_to..] == golden[id_to..]
+}
+
 /// A raw keep-alive connection tuned for the hot loop: one `write` syscall
 /// per request, `read_exact` into a reused buffer sized by the known
 /// golden, and a byte compare — no per-response parsing or allocation.
@@ -121,7 +156,7 @@ impl RawClient {
         if self.stream.read_exact(&mut self.buf).is_err() {
             return false;
         }
-        self.buf == golden
+        matches_golden(&self.buf, golden)
     }
 
     /// Pipelines the requests at `indices` in one segment, reads the
@@ -149,7 +184,7 @@ impl RawClient {
         let mut cursor = 0usize;
         for &index in &window {
             let golden = &workload.evaluate_goldens[index];
-            if &self.buf[cursor..cursor + golden.len()] != golden.as_slice() {
+            if !matches_golden(&self.buf[cursor..cursor + golden.len()], golden) {
                 errors += 1;
             }
             cursor += golden.len();
@@ -574,6 +609,81 @@ fn run_soak(workload: &Workload, idle_target: usize) -> SoakResult {
     }
 }
 
+/// Measures the cost of default-on tracing as a throughput ratio, by
+/// paired slices: one server, one pipelined connection, alternating
+/// traced/untraced request slices of a few milliseconds each (tracing
+/// toggled through the same process-wide switch `GET /v1/trace`
+/// reports). Each adjacent slice pair yields one traced÷untraced ratio;
+/// the reported number is the median over all pairs, which a scheduling
+/// burst on a shared host lands in one pair and the median discards —
+/// whole-pass best-of comparisons at this granularity measure which side
+/// caught the lucky window, not the tracing tax. Pair order flips each
+/// round (ABBA) so linear drift cancels too.
+fn run_trace_overhead(workload: &Workload, evaluate_total: usize, rounds: usize) -> f64 {
+    /// Requests per timed slice: ~4-6ms of pipelined traffic, small
+    /// against machine-noise bursts, large against toggle cost.
+    const SLICE: usize = 500;
+    let pairs = (evaluate_total * rounds / (2 * SLICE)).max(8);
+
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback server");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+    println!(
+        "serve_load: trace overhead over {pairs} paired slices of {SLICE} requests -> http://{addr}"
+    );
+    let mut client = RawClient::connect(addr).expect("connect trace-overhead client");
+
+    let mut errors = 0u64;
+    let mut at = 0usize;
+    let mut slice = |client: &mut RawClient, errors: &mut u64, traced: bool| -> f64 {
+        gf_trace::set_enabled(traced);
+        let start = Instant::now();
+        *errors += client.pipeline(workload, at..at + SLICE);
+        at += SLICE;
+        start.elapsed().as_secs_f64()
+    };
+    // Untimed warm-up on both settings: connection, scenario cache and
+    // branch predictors settle before anything counts.
+    let _ = slice(&mut client, &mut errors, false);
+    let _ = slice(&mut client, &mut errors, true);
+
+    let mut ratios = Vec::with_capacity(pairs);
+    let (mut traced_s, mut untraced_s) = (0.0f64, 0.0f64);
+    for pair in 0..pairs {
+        let (untraced, traced) = if pair % 2 == 0 {
+            let u = slice(&mut client, &mut errors, false);
+            let t = slice(&mut client, &mut errors, true);
+            (u, t)
+        } else {
+            let t = slice(&mut client, &mut errors, true);
+            let u = slice(&mut client, &mut errors, false);
+            (u, t)
+        };
+        // Equal request counts per side: the throughput ratio is the
+        // inverse time ratio.
+        ratios.push(untraced / traced);
+        traced_s += traced;
+        untraced_s += untraced;
+    }
+    gf_trace::set_enabled(true);
+    handle.shutdown();
+    assert_eq!(errors, 0, "trace-overhead slices must stay error-free");
+
+    ratios.sort_unstable_by(|a, b| a.partial_cmp(b).expect("slice ratios are finite"));
+    let ratio = ratios[ratios.len() / 2];
+    println!(
+        "serve_load: trace overhead -> traced {:.0} req/s vs untraced {:.0} req/s aggregate, median pair ratio {ratio:.3}x",
+        pairs as f64 * SLICE as f64 / traced_s,
+        pairs as f64 * SLICE as f64 / untraced_s,
+    );
+    ratio
+}
+
 /// The saturation ladder: single client for the comparable baseline, then
 /// moderate and heavy concurrency.
 const CLIENT_COUNTS: [usize; 3] = [1, 4, 8];
@@ -583,11 +693,17 @@ fn main() {
     let batch_total = env_usize("GF_SERVE_LOAD_BATCHES", 500);
     let soak_connections = env_usize("GF_SERVE_SOAK_CONNECTIONS", 4_096);
 
+    let trace_requests = env_usize("GF_SERVE_TRACE_REQUESTS", 20_000);
+
     let workload = build_workload();
     let passes: Vec<PassResult> = CLIENT_COUNTS
         .iter()
         .map(|&clients| run_pass(&workload, clients, evaluate_total, batch_total))
         .collect();
+    // Overhead before the soak: thousands of just-closed sockets leave
+    // the kernel with cleanup work that would bleed into the paired
+    // passes and swamp the percent-level signal being measured.
+    let trace_overhead = run_trace_overhead(&workload, trace_requests, 5);
     let soak = run_soak(&workload, soak_connections);
     let single = &passes[0];
     let requests: usize = passes.iter().map(|p| p.requests).sum();
@@ -611,6 +727,7 @@ fn main() {
         ("serve_batch64_p50_us".to_string(), single.batch_p50),
         ("serve_batch64_p99_us".to_string(), single.batch_p99),
         ("serve_connections".to_string(), soak.connections as f64),
+        ("trace_overhead".to_string(), trace_overhead),
     ];
     for pass in &passes {
         serve_metrics.push((format!("serve_rps_{}", pass.clients), pass.rps));
@@ -624,7 +741,7 @@ fn main() {
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
         Err(e) => panic!("read {out}: {e}"),
     };
-    merged.retain(|(key, _)| !key.starts_with("serve_"));
+    merged.retain(|(key, _)| !key.starts_with("serve_") && key != "trace_overhead");
     for (key, value) in serve_metrics {
         merged.push((key, Some(value)));
     }
@@ -659,6 +776,10 @@ fn main() {
             "soak verified {} live connections, below the {} target",
             soak.connections,
             soak_connections
+        );
+        assert!(
+            trace_overhead.is_finite() && trace_overhead > 0.0,
+            "trace overhead ratio must be a positive finite number, got {trace_overhead}"
         );
     }
 }

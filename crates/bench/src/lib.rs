@@ -31,6 +31,16 @@ pub const SOA_SPEEDUP_FLOOR: f64 = 2.0;
 /// to a separate artifact rather than lower the floor.
 pub const SERVE_CONNECTIONS_FLOOR: f64 = 4096.0;
 
+/// Absolute floor for the `trace_overhead` metric: serve throughput with
+/// tracing enabled divided by throughput with tracing disabled, measured
+/// by `serve_load` as interleaved best-of passes on the same machine and
+/// therefore machine-independent. Tracing is on by default, so its cost is
+/// paid by every production request — the floor caps that cost at 3%. A
+/// change that puts a lock, an allocation, or an unconditional syscall on
+/// the span path shows up here as a ratio well under the floor even when
+/// absolute throughput still clears `serve_rps` against a stale baseline.
+pub const TRACE_OVERHEAD_FLOOR: f64 = 0.97;
+
 /// Builds the estimator every experiment binary uses: the paper-calibrated
 /// defaults. Override knobs inside individual binaries where an experiment
 /// calls for it.

@@ -152,6 +152,9 @@ pub struct ParsedCommand {
     pub command: Command,
     /// Emit JSON (via the `greenfpga::api` serializers) instead of tables.
     pub json: bool,
+    /// Stderr diagnostic verbosity: `0` quiet (warnings only), `1` = `-v`
+    /// (phase timings), `2` = `-vv` (per-span detail).
+    pub verbosity: u8,
 }
 
 /// Workload arguments shared by most subcommands.
@@ -223,6 +226,10 @@ COMMON OPTIONS:
   --volume <UNITS>                application volume       (default: 1000000)
   --json                          emit JSON instead of tables (every
                                   command except serve and help)
+  -v / -vv                        stderr diagnostics: phase timings (-v)
+                                  or per-span detail (-vv); the GF_LOG
+                                  env var (warn|info|debug) sets the same
+                                  cutoff, and the louder of the two wins
 
 SERVE OPTIONS:
   --addr <HOST:PORT>              bind address             (default: 127.0.0.1:7878)
@@ -298,7 +305,10 @@ impl Options {
         let mut i = 0;
         while i < args.len() {
             let arg = &args[i];
-            if let Some(key) = arg.strip_prefix("--") {
+            if arg == "-v" || arg == "-vv" {
+                flags.push(arg.trim_start_matches('-').to_string());
+                i += 1;
+            } else if let Some(key) = arg.strip_prefix("--") {
                 if key == "csv" || key == "adaptive" || key == "json" || key == "stream" {
                     flags.push(key.to_string());
                     i += 1;
@@ -506,12 +516,24 @@ pub fn parse(args: &[String]) -> Result<ParsedCommand, ParseError> {
         return Ok(ParsedCommand {
             command: Command::Help,
             json: false,
+            verbosity: 0,
         });
     };
     let options = Options::parse(rest)?;
     let json = options.has_flag("json");
+    let verbosity = if options.has_flag("vv") {
+        2
+    } else if options.has_flag("v") {
+        1
+    } else {
+        0
+    };
     let command = parse_command(command, &options)?;
-    Ok(ParsedCommand { command, json })
+    Ok(ParsedCommand {
+        command,
+        json,
+        verbosity,
+    })
 }
 
 fn parse_command(command: &str, options: &Options) -> Result<Command, ParseError> {
@@ -640,6 +662,31 @@ mod tests {
                 .json
         );
         assert!(parse(&argv("montecarlo --json --samples 16")).unwrap().json);
+    }
+
+    #[test]
+    fn verbosity_flags_are_global() {
+        assert_eq!(parse(&argv("compare")).unwrap().verbosity, 0);
+        assert_eq!(parse(&argv("compare -v")).unwrap().verbosity, 1);
+        assert_eq!(parse(&argv("compare -vv")).unwrap().verbosity, 2);
+        // -vv wins over -v regardless of order, and the flags compose
+        // with options anywhere on the line.
+        assert_eq!(parse(&argv("compare -v -vv")).unwrap().verbosity, 2);
+        assert_eq!(
+            parse(&argv("grid -vv --domain crypto --steps 8"))
+                .unwrap()
+                .verbosity,
+            2
+        );
+        assert_eq!(
+            parse(&argv("montecarlo --samples 16 -v"))
+                .unwrap()
+                .verbosity,
+            1
+        );
+        // Other single-dash spellings are still rejected.
+        assert!(parse(&argv("compare -x")).is_err());
+        assert!(parse(&argv("compare -vvv")).is_err());
     }
 
     #[test]

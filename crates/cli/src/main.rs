@@ -47,12 +47,40 @@ fn main() -> ExitCode {
             return ExitCode::from(ApiError::bad_request(String::new()).exit_code());
         }
     };
+    apply_log_level(parsed.verbosity, std::env::var("GF_LOG").ok().as_deref());
     match run(parsed.command, parsed.json) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::from(e.exit_code())
         }
+    }
+}
+
+/// Resolves the stderr diagnostic cutoff from `-v`/`-vv` and `GF_LOG`
+/// (the louder of the two wins) and installs it process-wide.
+fn apply_log_level(verbosity: u8, gf_log: Option<&str>) {
+    use gf_trace::Level;
+    let from_flags = match verbosity {
+        0 => None,
+        1 => Some(Level::Info),
+        _ => Some(Level::Debug),
+    };
+    let from_env = match gf_log {
+        None => None,
+        Some(value) => match Level::parse(value) {
+            Some(level) => Some(level),
+            None => {
+                gf_trace::log(
+                    Level::Warn,
+                    &format!("GF_LOG must be warn|info|debug, ignoring '{value}'"),
+                );
+                None
+            }
+        },
+    };
+    if let Some(level) = from_flags.into_iter().chain(from_env).max() {
+        gf_trace::set_max_level(level);
     }
 }
 
@@ -69,22 +97,78 @@ fn run(command: Command, json: bool) -> Result<(), ApiError> {
         }
         Command::Query { file } => run_raw_query(file),
         command => {
+            // One request id for the whole analytic run, so engine-level
+            // spans (tile batches, cache compiles) land under it and the
+            // `-v`/`-vv` diagnostics can read them back afterwards.
+            let request_id = gf_trace::next_id();
+            gf_trace::set_current_request(request_id);
+            let compile = gf_trace::span(gf_trace::SpanName::CliCompile);
             let engine = Engine::with_defaults()?;
-            if let Command::Grid {
+            compile.finish();
+            let result = if let Command::Grid {
                 adaptive: false,
                 stream: true,
                 ..
             } = command
             {
-                return run_grid_stream(&engine, &command, json);
-            }
-            let query = build_query(&command)?;
-            let outcome = engine.run(&query)?;
-            if json {
-                print_json(&outcome.result_json())
+                let eval = gf_trace::span(gf_trace::SpanName::CliEval);
+                let result = run_grid_stream(&engine, &command, json);
+                eval.finish();
+                result
             } else {
-                render_outcome(&command, &outcome)
-            }
+                let query = build_query(&command)?;
+                let eval = gf_trace::span(gf_trace::SpanName::CliEval);
+                let outcome = engine.run(&query);
+                eval.finish();
+                let outcome = outcome?;
+                if json {
+                    print_json(&outcome.result_json())
+                } else {
+                    render_outcome(&command, &outcome)
+                }
+            };
+            gf_trace::set_current_request(0);
+            log_phase_timings(request_id);
+            result
+        }
+    }
+}
+
+/// Emits the `-v` phase summary (and the `-vv` per-span detail) for one
+/// analytic run, read back from the trace rings.
+fn log_phase_timings(request_id: u64) {
+    use gf_trace::Level;
+    if !gf_trace::level_enabled(Level::Info) {
+        return;
+    }
+    let spans = gf_trace::spans_for_request(request_id);
+    let total_us = |name: gf_trace::SpanName| -> f64 {
+        spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.duration_ns as f64 / 1000.0)
+            .sum()
+    };
+    gf_trace::log(
+        Level::Info,
+        &format!(
+            "phases: compile={:.0}us eval={:.0}us",
+            total_us(gf_trace::SpanName::CliCompile),
+            total_us(gf_trace::SpanName::CliEval)
+        ),
+    );
+    if gf_trace::level_enabled(Level::Debug) {
+        for span in &spans {
+            gf_trace::log(
+                Level::Debug,
+                &format!(
+                    "span {} start={}ns dur={}ns aux={}",
+                    span.name.as_str(),
+                    span.start_ns,
+                    span.duration_ns,
+                    span.aux
+                ),
+            );
         }
     }
 }

@@ -933,8 +933,14 @@ pub struct RouteMetrics {
     pub route: String,
     /// Requests answered on this route (any status).
     pub requests: u64,
-    /// Requests answered with a non-2xx status.
+    /// Requests answered with a non-2xx status. Kept as the sum of
+    /// `errors_4xx + errors_5xx` for consumers that predate the split.
     pub errors: u64,
+    /// Requests answered with a 4xx status (client faults).
+    pub errors_4xx: u64,
+    /// Requests answered with a 5xx (or other non-2xx, non-4xx) status —
+    /// server faults.
+    pub errors_5xx: u64,
     /// Request-body bytes received on this route.
     pub bytes_in: u64,
     /// Response-body bytes sent on this route.
@@ -949,6 +955,8 @@ impl ToJson for RouteMetrics {
             ("route", Value::String(self.route.clone())),
             ("requests", self.requests.to_json()),
             ("errors", self.errors.to_json()),
+            ("errors_4xx", self.errors_4xx.to_json()),
+            ("errors_5xx", self.errors_5xx.to_json()),
             ("bytes_in", self.bytes_in.to_json()),
             ("bytes_out", self.bytes_out.to_json()),
             ("latency", self.latency.to_json()),
@@ -962,6 +970,8 @@ impl FromJson for RouteMetrics {
             route: decode(value, "route")?,
             requests: decode(value, "requests")?,
             errors: decode(value, "errors")?,
+            errors_4xx: decode_or(value, "errors_4xx", 0)?,
+            errors_5xx: decode_or(value, "errors_5xx", 0)?,
             bytes_in: decode_or(value, "bytes_in", 0)?,
             bytes_out: decode_or(value, "bytes_out", 0)?,
             latency: decode(value, "latency")?,
@@ -1041,6 +1051,83 @@ impl FromJson for MetricsResponse {
             connections_rejected: decode(value, "connections_rejected")?,
             routes: decode(value, "routes")?,
             cache_shards: decode(value, "cache_shards")?,
+        })
+    }
+}
+
+/// One span in `GET /v1/trace`: a named, timed slice of work with the
+/// request id that correlates it to an `x-request-id` response header.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpan {
+    /// Span class, e.g. `"parse"`, `"execute"`, `"cache_hit"`.
+    pub name: String,
+    /// Unique span id, 16 lowercase hex digits.
+    pub span_id: String,
+    /// Owning request id, 16 lowercase hex digits (all zeros when the
+    /// span is not request-scoped).
+    pub request_id: String,
+    /// Start, in nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds (`0` for instant events).
+    pub duration_ns: u64,
+    /// Span-class-specific detail (cache shard index, byte count, ...).
+    pub aux: u64,
+    /// Recording thread's trace-ring id.
+    pub thread: u64,
+}
+
+impl ToJson for TraceSpan {
+    fn to_json(&self) -> Value {
+        object([
+            ("name", Value::String(self.name.clone())),
+            ("span_id", Value::String(self.span_id.clone())),
+            ("request_id", Value::String(self.request_id.clone())),
+            ("start_ns", self.start_ns.to_json()),
+            ("duration_ns", self.duration_ns.to_json()),
+            ("aux", self.aux.to_json()),
+            ("thread", self.thread.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TraceSpan {
+    fn from_json(value: &Value) -> Result<TraceSpan, JsonError> {
+        Ok(TraceSpan {
+            name: decode(value, "name")?,
+            span_id: decode(value, "span_id")?,
+            request_id: decode(value, "request_id")?,
+            start_ns: decode(value, "start_ns")?,
+            duration_ns: decode(value, "duration_ns")?,
+            aux: decode_or(value, "aux", 0)?,
+            thread: decode_or(value, "thread", 0)?,
+        })
+    }
+}
+
+/// `GET /v1/trace` response: the most recent spans from every thread's
+/// trace ring, newest first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceResponse {
+    /// Recent spans, newest first.
+    pub spans: Vec<TraceSpan>,
+    /// Whether tracing is currently recording.
+    pub enabled: bool,
+}
+
+impl ToJson for TraceResponse {
+    fn to_json(&self) -> Value {
+        object([
+            ("spans", self.spans.to_json()),
+            ("enabled", Value::Bool(self.enabled)),
+        ])
+    }
+}
+
+impl FromJson for TraceResponse {
+    fn from_json(value: &Value) -> Result<TraceResponse, JsonError> {
+        Ok(TraceResponse {
+            spans: decode(value, "spans")?,
+            enabled: decode_or(value, "enabled", true)?,
         })
     }
 }
@@ -2267,6 +2354,8 @@ mod tests {
                 route: "POST /v1/evaluate".to_string(),
                 requests: 1200,
                 errors: 4,
+                errors_4xx: 3,
+                errors_5xx: 1,
                 bytes_in: 96_000,
                 bytes_out: 480_000,
                 latency: LatencyHistogram {
@@ -2294,6 +2383,44 @@ mod tests {
         // schema violation, not a silent truncation.
         let bad = r#"{"bounds_us": [50.0], "counts": [1]}"#;
         assert!(LatencyHistogram::from_json(&parse(bad).unwrap()).is_err());
+        // Pre-split metrics documents (no 4xx/5xx fields) still decode,
+        // with the split classes defaulting to zero.
+        let legacy = r#"{"route": "other", "requests": 2, "errors": 1,
+            "latency": {"bounds_us": [], "counts": [2]}}"#;
+        let decoded = RouteMetrics::from_json(&parse(legacy).unwrap()).unwrap();
+        assert_eq!(decoded.errors, 1);
+        assert_eq!(decoded.errors_4xx, 0);
+        assert_eq!(decoded.errors_5xx, 0);
+    }
+
+    #[test]
+    fn trace_response_round_trips() {
+        let response = TraceResponse {
+            spans: vec![
+                TraceSpan {
+                    name: "execute".to_string(),
+                    span_id: "00000000000000ab".to_string(),
+                    request_id: "00000000000000cd".to_string(),
+                    start_ns: 1_000,
+                    duration_ns: 250,
+                    aux: 4,
+                    thread: 0,
+                },
+                TraceSpan {
+                    name: "cache_hit".to_string(),
+                    span_id: "00000000000000ef".to_string(),
+                    request_id: "0000000000000000".to_string(),
+                    start_ns: 900,
+                    duration_ns: 0,
+                    aux: 2,
+                    thread: 1,
+                },
+            ],
+            enabled: true,
+        };
+        let text = response.to_json().to_json_string().unwrap();
+        let back = TraceResponse::from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(back, response);
     }
 
     #[test]

@@ -638,10 +638,34 @@ impl ShardedScenarioCache {
     fn lookup(&self, spec: &ScenarioSpec) -> Result<CompiledScenario, GreenFpgaError> {
         let key = key_of(spec);
         let shard = (hash_of(&key) % self.shards.len() as u64) as usize;
-        self.shards[shard]
+        let traced = gf_trace::enabled();
+        let from_ticks = if traced { gf_trace::now_ticks() } else { 0 };
+        let mut guard = self.shards[shard]
             .lock()
-            .expect("scenario cache shard poisoned")
-            .lookup_keyed(key, spec)
+            .expect("scenario cache shard poisoned");
+        let misses_before = guard.misses;
+        let result = guard.lookup_keyed(key, spec);
+        let missed = guard.misses > misses_before;
+        drop(guard);
+        if traced {
+            // Shard index rides in `aux`, so a hot shard is visible in the
+            // trace without a label dimension.
+            if missed {
+                let end = gf_trace::now_ticks();
+                gf_trace::record_span_at(
+                    gf_trace::SpanName::Compile,
+                    from_ticks,
+                    end.saturating_sub(from_ticks),
+                    shard as u64,
+                );
+                gf_trace::record_span_at(gf_trace::SpanName::CacheMiss, end, 0, shard as u64);
+            } else {
+                // Hit path: reuse the probe's entry stamp — the common case
+                // pays exactly one clock read.
+                gf_trace::record_span_at(gf_trace::SpanName::CacheHit, from_ticks, 0, shard as u64);
+            }
+        }
+        result
     }
 
     /// Number of shards.

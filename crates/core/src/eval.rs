@@ -403,39 +403,55 @@ impl CompiledScenario {
         out: &mut ResultBuffer,
     ) -> Result<(), GreenFpgaError> {
         let tile = soa_tile().clamp(1, SOA_TILE_MAX);
+        // One span per batch call (aux = point count), not per tile: a
+        // million-point batch would otherwise overwrite the whole ring
+        // with 64-point tile entries.
+        let batch_from = if gf_trace::enabled() {
+            gf_trace::now_ticks()
+        } else {
+            0
+        };
         out.prepare(self.domain, points.len());
         let (fpga_cols, asic_cols) = out.columns_mut();
-        exec::try_fill_chunked(points.len(), 0, (fpga_cols, asic_cols), &|start,
-                                                                          len,
-                                                                          (
-            mut fpga_chunk,
-            mut asic_chunk,
-        ): (
-            SoaChunksMut<'_>,
-            SoaChunksMut<'_>,
-        )| {
-            // Same tiling as `evaluate_indexed_into_with_tile`, minus the
-            // per-point gather: tiles borrow the caller's slice directly.
-            let mut scratch = TileScratch::new();
-            let mut at = 0;
-            while at < len {
-                let tile_len = tile.min(len - at);
-                let (mut fpga_tile, fpga_rest) = fpga_chunk.split_at_mut(tile_len);
-                let (mut asic_tile, asic_rest) = asic_chunk.split_at_mut(tile_len);
-                fpga_chunk = fpga_rest;
-                asic_chunk = asic_rest;
-                if let Err((t, e)) = self.evaluate_tile(
-                    &points[start + at..start + at + tile_len],
-                    &mut scratch,
-                    &mut fpga_tile,
-                    &mut asic_tile,
-                ) {
-                    return Some((start + at + t, e));
+        let result = exec::try_fill_chunked(
+            points.len(),
+            0,
+            (fpga_cols, asic_cols),
+            &|start,
+              len,
+              (mut fpga_chunk, mut asic_chunk): (SoaChunksMut<'_>, SoaChunksMut<'_>)| {
+                // Same tiling as `evaluate_indexed_into_with_tile`, minus the
+                // per-point gather: tiles borrow the caller's slice directly.
+                let mut scratch = TileScratch::new();
+                let mut at = 0;
+                while at < len {
+                    let tile_len = tile.min(len - at);
+                    let (mut fpga_tile, fpga_rest) = fpga_chunk.split_at_mut(tile_len);
+                    let (mut asic_tile, asic_rest) = asic_chunk.split_at_mut(tile_len);
+                    fpga_chunk = fpga_rest;
+                    asic_chunk = asic_rest;
+                    if let Err((t, e)) = self.evaluate_tile(
+                        &points[start + at..start + at + tile_len],
+                        &mut scratch,
+                        &mut fpga_tile,
+                        &mut asic_tile,
+                    ) {
+                        return Some((start + at + t, e));
+                    }
+                    at += tile_len;
                 }
-                at += tile_len;
-            }
-            None
-        })
+                None
+            },
+        );
+        if batch_from != 0 {
+            gf_trace::record_span_at(
+                gf_trace::SpanName::TileBatch,
+                batch_from,
+                gf_trace::now_ticks().saturating_sub(batch_from),
+                points.len() as u64,
+            );
+        }
+        result
     }
 
     /// [`CompiledScenario::evaluate_into`] with the points produced by an
@@ -469,11 +485,16 @@ impl CompiledScenario {
         tile: usize,
     ) -> Result<(), GreenFpgaError> {
         let tile = tile.clamp(1, SOA_TILE_MAX);
+        let batch_from = if gf_trace::enabled() {
+            gf_trace::now_ticks()
+        } else {
+            0
+        };
         out.prepare(self.domain, n);
         let (fpga_cols, asic_cols) = out.columns_mut();
-        exec::try_fill_chunked(n, threads, (fpga_cols, asic_cols), &|start,
-                                                                     len,
-                                                                     (
+        let result = exec::try_fill_chunked(n, threads, (fpga_cols, asic_cols), &|start,
+                                                                                  len,
+                                                                                  (
             mut fpga_chunk,
             mut asic_chunk,
         ): (
@@ -512,7 +533,16 @@ impl CompiledScenario {
                 at += tile_len;
             }
             None
-        })
+        });
+        if batch_from != 0 {
+            gf_trace::record_span_at(
+                gf_trace::SpanName::TileBatch,
+                batch_from,
+                gf_trace::now_ticks().saturating_sub(batch_from),
+                n as u64,
+            );
+        }
+        result
     }
 
     /// Evaluates `n` indexed points in bounded memory: the index space is
@@ -977,14 +1007,17 @@ const SOA_TILE_DEFAULT: usize = 64;
 pub(crate) fn soa_tile() -> usize {
     static TILE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     *TILE.get_or_init(|| {
-        if let Ok(value) = std::env::var("GF_SOA_TILE") {
-            if let Ok(n) = value.trim().parse::<usize>() {
-                if n >= 1 {
-                    return n.min(SOA_TILE_MAX);
-                }
-            }
-        }
-        autotune_tile().unwrap_or(SOA_TILE_DEFAULT)
+        let pinned = std::env::var("GF_SOA_TILE")
+            .ok()
+            .and_then(|value| value.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .map(|n| n.min(SOA_TILE_MAX));
+        let tile = pinned.unwrap_or_else(|| autotune_tile().unwrap_or(SOA_TILE_DEFAULT));
+        // Once-per-process: the decision (pinned or probed) lands in the
+        // trace ring so a slow batch can be correlated with an unlucky
+        // autotune pass. aux = chosen tile size.
+        gf_trace::record_event(gf_trace::SpanName::Autotune, tile as u64);
+        tile
     })
 }
 

@@ -351,11 +351,38 @@ impl WorkerPool {
     /// Queues a job. Jobs run in FIFO claim order on whichever worker frees
     /// up first. Returns `false` if the pool is shutting down (only possible
     /// mid-drop, which safe callers never observe).
+    ///
+    /// With tracing enabled the job is wrapped to record a `job_queue_wait`
+    /// span (enqueue → claim) and a `job_run` span (claim → done) on the
+    /// claiming worker's ring; disabled, the job boxes untouched.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) -> bool {
         match &self.sender {
             Some(sender) => {
                 self.queued.fetch_add(1, Ordering::SeqCst);
-                if sender.send(Box::new(job)).is_ok() {
+                let job: Job = if gf_trace::enabled() {
+                    let queued_ticks = gf_trace::now_ticks();
+                    Box::new(move || {
+                        // One stamp closes the queue-wait span and opens the
+                        // run span.
+                        let claimed_ticks = gf_trace::now_ticks();
+                        gf_trace::record_span_at(
+                            gf_trace::SpanName::JobQueueWait,
+                            queued_ticks,
+                            claimed_ticks.saturating_sub(queued_ticks),
+                            0,
+                        );
+                        job();
+                        gf_trace::record_span_at(
+                            gf_trace::SpanName::JobRun,
+                            claimed_ticks,
+                            gf_trace::now_ticks().saturating_sub(claimed_ticks),
+                            0,
+                        );
+                    })
+                } else {
+                    Box::new(job)
+                };
+                if sender.send(job).is_ok() {
                     true
                 } else {
                     self.queued.fetch_sub(1, Ordering::SeqCst);

@@ -100,6 +100,19 @@ pub(crate) struct Conn {
     /// The in-flight streamed response, while `state` is
     /// [`ConnState::Stream`].
     pub streaming: Option<StreamState>,
+    /// Trace id of the request currently owning this connection; assigned
+    /// when its first byte arrives, echoed in `x-request-id`, and reset
+    /// when the next request begins.
+    pub request_id: u64,
+    /// Start timestamp (`gf_trace::now_ticks`) of the in-flight response
+    /// write — the dispatcher's serialize-end boundary stamp, so the
+    /// `write` span covers encoding plus every readiness round the drain
+    /// takes. Zero when no write span is open.
+    pub write_started_ticks: u64,
+    /// Request id the open write span belongs to — kept apart from
+    /// `request_id`, which a pipelined follower may already have claimed
+    /// by the time the coalesced flush completes.
+    pub write_request_id: u64,
 }
 
 impl Conn {
@@ -119,6 +132,9 @@ impl Conn {
             header_deadline_armed: false,
             counted_live: true,
             streaming: None,
+            request_id: 0,
+            write_started_ticks: 0,
+            write_request_id: 0,
         }
     }
 
@@ -199,6 +215,26 @@ impl ConnSlab {
     #[cfg(test)]
     pub fn len(&self) -> usize {
         self.len
+    }
+
+    /// Counts connections per lifecycle state, in
+    /// [`crate::metrics::CONN_STATES`] order — the event-loop census
+    /// gauges. O(slots), so callers sample it on a time budget.
+    pub fn census(&self) -> [u64; 5] {
+        let mut counts = [0u64; 5];
+        for slot in &self.slots {
+            if let Some(conn) = &slot.conn {
+                let index = match conn.state {
+                    ConnState::Read => 0,
+                    ConnState::Dispatched => 1,
+                    ConnState::Stream => 2,
+                    ConnState::Write => 3,
+                    ConnState::Drain => 4,
+                };
+                counts[index] += 1;
+            }
+        }
+        counts
     }
 
     /// Tokens of every live connection (for shutdown teardown).

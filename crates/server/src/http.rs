@@ -276,12 +276,16 @@ pub(crate) const CONTINUE_RESPONSE: &[u8] = b"HTTP/1.1 100 Continue\r\n\r\n";
 /// Appends one `application/json` response to `out`, with an optional
 /// `Retry-After` header (seconds) — the admission-control `503` tells
 /// clients when backing off is worth it.
+///
+/// Every response echoes the request's trace id as `x-request-id`, printed
+/// as fixed-width hex so response byte lengths do not vary with the id.
 pub(crate) fn encode_response(
     out: &mut Vec<u8>,
     status: u16,
     body: &str,
     keep_alive: bool,
     retry_after_secs: Option<u32>,
+    request_id: u64,
 ) {
     use std::io::Write;
     let reason = reason_phrase(status);
@@ -289,7 +293,7 @@ pub(crate) fn encode_response(
     // Writes into a Vec cannot fail.
     let _ = write!(
         out,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\nx-request-id: {request_id:016x}\r\n",
         body.len()
     );
     if let Some(seconds) = retry_after_secs {
@@ -299,18 +303,44 @@ pub(crate) fn encode_response(
     out.extend_from_slice(body.as_bytes());
 }
 
-/// Appends the head of a streamed `application/json` response: status line
-/// and headers with `Transfer-Encoding: chunked` instead of a
-/// `Content-Length` — the body follows as [`encode_chunk`] pieces finished
-/// by [`encode_last_chunk`], so the transport never needs to know the full
-/// body size up front.
-pub(crate) fn encode_stream_head(out: &mut Vec<u8>, status: u16, keep_alive: bool) {
+/// Appends one `text/plain` response to `out` — the Prometheus exposition
+/// endpoint is the only non-JSON route, so it gets its own encoder rather
+/// than a content-type knob on every JSON call site.
+pub(crate) fn encode_text_response(
+    out: &mut Vec<u8>,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    request_id: u64,
+) {
     use std::io::Write;
     let reason = reason_phrase(status);
     let connection = if keep_alive { "keep-alive" } else { "close" };
     let _ = write!(
         out,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nTransfer-Encoding: chunked\r\nConnection: {connection}\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: {connection}\r\nx-request-id: {request_id:016x}\r\n\r\n",
+        body.len()
+    );
+    out.extend_from_slice(body.as_bytes());
+}
+
+/// Appends the head of a streamed `application/json` response: status line
+/// and headers with `Transfer-Encoding: chunked` instead of a
+/// `Content-Length` — the body follows as [`encode_chunk`] pieces finished
+/// by [`encode_last_chunk`], so the transport never needs to know the full
+/// body size up front.
+pub(crate) fn encode_stream_head(
+    out: &mut Vec<u8>,
+    status: u16,
+    keep_alive: bool,
+    request_id: u64,
+) {
+    use std::io::Write;
+    let reason = reason_phrase(status);
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let _ = write!(
+        out,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nTransfer-Encoding: chunked\r\nConnection: {connection}\r\nx-request-id: {request_id:016x}\r\n\r\n",
     );
 }
 
@@ -501,14 +531,47 @@ mod tests {
     #[test]
     fn retry_after_header_is_emitted_on_demand() {
         let mut out = Vec::new();
-        encode_response(&mut out, 503, "{}", false, Some(2));
+        encode_response(&mut out, 503, "{}", false, Some(2), 0);
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
         assert!(text.contains("Retry-After: 2\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
         let mut out = Vec::new();
-        encode_response(&mut out, 200, "{}", true, None);
+        encode_response(&mut out, 200, "{}", true, None, 0);
         assert!(!String::from_utf8(out).unwrap().contains("Retry-After"));
+    }
+
+    #[test]
+    fn request_id_header_is_fixed_width_hex() {
+        // Fixed width keeps response byte lengths independent of the id, so
+        // byte-exact transport tests only have to mask, never re-measure.
+        let mut short = Vec::new();
+        encode_response(&mut short, 200, "{}", true, None, 0x2a);
+        let text = String::from_utf8(short.clone()).unwrap();
+        assert!(text.contains("x-request-id: 000000000000002a\r\n"));
+        let mut long = Vec::new();
+        encode_response(&mut long, 200, "{}", true, None, u64::MAX);
+        assert!(String::from_utf8(long.clone())
+            .unwrap()
+            .contains("x-request-id: ffffffffffffffff\r\n"));
+        assert_eq!(short.len(), long.len());
+        let mut stream = Vec::new();
+        encode_stream_head(&mut stream, 200, true, 7);
+        assert!(String::from_utf8(stream)
+            .unwrap()
+            .contains("x-request-id: 0000000000000007\r\n"));
+    }
+
+    #[test]
+    fn text_responses_carry_the_prometheus_content_type() {
+        let mut out = Vec::new();
+        encode_text_response(&mut out, 200, "gf_up 1\n", true, 1);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"));
+        assert!(text.contains("Content-Length: 8\r\n"));
+        assert!(text.contains("x-request-id: 0000000000000001\r\n"));
+        assert!(text.ends_with("\r\n\r\ngf_up 1\n"));
     }
 
     #[test]
@@ -563,7 +626,7 @@ mod tests {
     #[test]
     fn chunked_responses_frame_each_piece() {
         let mut out = Vec::new();
-        encode_stream_head(&mut out, 200, true);
+        encode_stream_head(&mut out, 200, true, 0);
         encode_chunk(&mut out, b"{\"ratios\":[");
         encode_chunk(&mut out, b""); // skipped: must not terminate the body
         encode_chunk(&mut out, b"[1.0]]}");
@@ -579,19 +642,19 @@ mod tests {
     #[test]
     fn responses_have_framing_headers() {
         let mut out = Vec::new();
-        encode_response(&mut out, 200, "{\"ok\":true}", true, None);
+        encode_response(&mut out, 200, "{\"ok\":true}", true, None, 0);
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 11\r\n"));
         assert!(text.contains("Connection: keep-alive\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
         let mut out = Vec::new();
-        encode_response(&mut out, 404, "{}", false, None);
+        encode_response(&mut out, 404, "{}", false, None, 0);
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("404 Not Found"));
         assert!(text.contains("Connection: close"));
         let mut out = Vec::new();
-        encode_response(&mut out, 408, "{}", false, None);
+        encode_response(&mut out, 408, "{}", false, None, 0);
         assert!(String::from_utf8(out)
             .unwrap()
             .starts_with("HTTP/1.1 408 Request Timeout\r\n"));

@@ -21,6 +21,8 @@
 //! |---|---|
 //! | `GET /healthz` | liveness, version, uptime |
 //! | `GET /v1/metrics` | per-route counters, latency histograms, cache shards |
+//! | `GET /metrics` | the same registry as Prometheus text exposition |
+//! | `GET /v1/trace` | recent spans from the per-thread trace rings |
 //! | `POST /v1/<kind>` | [`greenfpga::Engine::run`] for every [`greenfpga::api::QueryKind`]: `evaluate`, `batch`, `compare`, `crossover`, `frontier`, `sweep`, `grid`, `tornado`, `montecarlo`, `industry` |
 //!
 //! Request/response schemas are the typed structs of [`greenfpga::api`]; a
@@ -62,6 +64,7 @@ mod conn;
 mod http;
 mod metrics;
 mod poll;
+mod prometheus;
 mod routes;
 #[allow(unsafe_code)]
 mod sys;
@@ -103,6 +106,9 @@ const PORTABLE_IDLE_CAP: Duration = Duration::from_millis(20);
 /// followers until the peer drains some — bounding memory a reader that
 /// pipelines requests but never reads responses can pin.
 const OUT_BACKPRESSURE: usize = 256 << 10;
+/// How often the connection-state census gauges refresh. Sampling is
+/// O(live connections), so it runs on this budget, not every iteration.
+const CENSUS_INTERVAL: Duration = Duration::from_millis(100);
 
 /// Server tuning. Every field has a serving-sane default; the CLI exposes
 /// the interesting ones as flags.
@@ -141,6 +147,13 @@ pub struct ServerConfig {
     /// Readiness driver. `Auto` resolves via the `GF_SERVE_DRIVER`
     /// environment variable, then the platform default (`epoll` on Linux).
     pub driver: DriverKind,
+    /// When set, a background thread streams every recorded span to this
+    /// file as NDJSON (one JSON object per line). Bounded buffering: a
+    /// slow disk loses spans to ring overwrite, it never blocks serving.
+    pub trace_log: Option<std::path::PathBuf>,
+    /// Log a span breakdown to stderr for any request slower than this
+    /// many microseconds. `0` disables the slow-request log.
+    pub slow_request_us: u64,
 }
 
 impl Default for ServerConfig {
@@ -156,6 +169,8 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(5),
             header_timeout: Duration::from_secs(10),
             driver: DriverKind::Auto,
+            trace_log: None,
+            slow_request_us: 0,
         }
     }
 }
@@ -186,6 +201,9 @@ struct Response {
     started: Instant,
     bytes_in: u64,
     keep_alive: bool,
+    /// Trace id assigned when the request's first byte arrived; echoed in
+    /// the response's `x-request-id` header.
+    request_id: u64,
 }
 
 /// What a worker sends back to the event loop through the completion
@@ -205,6 +223,7 @@ enum Completion {
         started: Instant,
         bytes_in: u64,
         keep_alive: bool,
+        request_id: u64,
     },
     /// The worker queued more stream events for `token`'s channel.
     StreamWake { token: u64 },
@@ -275,6 +294,9 @@ pub(crate) struct ServerState {
     pub metrics: Metrics,
     /// Connections admitted and not yet closed — the governor's gauge.
     pub live_connections: AtomicUsize,
+    /// Event-loop health counters, written by the loop thread and read by
+    /// the Prometheus exposition.
+    pub loop_stats: metrics::LoopStats,
     /// Responses finished by workers, awaiting the loop.
     completions: Mutex<Vec<Completion>>,
     waker: Waker,
@@ -335,6 +357,7 @@ impl Server {
             stop: AtomicBool::new(false),
             metrics: Metrics::new(),
             live_connections: AtomicUsize::new(0),
+            loop_stats: metrics::LoopStats::new(),
             completions: Mutex::new(Vec::new()),
             waker,
         });
@@ -444,6 +467,30 @@ fn arm_deadline(
     }
 }
 
+/// Writes one slow-request line to stderr: route, status, total latency
+/// and the per-span breakdown pulled from the trace rings by request id.
+/// Only runs past the `--slow-request-us` floor, so the formatting and the
+/// ring scan never touch the fast path.
+fn log_slow_request(request_id: u64, route: usize, status: u16, elapsed_us: f64) {
+    use std::fmt::Write as _;
+    let label = routes::route_table()
+        .get(route)
+        .map(|entry| format!("{} {}", entry.method, entry.path))
+        .unwrap_or_else(|| "other".to_string());
+    let mut breakdown = String::new();
+    for span in gf_trace::spans_for_request(request_id) {
+        let _ = write!(
+            breakdown,
+            " {}={}us",
+            span.name.as_str(),
+            span.duration_ns / 1_000
+        );
+    }
+    eprintln!(
+        "[gf slow] request {request_id:016x} {label} -> {status} took {elapsed_us:.0}us:{breakdown}"
+    );
+}
+
 /// The readiness event loop: owns the listener, every connection, the
 /// timer heap and the driver. Single-threaded — all connection state is
 /// plain data, and the only synchronization is the completion queue the
@@ -465,6 +512,12 @@ struct EventLoop {
     progress: bool,
     idle_streak: u32,
     workers: usize,
+    /// The NDJSON trace-log writer, when `--trace-log` is set. Held so the
+    /// loop's teardown stops and joins it (via drop) after the last span.
+    trace_log: Option<gf_trace::TraceLog>,
+    /// When the connection-state census was last sampled — it is O(live
+    /// connections), so it runs on a time budget, not per iteration.
+    census_taken: Instant,
 }
 
 impl EventLoop {
@@ -486,6 +539,10 @@ impl EventLoop {
             driver.register(0, LISTENER_TOKEN, Interest::READ)?;
         }
         let workers = state.config.workers_resolved().max(1);
+        let trace_log = match &state.config.trace_log {
+            Some(path) => Some(gf_trace::start_ndjson_log(path)?),
+            None => None,
+        };
         Ok(EventLoop {
             listener,
             driver,
@@ -499,6 +556,8 @@ impl EventLoop {
             progress: true,
             idle_streak: 0,
             workers,
+            trace_log,
+            census_taken: Instant::now(),
         })
     }
 
@@ -508,11 +567,14 @@ impl EventLoop {
             if self.driver.is_speculative() {
                 self.pace_speculative_sweep(timeout);
             }
+            let wait_from = Instant::now();
             if let Err(e) = self.driver.wait(&mut self.events, timeout) {
                 eprintln!("greenfpga-serve: driver wait failed: {e}");
                 std::thread::sleep(Duration::from_millis(10));
                 continue;
             }
+            let iter_from = Instant::now();
+            let wait_ns = iter_from.duration_since(wait_from).as_nanos() as u64;
             self.progress = false;
             let events = std::mem::take(&mut self.events);
             for &event in &events {
@@ -521,6 +583,12 @@ impl EventLoop {
             self.events = events;
             self.drain_completions();
             self.expire_timers();
+            self.sample_census();
+            self.state.loop_stats.record_iteration(
+                iter_from.elapsed().as_nanos() as u64,
+                wait_ns,
+                self.timers.len(),
+            );
         }
         // Teardown: sever every connection, then drain and join the
         // engine's workers (their late completions go nowhere, harmlessly).
@@ -528,6 +596,11 @@ impl EventLoop {
             self.close(token);
         }
         self.state.engine.join_workers();
+        if let Some(log) = self.trace_log.take() {
+            // After the workers joined: the writer drains the final spans
+            // before the file closes.
+            log.stop();
+        }
     }
 
     /// How long the wait may block: until the nearest deadline, forever
@@ -571,7 +644,13 @@ impl EventLoop {
             if pipe.set_read_timeout(Some(nap)).is_ok() && pipe.set_nonblocking(false).is_ok() {
                 let mut reader = pipe;
                 let mut bytes = [0u8; 8];
-                let _ = reader.read(&mut bytes);
+                if let Ok(n) = reader.read(&mut bytes) {
+                    // Pokes consumed while parked still count as received.
+                    self.state
+                        .loop_stats
+                        .wakeups_received
+                        .fetch_add(n as u64, Ordering::Relaxed);
+                }
                 let _ = pipe.set_nonblocking(true);
             } else {
                 std::thread::sleep(nap);
@@ -590,11 +669,41 @@ impl EventLoop {
     }
 
     fn drain_wake(&mut self) {
+        self.state
+            .loop_stats
+            .wakeup_events
+            .fetch_add(1, Ordering::Relaxed);
         #[cfg(unix)]
         {
             let mut reader = &self.wake_pipe.rx;
             let mut sink = [0u8; 64];
-            while matches!(reader.read(&mut sink), Ok(n) if n > 0) {}
+            let mut drained = 0u64;
+            while let Ok(n) = reader.read(&mut sink) {
+                if n == 0 {
+                    break;
+                }
+                drained += n as u64;
+            }
+            if drained > 0 {
+                // Each byte is one worker poke; `drained` pokes rode this
+                // single readiness event.
+                self.state
+                    .loop_stats
+                    .wakeups_received
+                    .fetch_add(drained, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Refreshes the connection-state census gauges when the budget allows.
+    fn sample_census(&mut self) {
+        if self.census_taken.elapsed() < CENSUS_INTERVAL {
+            return;
+        }
+        self.census_taken = Instant::now();
+        let counts = self.conns.census();
+        for (gauge, count) in self.state.loop_stats.conn_states.iter().zip(counts) {
+            gauge.store(count, Ordering::Relaxed);
         }
     }
 
@@ -630,17 +739,23 @@ impl EventLoop {
             now + self.state.config.idle_timeout
         };
         let mut conn = Conn::new(stream, deadline);
+        gf_trace::record_event(gf_trace::SpanName::Admission, u64::from(rejected));
         if rejected {
             self.state.metrics.rejected.fetch_add(1, Ordering::Relaxed);
             conn.counted_live = false;
             conn.state = ConnState::Write;
             conn.close_after_write = true;
+            conn.request_id = gf_trace::next_id();
+            gf_trace::set_current_request(conn.request_id);
+            let body = routes::overload_error_body();
+            gf_trace::set_current_request(0);
             http::encode_response(
                 &mut conn.outbuf,
                 503,
-                &routes::overload_error_body(),
+                &body,
                 false,
                 Some(1),
+                conn.request_id,
             );
             conn.interest = conn.desired_interest();
         } else {
@@ -726,6 +841,11 @@ impl EventLoop {
                 Ok(0) => After::PeerClosed,
                 Ok(n) => {
                     conn.inbuf.extend_from_slice(&scratch[..n]);
+                    if conn.request_id == 0 {
+                        // The request owns its trace id from its first byte
+                        // — spans recorded anywhere downstream correlate.
+                        conn.request_id = gf_trace::next_id();
+                    }
                     self.progress = true;
                     After::Parse
                 }
@@ -770,6 +890,16 @@ impl EventLoop {
             max_body_bytes: self.state.config.max_body_bytes,
         };
         let header_timeout = self.state.config.header_timeout;
+        // One tick read opens the readable pass; after that, request
+        // lifecycles hand their last boundary stamp to the next span
+        // (parse end opens execute, serialize end opens write, write
+        // queue opens the pipelined follower's parse), so a request
+        // costs one clock read per span, not two.
+        let mut cursor_ticks = if gf_trace::enabled() {
+            gf_trace::now_ticks()
+        } else {
+            0
+        };
         loop {
             let Some(conn) = self.conns.get_mut(token) else {
                 return;
@@ -778,6 +908,12 @@ impl EventLoop {
             {
                 break;
             }
+            if conn.request_id == 0 && !conn.inbuf.is_empty() {
+                // A pipelined follower's first byte arrived in an earlier
+                // read; its id starts when the parser turns to it.
+                conn.request_id = gf_trace::next_id();
+            }
+            let request_id = conn.request_id;
             let step = conn.assembler.step(&mut conn.inbuf, limits);
             if conn.assembler.take_interim_due() {
                 // `Expect: 100-continue`: the interim joins the flush — the
@@ -804,7 +940,31 @@ impl EventLoop {
                     break;
                 }
                 http::Step::Request(request) => {
-                    self.dispatch(token, request);
+                    let parse_end = if cursor_ticks != 0 {
+                        gf_trace::now_ticks()
+                    } else {
+                        0
+                    };
+                    if cursor_ticks != 0 {
+                        // The span opens when the parser turned to this
+                        // request (for a pipelined follower: when the
+                        // previous response was queued) and closes with
+                        // the step that consumed the head and body.
+                        gf_trace::set_current_request(request_id);
+                        gf_trace::record_span_at(
+                            gf_trace::SpanName::Parse,
+                            cursor_ticks,
+                            parse_end.saturating_sub(cursor_ticks),
+                            request.body.len() as u64,
+                        );
+                        gf_trace::set_current_request(0);
+                    }
+                    cursor_ticks = self.dispatch(token, request, parse_end);
+                    if cursor_ticks == 0 && gf_trace::enabled() {
+                        // Offloaded request: no response boundary came
+                        // back; re-stamp for any pipelined follower.
+                        cursor_ticks = gf_trace::now_ticks();
+                    }
                     // Loop: an inline response leaves the connection in
                     // `Read` with its bytes queued and pipelined followers
                     // possibly buffered.
@@ -824,17 +984,27 @@ impl EventLoop {
         self.update_interest(token);
     }
 
-    fn dispatch(&mut self, token: u64, request: http::Request) {
+    /// Routes one parsed request. `exec_start_ticks` is the parse span's
+    /// end stamp (0 = untraced) — it opens the execute span, and the
+    /// response's serialize-end stamp is returned so the caller can open
+    /// the next pipelined request's parse span without a fresh clock
+    /// read (0 = nothing to hand back: untraced or offloaded).
+    fn dispatch(&mut self, token: u64, request: http::Request, exec_start_ticks: u64) -> u64 {
         let route = routes::route_index(&request.method, &request.path);
         let offload = routes::offloads(&request.method, &request.path);
         let started = Instant::now();
         let bytes_in = request.body.len() as u64;
         let keep_alive = request.keep_alive;
+        let request_id;
         {
             let Some(conn) = self.conns.get_mut(token) else {
-                return;
+                return 0;
             };
             conn.header_deadline_armed = false;
+            if conn.request_id == 0 {
+                conn.request_id = gf_trace::next_id();
+            }
+            request_id = conn.request_id;
             if offload {
                 conn.state = ConnState::Dispatched;
                 conn.deadline = None; // the engine owes us, the peer owes nothing
@@ -842,9 +1012,27 @@ impl EventLoop {
         }
         if offload {
             let state = Arc::clone(&self.state);
+            let queued_ticks = exec_start_ticks;
             let queued = self.state.engine.execute_with_buffer(move |buffer| {
-                match routes::handle_offloaded(&state, buffer, &request) {
+                gf_trace::set_current_request(request_id);
+                // One worker-side read closes the queue wait and opens
+                // the execute span.
+                let claimed_ticks = if queued_ticks != 0 {
+                    let claimed = gf_trace::now_ticks();
+                    gf_trace::record_span_at(
+                        gf_trace::SpanName::QueueWait,
+                        queued_ticks,
+                        claimed.saturating_sub(queued_ticks),
+                        0,
+                    );
+                    claimed
+                } else {
+                    0
+                };
+                let reply = routes::handle_offloaded(&state, buffer, &request, claimed_ticks);
+                match reply {
                     routes::Reply::Full { status, body } => {
+                        gf_trace::set_current_request(0);
                         state.complete(Completion::Respond(Response {
                             token,
                             status,
@@ -853,6 +1041,7 @@ impl EventLoop {
                             started,
                             bytes_in,
                             keep_alive,
+                            request_id,
                         }));
                     }
                     routes::Reply::GridStream { head, stream } => {
@@ -865,11 +1054,13 @@ impl EventLoop {
                             started,
                             bytes_in,
                             keep_alive,
+                            request_id,
                         });
                         // Blocks on the channel whenever the loop (and
                         // ultimately the peer) falls behind; returns early
                         // if the connection dies (the rx drops).
                         routes::stream_grid_blocks(&state, token, &tx, stream);
+                        gf_trace::set_current_request(0);
                     }
                 }
             });
@@ -878,9 +1069,46 @@ impl EventLoop {
                 // everything down anyway.
                 self.close(token);
             }
+            0
+        } else if routes::is_prometheus(&request.method, &request.path) {
+            // The one non-JSON route: rendered here by the transport so
+            // the dispatcher's JSON contract stays uniform.
+            gf_trace::set_current_request(request_id);
+            let body = prometheus::render(&self.state);
+            let end_ticks = if exec_start_ticks != 0 {
+                let end = gf_trace::now_ticks();
+                gf_trace::record_span_at(
+                    gf_trace::SpanName::Execute,
+                    exec_start_ticks,
+                    end.saturating_sub(exec_start_ticks),
+                    0,
+                );
+                end
+            } else {
+                0
+            };
+            gf_trace::set_current_request(0);
+            self.finish_request(
+                token, route, 200, &body, started, bytes_in, keep_alive, request_id, true,
+                end_ticks,
+            )
         } else {
-            let (status, body) = routes::handle(&self.state, &mut self.buffer, &request);
-            self.finish_request(token, route, status, &body, started, bytes_in, keep_alive);
+            gf_trace::set_current_request(request_id);
+            let (status, body, handled_end) =
+                routes::handle(&self.state, &mut self.buffer, &request, exec_start_ticks);
+            gf_trace::set_current_request(0);
+            self.finish_request(
+                token,
+                route,
+                status,
+                &body,
+                started,
+                bytes_in,
+                keep_alive,
+                request_id,
+                false,
+                handled_end,
+            )
         }
     }
 
@@ -899,28 +1127,56 @@ impl EventLoop {
         started: Instant,
         bytes_in: u64,
         request_keep_alive: bool,
-    ) {
+        request_id: u64,
+        text_plain: bool,
+        handed_ticks: u64,
+    ) -> u64 {
         let keep_alive = request_keep_alive && !self.state.stop.load(Ordering::SeqCst);
-        self.state.metrics.record(
-            route,
-            status,
-            started.elapsed().as_secs_f64() * 1e6,
-            bytes_in,
-            body.len() as u64,
-        );
+        // One `Instant` read serves the latency metric and the idle
+        // deadline both.
+        let now = Instant::now();
+        let elapsed_us = now.duration_since(started).as_secs_f64() * 1e6;
+        self.state
+            .metrics
+            .record(route, status, elapsed_us, bytes_in, body.len() as u64);
         self.state.requests.fetch_add(1, Ordering::Relaxed);
-        let idle_deadline = Instant::now() + self.state.config.idle_timeout;
+        let slow_floor = self.state.config.slow_request_us;
+        if slow_floor > 0 && elapsed_us >= slow_floor as f64 {
+            log_slow_request(request_id, route, status, elapsed_us);
+        }
+        let idle_deadline = now + self.state.config.idle_timeout;
+        // The write span opens at the dispatcher's last boundary stamp
+        // (serialize end, handed down to avoid a fresh clock read) and
+        // closes when the coalesced flush fully drains — so it covers
+        // encoding, queueing and the socket write.
+        let cursor_ticks = if handed_ticks != 0 {
+            handed_ticks
+        } else if gf_trace::enabled() {
+            gf_trace::now_ticks()
+        } else {
+            0
+        };
         let Some(conn) = self.conns.get_mut(token) else {
-            return; // closed while dispatched (shutdown) — counted, unsendable
+            return cursor_ticks; // closed while dispatched (shutdown) — counted, unsendable
         };
         conn.close_after_write = !keep_alive;
-        http::encode_response(&mut conn.outbuf, status, body, keep_alive, None);
+        if text_plain {
+            http::encode_text_response(&mut conn.outbuf, status, body, keep_alive, request_id);
+        } else {
+            http::encode_response(&mut conn.outbuf, status, body, keep_alive, None, request_id);
+        }
+        if cursor_ticks != 0 && conn.write_started_ticks == 0 {
+            conn.write_started_ticks = cursor_ticks;
+            conn.write_request_id = request_id;
+        }
+        conn.request_id = 0;
         if keep_alive {
             conn.state = ConnState::Read;
             arm_deadline(&mut self.timers, conn, token, idle_deadline);
         } else {
             conn.state = ConnState::Write;
         }
+        cursor_ticks
     }
 
     /// Answers a protocol-level rejection (bad request line, oversized
@@ -929,7 +1185,15 @@ impl EventLoop {
     /// invisible — and against `requests` too, so `requests_served` stays
     /// the sum of the per-route counters.
     fn protocol_error(&mut self, token: u64, status: u16, message: &str) {
+        let request_id = self.conns.get_mut(token).map_or(0, |conn| {
+            if conn.request_id == 0 {
+                conn.request_id = gf_trace::next_id();
+            }
+            conn.request_id
+        });
+        gf_trace::set_current_request(request_id);
         let body = routes::protocol_error_body(message);
+        gf_trace::set_current_request(0);
         self.state.metrics.record(
             self.state.metrics.other_index(),
             status,
@@ -943,7 +1207,8 @@ impl EventLoop {
                 return;
             };
             conn.close_after_write = true;
-            http::encode_response(&mut conn.outbuf, status, &body, false, None);
+            http::encode_response(&mut conn.outbuf, status, &body, false, None, request_id);
+            conn.request_id = 0;
             conn.state = ConnState::Write;
         }
         self.flush_out(token);
@@ -987,6 +1252,20 @@ impl EventLoop {
                 self.progress = true;
             }
             if !must_close && conn.outpos == conn.outbuf.len() && !conn.outbuf.is_empty() {
+                if conn.write_started_ticks != 0 {
+                    let flushed = conn.outbuf.len() as u64;
+                    let end = gf_trace::now_ticks();
+                    gf_trace::set_current_request(conn.write_request_id);
+                    gf_trace::record_span_at(
+                        gf_trace::SpanName::Write,
+                        conn.write_started_ticks,
+                        end.saturating_sub(conn.write_started_ticks),
+                        flushed,
+                    );
+                    gf_trace::set_current_request(0);
+                    conn.write_started_ticks = 0;
+                    conn.write_request_id = 0;
+                }
                 conn.outbuf.clear();
                 conn.outpos = 0;
                 if conn.state == ConnState::Write {
@@ -1084,6 +1363,9 @@ impl EventLoop {
                         response.started,
                         response.bytes_in,
                         response.keep_alive,
+                        response.request_id,
+                        false,
+                        0,
                     );
                     // Flush the queued response, resume any pipelined
                     // follower behind it, and re-sync interest/deadlines.
@@ -1097,7 +1379,10 @@ impl EventLoop {
                     started,
                     bytes_in,
                     keep_alive,
-                } => self.start_stream(token, head, rx, route, started, bytes_in, keep_alive),
+                    request_id,
+                } => self.start_stream(
+                    token, head, rx, route, started, bytes_in, keep_alive, request_id,
+                ),
                 Completion::StreamWake { token } => self.pump_stream(token),
             }
         }
@@ -1117,6 +1402,7 @@ impl EventLoop {
         started: Instant,
         bytes_in: u64,
         keep_alive: bool,
+        request_id: u64,
     ) {
         let keep_alive = keep_alive && !self.state.stop.load(Ordering::SeqCst);
         {
@@ -1125,7 +1411,8 @@ impl EventLoop {
             };
             conn.state = ConnState::Stream;
             conn.close_after_write = !keep_alive;
-            http::encode_stream_head(&mut conn.outbuf, 200, keep_alive);
+            conn.request_id = 0;
+            http::encode_stream_head(&mut conn.outbuf, 200, keep_alive, request_id);
             http::encode_chunk(&mut conn.outbuf, head.as_bytes());
             conn.streaming = Some(StreamState {
                 rx,

@@ -6,6 +6,7 @@
 //!                 [--max-connections N] [--max-body-bytes N]
 //!                 [--idle-timeout SECS] [--header-timeout SECS]
 //!                 [--driver epoll|portable|auto]
+//!                 [--trace-log PATH] [--slow-request-us N]
 //! ```
 //!
 //! The same server is reachable as `greenfpga serve ...` through the CLI.
@@ -31,10 +32,14 @@ OPTIONS:
   --idle-timeout <SECS>   keep-alive idle close        (default: 5)
   --header-timeout <SECS> slowloris 408 deadline       (default: 10)
   --driver <NAME>         epoll | portable | auto      (default: auto)
+  --trace-log <PATH>      stream spans to PATH as NDJSON (default: off)
+  --slow-request-us <N>   log requests slower than N us  (default: off)
 
 ROUTES:
   GET  /healthz        liveness: status, version, uptime, workers
   GET  /v1/metrics     per-route counters + bytes, latency histograms, cache shards
+  GET  /metrics        the same registry as Prometheus text exposition
+  GET  /v1/trace       recent spans from the trace rings (typed JSON)
   POST /v1/evaluate    one operating point            {\"domain\", \"knobs\"?, \"point\"?}
   POST /v1/batch       many points, SoA batch kernel  {\"domain\", \"knobs\"?, \"points\"}
   POST /v1/compare     one point, several scenarios   {\"scenarios\", \"point\"?}
@@ -92,6 +97,8 @@ fn parse_config(args: &[String]) -> Result<ServerConfig, String> {
                 config.header_timeout =
                     std::time::Duration::from_secs(parse_positive(value)? as u64)
             }
+            "--trace-log" => config.trace_log = Some(std::path::PathBuf::from(value)),
+            "--slow-request-us" => config.slow_request_us = parse_positive(value)? as u64,
             "--driver" => {
                 config.driver = match value.as_str() {
                     "epoll" => gf_server::DriverKind::Epoll,
@@ -168,9 +175,12 @@ mod tests {
         assert_eq!(config.max_connections, 4096);
         assert_eq!(config.header_timeout, std::time::Duration::from_secs(10));
         assert_eq!(config.driver, gf_server::DriverKind::Auto);
+        assert_eq!(config.trace_log, None);
+        assert_eq!(config.slow_request_us, 0);
         let config = parse_config(&argv(
             "--addr 0.0.0.0:9000 --workers 8 --eval-threads 2 --cache-shards 4 --max-connections 64 \
-             --idle-timeout 30 --header-timeout 3 --driver portable",
+             --idle-timeout 30 --header-timeout 3 --driver portable \
+             --trace-log /tmp/spans.ndjson --slow-request-us 500",
         ))
         .unwrap();
         assert_eq!(config.addr, "0.0.0.0:9000");
@@ -181,6 +191,11 @@ mod tests {
         assert_eq!(config.idle_timeout, std::time::Duration::from_secs(30));
         assert_eq!(config.header_timeout, std::time::Duration::from_secs(3));
         assert_eq!(config.driver, gf_server::DriverKind::Portable);
+        assert_eq!(
+            config.trace_log.as_deref(),
+            Some(std::path::Path::new("/tmp/spans.ndjson"))
+        );
+        assert_eq!(config.slow_request_us, 500);
     }
 
     #[test]
@@ -195,5 +210,8 @@ mod tests {
         assert!(parse_config(&argv("--max-connections 0")).is_err());
         assert!(parse_config(&argv("--header-timeout 0")).is_err());
         assert!(parse_config(&argv("--driver kqueue")).is_err());
+        // A zero floor means "off" — reached by omitting the flag, not by
+        // passing 0 (which reads like a typo for "log everything").
+        assert!(parse_config(&argv("--slow-request-us 0")).is_err());
     }
 }

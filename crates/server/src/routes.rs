@@ -29,8 +29,14 @@ use crate::{Completion, ServerState, StreamEvent};
 pub(crate) enum Endpoint {
     /// `GET /healthz`: liveness, version, uptime.
     Healthz,
-    /// `GET /v1/metrics`: the observability snapshot.
+    /// `GET /v1/metrics`: the typed observability snapshot (JSON).
     Metrics,
+    /// `GET /metrics`: the same registry in Prometheus text format. The
+    /// one non-JSON response in the table — rendered by the transport
+    /// (see [`crate::prometheus`]), not the JSON dispatcher.
+    Prometheus,
+    /// `GET /v1/trace`: the recent-span rings as typed JSON.
+    Trace,
     /// `POST /v1/<kind>`: one engine query.
     Query(QueryKind),
 }
@@ -61,6 +67,16 @@ pub(crate) fn route_table() -> &'static [Route] {
                 method: "GET",
                 path: "/v1/metrics",
                 endpoint: Endpoint::Metrics,
+            },
+            Route {
+                method: "GET",
+                path: "/metrics",
+                endpoint: Endpoint::Prometheus,
+            },
+            Route {
+                method: "GET",
+                path: "/v1/trace",
+                endpoint: Endpoint::Trace,
             },
         ];
         table.extend(QueryKind::ALL.into_iter().map(|kind| Route {
@@ -100,8 +116,18 @@ pub(crate) fn offloads(method: &str, path: &str) -> bool {
                     | QueryKind::Tornado
                     | QueryKind::MonteCarlo
             ),
-            Endpoint::Healthz | Endpoint::Metrics => false,
+            Endpoint::Healthz | Endpoint::Metrics | Endpoint::Prometheus | Endpoint::Trace => false,
         })
+}
+
+/// True when the request addresses the Prometheus text endpoint — the one
+/// route whose response the transport renders as `text/plain` instead of
+/// routing through the JSON dispatcher.
+pub(crate) fn is_prometheus(method: &str, path: &str) -> bool {
+    route_table()
+        .iter()
+        .find(|route| route.method == method && route.path == path)
+        .is_some_and(|route| route.endpoint == Endpoint::Prometheus)
 }
 
 /// What an offloaded request produced on the worker.
@@ -131,12 +157,20 @@ pub(crate) fn handle_offloaded(
     state: &ServerState,
     buffer: &mut ResultBuffer,
     request: &Request,
+    exec_start_ticks: u64,
 ) -> Reply {
     if request.method == "POST" && request.path == QueryKind::Grid.path() {
         match try_grid_stream(state, request) {
-            Ok(Some((head, stream))) => return Reply::GridStream { head, stream },
+            Ok(Some((head, stream))) => {
+                // The execute span for a streamed grid covers decode +
+                // compile + head build; the row production shows up as
+                // `tile_batch` spans while the stream drains.
+                record_execute(exec_start_ticks);
+                return Reply::GridStream { head, stream };
+            }
             Ok(None) => {} // `stream` not requested: buffered path below
             Err(error) => {
+                record_execute(exec_start_ticks);
                 return Reply::Full {
                     status: error.http_status(),
                     body: error_body(&error),
@@ -144,8 +178,21 @@ pub(crate) fn handle_offloaded(
             }
         }
     }
-    let (status, body) = handle(state, buffer, request);
+    let (status, body, _) = handle(state, buffer, request, exec_start_ticks);
     Reply::Full { status, body }
+}
+
+/// Closes an execute span opened at `exec_start_ticks` (no-op when 0 —
+/// untraced), for paths that don't hand the boundary stamp onward.
+fn record_execute(exec_start_ticks: u64) {
+    if exec_start_ticks != 0 {
+        gf_trace::record_span_at(
+            gf_trace::SpanName::Execute,
+            exec_start_ticks,
+            gf_trace::now_ticks().saturating_sub(exec_start_ticks),
+            0,
+        );
+    }
 }
 
 /// Decodes a grid request and, when it asked to stream, compiles the
@@ -238,21 +285,69 @@ pub(crate) fn stream_grid_blocks(
     });
 }
 
-/// Routes one request. Returns `(status, body)`; the body is always JSON.
+/// Routes one request. Returns `(status, body, end_ticks)`; the body is
+/// always JSON. `exec_start_ticks` (0 = untraced) opens the execute
+/// span, whose closing stamp also opens the serialize span; the final
+/// boundary stamp is returned so the transport can open the write span
+/// without a fresh clock read (0 when untraced).
 pub(crate) fn handle(
     state: &ServerState,
     buffer: &mut ResultBuffer,
     request: &Request,
-) -> (u16, String) {
+    exec_start_ticks: u64,
+) -> (u16, String, u64) {
     match dispatch(state, buffer, request) {
-        Ok(value) => match value.to_json_string() {
-            Ok(body) => (200, body),
-            Err(e) => {
-                let error = ApiError::internal(format!("response serialization failed: {e}"));
-                (error.http_status(), error_body(&error))
+        Ok(value) => {
+            let mid = if exec_start_ticks != 0 {
+                let mid = gf_trace::now_ticks();
+                gf_trace::record_span_at(
+                    gf_trace::SpanName::Execute,
+                    exec_start_ticks,
+                    mid.saturating_sub(exec_start_ticks),
+                    0,
+                );
+                mid
+            } else {
+                0
+            };
+            match value.to_json_string() {
+                Ok(body) => {
+                    let end = if mid != 0 {
+                        let end = gf_trace::now_ticks();
+                        gf_trace::record_span_at(
+                            gf_trace::SpanName::Serialize,
+                            mid,
+                            end.saturating_sub(mid),
+                            body.len() as u64,
+                        );
+                        end
+                    } else {
+                        0
+                    };
+                    (200, body, end)
+                }
+                Err(e) => {
+                    let error = ApiError::internal(format!("response serialization failed: {e}"));
+                    (error.http_status(), error_body(&error), mid)
+                }
             }
-        },
-        Err(error) => (error.http_status(), error_body(&error)),
+        }
+        Err(error) => {
+            let body = error_body(&error);
+            let end = if exec_start_ticks != 0 {
+                let end = gf_trace::now_ticks();
+                gf_trace::record_span_at(
+                    gf_trace::SpanName::Execute,
+                    exec_start_ticks,
+                    end.saturating_sub(exec_start_ticks),
+                    0,
+                );
+                end
+            } else {
+                0
+            };
+            (error.http_status(), body, end)
+        }
     }
 }
 
@@ -277,6 +372,13 @@ fn dispatch(
     match entry.endpoint {
         Endpoint::Healthz => Ok(healthz(state)),
         Endpoint::Metrics => Ok(metrics(state)),
+        // The transport intercepts `GET /metrics` before dispatch (its
+        // response is text, not JSON); reaching this arm means a bug in
+        // that interception, not a client error.
+        Endpoint::Prometheus => Err(ApiError::internal(
+            "prometheus exposition must be rendered by the transport",
+        )),
+        Endpoint::Trace => Ok(trace()),
         Endpoint::Query(kind) => {
             let body = parse_body(state, request)?;
             let query = kind.decode_request(&body)?;
@@ -298,10 +400,21 @@ fn parse_body(state: &ServerState, request: &Request) -> Result<Value, ApiError>
     Ok(gf_json::parse_with(text, limits)?)
 }
 
-/// Encodes an [`ApiError`] as the JSON error body.
+/// Encodes an [`ApiError`] as the JSON error body, attaching the calling
+/// thread's current request id (when one is set) so an error response can
+/// be correlated with its spans and its `x-request-id` header.
 pub(crate) fn error_body(error: &ApiError) -> String {
-    error
-        .to_json()
+    let mut value = error.to_json();
+    let request_id = gf_trace::current_request();
+    if request_id != 0 {
+        if let Value::Object(members) = &mut value {
+            members.push((
+                "request_id".to_string(),
+                Value::String(format!("{request_id:016x}")),
+            ));
+        }
+    }
+    value
         .to_json_string()
         .unwrap_or_else(|_| "{\"error\":{\"code\":\"internal\"}}".to_string())
 }
@@ -335,6 +448,33 @@ fn healthz(state: &ServerState) -> Value {
     ])
 }
 
+/// Most spans one `GET /v1/trace` response returns. A bound, not a page:
+/// the rings themselves cap history, this just caps the response body.
+const TRACE_SNAPSHOT_MAX: usize = 512;
+
+/// Builds the `GET /v1/trace` response: the recent-span rings as typed
+/// JSON, newest first, ids rendered as the same fixed-width hex the
+/// `x-request-id` header uses.
+fn trace() -> Value {
+    let spans = gf_trace::snapshot(TRACE_SNAPSHOT_MAX)
+        .into_iter()
+        .map(|span| greenfpga::api::TraceSpan {
+            name: span.name.as_str().to_string(),
+            span_id: format!("{:016x}", span.span_id),
+            request_id: format!("{:016x}", span.request_id),
+            start_ns: span.start_ns,
+            duration_ns: span.duration_ns,
+            aux: span.aux,
+            thread: span.thread,
+        })
+        .collect();
+    greenfpga::api::TraceResponse {
+        spans,
+        enabled: gf_trace::enabled(),
+    }
+    .to_json()
+}
+
 fn metrics(state: &ServerState) -> Value {
     use std::sync::atomic::Ordering;
     greenfpga::api::MetricsResponse {
@@ -362,8 +502,19 @@ mod tests {
         }
         assert!(route_index("GET", "/healthz") < route_table().len());
         assert!(route_index("GET", "/v1/metrics") < route_table().len());
+        assert!(route_index("GET", "/metrics") < route_table().len());
+        assert!(route_index("GET", "/v1/trace") < route_table().len());
         // Unknown requests clamp to the fallback bucket downstream.
         assert_eq!(route_index("GET", "/nope"), usize::MAX);
         assert_eq!(route_index("PATCH", "/healthz"), usize::MAX);
+    }
+
+    #[test]
+    fn observability_routes_stay_inline_and_prometheus_is_flagged() {
+        assert!(!offloads("GET", "/metrics"));
+        assert!(!offloads("GET", "/v1/trace"));
+        assert!(is_prometheus("GET", "/metrics"));
+        assert!(!is_prometheus("GET", "/v1/metrics"));
+        assert!(!is_prometheus("POST", "/metrics"), "405s stay JSON");
     }
 }

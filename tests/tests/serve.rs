@@ -436,6 +436,11 @@ fn metrics_route_has_the_golden_shape_and_counts() {
     let evaluate = route("POST /v1/evaluate");
     assert_eq!(evaluate.requests, 4);
     assert_eq!(evaluate.errors, 1, "the malformed request counts");
+    // The error split: a malformed body is a client fault, and the legacy
+    // total stays the sum of the classes.
+    assert_eq!(evaluate.errors_4xx, 1);
+    assert_eq!(evaluate.errors_5xx, 0);
+    assert_eq!(evaluate.errors, evaluate.errors_4xx + evaluate.errors_5xx);
     assert_eq!(
         evaluate.latency.counts.iter().sum::<u64>(),
         evaluate.requests,

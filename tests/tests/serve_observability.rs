@@ -1,0 +1,439 @@
+//! Observability integration tests: the `/v1/trace` exposition, the
+//! `GET /metrics` Prometheus text format, the `--trace-log` NDJSON
+//! stream, and the request-id contract on error responses.
+//!
+//! The trace rings and the enable switch are process-global, and every
+//! test in this binary runs in the same process against its own ephemeral
+//! server — so assertions here are existential ("the evaluate request's
+//! lifecycle spans exist, correctly shaped") rather than exact-count:
+//! concurrent tests legitimately interleave their spans.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use gf_json::{FromJson, Value};
+use gf_server::client::Client;
+use gf_server::{Server, ServerConfig, ServerHandle};
+use greenfpga::api::{MetricsResponse, TraceResponse};
+
+fn spawn_with(config: ServerConfig) -> ServerHandle {
+    Server::bind(config).expect("bind ephemeral server").spawn()
+}
+
+fn spawn_server() -> ServerHandle {
+    spawn_with(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        idle_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    })
+}
+
+fn connect(handle: &ServerHandle) -> Client {
+    Client::connect(handle.addr()).expect("connect to server")
+}
+
+const EVALUATE_BODY: &str =
+    r#"{"domain":"dnn","point":{"applications":5,"lifetime_years":2.0,"volume":1000000}}"#;
+
+/// Every span-name spelling the exposition may emit. Pinned here so a
+/// renamed span class is a visible wire-format change, not drift.
+const SPAN_NAMES: [&str; 15] = [
+    "parse",
+    "admission",
+    "queue_wait",
+    "compile",
+    "execute",
+    "serialize",
+    "write",
+    "cache_hit",
+    "cache_miss",
+    "job_queue_wait",
+    "job_run",
+    "tile_batch",
+    "autotune",
+    "cli_compile",
+    "cli_eval",
+];
+
+fn is_hex_id(id: &str) -> bool {
+    id.len() == 16
+        && id
+            .chars()
+            .all(|c| c.is_ascii_digit() || ('a'..='f').contains(&c))
+}
+
+#[test]
+fn trace_route_has_the_golden_shape() {
+    let handle = spawn_server();
+    let mut client = connect(&handle);
+    for _ in 0..2 {
+        let (status, _) = client
+            .post("/v1/evaluate", EVALUATE_BODY)
+            .expect("evaluate round-trip");
+        assert_eq!(status, 200);
+    }
+    let (status, body) = client.get("/v1/trace").expect("trace");
+    assert_eq!(status, 200, "{body}");
+    let trace = TraceResponse::from_json(&gf_json::parse(&body).unwrap()).expect("typed decode");
+    assert!(trace.enabled, "tracing is on by default");
+    assert!(!trace.spans.is_empty(), "recent traffic left spans");
+    for span in &trace.spans {
+        assert!(
+            SPAN_NAMES.contains(&span.name.as_str()),
+            "unknown span name '{}'",
+            span.name
+        );
+        assert!(is_hex_id(&span.span_id), "span id '{}'", span.span_id);
+        assert!(
+            is_hex_id(&span.request_id),
+            "request id '{}'",
+            span.request_id
+        );
+    }
+    // The evaluate requests left full lifecycles: some request id owns a
+    // parse, an execute and a serialize span (write flushes after the
+    // response, so it may still be in flight for the newest request).
+    let mut by_request: HashMap<&str, Vec<&str>> = HashMap::new();
+    for span in &trace.spans {
+        if span.request_id != "0000000000000000" {
+            by_request
+                .entry(span.request_id.as_str())
+                .or_default()
+                .push(span.name.as_str());
+        }
+    }
+    assert!(
+        by_request.values().any(|names| {
+            ["parse", "execute", "serialize"]
+                .iter()
+                .all(|phase| names.contains(phase))
+        }),
+        "no request shows the full parse/execute/serialize lifecycle: {by_request:?}"
+    );
+    handle.shutdown();
+}
+
+/// One parsed sample line of the exposition: name, raw label block
+/// (braces stripped, may be empty) and value.
+struct Sample {
+    name: String,
+    labels: String,
+    value: f64,
+}
+
+/// Parses the text exposition, validating the grammar this parser relies
+/// on: every sample belongs to a family announced by exactly one `# TYPE`
+/// line *before* its first sample, every family is `gf_`-prefixed, every
+/// counter family ends in `_total`, every value parses as a finite float.
+/// Returns the samples plus the family -> kind map.
+fn parse_exposition(text: &str) -> (Vec<Sample>, HashMap<String, String>) {
+    let mut kinds: HashMap<String, String> = HashMap::new();
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let family = parts.next().expect("family name").to_string();
+            let kind = parts.next().expect("family kind").to_string();
+            assert!(parts.next().is_none(), "trailing tokens: {line}");
+            assert!(family.starts_with("gf_"), "unprefixed family {family}");
+            assert!(
+                matches!(kind.as_str(), "counter" | "gauge" | "histogram"),
+                "unknown kind in {line}"
+            );
+            if kind == "counter" {
+                assert!(family.ends_with("_total"), "counter {family} not *_total");
+            }
+            assert!(
+                kinds.insert(family.clone(), kind).is_none(),
+                "family {family} announced twice"
+            );
+            continue;
+        }
+        assert!(!line.starts_with('#'), "only # TYPE comments are emitted");
+        let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+        let value: f64 = value.parse().expect("sample value parses");
+        assert!(value.is_finite(), "non-finite sample in {line}");
+        let (name, labels) = match series.split_once('{') {
+            Some((name, labels)) => (
+                name.to_string(),
+                labels
+                    .strip_suffix('}')
+                    .expect("balanced braces")
+                    .to_string(),
+            ),
+            None => (series.to_string(), String::new()),
+        };
+        let family = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|family| kinds.get(*family).map(String::as_str) == Some("histogram"))
+            .unwrap_or(&name)
+            .to_string();
+        assert!(
+            kinds.contains_key(&family),
+            "sample {name} has no preceding # TYPE"
+        );
+        samples.push(Sample {
+            name,
+            labels,
+            value,
+        });
+    }
+    (samples, kinds)
+}
+
+fn sample_value(samples: &[Sample], name: &str, label_contains: &str) -> f64 {
+    samples
+        .iter()
+        .find(|s| s.name == name && s.labels.contains(label_contains))
+        .unwrap_or_else(|| panic!("no sample {name}{{{label_contains}}}"))
+        .value
+}
+
+#[test]
+fn prometheus_exposition_is_well_formed_and_matches_the_typed_registry() {
+    let handle = spawn_server();
+    let mut client = connect(&handle);
+    for _ in 0..3 {
+        let (status, _) = client
+            .post("/v1/evaluate", EVALUATE_BODY)
+            .expect("evaluate round-trip");
+        assert_eq!(status, 200);
+    }
+    let (status, _) = client.post("/v1/evaluate", "{not json").unwrap();
+    assert_eq!(status, 400);
+
+    // Quiesced cross-check: the text page first, the typed registry
+    // second. Neither request touches the evaluate route or the scenario
+    // cache, so those counters must agree exactly across the two reads.
+    let (status, text) = client.get("/metrics").expect("prometheus");
+    assert_eq!(status, 200);
+    let (samples, kinds) = parse_exposition(&text);
+    let (status, body) = client.get("/v1/metrics").expect("typed metrics");
+    assert_eq!(status, 200);
+    let typed = MetricsResponse::from_json(&gf_json::parse(&body).unwrap()).unwrap();
+
+    let evaluate = typed
+        .routes
+        .iter()
+        .find(|r| r.route == "POST /v1/evaluate")
+        .expect("evaluate route tracked");
+    let route_label = r#"route="POST /v1/evaluate""#;
+    assert_eq!(
+        sample_value(&samples, "gf_route_requests_total", route_label),
+        evaluate.requests as f64
+    );
+    assert_eq!(
+        sample_value(
+            &samples,
+            "gf_route_errors_total",
+            r#"route="POST /v1/evaluate",class="4xx""#
+        ),
+        evaluate.errors_4xx as f64
+    );
+    assert_eq!(
+        sample_value(
+            &samples,
+            "gf_route_errors_total",
+            r#"route="POST /v1/evaluate",class="5xx""#
+        ),
+        evaluate.errors_5xx as f64
+    );
+    assert_eq!(
+        sample_value(&samples, "gf_route_bytes_in_total", route_label),
+        evaluate.bytes_in as f64
+    );
+    let prom_hits: f64 = samples
+        .iter()
+        .filter(|s| s.name == "gf_cache_hits_total")
+        .map(|s| s.value)
+        .sum();
+    let prom_misses: f64 = samples
+        .iter()
+        .filter(|s| s.name == "gf_cache_misses_total")
+        .map(|s| s.value)
+        .sum();
+    assert_eq!(
+        prom_hits,
+        typed.cache_shards.iter().map(|s| s.hits).sum::<u64>() as f64
+    );
+    assert_eq!(
+        prom_misses,
+        typed.cache_shards.iter().map(|s| s.misses).sum::<u64>() as f64
+    );
+
+    // Histogram discipline on the evaluate route: bucket series cumulative
+    // and non-decreasing, closed by +Inf, which equals _count and the
+    // typed bucket total.
+    let buckets: Vec<&Sample> = samples
+        .iter()
+        .filter(|s| s.name == "gf_route_latency_us_bucket" && s.labels.contains(route_label))
+        .collect();
+    assert_eq!(
+        buckets.len(),
+        evaluate.latency.bounds_us.len() + 1,
+        "every typed bound plus +Inf"
+    );
+    for pair in buckets.windows(2) {
+        assert!(
+            pair[1].value >= pair[0].value,
+            "bucket series must be cumulative"
+        );
+    }
+    let inf = buckets.last().expect("+Inf closes the series");
+    assert!(inf.labels.contains(r#"le="+Inf""#));
+    assert_eq!(
+        inf.value,
+        sample_value(&samples, "gf_route_latency_us_count", route_label)
+    );
+    assert_eq!(
+        inf.value,
+        evaluate.latency.counts.iter().sum::<u64>() as f64
+    );
+
+    // The event-loop families exist with their label sets.
+    assert_eq!(
+        kinds.get("gf_loop_iteration_us").map(String::as_str),
+        Some("histogram")
+    );
+    for kind in ["received", "coalesced"] {
+        let value = sample_value(
+            &samples,
+            "gf_loop_wakeups_total",
+            &format!(r#"kind="{kind}""#),
+        );
+        assert!(value >= 0.0);
+    }
+    for state in ["read", "dispatched", "stream", "write", "drain"] {
+        sample_value(
+            &samples,
+            "gf_loop_connections",
+            &format!(r#"state="{state}""#),
+        );
+    }
+    assert!(sample_value(&samples, "gf_loop_iterations_total", "") >= 1.0);
+    handle.shutdown();
+}
+
+#[test]
+fn trace_log_streams_parseable_ndjson() {
+    let path =
+        std::env::temp_dir().join(format!("gf_trace_log_test_{}.ndjson", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let handle = spawn_with(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        trace_log: Some(path.clone()),
+        ..ServerConfig::default()
+    });
+    let mut client = connect(&handle);
+    for _ in 0..4 {
+        let (status, _) = client
+            .post("/v1/evaluate", EVALUATE_BODY)
+            .expect("evaluate round-trip");
+        assert_eq!(status, 200);
+    }
+    drop(client);
+    // Shutdown stops the log writer, which drains the rings one final
+    // time before the file is complete.
+    handle.shutdown();
+
+    let text = std::fs::read_to_string(&path).expect("trace log was written");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(!lines.is_empty(), "traffic must leave spans in the log");
+    for line in &lines {
+        let value = gf_json::parse(line)
+            .unwrap_or_else(|e| panic!("trace-log line is not JSON ({e}): {line}"));
+        let name = value.get("name").and_then(Value::as_str).expect("name");
+        assert!(SPAN_NAMES.contains(&name), "unknown span '{name}' logged");
+        for id_key in ["span", "request"] {
+            let id = value.get(id_key).and_then(Value::as_str).expect("id");
+            assert!(is_hex_id(id), "{id_key} id '{id}'");
+        }
+        for number_key in ["start_ns", "duration_ns", "aux", "thread"] {
+            value
+                .get(number_key)
+                .and_then(Value::as_f64)
+                .unwrap_or_else(|| panic!("missing {number_key}: {line}"));
+        }
+    }
+    assert!(
+        lines
+            .iter()
+            .any(|line| line.contains(r#""name":"execute""#)),
+        "the evaluate executions reached the log"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Reads one `Content-Length`-framed raw response.
+fn read_framed(stream: &mut TcpStream) -> Vec<u8> {
+    let mut raw = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        let n = stream.read(&mut chunk).expect("read head");
+        assert!(n > 0, "closed inside head");
+        raw.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&raw[..header_end]).expect("ASCII head");
+    let content_length: usize = head
+        .lines()
+        .find_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            name.trim()
+                .eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().expect("length"))
+        })
+        .expect("framed response");
+    while raw.len() < header_end + content_length {
+        let n = stream.read(&mut chunk).expect("read body");
+        assert!(n > 0, "closed inside body");
+        raw.extend_from_slice(&chunk[..n]);
+    }
+    raw
+}
+
+#[test]
+fn error_responses_echo_the_request_id_in_header_and_body() {
+    let handle = spawn_server();
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let body = "{not json";
+    write!(
+        stream,
+        "POST /v1/evaluate HTTP/1.1\r\nHost: loopback\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send");
+    let raw = read_framed(&mut stream);
+    let text = String::from_utf8(raw).expect("UTF-8 response");
+    assert!(text.starts_with("HTTP/1.1 400 "), "{text}");
+    let header_id = text
+        .lines()
+        .find_map(|line| line.strip_prefix("x-request-id: "))
+        .expect("400 carries x-request-id")
+        .to_string();
+    assert!(is_hex_id(&header_id), "header id '{header_id}'");
+    let json_body = text.split("\r\n\r\n").nth(1).expect("body");
+    let value = gf_json::parse(json_body).expect("error body is JSON");
+    assert_eq!(
+        value.get("request_id").and_then(Value::as_str),
+        Some(header_id.as_str()),
+        "body request_id echoes the header"
+    );
+    assert!(value.get("error").is_some(), "taxonomy error object kept");
+    handle.shutdown();
+}

@@ -105,6 +105,43 @@ fn body_of(raw: &[u8]) -> &[u8] {
     &raw[pos + 4..]
 }
 
+/// The `x-request-id` value of a raw response — every non-interim response
+/// must carry exactly one, 16 lowercase hex chars wide.
+fn request_id_of(raw: &[u8]) -> String {
+    const NEEDLE: &[u8] = b"x-request-id: ";
+    let at = raw
+        .windows(NEEDLE.len())
+        .position(|w| w == NEEDLE)
+        .expect("response carries x-request-id");
+    let id = &raw[at + NEEDLE.len()..at + NEEDLE.len() + 16];
+    assert!(
+        id.iter()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(b)),
+        "request id is 16 lowercase hex chars, got {:?}",
+        String::from_utf8_lossy(id)
+    );
+    assert!(
+        raw[at + 1..].windows(NEEDLE.len()).all(|w| w != NEEDLE),
+        "exactly one x-request-id header"
+    );
+    String::from_utf8(id.to_vec()).unwrap()
+}
+
+/// A response with its request-id hex zeroed: the id is the one byte span
+/// that legitimately differs between identical requests, so byte-identity
+/// assertions compare the masked form (same length — the id is
+/// fixed-width, so masking never moves the framing).
+fn masked(raw: &[u8]) -> Vec<u8> {
+    request_id_of(raw); // validates presence, width and uniqueness
+    const NEEDLE: &[u8] = b"x-request-id: ";
+    let at = raw.windows(NEEDLE.len()).position(|w| w == NEEDLE).unwrap();
+    let mut out = raw.to_vec();
+    for byte in &mut out[at + NEEDLE.len()..at + NEEDLE.len() + 16] {
+        *byte = b'0';
+    }
+    out
+}
+
 fn status_of(raw: &[u8]) -> u16 {
     std::str::from_utf8(raw)
         .unwrap()
@@ -154,7 +191,16 @@ fn one_byte_request_segments_produce_identical_bytes() {
         stream.flush().unwrap();
     }
     let raw = read_response(|buf| stream.read(buf));
-    assert_eq!(raw, golden, "worst-case fragmentation changed the bytes");
+    assert_eq!(
+        masked(&raw),
+        masked(&golden),
+        "worst-case fragmentation changed the bytes"
+    );
+    assert_ne!(
+        request_id_of(&raw),
+        request_id_of(&golden),
+        "distinct requests get distinct ids"
+    );
     handle.shutdown();
 }
 
@@ -168,7 +214,11 @@ fn one_byte_client_read_window_produces_identical_bytes() {
     // Drain the response one byte at a time: the server's writes must
     // resume across however many partial flushes the window forces.
     let raw = read_response(|buf| stream.read(&mut buf[..1]));
-    assert_eq!(raw, golden, "a slow reader changed the bytes");
+    assert_eq!(
+        masked(&raw),
+        masked(&golden),
+        "a slow reader changed the bytes"
+    );
     handle.shutdown();
 }
 
@@ -195,15 +245,24 @@ fn pipelined_requests_in_one_segment_answer_in_order() {
 
     let mut carry = Vec::new();
     let first = read_response_carry(&mut carry, |buf| stream.read(buf));
-    assert_eq!(first, golden, "pipelined response 1");
+    assert_eq!(masked(&first), masked(&golden), "pipelined response 1");
     let second = read_response_carry(&mut carry, |buf| stream.read(buf));
     assert_eq!(status_of(&second), 200, "offloaded batch in the middle");
     let batch_json = gf_json::parse(std::str::from_utf8(body_of(&second)).unwrap()).unwrap();
     let decoded = greenfpga::api::BatchEvalResponse::from_json(&batch_json).expect("decode batch");
     assert_eq!(decoded.comparisons, vec![direct_evaluation()]);
     let third = read_response_carry(&mut carry, |buf| stream.read(buf));
-    assert_eq!(third, golden, "pipelined response 3");
+    assert_eq!(masked(&third), masked(&golden), "pipelined response 3");
     assert!(carry.is_empty(), "exactly three responses");
+    // Pipelined requests on one connection still get distinct ids.
+    let ids = [
+        request_id_of(&first),
+        request_id_of(&second),
+        request_id_of(&third),
+    ];
+    assert_ne!(ids[0], ids[1]);
+    assert_ne!(ids[1], ids[2]);
+    assert_ne!(ids[0], ids[2]);
     handle.shutdown();
 }
 
@@ -226,7 +285,11 @@ fn expect_continue_interim_then_identical_response() {
     assert_eq!(interim, b"HTTP/1.1 100 Continue\r\n\r\n");
     stream.write_all(body.as_bytes()).unwrap();
     let raw = read_response(|buf| stream.read(buf));
-    assert_eq!(raw, golden, "100-continue flow changed the final bytes");
+    assert_eq!(
+        masked(&raw),
+        masked(&golden),
+        "100-continue flow changed the final bytes"
+    );
     handle.shutdown();
 }
 
@@ -284,13 +347,21 @@ fn portable_driver_serves_identical_bytes() {
     });
     // Clean, fragmented, and slow-reader paths all hit the same bytes on
     // the speculative-sweep driver.
-    assert_eq!(golden_response(&handle), golden, "clean round-trip");
+    assert_eq!(
+        masked(&golden_response(&handle)),
+        masked(&golden),
+        "clean round-trip"
+    );
     let mut stream = connect(&handle);
     for &byte in &evaluate_request_bytes(true) {
         stream.write_all(&[byte]).unwrap();
     }
     let raw = read_response(|buf| stream.read(&mut buf[..1]));
-    assert_eq!(raw, golden, "fragmented + slow reader on portable");
+    assert_eq!(
+        masked(&raw),
+        masked(&golden),
+        "fragmented + slow reader on portable"
+    );
     assert_matches_direct(&raw);
     handle.shutdown();
 }
