@@ -18,7 +18,10 @@
 //!   reused buffer versus collecting per-point `PlatformComparison`s, and
 //! * a streamed 1024×1024 (million-point) ratio grid —
 //!   `CompiledScenario::grid_stream` drained block by block, the tile
-//!   kernel end to end with only one row-block resident (`grid_1m_ns`).
+//!   kernel end to end with only one row-block resident (`grid_1m_ns`), and
+//! * a full-year time-series carbon replay — 8760 hourly intensity steps
+//!   over a cataloged fleet scenario (`replay_year_ns`), the serial loop
+//!   behind `POST /v1/replay`.
 //!
 //! Emits `BENCH_eval.json` (override the path with `GF_BENCH_OUT`) so CI
 //! can track the performance trajectory (`bench_gate` compares a fresh run
@@ -439,6 +442,33 @@ fn main() {
         (GRID_1M_SIDE * GRID_1M_SIDE) as f64 / grid_1m.median_ns * 1e3
     );
 
+    // --- Full-year carbon replay: 8760 hourly steps over a fleet. ---
+    let (_, fleet) = greenfpga::catalog_entry("crypto_fleet_1m_5y").expect("cataloged fleet");
+    let fleet_compiled = Estimator::new(fleet.scenario.params())
+        .compile(fleet.scenario.domain)
+        .expect("compile fleet scenario");
+    let duck = greenfpga::CarbonIntensitySeries::region("solar_duck").expect("region preset");
+    {
+        // Sanity: the year replays every sample onto finite totals before
+        // its speed means anything.
+        let outcome = duck
+            .replay(&fleet_compiled, fleet.point, true)
+            .expect("replay year");
+        assert_eq!(outcome.steps, greenfpga::HOURS_PER_YEAR as u64);
+        assert!(outcome.fpga_operational.as_kg().is_finite());
+        assert!(outcome.asic_operational.as_kg().is_finite());
+    }
+    let replay_year = bench_with("replay_year_8760", Duration::from_millis(120), 5, || {
+        duck.replay(&fleet_compiled, fleet.point, true)
+            .expect("replay year")
+    });
+    println!("{replay_year}");
+    println!(
+        "replayed {} hourly steps: {:.1} M steps/s",
+        greenfpga::HOURS_PER_YEAR,
+        greenfpga::HOURS_PER_YEAR as f64 / replay_year.median_ns * 1e3
+    );
+
     let json = metrics_json(&[
         ("grid_size", GRID_SIZE as f64),
         ("mc_samples", MC_SAMPLES as f64),
@@ -460,6 +490,7 @@ fn main() {
         ("evaluate_soa_ns", soa_kernel.median_ns),
         ("soa_speedup", soa_speedup),
         ("grid_1m_ns", grid_1m.median_ns),
+        ("replay_year_ns", replay_year.median_ns),
     ]);
     let out = std::env::var("GF_BENCH_OUT").unwrap_or_else(|_| "BENCH_eval.json".to_string());
     std::fs::write(&out, &json).expect("write bench json");

@@ -3,7 +3,11 @@
 //!
 //! Runs one load pass per client count (1, 4 and 8 keep-alive clients),
 //! each against a fresh in-process server on an ephemeral port, hammering
-//! `/v1/evaluate` and `/v1/batch` — then a **soak pass** that parks
+//! `/v1/evaluate` and `/v1/batch` plus a scenario-layer mix — named
+//! catalog scenarios over `/v1/scenario` (rotating through every
+//! cataloged id, so the run exercises the compiled-scenario cache the way
+//! real catalog traffic does) and full-year time-series replays over
+//! `/v1/replay` — then a **soak pass** that parks
 //! thousands of idle keep-alive connections on the event loop while active
 //! clients keep running traffic, and re-verifies every idle connection
 //! still answers afterwards.
@@ -33,6 +37,10 @@
 //!
 //! * `GF_SERVE_LOAD_REQUESTS` — `/v1/evaluate` requests per pass (default 50 000)
 //! * `GF_SERVE_LOAD_BATCHES` — `/v1/batch` requests per pass (default 500, 64 points each)
+//! * `GF_SERVE_LOAD_SCENARIOS` — `/v1/scenario` requests per pass
+//!   (default 2 000, rotating through the catalog)
+//! * `GF_SERVE_LOAD_REPLAYS` — `/v1/replay` requests per pass
+//!   (default 200, 8760 hourly steps each)
 //! * `GF_SERVE_SOAK_CONNECTIONS` — idle keep-alive connections in the soak
 //!   pass (default 4096; each costs two fds in-process)
 //! * `GF_SERVE_TRACE_REQUESTS` — trace-overhead request budget per
@@ -50,9 +58,11 @@ use gf_json::{FromJson, Value};
 use gf_server::{Server, ServerConfig};
 use greenfpga::api::{
     BatchEvalRequest, BatchEvalResponse, EvaluateRequest, EvaluateResponse, Query, QueryKind,
+    ReplayRequest, ReplayResponse, ScenarioRef, ScenarioRunRequest, ScenarioRunResponse, SeriesRef,
 };
 use greenfpga::{
-    Domain, Estimator, OperatingPoint, PlatformComparison, ResultBuffer, ScenarioSpec,
+    catalog, CarbonIntensitySeries, Domain, Estimator, OperatingPoint, PlatformComparison,
+    ResultBuffer, ScenarioSpec,
 };
 
 /// Distinct operating points the clients rotate through — enough variety
@@ -247,6 +257,8 @@ fn body_of(raw: &[u8]) -> &str {
 struct ClientOutcome {
     evaluate_latencies_ns: Vec<u64>,
     batch_latencies_ns: Vec<u64>,
+    scenario_latencies_ns: Vec<u64>,
+    replay_latencies_ns: Vec<u64>,
     errors: u64,
 }
 
@@ -255,17 +267,22 @@ fn run_client(
     workload: &Workload,
     evaluate_requests: usize,
     batch_requests: usize,
+    scenario_requests: usize,
+    replay_requests: usize,
     offset: usize,
 ) -> ClientOutcome {
     let mut outcome = ClientOutcome {
         evaluate_latencies_ns: Vec::with_capacity(evaluate_requests),
         batch_latencies_ns: Vec::with_capacity(batch_requests),
+        scenario_latencies_ns: Vec::with_capacity(scenario_requests),
+        replay_latencies_ns: Vec::with_capacity(replay_requests),
         errors: 0,
     };
     let mut client = match RawClient::connect(addr) {
         Ok(client) => client,
         Err(_) => {
-            outcome.errors += (evaluate_requests + batch_requests) as u64;
+            outcome.errors +=
+                (evaluate_requests + batch_requests + scenario_requests + replay_requests) as u64;
             return outcome;
         }
     };
@@ -309,6 +326,32 @@ fn run_client(
             outcome.errors += 1;
         }
     }
+    // Scenario phase: rotate through every cataloged id so the server's
+    // compiled-scenario cache sees the full catalog, not one hot entry.
+    for i in 0..scenario_requests {
+        let index = (offset + i) % workload.scenario_requests.len();
+        let start = Instant::now();
+        let ok = client.round_trip(
+            &workload.scenario_requests[index],
+            &workload.scenario_goldens[index],
+        );
+        outcome
+            .scenario_latencies_ns
+            .push(start.elapsed().as_nanos() as u64);
+        if !ok {
+            outcome.errors += 1;
+        }
+    }
+    for _ in 0..replay_requests {
+        let start = Instant::now();
+        let ok = client.round_trip(&workload.replay_request, &workload.replay_golden);
+        outcome
+            .replay_latencies_ns
+            .push(start.elapsed().as_nanos() as u64);
+        if !ok {
+            outcome.errors += 1;
+        }
+    }
     outcome
 }
 
@@ -327,6 +370,10 @@ struct Workload {
     evaluate_goldens: Vec<Vec<u8>>,
     batch_request: Vec<u8>,
     batch_golden: Vec<u8>,
+    scenario_requests: Vec<Vec<u8>>,
+    scenario_goldens: Vec<Vec<u8>>,
+    replay_request: Vec<u8>,
+    replay_golden: Vec<u8>,
 }
 
 /// Builds the workload: encodes every request, then captures each distinct
@@ -360,6 +407,39 @@ fn build_workload() -> Workload {
     .to_json_string()
     .expect("batch request serializes");
     let batch_request = encode_request(QueryKind::Batch.path(), &batch_body);
+    // The scenario mix: every cataloged id by reference (the body the CLI
+    // and every other catalog client sends), plus one full-year replay.
+    let scenario_requests: Vec<Vec<u8>> = catalog()
+        .iter()
+        .map(|entry| {
+            let body = Query::Scenario(ScenarioRunRequest {
+                scenario: ScenarioRef::Catalog {
+                    id: entry.id.to_string(),
+                    knobs: Vec::new(),
+                },
+                point: None,
+            })
+            .request_body()
+            .to_json_string()
+            .expect("scenario request serializes");
+            encode_request(QueryKind::Scenario.path(), &body)
+        })
+        .collect();
+    const REPLAY_ID: &str = "dnn_fleet_10k_3y";
+    const REPLAY_REGION: &str = "solar_duck";
+    let replay_body = Query::Replay(ReplayRequest {
+        scenario: ScenarioRef::Catalog {
+            id: REPLAY_ID.to_string(),
+            knobs: Vec::new(),
+        },
+        point: None,
+        series: SeriesRef::Region(REPLAY_REGION.to_string()),
+        interpolate: true,
+    })
+    .request_body()
+    .to_json_string()
+    .expect("replay request serializes");
+    let replay_request = encode_request(QueryKind::Replay.path(), &replay_body);
 
     let server = Server::bind(ServerConfig {
         addr: "127.0.0.1:0".to_string(),
@@ -405,6 +485,50 @@ fn build_workload() -> Workload {
         response.comparisons, expected,
         "served batch drifted from the SoA kernel"
     );
+
+    let scenario_goldens: Vec<Vec<u8>> = catalog()
+        .iter()
+        .zip(&scenario_requests)
+        .map(|(entry, request)| {
+            stream.write_all(request).expect("send scenario capture");
+            let raw = read_framed(&mut stream).expect("capture scenario response");
+            let value = gf_json::parse(body_of(&raw)).expect("scenario response is JSON");
+            let response = ScenarioRunResponse::from_json(&value).expect("decode scenario");
+            let expected = Estimator::new(entry.scenario.params())
+                .compile(entry.scenario.domain)
+                .expect("compile cataloged scenario")
+                .evaluate(entry.point)
+                .expect("golden scenario");
+            assert_eq!(
+                response.comparison, expected,
+                "served scenario '{}' drifted from the direct engine call",
+                entry.id
+            );
+            raw
+        })
+        .collect();
+
+    stream
+        .write_all(&replay_request)
+        .expect("send replay capture");
+    let replay_golden = read_framed(&mut stream).expect("capture replay response");
+    let value = gf_json::parse(body_of(&replay_golden)).expect("replay response is JSON");
+    let response = ReplayResponse::from_json(&value).expect("decode replay");
+    let (_, fleet) = greenfpga::catalog_entry(REPLAY_ID).expect("cataloged fleet");
+    let expected = CarbonIntensitySeries::region(REPLAY_REGION)
+        .expect("region preset")
+        .replay(
+            &Estimator::new(fleet.scenario.params())
+                .compile(fleet.scenario.domain)
+                .expect("compile fleet scenario"),
+            fleet.point,
+            true,
+        )
+        .expect("golden replay");
+    assert_eq!(
+        response.replay, expected,
+        "served replay drifted from the direct series replay"
+    );
     handle.shutdown();
 
     Workload {
@@ -412,6 +536,10 @@ fn build_workload() -> Workload {
         evaluate_goldens,
         batch_request,
         batch_golden,
+        scenario_requests,
+        scenario_goldens,
+        replay_request,
+        replay_golden,
     }
 }
 
@@ -425,6 +553,10 @@ struct PassResult {
     eval_p99: f64,
     batch_p50: f64,
     batch_p99: f64,
+    scenario_p50: f64,
+    scenario_p99: f64,
+    replay_p50: f64,
+    replay_p99: f64,
 }
 
 /// Runs one load pass: a fresh server sized to `clients`, every client on
@@ -434,6 +566,8 @@ fn run_pass(
     clients: usize,
     evaluate_total: usize,
     batch_total: usize,
+    scenario_total: usize,
+    replay_total: usize,
 ) -> PassResult {
     let server = Server::bind(ServerConfig {
         addr: "127.0.0.1:0".to_string(),
@@ -444,7 +578,7 @@ fn run_pass(
     let addr = server.local_addr();
     let handle = server.spawn();
     println!(
-        "serve_load: {evaluate_total} evaluate + {batch_total} batch requests over {clients} client(s) -> http://{addr}"
+        "serve_load: {evaluate_total} evaluate + {batch_total} batch + {scenario_total} scenario + {replay_total} replay requests over {clients} client(s) -> http://{addr}"
     );
 
     let started = Instant::now();
@@ -455,12 +589,17 @@ fn run_pass(
                 let evaluate_share =
                     evaluate_total / clients + usize::from(c < evaluate_total % clients);
                 let batch_share = batch_total / clients + usize::from(c < batch_total % clients);
+                let scenario_share =
+                    scenario_total / clients + usize::from(c < scenario_total % clients);
+                let replay_share = replay_total / clients + usize::from(c < replay_total % clients);
                 scope.spawn(move || {
                     run_client(
                         addr,
                         workload,
                         evaluate_share,
                         batch_share,
+                        scenario_share,
+                        replay_share,
                         c * 7, // decorrelate the rotation between clients
                     )
                 })
@@ -482,12 +621,22 @@ fn run_pass(
         .iter()
         .flat_map(|o| o.batch_latencies_ns.iter().copied())
         .collect();
+    let mut scenario_latencies: Vec<u64> = outcomes
+        .iter()
+        .flat_map(|o| o.scenario_latencies_ns.iter().copied())
+        .collect();
+    let mut replay_latencies: Vec<u64> = outcomes
+        .iter()
+        .flat_map(|o| o.replay_latencies_ns.iter().copied())
+        .collect();
     evaluate_latencies.sort_unstable();
     batch_latencies.sort_unstable();
+    scenario_latencies.sort_unstable();
+    replay_latencies.sort_unstable();
     let errors: u64 = outcomes.iter().map(|o| o.errors).sum();
     // Every requested round-trip is issued (pipelined or probed), so the
     // pass total is exact even though only probes carry latency samples.
-    let requests = evaluate_total + batch_total;
+    let requests = evaluate_total + batch_total + scenario_total + replay_total;
     let rps = requests as f64 / wall.as_secs_f64();
 
     let result = PassResult {
@@ -499,6 +648,10 @@ fn run_pass(
         eval_p99: percentile_us(&evaluate_latencies, 0.99),
         batch_p50: percentile_us(&batch_latencies, 0.50),
         batch_p99: percentile_us(&batch_latencies, 0.99),
+        scenario_p50: percentile_us(&scenario_latencies, 0.50),
+        scenario_p99: percentile_us(&scenario_latencies, 0.99),
+        replay_p50: percentile_us(&replay_latencies, 0.50),
+        replay_p99: percentile_us(&replay_latencies, 0.99),
     };
     println!(
         "serve_load: {requests} requests in {:.2}s -> {rps:.0} req/s, {errors} errors ({clients} client(s))",
@@ -511,6 +664,14 @@ fn run_pass(
     println!(
         "  batch(64) latency p50 {:.1} us, p99 {:.1} us",
         result.batch_p50, result.batch_p99
+    );
+    println!(
+        "  scenario latency p50 {:.1} us, p99 {:.1} us",
+        result.scenario_p50, result.scenario_p99
+    );
+    println!(
+        "  replay(8760) latency p50 {:.1} us, p99 {:.1} us",
+        result.replay_p50, result.replay_p99
     );
     result
 }
@@ -574,7 +735,8 @@ fn run_soak(workload: &Workload, idle_target: usize) -> SoakResult {
     let active_outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..ACTIVE_CLIENTS)
             .map(|c| {
-                scope.spawn(move || run_client(addr, workload, ACTIVE_REQUESTS_EACH, 0, c * 7))
+                scope
+                    .spawn(move || run_client(addr, workload, ACTIVE_REQUESTS_EACH, 0, 0, 0, c * 7))
             })
             .collect();
         handles
@@ -691,6 +853,8 @@ const CLIENT_COUNTS: [usize; 3] = [1, 4, 8];
 fn main() {
     let evaluate_total = env_usize("GF_SERVE_LOAD_REQUESTS", 50_000);
     let batch_total = env_usize("GF_SERVE_LOAD_BATCHES", 500);
+    let scenario_total = env_usize("GF_SERVE_LOAD_SCENARIOS", 2_000);
+    let replay_total = env_usize("GF_SERVE_LOAD_REPLAYS", 200);
     let soak_connections = env_usize("GF_SERVE_SOAK_CONNECTIONS", 4_096);
 
     let trace_requests = env_usize("GF_SERVE_TRACE_REQUESTS", 20_000);
@@ -698,7 +862,16 @@ fn main() {
     let workload = build_workload();
     let passes: Vec<PassResult> = CLIENT_COUNTS
         .iter()
-        .map(|&clients| run_pass(&workload, clients, evaluate_total, batch_total))
+        .map(|&clients| {
+            run_pass(
+                &workload,
+                clients,
+                evaluate_total,
+                batch_total,
+                scenario_total,
+                replay_total,
+            )
+        })
         .collect();
     // Overhead before the soak: thousands of just-closed sockets leave
     // the kernel with cleanup work that would bleed into the paired
@@ -726,6 +899,10 @@ fn main() {
         ("serve_evaluate_p99_us".to_string(), single.eval_p99),
         ("serve_batch64_p50_us".to_string(), single.batch_p50),
         ("serve_batch64_p99_us".to_string(), single.batch_p99),
+        ("serve_scenario_p50_us".to_string(), single.scenario_p50),
+        ("serve_scenario_p99_us".to_string(), single.scenario_p99),
+        ("serve_replay_p50_us".to_string(), single.replay_p50),
+        ("serve_replay_p99_us".to_string(), single.replay_p99),
         ("serve_connections".to_string(), soak.connections as f64),
         ("trace_overhead".to_string(), trace_overhead),
     ];

@@ -82,6 +82,26 @@ pub enum Command {
         /// Lattice geometry: axes, ranges and resolution.
         shape: GridShape,
     },
+    /// List the named scenario catalog, or run one cataloged scenario by
+    /// id with a scored verdict (the `catalog` / `scenario` queries).
+    Scenarios {
+        /// Catalog id to run; `None` lists the catalog.
+        id: Option<String>,
+        /// Operating-point overrides on the cataloged default.
+        point: PointOverrides,
+    },
+    /// Replay a cataloged scenario against a year of time-varying grid
+    /// carbon intensity (the `replay` query).
+    Replay {
+        /// Catalog id of the scenario to replay.
+        id: String,
+        /// Carbon-intensity region preset (`None` = the wire default).
+        region: Option<String>,
+        /// Interpolate linearly between hourly samples.
+        interpolate: bool,
+        /// Operating-point overrides on the cataloged default.
+        point: PointOverrides,
+    },
     /// Print usage information.
     Help,
 }
@@ -157,6 +177,27 @@ pub struct ParsedCommand {
     pub verbosity: u8,
 }
 
+/// Partial operating-point overrides for the catalog-backed subcommands:
+/// each field only replaces the cataloged default when the flag was
+/// actually given, so `greenfpga scenarios <id>` with no flags runs the
+/// exact request `POST /v1/scenario {"scenario":{"id":...}}` sends.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PointOverrides {
+    /// `--apps`, when given.
+    pub apps: Option<u64>,
+    /// `--lifetime`, when given.
+    pub lifetime_years: Option<f64>,
+    /// `--volume`, when given.
+    pub volume: Option<u64>,
+}
+
+impl PointOverrides {
+    /// Whether any override flag was given.
+    pub fn is_empty(&self) -> bool {
+        *self == PointOverrides::default()
+    }
+}
+
 /// Workload arguments shared by most subcommands.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkloadArgs {
@@ -208,6 +249,8 @@ COMMANDS:
   grid         2-D ratio heatmap over two axes (parallel batch engine)
   frontier     Adaptive crossover-frontier winner map over two axes
   industry     Evaluate the Table 3 industry testcases
+  scenarios    List the named scenario catalog, or run one by id
+  replay       Replay a cataloged scenario over a year of grid carbon data
   tornado      One-at-a-time sensitivity analysis over the Table 1 knobs
   montecarlo   Monte-Carlo uncertainty analysis over the Table 1 ranges
   query        Run a raw Query JSON envelope from --file or stdin
@@ -254,6 +297,18 @@ MONTECARLO OPTIONS:
 
 QUERY OPTIONS:
   --file <PATH>                   envelope path            (default: stdin)
+
+SCENARIOS / REPLAY OPTIONS:
+  <ID>                            catalog scenario id — optional for
+                                  scenarios (omitted lists the catalog),
+                                  required for replay
+  --apps/--lifetime/--volume      override the cataloged operating point
+                                  (unset flags keep the cataloged default)
+  --region <NAME>                 replay: carbon-intensity preset, one of
+                                  global_flat|clean_hydro|dirty_coal|solar_duck
+                                  (default: global_flat)
+  --interpolate                   replay: interpolate linearly between the
+                                  hourly samples instead of stepwise
 
 GRID / FRONTIER OPTIONS:
   --x-axis <apps|lifetime|volume> column axis              (default: apps)
@@ -309,7 +364,7 @@ impl Options {
                 flags.push(arg.trim_start_matches('-').to_string());
                 i += 1;
             } else if let Some(key) = arg.strip_prefix("--") {
-                if key == "csv" || key == "adaptive" || key == "json" || key == "stream" {
+                if matches!(key, "csv" | "adaptive" | "json" | "stream" | "interpolate") {
                     flags.push(key.to_string());
                     i += 1;
                 } else if i + 1 < args.len() {
@@ -397,6 +452,35 @@ impl Options {
 
     fn workload(&self) -> Result<WorkloadArgs, ParseError> {
         self.workload_with(None)
+    }
+
+    /// The partial operating-point overrides of the catalog-backed
+    /// subcommands: validated like [`Options::workload_with`], but a flag
+    /// that was not given stays `None` so the cataloged default survives.
+    fn point_overrides(&self) -> Result<PointOverrides, ParseError> {
+        let mut point = PointOverrides::default();
+        if let Some(v) = self.get("apps") {
+            let apps: u64 = parse_number("--apps", v)?;
+            if apps == 0 {
+                return Err(ParseError("--apps must be at least 1".to_string()));
+            }
+            point.apps = Some(apps);
+        }
+        if let Some(v) = self.get("lifetime") {
+            let lifetime: f64 = parse_number("--lifetime", v)?;
+            if lifetime <= 0.0 || lifetime.is_nan() {
+                return Err(ParseError("--lifetime must be positive".to_string()));
+            }
+            point.lifetime_years = Some(lifetime);
+        }
+        if let Some(v) = self.get("volume") {
+            let volume: u64 = parse_number("--volume", v)?;
+            if volume == 0 {
+                return Err(ParseError("--volume must be at least 1".to_string()));
+            }
+            point.volume = Some(volume);
+        }
+        Ok(point)
     }
 }
 
@@ -519,6 +603,17 @@ pub fn parse(args: &[String]) -> Result<ParsedCommand, ParseError> {
             verbosity: 0,
         });
     };
+    // Peel the leading positional tokens (the catalog id of `scenarios`
+    // and `replay`) before option parsing, which rejects bare tokens.
+    let mut rest = rest;
+    let mut positionals = Vec::new();
+    while let Some((first, more)) = rest.split_first() {
+        if first.starts_with('-') {
+            break;
+        }
+        positionals.push(first.clone());
+        rest = more;
+    }
     let options = Options::parse(rest)?;
     let json = options.has_flag("json");
     let verbosity = if options.has_flag("vv") {
@@ -528,7 +623,7 @@ pub fn parse(args: &[String]) -> Result<ParsedCommand, ParseError> {
     } else {
         0
     };
-    let command = parse_command(command, &options)?;
+    let command = parse_command(command, &positionals, &options)?;
     Ok(ParsedCommand {
         command,
         json,
@@ -536,7 +631,25 @@ pub fn parse(args: &[String]) -> Result<ParsedCommand, ParseError> {
     })
 }
 
-fn parse_command(command: &str, options: &Options) -> Result<Command, ParseError> {
+fn parse_command(
+    command: &str,
+    positionals: &[String],
+    options: &Options,
+) -> Result<Command, ParseError> {
+    // Only the catalog-backed subcommands take a positional (the id);
+    // everywhere else a bare token is a mistake, as it always was.
+    if !positionals.is_empty() && !matches!(command, "scenarios" | "replay") {
+        return Err(ParseError(format!(
+            "unexpected argument '{}'",
+            positionals[0]
+        )));
+    }
+    if positionals.len() > 1 {
+        return Err(ParseError(format!(
+            "unexpected argument '{}'",
+            positionals[1]
+        )));
+    }
     match command {
         "compare" => {
             let domains = options.domains()?;
@@ -627,6 +740,27 @@ fn parse_command(command: &str, options: &Options) -> Result<Command, ParseError
             shape: parse_grid_shape(options)?,
         }),
         "serve" => Ok(Command::Serve(parse_serve(options)?)),
+        "scenarios" => Ok(Command::Scenarios {
+            id: positionals
+                .first()
+                .cloned()
+                .or_else(|| options.get("id").map(str::to_string)),
+            point: options.point_overrides()?,
+        }),
+        "replay" => Ok(Command::Replay {
+            id: positionals
+                .first()
+                .cloned()
+                .or_else(|| options.get("id").map(str::to_string))
+                .ok_or_else(|| {
+                    ParseError(
+                        "replay needs a catalog scenario id (see `greenfpga scenarios`)".into(),
+                    )
+                })?,
+            region: options.get("region").map(str::to_string),
+            interpolate: options.has_flag("interpolate"),
+            point: options.point_overrides()?,
+        }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(ParseError(format!("unknown command '{other}'"))),
     }
@@ -971,8 +1105,78 @@ mod tests {
             "montecarlo",
             "query",
             "serve",
+            "scenarios",
+            "replay",
         ] {
             assert!(USAGE.contains(command), "usage is missing {command}");
         }
+    }
+
+    #[test]
+    fn scenarios_lists_or_runs_by_id() {
+        assert_eq!(
+            parse_cmd("scenarios").unwrap(),
+            Command::Scenarios {
+                id: None,
+                point: PointOverrides::default(),
+            }
+        );
+        let cmd = parse_cmd("scenarios dnn_baseline --json").unwrap();
+        assert_eq!(
+            cmd,
+            Command::Scenarios {
+                id: Some("dnn_baseline".to_string()),
+                point: PointOverrides::default(),
+            }
+        );
+        // `--id` spells the same thing without a positional.
+        assert_eq!(parse_cmd("scenarios --id dnn_baseline").unwrap(), cmd);
+        // Point overrides stay partial: unset flags keep the cataloged value.
+        let cmd = parse_cmd("scenarios dnn_baseline --apps 9").unwrap();
+        match cmd {
+            Command::Scenarios { point, .. } => {
+                assert_eq!(point.apps, Some(9));
+                assert_eq!(point.lifetime_years, None);
+                assert_eq!(point.volume, None);
+                assert!(!point.is_empty());
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+        assert!(parse_cmd("scenarios dnn_baseline extra").is_err());
+        assert!(parse_cmd("scenarios dnn_baseline --apps 0").is_err());
+        assert!(parse_cmd("scenarios dnn_baseline --lifetime -2").is_err());
+    }
+
+    #[test]
+    fn replay_requires_an_id_and_parses_its_options() {
+        assert!(parse_cmd("replay").is_err());
+        let cmd = parse_cmd("replay crypto_fleet_1m_5y").unwrap();
+        assert_eq!(
+            cmd,
+            Command::Replay {
+                id: "crypto_fleet_1m_5y".to_string(),
+                region: None,
+                interpolate: false,
+                point: PointOverrides::default(),
+            }
+        );
+        let cmd = parse_cmd("replay dnn_baseline --region solar_duck --interpolate --volume 5000")
+            .unwrap();
+        match cmd {
+            Command::Replay {
+                id,
+                region,
+                interpolate,
+                point,
+            } => {
+                assert_eq!(id, "dnn_baseline");
+                assert_eq!(region.as_deref(), Some("solar_duck"));
+                assert!(interpolate);
+                assert_eq!(point.volume, Some(5000));
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+        // Positionals stay rejected everywhere else.
+        assert!(parse_cmd("evaluate dnn_baseline").is_err());
     }
 }

@@ -10,6 +10,9 @@
 //! greenfpga industry
 //! greenfpga tornado --domain dnn
 //! greenfpga montecarlo --domain crypto --samples 1024
+//! greenfpga scenarios
+//! greenfpga scenarios dnn_fleet_10k_3y --json
+//! greenfpga replay crypto_fleet_1m_5y --region solar_duck --interpolate
 //! echo '{"kind":"sweep","domain":"dnn","axis":"apps","from":1,"to":12}' | greenfpga query
 //! ```
 //!
@@ -27,16 +30,17 @@ use std::process::ExitCode;
 
 use gf_json::{object, FromJson, ToJson, Value};
 use greenfpga::api::{
-    CompareRequest, EvaluateRequest, FrontierResponse, GridRequest, IndustryRequest,
-    MonteCarloRequest, MonteCarloResponse, Outcome, Query, SweepRequest, TornadoRequest,
+    CatalogRequest, CompareRequest, EvaluateRequest, FrontierResponse, GridRequest,
+    IndustryRequest, MonteCarloRequest, MonteCarloResponse, Outcome, Query, ReplayRequest,
+    ScenarioRef, ScenarioRunRequest, SweepRequest, TornadoRequest,
 };
 use greenfpga::{
-    csv_from_rows, render_table, ApiError, CfpBreakdown, CrossoverRequest, Domain, Engine,
-    FrontierRequest, HeatmapRenderer, OperatingPoint, PlatformComparison, ScenarioSpec, SweepAxis,
-    SweepSeries, TornadoAnalysis,
+    catalog_entry, csv_from_rows, render_table, ApiError, CfpBreakdown, CrossoverRequest, Domain,
+    Engine, FrontierRequest, HeatmapRenderer, OperatingPoint, PlatformComparison, ReplayOutcome,
+    ScenarioSpec, SeriesRef, SweepAxis, SweepSeries, TornadoAnalysis, Verdict,
 };
 
-use args::{Command, GridShape, ServeArgs, WorkloadArgs, USAGE};
+use args::{Command, GridShape, PointOverrides, ServeArgs, WorkloadArgs, USAGE};
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -253,9 +257,58 @@ fn build_query(command: &Command) -> Result<Query, ApiError> {
         Command::Frontier { workload, shape } => {
             Query::Frontier(frontier_request(*workload, *shape))
         }
+        Command::Scenarios { id: None, .. } => Query::Catalog(CatalogRequest),
+        Command::Scenarios {
+            id: Some(id),
+            point,
+        } => Query::Scenario(ScenarioRunRequest {
+            scenario: catalog_ref(id),
+            point: resolved_override(id, *point),
+        }),
+        Command::Replay {
+            id,
+            region,
+            interpolate,
+            point,
+        } => Query::Replay(ReplayRequest {
+            scenario: catalog_ref(id),
+            point: resolved_override(id, *point),
+            series: SeriesRef::Region(
+                region
+                    .clone()
+                    .unwrap_or_else(|| ReplayRequest::DEFAULT_REGION.to_string()),
+            ),
+            interpolate: *interpolate,
+        }),
         Command::Help | Command::Serve(_) | Command::Query { .. } => {
             unreachable!("handled before query dispatch")
         }
+    })
+}
+
+/// A catalog reference with no knob overrides — exactly the request
+/// `{"scenario": {"id": ...}}` decodes to on the wire.
+fn catalog_ref(id: &str) -> ScenarioRef {
+    ScenarioRef::Catalog {
+        id: id.to_string(),
+        knobs: Vec::new(),
+    }
+}
+
+/// Turns partial `--apps`/`--lifetime`/`--volume` overrides into the full
+/// request point, filling unset fields from the cataloged default so the
+/// built query is byte-identical to the equivalent HTTP request. No flags
+/// → `None`, and the engine applies the cataloged point itself; unknown
+/// ids also return `None` and let the engine report `not_found`.
+fn resolved_override(id: &str, point: PointOverrides) -> Option<OperatingPoint> {
+    if point.is_empty() {
+        return None;
+    }
+    let base = catalog_entry(id).map(|(_, entry)| entry.point)?;
+    Some(OperatingPoint {
+        applications: point.apps.unwrap_or(base.applications),
+        lifetime_years: point.lifetime_years.unwrap_or(base.lifetime_years),
+        volume: point.volume.unwrap_or(base.volume),
     })
 }
 
@@ -468,6 +521,49 @@ fn render_outcome(command: &Command, outcome: &Outcome) -> Result<(), ApiError> 
             print_frontier(*workload, *shape, frontier);
             Ok(())
         }
+        (Command::Scenarios { id: None, .. }, Outcome::Catalog(response)) => {
+            let rows: Vec<Vec<String>> = response
+                .entries
+                .iter()
+                .map(|entry| {
+                    vec![
+                        entry.id.clone(),
+                        entry.scenario.domain.to_string(),
+                        entry.point.applications.to_string(),
+                        format!("{:.1}", entry.point.lifetime_years),
+                        entry.point.volume.to_string(),
+                        entry.title.clone(),
+                    ]
+                })
+                .collect();
+            println!("Scenario catalog ({} entries):", response.entries.len());
+            println!(
+                "{}",
+                render_table(
+                    &["Id", "Domain", "Apps", "Lifetime", "Volume", "Title"],
+                    &rows
+                )
+            );
+            Ok(())
+        }
+        (Command::Scenarios { .. }, Outcome::Scenario(response)) => {
+            let workload = WorkloadArgs {
+                domain: response.comparison.domain,
+                apps: response.point.applications,
+                lifetime_years: response.point.lifetime_years,
+                volume: response.point.volume,
+            };
+            if let Some(id) = &response.id {
+                println!("Scenario '{id}':");
+            }
+            print_comparison_table(workload, &response.comparison);
+            print_verdict(&response.verdict);
+            Ok(())
+        }
+        (Command::Replay { .. }, Outcome::Replay(response)) => {
+            print_replay(response.id.as_deref(), response.domain, &response.replay);
+            Ok(())
+        }
         _ => Err(ApiError::internal(
             "outcome kind does not match the subcommand",
         )),
@@ -605,6 +701,43 @@ fn print_monte_carlo(args: WorkloadArgs, samples: usize, response: &MonteCarloRe
         response.fpga_win_probability * 100.0
     );
     println!("  majority winner: {}", response.majority_winner);
+}
+
+fn print_verdict(verdict: &Verdict) {
+    println!(
+        "Verdict: score {:.4} (mean excess {:.3}, worst excess {:.3}, loss fraction {:.3}, embodied share {:.3})",
+        verdict.score,
+        verdict.mean_excess,
+        verdict.worst_excess,
+        verdict.loss_fraction,
+        verdict.embodied_share
+    );
+}
+
+fn print_replay(id: Option<&str>, domain: Domain, replay: &ReplayOutcome) {
+    match id {
+        Some(id) => println!("Replay of '{id}' ({domain}, {} steps):", replay.steps),
+        None => println!("Replay ({domain}, {} steps):", replay.steps),
+    }
+    println!(
+        "  FPGA total  {:.1} t (operation {:.1} t)",
+        replay.fpga_total.as_tons(),
+        replay.fpga_operational.as_tons()
+    );
+    println!(
+        "  ASIC total  {:.1} t (operation {:.1} t)",
+        replay.asic_total.as_tons(),
+        replay.asic_operational.as_tons()
+    );
+    println!(
+        "  FPGA:ASIC ratio mean {:.3}, worst {:.3}, final {:.3}",
+        replay.mean_ratio, replay.worst_ratio, replay.final_ratio
+    );
+    println!(
+        "  FPGA greener in {:.1}% of steps",
+        replay.fpga_win_fraction * 100.0
+    );
+    print_verdict(&replay.verdict);
 }
 
 fn print_frontier(args: WorkloadArgs, shape: GridShape, frontier: &FrontierResponse) {

@@ -29,6 +29,7 @@
 
 use gf_json::{object, FromJson, JsonError, ToJson, Value};
 
+use crate::scenario::{CarbonIntensitySeries, CatalogEntry, ReplayOutcome, Verdict};
 use crate::{
     ApiError, ApiErrorCode, CfpBreakdown, Crossover, CrossoverDirection, Domain, EstimatorParams,
     FrontierResult, GridSweep, Knob, OperatingPoint, PlatformComparison, PlatformKind,
@@ -402,6 +403,483 @@ impl FromJson for ScenarioSpec {
         Ok(ScenarioSpec {
             domain: decode(value, "domain")?,
             knobs: decode_knob_overrides(value)?,
+        })
+    }
+}
+
+/// A scenario reference: either an inline [`ScenarioSpec`] (exactly what
+/// every pre-catalog request carries) or a named catalog entry with
+/// optional knob overrides applied on top of the cataloged overrides.
+///
+/// On the wire the two forms share one flat object: a string `"id"`
+/// member selects the catalog form, otherwise the object is decoded as
+/// an inline spec (`"domain"` + `"knobs"`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioRef {
+    /// An inline spec.
+    Inline(ScenarioSpec),
+    /// A named entry of [`crate::scenario::catalog`], plus overrides
+    /// appended after the cataloged knob list.
+    Catalog {
+        /// The catalog id.
+        id: String,
+        /// Knob overrides appended after the cataloged overrides.
+        knobs: Vec<(Knob, f64)>,
+    },
+}
+
+impl ScenarioRef {
+    /// The catalog id this reference names, if any.
+    pub fn catalog_id(&self) -> Option<&str> {
+        match self {
+            ScenarioRef::Inline(_) => None,
+            ScenarioRef::Catalog { id, .. } => Some(id),
+        }
+    }
+}
+
+impl From<ScenarioSpec> for ScenarioRef {
+    fn from(spec: ScenarioSpec) -> ScenarioRef {
+        ScenarioRef::Inline(spec)
+    }
+}
+
+impl ToJson for ScenarioRef {
+    fn to_json(&self) -> Value {
+        match self {
+            ScenarioRef::Inline(spec) => spec.to_json(),
+            ScenarioRef::Catalog { id, knobs } => object([
+                ("id", Value::String(id.clone())),
+                ("knobs", encode_knob_overrides(knobs)),
+            ]),
+        }
+    }
+}
+
+impl FromJson for ScenarioRef {
+    fn from_json(value: &Value) -> Result<ScenarioRef, JsonError> {
+        match value.get("id") {
+            None | Some(Value::Null) => Ok(ScenarioRef::Inline(ScenarioSpec::from_json(value)?)),
+            Some(member) => {
+                let id = member
+                    .as_str()
+                    .ok_or_else(|| JsonError::schema("id", "expected a catalog id string"))?;
+                Ok(ScenarioRef::Catalog {
+                    id: id.to_string(),
+                    knobs: decode_knob_overrides(value)?,
+                })
+            }
+        }
+    }
+}
+
+/// Decodes an optional `"point"` member (`None` when absent or null, so
+/// catalog entries can supply their own default point).
+fn decode_point_opt(value: &Value) -> Result<Option<OperatingPoint>, JsonError> {
+    match value.get("point") {
+        None | Some(Value::Null) => Ok(None),
+        Some(member) => Ok(Some(
+            OperatingPoint::from_json(member).map_err(|e| prefix_schema("point", e))?,
+        )),
+    }
+}
+
+/// Splices request-specific members after a scenario reference's members,
+/// mirroring [`merge_scenario`] for [`ScenarioRef`].
+fn merge_scenario_ref(scenario: &ScenarioRef, members: Vec<(&'static str, Value)>) -> Value {
+    let mut all = match scenario.to_json() {
+        Value::Object(members) => members,
+        _ => unreachable!("scenario references serialize to objects"),
+    };
+    for (key, value) in members {
+        all.push((key.to_string(), value));
+    }
+    Value::Object(all)
+}
+
+/// `POST /v1/scenario`: one catalog or inline scenario, evaluated and
+/// scored.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRunRequest {
+    /// The scenario to run.
+    pub scenario: ScenarioRef,
+    /// Optional operating-point override; absent means the catalog
+    /// entry's point (or [`OperatingPoint::paper_default`] for inline
+    /// specs).
+    pub point: Option<OperatingPoint>,
+}
+
+impl ToJson for ScenarioRunRequest {
+    fn to_json(&self) -> Value {
+        let mut members = Vec::new();
+        if let Some(point) = self.point {
+            members.push(("point", point.to_json()));
+        }
+        merge_scenario_ref(&self.scenario, members)
+    }
+}
+
+impl FromJson for ScenarioRunRequest {
+    fn from_json(value: &Value) -> Result<ScenarioRunRequest, JsonError> {
+        Ok(ScenarioRunRequest {
+            scenario: ScenarioRef::from_json(value)?,
+            point: decode_point_opt(value)?,
+        })
+    }
+}
+
+/// `POST /v1/scenario` response: the comparison plus its scored verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRunResponse {
+    /// The resolved catalog id (`None` for inline specs).
+    pub id: Option<String>,
+    /// The point the scenario was evaluated at.
+    pub point: OperatingPoint,
+    /// The comparison the engine produced.
+    pub comparison: PlatformComparison,
+    /// The scored verdict over the outcome.
+    pub verdict: Verdict,
+}
+
+impl ToJson for ScenarioRunResponse {
+    fn to_json(&self) -> Value {
+        object([
+            (
+                "id",
+                match &self.id {
+                    Some(id) => Value::String(id.clone()),
+                    None => Value::Null,
+                },
+            ),
+            ("point", self.point.to_json()),
+            ("comparison", self.comparison.to_json()),
+            ("verdict", self.verdict.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ScenarioRunResponse {
+    fn from_json(value: &Value) -> Result<ScenarioRunResponse, JsonError> {
+        let id = match value.get("id") {
+            None | Some(Value::Null) => None,
+            Some(member) => Some(
+                member
+                    .as_str()
+                    .ok_or_else(|| JsonError::schema("id", "expected a catalog id string"))?
+                    .to_string(),
+            ),
+        };
+        Ok(ScenarioRunResponse {
+            id,
+            point: decode(value, "point")?,
+            comparison: decode(value, "comparison")?,
+            verdict: decode(value, "verdict")?,
+        })
+    }
+}
+
+impl ToJson for Verdict {
+    fn to_json(&self) -> Value {
+        object([
+            ("mean_excess", Value::Number(self.mean_excess)),
+            ("worst_excess", Value::Number(self.worst_excess)),
+            ("loss_fraction", Value::Number(self.loss_fraction)),
+            ("embodied_share", Value::Number(self.embodied_share)),
+            ("score", Value::Number(self.score)),
+        ])
+    }
+}
+
+impl FromJson for Verdict {
+    fn from_json(value: &Value) -> Result<Verdict, JsonError> {
+        Ok(Verdict {
+            mean_excess: decode(value, "mean_excess")?,
+            worst_excess: decode(value, "worst_excess")?,
+            loss_fraction: decode(value, "loss_fraction")?,
+            embodied_share: decode(value, "embodied_share")?,
+            score: decode(value, "score")?,
+        })
+    }
+}
+
+/// A carbon-intensity series reference: a named region preset or inline
+/// samples.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SeriesRef {
+    /// One of [`CarbonIntensitySeries::REGIONS`].
+    Region(String),
+    /// User-supplied samples (validated at decode time).
+    Inline(CarbonIntensitySeries),
+}
+
+impl ToJson for SeriesRef {
+    fn to_json(&self) -> Value {
+        match self {
+            SeriesRef::Region(name) => Value::String(name.clone()),
+            SeriesRef::Inline(series) => object([
+                (
+                    "points",
+                    Value::Array(series.points().iter().map(|&v| Value::Number(v)).collect()),
+                ),
+                ("step_hours", Value::Number(series.step_hours())),
+            ]),
+        }
+    }
+}
+
+impl FromJson for SeriesRef {
+    fn from_json(value: &Value) -> Result<SeriesRef, JsonError> {
+        match value {
+            Value::String(name) => Ok(SeriesRef::Region(name.clone())),
+            Value::Object(_) => {
+                let points: Vec<f64> = decode(value, "points")?;
+                let step_hours = decode_or(value, "step_hours", 1.0)?;
+                let series = CarbonIntensitySeries::new(points, step_hours)
+                    .map_err(|e| JsonError::schema("series", e.to_string()))?;
+                Ok(SeriesRef::Inline(series))
+            }
+            _ => Err(JsonError::schema(
+                "series",
+                "expected a region name or a {points, step_hours} object",
+            )),
+        }
+    }
+}
+
+/// `POST /v1/replay`: a scenario replayed step by step against a
+/// time-varying grid carbon intensity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayRequest {
+    /// The scenario to replay.
+    pub scenario: ScenarioRef,
+    /// Optional operating-point override (same defaulting as
+    /// [`ScenarioRunRequest::point`]).
+    pub point: Option<OperatingPoint>,
+    /// The intensity series to replay against (defaults to the
+    /// `global_flat` region preset).
+    pub series: SeriesRef,
+    /// Whether step lookup interpolates between bounding samples.
+    pub interpolate: bool,
+}
+
+impl ReplayRequest {
+    /// The region preset used when a request names no series.
+    pub const DEFAULT_REGION: &'static str = "global_flat";
+}
+
+impl ToJson for ReplayRequest {
+    fn to_json(&self) -> Value {
+        let mut members = Vec::new();
+        if let Some(point) = self.point {
+            members.push(("point", point.to_json()));
+        }
+        members.push(("series", self.series.to_json()));
+        members.push(("interpolate", Value::Bool(self.interpolate)));
+        merge_scenario_ref(&self.scenario, members)
+    }
+}
+
+impl FromJson for ReplayRequest {
+    fn from_json(value: &Value) -> Result<ReplayRequest, JsonError> {
+        let series = match value.get("series") {
+            None | Some(Value::Null) => {
+                SeriesRef::Region(ReplayRequest::DEFAULT_REGION.to_string())
+            }
+            Some(member) => SeriesRef::from_json(member).map_err(|e| prefix_schema("series", e))?,
+        };
+        Ok(ReplayRequest {
+            scenario: ScenarioRef::from_json(value)?,
+            point: decode_point_opt(value)?,
+            series,
+            interpolate: decode_or(value, "interpolate", false)?,
+        })
+    }
+}
+
+impl ToJson for ReplayOutcome {
+    fn to_json(&self) -> Value {
+        object([
+            ("steps", Value::Number(self.steps as f64)),
+            (
+                "fpga_operational_kg",
+                Value::Number(self.fpga_operational.as_kg()),
+            ),
+            (
+                "asic_operational_kg",
+                Value::Number(self.asic_operational.as_kg()),
+            ),
+            ("fpga_total_kg", Value::Number(self.fpga_total.as_kg())),
+            ("asic_total_kg", Value::Number(self.asic_total.as_kg())),
+            ("mean_ratio", Value::Number(self.mean_ratio)),
+            ("worst_ratio", Value::Number(self.worst_ratio)),
+            ("final_ratio", Value::Number(self.final_ratio)),
+            ("fpga_win_fraction", Value::Number(self.fpga_win_fraction)),
+            ("verdict", self.verdict.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ReplayOutcome {
+    fn from_json(value: &Value) -> Result<ReplayOutcome, JsonError> {
+        Ok(ReplayOutcome {
+            steps: decode(value, "steps")?,
+            fpga_operational: Carbon::from_kg(decode(value, "fpga_operational_kg")?),
+            asic_operational: Carbon::from_kg(decode(value, "asic_operational_kg")?),
+            fpga_total: Carbon::from_kg(decode(value, "fpga_total_kg")?),
+            asic_total: Carbon::from_kg(decode(value, "asic_total_kg")?),
+            mean_ratio: decode(value, "mean_ratio")?,
+            worst_ratio: decode(value, "worst_ratio")?,
+            final_ratio: decode(value, "final_ratio")?,
+            fpga_win_fraction: decode(value, "fpga_win_fraction")?,
+            verdict: decode(value, "verdict")?,
+        })
+    }
+}
+
+/// `POST /v1/replay` response: the replay summary and scored verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayResponse {
+    /// The resolved catalog id (`None` for inline specs).
+    pub id: Option<String>,
+    /// The replayed domain.
+    pub domain: Domain,
+    /// The point the scenario was replayed at.
+    pub point: OperatingPoint,
+    /// The replay summary (cumulative totals, trajectory statistics,
+    /// verdict).
+    pub replay: ReplayOutcome,
+}
+
+impl ToJson for ReplayResponse {
+    fn to_json(&self) -> Value {
+        object([
+            (
+                "id",
+                match &self.id {
+                    Some(id) => Value::String(id.clone()),
+                    None => Value::Null,
+                },
+            ),
+            ("domain", self.domain.to_json()),
+            ("point", self.point.to_json()),
+            ("replay", self.replay.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ReplayResponse {
+    fn from_json(value: &Value) -> Result<ReplayResponse, JsonError> {
+        let id = match value.get("id") {
+            None | Some(Value::Null) => None,
+            Some(member) => Some(
+                member
+                    .as_str()
+                    .ok_or_else(|| JsonError::schema("id", "expected a catalog id string"))?
+                    .to_string(),
+            ),
+        };
+        Ok(ReplayResponse {
+            id,
+            domain: decode(value, "domain")?,
+            point: decode(value, "point")?,
+            replay: decode(value, "replay")?,
+        })
+    }
+}
+
+/// `GET /v1/catalog`: the scenario catalog listing. The request carries
+/// no parameters — the type exists so the catalog rides the same
+/// [`Query`]/[`Outcome`] envelope as every other kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CatalogRequest;
+
+impl ToJson for CatalogRequest {
+    fn to_json(&self) -> Value {
+        Value::Object(Vec::new())
+    }
+}
+
+impl FromJson for CatalogRequest {
+    fn from_json(value: &Value) -> Result<CatalogRequest, JsonError> {
+        if value.as_object().is_none() {
+            return Err(JsonError::schema("catalog", "expected an object"));
+        }
+        Ok(CatalogRequest)
+    }
+}
+
+/// One catalog entry as listed on the wire — [`CatalogEntry`] with owned
+/// strings so responses decode without referencing the process's static
+/// catalog.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatalogEntryInfo {
+    /// Stable wire id.
+    pub id: String,
+    /// One-line human title.
+    pub title: String,
+    /// What the scenario stresses.
+    pub description: String,
+    /// The concrete scenario the id resolves to.
+    pub scenario: ScenarioSpec,
+    /// The operating point the scenario defaults to.
+    pub point: OperatingPoint,
+}
+
+impl From<&CatalogEntry> for CatalogEntryInfo {
+    fn from(entry: &CatalogEntry) -> CatalogEntryInfo {
+        CatalogEntryInfo {
+            id: entry.id.to_string(),
+            title: entry.title.to_string(),
+            description: entry.description.to_string(),
+            scenario: entry.scenario.clone(),
+            point: entry.point,
+        }
+    }
+}
+
+impl ToJson for CatalogEntryInfo {
+    fn to_json(&self) -> Value {
+        merge_scenario(
+            &self.scenario,
+            [
+                ("id", Value::String(self.id.clone())),
+                ("title", Value::String(self.title.clone())),
+                ("description", Value::String(self.description.clone())),
+                ("point", self.point.to_json()),
+            ],
+        )
+    }
+}
+
+impl FromJson for CatalogEntryInfo {
+    fn from_json(value: &Value) -> Result<CatalogEntryInfo, JsonError> {
+        Ok(CatalogEntryInfo {
+            id: decode(value, "id")?,
+            title: decode(value, "title")?,
+            description: decode(value, "description")?,
+            scenario: ScenarioSpec::from_json(value)?,
+            point: decode(value, "point")?,
+        })
+    }
+}
+
+/// `GET /v1/catalog` response: every named scenario, in catalog order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatalogResponse {
+    /// The catalog entries.
+    pub entries: Vec<CatalogEntryInfo>,
+}
+
+impl ToJson for CatalogResponse {
+    fn to_json(&self) -> Value {
+        object([("entries", self.entries.to_json())])
+    }
+}
+
+impl FromJson for CatalogResponse {
+    fn from_json(value: &Value) -> Result<CatalogResponse, JsonError> {
+        Ok(CatalogResponse {
+            entries: decode(value, "entries")?,
         })
     }
 }
@@ -1163,6 +1641,12 @@ fn decode_knob_overrides(value: &Value) -> Result<Vec<(Knob, f64)>, JsonError> {
             for (id, member) in members {
                 let knob = Knob::parse_id(id)
                     .ok_or_else(|| JsonError::schema(format!("knobs.{id}"), "unknown knob"))?;
+                if knobs.iter().any(|&(seen, _)| seen == knob) {
+                    return Err(JsonError::schema(
+                        format!("knobs.{id}"),
+                        format!("knob '{id}' overridden more than once"),
+                    ));
+                }
                 let value = member
                     .as_f64()
                     .ok_or_else(|| JsonError::schema(format!("knobs.{id}"), "expected a number"))?;
@@ -1874,11 +2358,17 @@ pub enum QueryKind {
     MonteCarlo,
     /// The Table 3 industry testcases.
     Industry,
+    /// One named-catalog (or inline) scenario, evaluated and scored.
+    Scenario,
+    /// A scenario replayed against a time-varying carbon intensity.
+    Replay,
+    /// The scenario-catalog listing (the one `GET` kind).
+    Catalog,
 }
 
 impl QueryKind {
     /// Every kind, in documentation and route-table order.
-    pub const ALL: [QueryKind; 10] = [
+    pub const ALL: [QueryKind; 13] = [
         QueryKind::Evaluate,
         QueryKind::Batch,
         QueryKind::Compare,
@@ -1889,6 +2379,9 @@ impl QueryKind {
         QueryKind::Tornado,
         QueryKind::MonteCarlo,
         QueryKind::Industry,
+        QueryKind::Scenario,
+        QueryKind::Replay,
+        QueryKind::Catalog,
     ];
 
     /// The stable identifier used by the envelope's `"kind"` member.
@@ -1904,10 +2397,13 @@ impl QueryKind {
             QueryKind::Tornado => "tornado",
             QueryKind::MonteCarlo => "montecarlo",
             QueryKind::Industry => "industry",
+            QueryKind::Scenario => "scenario",
+            QueryKind::Replay => "replay",
+            QueryKind::Catalog => "catalog",
         }
     }
 
-    /// The HTTP route serving this kind (`POST` only).
+    /// The HTTP route serving this kind (see [`QueryKind::method`]).
     pub fn path(self) -> &'static str {
         match self {
             QueryKind::Evaluate => "/v1/evaluate",
@@ -1920,6 +2416,19 @@ impl QueryKind {
             QueryKind::Tornado => "/v1/tornado",
             QueryKind::MonteCarlo => "/v1/montecarlo",
             QueryKind::Industry => "/v1/industry",
+            QueryKind::Scenario => "/v1/scenario",
+            QueryKind::Replay => "/v1/replay",
+            QueryKind::Catalog => "/v1/catalog",
+        }
+    }
+
+    /// The HTTP method serving this kind: `GET` for the parameter-less
+    /// catalog listing, `POST` for every kind that carries a request
+    /// body.
+    pub fn method(self) -> &'static str {
+        match self {
+            QueryKind::Catalog => "GET",
+            _ => "POST",
         }
     }
 
@@ -1951,6 +2460,9 @@ impl QueryKind {
             QueryKind::Tornado => Query::Tornado(TornadoRequest::from_json(value)?),
             QueryKind::MonteCarlo => Query::MonteCarlo(MonteCarloRequest::from_json(value)?),
             QueryKind::Industry => Query::Industry(IndustryRequest::from_json(value)?),
+            QueryKind::Scenario => Query::Scenario(ScenarioRunRequest::from_json(value)?),
+            QueryKind::Replay => Query::Replay(ReplayRequest::from_json(value)?),
+            QueryKind::Catalog => Query::Catalog(CatalogRequest::from_json(value)?),
         })
     }
 
@@ -1972,6 +2484,9 @@ impl QueryKind {
             QueryKind::Tornado => Outcome::Tornado(TornadoAnalysis::from_json(value)?),
             QueryKind::MonteCarlo => Outcome::MonteCarlo(MonteCarloResponse::from_json(value)?),
             QueryKind::Industry => Outcome::Industry(IndustryResponse::from_json(value)?),
+            QueryKind::Scenario => Outcome::Scenario(ScenarioRunResponse::from_json(value)?),
+            QueryKind::Replay => Outcome::Replay(ReplayResponse::from_json(value)?),
+            QueryKind::Catalog => Outcome::Catalog(CatalogResponse::from_json(value)?),
         })
     }
 }
@@ -2014,6 +2529,12 @@ pub enum Query {
     MonteCarlo(MonteCarloRequest),
     /// The Table 3 industry testcases.
     Industry(IndustryRequest),
+    /// One named-catalog (or inline) scenario, evaluated and scored.
+    Scenario(ScenarioRunRequest),
+    /// A scenario replayed against a time-varying carbon intensity.
+    Replay(ReplayRequest),
+    /// The scenario-catalog listing.
+    Catalog(CatalogRequest),
 }
 
 impl Query {
@@ -2030,6 +2551,9 @@ impl Query {
             Query::Tornado(_) => QueryKind::Tornado,
             Query::MonteCarlo(_) => QueryKind::MonteCarlo,
             Query::Industry(_) => QueryKind::Industry,
+            Query::Scenario(_) => QueryKind::Scenario,
+            Query::Replay(_) => QueryKind::Replay,
+            Query::Catalog(_) => QueryKind::Catalog,
         }
     }
 
@@ -2047,6 +2571,9 @@ impl Query {
             Query::Tornado(request) => request.to_json(),
             Query::MonteCarlo(request) => request.to_json(),
             Query::Industry(request) => request.to_json(),
+            Query::Scenario(request) => request.to_json(),
+            Query::Replay(request) => request.to_json(),
+            Query::Catalog(request) => request.to_json(),
         }
     }
 }
@@ -2117,6 +2644,12 @@ pub enum Outcome {
     MonteCarlo(MonteCarloResponse),
     /// Result of [`Query::Industry`].
     Industry(IndustryResponse),
+    /// Result of [`Query::Scenario`].
+    Scenario(ScenarioRunResponse),
+    /// Result of [`Query::Replay`].
+    Replay(ReplayResponse),
+    /// Result of [`Query::Catalog`].
+    Catalog(CatalogResponse),
 }
 
 impl Outcome {
@@ -2133,6 +2666,9 @@ impl Outcome {
             Outcome::Tornado(_) => QueryKind::Tornado,
             Outcome::MonteCarlo(_) => QueryKind::MonteCarlo,
             Outcome::Industry(_) => QueryKind::Industry,
+            Outcome::Scenario(_) => QueryKind::Scenario,
+            Outcome::Replay(_) => QueryKind::Replay,
+            Outcome::Catalog(_) => QueryKind::Catalog,
         }
     }
 
@@ -2150,6 +2686,9 @@ impl Outcome {
             Outcome::Tornado(analysis) => analysis.to_json(),
             Outcome::MonteCarlo(response) => response.to_json(),
             Outcome::Industry(response) => response.to_json(),
+            Outcome::Scenario(response) => response.to_json(),
+            Outcome::Replay(response) => response.to_json(),
+            Outcome::Catalog(response) => response.to_json(),
         }
     }
 }

@@ -27,14 +27,17 @@
 use std::sync::Mutex;
 
 use crate::api::{
-    CacheShardMetrics, CompareResponse, CrossoverResponse, EvaluateResponse, FrontierResponse,
-    IndustryDeviceReport, IndustryRequest, IndustryResponse, MonteCarloResponse, Outcome, Query,
+    CacheShardMetrics, CatalogEntryInfo, CatalogResponse, CompareResponse, CrossoverResponse,
+    EvaluateResponse, FrontierResponse, IndustryDeviceReport, IndustryRequest, IndustryResponse,
+    MonteCarloResponse, Outcome, Query, ReplayResponse, ScenarioRef, ScenarioRunResponse,
+    SeriesRef,
 };
+use crate::scenario::{catalog, catalog_entry, CarbonIntensitySeries, CatalogEntry, Verdict};
 use crate::{
     exec, industry_asic1, industry_asic2, industry_fpga1, industry_fpga2, ApiError,
     BatchEvalResponse, CompiledScenario, Estimator, EstimatorParams, GreenFpgaError, GridRequest,
-    GridStream, IndustryScenario, MonteCarlo, PlatformKind, ResultBuffer, ScenarioSpec,
-    ScenarioTemplate,
+    GridStream, IndustryScenario, MonteCarlo, OperatingPoint, PlatformKind, ResultBuffer,
+    ScenarioSpec, ScenarioTemplate,
 };
 
 /// Tuning for an [`Engine`]. Every field has a sane default; the server
@@ -306,6 +309,55 @@ impl Engine {
                 Outcome::MonteCarlo(MonteCarloResponse::from(&report))
             }
             Query::Industry(request) => Outcome::Industry(run_industry(request)?),
+            Query::Scenario(request) => {
+                let (entry, spec) = resolve_scenario(&request.scenario)?;
+                let point = resolved_point(request.point, entry);
+                let compiled = self.compiled(&spec)?;
+                let comparison = compiled.evaluate(point)?;
+                Outcome::Scenario(ScenarioRunResponse {
+                    id: request.scenario.catalog_id().map(str::to_string),
+                    point,
+                    verdict: Verdict::from_comparison(&comparison),
+                    comparison,
+                })
+            }
+            Query::Replay(request) => {
+                let (entry, spec) = resolve_scenario(&request.scenario)?;
+                let point = resolved_point(request.point, entry);
+                let series = match &request.series {
+                    SeriesRef::Region(name) => {
+                        CarbonIntensitySeries::region(name).ok_or_else(|| {
+                            ApiError::bad_request(format!(
+                                "unknown region preset '{name}' (expected one of {:?})",
+                                CarbonIntensitySeries::REGIONS
+                            ))
+                        })?
+                    }
+                    SeriesRef::Inline(series) => series.clone(),
+                };
+                let compiled = self.compiled(&spec)?;
+                let traced = gf_trace::enabled();
+                let start = if traced { gf_trace::now_ticks() } else { 0 };
+                let replay = series.replay(&compiled, point, request.interpolate)?;
+                if traced {
+                    let end = gf_trace::now_ticks();
+                    gf_trace::record_span_at(
+                        gf_trace::SpanName::Replay,
+                        start,
+                        end.saturating_sub(start),
+                        replay.steps,
+                    );
+                }
+                Outcome::Replay(ReplayResponse {
+                    id: request.scenario.catalog_id().map(str::to_string),
+                    domain: spec.domain,
+                    point,
+                    replay,
+                })
+            }
+            Query::Catalog(_) => Outcome::Catalog(CatalogResponse {
+                entries: catalog().iter().map(CatalogEntryInfo::from).collect(),
+            }),
         })
     }
 
@@ -420,6 +472,44 @@ impl Engine {
         // worker's job might call back into the engine.
         drop(pool);
     }
+}
+
+/// Resolves a [`ScenarioRef`] in front of the compiled cache: inline
+/// specs pass through untouched; catalog ids resolve to the cataloged
+/// spec with any request overrides appended after the cataloged knob
+/// list (so they win, like later inline overrides do), stamping a
+/// `catalog_resolve` span whose `aux` is the entry's catalog index.
+///
+/// The resolved spec keys the compiled cache exactly like an inline
+/// spec, so repeated traffic for the same catalog id is compile-free
+/// after its first miss.
+fn resolve_scenario(
+    scenario: &ScenarioRef,
+) -> Result<(Option<&'static CatalogEntry>, ScenarioSpec), ApiError> {
+    match scenario {
+        ScenarioRef::Inline(spec) => Ok((None, spec.clone())),
+        ScenarioRef::Catalog { id, knobs } => {
+            let Some((index, entry)) = catalog_entry(id) else {
+                return Err(ApiError::not_found(format!(
+                    "unknown catalog scenario '{id}'"
+                )));
+            };
+            gf_trace::record_event(gf_trace::SpanName::CatalogResolve, index as u64);
+            let mut spec = entry.scenario.clone();
+            spec.knobs.extend(knobs.iter().copied());
+            Ok((Some(entry), spec))
+        }
+    }
+}
+
+/// The operating point a scenario/replay request runs at: the explicit
+/// request point, else the catalog entry's default, else the paper
+/// default (inline specs without a point).
+fn resolved_point(
+    explicit: Option<OperatingPoint>,
+    entry: Option<&CatalogEntry>,
+) -> OperatingPoint {
+    explicit.unwrap_or_else(|| entry.map_or_else(OperatingPoint::paper_default, |e| e.point))
 }
 
 /// The [`Query::Industry`] body: every Table 3 device under the requested

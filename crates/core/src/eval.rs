@@ -92,6 +92,14 @@ impl CompiledPlatform {
         }
     }
 
+    /// Average draw of one deployed device in kilowatts: peak power ×
+    /// duty cycle. The time-series replay path multiplies this by each
+    /// step's energy-weighted grid intensity where the scalar path uses
+    /// the compiled `usage_grid` constant.
+    pub fn average_power_kw(&self) -> f64 {
+        self.profile.average_power().as_kilowatts()
+    }
+
     /// Field-operation carbon of one deployed device per year of lifetime
     /// (kg CO₂e / device·year). Operation is linear in the lifetime, so this
     /// single rate determines the whole operational term — the slope the

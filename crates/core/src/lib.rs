@@ -75,10 +75,12 @@ mod uncertainty;
 
 pub use analytic::{AffineComparison, AffineTotal};
 pub use api::{
-    BatchEvalRequest, BatchEvalResponse, CompareRequest, CompareResponse, CrossoverRequest,
-    CrossoverResponse, EvaluateRequest, EvaluateResponse, FrontierRequest, FrontierResponse,
-    GridRequest, IndustryRequest, IndustryResponse, MonteCarloRequest, MonteCarloResponse, Outcome,
-    Query, QueryKind, ScenarioSpec, SweepRequest, TornadoRequest,
+    BatchEvalRequest, BatchEvalResponse, CatalogEntryInfo, CatalogRequest, CatalogResponse,
+    CompareRequest, CompareResponse, CrossoverRequest, CrossoverResponse, EvaluateRequest,
+    EvaluateResponse, FrontierRequest, FrontierResponse, GridRequest, IndustryRequest,
+    IndustryResponse, MonteCarloRequest, MonteCarloResponse, Outcome, Query, QueryKind,
+    ReplayRequest, ReplayResponse, ScenarioRef, ScenarioRunRequest, ScenarioRunResponse,
+    ScenarioSpec, SeriesRef, SweepRequest, TornadoRequest,
 };
 pub use application::{Application, Workload};
 pub use breakdown::CfpBreakdown;
@@ -93,7 +95,10 @@ pub use frontier::FrontierResult;
 pub use knobs::{Knob, KnobRange};
 pub use params::{DeploymentParams, DesignStaffing, EstimatorParams};
 pub use report::{csv_from_rows, render_table, HeatmapRenderer};
-pub use scenario::{LongHorizonPoint, LongHorizonScenario};
+pub use scenario::{
+    catalog, catalog_entry, CarbonIntensitySeries, CatalogEntry, LongHorizonPoint,
+    LongHorizonScenario, ReplayOutcome, Verdict, HOURS_PER_YEAR,
+};
 pub use sensitivity::{SensitivityEntry, TornadoAnalysis};
 pub use sweep::{
     log_spaced_volumes, GridBlock, GridStream, GridSweep, OperatingPoint, SweepAxis, SweepPoint,

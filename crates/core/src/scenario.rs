@@ -1,16 +1,37 @@
-//! Long-horizon evaluation beyond the chip lifetime (Fig. 9 of the paper).
+//! The first-class scenario layer: named catalog, time-series carbon
+//! replay, scored verdicts — plus the paper's long-horizon evaluation
+//! beyond the chip lifetime (Fig. 9).
 //!
-//! The paper's experiment E extends the evaluation window past the FPGA's
-//! physical lifetime (15 years): when the window exceeds the chip lifetime a
-//! *new* FPGA fleet must be manufactured, so the cumulative FPGA footprint
-//! jumps at the 15- and 30-year marks. The ASIC curve shows no such jump
-//! because a new ASIC is built per application anyway.
+//! Three pieces make scenarios addressable instead of inline request
+//! leaves:
+//!
+//! * [`catalog`] — a closed registry of named, documented stress
+//!   scenarios (per-domain baselines, fleet deployments, adversarial
+//!   worst-case packs) that the serving tier resolves by id.
+//! * [`CarbonIntensitySeries`] — a time-varying grid carbon intensity
+//!   (region presets or user-supplied points) replayed step by step on
+//!   the operational-carbon path, where every other query uses one
+//!   scalar intensity.
+//! * [`Verdict`] — a weighted penalty score over a scenario's ratio
+//!   trajectory, so outcomes rank on one number.
+//!
+//! The paper's experiment E ([`LongHorizonScenario`]) extends the
+//! evaluation window past the FPGA's physical lifetime (15 years): when
+//! the window exceeds the chip lifetime a *new* FPGA fleet must be
+//! manufactured, so the cumulative FPGA footprint jumps at the 15- and
+//! 30-year marks. The ASIC curve shows no such jump because a new ASIC
+//! is built per application anyway.
+
+use std::sync::OnceLock;
 
 use serde::{Deserialize, Serialize};
 
 use gf_units::{Carbon, ChipCount, GateCount, TimeSpan};
 
-use crate::{Application, Domain, Estimator, GreenFpgaError};
+use crate::{
+    Application, CompiledScenario, Domain, Estimator, GreenFpgaError, Knob, OperatingPoint,
+    PlatformComparison, ScenarioSpec,
+};
 
 /// One yearly sample of the long-horizon scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -154,6 +175,544 @@ impl LongHorizonScenario {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Named scenario catalog
+// ---------------------------------------------------------------------------
+
+/// One named, documented entry of the scenario [`catalog`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatalogEntry {
+    /// Stable wire id (`snake_case`); catalog requests resolve by it.
+    pub id: &'static str,
+    /// One-line human title.
+    pub title: &'static str,
+    /// What the scenario stresses and why it is in the catalog.
+    pub description: &'static str,
+    /// The concrete scenario the id resolves to.
+    pub scenario: ScenarioSpec,
+    /// The operating point the scenario is evaluated at.
+    pub point: OperatingPoint,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn entry(
+    id: &'static str,
+    title: &'static str,
+    description: &'static str,
+    domain: Domain,
+    knobs: Vec<(Knob, f64)>,
+    applications: u64,
+    lifetime_years: f64,
+    volume: u64,
+) -> CatalogEntry {
+    CatalogEntry {
+        id,
+        title,
+        description,
+        scenario: ScenarioSpec { domain, knobs },
+        point: OperatingPoint {
+            applications,
+            lifetime_years,
+            volume,
+        },
+    }
+}
+
+/// The closed registry of named scenarios, in stable order: per-domain
+/// paper baselines, fleet deployments over a refresh horizon, and
+/// adversarial worst-case packs for each platform.
+///
+/// Every id is servable via `POST /v1/scenario` and `greenfpga scenarios
+/// run <id>`; the engine keys its compiled-scenario cache by the resolved
+/// spec, so repeated catalog traffic is compile-free.
+pub fn catalog() -> &'static [CatalogEntry] {
+    static CATALOG: OnceLock<Vec<CatalogEntry>> = OnceLock::new();
+    CATALOG.get_or_init(|| {
+        vec![
+            // Per-domain paper baselines.
+            entry(
+                "dnn_baseline",
+                "DNN paper baseline",
+                "Table 1 defaults for the DNN domain at the paper's operating point.",
+                Domain::Dnn,
+                vec![],
+                5,
+                2.0,
+                1_000_000,
+            ),
+            entry(
+                "imgproc_baseline",
+                "Image-processing paper baseline",
+                "Table 1 defaults for the image-processing domain at the paper's operating point.",
+                Domain::ImageProcessing,
+                vec![],
+                5,
+                2.0,
+                1_000_000,
+            ),
+            entry(
+                "crypto_baseline",
+                "Crypto paper baseline",
+                "Table 1 defaults for the crypto domain at the paper's operating point.",
+                Domain::Crypto,
+                vec![],
+                5,
+                2.0,
+                1_000_000,
+            ),
+            // Fleet scenarios: N devices over a refresh horizon.
+            entry(
+                "dnn_fleet_10k_3y",
+                "DNN edge fleet, 10k devices, 3-year refresh",
+                "A moderate edge-inference fleet refreshed every three years at elevated duty.",
+                Domain::Dnn,
+                vec![(Knob::DutyCycle, 0.35)],
+                3,
+                3.0,
+                10_000,
+            ),
+            entry(
+                "imgproc_fleet_100k_2y",
+                "Image-processing fleet, 100k devices, 2-year refresh",
+                "A camera-pipeline fleet with four successive applications on a two-year cycle.",
+                Domain::ImageProcessing,
+                vec![(Knob::DutyCycle, 0.25)],
+                4,
+                2.0,
+                100_000,
+            ),
+            entry(
+                "crypto_fleet_1m_5y",
+                "Crypto fleet, 1M devices, 5-year refresh",
+                "A long-lived million-device crypto fleet amortizing embodied carbon slowly.",
+                Domain::Crypto,
+                vec![(Knob::DutyCycle, 0.3)],
+                5,
+                5.0,
+                1_000_000,
+            ),
+            entry(
+                "dnn_hyperscale_10m_4y",
+                "DNN hyperscale, 10M devices, 4-year refresh",
+                "A hyperscale deployment on a mid-carbon grid with high utilization.",
+                Domain::Dnn,
+                vec![(Knob::DutyCycle, 0.5), (Knob::UsageGridIntensity, 450.0)],
+                8,
+                4.0,
+                10_000_000,
+            ),
+            // Adversarial packs: the worst realistic corner for each platform.
+            entry(
+                "fpga_worst_dirty_grid",
+                "FPGA worst case: dirty grid, hot duty",
+                "Maximum duty on a coal-heavy grid — the FPGA's power premium compounds hardest.",
+                Domain::Dnn,
+                vec![(Knob::DutyCycle, 0.6), (Knob::UsageGridIntensity, 700.0)],
+                2,
+                5.0,
+                1_000_000,
+            ),
+            entry(
+                "fpga_worst_single_app",
+                "FPGA worst case: single application",
+                "One application only, removing the reuse advantage reconfigurability pays for.",
+                Domain::ImageProcessing,
+                vec![],
+                1,
+                2.0,
+                1_000_000,
+            ),
+            entry(
+                "asic_worst_many_apps",
+                "ASIC worst case: many short applications",
+                "Sixteen one-year applications — a fresh ASIC tapeout per application.",
+                Domain::ImageProcessing,
+                vec![],
+                16,
+                1.0,
+                50_000,
+            ),
+            entry(
+                "asic_worst_clean_grid",
+                "ASIC worst case: clean grid, light duty",
+                "Hydro-grade grid at minimum duty — operation vanishes and embodied carbon rules.",
+                Domain::Crypto,
+                vec![(Knob::DutyCycle, 0.1), (Knob::UsageGridIntensity, 30.0)],
+                10,
+                2.0,
+                100_000,
+            ),
+            // Decarbonization-trajectory scenarios.
+            entry(
+                "dnn_green_grid_refresh",
+                "DNN fleet on a decarbonizing grid",
+                "Clean usage and fab grids with circular-economy credits on both ends of life.",
+                Domain::Dnn,
+                vec![
+                    (Knob::UsageGridIntensity, 50.0),
+                    (Knob::FabGridIntensity, 100.0),
+                    (Knob::RecycledMaterialFraction, 0.3),
+                    (Knob::EolRecycledFraction, 0.3),
+                ],
+                5,
+                2.0,
+                1_000_000,
+            ),
+            entry(
+                "crypto_low_duty_edge",
+                "Crypto edge nodes at minimum duty",
+                "A small intermittent edge fleet where per-device embodied carbon dominates.",
+                Domain::Crypto,
+                vec![(Knob::DutyCycle, 0.05)],
+                2,
+                4.0,
+                1_000,
+            ),
+            entry(
+                "imgproc_long_lifetime",
+                "Image processing at maximum chip lifetime",
+                "The FPGA fleet kept in service to the physical limit of its chip lifetime.",
+                Domain::ImageProcessing,
+                vec![(Knob::FpgaChipLifetimeYears, 15.0)],
+                7,
+                2.0,
+                500_000,
+            ),
+        ]
+    })
+}
+
+/// Resolves a catalog id to its index and entry; `None` for unknown ids.
+pub fn catalog_entry(id: &str) -> Option<(usize, &'static CatalogEntry)> {
+    catalog().iter().enumerate().find(|(_, e)| e.id == id)
+}
+
+// ---------------------------------------------------------------------------
+// Time-series carbon intensity
+// ---------------------------------------------------------------------------
+
+/// Steps per year at hourly resolution — the canonical replay length.
+pub const HOURS_PER_YEAR: usize = 8760;
+
+/// A time-varying grid carbon intensity: an ordered series of g CO₂e/kWh
+/// samples at a fixed step width, replayed on the operational-carbon path
+/// where every other query uses one scalar intensity.
+///
+/// Construction validates the series (no NaN, no negatives, non-empty,
+/// positive finite step) so a held value is always replayable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CarbonIntensitySeries {
+    points: Vec<f64>,
+    step_hours: f64,
+}
+
+impl CarbonIntensitySeries {
+    /// The region-preset ids accepted by [`CarbonIntensitySeries::region`],
+    /// in stable order.
+    pub const REGIONS: [&'static str; 4] =
+        ["global_flat", "clean_hydro", "dirty_coal", "solar_duck"];
+
+    /// Builds a series from explicit samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GreenFpgaError::InvalidApplication`] when the series is
+    /// empty, any sample is NaN / non-finite / negative, or the step width
+    /// is not positive and finite.
+    pub fn new(points: Vec<f64>, step_hours: f64) -> Result<Self, GreenFpgaError> {
+        if points.is_empty() {
+            return Err(GreenFpgaError::InvalidApplication {
+                field: "series",
+                reason: "intensity series must contain at least one point".to_string(),
+            });
+        }
+        if !step_hours.is_finite() || step_hours <= 0.0 {
+            return Err(GreenFpgaError::InvalidApplication {
+                field: "series",
+                reason: format!("step_hours must be positive and finite, got {step_hours}"),
+            });
+        }
+        if let Some((index, bad)) = points
+            .iter()
+            .enumerate()
+            .find(|(_, v)| !v.is_finite() || **v < 0.0)
+        {
+            return Err(GreenFpgaError::InvalidApplication {
+                field: "series",
+                reason: format!(
+                    "intensity series point {index} must be finite and non-negative, got {bad}"
+                ),
+            });
+        }
+        Ok(CarbonIntensitySeries { points, step_hours })
+    }
+
+    /// A deterministic 8760-point hourly year for a named region preset:
+    /// `global_flat` (the world-average constant), `clean_hydro` (low and
+    /// mildly seasonal), `dirty_coal` (high with an evening peak), or
+    /// `solar_duck` (midday solar trough). `None` for unknown names.
+    pub fn region(name: &str) -> Option<Self> {
+        let shape: fn(f64, f64) -> f64 = match name {
+            "global_flat" => |_, _| 475.0,
+            "clean_hydro" => |day, _| 50.0 + 15.0 * season(day),
+            "dirty_coal" => |day, hour| 650.0 + 40.0 * season(day) + 30.0 * peak(hour, 18.0),
+            "solar_duck" => |day, hour| 400.0 + 50.0 * season(day) - 250.0 * peak(hour, 12.0),
+            _ => return None,
+        };
+        let points = (0..HOURS_PER_YEAR)
+            .map(|h| shape((h / 24) as f64, (h % 24) as f64).max(1.0))
+            .collect();
+        Some(CarbonIntensitySeries {
+            points,
+            step_hours: 1.0,
+        })
+    }
+
+    /// Number of samples in the series.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Always `false`: construction rejects empty series.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Step width in hours.
+    pub fn step_hours(&self) -> f64 {
+        self.step_hours
+    }
+
+    /// The raw samples (g CO₂e/kWh).
+    pub fn points(&self) -> &[f64] {
+        &self.points
+    }
+
+    /// Mean intensity over the whole series (g CO₂e/kWh).
+    pub fn mean(&self) -> f64 {
+        self.points.iter().sum::<f64>() / self.points.len() as f64
+    }
+
+    /// The intensity applied over step `index` (g CO₂e/kWh). Stepwise
+    /// lookup holds the sample flat across its step; interpolated lookup
+    /// averages the step's two bounding samples (trapezoidal, wrapping at
+    /// the series end).
+    pub fn sample(&self, index: usize, interpolate: bool) -> f64 {
+        let here = self.points[index % self.points.len()];
+        if interpolate {
+            let next = self.points[(index + 1) % self.points.len()];
+            0.5 * (here + next)
+        } else {
+            here
+        }
+    }
+
+    /// Replays a compiled scenario against this series: embodied,
+    /// design and app-dev carbon are paid up front exactly as the scalar
+    /// path computes them, then each platform accrues per-step operation
+    /// `applications × devices × average-power × step × intensity(step)`
+    /// — the same factors as [`CompiledScenario::evaluate`], with the
+    /// scalar `lifetime × grid` product replaced by the series integral.
+    /// The serial step loop makes the result independent of engine thread
+    /// counts by construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns the scalar path's validation errors for a degenerate
+    /// operating point (zero applications or volume, bad lifetime).
+    pub fn replay(
+        &self,
+        compiled: &CompiledScenario,
+        point: OperatingPoint,
+        interpolate: bool,
+    ) -> Result<ReplayOutcome, GreenFpgaError> {
+        let comparison = compiled.evaluate(point)?;
+        let apps = point.applications as f64;
+        let fpga_devices = (point.volume * compiled.fpga().chips_per_unit()) as f64;
+        let asic_devices = point.volume as f64;
+        // kWh drawn per hour by the whole deployment, per platform.
+        let fpga_kwh_per_hour = apps * fpga_devices * compiled.fpga().average_power_kw();
+        let asic_kwh_per_hour = apps * asic_devices * compiled.asic().average_power_kw();
+        let fpga_base = (comparison.fpga.total() - comparison.fpga.operation).as_kg();
+        let asic_base = (comparison.asic.total() - comparison.asic.operation).as_kg();
+        let fpga_embodied =
+            (comparison.fpga.total() - comparison.fpga.operation - comparison.fpga.app_dev).as_kg();
+
+        let mut fpga_total = fpga_base;
+        let mut asic_total = asic_base;
+        let mut ratio_sum = 0.0;
+        let mut worst_ratio = f64::NEG_INFINITY;
+        let mut excess_sum = 0.0;
+        let mut worst_excess = 0.0f64;
+        let mut losses = 0usize;
+        let mut ratio = f64::INFINITY;
+        for step in 0..self.points.len() {
+            let kg_per_kwh = self.sample(step, interpolate) / 1000.0;
+            fpga_total += fpga_kwh_per_hour * self.step_hours * kg_per_kwh;
+            asic_total += asic_kwh_per_hour * self.step_hours * kg_per_kwh;
+            ratio = if asic_total > 0.0 {
+                fpga_total / asic_total
+            } else {
+                f64::INFINITY
+            };
+            ratio_sum += ratio;
+            worst_ratio = worst_ratio.max(ratio);
+            let excess = (ratio - 1.0).max(0.0);
+            excess_sum += excess;
+            worst_excess = worst_excess.max(excess);
+            if ratio > 1.0 {
+                losses += 1;
+            }
+        }
+        let steps = self.points.len() as f64;
+        let embodied_share = if fpga_total > 0.0 {
+            (fpga_embodied / fpga_total).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let verdict = Verdict::from_penalties(
+            excess_sum / steps,
+            worst_excess,
+            losses as f64 / steps,
+            embodied_share,
+        );
+        Ok(ReplayOutcome {
+            steps: self.points.len() as u64,
+            fpga_operational: Carbon::from_kg(fpga_total - fpga_base),
+            asic_operational: Carbon::from_kg(asic_total - asic_base),
+            fpga_total: Carbon::from_kg(fpga_total),
+            asic_total: Carbon::from_kg(asic_total),
+            mean_ratio: ratio_sum / steps,
+            worst_ratio,
+            final_ratio: ratio,
+            fpga_win_fraction: 1.0 - losses as f64 / steps,
+            verdict,
+        })
+    }
+}
+
+fn season(day: f64) -> f64 {
+    (std::f64::consts::TAU * day / 365.0).cos()
+}
+
+fn peak(hour: f64, at: f64) -> f64 {
+    (std::f64::consts::TAU * (hour - at) / 24.0).cos()
+}
+
+/// The summary a year replay produces: cumulative totals, the ratio
+/// trajectory's statistics and the scored [`Verdict`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplayOutcome {
+    /// Number of series steps replayed.
+    pub steps: u64,
+    /// FPGA operational carbon accrued over the series.
+    pub fpga_operational: Carbon,
+    /// ASIC operational carbon accrued over the series.
+    pub asic_operational: Carbon,
+    /// FPGA cumulative total at the end of the series.
+    pub fpga_total: Carbon,
+    /// ASIC cumulative total at the end of the series.
+    pub asic_total: Carbon,
+    /// Mean of the per-step cumulative FPGA:ASIC ratios.
+    pub mean_ratio: f64,
+    /// Worst (highest) per-step cumulative ratio.
+    pub worst_ratio: f64,
+    /// Ratio at the final step.
+    pub final_ratio: f64,
+    /// Fraction of steps where the FPGA was the greener platform.
+    pub fpga_win_fraction: f64,
+    /// The scored verdict over the trajectory.
+    pub verdict: Verdict,
+}
+
+// ---------------------------------------------------------------------------
+// Verdict scoring
+// ---------------------------------------------------------------------------
+
+/// A weighted penalty score over a scenario outcome; higher (closer to
+/// zero) is better for the FPGA platform, and the all-clear outcome
+/// scores exactly `0.0`.
+///
+/// `score = −(0.4·mean_excess + 0.3·worst_excess + 0.2·loss_fraction
+/// + 0.1·embodied_share)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Verdict {
+    /// Mean FPGA excess over parity: average of `max(ratio − 1, 0)`.
+    pub mean_excess: f64,
+    /// Worst single-step excess over parity.
+    pub worst_excess: f64,
+    /// Fraction of steps where the FPGA lost (`ratio > 1`).
+    pub loss_fraction: f64,
+    /// FPGA embodied carbon (design + manufacturing + packaging + EOL)
+    /// as a share of its final total — exposure to up-front carbon.
+    pub embodied_share: f64,
+    /// The combined score (≤ 0; `-inf` for an empty trajectory).
+    pub score: f64,
+}
+
+impl Verdict {
+    /// The penalty weights, in `(mean_excess, worst_excess,
+    /// loss_fraction, embodied_share)` order.
+    pub const WEIGHTS: [f64; 4] = [0.4, 0.3, 0.2, 0.1];
+
+    /// Scores explicit penalty components.
+    pub fn from_penalties(
+        mean_excess: f64,
+        worst_excess: f64,
+        loss_fraction: f64,
+        embodied_share: f64,
+    ) -> Verdict {
+        let [w_mean, w_worst, w_loss, w_embodied] = Verdict::WEIGHTS;
+        Verdict {
+            mean_excess,
+            worst_excess,
+            loss_fraction,
+            embodied_share,
+            score: -(w_mean * mean_excess
+                + w_worst * worst_excess
+                + w_loss * loss_fraction
+                + w_embodied * embodied_share),
+        }
+    }
+
+    /// Scores a ratio trajectory. An empty trajectory scores
+    /// `f64::NEG_INFINITY` — no evidence, no credit.
+    pub fn from_trajectory(ratios: &[f64], embodied_share: f64) -> Verdict {
+        if ratios.is_empty() {
+            return Verdict {
+                mean_excess: 0.0,
+                worst_excess: 0.0,
+                loss_fraction: 0.0,
+                embodied_share,
+                score: f64::NEG_INFINITY,
+            };
+        }
+        let excess = |r: &f64| (r - 1.0).max(0.0);
+        let mean = ratios.iter().map(excess).sum::<f64>() / ratios.len() as f64;
+        let worst = ratios.iter().map(excess).fold(0.0, f64::max);
+        let losses = ratios.iter().filter(|r| **r > 1.0).count();
+        Verdict::from_penalties(
+            mean,
+            worst,
+            losses as f64 / ratios.len() as f64,
+            embodied_share,
+        )
+    }
+
+    /// Scores one scalar comparison — a single-step trajectory.
+    pub fn from_comparison(comparison: &PlatformComparison) -> Verdict {
+        let total = comparison.fpga.total().as_kg();
+        let embodied =
+            (comparison.fpga.total() - comparison.fpga.operation - comparison.fpga.app_dev).as_kg();
+        let share = if total > 0.0 {
+            (embodied / total).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        Verdict::from_trajectory(&[comparison.fpga_to_asic_ratio()], share)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,5 +828,109 @@ mod tests {
             .run(&estimator)
             .unwrap();
         assert_eq!(series.last().unwrap().fpga_fleets_built, 4); // years 1, 11, 21, 31
+    }
+
+    #[test]
+    fn catalog_ids_are_unique_and_plentiful() {
+        let ids: std::collections::HashSet<&str> = catalog().iter().map(|e| e.id).collect();
+        assert_eq!(ids.len(), catalog().len(), "duplicate catalog id");
+        assert!(catalog().len() >= 12, "catalog holds at least 12 scenarios");
+        for domain in Domain::ALL {
+            assert!(
+                catalog().iter().any(|e| e.scenario.domain == domain),
+                "no catalog baseline for {domain}"
+            );
+        }
+    }
+
+    #[test]
+    fn catalog_lookup_resolves_every_id() {
+        for (index, entry) in catalog().iter().enumerate() {
+            let (found, resolved) = catalog_entry(entry.id).unwrap();
+            assert_eq!(found, index);
+            assert_eq!(resolved, entry);
+        }
+        assert!(catalog_entry("no_such_scenario").is_none());
+    }
+
+    #[test]
+    fn series_construction_rejects_degenerate_input() {
+        assert!(CarbonIntensitySeries::new(vec![], 1.0).is_err());
+        assert!(CarbonIntensitySeries::new(vec![f64::NAN], 1.0).is_err());
+        assert!(CarbonIntensitySeries::new(vec![100.0, -1.0], 1.0).is_err());
+        assert!(CarbonIntensitySeries::new(vec![100.0], 0.0).is_err());
+        assert!(CarbonIntensitySeries::new(vec![100.0], f64::INFINITY).is_err());
+        assert!(CarbonIntensitySeries::new(vec![100.0, 200.0], 1.0).is_ok());
+    }
+
+    #[test]
+    fn region_presets_are_year_length_and_positive() {
+        for name in CarbonIntensitySeries::REGIONS {
+            let series = CarbonIntensitySeries::region(name).unwrap();
+            assert_eq!(series.len(), HOURS_PER_YEAR, "{name}");
+            assert!(series.points().iter().all(|v| *v >= 1.0), "{name}");
+            assert!(series.step_hours() == 1.0);
+        }
+        assert!(CarbonIntensitySeries::region("atlantis").is_none());
+    }
+
+    #[test]
+    fn interpolated_sample_averages_the_step_bounds() {
+        let series = CarbonIntensitySeries::new(vec![100.0, 300.0], 1.0).unwrap();
+        assert_eq!(series.sample(0, false), 100.0);
+        assert_eq!(series.sample(0, true), 200.0);
+        // The last step wraps to the first sample.
+        assert_eq!(series.sample(1, true), 200.0);
+    }
+
+    #[test]
+    fn constant_series_replay_matches_the_scalar_operation_rate() {
+        // A flat series at the compiled usage-grid intensity must accrue
+        // operational carbon at (very nearly) the scalar model's yearly
+        // rate for the same deployment.
+        let spec = ScenarioSpec::baseline(Domain::Dnn);
+        let params = spec.params();
+        let grid = params.deployment().usage_grid.as_grams_per_kwh();
+        let compiled = CompiledScenario::compile(&params, Domain::Dnn).unwrap();
+        let point = OperatingPoint::paper_default();
+        let series = CarbonIntensitySeries::new(vec![grid; HOURS_PER_YEAR], 1.0).unwrap();
+        let outcome = series.replay(&compiled, point, false).unwrap();
+        let fpga_devices = point.volume * compiled.fpga().chips_per_unit();
+        let scalar_year_kg = compiled.fpga().operation_kg_per_device_year()
+            * fpga_devices as f64
+            * point.applications as f64;
+        let relative = (outcome.fpga_operational.as_kg() - scalar_year_kg).abs() / scalar_year_kg;
+        assert!(relative < 2e-3, "relative deviation {relative}");
+    }
+
+    #[test]
+    fn replay_is_deterministic_and_interpolation_matters() {
+        let compiled = CompiledScenario::compile(
+            &ScenarioSpec::baseline(Domain::Crypto).params(),
+            Domain::Crypto,
+        )
+        .unwrap();
+        let point = OperatingPoint::paper_default();
+        let series = CarbonIntensitySeries::region("solar_duck").unwrap();
+        let a = series.replay(&compiled, point, false).unwrap();
+        let b = series.replay(&compiled, point, false).unwrap();
+        assert_eq!(a, b, "replay is a pure function of its inputs");
+        let c = series.replay(&compiled, point, true).unwrap();
+        assert_ne!(a.fpga_operational, c.fpga_operational);
+    }
+
+    #[test]
+    fn verdict_follows_the_weighted_penalty_shape() {
+        let v = Verdict::from_penalties(0.5, 1.0, 0.25, 0.1);
+        assert_eq!(v.score, -(0.4 * 0.5 + 0.3 * 1.0 + 0.2 * 0.25 + 0.1 * 0.1));
+        let clean = Verdict::from_trajectory(&[0.5, 0.9, 0.99], 0.0);
+        assert_eq!(clean.score, 0.0, "all-win trajectory is the perfect score");
+        assert_eq!(clean.loss_fraction, 0.0);
+        let empty = Verdict::from_trajectory(&[], 0.5);
+        assert_eq!(empty.score, f64::NEG_INFINITY);
+        let mixed = Verdict::from_trajectory(&[0.8, 1.2], 0.0);
+        assert_eq!(mixed.loss_fraction, 0.5);
+        assert!(mixed.score < 0.0);
+        assert!(mixed.score > empty.score, "higher is better");
     }
 }

@@ -23,7 +23,8 @@
 //! | `GET /v1/metrics` | per-route counters, latency histograms, cache shards |
 //! | `GET /metrics` | the same registry as Prometheus text exposition |
 //! | `GET /v1/trace` | recent spans from the per-thread trace rings |
-//! | `POST /v1/<kind>` | [`greenfpga::Engine::run`] for every [`greenfpga::api::QueryKind`]: `evaluate`, `batch`, `compare`, `crossover`, `frontier`, `sweep`, `grid`, `tornado`, `montecarlo`, `industry` |
+//! | `POST /v1/<kind>` | [`greenfpga::Engine::run`] for every [`greenfpga::api::QueryKind`]: `evaluate`, `batch`, `compare`, `crossover`, `frontier`, `sweep`, `grid`, `tornado`, `montecarlo`, `industry`, `scenario`, `replay` |
+//! | `GET /v1/catalog` | the named scenario catalog (the one body-less query kind) |
 //!
 //! Request/response schemas are the typed structs of [`greenfpga::api`]; a
 //! scenario (`domain` + Table 1 `knobs` overrides) addresses the engine's
@@ -38,7 +39,7 @@
 //! Cheap queries (point evaluations, the `GET` endpoints) run **inline on
 //! the event loop**: at microsecond service times, a thread handoff costs
 //! more than the work. Fan-out queries (`batch`, `sweep`, `grid`,
-//! `frontier`, `tornado`, `montecarlo`) go to the worker pool so a
+//! `frontier`, `tornado`, `montecarlo`, `replay`) go to the worker pool so a
 //! millisecond-scale computation never stalls the other connections; the
 //! worker completes the response into a queue and pokes the loop's wakeup
 //! pipe.

@@ -50,6 +50,9 @@ ROUTES:
   POST /v1/tornado     per-knob sensitivity analysis  {\"domain\", \"knobs\"?, \"point\"?}
   POST /v1/montecarlo  uncertainty analysis           {\"domain\", \"knobs\"?, \"point\"?, \"samples\"?, \"seed\"?}
   POST /v1/industry    Table 3 industry testcases     {\"knobs\"?, \"service_years\"?, \"fpga_applications\"?, \"volume\"?}
+  POST /v1/scenario    run a scenario, scored verdict {\"id\"|\"domain\", \"knobs\"?, \"point\"?}
+  POST /v1/replay      time-series carbon replay      {\"id\"|\"domain\", \"knobs\"?, \"point\"?, \"series\"?, \"interpolate\"?}
+  GET  /v1/catalog     the named scenario catalog     (no body)
 
 Errors are {\"error\": {\"code\", \"message\", \"retryable\"}} with canonical
 HTTP statuses (400 bad_request, 404 not_found, 405 method_not_allowed,

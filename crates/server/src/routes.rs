@@ -1,11 +1,12 @@
 //! Request routing: JSON in, engine call, JSON out.
 //!
 //! The dispatch table ([`route_table`]) is the single source of route
-//! identity: every `POST /v1/<kind>` entry is derived from
-//! [`QueryKind::ALL`], the metrics registry builds its labels from the same
-//! table, and [`route_index`] positions a request against it — so adding a
-//! query kind to the core enum makes it servable *and* metered with no
-//! server-side list to update.
+//! identity: every `/v1/<kind>` entry (method from [`QueryKind::method`],
+//! `POST` for all kinds except the body-less `GET /v1/catalog`) is derived
+//! from [`QueryKind::ALL`], the metrics registry builds its labels from the
+//! same table, and [`route_index`] positions a request against it — so
+//! adding a query kind to the core enum makes it servable *and* metered
+//! with no server-side list to update.
 //!
 //! Every query handler decodes the typed request from [`greenfpga::api`],
 //! runs it through the shared [`greenfpga::Engine`] — the **same**
@@ -37,7 +38,7 @@ pub(crate) enum Endpoint {
     Prometheus,
     /// `GET /v1/trace`: the recent-span rings as typed JSON.
     Trace,
-    /// `POST /v1/<kind>`: one engine query.
+    /// `/v1/<kind>` under [`QueryKind::method`]: one engine query.
     Query(QueryKind),
 }
 
@@ -52,7 +53,7 @@ pub(crate) struct Route {
     pub endpoint: Endpoint,
 }
 
-/// The dispatch table: the two `GET` endpoints followed by one `POST`
+/// The dispatch table: the observability `GET` endpoints followed by one
 /// route per [`QueryKind`], in [`QueryKind::ALL`] order. Built once.
 pub(crate) fn route_table() -> &'static [Route] {
     static TABLE: OnceLock<Vec<Route>> = OnceLock::new();
@@ -80,7 +81,7 @@ pub(crate) fn route_table() -> &'static [Route] {
             },
         ];
         table.extend(QueryKind::ALL.into_iter().map(|kind| Route {
-            method: "POST",
+            method: kind.method(),
             path: kind.path(),
             endpoint: Endpoint::Query(kind),
         }));
@@ -115,6 +116,7 @@ pub(crate) fn offloads(method: &str, path: &str) -> bool {
                     | QueryKind::Frontier
                     | QueryKind::Tornado
                     | QueryKind::MonteCarlo
+                    | QueryKind::Replay
             ),
             Endpoint::Healthz | Endpoint::Metrics | Endpoint::Prometheus | Endpoint::Trace => false,
         })
@@ -380,7 +382,13 @@ fn dispatch(
         )),
         Endpoint::Trace => Ok(trace()),
         Endpoint::Query(kind) => {
-            let body = parse_body(state, request)?;
+            // `GET` query routes (the catalog) carry no body; decode from
+            // the empty object instead of parsing zero bytes as JSON.
+            let body = if entry.method == "GET" {
+                Value::Object(Vec::new())
+            } else {
+                parse_body(state, request)?
+            };
             let query = kind.decode_request(&body)?;
             let outcome = state.engine.run_with_buffer(&query, buffer)?;
             Ok(outcome.result_json())
@@ -495,11 +503,13 @@ mod tests {
     #[test]
     fn every_query_kind_is_in_the_dispatch_table() {
         for kind in QueryKind::ALL {
-            let index = route_index("POST", kind.path());
+            let index = route_index(kind.method(), kind.path());
             let entry = &route_table()[index];
             assert_eq!(entry.endpoint, Endpoint::Query(kind), "{kind}");
-            assert_eq!(entry.method, "POST");
+            assert_eq!(entry.method, kind.method());
         }
+        // The catalog is the one body-less query route.
+        assert_eq!(route_index("POST", QueryKind::Catalog.path()), usize::MAX);
         assert!(route_index("GET", "/healthz") < route_table().len());
         assert!(route_index("GET", "/v1/metrics") < route_table().len());
         assert!(route_index("GET", "/metrics") < route_table().len());

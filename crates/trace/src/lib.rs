@@ -103,11 +103,16 @@ pub enum SpanName {
     CliCompile = 13,
     /// CLI phase timing: query evaluation (`aux` = result bytes).
     CliEval = 14,
+    /// Catalog-id resolution to a concrete scenario spec (engine;
+    /// `aux` = catalog entry index; zero duration).
+    CatalogResolve = 15,
+    /// One time-series carbon replay evaluation (engine; `aux` = steps).
+    Replay = 16,
 }
 
 impl SpanName {
     /// Every name, in discriminant order (for exposition layers).
-    pub const ALL: [SpanName; 15] = [
+    pub const ALL: [SpanName; 17] = [
         SpanName::Parse,
         SpanName::Admission,
         SpanName::QueueWait,
@@ -123,6 +128,8 @@ impl SpanName {
         SpanName::Autotune,
         SpanName::CliCompile,
         SpanName::CliEval,
+        SpanName::CatalogResolve,
+        SpanName::Replay,
     ];
 
     /// The wire/display spelling (`snake_case`).
@@ -143,6 +150,8 @@ impl SpanName {
             SpanName::Autotune => "autotune",
             SpanName::CliCompile => "cli_compile",
             SpanName::CliEval => "cli_eval",
+            SpanName::CatalogResolve => "catalog_resolve",
+            SpanName::Replay => "replay",
         }
     }
 

@@ -15,12 +15,14 @@
 use gf_json::{parse, FromJson, ToJson};
 use gf_support::SplitMix64;
 use greenfpga::api::{
-    CompareRequest, EvaluateRequest, FrontierResponse, GridRequest, IndustryRequest,
-    MonteCarloRequest, MonteCarloResponse, Outcome, Query, QueryKind, SweepRequest, TornadoRequest,
+    CatalogRequest, CompareRequest, EvaluateRequest, FrontierResponse, GridRequest,
+    IndustryRequest, MonteCarloRequest, MonteCarloResponse, Outcome, Query, QueryKind,
+    ReplayRequest, ScenarioRef, ScenarioRunRequest, SweepRequest, TornadoRequest,
 };
 use greenfpga::{
-    ApiError, ApiErrorCode, CrossoverRequest, Domain, Engine, Estimator, FrontierRequest,
-    HeatmapRenderer, Knob, MonteCarlo, OperatingPoint, ScenarioSpec, SweepAxis,
+    catalog, ApiError, ApiErrorCode, CarbonIntensitySeries, CrossoverRequest, Domain, Engine,
+    Estimator, FrontierRequest, HeatmapRenderer, Knob, MonteCarlo, OperatingPoint, ScenarioSpec,
+    SeriesRef, SweepAxis,
 };
 
 fn engine() -> Engine {
@@ -330,11 +332,11 @@ fn tornado_montecarlo_and_industry_match_direct_calls() {
 
 #[test]
 fn every_query_kind_runs_through_the_engine() {
-    // Completeness: each of the ten kinds decodes from a minimal body and
-    // runs to a matching outcome kind. A kind added to the enum without an
-    // engine dispatch arm fails here.
+    // Completeness: each of the thirteen kinds decodes from a minimal body
+    // and runs to a matching outcome kind. A kind added to the enum without
+    // an engine dispatch arm fails here.
     let engine = engine();
-    assert_eq!(QueryKind::ALL.len(), 10);
+    assert_eq!(QueryKind::ALL.len(), 13);
     for kind in QueryKind::ALL {
         let body = match kind {
             QueryKind::Batch => r#"{"domain": "dnn", "points": [{"applications": 2}]}"#,
@@ -343,8 +345,9 @@ fn every_query_kind_runs_through_the_engine() {
                 r#"{"domain": "dnn", "axis": "apps", "from": 1, "to": 4, "steps": 3}"#
             }
             QueryKind::MonteCarlo => r#"{"domain": "dnn", "samples": 8}"#,
-            QueryKind::Industry => "{}",
+            QueryKind::Industry | QueryKind::Catalog => "{}",
             QueryKind::Frontier | QueryKind::Grid => r#"{"domain": "dnn", "steps": 4}"#,
+            QueryKind::Scenario | QueryKind::Replay => r#"{"id": "dnn_baseline"}"#,
             _ => r#"{"domain": "dnn"}"#,
         };
         let query = kind.decode_request(&parse(body).unwrap()).unwrap();
@@ -436,6 +439,48 @@ fn random_query(kind: QueryKind, rng: &mut SplitMix64) -> Query {
             fpga_applications: 1 + rng.next_u64() % 6,
             volume: 1 + rng.next_u64() % 5_000_000,
         }),
+        QueryKind::Scenario => Query::Scenario(ScenarioRunRequest {
+            scenario: if rng.next_u64().is_multiple_of(2) {
+                ScenarioRef::Inline(scenario)
+            } else {
+                random_catalog_ref(rng)
+            },
+            point: rng.next_u64().is_multiple_of(2).then_some(point),
+        }),
+        QueryKind::Replay => Query::Replay(ReplayRequest {
+            scenario: random_catalog_ref(rng),
+            point: rng.next_u64().is_multiple_of(2).then_some(point),
+            series: if rng.next_u64().is_multiple_of(2) {
+                SeriesRef::Region(
+                    CarbonIntensitySeries::REGIONS[(rng.next_u64() % 4) as usize].to_string(),
+                )
+            } else {
+                SeriesRef::Inline(
+                    CarbonIntensitySeries::new(
+                        (0..24).map(|_| rng.gen_range_f64(20.0, 900.0)).collect(),
+                        1.0,
+                    )
+                    .unwrap(),
+                )
+            },
+            interpolate: rng.next_u64().is_multiple_of(2),
+        }),
+        QueryKind::Catalog => Query::Catalog(CatalogRequest),
+    }
+}
+
+/// A random catalog reference, half the time carrying a knob override.
+fn random_catalog_ref(rng: &mut SplitMix64) -> ScenarioRef {
+    let entries = catalog();
+    ScenarioRef::Catalog {
+        id: entries[(rng.next_u64() as usize) % entries.len()]
+            .id
+            .to_string(),
+        knobs: if rng.next_u64().is_multiple_of(2) {
+            vec![(Knob::DutyCycle, rng.gen_range_f64(0.05, 0.95))]
+        } else {
+            Vec::new()
+        },
     }
 }
 

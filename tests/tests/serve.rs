@@ -939,8 +939,9 @@ fn industry_route_matches_the_direct_testcases() {
 
 #[test]
 fn every_query_kind_is_servable_over_the_wire() {
-    // The acceptance sweep: POST a decodable request to every /v1/<kind>
-    // route and require a 200 whose body the typed decoder accepts.
+    // The acceptance sweep: send a decodable request to every /v1/<kind>
+    // route (POST with a minimal body, or a bare GET for the catalog) and
+    // require a 200 whose body the typed decoder accepts.
     let handle = spawn_server();
     let mut client = connect(&handle);
     for kind in QueryKind::ALL {
@@ -953,9 +954,14 @@ fn every_query_kind_is_servable_over_the_wire() {
             QueryKind::MonteCarlo => r#"{"domain": "dnn", "samples": 8}"#.to_string(),
             QueryKind::Industry => "{}".to_string(),
             QueryKind::Frontier | QueryKind::Grid => r#"{"domain": "dnn", "steps": 4}"#.to_string(),
+            QueryKind::Scenario | QueryKind::Replay => r#"{"id": "dnn_baseline"}"#.to_string(),
             _ => r#"{"domain": "dnn"}"#.to_string(),
         };
-        let (status, text) = client.post(kind.path(), &body).expect("round-trip");
+        let (status, text) = if kind.method() == "GET" {
+            client.get(kind.path()).expect("round-trip")
+        } else {
+            client.post(kind.path(), &body).expect("round-trip")
+        };
         assert_eq!(status, 200, "{kind}: {text}");
         let value = gf_json::parse(&text).expect("response is JSON");
         kind.decode_result(&value)

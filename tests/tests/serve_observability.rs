@@ -40,7 +40,7 @@ const EVALUATE_BODY: &str =
 
 /// Every span-name spelling the exposition may emit. Pinned here so a
 /// renamed span class is a visible wire-format change, not drift.
-const SPAN_NAMES: [&str; 15] = [
+const SPAN_NAMES: [&str; 17] = [
     "parse",
     "admission",
     "queue_wait",
@@ -56,6 +56,8 @@ const SPAN_NAMES: [&str; 15] = [
     "autotune",
     "cli_compile",
     "cli_eval",
+    "catalog_resolve",
+    "replay",
 ];
 
 fn is_hex_id(id: &str) -> bool {
