@@ -21,7 +21,11 @@
 //!   kernel end to end with only one row-block resident (`grid_1m_ns`), and
 //! * a full-year time-series carbon replay — 8760 hourly intensity steps
 //!   over a cataloged fleet scenario (`replay_year_ns`), the serial loop
-//!   behind `POST /v1/replay`.
+//!   behind `POST /v1/replay`, and
+//! * the inverse-query solver — an affine two-knob argmin through the
+//!   exact vertex tier (`optimize_analytic_ns`) and a non-affine
+//!   constrained solve through the coordinate-search tier
+//!   (`optimize_search_ns`), the paths behind `POST /v1/optimize`.
 //!
 //! Emits `BENCH_eval.json` (override the path with `GF_BENCH_OUT`) so CI
 //! can track the performance trajectory (`bench_gate` compares a fresh run
@@ -34,8 +38,8 @@ use std::time::Duration;
 use gf_bench::harness::{bench_ratio, bench_with, metrics_json};
 use gf_support::SplitMix64;
 use greenfpga::{
-    CompiledScenario, Domain, Estimator, EstimatorParams, Knob, MonteCarlo, OperatingPoint,
-    ResultBuffer, SweepAxis,
+    CompiledScenario, Domain, Estimator, EstimatorParams, Knob, MonteCarlo, Objective,
+    OperatingPoint, OptPlatform, ResultBuffer, SearchKnob, SolverKind, SweepAxis,
 };
 
 const GRID_SIZE: usize = 64;
@@ -469,6 +473,78 @@ fn main() {
         greenfpga::HOURS_PER_YEAR as f64 / replay_year.median_ns * 1e3
     );
 
+    // --- Inverse queries: both optimizer tiers over the same fleet. ---
+    let opt_knobs = [
+        SearchKnob {
+            axis: SweepAxis::Applications,
+            min: 1.0,
+            max: 12.0,
+            integer: true,
+        },
+        SearchKnob {
+            axis: SweepAxis::LifetimeYears,
+            min: 0.5,
+            max: 4.0,
+            integer: false,
+        },
+    ];
+    {
+        // Sanity: each objective lands on its intended solver tier.
+        let analytic = fleet_compiled
+            .optimize(
+                fleet.point,
+                &Objective::MinTotal(OptPlatform::Fpga),
+                &opt_knobs,
+                &[],
+                1e-6,
+                10_000,
+                threads,
+            )
+            .expect("analytic optimize");
+        assert_eq!(analytic.solver, SolverKind::Analytic);
+        let search = fleet_compiled
+            .optimize(
+                fleet.point,
+                &Objective::MinRatio,
+                &opt_knobs,
+                &[],
+                1e-6,
+                10_000,
+                threads,
+            )
+            .expect("search optimize");
+        assert_eq!(search.solver, SolverKind::Search);
+        assert!(search.objective.is_finite());
+    }
+    let optimize_analytic = bench_with("optimize_analytic", Duration::from_millis(120), 5, || {
+        fleet_compiled
+            .optimize(
+                fleet.point,
+                &Objective::MinTotal(OptPlatform::Fpga),
+                &opt_knobs,
+                &[],
+                1e-6,
+                10_000,
+                threads,
+            )
+            .expect("analytic optimize")
+    });
+    println!("{optimize_analytic}");
+    let optimize_search = bench_with("optimize_search", Duration::from_millis(120), 5, || {
+        fleet_compiled
+            .optimize(
+                fleet.point,
+                &Objective::MinRatio,
+                &opt_knobs,
+                &[],
+                1e-6,
+                10_000,
+                threads,
+            )
+            .expect("search optimize")
+    });
+    println!("{optimize_search}");
+
     let json = metrics_json(&[
         ("grid_size", GRID_SIZE as f64),
         ("mc_samples", MC_SAMPLES as f64),
@@ -491,6 +567,8 @@ fn main() {
         ("soa_speedup", soa_speedup),
         ("grid_1m_ns", grid_1m.median_ns),
         ("replay_year_ns", replay_year.median_ns),
+        ("optimize_analytic_ns", optimize_analytic.median_ns),
+        ("optimize_search_ns", optimize_search.median_ns),
     ]);
     let out = std::env::var("GF_BENCH_OUT").unwrap_or_else(|_| "BENCH_eval.json".to_string());
     std::fs::write(&out, &json).expect("write bench json");

@@ -6,8 +6,10 @@
 //! `/v1/evaluate` and `/v1/batch` plus a scenario-layer mix — named
 //! catalog scenarios over `/v1/scenario` (rotating through every
 //! cataloged id, so the run exercises the compiled-scenario cache the way
-//! real catalog traffic does) and full-year time-series replays over
-//! `/v1/replay` — then a **soak pass** that parks
+//! real catalog traffic does), full-year time-series replays over
+//! `/v1/replay`, and inverse queries over `/v1/optimize` (a search-tier
+//! argmin solve per request, so the mix covers the worker-pool offload
+//! path the optimizer rides) — then a **soak pass** that parks
 //! thousands of idle keep-alive connections on the event loop while active
 //! clients keep running traffic, and re-verifies every idle connection
 //! still answers afterwards.
@@ -41,6 +43,8 @@
 //!   (default 2 000, rotating through the catalog)
 //! * `GF_SERVE_LOAD_REPLAYS` — `/v1/replay` requests per pass
 //!   (default 200, 8760 hourly steps each)
+//! * `GF_SERVE_LOAD_OPTIMIZE` — `/v1/optimize` requests per pass
+//!   (default 200, each a constrained two-knob search-tier solve)
 //! * `GF_SERVE_SOAK_CONNECTIONS` — idle keep-alive connections in the soak
 //!   pass (default 4096; each costs two fds in-process)
 //! * `GF_SERVE_TRACE_REQUESTS` — trace-overhead request budget per
@@ -57,12 +61,13 @@ use gf_bench::harness::parse_metrics_json;
 use gf_json::{FromJson, Value};
 use gf_server::{Server, ServerConfig};
 use greenfpga::api::{
-    BatchEvalRequest, BatchEvalResponse, EvaluateRequest, EvaluateResponse, Query, QueryKind,
-    ReplayRequest, ReplayResponse, ScenarioRef, ScenarioRunRequest, ScenarioRunResponse, SeriesRef,
+    BatchEvalRequest, BatchEvalResponse, EvaluateRequest, EvaluateResponse, OptimizeRequest,
+    OptimizeResponse, Query, QueryKind, ReplayRequest, ReplayResponse, ScenarioRef,
+    ScenarioRunRequest, ScenarioRunResponse, SeriesRef,
 };
 use greenfpga::{
-    catalog, CarbonIntensitySeries, Domain, Estimator, OperatingPoint, PlatformComparison,
-    ResultBuffer, ScenarioSpec,
+    catalog, CarbonIntensitySeries, Constraint, Domain, Engine, Estimator, Objective,
+    OperatingPoint, PlatformComparison, ResultBuffer, ScenarioSpec, SearchKnob, SweepAxis,
 };
 
 /// Distinct operating points the clients rotate through — enough variety
@@ -259,9 +264,13 @@ struct ClientOutcome {
     batch_latencies_ns: Vec<u64>,
     scenario_latencies_ns: Vec<u64>,
     replay_latencies_ns: Vec<u64>,
+    optimize_latencies_ns: Vec<u64>,
     errors: u64,
 }
 
+// One count per traffic phase plus the connection target and rotation
+// offset — a parameter object would just restate the phase list.
+#[allow(clippy::too_many_arguments)]
 fn run_client(
     addr: SocketAddr,
     workload: &Workload,
@@ -269,6 +278,7 @@ fn run_client(
     batch_requests: usize,
     scenario_requests: usize,
     replay_requests: usize,
+    optimize_requests: usize,
     offset: usize,
 ) -> ClientOutcome {
     let mut outcome = ClientOutcome {
@@ -276,13 +286,17 @@ fn run_client(
         batch_latencies_ns: Vec::with_capacity(batch_requests),
         scenario_latencies_ns: Vec::with_capacity(scenario_requests),
         replay_latencies_ns: Vec::with_capacity(replay_requests),
+        optimize_latencies_ns: Vec::with_capacity(optimize_requests),
         errors: 0,
     };
     let mut client = match RawClient::connect(addr) {
         Ok(client) => client,
         Err(_) => {
-            outcome.errors +=
-                (evaluate_requests + batch_requests + scenario_requests + replay_requests) as u64;
+            outcome.errors += (evaluate_requests
+                + batch_requests
+                + scenario_requests
+                + replay_requests
+                + optimize_requests) as u64;
             return outcome;
         }
     };
@@ -352,6 +366,16 @@ fn run_client(
             outcome.errors += 1;
         }
     }
+    for _ in 0..optimize_requests {
+        let start = Instant::now();
+        let ok = client.round_trip(&workload.optimize_request, &workload.optimize_golden);
+        outcome
+            .optimize_latencies_ns
+            .push(start.elapsed().as_nanos() as u64);
+        if !ok {
+            outcome.errors += 1;
+        }
+    }
     outcome
 }
 
@@ -374,6 +398,8 @@ struct Workload {
     scenario_goldens: Vec<Vec<u8>>,
     replay_request: Vec<u8>,
     replay_golden: Vec<u8>,
+    optimize_request: Vec<u8>,
+    optimize_golden: Vec<u8>,
 }
 
 /// Builds the workload: encodes every request, then captures each distinct
@@ -435,11 +461,45 @@ fn build_workload() -> Workload {
         point: None,
         series: SeriesRef::Region(REPLAY_REGION.to_string()),
         interpolate: true,
+        years: 1,
     })
     .request_body()
     .to_json_string()
     .expect("replay request serializes");
     let replay_request = encode_request(QueryKind::Replay.path(), &replay_body);
+    // The inverse-query mix: a constrained two-knob argmin on a cataloged
+    // fleet — non-affine objective, so every request runs the search tier
+    // through the worker pool rather than the O(1) analytic shortcut.
+    let optimize_query = Query::Optimize(OptimizeRequest {
+        scenario: ScenarioRef::Catalog {
+            id: REPLAY_ID.to_string(),
+            knobs: Vec::new(),
+        },
+        point: None,
+        objective: Objective::MinRatio,
+        search: vec![
+            SearchKnob {
+                axis: SweepAxis::Applications,
+                min: 1.0,
+                max: 12.0,
+                integer: true,
+            },
+            SearchKnob {
+                axis: SweepAxis::LifetimeYears,
+                min: 0.5,
+                max: 4.0,
+                integer: false,
+            },
+        ],
+        constraints: vec![Constraint::FpgaWins],
+        tolerance: OptimizeRequest::DEFAULT_TOLERANCE,
+        max_evals: OptimizeRequest::DEFAULT_MAX_EVALS,
+    });
+    let optimize_body = optimize_query
+        .request_body()
+        .to_json_string()
+        .expect("optimize request serializes");
+    let optimize_request = encode_request(QueryKind::Optimize.path(), &optimize_body);
 
     let server = Server::bind(ServerConfig {
         addr: "127.0.0.1:0".to_string(),
@@ -529,6 +589,27 @@ fn build_workload() -> Workload {
         response.replay, expected,
         "served replay drifted from the direct series replay"
     );
+
+    stream
+        .write_all(&optimize_request)
+        .expect("send optimize capture");
+    let optimize_golden = read_framed(&mut stream).expect("capture optimize response");
+    // The served body must be byte-for-byte the engine's own encoding of
+    // the same inverse query, and the typed decoder must accept it.
+    let engine_body = Engine::with_defaults()
+        .expect("engine for optimize golden")
+        .run(&optimize_query)
+        .expect("golden optimize")
+        .result_json()
+        .to_json_string()
+        .expect("serialize optimize golden");
+    assert_eq!(
+        body_of(&optimize_golden),
+        engine_body,
+        "served optimize drifted from the direct engine solve"
+    );
+    OptimizeResponse::from_json(&gf_json::parse(body_of(&optimize_golden)).expect("optimize JSON"))
+        .expect("decode optimize");
     handle.shutdown();
 
     Workload {
@@ -540,6 +621,8 @@ fn build_workload() -> Workload {
         scenario_goldens,
         replay_request,
         replay_golden,
+        optimize_request,
+        optimize_golden,
     }
 }
 
@@ -557,6 +640,8 @@ struct PassResult {
     scenario_p99: f64,
     replay_p50: f64,
     replay_p99: f64,
+    optimize_p50: f64,
+    optimize_p99: f64,
 }
 
 /// Runs one load pass: a fresh server sized to `clients`, every client on
@@ -568,6 +653,7 @@ fn run_pass(
     batch_total: usize,
     scenario_total: usize,
     replay_total: usize,
+    optimize_total: usize,
 ) -> PassResult {
     let server = Server::bind(ServerConfig {
         addr: "127.0.0.1:0".to_string(),
@@ -578,7 +664,7 @@ fn run_pass(
     let addr = server.local_addr();
     let handle = server.spawn();
     println!(
-        "serve_load: {evaluate_total} evaluate + {batch_total} batch + {scenario_total} scenario + {replay_total} replay requests over {clients} client(s) -> http://{addr}"
+        "serve_load: {evaluate_total} evaluate + {batch_total} batch + {scenario_total} scenario + {replay_total} replay + {optimize_total} optimize requests over {clients} client(s) -> http://{addr}"
     );
 
     let started = Instant::now();
@@ -592,6 +678,8 @@ fn run_pass(
                 let scenario_share =
                     scenario_total / clients + usize::from(c < scenario_total % clients);
                 let replay_share = replay_total / clients + usize::from(c < replay_total % clients);
+                let optimize_share =
+                    optimize_total / clients + usize::from(c < optimize_total % clients);
                 scope.spawn(move || {
                     run_client(
                         addr,
@@ -600,6 +688,7 @@ fn run_pass(
                         batch_share,
                         scenario_share,
                         replay_share,
+                        optimize_share,
                         c * 7, // decorrelate the rotation between clients
                     )
                 })
@@ -629,14 +718,19 @@ fn run_pass(
         .iter()
         .flat_map(|o| o.replay_latencies_ns.iter().copied())
         .collect();
+    let mut optimize_latencies: Vec<u64> = outcomes
+        .iter()
+        .flat_map(|o| o.optimize_latencies_ns.iter().copied())
+        .collect();
     evaluate_latencies.sort_unstable();
     batch_latencies.sort_unstable();
     scenario_latencies.sort_unstable();
     replay_latencies.sort_unstable();
+    optimize_latencies.sort_unstable();
     let errors: u64 = outcomes.iter().map(|o| o.errors).sum();
     // Every requested round-trip is issued (pipelined or probed), so the
     // pass total is exact even though only probes carry latency samples.
-    let requests = evaluate_total + batch_total + scenario_total + replay_total;
+    let requests = evaluate_total + batch_total + scenario_total + replay_total + optimize_total;
     let rps = requests as f64 / wall.as_secs_f64();
 
     let result = PassResult {
@@ -652,6 +746,8 @@ fn run_pass(
         scenario_p99: percentile_us(&scenario_latencies, 0.99),
         replay_p50: percentile_us(&replay_latencies, 0.50),
         replay_p99: percentile_us(&replay_latencies, 0.99),
+        optimize_p50: percentile_us(&optimize_latencies, 0.50),
+        optimize_p99: percentile_us(&optimize_latencies, 0.99),
     };
     println!(
         "serve_load: {requests} requests in {:.2}s -> {rps:.0} req/s, {errors} errors ({clients} client(s))",
@@ -672,6 +768,10 @@ fn run_pass(
     println!(
         "  replay(8760) latency p50 {:.1} us, p99 {:.1} us",
         result.replay_p50, result.replay_p99
+    );
+    println!(
+        "  optimize latency p50 {:.1} us, p99 {:.1} us",
+        result.optimize_p50, result.optimize_p99
     );
     result
 }
@@ -735,8 +835,9 @@ fn run_soak(workload: &Workload, idle_target: usize) -> SoakResult {
     let active_outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..ACTIVE_CLIENTS)
             .map(|c| {
-                scope
-                    .spawn(move || run_client(addr, workload, ACTIVE_REQUESTS_EACH, 0, 0, 0, c * 7))
+                scope.spawn(move || {
+                    run_client(addr, workload, ACTIVE_REQUESTS_EACH, 0, 0, 0, 0, c * 7)
+                })
             })
             .collect();
         handles
@@ -855,6 +956,7 @@ fn main() {
     let batch_total = env_usize("GF_SERVE_LOAD_BATCHES", 500);
     let scenario_total = env_usize("GF_SERVE_LOAD_SCENARIOS", 2_000);
     let replay_total = env_usize("GF_SERVE_LOAD_REPLAYS", 200);
+    let optimize_total = env_usize("GF_SERVE_LOAD_OPTIMIZE", 200);
     let soak_connections = env_usize("GF_SERVE_SOAK_CONNECTIONS", 4_096);
 
     let trace_requests = env_usize("GF_SERVE_TRACE_REQUESTS", 20_000);
@@ -870,6 +972,7 @@ fn main() {
                 batch_total,
                 scenario_total,
                 replay_total,
+                optimize_total,
             )
         })
         .collect();
@@ -903,6 +1006,8 @@ fn main() {
         ("serve_scenario_p99_us".to_string(), single.scenario_p99),
         ("serve_replay_p50_us".to_string(), single.replay_p50),
         ("serve_replay_p99_us".to_string(), single.replay_p99),
+        ("serve_optimize_p50_us".to_string(), single.optimize_p50),
+        ("serve_optimize_p99_us".to_string(), single.optimize_p99),
         ("serve_connections".to_string(), soak.connections as f64),
         ("trace_overhead".to_string(), trace_overhead),
     ];

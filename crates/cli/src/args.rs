@@ -7,7 +7,9 @@
 
 use std::fmt;
 
-use greenfpga::{Domain, MonteCarloRequest, SweepAxis};
+use greenfpga::{
+    Constraint, Domain, MonteCarloRequest, Objective, OptPlatform, SearchKnob, SweepAxis,
+};
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -101,6 +103,29 @@ pub enum Command {
         interpolate: bool,
         /// Operating-point overrides on the cataloged default.
         point: PointOverrides,
+        /// How many times the series is stitched end-to-end (`--years`).
+        years: u64,
+    },
+    /// Solve an inverse query: minimize an objective (or fill a carbon
+    /// budget) over a box of search knobs (the `optimize` query).
+    Optimize {
+        /// Catalog id supplying the scenario; `None` uses the baseline of
+        /// `--domain`.
+        id: Option<String>,
+        /// Domain of the inline baseline scenario when no id is given.
+        domain: Domain,
+        /// Operating-point overrides supplying the non-searched axes.
+        point: PointOverrides,
+        /// What to minimize or satisfy.
+        objective: Objective,
+        /// The searched axes and their bounds (`--knob`, repeatable).
+        search: Vec<SearchKnob>,
+        /// Feasibility constraints (`--fpga-wins`, `--cap-kg`).
+        constraints: Vec<Constraint>,
+        /// `--tolerance`, when given.
+        tolerance: Option<f64>,
+        /// `--max-evals`, when given.
+        max_evals: Option<u64>,
     },
     /// Print usage information.
     Help,
@@ -251,6 +276,8 @@ COMMANDS:
   industry     Evaluate the Table 3 industry testcases
   scenarios    List the named scenario catalog, or run one by id
   replay       Replay a cataloged scenario over a year of grid carbon data
+  optimize     Solve an inverse query: minimize an objective or fill a
+               carbon budget over 1-3 search knobs
   tornado      One-at-a-time sensitivity analysis over the Table 1 knobs
   montecarlo   Monte-Carlo uncertainty analysis over the Table 1 ranges
   query        Run a raw Query JSON envelope from --file or stdin
@@ -309,6 +336,24 @@ SCENARIOS / REPLAY OPTIONS:
                                   (default: global_flat)
   --interpolate                   replay: interpolate linearly between the
                                   hourly samples instead of stepwise
+  --years <N>                     replay: stitch the series end-to-end N
+                                  times (must fit the device lifetime)
+
+OPTIMIZE OPTIONS:
+  <ID>                            optional catalog scenario id (omitted
+                                  optimizes the --domain baseline)
+  --objective <GOAL>              total | operational | embodied | margin |
+                                  ratio | budget               (required)
+  --platform <fpga|asic>          platform the objective reads (default: fpga)
+  --budget-kg <KG>                carbon budget for --objective budget
+  --knob <axis:min:max[:int]>     search knob, repeatable up to 3 times
+                                  (axis = apps|lifetime|volume) (required)
+  --fpga-wins                     constrain the argmin to FPGA-winning points
+  --cap-kg <KG>                   cap a platform total at the argmin
+  --cap-platform <fpga|asic>      platform --cap-kg caps     (default: fpga)
+  --tolerance <T>                 search-tier tolerance      (default: 1e-6)
+  --max-evals <N>                 evaluation budget          (default: 10000)
+  --apps/--lifetime/--volume      non-searched axes of the operating point
 
 GRID / FRONTIER OPTIONS:
   --x-axis <apps|lifetime|volume> column axis              (default: apps)
@@ -364,7 +409,10 @@ impl Options {
                 flags.push(arg.trim_start_matches('-').to_string());
                 i += 1;
             } else if let Some(key) = arg.strip_prefix("--") {
-                if matches!(key, "csv" | "adaptive" | "json" | "stream" | "interpolate") {
+                if matches!(
+                    key,
+                    "csv" | "adaptive" | "json" | "stream" | "interpolate" | "fpga-wins"
+                ) {
                     flags.push(key.to_string());
                     i += 1;
                 } else if i + 1 < args.len() {
@@ -386,6 +434,16 @@ impl Options {
             .rev()
             .find(|(k, _)| k == key)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Every value given for a repeatable option, in command-line order
+    /// (unlike [`Options::get`], which is last-wins for scalar options).
+    fn get_all(&self, key: &str) -> Vec<&str> {
+        self.pairs
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect()
     }
 
     fn has_flag(&self, flag: &str) -> bool {
@@ -594,6 +652,139 @@ fn parse_serve(options: &Options) -> Result<ServeArgs, ParseError> {
     Ok(serve)
 }
 
+/// Parses `--platform fpga|asic` (default FPGA, matching the wire).
+fn parse_platform(value: Option<&str>, key: &str) -> Result<OptPlatform, ParseError> {
+    match value {
+        None => Ok(OptPlatform::Fpga),
+        Some("fpga") => Ok(OptPlatform::Fpga),
+        Some("asic") => Ok(OptPlatform::Asic),
+        Some(other) => Err(ParseError(format!(
+            "{key} must be fpga or asic, got '{other}'"
+        ))),
+    }
+}
+
+/// Parses one `--knob axis:min:max[:int]` specification.
+fn parse_knob(spec: &str) -> Result<SearchKnob, ParseError> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    if parts.len() < 3 || parts.len() > 4 {
+        return Err(ParseError(format!(
+            "--knob expects axis:min:max[:int], got '{spec}'"
+        )));
+    }
+    let axis = parse_axis(parts[0])?;
+    let min: f64 = parse_number("--knob min", parts[1])?;
+    let max: f64 = parse_number("--knob max", parts[2])?;
+    let integer = match parts.get(3) {
+        None => false,
+        Some(&"int") | Some(&"integer") => true,
+        Some(other) => {
+            return Err(ParseError(format!(
+                "--knob flag must be 'int', got '{other}'"
+            )))
+        }
+    };
+    Ok(SearchKnob {
+        axis,
+        min,
+        max,
+        integer,
+    })
+}
+
+/// Parses the `optimize` subcommand: objective, search knobs, constraints
+/// and solver controls.
+fn parse_optimize(positionals: &[String], options: &Options) -> Result<Command, ParseError> {
+    let id = positionals
+        .first()
+        .cloned()
+        .or_else(|| options.get("id").map(str::to_string));
+    if id.is_some() && options.get("domain").is_some() {
+        return Err(ParseError(
+            "--domain conflicts with a catalog id (the catalog entry names its domain)".to_string(),
+        ));
+    }
+    let domain = match options.get("domain") {
+        Some(v) => parse_domain(v)?,
+        None => Domain::Dnn,
+    };
+    let platform = parse_platform(options.get("platform"), "--platform")?;
+    let budget_kg = match options.get("budget-kg") {
+        Some(v) => Some(parse_number::<f64>("--budget-kg", v)?),
+        None => None,
+    };
+    let goal = options
+        .get("objective")
+        .ok_or_else(|| ParseError("--objective is required".to_string()))?;
+    let objective = match goal.to_ascii_lowercase().as_str() {
+        "total" | "min_total" | "min-total" => Objective::MinTotal(platform),
+        "operational" | "min_operational" | "min-operational" => {
+            Objective::MinOperational(platform)
+        }
+        "embodied" | "min_embodied" | "min-embodied" => Objective::MinEmbodied(platform),
+        "margin" | "max_margin" | "max-margin" => Objective::MaxFpgaMargin,
+        "ratio" | "min_ratio" | "min-ratio" => Objective::MinRatio,
+        "budget" => Objective::MeetBudget {
+            platform,
+            budget_kg: budget_kg
+                .ok_or_else(|| ParseError("--objective budget needs --budget-kg".to_string()))?,
+        },
+        other => {
+            return Err(ParseError(format!(
+                "unknown objective '{other}' (expected total, operational, embodied, \
+                 margin, ratio or budget)"
+            )))
+        }
+    };
+    if budget_kg.is_some() && !matches!(objective, Objective::MeetBudget { .. }) {
+        return Err(ParseError(
+            "--budget-kg only applies to --objective budget".to_string(),
+        ));
+    }
+    let search = options
+        .get_all("knob")
+        .into_iter()
+        .map(parse_knob)
+        .collect::<Result<Vec<_>, _>>()?;
+    if search.is_empty() {
+        return Err(ParseError(
+            "at least one --knob axis:min:max[:int] is required".to_string(),
+        ));
+    }
+    let mut constraints = Vec::new();
+    if options.has_flag("fpga-wins") {
+        constraints.push(Constraint::FpgaWins);
+    }
+    if let Some(v) = options.get("cap-kg") {
+        constraints.push(Constraint::MaxTotalKg {
+            platform: parse_platform(options.get("cap-platform"), "--cap-platform")?,
+            limit_kg: parse_number("--cap-kg", v)?,
+        });
+    } else if options.get("cap-platform").is_some() {
+        return Err(ParseError(
+            "--cap-platform only applies together with --cap-kg".to_string(),
+        ));
+    }
+    let tolerance = match options.get("tolerance") {
+        Some(v) => Some(parse_number::<f64>("--tolerance", v)?),
+        None => None,
+    };
+    let max_evals = match options.get("max-evals") {
+        Some(v) => Some(parse_number::<u64>("--max-evals", v)?),
+        None => None,
+    };
+    Ok(Command::Optimize {
+        id,
+        domain,
+        point: options.point_overrides()?,
+        objective,
+        search,
+        constraints,
+        tolerance,
+        max_evals,
+    })
+}
+
 /// Parses a full command line (excluding the program name).
 pub fn parse(args: &[String]) -> Result<ParsedCommand, ParseError> {
     let Some((command, rest)) = args.split_first() else {
@@ -638,7 +829,7 @@ fn parse_command(
 ) -> Result<Command, ParseError> {
     // Only the catalog-backed subcommands take a positional (the id);
     // everywhere else a bare token is a mistake, as it always was.
-    if !positionals.is_empty() && !matches!(command, "scenarios" | "replay") {
+    if !positionals.is_empty() && !matches!(command, "scenarios" | "replay" | "optimize") {
         return Err(ParseError(format!(
             "unexpected argument '{}'",
             positionals[0]
@@ -760,7 +951,18 @@ fn parse_command(
             region: options.get("region").map(str::to_string),
             interpolate: options.has_flag("interpolate"),
             point: options.point_overrides()?,
+            years: match options.get("years") {
+                Some(v) => {
+                    let years: u64 = parse_number("--years", v)?;
+                    if years == 0 {
+                        return Err(ParseError("--years must be at least 1".to_string()));
+                    }
+                    years
+                }
+                None => 1,
+            },
         }),
+        "optimize" => parse_optimize(positionals, options),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(ParseError(format!("unknown command '{other}'"))),
     }
@@ -1107,6 +1309,7 @@ mod tests {
             "serve",
             "scenarios",
             "replay",
+            "optimize",
         ] {
             assert!(USAGE.contains(command), "usage is missing {command}");
         }
@@ -1158,6 +1361,7 @@ mod tests {
                 region: None,
                 interpolate: false,
                 point: PointOverrides::default(),
+                years: 1,
             }
         );
         let cmd = parse_cmd("replay dnn_baseline --region solar_duck --interpolate --volume 5000")
@@ -1168,15 +1372,118 @@ mod tests {
                 region,
                 interpolate,
                 point,
+                years,
             } => {
                 assert_eq!(id, "dnn_baseline");
                 assert_eq!(region.as_deref(), Some("solar_duck"));
                 assert!(interpolate);
                 assert_eq!(point.volume, Some(5000));
+                assert_eq!(years, 1);
             }
             other => panic!("unexpected command {other:?}"),
         }
+        let cmd = parse_cmd("replay crypto_fleet_1m_5y --years 5").unwrap();
+        assert!(matches!(cmd, Command::Replay { years: 5, .. }));
+        assert!(parse_cmd("replay crypto_fleet_1m_5y --years 0").is_err());
         // Positionals stay rejected everywhere else.
         assert!(parse_cmd("evaluate dnn_baseline").is_err());
+    }
+
+    #[test]
+    fn optimize_parses_objective_knobs_and_constraints() {
+        let cmd =
+            parse_cmd("optimize --objective total --knob apps:1:12 --knob lifetime:0.5:4").unwrap();
+        match cmd {
+            Command::Optimize {
+                id,
+                domain,
+                objective,
+                search,
+                constraints,
+                tolerance,
+                max_evals,
+                ..
+            } => {
+                assert_eq!(id, None);
+                assert_eq!(domain, Domain::Dnn);
+                assert_eq!(objective, Objective::MinTotal(OptPlatform::Fpga));
+                assert_eq!(search.len(), 2);
+                assert_eq!(search[0].axis, SweepAxis::Applications);
+                assert!((search[0].min - 1.0).abs() < 1e-12);
+                assert!((search[0].max - 12.0).abs() < 1e-12);
+                assert!(!search[0].integer);
+                assert_eq!(search[1].axis, SweepAxis::LifetimeYears);
+                assert!(constraints.is_empty());
+                assert_eq!(tolerance, None);
+                assert_eq!(max_evals, None);
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+
+        let cmd = parse_cmd(
+            "optimize dnn_baseline --objective budget --platform asic --budget-kg 5e6 \
+             --knob volume:1000:2000000:int --tolerance 1e-4 --max-evals 500",
+        )
+        .unwrap();
+        match cmd {
+            Command::Optimize {
+                id,
+                objective,
+                search,
+                tolerance,
+                max_evals,
+                ..
+            } => {
+                assert_eq!(id.as_deref(), Some("dnn_baseline"));
+                assert_eq!(
+                    objective,
+                    Objective::MeetBudget {
+                        platform: OptPlatform::Asic,
+                        budget_kg: 5e6,
+                    }
+                );
+                assert!(search[0].integer);
+                assert_eq!(tolerance, Some(1e-4));
+                assert_eq!(max_evals, Some(500));
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+
+        let cmd = parse_cmd(
+            "optimize --objective ratio --knob apps:1:20 --fpga-wins \
+             --cap-kg 1e9 --cap-platform asic",
+        )
+        .unwrap();
+        match cmd {
+            Command::Optimize { constraints, .. } => {
+                assert_eq!(constraints.len(), 2);
+                assert_eq!(constraints[0], Constraint::FpgaWins);
+                assert_eq!(
+                    constraints[1],
+                    Constraint::MaxTotalKg {
+                        platform: OptPlatform::Asic,
+                        limit_kg: 1e9,
+                    }
+                );
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+
+        // Required pieces and conflicts are rejected loudly.
+        assert!(parse_cmd("optimize --knob apps:1:12").is_err());
+        assert!(parse_cmd("optimize --objective total").is_err());
+        assert!(parse_cmd("optimize --objective budget --knob apps:1:12").is_err());
+        assert!(parse_cmd("optimize --objective total --budget-kg 5 --knob apps:1:12").is_err());
+        assert!(parse_cmd("optimize --objective total --knob apps:1").is_err());
+        assert!(parse_cmd("optimize --objective total --knob watts:1:2").is_err());
+        assert!(parse_cmd("optimize --objective glory --knob apps:1:12").is_err());
+        assert!(parse_cmd("optimize --objective total --knob apps:1:12 --platform gpu").is_err());
+        assert!(
+            parse_cmd("optimize --objective total --knob apps:1:12 --cap-platform asic").is_err()
+        );
+        assert!(parse_cmd(
+            "optimize dnn_baseline --domain crypto --objective total --knob apps:1:12"
+        )
+        .is_err());
     }
 }

@@ -31,8 +31,8 @@ use std::process::ExitCode;
 use gf_json::{object, FromJson, ToJson, Value};
 use greenfpga::api::{
     CatalogRequest, CompareRequest, EvaluateRequest, FrontierResponse, GridRequest,
-    IndustryRequest, MonteCarloRequest, MonteCarloResponse, Outcome, Query, ReplayRequest,
-    ScenarioRef, ScenarioRunRequest, SweepRequest, TornadoRequest,
+    IndustryRequest, MonteCarloRequest, MonteCarloResponse, OptimizeRequest, Outcome, Query,
+    ReplayRequest, ScenarioRef, ScenarioRunRequest, SweepRequest, TornadoRequest,
 };
 use greenfpga::{
     catalog_entry, csv_from_rows, render_table, ApiError, CfpBreakdown, CrossoverRequest, Domain,
@@ -270,6 +270,7 @@ fn build_query(command: &Command) -> Result<Query, ApiError> {
             region,
             interpolate,
             point,
+            years,
         } => Query::Replay(ReplayRequest {
             scenario: catalog_ref(id),
             point: resolved_override(id, *point),
@@ -279,10 +280,53 @@ fn build_query(command: &Command) -> Result<Query, ApiError> {
                     .unwrap_or_else(|| ReplayRequest::DEFAULT_REGION.to_string()),
             ),
             interpolate: *interpolate,
+            years: *years,
         }),
+        Command::Optimize {
+            id,
+            domain,
+            point,
+            objective,
+            search,
+            constraints,
+            tolerance,
+            max_evals,
+        } => {
+            let (scenario, point) = match id {
+                Some(id) => (catalog_ref(id), resolved_override(id, *point)),
+                None => (
+                    ScenarioRef::Inline(ScenarioSpec::baseline(*domain)),
+                    paper_override(*point),
+                ),
+            };
+            Query::Optimize(OptimizeRequest {
+                scenario,
+                point,
+                objective: *objective,
+                search: search.clone(),
+                constraints: constraints.clone(),
+                tolerance: tolerance.unwrap_or(OptimizeRequest::DEFAULT_TOLERANCE),
+                max_evals: max_evals.unwrap_or(OptimizeRequest::DEFAULT_MAX_EVALS),
+            })
+        }
         Command::Help | Command::Serve(_) | Command::Query { .. } => {
             unreachable!("handled before query dispatch")
         }
+    })
+}
+
+/// Like [`resolved_override`] for inline (domain-only) scenarios: partial
+/// point flags are completed from the paper-default operating point so the
+/// built query carries the same full point the engine would resolve.
+fn paper_override(point: PointOverrides) -> Option<OperatingPoint> {
+    if point.is_empty() {
+        return None;
+    }
+    let base = OperatingPoint::paper_default();
+    Some(OperatingPoint {
+        applications: point.apps.unwrap_or(base.applications),
+        lifetime_years: point.lifetime_years.unwrap_or(base.lifetime_years),
+        volume: point.volume.unwrap_or(base.volume),
     })
 }
 
@@ -564,6 +608,34 @@ fn render_outcome(command: &Command, outcome: &Outcome) -> Result<(), ApiError> 
             print_replay(response.id.as_deref(), response.domain, &response.replay);
             Ok(())
         }
+        (Command::Optimize { .. }, Outcome::Optimize(response)) => {
+            match &response.id {
+                Some(id) => println!("Optimum for '{id}' ({}):", response.domain),
+                None => println!("Optimum ({}):", response.domain),
+            }
+            for (axis, value) in &response.argmin {
+                println!("  {:14} {value}", format!("{}:", axis.label()));
+            }
+            println!(
+                "  at {} apps, {:.3} y, {} units",
+                response.point.applications, response.point.lifetime_years, response.point.volume
+            );
+            println!(
+                "  objective {:.6} via the {} solver ({} evaluations)",
+                response.objective, response.solver, response.evaluations
+            );
+            for probe in &response.certificate {
+                println!(
+                    "  probe {} = {}: objective {:.6} (delta {:+.6})",
+                    probe.axis.label(),
+                    probe.at,
+                    probe.objective,
+                    probe.delta
+                );
+            }
+            print_verdict(&response.verdict);
+            Ok(())
+        }
         _ => Err(ApiError::internal(
             "outcome kind does not match the subcommand",
         )),
@@ -824,4 +896,52 @@ fn print_json(value: &Value) -> Result<(), ApiError> {
         .map_err(|e| ApiError::internal(format!("result serialization failed: {e}")))?;
     print!("{text}");
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn query_body(line: &str) -> String {
+        let argv: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+        let parsed = args::parse(&argv).expect("parse");
+        build_query(&parsed.command)
+            .expect("build query")
+            .request_body()
+            .to_json_string()
+            .expect("serialize")
+    }
+
+    #[test]
+    fn optimize_subcommand_builds_byte_identical_wire_queries() {
+        // The CLI must send exactly the bytes a hand-written HTTP client
+        // would POST to /v1/optimize — same member order, same omitted
+        // defaults — so served responses (and caches) cannot diverge by
+        // entry path.
+        assert_eq!(
+            query_body(
+                "optimize dnn_fleet_10k_3y --objective ratio --knob apps:1:12 \
+                 --knob lifetime:0.5:4 --fpga-wins --tolerance 1e-5 --max-evals 2000"
+            ),
+            r#"{"id":"dnn_fleet_10k_3y","knobs":{},"objective":{"goal":"min_ratio"},"search":[{"axis":"apps","min":1,"max":12},{"axis":"lifetime","min":0.5,"max":4}],"constraints":[{"kind":"fpga_wins"}],"tolerance":0.00001,"max_evals":2000}"#
+        );
+        // Inline scenario, default tolerance/max_evals omitted; a partial
+        // point override is completed from the paper-default point.
+        assert_eq!(
+            query_body("optimize --domain crypto --objective budget --platform asic --budget-kg 5e6 --knob volume:1000:2000000:int --apps 3"),
+            r#"{"domain":"crypto","knobs":{},"point":{"applications":3,"lifetime_years":2,"volume":1000000},"objective":{"goal":"budget","platform":"asic","budget_kg":5000000},"search":[{"axis":"volume","min":1000,"max":2000000,"integer":true}]}"#
+        );
+    }
+
+    #[test]
+    fn replay_years_rides_the_wire_only_when_above_one() {
+        assert_eq!(
+            query_body("replay dnn_fleet_10k_3y --region solar_duck"),
+            r#"{"id":"dnn_fleet_10k_3y","knobs":{},"series":"solar_duck","interpolate":false}"#
+        );
+        assert_eq!(
+            query_body("replay dnn_fleet_10k_3y --region solar_duck --years 3"),
+            r#"{"id":"dnn_fleet_10k_3y","knobs":{},"series":"solar_duck","interpolate":false,"years":3}"#
+        );
+    }
 }

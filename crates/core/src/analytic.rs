@@ -22,8 +22,66 @@
 //! within 1e-9.
 
 use crate::{
-    CompiledScenario, Crossover, CrossoverDirection, OperatingPoint, PlatformKind, SweepAxis,
+    CompiledScenario, Crossover, CrossoverDirection, GreenFpgaError, OperatingPoint, PlatformKind,
+    SweepAxis,
 };
+
+/// Kernel-verifies an integer boundary predicted by the affine algebra.
+///
+/// `flipped(x)` is a monotone predicate over `lo..=hi` — `false` below some
+/// boundary, `true` at and above it (a winner flip, a budget bust, a sign
+/// change). The affine root predicts where the boundary sits, but the root
+/// is computed from multiplied-out coefficients while the kernel
+/// accumulates per application, so the two can disagree by a ulp: seed the
+/// candidate from the prediction, then walk it against the real kernel —
+/// at most a step or two in practice.
+///
+/// Returns the first `x` in `lo..=hi` with `flipped(x)`, or `None` when
+/// the predicate never flips in range. Both the crossover searches
+/// ([`CompiledScenario::crossover_in_applications_verified`],
+/// [`CompiledScenario::crossover_in_volume_verified`]) and the optimizer's
+/// budget solve ([`CompiledScenario::optimize`]) go through this one
+/// helper, so their integer-boundary semantics cannot drift.
+///
+/// # Errors
+///
+/// Propagates the predicate's evaluation errors.
+pub(crate) fn verify_integer_boundary(
+    predicted_root: Option<f64>,
+    lo: u64,
+    hi: u64,
+    mut flipped: impl FnMut(u64) -> Result<bool, GreenFpgaError>,
+) -> Result<Option<u64>, GreenFpgaError> {
+    debug_assert!(lo <= hi);
+    let mut candidate = match predicted_root {
+        // The first integer strictly past the real-valued root, clamped
+        // into range.
+        Some(root) if root.is_finite() => {
+            if root < lo as f64 {
+                lo
+            } else if root >= hi as f64 {
+                hi
+            } else {
+                root.floor() as u64 + 1
+            }
+        }
+        _ => lo,
+    };
+    candidate = candidate.clamp(lo, hi);
+    loop {
+        if flipped(candidate)? {
+            break;
+        }
+        if candidate >= hi {
+            return Ok(None);
+        }
+        candidate += 1;
+    }
+    while candidate > lo && flipped(candidate - 1)? {
+        candidate -= 1;
+    }
+    Ok(Some(candidate))
+}
 
 /// An affine total `intercept + slope · x` (kilograms CO₂e) of one platform
 /// along one swept workload parameter.
@@ -336,6 +394,64 @@ mod tests {
         assert!(affine.crossover_in(root - 1.0, root + 1.0).is_some());
         assert!(affine.crossover_in(root + 1.0, root + 2.0).is_none());
         assert!(affine.crossover_in(root - 2.0, root - 1.0).is_none());
+    }
+
+    /// Property: for every monotone predicate and every predicted root
+    /// (accurate, a ulp off, wildly wrong, or absent), the shared boundary
+    /// walk lands exactly on the brute-force first-flipped integer.
+    #[test]
+    fn integer_boundary_walk_matches_brute_force_scan() {
+        let (lo, hi) = (2u64, 40u64);
+        for boundary in lo..=hi + 1 {
+            let flipped = |x: u64| Ok(x >= boundary);
+            let oracle = (lo..=hi).find(|&x| x >= boundary);
+            for predicted in [
+                None,
+                Some(boundary as f64 - 1.0),
+                Some(boundary as f64 - 0.5),
+                Some(boundary as f64 + 1.5),
+                Some(-7.0),
+                Some(1e9),
+                Some(f64::NAN),
+            ] {
+                let got = verify_integer_boundary(predicted, lo, hi, flipped).unwrap();
+                assert_eq!(got, oracle, "boundary {boundary}, predicted {predicted:?}");
+            }
+        }
+    }
+
+    /// The crossover search and the optimizer both route integer-boundary
+    /// verification through the shared helper; cross-check the helper on a
+    /// real kernel predicate against a dense scan.
+    #[test]
+    fn integer_boundary_walk_matches_kernel_scan() {
+        let scenario = compiled(Domain::Dnn);
+        let base = OperatingPoint::paper_default();
+        let wins_at = |n: u64| -> Result<bool, GreenFpgaError> {
+            Ok(scenario
+                .evaluate(OperatingPoint {
+                    applications: n,
+                    ..base
+                })?
+                .winner()
+                == PlatformKind::Fpga)
+        };
+        let oracle = (2..=64u64).find(|&n| {
+            scenario
+                .evaluate(OperatingPoint {
+                    applications: n,
+                    ..base
+                })
+                .unwrap()
+                .winner()
+                == PlatformKind::Fpga
+        });
+        let root = scenario
+            .crossover_in_applications_analytic(base.lifetime_years, base.volume)
+            .map(|c| c.at);
+        let got = verify_integer_boundary(root, 2, 64, wins_at).unwrap();
+        assert_eq!(got, oracle);
+        assert!(got.is_some(), "dnn flips within 64 applications");
     }
 
     #[test]

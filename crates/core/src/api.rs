@@ -29,6 +29,9 @@
 
 use gf_json::{object, FromJson, JsonError, ToJson, Value};
 
+use crate::optimize::{
+    CertificateProbe, Constraint, Objective, OptPlatform, SearchKnob, SolverKind,
+};
 use crate::scenario::{CarbonIntensitySeries, CatalogEntry, ReplayOutcome, Verdict};
 use crate::{
     ApiError, ApiErrorCode, CfpBreakdown, Crossover, CrossoverDirection, Domain, EstimatorParams,
@@ -660,6 +663,10 @@ pub struct ReplayRequest {
     pub series: SeriesRef,
     /// Whether step lookup interpolates between bounding samples.
     pub interpolate: bool,
+    /// How many times the series is stitched end-to-end before the replay
+    /// ([`CarbonIntensitySeries::repeat`]); must not exceed the device
+    /// lifetime in whole years. Omitted from the wire when 1.
+    pub years: u64,
 }
 
 impl ReplayRequest {
@@ -675,6 +682,9 @@ impl ToJson for ReplayRequest {
         }
         members.push(("series", self.series.to_json()));
         members.push(("interpolate", Value::Bool(self.interpolate)));
+        if self.years != 1 {
+            members.push(("years", Value::Number(self.years as f64)));
+        }
         merge_scenario_ref(&self.scenario, members)
     }
 }
@@ -692,6 +702,7 @@ impl FromJson for ReplayRequest {
             point: decode_point_opt(value)?,
             series,
             interpolate: decode_or(value, "interpolate", false)?,
+            years: decode_or(value, "years", 1u64)?,
         })
     }
 }
@@ -783,6 +794,380 @@ impl FromJson for ReplayResponse {
             domain: decode(value, "domain")?,
             point: decode(value, "point")?,
             replay: decode(value, "replay")?,
+        })
+    }
+}
+
+impl ToJson for OptPlatform {
+    fn to_json(&self) -> Value {
+        Value::String(
+            match self {
+                OptPlatform::Fpga => "fpga",
+                OptPlatform::Asic => "asic",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for OptPlatform {
+    fn from_json(value: &Value) -> Result<OptPlatform, JsonError> {
+        match value.as_str() {
+            Some("fpga") => Ok(OptPlatform::Fpga),
+            Some("asic") => Ok(OptPlatform::Asic),
+            _ => Err(JsonError::schema(
+                "platform",
+                "expected \"fpga\" or \"asic\"",
+            )),
+        }
+    }
+}
+
+/// Decodes an optional `"platform"` member, defaulting to the FPGA.
+fn decode_platform(value: &Value) -> Result<OptPlatform, JsonError> {
+    match value.get("platform") {
+        None | Some(Value::Null) => Ok(OptPlatform::Fpga),
+        Some(member) => OptPlatform::from_json(member).map_err(|e| prefix_schema("platform", e)),
+    }
+}
+
+/// Encodes a `"platform"` member, omitted when it is the FPGA default.
+fn push_platform(members: &mut Vec<(&'static str, Value)>, platform: OptPlatform) {
+    if platform != OptPlatform::Fpga {
+        members.push(("platform", platform.to_json()));
+    }
+}
+
+impl ToJson for Objective {
+    fn to_json(&self) -> Value {
+        let mut members: Vec<(&'static str, Value)> = Vec::new();
+        let goal = match *self {
+            Objective::MinTotal(platform) => {
+                push_platform(&mut members, platform);
+                "min_total"
+            }
+            Objective::MinOperational(platform) => {
+                push_platform(&mut members, platform);
+                "min_operational"
+            }
+            Objective::MinEmbodied(platform) => {
+                push_platform(&mut members, platform);
+                "min_embodied"
+            }
+            Objective::MaxFpgaMargin => "max_margin",
+            Objective::MinRatio => "min_ratio",
+            Objective::MeetBudget {
+                platform,
+                budget_kg,
+            } => {
+                push_platform(&mut members, platform);
+                members.push(("budget_kg", Value::Number(budget_kg)));
+                "budget"
+            }
+        };
+        members.insert(0, ("goal", Value::String(goal.to_string())));
+        object(members)
+    }
+}
+
+impl FromJson for Objective {
+    fn from_json(value: &Value) -> Result<Objective, JsonError> {
+        let goal = field(value, "goal")?
+            .as_str()
+            .ok_or_else(|| JsonError::schema("goal", "expected a goal string"))?;
+        match goal {
+            "min_total" => Ok(Objective::MinTotal(decode_platform(value)?)),
+            "min_operational" => Ok(Objective::MinOperational(decode_platform(value)?)),
+            "min_embodied" => Ok(Objective::MinEmbodied(decode_platform(value)?)),
+            "max_margin" => Ok(Objective::MaxFpgaMargin),
+            "min_ratio" => Ok(Objective::MinRatio),
+            "budget" => Ok(Objective::MeetBudget {
+                platform: decode_platform(value)?,
+                budget_kg: decode(value, "budget_kg")?,
+            }),
+            other => Err(JsonError::schema(
+                "goal",
+                format!(
+                    "unknown goal '{other}' (expected min_total, min_operational, \
+                     min_embodied, max_margin, min_ratio or budget)"
+                ),
+            )),
+        }
+    }
+}
+
+impl ToJson for SearchKnob {
+    fn to_json(&self) -> Value {
+        let mut members = vec![
+            ("axis", self.axis.to_json()),
+            ("min", Value::Number(self.min)),
+            ("max", Value::Number(self.max)),
+        ];
+        if self.integer {
+            members.push(("integer", Value::Bool(true)));
+        }
+        object(members)
+    }
+}
+
+impl FromJson for SearchKnob {
+    fn from_json(value: &Value) -> Result<SearchKnob, JsonError> {
+        Ok(SearchKnob {
+            axis: decode(value, "axis")?,
+            min: decode(value, "min")?,
+            max: decode(value, "max")?,
+            integer: decode_or(value, "integer", false)?,
+        })
+    }
+}
+
+impl ToJson for Constraint {
+    fn to_json(&self) -> Value {
+        match *self {
+            Constraint::FpgaWins => object([("kind", Value::String("fpga_wins".to_string()))]),
+            Constraint::MaxTotalKg { platform, limit_kg } => {
+                let mut members = vec![("kind", Value::String("max_total_kg".to_string()))];
+                push_platform(&mut members, platform);
+                members.push(("limit_kg", Value::Number(limit_kg)));
+                object(members)
+            }
+        }
+    }
+}
+
+impl FromJson for Constraint {
+    fn from_json(value: &Value) -> Result<Constraint, JsonError> {
+        let kind = field(value, "kind")?
+            .as_str()
+            .ok_or_else(|| JsonError::schema("kind", "expected a constraint kind string"))?;
+        match kind {
+            "fpga_wins" => Ok(Constraint::FpgaWins),
+            "max_total_kg" => Ok(Constraint::MaxTotalKg {
+                platform: decode_platform(value)?,
+                limit_kg: decode(value, "limit_kg")?,
+            }),
+            other => Err(JsonError::schema(
+                "kind",
+                format!("unknown constraint kind '{other}' (expected fpga_wins or max_total_kg)"),
+            )),
+        }
+    }
+}
+
+impl ToJson for SolverKind {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl FromJson for SolverKind {
+    fn from_json(value: &Value) -> Result<SolverKind, JsonError> {
+        match value.as_str() {
+            Some("analytic") => Ok(SolverKind::Analytic),
+            Some("search") => Ok(SolverKind::Search),
+            _ => Err(JsonError::schema(
+                "solver",
+                "expected \"analytic\" or \"search\"",
+            )),
+        }
+    }
+}
+
+impl ToJson for CertificateProbe {
+    fn to_json(&self) -> Value {
+        object([
+            ("axis", self.axis.to_json()),
+            ("at", Value::Number(self.at)),
+            ("objective", Value::Number(self.objective)),
+            ("delta", Value::Number(self.delta)),
+        ])
+    }
+}
+
+impl FromJson for CertificateProbe {
+    fn from_json(value: &Value) -> Result<CertificateProbe, JsonError> {
+        Ok(CertificateProbe {
+            axis: decode(value, "axis")?,
+            at: decode(value, "at")?,
+            objective: decode(value, "objective")?,
+            delta: decode(value, "delta")?,
+        })
+    }
+}
+
+/// `POST /v1/optimize`: an inverse query — minimize an objective (or fill
+/// a carbon budget) over a box of 1–3 search knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeRequest {
+    /// The scenario to optimize over.
+    pub scenario: ScenarioRef,
+    /// Optional operating-point override supplying the non-searched axes
+    /// (same defaulting as [`ScenarioRunRequest::point`]).
+    pub point: Option<OperatingPoint>,
+    /// What to minimize or satisfy.
+    pub objective: Objective,
+    /// The searched axes and their bounds (the `"search"` wire member).
+    pub search: Vec<SearchKnob>,
+    /// Feasibility constraints (omitted from the wire when empty).
+    pub constraints: Vec<Constraint>,
+    /// Relative solve tolerance for the search tier (omitted when
+    /// [`OptimizeRequest::DEFAULT_TOLERANCE`]).
+    pub tolerance: f64,
+    /// Kernel-evaluation budget for the search tier (omitted when
+    /// [`OptimizeRequest::DEFAULT_MAX_EVALS`]).
+    pub max_evals: u64,
+}
+
+impl OptimizeRequest {
+    /// Relative tolerance used when a request names none.
+    pub const DEFAULT_TOLERANCE: f64 = 1e-6;
+    /// Evaluation budget used when a request names none.
+    pub const DEFAULT_MAX_EVALS: u64 = 10_000;
+}
+
+impl ToJson for OptimizeRequest {
+    fn to_json(&self) -> Value {
+        let mut members = Vec::new();
+        if let Some(point) = self.point {
+            members.push(("point", point.to_json()));
+        }
+        members.push(("objective", self.objective.to_json()));
+        members.push((
+            "search",
+            Value::Array(self.search.iter().map(|k| k.to_json()).collect()),
+        ));
+        if !self.constraints.is_empty() {
+            members.push((
+                "constraints",
+                Value::Array(self.constraints.iter().map(|c| c.to_json()).collect()),
+            ));
+        }
+        if self.tolerance != Self::DEFAULT_TOLERANCE {
+            members.push(("tolerance", Value::Number(self.tolerance)));
+        }
+        if self.max_evals != Self::DEFAULT_MAX_EVALS {
+            members.push(("max_evals", Value::Number(self.max_evals as f64)));
+        }
+        merge_scenario_ref(&self.scenario, members)
+    }
+}
+
+impl FromJson for OptimizeRequest {
+    fn from_json(value: &Value) -> Result<OptimizeRequest, JsonError> {
+        let constraints = match value.get("constraints") {
+            None | Some(Value::Null) => Vec::new(),
+            Some(member) => {
+                Vec::<Constraint>::from_json(member).map_err(|e| prefix_schema("constraints", e))?
+            }
+        };
+        Ok(OptimizeRequest {
+            scenario: ScenarioRef::from_json(value)?,
+            point: decode_point_opt(value)?,
+            objective: decode(value, "objective")?,
+            search: decode(value, "search")?,
+            constraints,
+            tolerance: decode_or(value, "tolerance", Self::DEFAULT_TOLERANCE)?,
+            max_evals: decode_or(value, "max_evals", Self::DEFAULT_MAX_EVALS)?,
+        })
+    }
+}
+
+/// `POST /v1/optimize` response: the argmin, its verdict, and the solve's
+/// evidence trail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeResponse {
+    /// The resolved catalog id (`None` for inline specs).
+    pub id: Option<String>,
+    /// The optimized domain.
+    pub domain: Domain,
+    /// The full operating point at the optimum.
+    pub point: OperatingPoint,
+    /// The argmin values of the searched knobs, in request order.
+    pub argmin: Vec<(SweepAxis, f64)>,
+    /// The achieved objective scalar (kernel-evaluated at the argmin).
+    pub objective: f64,
+    /// The scored verdict at the optimum.
+    pub verdict: Verdict,
+    /// Kernel evaluations spent (including certificate probes).
+    pub evaluations: u64,
+    /// Which solver tier answered.
+    pub solver: SolverKind,
+    /// Per-knob one-sided local-optimality probes.
+    pub certificate: Vec<CertificateProbe>,
+}
+
+impl ToJson for OptimizeResponse {
+    fn to_json(&self) -> Value {
+        let argmin = Value::Object(
+            self.argmin
+                .iter()
+                .map(|(axis, value)| {
+                    let key = match axis {
+                        SweepAxis::Applications => "apps",
+                        SweepAxis::LifetimeYears => "lifetime",
+                        SweepAxis::VolumeUnits => "volume",
+                    };
+                    (key.to_string(), Value::Number(*value))
+                })
+                .collect(),
+        );
+        object([
+            (
+                "id",
+                match &self.id {
+                    Some(id) => Value::String(id.clone()),
+                    None => Value::Null,
+                },
+            ),
+            ("domain", self.domain.to_json()),
+            ("point", self.point.to_json()),
+            ("argmin", argmin),
+            ("objective", Value::Number(self.objective)),
+            ("verdict", self.verdict.to_json()),
+            ("evaluations", Value::Number(self.evaluations as f64)),
+            ("solver", self.solver.to_json()),
+            (
+                "certificate",
+                Value::Array(self.certificate.iter().map(|p| p.to_json()).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for OptimizeResponse {
+    fn from_json(value: &Value) -> Result<OptimizeResponse, JsonError> {
+        let id = match value.get("id") {
+            None | Some(Value::Null) => None,
+            Some(member) => Some(
+                member
+                    .as_str()
+                    .ok_or_else(|| JsonError::schema("id", "expected a catalog id string"))?
+                    .to_string(),
+            ),
+        };
+        let argmin_value = field(value, "argmin")?;
+        let members = argmin_value
+            .as_object()
+            .ok_or_else(|| JsonError::schema("argmin", "expected an object of knob values"))?;
+        let mut argmin = Vec::with_capacity(members.len());
+        for (key, member) in members {
+            let axis = SweepAxis::from_json(&Value::String(key.clone()))
+                .map_err(|e| prefix_schema("argmin", e))?;
+            let knob_value = member
+                .as_f64()
+                .ok_or_else(|| JsonError::schema("argmin", "expected a numeric knob value"))?;
+            argmin.push((axis, knob_value));
+        }
+        Ok(OptimizeResponse {
+            id,
+            domain: decode(value, "domain")?,
+            point: decode(value, "point")?,
+            argmin,
+            objective: decode(value, "objective")?,
+            verdict: decode(value, "verdict")?,
+            evaluations: decode(value, "evaluations")?,
+            solver: decode(value, "solver")?,
+            certificate: decode(value, "certificate")?,
         })
     }
 }
@@ -2362,13 +2747,16 @@ pub enum QueryKind {
     Scenario,
     /// A scenario replayed against a time-varying carbon intensity.
     Replay,
+    /// An inverse query: minimize an objective (or fill a carbon budget)
+    /// over a box of search knobs.
+    Optimize,
     /// The scenario-catalog listing (the one `GET` kind).
     Catalog,
 }
 
 impl QueryKind {
     /// Every kind, in documentation and route-table order.
-    pub const ALL: [QueryKind; 13] = [
+    pub const ALL: [QueryKind; 14] = [
         QueryKind::Evaluate,
         QueryKind::Batch,
         QueryKind::Compare,
@@ -2381,6 +2769,7 @@ impl QueryKind {
         QueryKind::Industry,
         QueryKind::Scenario,
         QueryKind::Replay,
+        QueryKind::Optimize,
         QueryKind::Catalog,
     ];
 
@@ -2399,6 +2788,7 @@ impl QueryKind {
             QueryKind::Industry => "industry",
             QueryKind::Scenario => "scenario",
             QueryKind::Replay => "replay",
+            QueryKind::Optimize => "optimize",
             QueryKind::Catalog => "catalog",
         }
     }
@@ -2418,6 +2808,7 @@ impl QueryKind {
             QueryKind::Industry => "/v1/industry",
             QueryKind::Scenario => "/v1/scenario",
             QueryKind::Replay => "/v1/replay",
+            QueryKind::Optimize => "/v1/optimize",
             QueryKind::Catalog => "/v1/catalog",
         }
     }
@@ -2462,6 +2853,7 @@ impl QueryKind {
             QueryKind::Industry => Query::Industry(IndustryRequest::from_json(value)?),
             QueryKind::Scenario => Query::Scenario(ScenarioRunRequest::from_json(value)?),
             QueryKind::Replay => Query::Replay(ReplayRequest::from_json(value)?),
+            QueryKind::Optimize => Query::Optimize(OptimizeRequest::from_json(value)?),
             QueryKind::Catalog => Query::Catalog(CatalogRequest::from_json(value)?),
         })
     }
@@ -2486,6 +2878,7 @@ impl QueryKind {
             QueryKind::Industry => Outcome::Industry(IndustryResponse::from_json(value)?),
             QueryKind::Scenario => Outcome::Scenario(ScenarioRunResponse::from_json(value)?),
             QueryKind::Replay => Outcome::Replay(ReplayResponse::from_json(value)?),
+            QueryKind::Optimize => Outcome::Optimize(OptimizeResponse::from_json(value)?),
             QueryKind::Catalog => Outcome::Catalog(CatalogResponse::from_json(value)?),
         })
     }
@@ -2533,6 +2926,8 @@ pub enum Query {
     Scenario(ScenarioRunRequest),
     /// A scenario replayed against a time-varying carbon intensity.
     Replay(ReplayRequest),
+    /// An inverse query over a box of search knobs.
+    Optimize(OptimizeRequest),
     /// The scenario-catalog listing.
     Catalog(CatalogRequest),
 }
@@ -2553,6 +2948,7 @@ impl Query {
             Query::Industry(_) => QueryKind::Industry,
             Query::Scenario(_) => QueryKind::Scenario,
             Query::Replay(_) => QueryKind::Replay,
+            Query::Optimize(_) => QueryKind::Optimize,
             Query::Catalog(_) => QueryKind::Catalog,
         }
     }
@@ -2573,6 +2969,7 @@ impl Query {
             Query::Industry(request) => request.to_json(),
             Query::Scenario(request) => request.to_json(),
             Query::Replay(request) => request.to_json(),
+            Query::Optimize(request) => request.to_json(),
             Query::Catalog(request) => request.to_json(),
         }
     }
@@ -2648,6 +3045,8 @@ pub enum Outcome {
     Scenario(ScenarioRunResponse),
     /// Result of [`Query::Replay`].
     Replay(ReplayResponse),
+    /// Result of [`Query::Optimize`].
+    Optimize(OptimizeResponse),
     /// Result of [`Query::Catalog`].
     Catalog(CatalogResponse),
 }
@@ -2668,6 +3067,7 @@ impl Outcome {
             Outcome::Industry(_) => QueryKind::Industry,
             Outcome::Scenario(_) => QueryKind::Scenario,
             Outcome::Replay(_) => QueryKind::Replay,
+            Outcome::Optimize(_) => QueryKind::Optimize,
             Outcome::Catalog(_) => QueryKind::Catalog,
         }
     }
@@ -2688,6 +3088,7 @@ impl Outcome {
             Outcome::Industry(response) => response.to_json(),
             Outcome::Scenario(response) => response.to_json(),
             Outcome::Replay(response) => response.to_json(),
+            Outcome::Optimize(response) => response.to_json(),
             Outcome::Catalog(response) => response.to_json(),
         }
     }

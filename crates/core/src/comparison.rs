@@ -277,24 +277,7 @@ impl crate::CompiledScenario {
             // stays ASIC forever.
             return Ok(None);
         }
-        let mut candidate = if crossover.at < 1.0 {
-            2 // Root below the scanned range, but n = 1 did not win: take 2.
-        } else if crossover.at >= max_applications as f64 {
-            max_applications
-        } else {
-            crossover.at.floor() as u64 + 1
-        };
-        candidate = candidate.clamp(2, max_applications);
-        while candidate <= max_applications && !wins_at(candidate)? {
-            candidate += 1;
-        }
-        if candidate > max_applications {
-            return Ok(None);
-        }
-        while candidate > 2 && wins_at(candidate - 1)? {
-            candidate -= 1;
-        }
-        Ok(Some(candidate))
+        crate::analytic::verify_integer_boundary(Some(crossover.at), 2, max_applications, wins_at)
     }
 
     /// [`Estimator::crossover_in_lifetime`] on an already-compiled
@@ -388,20 +371,17 @@ impl crate::CompiledScenario {
         let root = self
             .crossover_in_volume_analytic(applications, lifetime_years)
             .map_or(0.5 * (min_volume as f64 + max_volume as f64), |c| c.at);
-        let mut candidate = if root < min_volume as f64 {
-            min_volume + 1
-        } else if root >= max_volume as f64 {
-            max_volume
-        } else {
-            root.floor() as u64 + 1
+        // The endpoint signs differ, so the flip is guaranteed in range and
+        // the shared walk always lands on it.
+        let Some(candidate) = crate::analytic::verify_integer_boundary(
+            Some(root),
+            min_volume + 1,
+            max_volume,
+            |v| Ok(diff(v)?.signum() != lo_diff.signum()),
+        )?
+        else {
+            return Ok(None);
         };
-        candidate = candidate.clamp(min_volume + 1, max_volume);
-        while candidate < max_volume && diff(candidate)?.signum() == lo_diff.signum() {
-            candidate += 1;
-        }
-        while candidate > min_volume + 1 && diff(candidate - 1)?.signum() != lo_diff.signum() {
-            candidate -= 1;
-        }
         let direction = if lo_diff < 0.0 {
             CrossoverDirection::FpgaToAsic
         } else {

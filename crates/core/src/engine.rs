@@ -29,8 +29,8 @@ use std::sync::Mutex;
 use crate::api::{
     CacheShardMetrics, CatalogEntryInfo, CatalogResponse, CompareResponse, CrossoverResponse,
     EvaluateResponse, FrontierResponse, IndustryDeviceReport, IndustryRequest, IndustryResponse,
-    MonteCarloResponse, Outcome, Query, ReplayResponse, ScenarioRef, ScenarioRunResponse,
-    SeriesRef,
+    MonteCarloResponse, OptimizeResponse, Outcome, Query, ReplayResponse, ScenarioRef,
+    ScenarioRunResponse, SeriesRef,
 };
 use crate::scenario::{catalog, catalog_entry, CarbonIntensitySeries, CatalogEntry, Verdict};
 use crate::{
@@ -335,6 +335,18 @@ impl Engine {
                     }
                     SeriesRef::Inline(series) => series.clone(),
                 };
+                if request.years == 0 {
+                    return Err(ApiError::bad_request(
+                        "years must be at least 1 (the series replays once per year)",
+                    ));
+                }
+                if request.years as f64 > point.lifetime_years.ceil() {
+                    return Err(ApiError::bad_request(format!(
+                        "years ({}) exceeds the device lifetime of {} years",
+                        request.years, point.lifetime_years
+                    )));
+                }
+                let series = series.repeat(request.years)?;
                 let compiled = self.compiled(&spec)?;
                 let traced = gf_trace::enabled();
                 let start = if traced { gf_trace::now_ticks() } else { 0 };
@@ -353,6 +365,52 @@ impl Engine {
                     domain: spec.domain,
                     point,
                     replay,
+                })
+            }
+            Query::Optimize(request) => {
+                let (entry, spec) = resolve_scenario(&request.scenario)?;
+                let point = resolved_point(request.point, entry);
+                let compiled = self.compiled(&spec)?;
+                let traced = gf_trace::enabled();
+                let start = if traced { gf_trace::now_ticks() } else { 0 };
+                let outcome = compiled.optimize(
+                    point,
+                    &request.objective,
+                    &request.search,
+                    &request.constraints,
+                    request.tolerance,
+                    request.max_evals,
+                    threads,
+                )?;
+                if traced {
+                    let end = gf_trace::now_ticks();
+                    gf_trace::record_span_at(
+                        gf_trace::SpanName::Optimize,
+                        start,
+                        end.saturating_sub(start),
+                        outcome.evaluations,
+                    );
+                }
+                let argmin = request
+                    .search
+                    .iter()
+                    .map(|knob| {
+                        (
+                            knob.axis,
+                            crate::optimize::axis_value(outcome.point, knob.axis),
+                        )
+                    })
+                    .collect();
+                Outcome::Optimize(OptimizeResponse {
+                    id: request.scenario.catalog_id().map(str::to_string),
+                    domain: spec.domain,
+                    point: outcome.point,
+                    argmin,
+                    objective: outcome.objective,
+                    verdict: Verdict::from_comparison(&outcome.comparison),
+                    evaluations: outcome.evaluations,
+                    solver: outcome.solver,
+                    certificate: outcome.certificate,
                 })
             }
             Query::Catalog(_) => Outcome::Catalog(CatalogResponse {

@@ -45,6 +45,12 @@ pub enum GreenFpgaError {
         /// What went wrong.
         reason: String,
     },
+    /// An inverse query has no feasible answer: no point in the searched
+    /// box satisfies the carbon budget or constraints.
+    Infeasible {
+        /// What makes the problem infeasible.
+        reason: String,
+    },
     /// Error bubbled up from the manufacturing substrate.
     Act(ActError),
     /// Error bubbled up from the lifecycle models.
@@ -67,6 +73,9 @@ impl fmt::Display for GreenFpgaError {
             }
             GreenFpgaError::Serialization { reason } => {
                 write!(f, "serialization error: {reason}")
+            }
+            GreenFpgaError::Infeasible { reason } => {
+                write!(f, "infeasible: {reason}")
             }
             GreenFpgaError::Act(e) => write!(f, "manufacturing model error: {e}"),
             GreenFpgaError::Lifecycle(e) => write!(f, "lifecycle model error: {e}"),

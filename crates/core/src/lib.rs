@@ -65,6 +65,7 @@ mod eval;
 pub mod exec;
 mod frontier;
 mod knobs;
+pub mod optimize;
 mod params;
 mod report;
 mod scenario;
@@ -78,9 +79,9 @@ pub use api::{
     BatchEvalRequest, BatchEvalResponse, CatalogEntryInfo, CatalogRequest, CatalogResponse,
     CompareRequest, CompareResponse, CrossoverRequest, CrossoverResponse, EvaluateRequest,
     EvaluateResponse, FrontierRequest, FrontierResponse, GridRequest, IndustryRequest,
-    IndustryResponse, MonteCarloRequest, MonteCarloResponse, Outcome, Query, QueryKind,
-    ReplayRequest, ReplayResponse, ScenarioRef, ScenarioRunRequest, ScenarioRunResponse,
-    ScenarioSpec, SeriesRef, SweepRequest, TornadoRequest,
+    IndustryResponse, MonteCarloRequest, MonteCarloResponse, OptimizeRequest, OptimizeResponse,
+    Outcome, Query, QueryKind, ReplayRequest, ReplayResponse, ScenarioRef, ScenarioRunRequest,
+    ScenarioRunResponse, ScenarioSpec, SeriesRef, SweepRequest, TornadoRequest,
 };
 pub use application::{Application, Workload};
 pub use breakdown::CfpBreakdown;
@@ -93,6 +94,9 @@ pub use estimator::Estimator;
 pub use eval::{BatchRequest, CompiledPlatform, CompiledScenario, ResultBuffer, ScenarioTemplate};
 pub use frontier::FrontierResult;
 pub use knobs::{Knob, KnobRange};
+pub use optimize::{
+    CertificateProbe, Constraint, Objective, OptPlatform, OptimizeOutcome, SearchKnob, SolverKind,
+};
 pub use params::{DeploymentParams, DesignStaffing, EstimatorParams};
 pub use report::{csv_from_rows, render_table, HeatmapRenderer};
 pub use scenario::{

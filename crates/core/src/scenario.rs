@@ -468,6 +468,42 @@ impl CarbonIntensitySeries {
         })
     }
 
+    /// Stitches the series end-to-end `years` times: a one-year region
+    /// preset becomes a multi-year trace with the same step width, so a
+    /// replay can cover a whole device refresh horizon. `repeat(1)` is the
+    /// identity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GreenFpgaError::InvalidApplication`] when `years` is zero
+    /// or the stitched series would exceed [`usize::MAX`] samples.
+    pub fn repeat(&self, years: u64) -> Result<Self, GreenFpgaError> {
+        if years == 0 {
+            return Err(GreenFpgaError::InvalidApplication {
+                field: "series",
+                reason: "series repetition count must be at least 1".to_string(),
+            });
+        }
+        if years == 1 {
+            return Ok(self.clone());
+        }
+        let repeats = usize::try_from(years)
+            .ok()
+            .and_then(|y| self.points.len().checked_mul(y))
+            .ok_or_else(|| GreenFpgaError::InvalidApplication {
+                field: "series",
+                reason: format!("stitching {years} copies overflows the series length"),
+            })?;
+        let mut points = Vec::with_capacity(repeats);
+        for _ in 0..years {
+            points.extend_from_slice(&self.points);
+        }
+        Ok(CarbonIntensitySeries {
+            points,
+            step_hours: self.step_hours,
+        })
+    }
+
     /// Number of samples in the series.
     pub fn len(&self) -> usize {
         self.points.len()
@@ -721,6 +757,27 @@ mod tests {
         LongHorizonScenario::paper_fig9(domain)
             .run(&Estimator::default())
             .unwrap()
+    }
+
+    #[test]
+    fn repeat_stitches_years_end_to_end() {
+        let series = CarbonIntensitySeries::new(vec![1.0, 2.0, 3.0], 4.0).unwrap();
+        let stitched = series.repeat(3).unwrap();
+        assert_eq!(
+            stitched.points(),
+            &[1.0, 2.0, 3.0, 1.0, 2.0, 3.0, 1.0, 2.0, 3.0]
+        );
+        assert_eq!(stitched.step_hours(), 4.0);
+        assert_eq!(series.repeat(1).unwrap().points(), series.points());
+        assert!(series.repeat(0).is_err());
+        // A stitched region preset replays identically to the wrapped
+        // single-year series over the same horizon (sampling wraps modulo).
+        let year = CarbonIntensitySeries::region("solar_duck").unwrap();
+        let two = year.repeat(2).unwrap();
+        assert_eq!(two.len(), 2 * year.len());
+        for index in [0, 1, 8759, 8760, 12000] {
+            assert_eq!(year.sample(index, true), two.sample(index, true));
+        }
     }
 
     #[test]

@@ -51,7 +51,8 @@ ROUTES:
   POST /v1/montecarlo  uncertainty analysis           {\"domain\", \"knobs\"?, \"point\"?, \"samples\"?, \"seed\"?}
   POST /v1/industry    Table 3 industry testcases     {\"knobs\"?, \"service_years\"?, \"fpga_applications\"?, \"volume\"?}
   POST /v1/scenario    run a scenario, scored verdict {\"id\"|\"domain\", \"knobs\"?, \"point\"?}
-  POST /v1/replay      time-series carbon replay      {\"id\"|\"domain\", \"knobs\"?, \"point\"?, \"series\"?, \"interpolate\"?}
+  POST /v1/replay      time-series carbon replay      {\"id\"|\"domain\", \"knobs\"?, \"point\"?, \"series\"?, \"interpolate\"?, \"years\"?}
+  POST /v1/optimize    inverse query / argmin solver  {\"id\"|\"domain\", \"knobs\"?, \"point\"?, \"objective\", \"search\", \"constraints\"?}
   GET  /v1/catalog     the named scenario catalog     (no body)
 
 Errors are {\"error\": {\"code\", \"message\", \"retryable\"}} with canonical

@@ -117,6 +117,7 @@ pub(crate) fn offloads(method: &str, path: &str) -> bool {
                     | QueryKind::Tornado
                     | QueryKind::MonteCarlo
                     | QueryKind::Replay
+                    | QueryKind::Optimize
             ),
             Endpoint::Healthz | Endpoint::Metrics | Endpoint::Prometheus | Endpoint::Trace => false,
         })

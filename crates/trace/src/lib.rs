@@ -108,11 +108,17 @@ pub enum SpanName {
     CatalogResolve = 15,
     /// One time-series carbon replay evaluation (engine; `aux` = steps).
     Replay = 16,
+    /// One full optimizer solve (engine; `aux` = kernel evaluations).
+    Optimize = 17,
+    /// One optimizer refinement stage — golden-section or integer walk
+    /// inside a coordinate-descent pass (engine; `aux` = kernel
+    /// evaluations spent refining).
+    OptimizeRefine = 18,
 }
 
 impl SpanName {
     /// Every name, in discriminant order (for exposition layers).
-    pub const ALL: [SpanName; 17] = [
+    pub const ALL: [SpanName; 19] = [
         SpanName::Parse,
         SpanName::Admission,
         SpanName::QueueWait,
@@ -130,6 +136,8 @@ impl SpanName {
         SpanName::CliEval,
         SpanName::CatalogResolve,
         SpanName::Replay,
+        SpanName::Optimize,
+        SpanName::OptimizeRefine,
     ];
 
     /// The wire/display spelling (`snake_case`).
@@ -152,6 +160,8 @@ impl SpanName {
             SpanName::CliEval => "cli_eval",
             SpanName::CatalogResolve => "catalog_resolve",
             SpanName::Replay => "replay",
+            SpanName::Optimize => "optimize",
+            SpanName::OptimizeRefine => "optimize_refine",
         }
     }
 

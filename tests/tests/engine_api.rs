@@ -16,13 +16,13 @@ use gf_json::{parse, FromJson, ToJson};
 use gf_support::SplitMix64;
 use greenfpga::api::{
     CatalogRequest, CompareRequest, EvaluateRequest, FrontierResponse, GridRequest,
-    IndustryRequest, MonteCarloRequest, MonteCarloResponse, Outcome, Query, QueryKind,
-    ReplayRequest, ScenarioRef, ScenarioRunRequest, SweepRequest, TornadoRequest,
+    IndustryRequest, MonteCarloRequest, MonteCarloResponse, OptimizeRequest, Outcome, Query,
+    QueryKind, ReplayRequest, ScenarioRef, ScenarioRunRequest, SweepRequest, TornadoRequest,
 };
 use greenfpga::{
     catalog, ApiError, ApiErrorCode, CarbonIntensitySeries, CrossoverRequest, Domain, Engine,
-    Estimator, FrontierRequest, HeatmapRenderer, Knob, MonteCarlo, OperatingPoint, ScenarioSpec,
-    SeriesRef, SweepAxis,
+    Estimator, FrontierRequest, HeatmapRenderer, Knob, MonteCarlo, Objective, OperatingPoint,
+    OptPlatform, ScenarioSpec, SearchKnob, SeriesRef, SweepAxis,
 };
 
 fn engine() -> Engine {
@@ -332,11 +332,11 @@ fn tornado_montecarlo_and_industry_match_direct_calls() {
 
 #[test]
 fn every_query_kind_runs_through_the_engine() {
-    // Completeness: each of the thirteen kinds decodes from a minimal body
+    // Completeness: each of the fourteen kinds decodes from a minimal body
     // and runs to a matching outcome kind. A kind added to the enum without
     // an engine dispatch arm fails here.
     let engine = engine();
-    assert_eq!(QueryKind::ALL.len(), 13);
+    assert_eq!(QueryKind::ALL.len(), 14);
     for kind in QueryKind::ALL {
         let body = match kind {
             QueryKind::Batch => r#"{"domain": "dnn", "points": [{"applications": 2}]}"#,
@@ -348,6 +348,10 @@ fn every_query_kind_runs_through_the_engine() {
             QueryKind::Industry | QueryKind::Catalog => "{}",
             QueryKind::Frontier | QueryKind::Grid => r#"{"domain": "dnn", "steps": 4}"#,
             QueryKind::Scenario | QueryKind::Replay => r#"{"id": "dnn_baseline"}"#,
+            QueryKind::Optimize => {
+                r#"{"domain": "dnn", "objective": {"goal": "min_total"},
+                    "search": [{"axis": "apps", "min": 1, "max": 8}]}"#
+            }
             _ => r#"{"domain": "dnn"}"#,
         };
         let query = kind.decode_request(&parse(body).unwrap()).unwrap();
@@ -464,6 +468,48 @@ fn random_query(kind: QueryKind, rng: &mut SplitMix64) -> Query {
                 )
             },
             interpolate: rng.next_u64().is_multiple_of(2),
+            years: 1,
+        }),
+        QueryKind::Optimize => Query::Optimize(OptimizeRequest {
+            scenario: if rng.next_u64().is_multiple_of(2) {
+                ScenarioRef::Inline(scenario)
+            } else {
+                random_catalog_ref(rng)
+            },
+            point: rng.next_u64().is_multiple_of(2).then_some(point),
+            // Unconstrained objectives only: the generated query must both
+            // round-trip and run, and a random constraint can be infeasible.
+            objective: [
+                Objective::MinTotal(OptPlatform::Fpga),
+                Objective::MinOperational(OptPlatform::Asic),
+                Objective::MinEmbodied(OptPlatform::Fpga),
+                Objective::MaxFpgaMargin,
+                Objective::MinRatio,
+            ][(rng.next_u64() % 5) as usize],
+            search: {
+                let mut knobs = vec![SearchKnob {
+                    axis: SweepAxis::Applications,
+                    min: 1.0,
+                    max: (2 + rng.next_u64() % 19) as f64,
+                    integer: true,
+                }];
+                if rng.next_u64().is_multiple_of(2) {
+                    knobs.push(SearchKnob {
+                        axis: SweepAxis::LifetimeYears,
+                        min: 0.25,
+                        max: rng.gen_range_f64(1.0, 6.0),
+                        integer: false,
+                    });
+                }
+                knobs
+            },
+            constraints: Vec::new(),
+            tolerance: OptimizeRequest::DEFAULT_TOLERANCE,
+            max_evals: if rng.next_u64().is_multiple_of(2) {
+                OptimizeRequest::DEFAULT_MAX_EVALS
+            } else {
+                500 + rng.next_u64() % 2_000
+            },
         }),
         QueryKind::Catalog => Query::Catalog(CatalogRequest),
     }

@@ -132,6 +132,7 @@ fn replay_and_catalog_routes_serve_golden_bodies_on_both_drivers() {
         point: None,
         series: SeriesRef::Region("solar_duck".to_string()),
         interpolate: true,
+        years: 1,
     });
     let Outcome::Replay(local_replay) = engine.run(&replay_query).unwrap() else {
         panic!("wrong outcome kind");
@@ -188,6 +189,7 @@ fn repeated_named_scenario_requests_hit_the_compiled_cache() {
             point: None,
             series: SeriesRef::Region(ReplayRequest::DEFAULT_REGION.to_string()),
             interpolate: false,
+            years: 1,
         }))
         .unwrap();
     assert_eq!(misses(&engine), misses_after_first);
@@ -215,6 +217,7 @@ fn replay_is_deterministic_across_engine_thread_counts() {
                     point: None,
                     series: SeriesRef::Region("dirty_coal".to_string()),
                     interpolate: true,
+                    years: 1,
                 }))
                 .unwrap()
             else {
@@ -247,6 +250,7 @@ fn unknown_ids_regions_and_degenerate_series_speak_the_taxonomy() {
             point: None,
             series: SeriesRef::Region("mars_colony".to_string()),
             interpolate: false,
+            years: 1,
         }))
         .unwrap_err();
     assert_eq!(error.code, ApiErrorCode::BadRequest);
@@ -349,6 +353,7 @@ fn constant_replay_agrees_with_the_scalar_path_for_every_domain() {
                 point: Some(point),
                 series: SeriesRef::Inline(flat),
                 interpolate: false,
+                years: 1,
             }))
             .unwrap()
         else {

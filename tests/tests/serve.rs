@@ -955,6 +955,9 @@ fn every_query_kind_is_servable_over_the_wire() {
             QueryKind::Industry => "{}".to_string(),
             QueryKind::Frontier | QueryKind::Grid => r#"{"domain": "dnn", "steps": 4}"#.to_string(),
             QueryKind::Scenario | QueryKind::Replay => r#"{"id": "dnn_baseline"}"#.to_string(),
+            QueryKind::Optimize => r#"{"domain": "dnn", "objective": {"goal": "min_total"},
+                "search": [{"axis": "apps", "min": 1, "max": 8}]}"#
+                .to_string(),
             _ => r#"{"domain": "dnn"}"#.to_string(),
         };
         let (status, text) = if kind.method() == "GET" {
